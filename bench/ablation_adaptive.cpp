@@ -1,0 +1,56 @@
+// Ablation A11: how much would adaptive routing buy?
+//
+// InfiniBand forwarding is deterministic by specification -- the premise
+// the MLID scheme works within.  This what-if switches the simulator's
+// crossbars to credit-aware adaptive uplink selection and compares against
+// the static schemes, bounding the gap MLID leaves on the table.
+#include <cstdio>
+
+#include "common/text_table.hpp"
+#include "harness/cli.hpp"
+#include "sim/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlid;
+  const CliOptions opts(argc, argv);
+  const int m = 8, n = 2;
+  const FatTreeFabric fabric{FatTreeParams(m, n)};
+  const Subnet slid(fabric, SchemeKind::kSlid);
+  const Subnet mlid(fabric, SchemeKind::kMlid);
+
+  std::printf("Ablation A11: deterministic vs adaptive uplinks, %d-port"
+              " %d-tree, offered load 0.9, 1 VL\n", m, n);
+  TextTable table({"traffic", "scheme", "forwarding", "accepted B/ns/node",
+                   "avg latency ns"});
+  for (const auto& [label, kind, hot] :
+       {std::tuple{"uniform", TrafficKind::kUniform, 0.0},
+        std::tuple{"centric 20%", TrafficKind::kCentric, 0.20}}) {
+    for (const auto& [scheme_label, subnet] :
+         {std::pair{"SLID", &slid}, std::pair{"MLID", &mlid}}) {
+      for (const auto& [mode_label, mode] :
+           {std::pair{"deterministic", ForwardingMode::kDeterministic},
+            std::pair{"adaptive", ForwardingMode::kAdaptiveUplinks}}) {
+        SimConfig cfg;
+        cfg.forwarding = mode;
+        cfg.seed = opts.seed();
+        if (opts.quick()) {
+          cfg.warmup_ns = 5'000;
+          cfg.measure_ns = 20'000;
+        }
+        const SimResult r =
+            Simulation(*subnet, cfg, {kind, hot, 0, opts.seed() ^ 0xABBu},
+                       0.9)
+                .run();
+        table.add_row({label, scheme_label, mode_label,
+                       TextTable::num(r.accepted_bytes_per_ns_per_node, 4),
+                       TextTable::num(r.avg_latency_ns, 1)});
+      }
+    }
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts("\nExpected shape: adaptive forwarding lifts SLID close to MLID"
+            " (it substitutes for\nthe static spreading); on top of MLID it"
+            " adds only a small further gain -- the\npaper's deterministic"
+            " scheme already captures most of the multipath benefit.");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation A5: degraded fabrics.  Removes k random inter-switch uplinks
+// from an 8-port 2-tree, recomputes BFS-based up*/down* tables (UPDN, full
+// LMC) as an SM re-sweep would, and measures the surviving throughput.
+// For contrast, the closed-form MLID tables -- valid only for the pristine
+// wiring -- are run on the damaged fabric too: the dropped-packet counter
+// shows why fault handling needs the generic engine.
+#include <cstdio>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/text_table.hpp"
+#include "harness/cli.hpp"
+#include "routing/updown.hpp"
+#include "sim/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlid;
+  const CliOptions opts(argc, argv);
+  const int m = 8, n = 2;
+
+  std::printf("Ablation A5: link failures, %d-port %d-tree, uniform traffic,"
+              " offered load 0.6\n", m, n);
+  TextTable table({"failed links", "UPDN accepted B/ns/node", "UPDN lat ns",
+                   "UPDN drops", "MLID(stale) drops"});
+  for (const int failures : {0, 1, 2, 4, 8}) {
+    FatTreeFabric fabric{FatTreeParams(m, n)};
+    Xoshiro256 rng(opts.seed() * 77 + static_cast<std::uint64_t>(failures));
+    int removed = 0;
+    while (removed < failures) {
+      const auto sw = static_cast<SwitchId>(
+          rng.below(fabric.params().num_switches()));
+      if (fabric.switch_label(sw).level() == 0) continue;
+      const auto port = static_cast<PortId>(
+          static_cast<std::uint64_t>(fabric.params().half()) + 1 +
+          rng.below(static_cast<std::uint64_t>(fabric.params().half())));
+      const DeviceId dev = fabric.switch_device(sw);
+      if (!fabric.fabric().device(dev).port_connected(port)) continue;
+      fabric.mutable_fabric().disconnect(dev, port);
+      ++removed;
+    }
+
+    SimConfig cfg;
+    cfg.seed = opts.seed();
+    if (opts.quick()) {
+      cfg.warmup_ns = 5'000;
+      cfg.measure_ns = 20'000;
+    }
+    const TrafficConfig traffic{TrafficKind::kUniform, 0.2, 0,
+                                opts.seed() ^ 0xAB5u};
+
+    auto updn = std::make_unique<UpDownRouting>(
+        fabric, fabric.params().mlid_lmc());
+    if (!updn->fully_connected()) {
+      table.add_row({std::to_string(failures), "partitioned", "-", "-", "-"});
+      continue;
+    }
+    const Subnet updn_subnet(fabric, std::move(updn));
+    const SimResult r = Simulation(updn_subnet, cfg, traffic, 0.6).run();
+
+    const Subnet stale_mlid(fabric, SchemeKind::kMlid);
+    const SimResult s = Simulation(stale_mlid, cfg, traffic, 0.6).run();
+
+    table.add_row({std::to_string(failures),
+                   TextTable::num(r.accepted_bytes_per_ns_per_node, 4),
+                   TextTable::num(r.avg_latency_ns, 1),
+                   std::to_string(r.packets_dropped),
+                   std::to_string(s.packets_dropped)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts("\nExpected shape: UPDN throughput degrades gracefully with"
+            " failures and never drops;\nthe stale closed-form tables drop"
+            " packets as soon as one link is gone.");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation A4: hot-spot intensity sweep.  The paper fixes the centric
+// fraction at 20%; this sweep shows where the MLID advantage appears as the
+// hot fraction grows from uniform-like (5%) to heavily centric (40%).
+#include <cstdio>
+
+#include "common/text_table.hpp"
+#include "harness/cli.hpp"
+#include "sim/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlid;
+  const CliOptions opts(argc, argv);
+  const int m = 8, n = 2;
+  const FatTreeFabric fabric{FatTreeParams(m, n)};
+  const Subnet slid(fabric, SchemeKind::kSlid);
+  const Subnet mlid(fabric, SchemeKind::kMlid);
+
+  std::printf("Ablation A4: hot-spot fraction, %d-port %d-tree, "
+              "offered load 0.9, 1 VL\n", m, n);
+  TextTable table({"hot fraction", "SLID B/ns/node", "MLID B/ns/node",
+                   "MLID/SLID", "SLID lat ns", "MLID lat ns"});
+  for (const double h : {0.05, 0.10, 0.20, 0.30, 0.40}) {
+    SimConfig cfg;
+    cfg.seed = opts.seed();
+    if (opts.quick()) {
+      cfg.warmup_ns = 5'000;
+      cfg.measure_ns = 20'000;
+    }
+    const TrafficConfig traffic{TrafficKind::kCentric, h, 0,
+                                opts.seed() ^ 0xAB4u};
+    const SimResult s = Simulation(slid, cfg, traffic, 0.9).run();
+    const SimResult q = Simulation(mlid, cfg, traffic, 0.9).run();
+    table.add_row({TextTable::num(h, 2),
+                   TextTable::num(s.accepted_bytes_per_ns_per_node, 4),
+                   TextTable::num(q.accepted_bytes_per_ns_per_node, 4),
+                   TextTable::num(q.accepted_bytes_per_ns_per_node /
+                                      s.accepted_bytes_per_ns_per_node,
+                                  3) +
+                       "x",
+                   TextTable::num(s.avg_latency_ns, 1),
+                   TextTable::num(q.avg_latency_ns, 1)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts("\nExpected shape: both schemes converge as the hot node's link"
+            " becomes the physical\nbottleneck; MLID's edge is largest at"
+            " small-to-moderate fractions where tree links,\nnot the"
+            " terminal link, are the constraint.");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation A1: how much of MLID's win comes from each extra LID bit?
+//
+// Sweeps the LMC from 0 (= SLID) to the tree's full (n-1) log2(m/2) using
+// PartialMlidRouting, under both uniform and 20%-centric traffic at high
+// offered load, and reports saturation throughput per LMC.
+#include <cstdio>
+#include <memory>
+
+#include "common/text_table.hpp"
+#include "harness/cli.hpp"
+#include "routing/fat_tree_routing.hpp"
+#include "sim/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlid;
+  const CliOptions opts(argc, argv);
+  const int m = 4, n = 3;
+  const FatTreeFabric fabric{FatTreeParams(m, n)};
+  SimConfig cfg;
+  cfg.seed = opts.seed();
+  if (opts.quick()) {
+    cfg.warmup_ns = 5'000;
+    cfg.measure_ns = 20'000;
+  }
+
+  std::printf("Ablation A1: LMC depth on a %d-port %d-tree (full LMC = %d)\n",
+              m, n, int(fabric.params().mlid_lmc()));
+  TextTable table({"traffic", "LMC", "LIDs/node", "accepted B/ns/node",
+                   "avg latency ns", "vs LMC 0"});
+  for (const TrafficKind kind :
+       {TrafficKind::kUniform, TrafficKind::kCentric}) {
+    double baseline = 0.0;
+    for (Lmc lmc = 0; lmc <= fabric.params().mlid_lmc(); ++lmc) {
+      const Subnet subnet(
+          fabric, std::make_unique<PartialMlidRouting>(fabric.params(), lmc));
+      TrafficConfig traffic{kind, 0.20, 0, opts.seed() ^ 0xAB1u};
+      Simulation sim(subnet, cfg, traffic, /*offered_load=*/0.9);
+      const SimResult r = sim.run();
+      if (lmc == 0) baseline = r.accepted_bytes_per_ns_per_node;
+      table.add_row(
+          {std::string(to_string(kind)), std::to_string(int(lmc)),
+           std::to_string(1u << lmc),
+           TextTable::num(r.accepted_bytes_per_ns_per_node, 4),
+           TextTable::num(r.avg_latency_ns, 1),
+           TextTable::num(r.accepted_bytes_per_ns_per_node / baseline, 3) +
+               "x"});
+    }
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts("\nExpected shape: throughput grows monotonically with LMC under"
+            " centric traffic;\nthe first bits buy the most (path diversity"
+            " doubles per bit).");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation A12: network scaling (the paper's Remark 3).  Fixes the port
+// count and deepens the tree, reporting the MLID/SLID saturation ratio per
+// size -- the "improvement is more noticeable while a network size is
+// getting larger" claim as one table.
+#include <cstdio>
+
+#include "common/text_table.hpp"
+#include "harness/cli.hpp"
+#include "harness/sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlid;
+  const CliOptions opts(argc, argv);
+
+  std::puts("Ablation A12: scaling with tree height (20%-centric, 1 VL)");
+  TextTable table({"network", "nodes", "SLID sat B/ns/node",
+                   "MLID sat B/ns/node", "MLID/SLID"});
+  for (const auto& [m, n] : {std::pair{4, 2}, std::pair{4, 3},
+                             std::pair{4, 4}, std::pair{8, 2},
+                             std::pair{8, 3}}) {
+    FigureSpec spec;
+    spec.title = "scaling";
+    spec.m = m;
+    spec.n = n;
+    spec.traffic = {TrafficKind::kCentric, 0.20, 0, opts.seed() ^ 0xABCu};
+    spec.sim.seed = opts.seed();
+    spec.vl_counts = {1};
+    if (opts.quick()) {
+      spec.sim.warmup_ns = 5'000;
+      spec.sim.measure_ns = 20'000;
+      spec.loads = {0.3, 0.6, 0.9};
+    } else {
+      spec.loads = {0.2, 0.4, 0.6, 0.8, 0.95};
+    }
+    const auto points = run_figure(spec, opts.threads());
+    const double slid = saturation_throughput(points, SchemeKind::kSlid, 1);
+    const double mlid = saturation_throughput(points, SchemeKind::kMlid, 1);
+    table.add_row({std::to_string(m) + "-port " + std::to_string(n) + "-tree",
+                   std::to_string(FatTreeParams(m, n).num_nodes()),
+                   TextTable::num(slid, 4), TextTable::num(mlid, 4),
+                   TextTable::num(mlid / slid, 3) + "x"});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts("\nExpected shape: the MLID/SLID ratio grows along both axes"
+            " (taller trees and\nwider switches), Remark 3 of the paper.");
+  return 0;
+}

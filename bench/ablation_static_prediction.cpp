@@ -1,0 +1,77 @@
+// Ablation A8: analytic prediction vs simulation.  The static LoadAnalysis
+// gives a bottleneck-link saturation bound (1 / max expected link load);
+// this bench compares it against the saturation load the simulator finds
+// by bisection, per scheme and traffic pattern.  The analytic bound is an
+// upper bound -- the simulator lands below it by the credit-loop and
+// head-of-line factors that only dynamics capture.
+#include <cstdio>
+
+#include "common/text_table.hpp"
+#include "harness/cli.hpp"
+#include "harness/sweep.hpp"
+#include "routing/load_analysis.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlid;
+  const CliOptions opts(argc, argv);
+  const int m = 4, n = 3;
+  const FatTreeFabric fabric{FatTreeParams(m, n)};
+  const std::uint32_t nodes = fabric.params().num_nodes();
+
+  SimConfig cfg;
+  cfg.seed = opts.seed();
+  if (opts.quick()) {
+    cfg.warmup_ns = 4'000;
+    cfg.measure_ns = 16'000;
+  } else {
+    cfg.warmup_ns = 8'000;
+    cfg.measure_ns = 40'000;
+  }
+
+  std::printf("Ablation A8: static saturation bound vs simulated saturation"
+              " (%d-port %d-tree, 1 VL)\n", m, n);
+  TextTable table({"traffic", "scheme", "bottleneck load", "analytic bound",
+                   "simulated saturation", "sim/bound"});
+  struct Pattern {
+    const char* label;
+    TrafficKind kind;
+    double hot;
+  };
+  for (const Pattern& pattern :
+       {Pattern{"uniform", TrafficKind::kUniform, 0.0},
+        Pattern{"centric 20%", TrafficKind::kCentric, 0.20}}) {
+    const TrafficMatrix matrix =
+        pattern.kind == TrafficKind::kUniform
+            ? TrafficMatrix::uniform(nodes)
+            : TrafficMatrix::centric(nodes, 0, pattern.hot);
+    for (const SchemeKind kind : {SchemeKind::kSlid, SchemeKind::kMlid}) {
+      const Subnet subnet(fabric, kind);
+      const LoadAnalysis analysis(fabric, subnet.scheme(), subnet.routes());
+      LoadSummary summary = analysis.summarize(analysis.predict(matrix));
+      // The terminal links (load = column sum) can dominate under centric
+      // matrices; fold them in for an honest bound.
+      for (const PredictedLoad& entry : analysis.predict(matrix)) {
+        summary.max_load = std::max(summary.max_load, entry.load);
+      }
+      summary.saturation_bound = std::min(1.0, 1.0 / summary.max_load);
+      const TrafficConfig traffic{pattern.kind, pattern.hot, 0,
+                                  opts.seed() ^ 0xAB8u};
+      const double sat = find_saturation_load(subnet, cfg, traffic,
+                                              /*slack=*/0.08);
+      table.add_row({pattern.label, std::string(to_string(kind)),
+                     TextTable::num(summary.max_load, 3),
+                     TextTable::num(summary.saturation_bound, 3),
+                     TextTable::num(sat, 3),
+                     TextTable::num(sat / summary.saturation_bound, 3)});
+    }
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts("\nExpected shape: simulated saturation <= analytic bound (up to"
+            " the 8% bisection slack)\nfor every row; the remaining gap is"
+            " the one-packet credit-loop overhead (roughly the\n256/396"
+            " factor at these constants).  MLID tracks its bound under"
+            " centric traffic\nbecause the terminal link is the sole"
+            " bottleneck; SLID leaves ~17% on the table by\nfunnelling the"
+            " descent.");
+  return 0;
+}

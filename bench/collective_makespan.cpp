@@ -1,0 +1,65 @@
+// Ablation A9: collective exchange makespans (closed-loop bursts).
+//
+// The paper motivates MLID with cluster workloads; this bench measures the
+// completion time of canonical MPI-style exchanges -- all-to-all, gather,
+// scatter, ring shift -- under SLID and MLID on one network.
+#include <cstdio>
+
+#include "common/text_table.hpp"
+#include "harness/cli.hpp"
+#include "sim/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlid;
+  const CliOptions opts(argc, argv);
+  const int m = 8, n = 2;
+  const FatTreeFabric fabric{FatTreeParams(m, n)};
+  const std::uint32_t nodes = fabric.params().num_nodes();
+  const Subnet slid(fabric, SchemeKind::kSlid);
+  const Subnet mlid(fabric, SchemeKind::kMlid);
+  const std::uint32_t bytes = opts.quick() ? 512 : 4096;
+
+  struct Workload {
+    std::string label;
+    std::vector<MessageSpec> messages;
+  };
+  const Workload workloads[] = {
+      {"all-to-all", all_to_all_personalized(nodes, bytes)},
+      {"gather(0)", gather_to(nodes, 0, bytes)},
+      {"scatter(0)", scatter_from(nodes, 0, bytes)},
+      {"ring +1", ring_shift(nodes, 1, bytes)},
+      {"ring +N/2", ring_shift(nodes, nodes / 2, bytes)},
+      {"permutation", random_permutation(nodes, bytes, opts.seed())},
+  };
+
+  std::printf("Ablation A9: collective makespans, %d-port %d-tree (%u"
+              " nodes), %u B messages, 1 VL\n",
+              m, n, nodes, bytes);
+  TextTable table({"collective", "msgs", "SLID makespan ns",
+                   "MLID makespan ns", "SLID/MLID", "MLID goodput B/ns"});
+  for (const Workload& workload : workloads) {
+    SimConfig cfg;
+    cfg.seed = opts.seed();
+    const BurstResult s =
+        Simulation(slid, cfg, workload.messages).run_to_completion();
+    const BurstResult q =
+        Simulation(mlid, cfg, workload.messages).run_to_completion();
+    table.add_row(
+        {workload.label, std::to_string(workload.messages.size()),
+         std::to_string(s.makespan_ns), std::to_string(q.makespan_ns),
+         TextTable::num(static_cast<double>(s.makespan_ns) /
+                            static_cast<double>(q.makespan_ns),
+                        3) +
+             "x",
+         TextTable::num(q.aggregate_bytes_per_ns(), 3)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts("\nExpected shape: MLID clearly wins gather (its subgroup"
+            " spreading relieves the\nconvergence *before* the root's"
+            " terminal link); scatter and dense symmetric\nexchanges"
+            " (all-to-all, rings) are NIC- or symmetry-bound and tie; a"
+            " single random\npermutation is a coin flip between the two"
+            " static hashes (src-rank vs dest-digit)\n-- vary --seed to see"
+            " both outcomes.");
+  return 0;
+}

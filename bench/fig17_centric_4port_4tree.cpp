@@ -1,0 +1,11 @@
+// Reproduces paper Figure 17: centric traffic on a 4-port 4-tree
+// (SLID vs MLID, VL in {1, 2, 4}, average latency vs accepted traffic).
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  return mlid::bench::run_figure_main(
+      argc, argv,
+      mlid::bench::paper_figure(
+          "Figure 17: centric traffic, 4-port 4-tree", 4, 4,
+          mlid::TrafficKind::kCentric));
+}

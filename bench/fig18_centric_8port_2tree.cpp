@@ -1,0 +1,11 @@
+// Reproduces paper Figure 18: centric traffic on a 8-port 2-tree
+// (SLID vs MLID, VL in {1, 2, 4}, average latency vs accepted traffic).
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  return mlid::bench::run_figure_main(
+      argc, argv,
+      mlid::bench::paper_figure(
+          "Figure 18: centric traffic, 8-port 2-tree", 8, 2,
+          mlid::TrafficKind::kCentric));
+}

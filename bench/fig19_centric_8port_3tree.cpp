@@ -1,0 +1,11 @@
+// Reproduces paper Figure 19: centric traffic on a 8-port 3-tree
+// (SLID vs MLID, VL in {1, 2, 4}, average latency vs accepted traffic).
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  return mlid::bench::run_figure_main(
+      argc, argv,
+      mlid::bench::paper_figure(
+          "Figure 19: centric traffic, 8-port 3-tree", 8, 3,
+          mlid::TrafficKind::kCentric));
+}

@@ -1,0 +1,58 @@
+#include "figure_common.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "harness/cli.hpp"
+#include "harness/report.hpp"
+
+namespace mlid::bench {
+
+FigureSpec paper_figure(std::string title, int m, int n, TrafficKind traffic) {
+  FigureSpec spec;
+  spec.title = std::move(title);
+  spec.m = m;
+  spec.n = n;
+  spec.traffic.kind = traffic;
+  spec.traffic.hot_fraction = 0.20;  // the paper's "20% centric" pattern
+  spec.traffic.hot_node = 0;
+  return spec;
+}
+
+int run_figure_main(int argc, char** argv, FigureSpec spec) {
+  const CliOptions opts(argc, argv);
+  opts.apply(spec);
+  const auto start = std::chrono::steady_clock::now();
+  const auto points = run_figure(spec, opts.threads());
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  std::fputs(render_figure_table(spec, points).c_str(), stdout);
+  std::fputs("\n", stdout);
+  std::fputs(render_figure_summary(spec, points).c_str(), stdout);
+  if (opts.csv()) {
+    std::fputs("\n", stdout);
+    std::fputs(render_figure_csv(spec, points).c_str(), stdout);
+  }
+  if (opts.json()) {
+    std::fputs("\n", stdout);
+    std::fputs(to_json(spec, points).c_str(), stdout);
+    std::fputs("\n", stdout);
+  }
+  if (!opts.out_path().empty()) {
+    std::ofstream csv(opts.out_path() + ".csv");
+    csv << render_figure_csv(spec, points);
+    if (opts.json()) {
+      std::ofstream json(opts.out_path() + ".json");
+      json << to_json(spec, points) << "\n";
+    }
+    std::printf("\n(wrote %s.csv%s)\n", opts.out_path().c_str(),
+                opts.json() ? " and .json" : "");
+  }
+  std::printf("\n(%zu simulations in %.1f s%s)\n", points.size(), elapsed,
+              opts.quick() ? ", --quick mode" : "");
+  return 0;
+}
+
+}  // namespace mlid::bench

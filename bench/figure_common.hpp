@@ -1,0 +1,20 @@
+// Shared driver for the per-figure reproduction binaries (Figures 12-19).
+//
+// Each binary declares its FigureSpec (network size + traffic pattern) and
+// delegates here; the driver applies CLI flags, runs the sweep grid
+// (SLID/MLID x VL 1/2/4 x offered load) and prints the paper-style series,
+// a summary with MLID/SLID throughput ratios, and optionally CSV.
+#pragma once
+
+#include "harness/sweep.hpp"
+
+namespace mlid::bench {
+
+/// Builds the spec shared by all figures: timing defaults from DESIGN.md,
+/// the paper's VL grid {1, 2, 4}, and both schemes.
+FigureSpec paper_figure(std::string title, int m, int n, TrafficKind traffic);
+
+/// Runs one figure end to end; returns the process exit code.
+int run_figure_main(int argc, char** argv, FigureSpec spec);
+
+}  // namespace mlid::bench

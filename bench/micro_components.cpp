@@ -1,0 +1,154 @@
+// Component microbenchmarks (google-benchmark): the building blocks whose
+// cost determines how large a network the simulator can sweep.
+#include <benchmark/benchmark.h>
+
+#include "routing/fat_tree_routing.hpp"
+#include "routing/load_analysis.hpp"
+#include "routing/path.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace mlid;
+
+void BM_LftLookup(benchmark::State& state) {
+  const FatTreeParams p(8, 3);
+  const MlidRouting scheme(p);
+  const Lft lft = scheme.build_lft(0);
+  Lid lid = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lft.lookup(lid));
+    lid = lid % scheme.max_lid() + 1;
+  }
+}
+BENCHMARK(BM_LftLookup);
+
+void BM_OutputPortClosedForm(benchmark::State& state) {
+  // Equation (1)/(2) evaluation, the SM-side cost per LFT entry.
+  const FatTreeParams p(8, 3);
+  const MlidRouting scheme(p);
+  const SwitchLabel sw = switch_from_id(p, p.num_switches() - 1);
+  Lid lid = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.output_port(sw, lid));
+    lid = lid % scheme.max_lid() + 1;
+  }
+}
+BENCHMARK(BM_OutputPortClosedForm);
+
+void BM_BuildLft(benchmark::State& state) {
+  const FatTreeParams p(static_cast<int>(state.range(0)),
+                        static_cast<int>(state.range(1)));
+  const MlidRouting scheme(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.build_lft(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          scheme.max_lid());
+}
+BENCHMARK(BM_BuildLft)->Args({4, 3})->Args({8, 3})->Args({16, 2});
+
+void BM_SelectDlid(benchmark::State& state) {
+  const FatTreeParams p(8, 3);
+  const MlidRouting scheme(p);
+  NodeId src = 0, dst = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.select_dlid(src, dst));
+    src = (src + 1) % p.num_nodes();
+    dst = (dst + 7) % p.num_nodes();
+  }
+}
+BENCHMARK(BM_SelectDlid);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  EventQueue q;
+  SimTime t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      q.push(t + (i * 37) % 1000, EventKind::kTryTx, 0);
+    }
+    for (int i = 0; i < 64; ++i) {
+      benchmark::DoNotOptimize(q.pop());
+    }
+    t += 1000;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_TracePath(benchmark::State& state) {
+  const FatTreeFabric fabric{FatTreeParams(8, 3)};
+  const MlidRouting scheme(fabric.params());
+  const CompiledRoutes routes(fabric, scheme);
+  NodeId src = 0, dst = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trace_path(fabric, routes, src, scheme.select_dlid(src, dst)));
+    src = (src + 1) % fabric.params().num_nodes();
+    dst = (dst + 7) % fabric.params().num_nodes();
+  }
+}
+BENCHMARK(BM_TracePath);
+
+void BM_SubnetBringUp(benchmark::State& state) {
+  const FatTreeFabric fabric{
+      FatTreeParams(static_cast<int>(state.range(0)),
+                    static_cast<int>(state.range(1)))};
+  for (auto _ : state) {
+    const Subnet subnet(fabric, SchemeKind::kMlid);
+    benchmark::DoNotOptimize(subnet.init_stats());
+  }
+}
+BENCHMARK(BM_SubnetBringUp)->Args({4, 3})->Args({8, 3});
+
+void BM_SimulationEventsPerSecond(benchmark::State& state) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  SimConfig cfg;
+  cfg.warmup_ns = 2'000;
+  cfg.measure_ns = 20'000;
+  std::uint64_t events = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = seed++;
+    Simulation sim(subnet, cfg, {TrafficKind::kUniform, 0.2, 0, seed}, 0.6);
+    const SimResult r = sim.run();
+    events += r.events_processed;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_SimulationEventsPerSecond);
+
+void BM_BurstAllToAll(benchmark::State& state) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const auto workload = all_to_all_personalized(16, 512);
+  std::uint64_t packets = 0;
+  for (auto _ : state) {
+    SimConfig cfg;
+    Simulation sim(subnet, cfg, workload);
+    const BurstResult r = sim.run_to_completion();
+    packets += r.packets;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(packets));
+}
+BENCHMARK(BM_BurstAllToAll);
+
+void BM_LoadAnalysisPredict(benchmark::State& state) {
+  const FatTreeFabric fabric{FatTreeParams(8, 2)};
+  const MlidRouting scheme(fabric.params());
+  const CompiledRoutes routes(fabric, scheme);
+  const LoadAnalysis analysis(fabric, scheme, routes);
+  const TrafficMatrix matrix =
+      TrafficMatrix::uniform(fabric.params().num_nodes());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis.predict(matrix));
+  }
+}
+BENCHMARK(BM_LoadAnalysisPredict);
+
+}  // namespace
+
+BENCHMARK_MAIN();

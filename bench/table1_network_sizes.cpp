@@ -1,0 +1,39 @@
+// Reproduces paper Table 1: the simulated m-port n-tree network sizes,
+// extended with the derived routing constants (LMC, paths per pair) and the
+// SM bring-up cost measured on the constructed fabric.
+#include <cstdio>
+
+#include "common/text_table.hpp"
+#include "subnet/subnet.hpp"
+#include "topology/validate.hpp"
+
+int main() {
+  using namespace mlid;
+  TextTable table({"m", "n", "nodes", "switches", "links", "LMC",
+                   "paths/pair", "LIDs used", "LFT entries", "SM probes"});
+  const std::pair<int, int> grid[] = {{4, 2}, {4, 3}, {4, 4}, {8, 2},
+                                      {8, 3}, {16, 2}, {32, 2}};
+  for (const auto& [m, n] : grid) {
+    const FatTreeFabric fabric{FatTreeParams(m, n)};
+    const auto report = validate_fat_tree(fabric);
+    if (!report.ok()) {
+      std::fprintf(stderr, "fabric %d-port %d-tree failed validation: %s\n",
+                   m, n, report.problems.front().c_str());
+      return 1;
+    }
+    const Subnet subnet(fabric, SchemeKind::kMlid);
+    const SubnetInitStats& stats = subnet.init_stats();
+    table.add_row({std::to_string(m), std::to_string(n),
+                   std::to_string(fabric.params().num_nodes()),
+                   std::to_string(fabric.params().num_switches()),
+                   std::to_string(fabric.fabric().num_links()),
+                   std::to_string(int(fabric.params().mlid_lmc())),
+                   std::to_string(fabric.params().paths_per_pair()),
+                   std::to_string(stats.lids_assigned),
+                   std::to_string(stats.lft_entries_programmed),
+                   std::to_string(stats.discovery_probes)});
+  }
+  std::puts("Table 1: simulated m-port n-tree InfiniBand networks");
+  std::fputs(table.to_string().c_str(), stdout);
+  return 0;
+}

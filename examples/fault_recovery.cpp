@@ -1,0 +1,72 @@
+// Fault recovery walk-through: what a Subnet Manager does when a cable
+// dies.
+//
+//   1. Healthy fabric, closed-form MLID tables: everything routes.
+//   2. A link fails: the stale tables now drop traffic (measured).
+//   3. SM re-sweep with the BFS up*/down* engine: traffic flows again,
+//      with slightly longer detour paths.
+//
+//   $ ./fault_recovery [m] [n]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "routing/updown.hpp"
+#include "sim/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlid;
+  const int m = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int n = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  SimConfig cfg;
+  const TrafficConfig traffic{TrafficKind::kUniform, 0.2, 0, 7};
+  auto run = [&](const Subnet& subnet) {
+    return Simulation(subnet, cfg, traffic, 0.5).run();
+  };
+
+  // 1. Healthy fabric.
+  FatTreeFabric fabric{FatTreeParams(m, n)};
+  {
+    const Subnet subnet(fabric, SchemeKind::kMlid);
+    const SimResult r = run(subnet);
+    std::printf("healthy fabric, MLID tables:   accepted %.4f B/ns/node, "
+                "%llu dropped\n",
+                r.accepted_bytes_per_ns_per_node,
+                static_cast<unsigned long long>(r.packets_dropped));
+  }
+
+  // 2. A middle-layer uplink dies; the old tables are now stale.
+  const SwitchLabel victim = SwitchLabel::from_index(fabric.params(), 1, 0);
+  const auto dead_port = static_cast<PortId>(fabric.params().half() + 1);
+  fabric.mutable_fabric().disconnect(
+      fabric.switch_device(victim.switch_id(fabric.params())), dead_port);
+  std::printf("\n*** link failure: %s port %d went down ***\n\n",
+              victim.to_string().c_str(), int(dead_port));
+  {
+    const Subnet subnet(fabric, SchemeKind::kMlid);  // stale closed forms
+    const SimResult r = run(subnet);
+    std::printf("stale MLID tables:             accepted %.4f B/ns/node, "
+                "%llu dropped\n",
+                r.accepted_bytes_per_ns_per_node,
+                static_cast<unsigned long long>(r.packets_dropped));
+  }
+
+  // 3. SM re-sweep: recompute BFS-based up*/down* tables on what is left.
+  {
+    auto updn = std::make_unique<UpDownRouting>(
+        fabric, fabric.params().mlid_lmc());
+    std::printf("SM re-sweep (UPDN, LMC %d):    %s\n",
+                int(fabric.params().mlid_lmc()),
+                updn->fully_connected() ? "all nodes still reachable"
+                                        : "fabric partitioned!");
+    const Subnet subnet(fabric, std::move(updn));
+    const SimResult r = run(subnet);
+    std::printf("recomputed tables:             accepted %.4f B/ns/node, "
+                "%llu dropped, avg latency %.1f ns\n",
+                r.accepted_bytes_per_ns_per_node,
+                static_cast<unsigned long long>(r.packets_dropped),
+                r.avg_latency_ns);
+  }
+  return 0;
+}

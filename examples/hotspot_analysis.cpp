@@ -1,0 +1,70 @@
+// Hot-spot analysis: the scenario from the paper's Figures 8/9.
+//
+// All other nodes flood one destination; we compare SLID and MLID at the
+// routing level (which least common ancestors carry the flows) and at the
+// simulation level (accepted traffic and latency across hot fractions).
+//
+//   $ ./hotspot_analysis [m] [n] [hot_node]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "common/text_table.hpp"
+#include "routing/path.hpp"
+#include "sim/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlid;
+  const int m = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int n = argc > 2 ? std::atoi(argv[2]) : 2;
+  const FatTreeFabric fabric{FatTreeParams(m, n)};
+  const auto hot = argc > 3 ? static_cast<NodeId>(std::atoi(argv[3]))
+                            : NodeId{0};
+
+  const Subnet slid(fabric, SchemeKind::kSlid);
+  const Subnet mlid(fabric, SchemeKind::kMlid);
+
+  // Routing-level view: how many distinct flows cross each root on the way
+  // to the hot node?  (The paper's Figure 9a vs 9b, quantified.)
+  std::printf("flows towards %s crossing each root switch:\n",
+              fabric.node_label(hot).to_string().c_str());
+  for (const auto* subnet : {&slid, &mlid}) {
+    std::map<std::string, int> per_root;
+    for (NodeId src = 0; src < fabric.params().num_nodes(); ++src) {
+      if (src == hot) continue;
+      const PathTrace trace = trace_path(fabric, subnet->routes(), src,
+                                         subnet->select_dlid(src, hot));
+      for (std::size_t i = 1; i < trace.hops.size(); ++i) {
+        const Device& dev = fabric.fabric().device(trace.hops[i].device);
+        if (dev.kind() == DeviceKind::kSwitch &&
+            fabric.switch_label(dev.switch_id).level() == 0) {
+          ++per_root[dev.name()];
+        }
+      }
+    }
+    std::printf("  %-4s:", std::string(subnet->scheme().name()).c_str());
+    for (const auto& [name, count] : per_root) {
+      std::printf("  %s x%d", name.c_str(), count);
+    }
+    std::printf("\n");
+  }
+
+  // Simulation-level view across hot fractions.
+  std::printf("\nsimulated accepted traffic (bytes/ns/node) at offered load"
+              " 0.9, 1 VL:\n");
+  TextTable table({"hot fraction", "SLID", "MLID", "MLID/SLID"});
+  for (const double h : {0.10, 0.20, 0.40}) {
+    SimConfig cfg;
+    const TrafficConfig traffic{TrafficKind::kCentric, h, hot, 99};
+    const double s = Simulation(slid, cfg, traffic, 0.9)
+                         .run()
+                         .accepted_bytes_per_ns_per_node;
+    const double q = Simulation(mlid, cfg, traffic, 0.9)
+                         .run()
+                         .accepted_bytes_per_ns_per_node;
+    table.add_row({TextTable::num(h, 2), TextTable::num(s, 4),
+                   TextTable::num(q, 4), TextTable::num(q / s, 3) + "x"});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  return 0;
+}

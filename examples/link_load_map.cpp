@@ -1,0 +1,71 @@
+// Link-load map: the static LoadAnalysis prediction next to measured link
+// utilization from a low-load simulation, per directed link.
+//
+// Shows where a traffic pattern concentrates -- the tool you would reach
+// for before buying hardware or choosing a routing scheme.
+//
+//   $ ./link_load_map [m] [n] [hot_fraction]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "common/text_table.hpp"
+#include "routing/load_analysis.hpp"
+#include "sim/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlid;
+  const int m = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int n = argc > 2 ? std::atoi(argv[2]) : 3;
+  const double hot = argc > 3 ? std::atof(argv[3]) : 0.5;
+
+  const FatTreeFabric fabric{FatTreeParams(m, n)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const std::uint32_t nodes = fabric.params().num_nodes();
+
+  // Analytic prediction.
+  const LoadAnalysis analysis(fabric, subnet.scheme(), subnet.routes());
+  const auto predicted =
+      analysis.predict(TrafficMatrix::centric(nodes, 0, hot));
+  std::map<std::pair<DeviceId, PortId>, double> predicted_by_link;
+  for (const PredictedLoad& entry : predicted) {
+    predicted_by_link[{entry.dev, entry.port}] = entry.load;
+  }
+
+  // Low-load measurement (queueing negligible, utilization tracks load).
+  SimConfig cfg;
+  const double load = 0.15;
+  Simulation sim(subnet, cfg, {TrafficKind::kCentric, hot, 0, 11}, load);
+  sim.run();
+
+  // Top-10 busiest links side by side.
+  auto measured = sim.link_loads();
+  std::sort(measured.begin(), measured.end(),
+            [](const LinkLoad& a, const LinkLoad& b) {
+              return a.busy_fraction > b.busy_fraction;
+            });
+  std::printf("MLID on a %d-port %d-tree, %.0f%%-centric toward %s, offered"
+              " load %.2f\n\n",
+              m, n, hot * 100.0,
+              fabric.fabric().device(fabric.node_device(0)).name().c_str(),
+              load);
+  TextTable table({"link (transmitting device:port)", "measured util",
+                   "predicted flow-units", "predicted util @ this load"});
+  for (std::size_t i = 0; i < 10 && i < measured.size(); ++i) {
+    const LinkLoad& link = measured[i];
+    const double flows = predicted_by_link[{link.dev, link.port}];
+    table.add_row(
+        {fabric.fabric().device(link.dev).name() + ":" +
+             std::to_string(int(link.port)),
+         TextTable::num(link.busy_fraction, 3), TextTable::num(flows, 2),
+         // Each flow unit is one node's injection = `load` B/ns on 1 B/ns
+         // links, so predicted utilization is simply flows * load.
+         TextTable::num(std::min(1.0, flows * load), 3)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts("\nThe measured column should track the prediction within the"
+            " credit-loop overhead;\nthe hot node's terminal link tops both"
+            " rankings.");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Topology explorer: dump an IBFT(m, n) in several formats.
+//
+//   $ ./topology_explorer 4 3                 # human-readable summary
+//   $ ./topology_explorer 4 3 --dot           # Graphviz
+//   $ ./topology_explorer 4 3 --links         # CSV link list
+//   $ ./topology_explorer 4 3 --lft 5         # LFT of switch id 5 (MLID)
+//   $ ./topology_explorer 4 3 --path 0 15     # every MLID path 0 -> 15
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "routing/path.hpp"
+#include "routing/fat_tree_routing.hpp"
+#include "topology/export.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlid;
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <m> <n> [--dot|--links|--lft <sw>|--path <src> "
+                 "<dst>]\n",
+                 argv[0]);
+    return 2;
+  }
+  const FatTreeParams params(std::atoi(argv[1]), std::atoi(argv[2]));
+  const FatTreeFabric fabric(params);
+
+  if (argc == 3) {
+    std::fputs(describe(fabric).c_str(), stdout);
+    return 0;
+  }
+  if (std::strcmp(argv[3], "--dot") == 0) {
+    std::fputs(to_dot(fabric).c_str(), stdout);
+    return 0;
+  }
+  if (std::strcmp(argv[3], "--links") == 0) {
+    std::fputs(links_csv(fabric).c_str(), stdout);
+    return 0;
+  }
+  if (std::strcmp(argv[3], "--lft") == 0 && argc >= 5) {
+    const auto sw = static_cast<SwitchId>(std::atoi(argv[4]));
+    const MlidRouting scheme(params);
+    const Lft lft = scheme.build_lft(sw);
+    std::printf("LFT of %s (MLID):\nDLID  out port\n",
+                fabric.switch_label(sw).to_string().c_str());
+    for (Lid lid = 1; lid <= scheme.max_lid(); ++lid) {
+      std::printf("%4u  %u%s\n", lid, unsigned(lft.lookup(lid)),
+                  lid == scheme.lids_of(scheme.node_of_lid(lid)).base()
+                      ? "   <- base LID"
+                      : "");
+    }
+    return 0;
+  }
+  if (std::strcmp(argv[3], "--path") == 0 && argc >= 6) {
+    const auto src = static_cast<NodeId>(std::atoi(argv[4]));
+    const auto dst = static_cast<NodeId>(std::atoi(argv[5]));
+    const MlidRouting scheme(params);
+    const CompiledRoutes routes(fabric, scheme);
+    const LidRange lids = scheme.lids_of(dst);
+    std::printf("all %u LID-selected paths %s -> %s (chosen DLID: %u):\n",
+                lids.count(), fabric.node_label(src).to_string().c_str(),
+                fabric.node_label(dst).to_string().c_str(),
+                scheme.select_dlid(src, dst));
+    for (Lid lid = lids.base(); lid <= lids.last(); ++lid) {
+      const PathTrace trace = trace_path(fabric, routes, src, lid);
+      std::printf("  DLID %-3u: %s\n", lid, to_string(fabric, trace).c_str());
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "unknown mode %s\n", argv[3]);
+  return 2;
+}

@@ -1,0 +1,49 @@
+// Lightweight precondition / invariant checking.
+//
+// MLID_EXPECT is always on (cheap pointer-free checks guarding API
+// contracts); MLID_ASSERT compiles away in release builds and guards
+// internal invariants on hot paths.  Violations throw ContractViolation so
+// tests can assert on misuse without aborting the process.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace mlid {
+
+/// Thrown when a checked precondition or invariant fails.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* expr, const char* what,
+                    const std::source_location& loc)
+      : std::logic_error(std::string(loc.file_name()) + ":" +
+                         std::to_string(loc.line()) + ": contract `" + expr +
+                         "` violated" +
+                         (what && *what ? std::string(": ") + what : "")) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* expr, const char* what,
+                                       const std::source_location& loc) {
+  throw ContractViolation(expr, what, loc);
+}
+}  // namespace detail
+
+}  // namespace mlid
+
+#define MLID_EXPECT(cond, msg)                                       \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::mlid::detail::contract_fail(#cond, msg,                      \
+                                    std::source_location::current()); \
+    }                                                                \
+  } while (0)
+
+#if defined(NDEBUG) && !defined(MLID_CHECKED_BUILD)
+#define MLID_ASSERT(cond, msg) \
+  do {                         \
+  } while (0)
+#else
+#define MLID_ASSERT(cond, msg) MLID_EXPECT(cond, msg)
+#endif

@@ -1,0 +1,55 @@
+// Small integer math helpers used by the label algebra and LID arithmetic.
+#pragma once
+
+#include <cstdint>
+
+#include "common/expect.hpp"
+
+namespace mlid {
+
+/// True iff v is a power of two (0 is not).
+constexpr bool is_pow2(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// Floor of log2(v); requires v > 0.
+constexpr int ilog2(std::uint64_t v) {
+  MLID_EXPECT(v > 0, "ilog2 of zero");
+  int r = 0;
+  while (v >>= 1) ++r;
+  return r;
+}
+
+/// Exact log2 for powers of two.
+constexpr int ilog2_exact(std::uint64_t v) {
+  MLID_EXPECT(is_pow2(v), "ilog2_exact requires a power of two");
+  return ilog2(v);
+}
+
+/// base^exp for small integers with overflow guard.
+constexpr std::uint64_t ipow(std::uint64_t base, int exp) {
+  MLID_EXPECT(exp >= 0, "negative exponent");
+  std::uint64_t r = 1;
+  for (int i = 0; i < exp; ++i) {
+    MLID_EXPECT(base == 0 || r <= UINT64_MAX / (base ? base : 1),
+                "ipow overflow");
+    r *= base;
+  }
+  return r;
+}
+
+/// Ceiling division for non-negative integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  MLID_EXPECT(b > 0, "division by zero");
+  return (a + b - 1) / b;
+}
+
+/// Digit `index` (0 = least significant) of `value` in the given radix.
+constexpr std::uint32_t radix_digit(std::uint64_t value, std::uint32_t radix,
+                                    int index) {
+  MLID_EXPECT(radix >= 2, "radix must be >= 2");
+  for (int i = 0; i < index; ++i) value /= radix;
+  return static_cast<std::uint32_t>(value % radix);
+}
+
+}  // namespace mlid

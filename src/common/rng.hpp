@@ -1,0 +1,102 @@
+// Deterministic, fast pseudo-random generators for the simulator.
+//
+// Simulation reproducibility is a hard requirement (the test suite asserts
+// bit-identical reruns), so we avoid std::mt19937's platform-inconsistent
+// seeding helpers and implement SplitMix64 (for seeding / stream splitting)
+// and xoshiro256** (for bulk draws).  Both are public-domain algorithms by
+// Blackman & Vigna.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/expect.hpp"
+
+namespace mlid {
+
+/// SplitMix64: tiny generator used to expand one 64-bit seed into
+/// independent streams (one per endnode, one per traffic pattern, ...).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the workhorse generator for destination selection and
+/// traffic randomness.  State is seeded via SplitMix64 so that any 64-bit
+/// seed (including 0) yields a valid state.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return UINT64_MAX; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Unbiased draw from [0, bound) via Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    MLID_ASSERT(bound > 0, "empty range");
+    // Fast path without 128-bit rejection is fine for bound << 2^64, but we
+    // keep the exact method: determinism matters more than nanoseconds here.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform draw from the closed range [lo, hi].
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept {
+    MLID_ASSERT(lo <= hi, "inverted range");
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with the given probability.
+  bool chance(double p) noexcept { return uniform01() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace mlid

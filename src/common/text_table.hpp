@@ -1,0 +1,34 @@
+// Console table / CSV formatting for the experiment harness output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mlid {
+
+/// Row-oriented text table with right-aligned numeric-looking cells.
+/// Rendered either as an aligned console table or as CSV.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Pretty fixed-width rendering with a header separator line.
+  [[nodiscard]] std::string to_string() const;
+
+  /// RFC-4180-ish CSV rendering (quotes cells containing , " or newline).
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const { return header_.size(); }
+
+  /// Format a double with the given number of decimals ("-" for NaN).
+  static std::string num(double v, int decimals = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mlid

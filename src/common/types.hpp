@@ -1,0 +1,58 @@
+// Fundamental identifier and time types shared by every subsystem.
+//
+// All identifiers are small integer handles into dense arrays owned by the
+// subsystem that mints them (Core Guidelines: prefer value types; indices
+// over pointers for bulk data).  Sentinel values mark "no such object".
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mlid {
+
+/// Dense index of a device (endnode or switch) inside a Fabric.
+using DeviceId = std::uint32_t;
+
+/// Dense index of a processing node (endnode), ordered by PID.
+using NodeId = std::uint32_t;
+
+/// Dense index of a switch, ordered by (level, index-in-level).
+using SwitchId = std::uint32_t;
+
+/// Physical port number on a device.  Port 0 of an InfiniBand switch is the
+/// internal management port; external ports are 1..m.  Endnodes expose one
+/// endport, numbered 1.
+using PortId = std::uint8_t;
+
+/// InfiniBand Local Identifier.  LID 0 is reserved (never assigned); the
+/// architectural LID space is 16 bits.
+using Lid = std::uint32_t;
+
+/// LID Mask Control: number of low-order LID bits that select one of the
+/// 2^LMC paths to an endport.  IBA allows 0..7 (3-bit field).
+using Lmc = std::uint8_t;
+
+/// Virtual lane index.  IBA supports VL0..VL14 for data plus VL15 for
+/// management; this model uses data VLs only.
+using VlId = std::uint8_t;
+
+/// Simulated time in nanoseconds.
+using SimTime = std::int64_t;
+
+inline constexpr DeviceId kInvalidDevice = std::numeric_limits<DeviceId>::max();
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr SwitchId kInvalidSwitch = std::numeric_limits<SwitchId>::max();
+inline constexpr PortId kInvalidPort = std::numeric_limits<PortId>::max();
+inline constexpr Lid kInvalidLid = 0;  // LID 0 is architecturally reserved.
+inline constexpr SimTime kSimTimeNever = std::numeric_limits<SimTime>::max();
+
+/// Maximum tree height supported by the fixed-capacity label types.  An
+/// m-port n-tree with n = 8 and m = 4 already has 512 endnodes; larger n is
+/// out of scope for the paper's experiments but the limit is a compile-time
+/// constant that can be raised freely.
+inline constexpr int kMaxTreeHeight = 8;
+
+/// 16-bit LID space bound from the IBA specification.
+inline constexpr Lid kMaxLidSpace = 0xFFFF;
+
+}  // namespace mlid

@@ -1,0 +1,30 @@
+#include "harness/cli.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace mlid {
+
+CliOptions::CliOptions(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--quick") {
+      quick_ = true;
+    } else if (arg == "--csv") {
+      csv_ = true;
+    } else if (arg == "--json") {
+      json_ = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_ = std::string(arg.substr(6));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed_ = std::strtoull(arg.data() + 7, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads_ = static_cast<unsigned>(
+          std::strtoul(arg.data() + 10, nullptr, 10));
+    } else {
+      positional_.emplace_back(arg);
+    }
+  }
+}
+
+}  // namespace mlid

@@ -1,0 +1,55 @@
+// Minimal CLI flag handling shared by the bench / example executables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mlid {
+
+/// Parses the tiny flag language the harness binaries accept:
+///   --quick            shrink windows & load grid (CI-friendly)
+///   --seed=N           master seed
+///   --csv              also print the CSV block
+///   --json             also print a JSON result blob
+///   --out=PATH         also write the CSV (and JSON if --json) to files
+///                      PATH.csv / PATH.json
+///   --threads=N        worker threads for the sweep
+class CliOptions {
+ public:
+  CliOptions(int argc, char** argv);
+
+  [[nodiscard]] bool quick() const noexcept { return quick_; }
+  [[nodiscard]] bool csv() const noexcept { return csv_; }
+  [[nodiscard]] bool json() const noexcept { return json_; }
+  [[nodiscard]] const std::string& out_path() const noexcept { return out_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Apply quick-mode shrinking to a figure spec (fewer loads, shorter
+  /// windows) so `--quick` runs finish in seconds.
+  template <typename FigureSpecT>
+  void apply(FigureSpecT& spec) const {
+    spec.sim.seed = seed_;
+    spec.traffic.seed = seed_ ^ 0x5EEDu;
+    if (quick_) {
+      spec.sim.warmup_ns = 5'000;
+      spec.sim.measure_ns = 20'000;
+      spec.loads = {0.10, 0.40, 0.80};
+    }
+  }
+
+ private:
+  bool quick_ = false;
+  bool csv_ = false;
+  bool json_ = false;
+  std::string out_;
+  std::uint64_t seed_ = 1;
+  unsigned threads_ = 0;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mlid

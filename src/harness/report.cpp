@@ -1,0 +1,218 @@
+#include "harness/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/expect.hpp"
+
+namespace mlid {
+
+void JsonWriter::separator() {
+  if (need_comma_) out_ += ',';
+  need_comma_ = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  MLID_EXPECT(stack_.empty() || pending_key_ || stack_.back() == '[',
+              "object needs a key inside an object");
+  separator();
+  pending_key_ = false;
+  out_ += '{';
+  stack_ += '{';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  MLID_EXPECT(!stack_.empty() && stack_.back() == '{' && !pending_key_,
+              "unbalanced end_object");
+  out_ += '}';
+  stack_.pop_back();
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  MLID_EXPECT(stack_.empty() || pending_key_ || stack_.back() == '[',
+              "array needs a key inside an object");
+  separator();
+  pending_key_ = false;
+  out_ += '[';
+  stack_ += '[';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  MLID_EXPECT(!stack_.empty() && stack_.back() == '[', "unbalanced end_array");
+  out_ += ']';
+  stack_.pop_back();
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  MLID_EXPECT(!stack_.empty() && stack_.back() == '{' && !pending_key_,
+              "key outside an object");
+  separator();
+  value(name);  // emits the quoted key
+  out_ += ':';
+  need_comma_ = false;
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  MLID_EXPECT(stack_.empty() || pending_key_ || stack_.back() == '[',
+              "value needs a key inside an object");
+  separator();
+  pending_key_ = false;
+  if (std::isfinite(v)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    out_ += buf;
+  } else {
+    out_ += "null";  // JSON has no NaN/Inf
+  }
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  MLID_EXPECT(stack_.empty() || pending_key_ || stack_.back() == '[',
+              "value needs a key inside an object");
+  separator();
+  pending_key_ = false;
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  MLID_EXPECT(stack_.empty() || pending_key_ || stack_.back() == '[',
+              "value needs a key inside an object");
+  separator();
+  pending_key_ = false;
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  MLID_EXPECT(stack_.empty() || pending_key_ || stack_.back() == '[',
+              "value needs a key inside an object");
+  separator();
+  pending_key_ = false;
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  const bool is_key = !pending_key_ && !stack_.empty() &&
+                      stack_.back() == '{';
+  if (!is_key) {
+    MLID_EXPECT(stack_.empty() || pending_key_ || stack_.back() == '[',
+                "value needs a key inside an object");
+    separator();
+  }
+  pending_key_ = false;
+  out_ += '"';
+  for (const char c : v) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+  if (!is_key) need_comma_ = true;
+  return *this;
+}
+
+namespace {
+
+void emit_sim_result_fields(JsonWriter& json, const SimResult& r) {
+  json.key("offered_load").value(r.offered_load);
+  json.key("accepted_bytes_per_ns_per_node")
+      .value(r.accepted_bytes_per_ns_per_node);
+  json.key("avg_latency_ns").value(r.avg_latency_ns);
+  json.key("avg_network_latency_ns").value(r.avg_network_latency_ns);
+  json.key("p50_latency_ns").value(r.p50_latency_ns);
+  json.key("p99_latency_ns").value(r.p99_latency_ns);
+  json.key("max_latency_ns").value(r.max_latency_ns);
+  json.key("packets_generated").value(r.packets_generated);
+  json.key("packets_delivered").value(r.packets_delivered);
+  json.key("packets_measured").value(r.packets_measured);
+  json.key("packets_dropped").value(r.packets_dropped);
+  json.key("avg_hops").value(r.avg_hops);
+  json.key("mean_link_utilization").value(r.mean_link_utilization);
+  json.key("max_link_utilization").value(r.max_link_utilization);
+  json.key("jain_fairness_index").value(r.jain_fairness_index);
+  json.key("delivered_per_vl").begin_array();
+  for (const std::uint64_t v : r.delivered_per_vl) json.value(v);
+  json.end_array();
+}
+
+}  // namespace
+
+std::string to_json(const SimResult& result) {
+  JsonWriter json;
+  json.begin_object();
+  emit_sim_result_fields(json, result);
+  json.end_object();
+  return json.str();
+}
+
+std::string to_json(const BurstResult& result) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("makespan_ns").value(static_cast<std::int64_t>(result.makespan_ns));
+  json.key("avg_message_latency_ns").value(result.avg_message_latency_ns);
+  json.key("max_message_latency_ns").value(result.max_message_latency_ns);
+  json.key("messages").value(result.messages);
+  json.key("packets").value(result.packets);
+  json.key("total_bytes").value(result.total_bytes);
+  json.key("aggregate_bytes_per_ns").value(result.aggregate_bytes_per_ns());
+  json.end_object();
+  return json.str();
+}
+
+std::string to_json(const FigureSpec& spec,
+                    const std::vector<SweepPoint>& points) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("title").value(spec.title);
+  json.key("m").value(spec.m);
+  json.key("n").value(spec.n);
+  json.key("traffic").value(to_string(spec.traffic.kind));
+  json.key("points").begin_array();
+  for (const SweepPoint& point : points) {
+    json.begin_object();
+    json.key("scheme").value(to_string(point.scheme));
+    json.key("vls").value(point.vls);
+    json.key("load").value(point.load);
+    emit_sim_result_fields(json, point.result);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace mlid

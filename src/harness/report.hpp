@@ -1,0 +1,56 @@
+// Machine-readable result export: hand-rolled JSON emission (no external
+// dependencies) for SimResult, BurstResult and whole figure sweeps, so
+// downstream tooling can plot without scraping the console tables.
+#pragma once
+
+#include <string>
+
+#include "harness/sweep.hpp"
+
+namespace mlid {
+
+/// Minimal JSON value builder sufficient for flat result records: objects,
+/// arrays, numbers, strings, booleans.  Output is deterministic (insertion
+/// order preserved) and ASCII-escaped.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Starts a keyed value inside an object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view v);
+  /// Prevents string literals from binding to the bool overload.
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+
+  [[nodiscard]] std::string str() const { return out_; }
+
+ private:
+  void separator();
+
+  std::string out_;
+  std::string stack_;      // '{' or '[' per nesting level
+  bool need_comma_ = false;
+  bool pending_key_ = false;
+};
+
+/// One simulation result as a JSON object.
+std::string to_json(const SimResult& result);
+
+/// One burst result as a JSON object.
+std::string to_json(const BurstResult& result);
+
+/// A whole figure sweep: {"title": ..., "points": [...]} with the series
+/// key (scheme, vls, load) embedded in every point.
+std::string to_json(const FigureSpec& spec,
+                    const std::vector<SweepPoint>& points);
+
+}  // namespace mlid

@@ -1,0 +1,221 @@
+#include "harness/sweep.hpp"
+
+#include <atomic>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "common/text_table.hpp"
+
+namespace mlid {
+
+std::vector<SweepPoint> run_figure(const FigureSpec& spec, unsigned threads) {
+  const FatTreeParams params(spec.m, spec.n);
+  const FatTreeFabric fabric(params);
+
+  // One subnet per scheme; simulations only read them.
+  std::vector<std::unique_ptr<Subnet>> subnets;
+  for (const SchemeKind scheme : spec.schemes) {
+    subnets.push_back(std::make_unique<Subnet>(fabric, scheme));
+  }
+
+  // Materialize the grid, then run the independent points on a small
+  // worker pool (the points differ wildly in cost, so dynamic work
+  // stealing via an atomic cursor beats static partitioning).
+  struct Job {
+    std::size_t subnet_index;
+    SweepPoint point;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t s = 0; s < spec.schemes.size(); ++s) {
+    for (const int vls : spec.vl_counts) {
+      for (const double load : spec.loads) {
+        jobs.push_back(Job{s, SweepPoint{spec.schemes[s], vls, load, {}}});
+      }
+    }
+  }
+
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(jobs.size()));
+
+  std::atomic<std::size_t> cursor{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      Job& job = jobs[i];
+      SimConfig cfg = spec.sim;
+      cfg.num_vls = job.point.vls;
+      // Decorrelate the RNG streams across grid points while keeping each
+      // point reproducible in isolation.
+      cfg.seed = spec.sim.seed * 1000003u + i;
+      TrafficConfig traffic = spec.traffic;
+      traffic.seed = spec.traffic.seed * 1000033u + i;
+      Simulation sim(*subnets[job.subnet_index], cfg, traffic,
+                     job.point.load);
+      job.point.result = sim.run();
+    }
+  };
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  std::vector<SweepPoint> points;
+  points.reserve(jobs.size());
+  for (auto& job : jobs) points.push_back(std::move(job.point));
+  return points;
+}
+
+double saturation_throughput(const std::vector<SweepPoint>& points,
+                             SchemeKind scheme, int vls) {
+  double best = 0.0;
+  for (const auto& p : points) {
+    if (p.scheme == scheme && p.vls == vls) {
+      best = std::max(best, p.result.accepted_bytes_per_ns_per_node);
+    }
+  }
+  return best;
+}
+
+double find_saturation_load(const Subnet& subnet, const SimConfig& cfg,
+                            const TrafficConfig& traffic, double slack,
+                            double tolerance) {
+  MLID_EXPECT(slack > 0.0 && slack < 1.0, "slack must be a fraction");
+  MLID_EXPECT(tolerance > 0.0 && tolerance < 1.0,
+              "tolerance must be a fraction");
+  auto keeps_up = [&](double load) {
+    Simulation sim(subnet, cfg, traffic, load);
+    const SimResult r = sim.run();
+    // Offered bytes/ns/node at this load (endnode links carry one byte per
+    // byte_time_ns at load 1.0).
+    const double offered =
+        load / static_cast<double>(cfg.byte_time_ns);
+    return r.accepted_bytes_per_ns_per_node >= (1.0 - slack) * offered;
+  };
+  double lo = tolerance;  // assume the network is not saturated at ~0 load
+  double hi = 1.0;
+  if (keeps_up(hi)) return hi;
+  if (!keeps_up(lo)) return 0.0;
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    (keeps_up(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+Replication replicate(const Subnet& subnet, const SimConfig& cfg,
+                      const TrafficConfig& traffic, double offered_load,
+                      int runs) {
+  MLID_EXPECT(runs >= 1, "need at least one replication");
+  Replication rep;
+  for (int i = 0; i < runs; ++i) {
+    SimConfig run_cfg = cfg;
+    run_cfg.seed = cfg.seed + static_cast<std::uint64_t>(i) * 7919u;
+    TrafficConfig run_traffic = traffic;
+    run_traffic.seed = traffic.seed + static_cast<std::uint64_t>(i) * 104729u;
+    Simulation sim(subnet, run_cfg, run_traffic, offered_load);
+    const SimResult r = sim.run();
+    rep.accepted.add(r.accepted_bytes_per_ns_per_node);
+    rep.avg_latency.add(r.avg_latency_ns);
+    ++rep.runs;
+  }
+  return rep;
+}
+
+namespace {
+
+std::string series_name(SchemeKind scheme, int vls) {
+  std::ostringstream os;
+  os << to_string(scheme) << " " << vls << "VL";
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_figure_table(const FigureSpec& spec,
+                                const std::vector<SweepPoint>& points) {
+  std::ostringstream os;
+  os << spec.title << "\n"
+     << spec.m << "-port " << spec.n << "-tree, "
+     << FatTreeParams(spec.m, spec.n).num_nodes() << " nodes, "
+     << to_string(spec.traffic.kind) << " traffic, " << spec.sim.packet_bytes
+     << "-byte packets\n";
+  TextTable table({"series", "offered", "accepted B/ns/node", "avg lat ns",
+                   "p99 lat ns", "avg hops", "max util", "delivered"});
+  for (const auto& p : points) {
+    const SimResult& r = p.result;
+    table.add_row({series_name(p.scheme, p.vls), TextTable::num(p.load, 2),
+                   TextTable::num(r.accepted_bytes_per_ns_per_node, 4),
+                   TextTable::num(r.avg_latency_ns, 1),
+                   TextTable::num(r.p99_latency_ns, 1),
+                   TextTable::num(r.avg_hops, 2),
+                   TextTable::num(r.max_link_utilization, 3),
+                   std::to_string(r.packets_measured)});
+  }
+  os << table.to_string();
+  return os.str();
+}
+
+std::string render_figure_csv(const FigureSpec& spec,
+                              const std::vector<SweepPoint>& points) {
+  TextTable table({"figure", "scheme", "vls", "offered_load",
+                   "accepted_bytes_per_ns_per_node", "avg_latency_ns",
+                   "p50_latency_ns", "p99_latency_ns", "avg_hops",
+                   "mean_link_utilization", "max_link_utilization",
+                   "packets_measured", "packets_dropped"});
+  for (const auto& p : points) {
+    const SimResult& r = p.result;
+    table.add_row({spec.title, std::string(to_string(p.scheme)),
+                   std::to_string(p.vls), TextTable::num(p.load, 3),
+                   TextTable::num(r.accepted_bytes_per_ns_per_node, 5),
+                   TextTable::num(r.avg_latency_ns, 2),
+                   TextTable::num(r.p50_latency_ns, 2),
+                   TextTable::num(r.p99_latency_ns, 2),
+                   TextTable::num(r.avg_hops, 3),
+                   TextTable::num(r.mean_link_utilization, 4),
+                   TextTable::num(r.max_link_utilization, 4),
+                   std::to_string(r.packets_measured),
+                   std::to_string(r.packets_dropped)});
+  }
+  return table.to_csv();
+}
+
+std::string render_figure_summary(const FigureSpec& spec,
+                                  const std::vector<SweepPoint>& points) {
+  std::ostringstream os;
+  TextTable table({"series", "saturation B/ns/node", "latency@lowest-load ns"});
+  std::map<int, std::pair<double, double>> ratio;  // vls -> (slid, mlid) sat
+  for (const SchemeKind scheme : spec.schemes) {
+    for (const int vls : spec.vl_counts) {
+      const double sat = saturation_throughput(points, scheme, vls);
+      double low_load_latency = 0.0;
+      double lowest = 2.0;
+      for (const auto& p : points) {
+        if (p.scheme == scheme && p.vls == vls && p.load < lowest) {
+          lowest = p.load;
+          low_load_latency = p.result.avg_latency_ns;
+        }
+      }
+      table.add_row({series_name(scheme, vls), TextTable::num(sat, 4),
+                     TextTable::num(low_load_latency, 1)});
+      if (scheme == SchemeKind::kSlid) ratio[vls].first = sat;
+      if (scheme == SchemeKind::kMlid) ratio[vls].second = sat;
+    }
+  }
+  os << table.to_string();
+  for (const auto& [vls, pair] : ratio) {
+    if (pair.first > 0.0 && pair.second > 0.0) {
+      os << "MLID/SLID saturation throughput @" << vls << "VL: "
+         << TextTable::num(pair.second / pair.first, 3) << "x\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mlid

@@ -1,0 +1,82 @@
+// Experiment harness: run the paper's (scheme x VL x offered-load) sweeps
+// and render latency-vs-accepted-traffic series like the paper's figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace mlid {
+
+/// One full figure: a network, a traffic pattern, and the series grid.
+struct FigureSpec {
+  std::string title;           ///< e.g. "Figure 12: uniform, 4-port 3-tree"
+  int m = 4;
+  int n = 3;
+  TrafficConfig traffic;
+  SimConfig sim;                            ///< VL count is overridden per series
+  std::vector<int> vl_counts = {1, 2, 4};   ///< paper: VL 1 / VL 2 / VL 4
+  std::vector<SchemeKind> schemes = {SchemeKind::kSlid, SchemeKind::kMlid};
+  std::vector<double> loads = kDefaultLoads();
+
+  static std::vector<double> kDefaultLoads() {
+    return {0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.65, 0.80, 0.95};
+  }
+};
+
+/// One sweep sample: the series key plus the simulation outcome.
+struct SweepPoint {
+  SchemeKind scheme = SchemeKind::kSlid;
+  int vls = 1;
+  double load = 0.0;
+  SimResult result;
+};
+
+/// Run the whole grid.  Independent simulations are distributed over
+/// `threads` worker threads (0 = hardware concurrency); results come back
+/// in deterministic grid order regardless of scheduling.
+std::vector<SweepPoint> run_figure(const FigureSpec& spec,
+                                   unsigned threads = 0);
+
+/// Saturation throughput of a finished sweep: the highest accepted traffic
+/// any load point of the given series reached.
+double saturation_throughput(const std::vector<SweepPoint>& points,
+                             SchemeKind scheme, int vls);
+
+/// Bisection search for the saturation point: the highest offered load at
+/// which accepted traffic still tracks the offered rate within `slack`
+/// (relative).  Runs O(log(1 / tolerance)) simulations.
+double find_saturation_load(const Subnet& subnet, const SimConfig& cfg,
+                            const TrafficConfig& traffic, double slack = 0.05,
+                            double tolerance = 0.02);
+
+/// Mean and spread of one metric across independent seeded replications.
+struct Replication {
+  OnlineStats accepted;     ///< bytes/ns/node
+  OnlineStats avg_latency;  ///< ns
+  int runs = 0;
+};
+
+/// Run `runs` simulations of one configuration with decorrelated seeds and
+/// accumulate the headline metrics -- the statistical backing for the
+/// EXPERIMENTS.md claims.
+Replication replicate(const Subnet& subnet, const SimConfig& cfg,
+                      const TrafficConfig& traffic, double offered_load,
+                      int runs);
+
+/// Aligned table with one row per sample (offered load, accepted traffic,
+/// average latency, ...), grouped per series like the paper's plots.
+std::string render_figure_table(const FigureSpec& spec,
+                                const std::vector<SweepPoint>& points);
+
+/// Machine-readable CSV of the same data.
+std::string render_figure_csv(const FigureSpec& spec,
+                              const std::vector<SweepPoint>& points);
+
+/// Short per-series summary: saturation throughput + low-load latency, and
+/// the MLID/SLID throughput ratios the paper's observations quote.
+std::string render_figure_summary(const FigureSpec& spec,
+                                  const std::vector<SweepPoint>& points);
+
+}  // namespace mlid

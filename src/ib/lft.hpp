@@ -1,0 +1,61 @@
+// Linear Forwarding Table: the per-switch DLID -> output-port map that
+// makes InfiniBand routing deterministic (IBA spec ch. 14; paper Section 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/types.hpp"
+
+namespace mlid {
+
+/// Dense DLID-indexed table.  Entry value is the physical output port;
+/// kNoEntry marks DLIDs the switch cannot route (packets to them would be
+/// dropped by real hardware, and the simulator treats them as fatal).
+class LinearForwardingTable {
+ public:
+  static constexpr std::uint8_t kNoEntry = 0xFF;
+
+  LinearForwardingTable() = default;
+  explicit LinearForwardingTable(Lid max_lid)
+      : entries_(static_cast<std::size_t>(max_lid) + 1, kNoEntry) {
+    MLID_EXPECT(max_lid <= kMaxLidSpace, "LFT larger than the LID space");
+  }
+
+  [[nodiscard]] Lid max_lid() const noexcept {
+    return entries_.empty() ? 0 : static_cast<Lid>(entries_.size() - 1);
+  }
+
+  void set(Lid lid, PortId port) {
+    MLID_EXPECT(lid != kInvalidLid, "LID 0 is reserved");
+    MLID_EXPECT(lid < entries_.size(), "LID beyond table size");
+    MLID_EXPECT(port != kNoEntry, "port value collides with the sentinel");
+    entries_[lid] = port;
+  }
+
+  [[nodiscard]] bool has(Lid lid) const noexcept {
+    return lid != kInvalidLid && lid < entries_.size() &&
+           entries_[lid] != kNoEntry;
+  }
+
+  /// Output port for a DLID; contract-checked (simulated switches verify
+  /// `has` first and account a drop instead of crashing).
+  [[nodiscard]] PortId lookup(Lid lid) const {
+    MLID_EXPECT(has(lid), "no LFT entry for this DLID");
+    return entries_[lid];
+  }
+
+  [[nodiscard]] std::size_t num_entries() const noexcept {
+    std::size_t n = 0;
+    for (auto e : entries_) n += (e != kNoEntry);
+    return n;
+  }
+
+ private:
+  std::vector<std::uint8_t> entries_;
+};
+
+using Lft = LinearForwardingTable;
+
+}  // namespace mlid

@@ -1,0 +1,50 @@
+// LID / LMC machinery (IBA spec: an endport owns 2^LMC consecutive LIDs
+// starting at a base LID whose low LMC bits are zero-offset).
+#pragma once
+
+#include "common/expect.hpp"
+#include "common/types.hpp"
+
+namespace mlid {
+
+/// Contiguous LID block [base, base + 2^lmc) assigned to one endport.
+class LidRange {
+ public:
+  LidRange() = default;
+  LidRange(Lid base, Lmc lmc) : base_(base), lmc_(lmc) {
+    MLID_EXPECT(base != kInvalidLid, "LID 0 is reserved");
+    MLID_EXPECT(lmc <= 7, "LMC is a 3-bit field");
+    MLID_EXPECT(base + count() - 1 <= kMaxLidSpace,
+                "LID range exceeds the 16-bit space");
+  }
+
+  [[nodiscard]] Lid base() const noexcept { return base_; }
+  [[nodiscard]] Lmc lmc() const noexcept { return lmc_; }
+  [[nodiscard]] std::uint32_t count() const noexcept {
+    return std::uint32_t{1} << lmc_;
+  }
+  [[nodiscard]] Lid last() const noexcept { return base_ + count() - 1; }
+
+  [[nodiscard]] bool contains(Lid lid) const noexcept {
+    return lid >= base_ && lid <= last();
+  }
+
+  /// lid = base + offset; offset selects one of the 2^LMC paths.
+  [[nodiscard]] Lid at(std::uint32_t offset) const {
+    MLID_EXPECT(offset < count(), "path offset out of range");
+    return base_ + offset;
+  }
+
+  [[nodiscard]] std::uint32_t offset_of(Lid lid) const {
+    MLID_EXPECT(contains(lid), "LID outside the range");
+    return lid - base_;
+  }
+
+  friend bool operator==(const LidRange&, const LidRange&) = default;
+
+ private:
+  Lid base_ = kInvalidLid;
+  Lmc lmc_ = 0;
+};
+
+}  // namespace mlid

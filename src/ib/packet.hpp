@@ -1,0 +1,35 @@
+// Packet model: the subset of the IBA Local Route Header the simulator and
+// routing layers need (SLID/DLID, VL, payload size) plus bookkeeping.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace mlid {
+
+/// Dense packet handle into the simulator's packet pool.
+using PacketId = std::uint32_t;
+inline constexpr PacketId kInvalidPacket = 0xFFFFFFFFu;
+
+/// Handle of the (multi-packet) message a segment belongs to.
+using MessageId = std::uint32_t;
+inline constexpr MessageId kNoMessage = 0xFFFFFFFFu;
+
+/// One in-flight packet.  Plain value type; the simulator owns the pool.
+struct Packet {
+  Lid slid = kInvalidLid;
+  Lid dlid = kInvalidLid;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  VlId vl = 0;
+  std::uint32_t size_bytes = 0;
+
+  SimTime generated_at = 0;   ///< entered the source queue
+  SimTime injected_at = -1;   ///< head left the source NIC
+  SimTime delivered_at = -1;  ///< tail received at the destination
+  MessageId msg = kNoMessage; ///< owning message (burst workloads only)
+  std::uint16_t hops = 0;     ///< switches traversed
+};
+
+}  // namespace mlid

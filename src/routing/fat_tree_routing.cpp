@@ -1,0 +1,115 @@
+#include "routing/fat_tree_routing.hpp"
+
+namespace mlid {
+
+FatTreeRouting::FatTreeRouting(const FatTreeParams& params, Lmc lmc)
+    : params_(params), lmc_(lmc) {
+  MLID_EXPECT(lmc <= params.mlid_lmc(),
+              "LMC larger than the tree's path diversity");
+  MLID_EXPECT(
+      static_cast<std::uint64_t>(params.num_nodes()) * (1u << lmc) <
+          kMaxLidSpace,
+      "LID space exhausted");
+}
+
+LidRange FatTreeRouting::lids_of(NodeId node) const {
+  MLID_EXPECT(node < params_.num_nodes(), "node id out of range");
+  // BaseLID(P(p)) = PID(P(p)) * 2^LMC + 1  (LID 0 is reserved).
+  return LidRange(static_cast<Lid>(node) * (Lid{1} << lmc_) + 1, lmc_);
+}
+
+NodeId FatTreeRouting::node_of_lid(Lid lid) const {
+  MLID_EXPECT(lid != kInvalidLid, "LID 0 is reserved");
+  const auto pid = static_cast<NodeId>((lid - 1) >> lmc_);
+  MLID_EXPECT(pid < params_.num_nodes(), "LID beyond the assigned space");
+  return pid;
+}
+
+Lid FatTreeRouting::max_lid() const {
+  return lids_of(params_.num_nodes() - 1).last();
+}
+
+PortId FatTreeRouting::output_port(const SwitchLabel& sw, Lid lid) const {
+  const NodeLabel dest = NodeLabel::from_pid(params_, node_of_lid(lid));
+  if (reachable_downward(params_, sw, dest)) {
+    // Case 1: descend towards the destination; at level l the child (or the
+    // node itself on a leaf switch) is selected by digit p_l.
+    return static_cast<PortId>(dest.digit(sw.level()) + kPortShift);
+  }
+  // Case 2: forward upward.  The up port consumes base-(m/2) digit
+  // (n-1-level) of (lid-1); because the path offset occupies the low
+  // LMC bits, the offset digits are consumed from the leaf level upwards,
+  // making the reached least common ancestor the digit-reversal of the
+  // offset -- a bijection that spreads subgroup members over distinct LCAs.
+  MLID_ASSERT(sw.level() >= 1, "roots reach everything downward");
+  const auto digit =
+      radix_digit(lid - 1, static_cast<std::uint32_t>(params_.half()),
+                  params_.n() - 1 - sw.level());
+  return static_cast<PortId>(static_cast<int>(digit) + params_.half() +
+                             kPortShift);
+}
+
+Lft FatTreeRouting::build_lft(SwitchId sw) const {
+  MLID_EXPECT(sw < params_.num_switches(), "switch id out of range");
+  const SwitchLabel label = switch_from_id(params_, sw);
+  Lft lft(max_lid());
+  for (NodeId node = 0; node < params_.num_nodes(); ++node) {
+    const LidRange range = lids_of(node);
+    for (std::uint32_t off = 0; off < range.count(); ++off) {
+      const Lid lid = range.at(off);
+      lft.set(lid, output_port(label, lid));
+    }
+  }
+  return lft;
+}
+
+Lid SlidRouting::select_dlid(NodeId src, NodeId dst) const {
+  MLID_EXPECT(src < params_.num_nodes() && dst < params_.num_nodes(),
+              "node id out of range");
+  return lids_of(dst).base();
+}
+
+Lid PartialMlidRouting::select_dlid(NodeId src, NodeId dst) const {
+  MLID_EXPECT(src < params_.num_nodes() && dst < params_.num_nodes(),
+              "node id out of range");
+  const NodeLabel src_label = NodeLabel::from_pid(params_, src);
+  const NodeLabel dst_label = NodeLabel::from_pid(params_, dst);
+  const int alpha = gcp_length(params_, src_label, dst_label);
+  if (alpha == params_.n()) return lids_of(dst).base();
+  const std::uint32_t r = (alpha + 1 < params_.n())
+                              ? rank_in_group(params_, src_label, alpha + 1)
+                              : 0;
+  // Fold the rank into the reduced LID block: neighbours in a subgroup
+  // share paths once the block is smaller than the subgroup.
+  return lids_of(dst).at(r & (lids_of(dst).count() - 1));
+}
+
+Lid MlidRouting::select_dlid(NodeId src, NodeId dst) const {
+  MLID_EXPECT(src < params_.num_nodes() && dst < params_.num_nodes(),
+              "node id out of range");
+  const NodeLabel src_label = NodeLabel::from_pid(params_, src);
+  const NodeLabel dst_label = NodeLabel::from_pid(params_, dst);
+  const int alpha = gcp_length(params_, src_label, dst_label);
+  if (alpha == params_.n()) return lids_of(dst).base();  // self-send
+  // The source lives in gcpg(x . p_alpha, alpha + 1); its rank there is
+  // taken over digit positions alpha+1 .. n-1 and is < (m/2)^(n-1-alpha),
+  // which never exceeds the LID block size 2^LMC = (m/2)^(n-1).
+  const std::uint32_t r = (alpha + 1 < params_.n())
+                              ? rank_in_group(params_, src_label, alpha + 1)
+                              : 0;  // same leaf switch: single minimal path
+  return lids_of(dst).at(r);
+}
+
+std::string_view to_string(SchemeKind kind) noexcept {
+  return kind == SchemeKind::kSlid ? "SLID" : "MLID";
+}
+
+std::unique_ptr<RoutingScheme> make_scheme(SchemeKind kind,
+                                           const FatTreeParams& params) {
+  if (kind == SchemeKind::kSlid) {
+    return std::make_unique<SlidRouting>(params);
+  }
+  return std::make_unique<MlidRouting>(params);
+}
+
+}  // namespace mlid

@@ -1,0 +1,126 @@
+#include "routing/load_analysis.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace mlid {
+
+TrafficMatrix TrafficMatrix::uniform(std::uint32_t num_nodes) {
+  MLID_EXPECT(num_nodes >= 2, "matrix needs at least two nodes");
+  TrafficMatrix m(num_nodes);
+  const double rate = 1.0 / static_cast<double>(num_nodes - 1);
+  for (NodeId src = 0; src < num_nodes; ++src) {
+    for (NodeId dst = 0; dst < num_nodes; ++dst) {
+      if (src != dst) m.set(src, dst, rate);
+    }
+  }
+  return m;
+}
+
+TrafficMatrix TrafficMatrix::centric(std::uint32_t num_nodes, NodeId hot,
+                                     double hot_fraction) {
+  MLID_EXPECT(num_nodes >= 2, "matrix needs at least two nodes");
+  MLID_EXPECT(hot < num_nodes, "hot node out of range");
+  MLID_EXPECT(hot_fraction >= 0.0 && hot_fraction <= 1.0,
+              "hot fraction must be a probability");
+  TrafficMatrix m(num_nodes);
+  const double rest = (1.0 - hot_fraction) / static_cast<double>(num_nodes - 1);
+  for (NodeId src = 0; src < num_nodes; ++src) {
+    if (src == hot) {
+      // The hot node itself sends uniformly (as the simulator does).
+      for (NodeId dst = 0; dst < num_nodes; ++dst) {
+        if (dst != hot) m.set(src, dst, 1.0 / (num_nodes - 1));
+      }
+      continue;
+    }
+    for (NodeId dst = 0; dst < num_nodes; ++dst) {
+      if (dst == src) continue;
+      m.set(src, dst, dst == hot ? hot_fraction + rest : rest);
+    }
+  }
+  return m;
+}
+
+TrafficMatrix TrafficMatrix::permutation(
+    const std::vector<NodeId>& dst_of_src) {
+  const auto n = static_cast<std::uint32_t>(dst_of_src.size());
+  MLID_EXPECT(n >= 2, "matrix needs at least two nodes");
+  TrafficMatrix m(n);
+  for (NodeId src = 0; src < n; ++src) {
+    MLID_EXPECT(dst_of_src[src] < n && dst_of_src[src] != src,
+                "permutation must map to a different valid node");
+    m.set(src, dst_of_src[src], 1.0);
+  }
+  return m;
+}
+
+LoadAnalysis::LoadAnalysis(const FatTreeFabric& fabric,
+                           const RoutingScheme& scheme,
+                           const CompiledRoutes& routes)
+    : fabric_(&fabric), scheme_(&scheme), routes_(&routes) {}
+
+std::vector<PredictedLoad> LoadAnalysis::predict(
+    const TrafficMatrix& matrix) const {
+  MLID_EXPECT(matrix.num_nodes() == fabric_->params().num_nodes(),
+              "matrix size does not match the fabric");
+  const Fabric& g = fabric_->fabric();
+  // Dense accumulator per (device, port).
+  std::vector<std::vector<double>> acc(g.num_devices());
+  for (DeviceId dev = 0; dev < g.num_devices(); ++dev) {
+    acc[dev].assign(static_cast<std::size_t>(g.device(dev).num_ports()) + 1,
+                    0.0);
+  }
+  const std::uint32_t n = matrix.num_nodes();
+  for (NodeId src = 0; src < n; ++src) {
+    for (NodeId dst = 0; dst < n; ++dst) {
+      const double rate = matrix.rate(src, dst);
+      if (rate <= 0.0) continue;
+      const PathTrace trace =
+          trace_path(*fabric_, *routes_, src, scheme_->select_dlid(src, dst));
+      MLID_EXPECT(trace.complete, "load analysis on a broken route");
+      for (const PathHop& hop : trace.hops) {
+        acc[hop.device][hop.out_port] += rate;
+      }
+    }
+  }
+  std::vector<PredictedLoad> result;
+  for (DeviceId dev = 0; dev < g.num_devices(); ++dev) {
+    for (PortId port = 1; port <= g.device(dev).num_ports(); ++port) {
+      if (!g.device(dev).port_connected(port)) continue;
+      result.push_back(PredictedLoad{dev, port, acc[dev][port]});
+    }
+  }
+  return result;
+}
+
+LoadSummary LoadAnalysis::summarize(
+    const std::vector<PredictedLoad>& loads) const {
+  const Fabric& g = fabric_->fabric();
+  LoadSummary summary;
+  double sum = 0.0, sum_sq = 0.0;
+  std::size_t count = 0;
+  for (const PredictedLoad& entry : loads) {
+    const Device& dev = g.device(entry.dev);
+    const Device& peer = g.device(dev.peer(entry.port).device);
+    if (dev.kind() != DeviceKind::kSwitch ||
+        peer.kind() != DeviceKind::kSwitch) {
+      continue;  // inter-switch links only
+    }
+    summary.max_load = std::max(summary.max_load, entry.load);
+    sum += entry.load;
+    sum_sq += entry.load * entry.load;
+    ++count;
+  }
+  if (count > 0) {
+    summary.mean_load = sum / static_cast<double>(count);
+    const double var =
+        sum_sq / static_cast<double>(count) -
+        summary.mean_load * summary.mean_load;
+    summary.stddev_load = std::sqrt(std::max(var, 0.0));
+  }
+  summary.saturation_bound =
+      summary.max_load > 0.0 ? std::min(1.0, 1.0 / summary.max_load) : 1.0;
+  return summary;
+}
+
+}  // namespace mlid

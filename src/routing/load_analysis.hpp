@@ -1,0 +1,83 @@
+// Static (analytic) link-load analysis.
+//
+// Given a compiled routing and a traffic matrix, walks every (source,
+// destination) path once and accumulates the expected load on each directed
+// link -- the closed-form counterpart to running the simulator.  This is
+// how the imbalance the paper illustrates in Figures 8/9 can be *predicted*
+// without simulation: under SLID the flows of a whole subtree pile onto one
+// ascent, under MLID they spread bijectively.
+#pragma once
+
+#include <vector>
+
+#include "routing/path.hpp"
+
+namespace mlid {
+
+/// Row-normalized traffic matrix: rate(src, dst) is the fraction of src's
+/// injection bandwidth directed at dst (rows sum to 1; diagonal is 0).
+class TrafficMatrix {
+ public:
+  static TrafficMatrix uniform(std::uint32_t num_nodes);
+  static TrafficMatrix centric(std::uint32_t num_nodes, NodeId hot,
+                               double hot_fraction);
+  static TrafficMatrix permutation(const std::vector<NodeId>& dst_of_src);
+
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept { return n_; }
+  [[nodiscard]] double rate(NodeId src, NodeId dst) const {
+    MLID_EXPECT(src < n_ && dst < n_, "node out of range");
+    return rates_[static_cast<std::size_t>(src) * n_ + dst];
+  }
+
+ private:
+  explicit TrafficMatrix(std::uint32_t n)
+      : n_(n), rates_(static_cast<std::size_t>(n) * n, 0.0) {}
+  void set(NodeId src, NodeId dst, double rate) {
+    rates_[static_cast<std::size_t>(src) * n_ + dst] = rate;
+  }
+
+  std::uint32_t n_;
+  std::vector<double> rates_;
+};
+
+/// Expected load on one directed link, in units of one node's injection
+/// bandwidth (a value of 1.0 means the link is fully booked when every node
+/// injects at full rate).
+struct PredictedLoad {
+  DeviceId dev = kInvalidDevice;  ///< transmitting device
+  PortId port = 0;
+  double load = 0.0;
+};
+
+/// Summary statistics of a prediction (inter-switch links only unless
+/// stated otherwise).
+struct LoadSummary {
+  double max_load = 0.0;   ///< the bottleneck link
+  double mean_load = 0.0;
+  double stddev_load = 0.0;
+  /// Offered-load fraction at which the bottleneck link saturates
+  /// (1 / max_load, capped at 1); an upper bound on achievable throughput.
+  double saturation_bound = 0.0;
+};
+
+class LoadAnalysis {
+ public:
+  LoadAnalysis(const FatTreeFabric& fabric, const RoutingScheme& scheme,
+               const CompiledRoutes& routes);
+
+  /// Expected load of every directed link under the matrix, in
+  /// deterministic (device, port) order.  Endnode->switch links included.
+  [[nodiscard]] std::vector<PredictedLoad> predict(
+      const TrafficMatrix& matrix) const;
+
+  /// Summary over the *inter-switch* links of a prediction.
+  [[nodiscard]] LoadSummary summarize(
+      const std::vector<PredictedLoad>& loads) const;
+
+ private:
+  const FatTreeFabric* fabric_;
+  const RoutingScheme* scheme_;
+  const CompiledRoutes* routes_;
+};
+
+}  // namespace mlid

@@ -1,0 +1,64 @@
+#include "routing/path.hpp"
+
+#include <sstream>
+
+namespace mlid {
+
+CompiledRoutes::CompiledRoutes(const FatTreeFabric& fabric,
+                               const RoutingScheme& scheme)
+    : max_lid_(scheme.max_lid()) {
+  const auto count = fabric.params().num_switches();
+  lfts_.reserve(count);
+  for (SwitchId sw = 0; sw < count; ++sw) {
+    lfts_.push_back(scheme.build_lft(sw));
+  }
+}
+
+PathTrace trace_path(const FatTreeFabric& ft, const CompiledRoutes& routes,
+                     NodeId src, Lid dlid, int max_hops) {
+  PathTrace trace;
+  const Fabric& g = ft.fabric();
+  DeviceId current = ft.node_device(src);
+  PortId out = 1;  // the endnode's single endport
+  for (int hop = 0; hop < max_hops; ++hop) {
+    trace.hops.push_back(PathHop{current, out});
+    const PortRef next = g.peer_of(current, out);
+    MLID_ASSERT(next.valid(), "walked onto an unconnected port");
+    current = next.device;
+    const Device& device = g.device(current);
+    if (device.kind() == DeviceKind::kEndnode) {
+      trace.terminal = current;
+      trace.complete = true;
+      return trace;
+    }
+    const Lft& lft = routes.lft(device.switch_id);
+    if (!lft.has(dlid)) {
+      trace.terminal = current;
+      return trace;  // incomplete: the switch cannot route this DLID
+    }
+    out = lft.lookup(dlid);
+    if (!device.port_connected(out)) {
+      trace.terminal = current;
+      return trace;  // incomplete: LFT points into the void
+    }
+  }
+  trace.terminal = current;
+  return trace;  // incomplete: hop limit (cycle) reached
+}
+
+std::string to_string(const FatTreeFabric& ft, const PathTrace& trace) {
+  const Fabric& g = ft.fabric();
+  std::ostringstream os;
+  for (std::size_t i = 0; i < trace.hops.size(); ++i) {
+    const auto& hop = trace.hops[i];
+    if (i) os << " -> ";
+    os << g.device(hop.device).name() << ":" << int(hop.out_port);
+  }
+  if (trace.terminal != kInvalidDevice) {
+    os << " -> " << g.device(trace.terminal).name();
+  }
+  if (!trace.complete) os << " [INCOMPLETE]";
+  return os.str();
+}
+
+}  // namespace mlid

@@ -1,0 +1,58 @@
+// Compiled routes (all LFTs of a subnet) and LFT-walking path resolution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "routing/scheme.hpp"
+#include "topology/builder.hpp"
+
+namespace mlid {
+
+/// All forwarding state of a routed subnet: one LFT per switch.
+class CompiledRoutes {
+ public:
+  CompiledRoutes(const FatTreeFabric& fabric, const RoutingScheme& scheme);
+
+  [[nodiscard]] const Lft& lft(SwitchId sw) const {
+    MLID_EXPECT(sw < lfts_.size(), "switch id out of range");
+    return lfts_[sw];
+  }
+  [[nodiscard]] Lid max_lid() const noexcept { return max_lid_; }
+  [[nodiscard]] std::size_t num_switches() const noexcept {
+    return lfts_.size();
+  }
+
+ private:
+  std::vector<Lft> lfts_;
+  Lid max_lid_;
+};
+
+/// One hop of a resolved path.
+struct PathHop {
+  DeviceId device;   ///< the device the packet *leaves*
+  PortId out_port;   ///< port it leaves through
+};
+
+/// A resolved source->destination walk.  `complete` is false if the walk
+/// fell off the LFTs or exceeded the hop limit (always a routing bug).
+struct PathTrace {
+  std::vector<PathHop> hops;  ///< first hop leaves the source endnode
+  DeviceId terminal = kInvalidDevice;
+  bool complete = false;
+
+  /// Number of links traversed.
+  [[nodiscard]] int num_links() const noexcept {
+    return static_cast<int>(hops.size());
+  }
+};
+
+/// Walk the fabric from `src`'s endport following LFT entries for `dlid`
+/// until an endnode is reached (or the hop limit trips).
+PathTrace trace_path(const FatTreeFabric& fabric, const CompiledRoutes& routes,
+                     NodeId src, Lid dlid, int max_hops = 64);
+
+/// Pretty "P(000) -> SW<00,2>:5 -> ..." rendering for diagnostics.
+std::string to_string(const FatTreeFabric& fabric, const PathTrace& trace);
+
+}  // namespace mlid

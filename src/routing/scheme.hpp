@@ -1,0 +1,50 @@
+// Routing-scheme interface: the three responsibilities the paper assigns to
+// a scheme (Section 4) — endport addressing (LID assignment), path
+// selection (which DLID a source uses for a destination), and forwarding
+// table assignment (the per-switch LFT contents).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "ib/lft.hpp"
+#include "ib/lid.hpp"
+#include "topology/fat_tree.hpp"
+
+namespace mlid {
+
+class RoutingScheme {
+ public:
+  virtual ~RoutingScheme() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// LMC used for every endport (uniform across the subnet in this model).
+  [[nodiscard]] virtual Lmc lmc() const noexcept = 0;
+
+  /// Addressing scheme: the LID block assigned to a node.
+  [[nodiscard]] virtual LidRange lids_of(NodeId node) const = 0;
+
+  /// Inverse of the addressing scheme.
+  [[nodiscard]] virtual NodeId node_of_lid(Lid lid) const = 0;
+
+  /// Path selection scheme: DLID a source fills into packets for dst.
+  [[nodiscard]] virtual Lid select_dlid(NodeId src, NodeId dst) const = 0;
+
+  /// Forwarding table assignment scheme: the complete LFT of one switch.
+  [[nodiscard]] virtual Lft build_lft(SwitchId sw) const = 0;
+
+  /// Highest LID the scheme assigns (LFT sizing).
+  [[nodiscard]] virtual Lid max_lid() const = 0;
+};
+
+/// Factory selector used by examples / benches.
+enum class SchemeKind { kSlid, kMlid };
+
+[[nodiscard]] std::string_view to_string(SchemeKind kind) noexcept;
+
+/// Create a scheme for the given fat-tree.
+std::unique_ptr<RoutingScheme> make_scheme(SchemeKind kind,
+                                           const FatTreeParams& params);
+
+}  // namespace mlid

@@ -1,0 +1,177 @@
+#include "routing/updown.hpp"
+
+#include <deque>
+#include <limits>
+
+#include "topology/properties.hpp"
+
+namespace mlid {
+
+namespace {
+constexpr int kUnreachable = std::numeric_limits<int>::max() / 2;
+}
+
+UpDownRouting::UpDownRouting(const FatTreeFabric& fabric, Lmc lmc)
+    : params_(fabric.params()), lmc_(lmc) {
+  MLID_EXPECT(lmc <= params_.mlid_lmc(),
+              "LMC larger than the tree's path diversity");
+  compute_tables(fabric);
+}
+
+LidRange UpDownRouting::lids_of(NodeId node) const {
+  MLID_EXPECT(node < params_.num_nodes(), "node id out of range");
+  return LidRange(static_cast<Lid>(node) * (Lid{1} << lmc_) + 1, lmc_);
+}
+
+NodeId UpDownRouting::node_of_lid(Lid lid) const {
+  MLID_EXPECT(lid != kInvalidLid, "LID 0 is reserved");
+  const auto pid = static_cast<NodeId>((lid - 1) >> lmc_);
+  MLID_EXPECT(pid < params_.num_nodes(), "LID beyond the assigned space");
+  return pid;
+}
+
+Lid UpDownRouting::max_lid() const {
+  return lids_of(params_.num_nodes() - 1).last();
+}
+
+Lid UpDownRouting::select_dlid(NodeId src, NodeId dst) const {
+  MLID_EXPECT(src < params_.num_nodes() && dst < params_.num_nodes(),
+              "node id out of range");
+  const NodeLabel src_label = NodeLabel::from_pid(params_, src);
+  const NodeLabel dst_label = NodeLabel::from_pid(params_, dst);
+  const int alpha = gcp_length(params_, src_label, dst_label);
+  if (alpha == params_.n()) return lids_of(dst).base();
+  const std::uint32_t r = (alpha + 1 < params_.n())
+                              ? rank_in_group(params_, src_label, alpha + 1)
+                              : 0;
+  return lids_of(dst).at(r & (lids_of(dst).count() - 1));
+}
+
+Lft UpDownRouting::build_lft(SwitchId sw) const {
+  MLID_EXPECT(sw < lfts_.size(), "switch id out of range");
+  return lfts_[sw];
+}
+
+void UpDownRouting::compute_tables(const FatTreeFabric& ft) {
+  const Fabric& g = ft.fabric();
+  const std::uint32_t num_switches = params_.num_switches();
+  lfts_.assign(num_switches, Lft(max_lid()));
+
+  // Scratch arrays reused across destinations.
+  std::vector<int> dist_down(num_switches);
+  std::vector<int> dist(num_switches);
+  std::vector<std::vector<PortId>> down_ports(num_switches);
+  std::vector<std::vector<PortId>> up_ports(num_switches);
+  std::vector<int> level(num_switches);
+  for (SwitchId s = 0; s < num_switches; ++s) {
+    level[s] = switch_from_id(params_, s).level();
+  }
+
+  for (NodeId dst = 0; dst < params_.num_nodes(); ++dst) {
+    for (SwitchId s = 0; s < num_switches; ++s) {
+      dist_down[s] = kUnreachable;
+      dist[s] = kUnreachable;
+      down_ports[s].clear();
+      up_ports[s].clear();
+    }
+
+    // Phase 1: all-descending distances, by reverse BFS climbing from the
+    // destination's leaf switch.  A switch's down candidates are the ports
+    // on minimal all-down paths; any switch with a finite dist_down will
+    // (consistently) forward downward, so packets that have started to
+    // descend never turn around.
+    const DeviceId node_dev = ft.node_device(dst);
+    const PortRef attach = g.peer_of(node_dev, 1);
+    if (attach.valid()) {
+      const SwitchId leaf = g.device(attach.device).switch_id;
+      dist_down[leaf] = 1;
+      down_ports[leaf].push_back(attach.port);
+      std::deque<SwitchId> frontier{leaf};
+      while (!frontier.empty()) {
+        const SwitchId cur = frontier.front();
+        frontier.pop_front();
+        const DeviceId cur_dev = ft.switch_device(cur);
+        const Device& cur_device = g.device(cur_dev);
+        // Climb through the current switch's alive up ports.
+        for (int u = 0; u < num_up_ports(params_, level[cur]); ++u) {
+          const auto port = static_cast<PortId>(params_.half() + u + 1);
+          if (!cur_device.port_connected(port)) continue;
+          const PortRef peer = cur_device.peer(port);
+          const SwitchId parent = g.device(peer.device).switch_id;
+          const int cand = dist_down[cur] + 1;
+          if (cand < dist_down[parent]) {
+            dist_down[parent] = cand;
+            down_ports[parent].assign(1, peer.port);
+            frontier.push_back(parent);
+          } else if (cand == dist_down[parent]) {
+            down_ports[parent].push_back(peer.port);
+          }
+        }
+      }
+    } else {
+      fully_connected_ = false;  // the node's own attach link is down
+    }
+
+    // Phase 2: full up*/down* distances, levels top-down (roots first) so
+    // every parent is finalized before its children.  Descending is chosen
+    // whenever possible -- that keeps the destination-based tables
+    // consistent (see header) and is minimal on pristine fat trees.
+    for (SwitchId s = 0; s < num_switches; ++s) {
+      if (dist_down[s] < kUnreachable) {
+        dist[s] = dist_down[s];
+        continue;  // down wins; candidates already in down_ports
+      }
+      // SwitchIds are level-major, so all parents (level - 1) precede s.
+      const DeviceId dev = ft.switch_device(s);
+      const Device& device = g.device(dev);
+      int best = kUnreachable;
+      for (int u = 0; u < num_up_ports(params_, level[s]); ++u) {
+        const auto port = static_cast<PortId>(params_.half() + u + 1);
+        if (!device.port_connected(port)) continue;
+        const PortRef peer = device.peer(port);
+        const SwitchId parent = g.device(peer.device).switch_id;
+        const int cand = dist[parent] + 1;
+        if (cand < best) {
+          best = cand;
+          up_ports[s].assign(1, port);
+        } else if (cand == best && cand < kUnreachable) {
+          up_ports[s].push_back(port);
+        }
+      }
+      dist[s] = best;
+    }
+
+    // Phase 3: program every LID of this destination on every switch.  The
+    // LID offset walks the candidate lists digit-by-digit (most-significant
+    // digit nearest the roots), which reproduces MLID's ascent spreading on
+    // an undamaged tree.
+    const LidRange lids = lids_of(dst);
+    for (SwitchId s = 0; s < num_switches; ++s) {
+      const std::vector<PortId>& candidates =
+          dist_down[s] < kUnreachable ? down_ports[s] : up_ports[s];
+      if (dist[s] >= kUnreachable || candidates.empty()) {
+        // A dead end for this destination.  Ascending packets only ever
+        // move toward finite-distance parents, so an unreachable *inner*
+        // switch is never entered; connectivity is broken only when a leaf
+        // switch (where sources inject) has no route.
+        if (level[s] == params_.n() - 1) fully_connected_ = false;
+        continue;  // leave kNoEntry: this switch cannot reach dst
+      }
+      for (std::uint32_t off = 0; off < lids.count(); ++off) {
+        // Same digit rule as Equation (2): consume base-(m/2) digits of
+        // (lid - 1), least significant nearest the leaves.  With a full LMC
+        // the low digits are the path offset (MLID's spreading); with
+        // LMC = 0 they are the destination PID's digits (SLID's striping).
+        const Lid lid = lids.at(off);
+        const auto digit = radix_digit(
+            lid - 1, static_cast<std::uint32_t>(params_.half()),
+            params_.n() - 1 - level[s]);
+        const PortId port =
+            candidates[digit % static_cast<std::uint32_t>(candidates.size())];
+        lfts_[s].set(lid, port);
+      }
+    }
+  }
+}
+
+}  // namespace mlid

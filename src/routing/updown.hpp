@@ -1,0 +1,63 @@
+// Generic up*/down* routing with BFS-computed forwarding tables.
+//
+// This is the class of algorithm the paper contrasts MLID against: routing
+// engines "designed for irregular topologies" (Sancho/Robles/Duato-style)
+// that compute tables from the discovered graph instead of exploiting the
+// fat-tree's closed forms.  We keep the tree's level assignment as the
+// up/down direction, but compute distances by BFS over the *actual* link
+// state -- so the engine keeps routing (minimally, deadlock-free) after
+// links have been removed with Fabric::disconnect(), where the closed-form
+// MLID/SLID tables would forward into the void.
+//
+// Multipath works like MLID's LMC mechanism: each node owns 2^lmc LIDs and
+// the LID offset selects among equal-cost candidate ports digit-by-digit,
+// so on a pristine fat tree UpDownRouting(lmc = full) reproduces MLID's
+// spreading while degrading gracefully on damaged fabrics.
+#pragma once
+
+#include <vector>
+
+#include "routing/scheme.hpp"
+#include "topology/builder.hpp"
+
+namespace mlid {
+
+class UpDownRouting final : public RoutingScheme {
+ public:
+  /// Computes tables for the fabric's *current* link state.  Rebuild the
+  /// object after topology changes (as an SM would re-sweep).
+  /// `lmc` may be anywhere in [0, params.mlid_lmc()].
+  UpDownRouting(const FatTreeFabric& fabric, Lmc lmc);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "UPDN";
+  }
+  [[nodiscard]] Lmc lmc() const noexcept override { return lmc_; }
+  [[nodiscard]] LidRange lids_of(NodeId node) const override;
+  [[nodiscard]] NodeId node_of_lid(Lid lid) const override;
+  [[nodiscard]] Lid select_dlid(NodeId src, NodeId dst) const override;
+  [[nodiscard]] Lft build_lft(SwitchId sw) const override;
+  [[nodiscard]] Lid max_lid() const override;
+
+  /// True iff every switch can reach every node (no partition).
+  [[nodiscard]] bool fully_connected() const noexcept {
+    return fully_connected_;
+  }
+
+ private:
+  /// Routing state for one (switch, destination) pair: the equal-cost
+  /// candidate ports and the distance in links.
+  struct Choice {
+    std::vector<PortId> candidates;
+    int dist = -1;  // -1 = unreachable
+  };
+
+  void compute_tables(const FatTreeFabric& fabric);
+
+  FatTreeParams params_;
+  Lmc lmc_;
+  bool fully_connected_ = true;
+  std::vector<Lft> lfts_;  // precomputed per switch
+};
+
+}  // namespace mlid

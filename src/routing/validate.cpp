@@ -1,0 +1,256 @@
+#include "routing/validate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_set>
+
+#include "topology/properties.hpp"
+
+namespace mlid {
+
+namespace {
+
+void report_problem(RoutingReport& report, int max_problems,
+                    const std::string& what) {
+  if (static_cast<int>(report.problems.size()) < max_problems) {
+    report.problems.push_back(what);
+  }
+}
+
+/// Level sequence of the switches a trace visits (hops[0] leaves the
+/// source endnode, so switch hops start at index 1).
+std::vector<int> switch_levels(const FatTreeFabric& ft,
+                               const PathTrace& trace) {
+  std::vector<int> levels;
+  for (std::size_t i = 1; i < trace.hops.size(); ++i) {
+    const Device& dev = ft.fabric().device(trace.hops[i].device);
+    MLID_ASSERT(dev.kind() == DeviceKind::kSwitch, "mid-path endnode");
+    levels.push_back(ft.switch_label(dev.switch_id).level());
+  }
+  return levels;
+}
+
+bool is_up_then_down(const std::vector<int>& levels) {
+  // Levels must strictly decrease to a single minimum then strictly
+  // increase (root is level 0).  A one-switch path is trivially fine.
+  std::size_t i = 1;
+  while (i < levels.size() && levels[i] == levels[i - 1] - 1) ++i;
+  while (i < levels.size() && levels[i] == levels[i - 1] + 1) ++i;
+  return i == levels.size();
+}
+
+}  // namespace
+
+namespace {
+
+RoutingReport verify_all_paths_impl(const FatTreeFabric& ft,
+                                    const RoutingScheme& scheme,
+                                    const CompiledRoutes& routes,
+                                    int max_problems, bool require_minimal);
+
+}  // namespace
+
+RoutingReport verify_all_paths(const FatTreeFabric& ft,
+                               const RoutingScheme& scheme,
+                               const CompiledRoutes& routes,
+                               int max_problems) {
+  return verify_all_paths_impl(ft, scheme, routes, max_problems,
+                               /*require_minimal=*/true);
+}
+
+RoutingReport verify_all_paths_relaxed(const FatTreeFabric& ft,
+                                       const RoutingScheme& scheme,
+                                       const CompiledRoutes& routes,
+                                       int max_problems) {
+  return verify_all_paths_impl(ft, scheme, routes, max_problems,
+                               /*require_minimal=*/false);
+}
+
+namespace {
+
+RoutingReport verify_all_paths_impl(const FatTreeFabric& ft,
+                                    const RoutingScheme& scheme,
+                                    const CompiledRoutes& routes,
+                                    int max_problems, bool require_minimal) {
+  RoutingReport report;
+  const FatTreeParams& p = ft.params();
+  for (NodeId dst = 0; dst < p.num_nodes(); ++dst) {
+    const LidRange range = scheme.lids_of(dst);
+    const NodeLabel dst_label = ft.node_label(dst);
+    for (NodeId src = 0; src < p.num_nodes(); ++src) {
+      if (src == dst) continue;
+      const NodeLabel src_label = ft.node_label(src);
+      const int minimal = min_path_links(p, src_label, dst_label);
+      for (std::uint32_t off = 0; off < range.count(); ++off) {
+        const Lid dlid = range.at(off);
+        const PathTrace trace = trace_path(ft, routes, src, dlid);
+        ++report.paths_checked;
+        std::ostringstream ctx;
+        ctx << scheme.name() << " " << src_label.to_string() << " -> "
+            << dst_label.to_string() << " dlid " << dlid << ": ";
+        if (!trace.complete) {
+          report_problem(report, max_problems,
+                         ctx.str() + "incomplete walk " + to_string(ft, trace));
+          continue;
+        }
+        if (trace.terminal != ft.node_device(dst)) {
+          report_problem(report, max_problems,
+                         ctx.str() + "delivered to the wrong node " +
+                             to_string(ft, trace));
+          continue;
+        }
+        if (require_minimal && trace.num_links() != minimal) {
+          report_problem(report, max_problems,
+                         ctx.str() + "non-minimal (" +
+                             std::to_string(trace.num_links()) + " links, " +
+                             std::to_string(minimal) + " minimal)");
+        }
+        std::unordered_set<DeviceId> seen;
+        for (const auto& hop : trace.hops) {
+          if (!seen.insert(hop.device).second) {
+            report_problem(report, max_problems,
+                           ctx.str() + "revisits a device");
+            break;
+          }
+        }
+        if (!is_up_then_down(switch_levels(ft, trace))) {
+          report_problem(report, max_problems,
+                         ctx.str() + "violates up*/down* " +
+                             to_string(ft, trace));
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+RoutingReport verify_lca_spreading(const FatTreeFabric& ft,
+                                   const RoutingScheme& scheme,
+                                   const CompiledRoutes& routes,
+                                   int max_problems) {
+  RoutingReport report;
+  const FatTreeParams& p = ft.params();
+  for (NodeId dst = 0; dst < p.num_nodes(); ++dst) {
+    const NodeLabel dst_label = ft.node_label(dst);
+    // Group sources by (alpha, subgroup prefix), where the subgroup is
+    // gcpg(x . p_alpha, alpha + 1) of the source; key both by alpha and the
+    // prefix digits encoded as the source PID with sub-prefix digits zeroed.
+    std::map<std::pair<int, std::uint32_t>, std::unordered_set<DeviceId>> seen;
+    for (NodeId src = 0; src < p.num_nodes(); ++src) {
+      if (src == dst) continue;
+      const NodeLabel src_label = ft.node_label(src);
+      const int alpha = gcp_length(p, src_label, dst_label);
+      const Lid dlid = scheme.select_dlid(src, dst);
+      const PathTrace trace = trace_path(ft, routes, src, dlid);
+      ++report.paths_checked;
+      if (!trace.complete) {
+        report_problem(report, max_problems, "incomplete walk");
+        continue;
+      }
+      // The LCA is the switch at the minimum level on the walk.
+      DeviceId lca = kInvalidDevice;
+      int best_level = p.n();
+      for (std::size_t i = 1; i < trace.hops.size(); ++i) {
+        const Device& dev = ft.fabric().device(trace.hops[i].device);
+        const int level = ft.switch_label(dev.switch_id).level();
+        if (level < best_level) {
+          best_level = level;
+          lca = trace.hops[i].device;
+        }
+      }
+      if (best_level != alpha) {
+        std::ostringstream os;
+        os << scheme.name() << " " << src_label.to_string() << " -> "
+           << dst_label.to_string() << ": turned at level " << best_level
+           << ", gcp length is " << alpha;
+        report_problem(report, max_problems, os.str());
+      }
+      const std::uint32_t subgroup =
+          (alpha + 1 < p.n())
+              ? src - rank_in_group(p, src_label, alpha + 1)
+              : src;  // leaf-local groups are singletons per source
+      auto& lcas = seen[{alpha, subgroup}];
+      if (!lcas.insert(lca).second) {
+        std::ostringstream os;
+        os << scheme.name() << ": destination " << dst_label.to_string()
+           << " subgroup (alpha=" << alpha << ") reuses LCA "
+           << ft.fabric().device(lca).name() << " (source "
+           << src_label.to_string() << ")";
+        report_problem(report, max_problems, os.str());
+      }
+    }
+  }
+  return report;
+}
+
+RoutingReport verify_deadlock_free(const FatTreeFabric& ft,
+                                   const RoutingScheme& scheme,
+                                   const CompiledRoutes& routes) {
+  RoutingReport report;
+  const FatTreeParams& p = ft.params();
+  // Directed channels are (device, out_port) pairs; give each a dense id.
+  const Fabric& g = ft.fabric();
+  std::vector<std::uint32_t> channel_base(g.num_devices() + 1, 0);
+  for (DeviceId dev = 0; dev < g.num_devices(); ++dev) {
+    channel_base[dev + 1] =
+        channel_base[dev] +
+        static_cast<std::uint32_t>(g.device(dev).num_ports()) + 1;
+  }
+  const std::uint32_t num_channels = channel_base[g.num_devices()];
+  auto channel_id = [&](DeviceId dev, PortId port) {
+    return channel_base[dev] + port;
+  };
+  std::vector<std::unordered_set<std::uint32_t>> adj(num_channels);
+
+  for (NodeId dst = 0; dst < p.num_nodes(); ++dst) {
+    const LidRange range = scheme.lids_of(dst);
+    for (NodeId src = 0; src < p.num_nodes(); ++src) {
+      if (src == dst) continue;
+      for (std::uint32_t off = 0; off < range.count(); ++off) {
+        const PathTrace trace = trace_path(ft, routes, src, range.at(off));
+        ++report.paths_checked;
+        // Incomplete walks (hop-limited oscillations) still contribute their
+        // channel dependencies -- that is exactly where cycles live.
+        for (std::size_t i = 1; i < trace.hops.size(); ++i) {
+          adj[channel_id(trace.hops[i - 1].device, trace.hops[i - 1].out_port)]
+              .insert(channel_id(trace.hops[i].device, trace.hops[i].out_port));
+        }
+      }
+    }
+  }
+
+  // Iterative three-color DFS for cycle detection.
+  std::vector<std::uint8_t> color(num_channels, 0);  // 0 white 1 grey 2 black
+  std::vector<std::pair<std::uint32_t, bool>> stack;
+  for (std::uint32_t start = 0; start < num_channels; ++start) {
+    if (color[start] != 0) continue;
+    stack.emplace_back(start, false);
+    while (!stack.empty()) {
+      auto [ch, leaving] = stack.back();
+      stack.pop_back();
+      if (leaving) {
+        color[ch] = 2;
+        continue;
+      }
+      if (color[ch] == 2) continue;
+      if (color[ch] == 1) continue;
+      color[ch] = 1;
+      stack.emplace_back(ch, true);
+      for (std::uint32_t next : adj[ch]) {
+        if (color[next] == 1) {
+          report.problems.push_back(
+              std::string(scheme.name()) +
+              ": channel dependency cycle detected");
+          return report;
+        }
+        if (color[next] == 0) stack.emplace_back(next, false);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace mlid

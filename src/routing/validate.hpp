@@ -1,0 +1,48 @@
+// Routing validation: functional correctness and deadlock-freedom of a
+// compiled scheme, checked exhaustively over all (source, DLID) pairs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "routing/path.hpp"
+
+namespace mlid {
+
+struct RoutingReport {
+  std::vector<std::string> problems;
+  std::uint64_t paths_checked = 0;
+  [[nodiscard]] bool ok() const noexcept { return problems.empty(); }
+};
+
+/// For every source and every LID of every destination: the LFT walk must
+/// terminate at the owning node, be minimal (2(n - alpha) links), visit no
+/// device twice, and ascend-then-descend (up*/down*).
+RoutingReport verify_all_paths(const FatTreeFabric& fabric,
+                               const RoutingScheme& scheme,
+                               const CompiledRoutes& routes,
+                               int max_problems = 20);
+
+/// Same walk checks without the minimal-length requirement: the contract
+/// for *degraded* fabrics, where legal up*/down* detours are expected.
+RoutingReport verify_all_paths_relaxed(const FatTreeFabric& fabric,
+                                       const RoutingScheme& scheme,
+                                       const CompiledRoutes& routes,
+                                       int max_problems = 20);
+
+/// The MLID spreading property (Section 4.2): for a fixed destination,
+/// sources in the same gcp subgroup must be routed through pairwise
+/// distinct least common ancestors.  (SLID intentionally fails this.)
+RoutingReport verify_lca_spreading(const FatTreeFabric& fabric,
+                                   const RoutingScheme& scheme,
+                                   const CompiledRoutes& routes,
+                                   int max_problems = 20);
+
+/// Channel-dependency-graph cycle check over every (source, DLID) path:
+/// acyclic CDG implies deadlock-free deterministic routing (Duato).
+RoutingReport verify_deadlock_free(const FatTreeFabric& fabric,
+                                   const RoutingScheme& scheme,
+                                   const CompiledRoutes& routes);
+
+}  // namespace mlid

@@ -1,0 +1,97 @@
+// Simulation configuration: timing constants, buffering, virtual lanes and
+// measurement windows.
+//
+// The paper's absolute numbers were lost to OCR; the defaults below follow
+// the IBA spec and contemporaneous studies (see DESIGN.md "Substitutions"):
+// 100 ns routing/arbitration per switch, 20 ns wire flying time, 1 ns per
+// byte (4X link), 256-byte packets, one-packet-deep per-VL buffers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/types.hpp"
+
+namespace mlid {
+
+/// How switches pick output ports.
+enum class ForwardingMode : std::uint8_t {
+  /// Pure LFT lookup -- what real InfiniBand switches do (deterministic).
+  kDeterministic,
+  /// What-if extension: when the LFT entry points upward (any parent is a
+  /// valid minimal next hop on a fat tree), pick the up port with the most
+  /// available credit+buffer space instead.  Not IBA-conformant; used to
+  /// quantify how much adaptivity would buy over MLID's static spreading.
+  /// Only meaningful on *pristine* fabrics: on a degraded fabric an
+  /// arbitrary parent may be a dead end for the destination.
+  kAdaptiveUplinks,
+};
+
+/// How endnodes map packets onto virtual lanes.
+enum class VlPolicy : std::uint8_t {
+  kRandom,        ///< uniform random per packet (default; spreads hot flows)
+  kBySource,      ///< vl = src mod VLs (per-source affinity)
+  kByDestination, ///< vl = dst mod VLs
+  kFixed0,        ///< everything on VL0 (degenerates to a single lane)
+};
+
+struct SimConfig {
+  // --- timing (nanoseconds) -------------------------------------------------
+  SimTime routing_delay_ns = 100;  ///< LFT lookup + arbitration + startup
+  SimTime flying_time_ns = 20;     ///< head propagation per hop (wire)
+  SimTime byte_time_ns = 1;        ///< serialization time per byte
+
+  // --- packets and buffers --------------------------------------------------
+  std::uint32_t packet_bytes = 256;
+  int num_vls = 1;            ///< data virtual lanes (1, 2 or 4 in the paper)
+  int in_buf_pkts = 1;        ///< input buffer depth per (port, VL)
+  int out_buf_pkts = 1;       ///< output buffer depth per (port, VL)
+  VlPolicy vl_policy = VlPolicy::kRandom;
+  ForwardingMode forwarding = ForwardingMode::kDeterministic;
+
+  /// IBA VL-arbitration weights (packets served per round before yielding).
+  /// Empty = equal-weight round-robin.  When set, must have one positive
+  /// entry per VL.
+  std::vector<int> vl_weights;
+
+  // --- measurement ----------------------------------------------------------
+  SimTime warmup_ns = 20'000;
+  SimTime measure_ns = 80'000;
+  std::uint64_t seed = 1;
+
+  /// Record full event timelines for the first N generated packets
+  /// (0 = tracing off; see Simulation::traces()).
+  std::uint32_t trace_packets = 0;
+
+  [[nodiscard]] SimTime end_time() const noexcept {
+    return warmup_ns + measure_ns;
+  }
+
+  /// Serialization time of one full packet.
+  [[nodiscard]] SimTime packet_wire_ns() const noexcept {
+    return static_cast<SimTime>(packet_bytes) * byte_time_ns;
+  }
+
+  void validate() const {
+    MLID_EXPECT(routing_delay_ns >= 0 && flying_time_ns >= 0 &&
+                    byte_time_ns >= 1,
+                "timing constants out of range");
+    MLID_EXPECT(packet_bytes >= 1, "empty packets are not modelled");
+    MLID_EXPECT(num_vls >= 1 && num_vls <= 15,
+                "IBA supports at most 15 data VLs");
+    if (!vl_weights.empty()) {
+      MLID_EXPECT(static_cast<int>(vl_weights.size()) == num_vls,
+                  "need one VL-arbitration weight per VL");
+      for (int w : vl_weights) {
+        MLID_EXPECT(w >= 1, "VL-arbitration weights must be positive");
+      }
+    }
+    MLID_EXPECT(in_buf_pkts >= 1 && out_buf_pkts >= 1,
+                "buffers must hold at least one packet");
+    MLID_EXPECT(warmup_ns >= 0 && measure_ns > 0,
+                "measurement window must be non-empty");
+  }
+};
+
+}  // namespace mlid

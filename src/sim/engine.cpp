@@ -1,0 +1,671 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace mlid {
+
+Simulation::Simulation(const Subnet& subnet, SimConfig config,
+                       TrafficConfig traffic, double offered_load)
+    : Simulation(subnet, config, traffic, offered_load, /*burst=*/false) {}
+
+Simulation::Simulation(const Subnet& subnet, SimConfig config,
+                       const std::vector<MessageSpec>& workload)
+    : Simulation(subnet, config, TrafficConfig{}, /*offered_load=*/1.0,
+                 /*burst=*/true) {
+  MLID_EXPECT(!workload.empty(), "burst workload is empty");
+  // The whole burst is one measurement window.
+  cfg_.warmup_ns = 0;
+  cfg_.measure_ns = kSimTimeNever / 4;
+  const std::uint32_t num_nodes = subnet.fabric().params().num_nodes();
+  msgs_.reserve(workload.size());
+  for (const MessageSpec& spec : workload) {
+    MLID_EXPECT(spec.src < num_nodes && spec.dst < num_nodes,
+                "message endpoint out of range");
+    MLID_EXPECT(spec.src != spec.dst, "self-messages are not modelled");
+    MLID_EXPECT(spec.bytes >= 1, "empty message");
+    const auto mid = static_cast<MessageId>(msgs_.size());
+    std::uint32_t remaining = spec.bytes;
+    std::uint32_t segments = 0;
+    while (remaining > 0) {
+      const std::uint32_t size = std::min(remaining, cfg_.packet_bytes);
+      remaining -= size;
+      const PacketId id = alloc_packet();
+      Packet& pkt = pool_[id];
+      pkt.src = spec.src;
+      pkt.dst = spec.dst;
+      pkt.slid = subnet_->slid_of(spec.src);
+      pkt.dlid = subnet_->select_dlid(spec.src, spec.dst);
+      pkt.vl = assign_vl(spec.src, spec.dst);
+      pkt.size_bytes = size;
+      pkt.generated_at = 0;
+      pkt.msg = mid;
+      ++segments;
+      ++result_.packets_generated;
+      ++burst_packets_;
+      burst_bytes_ += size;
+      NodeState& ns = nodes_[spec.src];
+      ns.source_queue[pkt.vl].push_back(id);
+      ++ns.queued_pkts;
+    }
+    msgs_.push_back(MsgState{segments, -1});
+  }
+  // Prime every NIC once; subsequent pulls chain off tail-out events.
+  for (NodeId node = 0; node < num_nodes; ++node) {
+    for (int vl = 0; vl < cfg_.num_vls; ++vl) {
+      try_source_pull(node, static_cast<VlId>(vl), 0);
+    }
+  }
+}
+
+Simulation::Simulation(const Subnet& subnet, SimConfig config,
+                       TrafficConfig traffic, double offered_load, bool burst)
+    : subnet_(&subnet),
+      cfg_(config),
+      traffic_(traffic, subnet.fabric().params().num_nodes()),
+      offered_load_(offered_load),
+      gen_interval_ns_(static_cast<double>(config.packet_wire_ns()) /
+                       offered_load),
+      latency_hist_(0.0, 400'000.0, 4000) {
+  cfg_.validate();
+  burst_ = burst;
+  MLID_EXPECT(burst || (offered_load > 0.0 && offered_load <= 1.0),
+              "offered load must be in (0, 1]");
+
+  const Fabric& g = subnet.fabric().fabric();
+  devices_.resize(g.num_devices());
+  for (DeviceId dev = 0; dev < g.num_devices(); ++dev) {
+    const Device& device = g.device(dev);
+    auto& state = devices_[dev];
+    state.out.resize(static_cast<std::size_t>(device.num_ports()) + 1);
+    state.wait.resize((static_cast<std::size_t>(device.num_ports()) + 1) *
+                      static_cast<std::size_t>(cfg_.num_vls));
+    for (PortId port = 1; port <= device.num_ports(); ++port) {
+      OutPort& out = state.out[port];
+      if (!device.port_connected(port)) continue;
+      out.connected = true;
+      out.peer = device.peer(port);
+      out.vls.resize(static_cast<std::size_t>(cfg_.num_vls));
+      for (auto& vl : out.vls) {
+        vl.free_slots = cfg_.out_buf_pkts;
+        vl.credits = cfg_.in_buf_pkts;  // downstream input buffer depth
+      }
+      out.wrr_budget =
+          cfg_.vl_weights.empty() ? 1 : cfg_.vl_weights.front();
+    }
+  }
+
+  const std::uint32_t num_nodes = subnet.fabric().params().num_nodes();
+  nodes_.resize(num_nodes);
+  SplitMix64 seeder(cfg_.seed ^ 0xC0FFEE0000ULL);
+  vl_rng_.reserve(num_nodes);
+  for (NodeId node = 0; node < num_nodes; ++node) {
+    nodes_[node].source_queue.resize(static_cast<std::size_t>(cfg_.num_vls));
+    vl_rng_.emplace_back(seeder.next());
+  }
+
+  delivered_per_vl_.assign(static_cast<std::size_t>(cfg_.num_vls), 0);
+  latency_per_vl_.assign(static_cast<std::size_t>(cfg_.num_vls),
+                         OnlineStats{});
+  bytes_per_node_.assign(num_nodes, 0);
+
+  // Up-port ranges for the adaptive what-if mode: on both tree families the
+  // up ports of a non-root switch are the contiguous physical range
+  // [m/2 + 1, m].
+  first_up_port_.assign(g.num_devices(), 0);
+  const FatTreeParams& params = subnet.fabric().params();
+  for (SwitchId sw = 0; sw < params.num_switches(); ++sw) {
+    const SwitchLabel label = switch_from_id(params, sw);
+    if (num_up_ports(params, label.level()) > 0) {
+      first_up_port_[subnet.fabric().switch_device(sw)] =
+          static_cast<PortId>(params.half() + 1);
+    }
+  }
+
+  // Stagger generation starts uniformly across one interval so all nodes do
+  // not fire in lockstep at t = 0.  Burst mode injects nothing here; its
+  // workload is queued by the delegating constructor instead.
+  if (!burst_) {
+    Xoshiro256 stagger(seeder.next());
+    for (NodeId node = 0; node < num_nodes; ++node) {
+      nodes_[node].next_gen_ns = stagger.uniform01() * gen_interval_ns_;
+      events_.push(
+          static_cast<SimTime>(std::llround(nodes_[node].next_gen_ns)),
+          EventKind::kGenerate, node);
+    }
+  }
+}
+
+// --- packet pool ------------------------------------------------------------
+
+PacketId Simulation::alloc_packet() {
+  if (!free_list_.empty()) {
+    const PacketId id = free_list_.back();
+    free_list_.pop_back();
+    MLID_ASSERT(!live_[id], "allocating a live packet");
+    live_[id] = 1;
+    pool_[id] = Packet{};
+    rt_[id] = PacketRt{};
+    return id;
+  }
+  pool_.emplace_back();
+  rt_.emplace_back();
+  live_.push_back(1);
+  return static_cast<PacketId>(pool_.size() - 1);
+}
+
+void Simulation::release_packet(PacketId pkt) {
+  MLID_ASSERT(live_[pkt], "releasing a packet twice");
+  live_[pkt] = 0;
+  free_list_.push_back(pkt);
+}
+
+VlId Simulation::assign_vl(NodeId src, NodeId dst) {
+  const auto vls = static_cast<std::uint32_t>(cfg_.num_vls);
+  switch (cfg_.vl_policy) {
+    case VlPolicy::kRandom:
+      return static_cast<VlId>(vl_rng_[src].below(vls));
+    case VlPolicy::kBySource:
+      return static_cast<VlId>(src % vls);
+    case VlPolicy::kByDestination:
+      return static_cast<VlId>(dst % vls);
+    case VlPolicy::kFixed0:
+      return 0;
+  }
+  return 0;
+}
+
+// --- generation / injection --------------------------------------------------
+
+void Simulation::on_generate(NodeId node, SimTime now) {
+  const NodeId dst = traffic_.pick_destination(node);
+  const PacketId id = alloc_packet();
+  Packet& pkt = pool_[id];
+  pkt.src = node;
+  pkt.dst = dst;
+  pkt.slid = subnet_->slid_of(node);
+  pkt.dlid = subnet_->select_dlid(node, dst);
+  pkt.vl = assign_vl(node, dst);
+  pkt.size_bytes = cfg_.packet_bytes;
+  pkt.generated_at = now;
+  ++result_.packets_generated;
+  if (traces_.size() < cfg_.trace_packets) {
+    rt_[id].trace = static_cast<std::int32_t>(traces_.size());
+    traces_.push_back(PacketTraceRecord{node, dst, pkt.dlid, {}});
+    trace_event(id, now, TracePoint::kGenerated,
+                subnet_->fabric().node_device(node), 0, pkt.vl);
+  }
+
+  NodeState& ns = nodes_[node];
+  ns.source_queue[pkt.vl].push_back(id);
+  ++ns.queued_pkts;
+  result_.max_source_queue_pkts =
+      std::max(result_.max_source_queue_pkts, ns.queued_pkts);
+  try_source_pull(node, pkt.vl, now);
+
+  ns.next_gen_ns += gen_interval_ns_;
+  events_.push(std::max(now + 1, static_cast<SimTime>(
+                                     std::llround(ns.next_gen_ns))),
+               EventKind::kGenerate, node);
+}
+
+void Simulation::try_source_pull(NodeId node, VlId vl, SimTime now) {
+  NodeState& ns = nodes_[node];
+  auto& queue = ns.source_queue[vl];
+  if (queue.empty()) return;
+  const DeviceId dev = subnet_->fabric().node_device(node);
+  OutPort& out = devices_[dev].out[1];  // the endnode's single endport
+  VlOut& slot = out.vls[vl];
+  if (slot.free_slots == 0) return;
+  const PacketId pkt = queue.front();
+  queue.pop_front();
+  --ns.queued_pkts;
+  --slot.free_slots;
+  slot.queue.push_back(pkt);
+  rt_[pkt].dev = dev;       // keep the trace index assigned at generation
+  rt_[pkt].in_port = 0;
+  rt_[pkt].out_port = 1;
+  try_tx(dev, 1, now);
+}
+
+// --- link transmission ---------------------------------------------------------
+
+void Simulation::accumulate_utilization(OutPort& port, SimTime start,
+                                        SimTime end) {
+  const SimTime lo = std::max(start, cfg_.warmup_ns);
+  const SimTime hi = std::min(end, cfg_.end_time());
+  if (hi > lo) port.busy_in_window += hi - lo;
+}
+
+void Simulation::try_tx(DeviceId dev, PortId port, SimTime now) {
+  OutPort& out = devices_[dev].out[port];
+  MLID_ASSERT(out.connected, "transmitting on an unconnected port");
+  if (out.busy_until > now) {
+    if (!out.retry_scheduled) {
+      out.retry_scheduled = true;
+      events_.push(out.busy_until, EventKind::kTryTx, dev, port);
+    }
+    return;
+  }
+  // Weighted round-robin VL arbitration (IBA VLArb): the current VL may
+  // send up to its weight's worth of packets per round before yielding to
+  // the next eligible VL; with no weights configured every VL weighs 1,
+  // which is plain round-robin.
+  const int vls = cfg_.num_vls;
+  auto weight_of = [&](int vl) {
+    return cfg_.vl_weights.empty()
+               ? 1
+               : cfg_.vl_weights[static_cast<std::size_t>(vl)];
+  };
+  auto eligible = [&](int vl) {
+    const VlOut& cand = out.vls[static_cast<std::size_t>(vl)];
+    return !cand.queue.empty() && !cand.head_started && cand.credits > 0;
+  };
+  int chosen = -1;
+  for (int i = 0; i < vls; ++i) {
+    const int vl = (out.wrr_vl + i) % vls;
+    if (!eligible(vl)) continue;
+    if (i == 0 && out.wrr_budget <= 0) continue;  // round used up: yield
+    chosen = vl;
+    break;
+  }
+  if (chosen < 0 && eligible(out.wrr_vl)) {
+    // Only the exhausted VL has traffic: start a fresh round for it.
+    chosen = out.wrr_vl;
+    out.wrr_budget = weight_of(chosen);
+  }
+  if (chosen < 0) return;  // re-armed by credit arrival / new grant
+  if (chosen != out.wrr_vl) {
+    out.wrr_vl = chosen;
+    out.wrr_budget = weight_of(chosen);
+  }
+  --out.wrr_budget;
+  VlOut& slot = out.vls[static_cast<std::size_t>(chosen)];
+  const PacketId pkt = slot.queue.front();
+  slot.head_started = true;
+  --slot.credits;  // reserve the downstream input slot
+  const SimTime wire = wire_ns(pkt);  // segments may be shorter than the MTU
+  accumulate_utilization(out, now, now + wire);
+  out.busy_until = now + wire;
+  ++out.packets_tx;
+  const bool from_endnode =
+      subnet_->fabric().fabric().device(dev).kind() == DeviceKind::kEndnode;
+  if (from_endnode) {
+    pool_[pkt].injected_at = now;  // head enters the first link
+  }
+  trace_event(pkt, now,
+              from_endnode ? TracePoint::kInjected : TracePoint::kForwarded,
+              dev, port, static_cast<VlId>(chosen));
+  const auto vl_id = static_cast<VlId>(chosen);
+  events_.push(now + cfg_.flying_time_ns, EventKind::kHeadArrive,
+               out.peer.device, out.peer.port, vl_id, pkt);
+  events_.push(now + wire, EventKind::kTailOut, dev, port, vl_id, pkt);
+  // The packet's input-side slot on *this* switch drains as the tail leaves
+  // (at now + wire); the credit then flies back upstream.  Scheduled here --
+  // not in on_tail_out -- because rt_[pkt] is re-pointed at the downstream
+  // switch as soon as the head lands there.
+  if (rt_[pkt].in_port != 0) {
+    const PortRef up =
+        subnet_->fabric().fabric().peer_of(dev, rt_[pkt].in_port);
+    MLID_ASSERT(up.valid(), "credit return on an unconnected port");
+    events_.push(now + wire + cfg_.flying_time_ns, EventKind::kCreditArrive,
+                 up.device, up.port, vl_id);
+  }
+}
+
+// --- switch traversal -----------------------------------------------------------
+
+void Simulation::on_head_arrive(DeviceId dev, PortId port, VlId vl,
+                                PacketId pkt, SimTime now) {
+  trace_event(pkt, now, TracePoint::kHeadArrive, dev, port, vl);
+  const Device& device = subnet_->fabric().fabric().device(dev);
+  if (device.kind() == DeviceKind::kEndnode) {
+    // Tail arrives one serialization time later; deliver then.
+    events_.push(now + wire_ns(pkt), EventKind::kDeliver, dev, port, vl, pkt);
+    return;
+  }
+  rt_[pkt].dev = dev;
+  rt_[pkt].in_port = port;
+  events_.push(now + cfg_.routing_delay_ns, EventKind::kRouted, dev, port, vl,
+               pkt);
+}
+
+PortId Simulation::pick_output(DeviceId dev, const Device& device, VlId vl,
+                               Lid dlid) const {
+  const Lft& lft = subnet_->routes().lft(device.switch_id);
+  const PortId deterministic = lft.lookup(dlid);
+  if (cfg_.forwarding == ForwardingMode::kDeterministic ||
+      first_up_port_[dev] == 0 || deterministic < first_up_port_[dev]) {
+    // Down entries are unique (the destination sits in exactly one
+    // subtree); only upward forwarding has freedom to exploit.
+    return deterministic;
+  }
+  // Any connected up port is a minimal next hop: pick the one whose output
+  // VL has the most headroom (free slots + downstream credits), breaking
+  // ties toward the LFT's deterministic choice, then by port number.
+  PortId best = deterministic;
+  int best_score = -1;
+  const DeviceState& state = devices_[dev];
+  for (PortId port = first_up_port_[dev]; port <= device.num_ports();
+       ++port) {
+    const OutPort& out = state.out[port];
+    if (!out.connected) continue;
+    const VlOut& slot = out.vls[vl];
+    const int score = slot.free_slots + slot.credits;
+    if (score > best_score ||
+        (score == best_score && port == deterministic)) {
+      best_score = score;
+      best = port;
+    }
+  }
+  return best;
+}
+
+void Simulation::on_routed(DeviceId dev, PortId port, VlId vl, PacketId pkt,
+                           SimTime now) {
+  const Device& device = subnet_->fabric().fabric().device(dev);
+  const Lft& lft = subnet_->routes().lft(device.switch_id);
+  const Lid dlid = pool_[pkt].dlid;
+  if (!lft.has(dlid) || !device.port_connected(lft.lookup(dlid))) {
+    // Unroutable DLID: real switches drop such packets.  Our schemes cover
+    // every LID, so the counter doubles as a routing-bug detector.
+    ++result_.packets_dropped;
+    return_credit_upstream(dev, port, vl, now);
+    release_packet(pkt);
+    return;
+  }
+  const PortId out = pick_output(dev, device, vl, dlid);
+  ++pool_[pkt].hops;
+  VlOut& slot = devices_[dev].out[out].vls[vl];
+  if (slot.free_slots > 0) {
+    grant_output(dev, out, vl, pkt, now);
+  } else {
+    devices_[dev]
+        .wait[static_cast<std::size_t>(out) *
+                  static_cast<std::size_t>(cfg_.num_vls) +
+              vl]
+        .push_back(pkt);
+  }
+}
+
+void Simulation::grant_output(DeviceId dev, PortId out, VlId vl, PacketId pkt,
+                              SimTime now) {
+  VlOut& slot = devices_[dev].out[out].vls[vl];
+  MLID_ASSERT(slot.free_slots > 0, "granting without a free output slot");
+  --slot.free_slots;
+  slot.queue.push_back(pkt);
+  rt_[pkt].out_port = out;
+  try_tx(dev, out, now);
+}
+
+void Simulation::return_credit_upstream(DeviceId dev, PortId in_port, VlId vl,
+                                        SimTime now) {
+  const PortRef up = subnet_->fabric().fabric().peer_of(dev, in_port);
+  MLID_ASSERT(up.valid(), "credit return on an unconnected port");
+  events_.push(now + cfg_.flying_time_ns, EventKind::kCreditArrive, up.device,
+               up.port, vl);
+}
+
+void Simulation::on_tail_out(DeviceId dev, PortId port, VlId vl, PacketId pkt,
+                             SimTime now) {
+  OutPort& out = devices_[dev].out[port];
+  VlOut& slot = out.vls[vl];
+  MLID_ASSERT(!slot.queue.empty() && slot.queue.front() == pkt,
+              "tail-out for a packet that is not the transmitting head");
+  slot.queue.pop_front();
+  slot.head_started = false;
+  ++slot.free_slots;
+
+  // The output slot freed: admit the longest-waiting routed packet, if any.
+  auto& waitq = devices_[dev].wait[static_cast<std::size_t>(port) *
+                                       static_cast<std::size_t>(cfg_.num_vls) +
+                                   vl];
+  if (!waitq.empty()) {
+    const PacketId next = waitq.front();
+    waitq.pop_front();
+    grant_output(dev, port, vl, next, now);
+  }
+
+  (void)pkt;  // identity asserted above; ownership already handed off
+  // The packet's tail has left this device.  The matching upstream credit
+  // was already scheduled at transmit time (see try_tx); the only
+  // input-side resource handled here is the NIC's source queue.
+  const Device& device = subnet_->fabric().fabric().device(dev);
+  if (device.kind() == DeviceKind::kEndnode) {
+    try_source_pull(device.node_id, vl, now);
+  }
+  try_tx(dev, port, now);
+}
+
+// --- delivery --------------------------------------------------------------------
+
+void Simulation::on_deliver(DeviceId dev, PortId port, VlId vl, PacketId pkt,
+                            SimTime now) {
+  Packet& p = pool_[pkt];
+  MLID_ASSERT(p.delivered_at < 0, "packet delivered twice");
+  MLID_ASSERT(subnet_->fabric().node_device(subnet_->node_of(p.dlid)) == dev,
+              "packet delivered to a node that does not own its DLID");
+  p.delivered_at = now;
+  ++result_.packets_delivered;
+  if (now >= cfg_.warmup_ns && now < cfg_.end_time()) {
+    ++result_.packets_measured;
+    bytes_accepted_window_ += p.size_bytes;
+    ++delivered_per_vl_[vl];
+    latency_per_vl_[vl].add(static_cast<double>(now - p.generated_at));
+    bytes_per_node_[p.dst] += p.size_bytes;
+    const auto lat = static_cast<double>(now - p.generated_at);
+    latency_window_.add(lat);
+    latency_hist_.add(lat);
+    net_latency_window_.add(static_cast<double>(now - p.injected_at));
+    hops_window_.add(static_cast<double>(p.hops));
+  }
+  if (p.msg != kNoMessage) {
+    MsgState& msg = msgs_[p.msg];
+    MLID_ASSERT(msg.remaining_segments > 0, "message over-delivered");
+    if (--msg.remaining_segments == 0) {
+      msg.completed_at = now;
+      msg_latency_.add(static_cast<double>(now));  // all bursts start at 0
+    }
+  }
+  last_delivery_ = std::max(last_delivery_, now);
+  trace_event(pkt, now, TracePoint::kDelivered, dev, port, vl);
+  // The destination endnode consumes at link rate: its input slot frees as
+  // the tail lands, so the credit travels back immediately.
+  return_credit_upstream(dev, port, vl, now);
+  release_packet(pkt);
+}
+
+void Simulation::trace_event(PacketId pkt, SimTime now, TracePoint point,
+                             DeviceId dev, PortId port, VlId vl) {
+  const std::int32_t idx = rt_[pkt].trace;
+  if (idx < 0) return;
+  traces_[static_cast<std::size_t>(idx)].events.push_back(
+      TraceEvent{now, point, dev, port, vl});
+}
+
+std::vector<LinkLoad> Simulation::link_loads() const {
+  std::vector<LinkLoad> loads;
+  const Fabric& g = subnet_->fabric().fabric();
+  for (DeviceId dev = 0; dev < g.num_devices(); ++dev) {
+    for (PortId port = 1; port <= g.device(dev).num_ports(); ++port) {
+      const OutPort& out = devices_[dev].out[port];
+      if (!out.connected) continue;
+      loads.push_back(LinkLoad{
+          dev, port, out.packets_tx,
+          static_cast<double>(out.busy_in_window) /
+              static_cast<double>(cfg_.measure_ns)});
+    }
+  }
+  return loads;
+}
+
+// --- main loop ---------------------------------------------------------------------
+
+void Simulation::dispatch(const Event& e) {
+  switch (e.kind) {
+    case EventKind::kGenerate:
+      on_generate(static_cast<NodeId>(e.dev), e.time);
+      break;
+    case EventKind::kHeadArrive:
+      on_head_arrive(e.dev, e.port, e.vl, e.pkt, e.time);
+      break;
+    case EventKind::kRouted:
+      on_routed(e.dev, e.port, e.vl, e.pkt, e.time);
+      break;
+    case EventKind::kTailOut:
+      on_tail_out(e.dev, e.port, e.vl, e.pkt, e.time);
+      break;
+    case EventKind::kCreditArrive:
+      devices_[e.dev].out[e.port].vls[e.vl].credits++;
+      try_tx(e.dev, e.port, e.time);
+      break;
+    case EventKind::kTryTx:
+      devices_[e.dev].out[e.port].retry_scheduled = false;
+      try_tx(e.dev, e.port, e.time);
+      break;
+    case EventKind::kDeliver:
+      on_deliver(e.dev, e.port, e.vl, e.pkt, e.time);
+      break;
+  }
+}
+
+BurstResult Simulation::run_to_completion() {
+  MLID_EXPECT(burst_, "run_to_completion needs the burst constructor");
+  while (!events_.empty()) {
+    const Event e = events_.pop();
+    MLID_ASSERT(e.kind != EventKind::kGenerate,
+                "burst mode schedules no generation");
+    dispatch(e);
+  }
+  MLID_EXPECT(result_.packets_delivered + result_.packets_dropped ==
+                  result_.packets_generated,
+              "burst did not fully drain");
+  check_invariants();
+  BurstResult burst;
+  burst.makespan_ns = last_delivery_;
+  burst.avg_message_latency_ns = msg_latency_.mean();
+  burst.max_message_latency_ns = msg_latency_.max();
+  burst.messages = msgs_.size();
+  burst.packets = burst_packets_;
+  burst.total_bytes = burst_bytes_;
+  burst.events_processed = events_.events_processed();
+  return burst;
+}
+
+void Simulation::check_invariants() const {
+  const Fabric& g = subnet_->fabric().fabric();
+  for (DeviceId dev = 0; dev < g.num_devices(); ++dev) {
+    const DeviceState& state = devices_[dev];
+    for (PortId port = 1; port <= g.device(dev).num_ports(); ++port) {
+      const OutPort& out = state.out[port];
+      if (!out.connected) continue;
+      for (int vl = 0; vl < cfg_.num_vls; ++vl) {
+        const VlOut& slot = out.vls[static_cast<std::size_t>(vl)];
+        MLID_EXPECT(slot.free_slots >= 0 &&
+                        slot.free_slots +
+                                static_cast<int>(slot.queue.size()) ==
+                            cfg_.out_buf_pkts,
+                    "output slot accounting out of balance");
+        MLID_EXPECT(slot.credits >= 0 && slot.credits <= cfg_.in_buf_pkts,
+                    "credit counter out of range");
+        MLID_EXPECT(!slot.head_started || !slot.queue.empty(),
+                    "transmission in progress without a head packet");
+      }
+    }
+  }
+}
+
+SimResult Simulation::run() {
+  MLID_EXPECT(!burst_, "burst simulation: use run_to_completion()");
+  const SimTime end = cfg_.end_time();
+  while (!events_.empty() && events_.top().time < end) {
+    dispatch(events_.pop());
+  }
+  check_invariants();
+
+  result_.offered_load = offered_load_;
+  result_.sim_end_ns = end;
+  result_.events_processed = events_.events_processed();
+  const auto num_nodes =
+      static_cast<double>(subnet_->fabric().params().num_nodes());
+  result_.accepted_bytes_per_ns_per_node =
+      static_cast<double>(bytes_accepted_window_) /
+      static_cast<double>(cfg_.measure_ns) / num_nodes;
+  result_.avg_latency_ns = latency_window_.mean();
+  result_.avg_network_latency_ns = net_latency_window_.mean();
+  result_.p50_latency_ns = latency_hist_.quantile(0.50);
+  result_.p99_latency_ns = latency_hist_.quantile(0.99);
+  result_.max_latency_ns = latency_window_.max();
+  result_.avg_hops = hops_window_.mean();
+
+  OnlineStats util;
+  for (const auto& devstate : devices_) {
+    for (const auto& out : devstate.out) {
+      if (!out.connected) continue;
+      util.add(static_cast<double>(out.busy_in_window) /
+               static_cast<double>(cfg_.measure_ns));
+    }
+  }
+  result_.mean_link_utilization = util.mean();
+  result_.max_link_utilization = util.max();
+
+  result_.delivered_per_vl = delivered_per_vl_;
+  result_.avg_latency_per_vl_ns.clear();
+  for (const OnlineStats& s : latency_per_vl_) {
+    result_.avg_latency_per_vl_ns.push_back(s.mean());
+  }
+  double sum = 0.0, sum_sq = 0.0, lo = -1.0, hi = 0.0;
+  for (const std::uint64_t bytes : bytes_per_node_) {
+    const auto rate = static_cast<double>(bytes) /
+                      static_cast<double>(cfg_.measure_ns);
+    sum += rate;
+    sum_sq += rate * rate;
+    if (lo < 0.0 || rate < lo) lo = rate;
+    hi = std::max(hi, rate);
+  }
+  const auto n_nodes = static_cast<double>(bytes_per_node_.size());
+  result_.jain_fairness_index =
+      sum_sq > 0.0 ? sum * sum / (n_nodes * sum_sq) : 0.0;
+  result_.min_node_accepted_bytes_per_ns = std::max(lo, 0.0);
+  result_.max_node_accepted_bytes_per_ns = hi;
+  return result_;
+}
+
+std::string Simulation::stall_report() const {
+  std::ostringstream os;
+  const Fabric& g = subnet_->fabric().fabric();
+  for (DeviceId dev = 0; dev < g.num_devices(); ++dev) {
+    const DeviceState& state = devices_[dev];
+    for (PortId port = 1; port <= g.device(dev).num_ports(); ++port) {
+      const OutPort& out = state.out[port];
+      if (!out.connected) continue;
+      for (int vl = 0; vl < cfg_.num_vls; ++vl) {
+        const VlOut& slot = out.vls[static_cast<std::size_t>(vl)];
+        const auto& waitq =
+            state.wait[static_cast<std::size_t>(port) *
+                           static_cast<std::size_t>(cfg_.num_vls) +
+                       static_cast<std::size_t>(vl)];
+        if (slot.queue.empty() && waitq.empty()) continue;
+        os << g.device(dev).name() << " port " << int(port) << " vl " << vl
+           << ": out_q=" << slot.queue.size()
+           << " started=" << slot.head_started << " credits=" << slot.credits
+           << " waitq=" << waitq.size() << " busy_until=" << out.busy_until
+           << " retry=" << out.retry_scheduled << "\n";
+        for (PacketId pkt : slot.queue) {
+          os << "    out pkt " << pkt << " src=" << pool_[pkt].src << " dst="
+             << pool_[pkt].dst << " dlid=" << pool_[pkt].dlid
+             << " in_port=" << int(rt_[pkt].in_port) << "\n";
+        }
+        for (PacketId pkt : waitq) {
+          os << "    wait pkt " << pkt << " src=" << pool_[pkt].src << " dst="
+             << pool_[pkt].dst << " dlid=" << pool_[pkt].dlid
+             << " in_port=" << int(rt_[pkt].in_port) << "\n";
+        }
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mlid

@@ -1,0 +1,180 @@
+// Event-driven InfiniBand subnet simulator.
+//
+// Models, at packet granularity (see DESIGN.md §6):
+//   * crossbar switches with per-(port, VL) input/output buffers,
+//   * deterministic LFT forwarding with a fixed routing/arbitration delay,
+//   * virtual cut-through (forwarding begins after the head is routed; the
+//     serialization time is paid once end-to-end when uncontended),
+//   * credit-based link-level flow control per VL,
+//   * round-robin VL arbitration on each physical link,
+//   * endnode NICs with per-VL source queues injecting at a constant rate.
+//
+// Every run is bit-deterministic for a given (config, traffic) seed pair.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+#include "sim/traffic.hpp"
+#include "sim/workload.hpp"
+#include "subnet/subnet.hpp"
+
+namespace mlid {
+
+class Simulation {
+ public:
+  /// Open-loop mode: `offered_load` is the per-node injection rate as a
+  /// fraction of the endnode link bandwidth (1.0 = one packet every
+  /// packet_wire_ns).  Use run().
+  Simulation(const Subnet& subnet, SimConfig config, TrafficConfig traffic,
+             double offered_load);
+
+  /// Closed-loop (burst) mode: segments every message at the MTU
+  /// (config.packet_bytes) and queues all segments at t = 0.  Use
+  /// run_to_completion().
+  Simulation(const Subnet& subnet, SimConfig config,
+             const std::vector<MessageSpec>& workload);
+
+  /// Run to config.end_time() and return the collected metrics
+  /// (open-loop mode only).
+  SimResult run();
+
+  /// Drain the burst workload and report makespan / message latencies
+  /// (burst mode only).
+  BurstResult run_to_completion();
+
+  /// Post-run diagnostics: every output port still holding packets, its
+  /// credit counters and crossbar wait queues.  Empty string when the
+  /// network fully drained (modulo source queues).
+  [[nodiscard]] std::string stall_report() const;
+
+  /// Timelines of the first SimConfig::trace_packets generated packets
+  /// (empty when tracing is off).  Valid after run().
+  [[nodiscard]] const std::vector<PacketTraceRecord>& traces() const noexcept {
+    return traces_;
+  }
+
+  /// Per-directed-link transmission counts and busy fractions, in
+  /// deterministic (device, port) order.  Valid after run().
+  [[nodiscard]] std::vector<LinkLoad> link_loads() const;
+
+  /// Token-conservation self-check: every output slot/credit counter must
+  /// still balance against its capacity.  Throws ContractViolation on the
+  /// first violation; run() calls it automatically before returning.
+  void check_invariants() const;
+
+ private:
+  // --- engine state types ----------------------------------------------------
+  struct VlOut {
+    std::deque<PacketId> queue;  ///< granted packets, FIFO; head may transmit
+    int free_slots = 0;
+    int credits = 0;             ///< downstream input slots available
+    bool head_started = false;   ///< head packet is on the wire
+  };
+  struct OutPort {
+    std::vector<VlOut> vls;
+    PortRef peer;
+    SimTime busy_until = 0;
+    SimTime busy_in_window = 0;
+    std::uint64_t packets_tx = 0;
+    int wrr_vl = 0;      ///< VL whose arbitration round is in progress
+    int wrr_budget = 0;  ///< packets the current VL may still send
+    bool retry_scheduled = false;
+    bool connected = false;
+  };
+  struct DeviceState {
+    std::vector<OutPort> out;                      ///< index = physical port
+    std::vector<std::deque<PacketId>> wait;        ///< [port * vls + vl]
+  };
+  struct PacketRt {
+    DeviceId dev = kInvalidDevice;
+    PortId in_port = 0;  ///< 0 = came from the local source queue
+    PortId out_port = 0;
+    std::int32_t trace = -1;  ///< index into traces_, -1 = untraced
+  };
+  struct NodeState {
+    std::vector<std::deque<PacketId>> source_queue;  ///< per VL
+    double next_gen_ns = 0.0;
+    std::uint64_t queued_pkts = 0;
+  };
+  struct MsgState {
+    std::uint32_t remaining_segments = 0;
+    SimTime completed_at = -1;
+  };
+
+  // --- event handlers ---------------------------------------------------------
+  void on_generate(NodeId node, SimTime now);
+  void on_head_arrive(DeviceId dev, PortId port, VlId vl, PacketId pkt,
+                      SimTime now);
+  void on_routed(DeviceId dev, PortId port, VlId vl, PacketId pkt,
+                 SimTime now);
+  void on_tail_out(DeviceId dev, PortId port, VlId vl, PacketId pkt,
+                   SimTime now);
+  void on_deliver(DeviceId dev, PortId port, VlId vl, PacketId pkt,
+                  SimTime now);
+
+  // --- mechanics ---------------------------------------------------------------
+  void try_source_pull(NodeId node, VlId vl, SimTime now);
+  [[nodiscard]] PortId pick_output(DeviceId dev, const Device& device,
+                                   VlId vl, Lid dlid) const;
+  void try_tx(DeviceId dev, PortId port, SimTime now);
+  void grant_output(DeviceId dev, PortId out, VlId vl, PacketId pkt,
+                    SimTime now);
+  void return_credit_upstream(DeviceId dev, PortId in_port, VlId vl,
+                              SimTime now);
+  Simulation(const Subnet& subnet, SimConfig config, TrafficConfig traffic,
+             double offered_load, bool burst);  // shared setup
+  PacketId alloc_packet();
+  void release_packet(PacketId pkt);
+  [[nodiscard]] SimTime wire_ns(PacketId pkt) const {
+    return static_cast<SimTime>(pool_[pkt].size_bytes) * cfg_.byte_time_ns;
+  }
+  void dispatch(const Event& e);
+  void trace_event(PacketId pkt, SimTime now, TracePoint point, DeviceId dev,
+                   PortId port, VlId vl);
+  [[nodiscard]] VlId assign_vl(NodeId src, NodeId dst);
+  void accumulate_utilization(OutPort& port, SimTime start, SimTime end);
+
+  // --- wiring -------------------------------------------------------------------
+  const Subnet* subnet_;
+  SimConfig cfg_;
+  TrafficPattern traffic_;
+  double offered_load_;
+  double gen_interval_ns_;
+
+  EventQueue events_;
+  std::vector<Packet> pool_;
+  std::vector<PacketRt> rt_;
+  std::vector<char> live_;  ///< alloc/release pairing guard
+  std::vector<PacketId> free_list_;
+  std::vector<DeviceState> devices_;
+  std::vector<NodeState> nodes_;
+  std::vector<PortId> first_up_port_;  ///< per device; 0 = no up ports
+  std::vector<Xoshiro256> vl_rng_;
+
+  // --- metrics accumulation -------------------------------------------------
+  SimResult result_;
+  std::vector<PacketTraceRecord> traces_;
+  OnlineStats latency_window_;
+  OnlineStats net_latency_window_;
+  OnlineStats hops_window_;
+  Histogram latency_hist_;
+  std::uint64_t bytes_accepted_window_ = 0;
+  std::vector<std::uint64_t> delivered_per_vl_;
+  std::vector<OnlineStats> latency_per_vl_;
+  std::vector<std::uint64_t> bytes_per_node_;
+
+  // --- burst (closed-loop) mode ----------------------------------------------
+  bool burst_ = false;
+  std::vector<MsgState> msgs_;
+  OnlineStats msg_latency_;
+  SimTime last_delivery_ = 0;
+  std::uint64_t burst_packets_ = 0;
+  std::uint64_t burst_bytes_ = 0;
+};
+
+}  // namespace mlid

@@ -1,0 +1,49 @@
+// Simulation results: the quantities the paper plots plus diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace mlid {
+
+struct SimResult {
+  // --- the paper's axes ------------------------------------------------------
+  double offered_load = 0.0;  ///< fraction of endnode link bandwidth
+  /// Accepted traffic in payload bytes per nanosecond per processing node,
+  /// measured over the measurement window (the paper's x axis).
+  double accepted_bytes_per_ns_per_node = 0.0;
+  /// Average message latency in ns, generation -> tail delivery (y axis).
+  double avg_latency_ns = 0.0;
+
+  // --- additional latency detail --------------------------------------------
+  double avg_network_latency_ns = 0.0;  ///< injection -> delivery
+  double p50_latency_ns = 0.0;
+  double p99_latency_ns = 0.0;
+  double max_latency_ns = 0.0;
+
+  // --- accounting ------------------------------------------------------------
+  std::uint64_t packets_generated = 0;  ///< whole run
+  std::uint64_t packets_delivered = 0;  ///< whole run
+  std::uint64_t packets_measured = 0;   ///< delivered inside the window
+  std::uint64_t packets_dropped = 0;    ///< unroutable DLID (must stay 0)
+  std::uint64_t events_processed = 0;
+  double avg_hops = 0.0;
+  std::uint64_t max_source_queue_pkts = 0;
+  double mean_link_utilization = 0.0;  ///< busy fraction, measurement window
+  double max_link_utilization = 0.0;
+  SimTime sim_end_ns = 0;
+
+  // --- fairness and per-lane detail ------------------------------------------
+  std::vector<std::uint64_t> delivered_per_vl;  ///< measurement window
+  std::vector<double> avg_latency_per_vl_ns;    ///< measurement window
+  /// Jain fairness index over per-destination accepted bytes in the window
+  /// (1.0 = perfectly even; 1/N = one node receives everything).
+  double jain_fairness_index = 0.0;
+  double min_node_accepted_bytes_per_ns = 0.0;
+  double max_node_accepted_bytes_per_ns = 0.0;
+};
+
+}  // namespace mlid

@@ -1,0 +1,35 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace mlid {
+
+std::string to_string(const PacketTraceRecord& record) {
+  std::ostringstream os;
+  os << "packet node " << record.src << " -> node " << record.dst
+     << " (dlid " << record.dlid << ")\n";
+  for (const TraceEvent& event : record.events) {
+    os << "  t=" << event.time << "ns  " << to_string(event.point)
+       << "  device " << event.dev << " port " << int(event.port) << " vl "
+       << int(event.vl) << "\n";
+  }
+  return os.str();
+}
+
+std::string to_string(TracePoint point) {
+  switch (point) {
+    case TracePoint::kGenerated:
+      return "generated";
+    case TracePoint::kInjected:
+      return "injected";
+    case TracePoint::kHeadArrive:
+      return "head-arrive";
+    case TracePoint::kForwarded:
+      return "forwarded";
+    case TracePoint::kDelivered:
+      return "delivered";
+  }
+  return "?";
+}
+
+}  // namespace mlid

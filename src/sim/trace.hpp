@@ -1,0 +1,50 @@
+// Packet tracing: optional per-packet event timelines and per-link load
+// counters, for debugging and for the examples' link-level analyses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mlid {
+
+enum class TracePoint : std::uint8_t {
+  kGenerated,   ///< entered the source queue
+  kInjected,    ///< head left the source NIC onto the first link
+  kHeadArrive,  ///< head reached an input port
+  kForwarded,   ///< head left a switch output port
+  kDelivered,   ///< tail fully received by the destination
+};
+
+[[nodiscard]] std::string to_string(TracePoint point);
+
+struct TraceEvent {
+  SimTime time = 0;
+  TracePoint point = TracePoint::kGenerated;
+  DeviceId dev = kInvalidDevice;
+  PortId port = 0;
+  VlId vl = 0;
+};
+
+/// Timeline of one traced packet (the first SimConfig::trace_packets
+/// generated packets are recorded).
+struct PacketTraceRecord {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Lid dlid = kInvalidLid;
+  std::vector<TraceEvent> events;
+};
+
+/// Multi-line human-readable rendering of one trace record.
+std::string to_string(const PacketTraceRecord& record);
+
+/// Per-directed-link transmission counters collected by every run.
+struct LinkLoad {
+  DeviceId dev = kInvalidDevice;
+  PortId port = 0;
+  std::uint64_t packets_tx = 0;
+  double busy_fraction = 0.0;  ///< of the measurement window
+};
+
+}  // namespace mlid

@@ -1,0 +1,82 @@
+#include "sim/traffic.hpp"
+
+#include <numeric>
+
+#include "common/expect.hpp"
+
+namespace mlid {
+
+std::string to_string(TrafficKind kind) {
+  switch (kind) {
+    case TrafficKind::kUniform:
+      return "uniform";
+    case TrafficKind::kCentric:
+      return "centric";
+    case TrafficKind::kPermutation:
+      return "permutation";
+    case TrafficKind::kBitComplement:
+      return "bit-complement";
+    case TrafficKind::kNeighbor:
+      return "neighbor";
+  }
+  return "?";
+}
+
+TrafficPattern::TrafficPattern(TrafficConfig config, std::uint32_t num_nodes)
+    : config_(config), num_nodes_(num_nodes) {
+  MLID_EXPECT(num_nodes >= 2, "traffic needs at least two nodes");
+  MLID_EXPECT(config.hot_fraction >= 0.0 && config.hot_fraction <= 1.0,
+              "hot fraction must be a probability");
+  MLID_EXPECT(config.hot_node < num_nodes, "hot node out of range");
+  SplitMix64 seeder(config.seed);
+  per_source_.reserve(num_nodes);
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    per_source_.emplace_back(seeder.next());
+  }
+  if (config.kind == TrafficKind::kPermutation) {
+    // Fisher-Yates from a dedicated stream, then rotate fixed points away so
+    // the pattern is a derangement (nobody sends to itself).
+    permutation_.resize(num_nodes);
+    std::iota(permutation_.begin(), permutation_.end(), NodeId{0});
+    Xoshiro256 rng(seeder.next());
+    for (std::uint32_t i = num_nodes - 1; i > 0; --i) {
+      const auto j = static_cast<std::uint32_t>(rng.below(i + 1));
+      std::swap(permutation_[i], permutation_[j]);
+    }
+    for (std::uint32_t i = 0; i < num_nodes; ++i) {
+      if (permutation_[i] == i) {
+        const std::uint32_t j = (i + 1) % num_nodes;
+        std::swap(permutation_[i], permutation_[j]);
+      }
+    }
+  }
+}
+
+NodeId TrafficPattern::pick_destination(NodeId src) {
+  MLID_EXPECT(src < num_nodes_, "source out of range");
+  Xoshiro256& rng = per_source_[src];
+  auto uniform_other = [&]() {
+    // Draw from [0, N-1) and skip over src: uniform over the others.
+    auto d = static_cast<NodeId>(rng.below(num_nodes_ - 1));
+    return d >= src ? d + 1 : d;
+  };
+  switch (config_.kind) {
+    case TrafficKind::kUniform:
+      return uniform_other();
+    case TrafficKind::kCentric: {
+      if (src != config_.hot_node && rng.chance(config_.hot_fraction)) {
+        return config_.hot_node;
+      }
+      return uniform_other();
+    }
+    case TrafficKind::kPermutation:
+      return permutation_[src];
+    case TrafficKind::kBitComplement:
+      return num_nodes_ - 1 - src;
+    case TrafficKind::kNeighbor:
+      return src ^ 1u;
+  }
+  return uniform_other();
+}
+
+}  // namespace mlid

@@ -1,0 +1,54 @@
+// Traffic patterns: destination selection per generated packet.
+//
+// The paper evaluates a uniform pattern and a "centric" hot-spot pattern
+// (each node directs a fixed fraction of its packets to one particular
+// node).  Permutation and bit-complement patterns are provided for the
+// extension benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace mlid {
+
+enum class TrafficKind : std::uint8_t {
+  kUniform,        ///< destination uniform over all other nodes
+  kCentric,        ///< hot-spot: P(hot) = hot_fraction, else uniform
+  kPermutation,    ///< fixed random derangement src -> dst
+  kBitComplement,  ///< dst = N - 1 - src (worst-case prefix distance)
+  kNeighbor,       ///< dst = src ^ 1 (same leaf switch; best case)
+};
+
+[[nodiscard]] std::string to_string(TrafficKind kind);
+
+struct TrafficConfig {
+  TrafficKind kind = TrafficKind::kUniform;
+  double hot_fraction = 0.20;     ///< centric only
+  NodeId hot_node = 0;            ///< centric only
+  std::uint64_t seed = 42;        ///< pattern-private randomness
+};
+
+/// Stateful pattern object; one per simulation.  Destination draws use a
+/// per-source RNG stream so node count changes don't perturb other nodes.
+class TrafficPattern {
+ public:
+  TrafficPattern(TrafficConfig config, std::uint32_t num_nodes);
+
+  [[nodiscard]] NodeId pick_destination(NodeId src);
+
+  [[nodiscard]] const TrafficConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  TrafficConfig config_;
+  std::uint32_t num_nodes_;
+  std::vector<Xoshiro256> per_source_;
+  std::vector<NodeId> permutation_;  ///< permutation pattern only
+};
+
+}  // namespace mlid

@@ -1,0 +1,111 @@
+#include "sim/workload.hpp"
+
+#include <istream>
+#include <numeric>
+#include <sstream>
+
+namespace mlid {
+
+std::vector<MessageSpec> all_to_all_personalized(
+    std::uint32_t num_nodes, std::uint32_t bytes_per_pair) {
+  MLID_EXPECT(num_nodes >= 2, "collective needs at least two nodes");
+  MLID_EXPECT(bytes_per_pair >= 1, "empty messages are not modelled");
+  std::vector<MessageSpec> messages;
+  messages.reserve(static_cast<std::size_t>(num_nodes) * (num_nodes - 1));
+  for (NodeId src = 0; src < num_nodes; ++src) {
+    for (std::uint32_t step = 1; step < num_nodes; ++step) {
+      const NodeId dst = (src + step) % num_nodes;
+      messages.push_back(MessageSpec{src, dst, bytes_per_pair});
+    }
+  }
+  return messages;
+}
+
+std::vector<MessageSpec> gather_to(std::uint32_t num_nodes, NodeId root,
+                                   std::uint32_t bytes) {
+  MLID_EXPECT(num_nodes >= 2, "collective needs at least two nodes");
+  MLID_EXPECT(root < num_nodes, "root out of range");
+  MLID_EXPECT(bytes >= 1, "empty messages are not modelled");
+  std::vector<MessageSpec> messages;
+  messages.reserve(num_nodes - 1);
+  for (NodeId src = 0; src < num_nodes; ++src) {
+    if (src != root) messages.push_back(MessageSpec{src, root, bytes});
+  }
+  return messages;
+}
+
+std::vector<MessageSpec> scatter_from(std::uint32_t num_nodes, NodeId root,
+                                      std::uint32_t bytes) {
+  MLID_EXPECT(num_nodes >= 2, "collective needs at least two nodes");
+  MLID_EXPECT(root < num_nodes, "root out of range");
+  MLID_EXPECT(bytes >= 1, "empty messages are not modelled");
+  std::vector<MessageSpec> messages;
+  messages.reserve(num_nodes - 1);
+  for (NodeId dst = 0; dst < num_nodes; ++dst) {
+    if (dst != root) messages.push_back(MessageSpec{root, dst, bytes});
+  }
+  return messages;
+}
+
+std::vector<MessageSpec> ring_shift(std::uint32_t num_nodes,
+                                    std::uint32_t shift, std::uint32_t bytes) {
+  MLID_EXPECT(num_nodes >= 2, "collective needs at least two nodes");
+  MLID_EXPECT(shift % num_nodes != 0, "shift must move every node");
+  MLID_EXPECT(bytes >= 1, "empty messages are not modelled");
+  std::vector<MessageSpec> messages;
+  messages.reserve(num_nodes);
+  for (NodeId src = 0; src < num_nodes; ++src) {
+    messages.push_back(MessageSpec{src, (src + shift) % num_nodes, bytes});
+  }
+  return messages;
+}
+
+std::vector<MessageSpec> random_permutation(std::uint32_t num_nodes,
+                                            std::uint32_t bytes,
+                                            std::uint64_t seed) {
+  MLID_EXPECT(num_nodes >= 2, "collective needs at least two nodes");
+  MLID_EXPECT(bytes >= 1, "empty messages are not modelled");
+  std::vector<NodeId> perm(num_nodes);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  Xoshiro256 rng(seed);
+  for (std::uint32_t i = num_nodes - 1; i > 0; --i) {
+    const auto j = static_cast<std::uint32_t>(rng.below(i + 1));
+    std::swap(perm[i], perm[j]);
+  }
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    if (perm[i] == i) std::swap(perm[i], perm[(i + 1) % num_nodes]);
+  }
+  std::vector<MessageSpec> messages;
+  messages.reserve(num_nodes);
+  for (NodeId src = 0; src < num_nodes; ++src) {
+    messages.push_back(MessageSpec{src, perm[src], bytes});
+  }
+  return messages;
+}
+
+std::vector<MessageSpec> parse_message_csv(std::istream& in) {
+  std::vector<MessageSpec> messages;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    std::uint64_t src = 0, dst = 0, bytes = 0;
+    char comma1 = 0, comma2 = 0;
+    fields >> src >> comma1 >> dst >> comma2 >> bytes;
+    MLID_EXPECT(fields && comma1 == ',' && comma2 == ',',
+                ("malformed trace line " + std::to_string(line_no)).c_str());
+    MLID_EXPECT(src <= kInvalidNode && dst <= kInvalidNode &&
+                    bytes > 0 && bytes <= 1u << 30,
+                ("trace line " + std::to_string(line_no) +
+                 " out of range").c_str());
+    messages.push_back(MessageSpec{static_cast<NodeId>(src),
+                                   static_cast<NodeId>(dst),
+                                   static_cast<std::uint32_t>(bytes)});
+  }
+  return messages;
+}
+
+}  // namespace mlid

@@ -1,0 +1,73 @@
+// Closed-loop (burst) workloads: explicit message lists with MTU
+// segmentation, the cluster-computing scenarios from the paper's
+// introduction (parallel applications exchanging messages, not open-loop
+// packet streams).  Simulation::run_to_completion() drains a workload and
+// reports its makespan and message latencies.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace mlid {
+
+/// One application-level message; per-source order is the injection order.
+struct MessageSpec {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint32_t bytes = 0;
+};
+
+/// Result of draining a burst workload.
+struct BurstResult {
+  SimTime makespan_ns = 0;  ///< first injection attempt to last delivery
+  double avg_message_latency_ns = 0.0;
+  double max_message_latency_ns = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t events_processed = 0;
+  /// Aggregate goodput: total payload bytes / makespan.
+  [[nodiscard]] double aggregate_bytes_per_ns() const noexcept {
+    return makespan_ns > 0
+               ? static_cast<double>(total_bytes) /
+                     static_cast<double>(makespan_ns)
+               : 0.0;
+  }
+};
+
+// --- canonical collective exchange patterns ---------------------------------
+
+/// Every node sends `bytes_per_pair` to every other node (MPI_Alltoall's
+/// traffic).  Send order is rotated per source (src sends first to src+1)
+/// so the pattern does not start synchronized on one destination.
+std::vector<MessageSpec> all_to_all_personalized(std::uint32_t num_nodes,
+                                                 std::uint32_t bytes_per_pair);
+
+/// Every node sends one message to `root` (MPI_Gather's traffic).
+std::vector<MessageSpec> gather_to(std::uint32_t num_nodes, NodeId root,
+                                   std::uint32_t bytes);
+
+/// `root` sends a personalized message to every other node (MPI_Scatter).
+std::vector<MessageSpec> scatter_from(std::uint32_t num_nodes, NodeId root,
+                                      std::uint32_t bytes);
+
+/// Node i sends one message to (i + shift) mod N (ring/halo exchange step).
+std::vector<MessageSpec> ring_shift(std::uint32_t num_nodes, std::uint32_t shift,
+                                    std::uint32_t bytes);
+
+/// A seeded random permutation exchange (one message per node).
+std::vector<MessageSpec> random_permutation(std::uint32_t num_nodes,
+                                            std::uint32_t bytes,
+                                            std::uint64_t seed);
+
+/// Parse a message trace: one "src,dst,bytes" triple per line; blank lines
+/// and lines starting with '#' are ignored.  Throws ContractViolation on
+/// malformed input (with the offending line number).
+std::vector<MessageSpec> parse_message_csv(std::istream& in);
+
+}  // namespace mlid

@@ -1,0 +1,58 @@
+#include "subnet/discovery.hpp"
+
+#include <deque>
+
+#include "common/expect.hpp"
+
+namespace mlid {
+
+const DiscoveredDevice* DiscoveredTopology::find(DeviceId id) const {
+  for (const auto& d : devices) {
+    if (d.id == id) return &d;
+  }
+  return nullptr;
+}
+
+DiscoveredTopology discover_subnet(const Fabric& fabric, DeviceId sm_device) {
+  MLID_EXPECT(sm_device < fabric.num_devices(), "SM device out of range");
+  DiscoveredTopology topo;
+  std::vector<char> seen(fabric.num_devices(), 0);
+  std::deque<std::pair<DeviceId, int>> frontier;  // (device, hops)
+  frontier.emplace_back(sm_device, 0);
+  seen[sm_device] = 1;
+
+  while (!frontier.empty()) {
+    const auto [id, hops] = frontier.front();
+    frontier.pop_front();
+    const Device& dev = fabric.device(id);
+
+    DiscoveredDevice record;
+    record.id = id;
+    record.kind = dev.kind();
+    record.num_ports = dev.num_ports();
+    record.hops_from_sm = hops;
+    record.peers.resize(static_cast<std::size_t>(dev.num_ports()) + 1);
+    for (PortId port = 1; port <= dev.num_ports(); ++port) {
+      ++topo.probes_sent;  // one PortInfo/NodeInfo SMP per port examined
+      if (!dev.port_connected(port)) continue;
+      const PortRef peer = dev.peer(port);
+      record.peers[port] = peer;
+      if (peer.device > id || (peer.device == id && peer.port > port)) {
+        ++topo.num_links;  // count each link from its lower endpoint probe
+      }
+      if (!seen[peer.device]) {
+        seen[peer.device] = 1;
+        frontier.emplace_back(peer.device, hops + 1);
+      }
+    }
+    if (record.kind == DeviceKind::kEndnode) {
+      ++topo.num_endnodes;
+    } else {
+      ++topo.num_switches;
+    }
+    topo.devices.push_back(std::move(record));
+  }
+  return topo;
+}
+
+}  // namespace mlid

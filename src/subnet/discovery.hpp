@@ -1,0 +1,38 @@
+// Subnet discovery: the Subnet Manager's topology sweep.
+//
+// Mirrors how an SM explores an unknown IBA subnet with direct-routed SMPs:
+// starting from the SM's own port it BFS-expands through switches, learning
+// each device's kind and port peers one probe at a time.  The sweep only
+// uses the Fabric's port-walk primitives (never the builder's label
+// mappings), so it genuinely re-derives the topology.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/fabric.hpp"
+
+namespace mlid {
+
+struct DiscoveredDevice {
+  DeviceId id = kInvalidDevice;
+  DeviceKind kind = DeviceKind::kEndnode;
+  int num_ports = 0;
+  int hops_from_sm = 0;          ///< BFS depth of the first probe that saw it
+  std::vector<PortRef> peers;    ///< index = port; invalid PortRef = free
+};
+
+struct DiscoveredTopology {
+  std::vector<DiscoveredDevice> devices;  ///< in discovery (BFS) order
+  std::uint32_t num_endnodes = 0;
+  std::uint32_t num_switches = 0;
+  std::uint32_t num_links = 0;
+  std::uint64_t probes_sent = 0;  ///< one per port examined (SMP traffic)
+
+  [[nodiscard]] const DiscoveredDevice* find(DeviceId id) const;
+};
+
+/// Sweep the subnet starting from `sm_device` (typically an endnode's port).
+DiscoveredTopology discover_subnet(const Fabric& fabric, DeviceId sm_device);
+
+}  // namespace mlid

@@ -1,0 +1,38 @@
+#include "subnet/subnet.hpp"
+
+namespace mlid {
+
+Subnet::Subnet(const FatTreeFabric& fabric, SchemeKind kind)
+    : Subnet(fabric, make_scheme(kind, fabric.params())) {}
+
+Subnet::Subnet(const FatTreeFabric& fabric,
+               std::unique_ptr<RoutingScheme> scheme)
+    : fabric_(&fabric) {
+  MLID_EXPECT(scheme != nullptr, "subnet needs a routing scheme");
+  // 1. Discovery sweep, as the SM would run it from its own endport.
+  const DiscoveredTopology topo =
+      discover_subnet(fabric.fabric(), fabric.node_device(0));
+  MLID_EXPECT(topo.num_endnodes == fabric.params().num_nodes() &&
+                  topo.num_switches == fabric.params().num_switches(),
+              "discovery sweep did not reach the whole subnet");
+  stats_.discovery_probes = topo.probes_sent;
+  stats_.discovered_endnodes = topo.num_endnodes;
+  stats_.discovered_switches = topo.num_switches;
+  stats_.discovered_links = topo.num_links;
+
+  // 2. Addressing: adopt the scheme and account the LID blocks it hands to
+  //    each endport.
+  scheme_ = std::move(scheme);
+  for (NodeId node = 0; node < fabric.params().num_nodes(); ++node) {
+    stats_.lids_assigned += scheme_->lids_of(node).count();
+  }
+
+  // 3. Forwarding table programming for every discovered switch.
+  routes_ = std::make_unique<CompiledRoutes>(fabric, *scheme_);
+  for (SwitchId sw = 0; sw < fabric.params().num_switches(); ++sw) {
+    stats_.lft_entries_programmed +=
+        static_cast<std::uint32_t>(routes_->lft(sw).num_entries());
+  }
+}
+
+}  // namespace mlid

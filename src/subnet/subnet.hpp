@@ -1,0 +1,71 @@
+// The initialized subnet: everything the simulator needs after the SM's
+// sweep — LID tables, per-switch LFTs, and the path-selection entry point.
+#pragma once
+
+#include <memory>
+
+#include "routing/path.hpp"
+#include "routing/scheme.hpp"
+#include "subnet/discovery.hpp"
+#include "topology/builder.hpp"
+
+namespace mlid {
+
+/// Counters describing what subnet initialization did (exposed for tests
+/// and for the quickstart example's narration).
+struct SubnetInitStats {
+  std::uint64_t discovery_probes = 0;
+  std::uint32_t discovered_endnodes = 0;
+  std::uint32_t discovered_switches = 0;
+  std::uint32_t discovered_links = 0;
+  std::uint32_t lids_assigned = 0;
+  std::uint32_t lft_entries_programmed = 0;
+};
+
+/// A fully initialized subnet.  Owns the routing scheme and compiled LFTs;
+/// references (does not own) the fabric.
+class Subnet {
+ public:
+  /// Runs the full SM bring-up: discovery sweep from node 0's endport,
+  /// LID assignment, and LFT programming.
+  Subnet(const FatTreeFabric& fabric, SchemeKind kind);
+
+  /// Same bring-up with a caller-supplied scheme (e.g. PartialMlidRouting).
+  Subnet(const FatTreeFabric& fabric, std::unique_ptr<RoutingScheme> scheme);
+
+  [[nodiscard]] const FatTreeFabric& fabric() const noexcept {
+    return *fabric_;
+  }
+  [[nodiscard]] const RoutingScheme& scheme() const noexcept {
+    return *scheme_;
+  }
+  [[nodiscard]] const CompiledRoutes& routes() const noexcept {
+    return *routes_;
+  }
+  [[nodiscard]] const SubnetInitStats& init_stats() const noexcept {
+    return stats_;
+  }
+
+  /// Path selection for a packet from src to dst.
+  [[nodiscard]] Lid select_dlid(NodeId src, NodeId dst) const {
+    return scheme_->select_dlid(src, dst);
+  }
+
+  /// The node owning a LID.
+  [[nodiscard]] NodeId node_of(Lid lid) const {
+    return scheme_->node_of_lid(lid);
+  }
+
+  /// Source LID a node stamps into its packets (its base LID).
+  [[nodiscard]] Lid slid_of(NodeId node) const {
+    return scheme_->lids_of(node).base();
+  }
+
+ private:
+  const FatTreeFabric* fabric_;
+  std::unique_ptr<RoutingScheme> scheme_;
+  std::unique_ptr<CompiledRoutes> routes_;
+  SubnetInitStats stats_;
+};
+
+}  // namespace mlid

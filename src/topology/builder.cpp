@@ -1,0 +1,54 @@
+#include "topology/builder.hpp"
+
+namespace mlid {
+
+FatTreeFabric::FatTreeFabric(FatTreeParams params) : params_(params) {
+  node_devices_.reserve(params_.num_nodes());
+  switch_devices_.reserve(params_.num_switches());
+
+  // Switches first (SwitchId order = level-major), then endnodes in PID
+  // order.  Creation order is an implementation detail; the id mappings are
+  // the contract.
+  for (SwitchId sw = 0; sw < params_.num_switches(); ++sw) {
+    const SwitchLabel label = switch_from_id(params_, sw);
+    const DeviceId dev = fabric_.add_switch(params_.m(), label.to_string());
+    fabric_.device(dev).switch_id = sw;
+    switch_devices_.push_back(dev);
+  }
+  for (NodeId node = 0; node < params_.num_nodes(); ++node) {
+    const NodeLabel label = NodeLabel::from_pid(params_, node);
+    const DeviceId dev = fabric_.add_endnode(label.to_string());
+    fabric_.device(dev).node_id = node;
+    node_devices_.push_back(dev);
+  }
+
+  // Inter-switch links: for every non-root switch, wire each of its up
+  // ports to the corresponding parent's down port.  Enumerating from below
+  // touches every inter-switch link exactly once.
+  for (SwitchId sw = 0; sw < params_.num_switches(); ++sw) {
+    const SwitchLabel child = switch_from_id(params_, sw);
+    if (child.level() == 0) continue;
+    for (int u = 0; u < num_up_ports(params_, child.level()); ++u) {
+      const auto child_port =
+          static_cast<PortId>(params_.half() + u + kPortShift);
+      const SwitchLabel parent =
+          parent_through_port(params_, child, child_port);
+      const PortId parent_port = parent_facing_port(params_, parent, child);
+      MLID_ASSERT(child_facing_port(params_, child, parent) == child_port,
+                  "wiring rules disagree");
+      fabric_.connect(switch_devices_[sw], child_port,
+                      switch_devices_[parent.switch_id(params_)], parent_port);
+    }
+  }
+
+  // Endnode links: each node attaches to its leaf switch.
+  for (NodeId node = 0; node < params_.num_nodes(); ++node) {
+    const NodeLabel label = NodeLabel::from_pid(params_, node);
+    const SwitchLabel leaf = leaf_switch_of(params_, label);
+    fabric_.connect(node_devices_[node], PortId{1},
+                    switch_devices_[leaf.switch_id(params_)],
+                    leaf_port_of(params_, label));
+  }
+}
+
+}  // namespace mlid

@@ -1,0 +1,59 @@
+// Builds the IBFT(m, n) fabric from FatTreeParams and keeps the
+// label <-> device mappings (paper Section 3).
+#pragma once
+
+#include <vector>
+
+#include "topology/fabric.hpp"
+#include "topology/fat_tree.hpp"
+
+namespace mlid {
+
+/// A constructed m-port n-tree InfiniBand fabric plus its label mappings.
+///
+/// NodeId == PID (endnodes are created in PID order) and SwitchId follows
+/// SwitchLabel::switch_id (level-major order), so lookups in both
+/// directions are O(1) array accesses.
+class FatTreeFabric {
+ public:
+  explicit FatTreeFabric(FatTreeParams params);
+
+  [[nodiscard]] const FatTreeParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] const Fabric& fabric() const noexcept { return fabric_; }
+
+  /// Mutable access for fault injection (Fabric::disconnect).  Routing
+  /// objects computed before a change are stale; rebuild them afterwards,
+  /// exactly as an SM re-sweeps after a trap.
+  [[nodiscard]] Fabric& mutable_fabric() noexcept { return fabric_; }
+
+  [[nodiscard]] DeviceId node_device(NodeId node) const {
+    MLID_EXPECT(node < node_devices_.size(), "node id out of range");
+    return node_devices_[node];
+  }
+  [[nodiscard]] DeviceId switch_device(SwitchId sw) const {
+    MLID_EXPECT(sw < switch_devices_.size(), "switch id out of range");
+    return switch_devices_[sw];
+  }
+
+  [[nodiscard]] NodeLabel node_label(NodeId node) const {
+    return NodeLabel::from_pid(params_, node);
+  }
+  [[nodiscard]] SwitchLabel switch_label(SwitchId sw) const {
+    return switch_from_id(params_, sw);
+  }
+
+  /// The leaf switch an endnode hangs off, as a dense SwitchId.
+  [[nodiscard]] SwitchId leaf_switch_id(NodeId node) const {
+    return leaf_switch_of(params_, node_label(node)).switch_id(params_);
+  }
+
+ private:
+  FatTreeParams params_;
+  Fabric fabric_;
+  std::vector<DeviceId> node_devices_;
+  std::vector<DeviceId> switch_devices_;
+};
+
+}  // namespace mlid

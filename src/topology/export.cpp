@@ -1,0 +1,93 @@
+#include "topology/export.hpp"
+
+#include <sstream>
+
+namespace mlid {
+
+std::string to_dot(const FatTreeFabric& ft) {
+  const FatTreeParams& p = ft.params();
+  const Fabric& g = ft.fabric();
+  std::ostringstream os;
+  os << "graph ibft {\n  rankdir=TB;\n  node [shape=box];\n";
+  for (int l = 0; l < p.n(); ++l) {
+    os << "  { rank=same;";
+    for (std::uint32_t i = 0; i < p.switches_at_level(l); ++i) {
+      os << " sw" << (p.level_offset(l) + i) << ";";
+    }
+    os << " }\n";
+  }
+  os << "  { rank=same;";
+  for (NodeId node = 0; node < p.num_nodes(); ++node) os << " n" << node << ";";
+  os << " }\n";
+  for (SwitchId sw = 0; sw < p.num_switches(); ++sw) {
+    os << "  sw" << sw << " [label=\""
+       << g.device(ft.switch_device(sw)).name() << "\"];\n";
+  }
+  for (NodeId node = 0; node < p.num_nodes(); ++node) {
+    os << "  n" << node << " [label=\"" << g.device(ft.node_device(node)).name()
+       << "\", shape=ellipse];\n";
+  }
+  // Emit each link once: from the device with the smaller id.
+  for (DeviceId dev = 0; dev < g.num_devices(); ++dev) {
+    const Device& device = g.device(dev);
+    for (PortId port = 1; port <= device.num_ports(); ++port) {
+      if (!device.port_connected(port)) continue;
+      const PortRef peer = device.peer(port);
+      if (peer.device < dev) continue;
+      auto ref = [&](DeviceId d) {
+        const Device& dd = g.device(d);
+        std::ostringstream name;
+        if (dd.kind() == DeviceKind::kSwitch) {
+          name << "sw" << dd.switch_id;
+        } else {
+          name << "n" << dd.node_id;
+        }
+        return name.str();
+      };
+      os << "  " << ref(dev) << " -- " << ref(peer.device) << " [taillabel=\""
+         << int(port) << "\", headlabel=\"" << int(peer.port) << "\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string links_csv(const FatTreeFabric& ft) {
+  const Fabric& g = ft.fabric();
+  std::ostringstream os;
+  os << "device_a,port_a,device_b,port_b\n";
+  for (DeviceId dev = 0; dev < g.num_devices(); ++dev) {
+    const Device& device = g.device(dev);
+    for (PortId port = 1; port <= device.num_ports(); ++port) {
+      if (!device.port_connected(port)) continue;
+      const PortRef peer = device.peer(port);
+      if (peer.device < dev) continue;
+      os << device.name() << ',' << int(port) << ','
+         << g.device(peer.device).name() << ',' << int(peer.port) << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string describe(const FatTreeFabric& ft) {
+  const FatTreeParams& p = ft.params();
+  std::ostringstream os;
+  if (p.family() == TreeFamily::kMPortNTree) {
+    os << "IBFT(" << p.m() << ", " << p.n() << ")";
+  } else {
+    os << p.half() << "-ary " << p.n() << "-tree (on " << p.m()
+       << "-port switches)";
+  }
+  os << ": " << p.num_nodes() << " processing nodes, " << p.num_switches()
+     << " switches (" << p.switches_at_level(0) << " roots), LMC "
+     << int(p.mlid_lmc()) << " (" << p.paths_per_pair()
+     << " paths per node pair)\n";
+  for (int l = 0; l < p.n(); ++l) {
+    os << "  level " << l << ": " << p.switches_at_level(l) << " switches, "
+       << num_down_ports(p, l) << " down / " << num_up_ports(p, l)
+       << " up ports each\n";
+  }
+  return os.str();
+}
+
+}  // namespace mlid

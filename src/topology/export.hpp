@@ -1,0 +1,19 @@
+// Exporters: Graphviz DOT and link-list CSV renderings of a fabric.
+#pragma once
+
+#include <string>
+
+#include "topology/builder.hpp"
+
+namespace mlid {
+
+/// Graphviz DOT with ranked levels (roots on top, endnodes at the bottom).
+std::string to_dot(const FatTreeFabric& fabric);
+
+/// CSV link list: device_a,port_a,device_b,port_b (each link once).
+std::string links_csv(const FatTreeFabric& fabric);
+
+/// Human-readable one-line-per-device summary.
+std::string describe(const FatTreeFabric& fabric);
+
+}  // namespace mlid

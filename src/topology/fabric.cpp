@@ -1,0 +1,45 @@
+#include "topology/fabric.hpp"
+
+namespace mlid {
+
+DeviceId Fabric::add_endnode(std::string name) {
+  const auto id = static_cast<DeviceId>(devices_.size());
+  devices_.emplace_back(DeviceKind::kEndnode, 1, std::move(name));
+  ++num_endnodes_;
+  return id;
+}
+
+DeviceId Fabric::add_switch(int num_ports, std::string name) {
+  const auto id = static_cast<DeviceId>(devices_.size());
+  devices_.emplace_back(DeviceKind::kSwitch, num_ports, std::move(name));
+  ++num_switches_;
+  return id;
+}
+
+void Fabric::connect(DeviceId a, PortId pa, DeviceId b, PortId pb) {
+  MLID_EXPECT(a < devices_.size() && b < devices_.size(),
+              "device id out of range");
+  MLID_EXPECT(!(a == b && pa == pb), "cannot connect a port to itself");
+  Device& da = devices_[a];
+  Device& db = devices_[b];
+  MLID_EXPECT(pa >= 1 && pa <= da.num_ports(), "port a out of range");
+  MLID_EXPECT(pb >= 1 && pb <= db.num_ports(), "port b out of range");
+  MLID_EXPECT(!da.peers_[pa].valid(), "port a already connected");
+  MLID_EXPECT(!db.peers_[pb].valid(), "port b already connected");
+  da.peers_[pa] = PortRef{b, pb};
+  db.peers_[pb] = PortRef{a, pa};
+  ++num_links_;
+}
+
+void Fabric::disconnect(DeviceId a, PortId pa) {
+  MLID_EXPECT(a < devices_.size(), "device id out of range");
+  Device& da = devices_[a];
+  MLID_EXPECT(pa >= 1 && pa <= da.num_ports(), "port out of range");
+  MLID_EXPECT(da.peers_[pa].valid(), "port is not connected");
+  const PortRef peer = da.peers_[pa];
+  devices_[peer.device].peers_[peer.port] = PortRef{};
+  da.peers_[pa] = PortRef{};
+  --num_links_;
+}
+
+}  // namespace mlid

@@ -1,0 +1,114 @@
+// Generic port-level fabric graph: devices (switches / endnodes) connected
+// by bidirectional links between numbered ports.  The graph is topology
+// agnostic; the m-port n-tree builder (builder.hpp) produces one instance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/types.hpp"
+
+namespace mlid {
+
+enum class DeviceKind : std::uint8_t { kEndnode, kSwitch };
+
+/// (device, port) pair identifying one side of a link.
+struct PortRef {
+  DeviceId device = kInvalidDevice;
+  PortId port = kInvalidPort;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return device != kInvalidDevice;
+  }
+  friend bool operator==(const PortRef&, const PortRef&) = default;
+};
+
+/// One device in the fabric.  Ports are stored densely; index 0 of a switch
+/// is the unused management port, endnodes use port 1 as their endport.
+class Device {
+ public:
+  Device(DeviceKind kind, int num_ports, std::string name)
+      : name_(std::move(name)),
+        peers_(static_cast<std::size_t>(num_ports) + 1),
+        kind_(kind) {
+    MLID_EXPECT(num_ports >= 1 && num_ports <= 254, "port count out of range");
+  }
+
+  [[nodiscard]] DeviceKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Number of external ports (1..num_ports are addressable).
+  [[nodiscard]] int num_ports() const noexcept {
+    return static_cast<int>(peers_.size()) - 1;
+  }
+
+  [[nodiscard]] const PortRef& peer(PortId port) const {
+    MLID_EXPECT(port >= 1 && port <= num_ports(), "port out of range");
+    return peers_[port];
+  }
+
+  [[nodiscard]] bool port_connected(PortId port) const {
+    return port >= 1 && port <= num_ports() && peers_[port].valid();
+  }
+
+  /// Endnode index (only for endnodes) / switch index (only for switches);
+  /// assigned by the builder.
+  NodeId node_id = kInvalidNode;
+  SwitchId switch_id = kInvalidSwitch;
+
+ private:
+  friend class Fabric;
+  std::string name_;
+  std::vector<PortRef> peers_;
+  DeviceKind kind_;
+};
+
+/// The fabric graph.  Devices are created first, then linked; links are
+/// bidirectional and each port carries at most one link.
+class Fabric {
+ public:
+  DeviceId add_endnode(std::string name);
+  DeviceId add_switch(int num_ports, std::string name);
+
+  /// Connect (a, pa) <-> (b, pb); both ports must be free.
+  void connect(DeviceId a, PortId pa, DeviceId b, PortId pb);
+
+  /// Remove the link attached to (a, pa); both endpoints become free.
+  /// Models a cable pull / port failure for the fault-tolerance studies.
+  void disconnect(DeviceId a, PortId pa);
+
+  [[nodiscard]] std::size_t num_devices() const noexcept {
+    return devices_.size();
+  }
+  [[nodiscard]] std::uint32_t num_endnodes() const noexcept {
+    return num_endnodes_;
+  }
+  [[nodiscard]] std::uint32_t num_switches() const noexcept {
+    return num_switches_;
+  }
+  [[nodiscard]] std::uint32_t num_links() const noexcept { return num_links_; }
+
+  [[nodiscard]] const Device& device(DeviceId id) const {
+    MLID_EXPECT(id < devices_.size(), "device id out of range");
+    return devices_[id];
+  }
+  [[nodiscard]] Device& device(DeviceId id) {
+    MLID_EXPECT(id < devices_.size(), "device id out of range");
+    return devices_[id];
+  }
+
+  /// Follow the link out of (device, port); PortRef{} if unconnected.
+  [[nodiscard]] PortRef peer_of(DeviceId id, PortId port) const {
+    return device(id).peer(port);
+  }
+
+ private:
+  std::vector<Device> devices_;
+  std::uint32_t num_endnodes_ = 0;
+  std::uint32_t num_switches_ = 0;
+  std::uint32_t num_links_ = 0;
+};
+
+}  // namespace mlid

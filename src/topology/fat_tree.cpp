@@ -1,0 +1,271 @@
+#include "topology/fat_tree.hpp"
+
+#include <sstream>
+
+namespace mlid {
+
+FatTreeParams::FatTreeParams(int m, int n)
+    : FatTreeParams(TreeFamily::kMPortNTree, m, n) {}
+
+FatTreeParams FatTreeParams::kary(int k, int n) {
+  return FatTreeParams(TreeFamily::kKaryNTree, 2 * k, n);
+}
+
+FatTreeParams::FatTreeParams(TreeFamily family, int m, int n)
+    : family_(family), m_(m), n_(n) {
+  MLID_EXPECT(m >= 4, "fat-tree switches need at least 4 ports");
+  MLID_EXPECT(is_pow2(static_cast<std::uint64_t>(m)),
+              "switch radix must be a power of two");
+  MLID_EXPECT(n >= 2 && n <= kMaxTreeHeight, "n out of supported range");
+  p0_radix_ = family == TreeFamily::kMPortNTree ? m_ : m_ / 2;
+  const auto half = static_cast<std::uint64_t>(m / 2);
+  const auto p0 = static_cast<std::uint64_t>(p0_radix_);
+  // m-port n-tree: 2 (m/2)^n nodes; k-ary n-tree: k^n nodes.
+  const std::uint64_t nodes = p0 * ipow(half, n - 1);
+  // One root row of (m/2)^(n-1) switches plus n-1 rows of
+  // p0_radix * (m/2)^(n-2) switches each.
+  const std::uint64_t switches =
+      ipow(half, n - 1) +
+      static_cast<std::uint64_t>(n - 1) * p0 * ipow(half, n - 2);
+  MLID_EXPECT(nodes <= 1u << 20, "network too large for this build");
+  nodes_ = static_cast<std::uint32_t>(nodes);
+  switches_ = static_cast<std::uint32_t>(switches);
+  lmc_ = static_cast<Lmc>((n - 1) * ilog2_exact(half));
+  // MLID consumes PID * 2^LMC + 2^LMC LIDs starting at 1; enforce the IBA
+  // 16-bit LID space here so every caller can rely on it.
+  MLID_EXPECT(nodes * ipow(2, lmc_) < kMaxLidSpace,
+              "MLID LID space exceeds the 16-bit IBA limit");
+}
+
+std::uint32_t FatTreeParams::switches_at_level(int level) const {
+  MLID_EXPECT(level >= 0 && level < n_, "level out of range");
+  if (level == 0) {
+    return static_cast<std::uint32_t>(
+        ipow(static_cast<std::uint64_t>(half()), n_ - 1));
+  }
+  return static_cast<std::uint32_t>(
+      static_cast<std::uint64_t>(p0_radix_) *
+      ipow(static_cast<std::uint64_t>(half()), n_ - 2));
+}
+
+SwitchId FatTreeParams::level_offset(int level) const {
+  MLID_EXPECT(level >= 0 && level < n_, "level out of range");
+  if (level == 0) return 0;
+  return switches_at_level(0) +
+         static_cast<std::uint32_t>(level - 1) * switches_at_level(1);
+}
+
+int FatTreeParams::node_digit_radix(int pos) const {
+  MLID_EXPECT(pos >= 0 && pos < n_, "digit position out of range");
+  return pos == 0 ? p0_radix_ : half();
+}
+
+int FatTreeParams::switch_digit_radix(int level, int pos) const {
+  MLID_EXPECT(level >= 0 && level < n_, "level out of range");
+  MLID_EXPECT(pos >= 0 && pos < n_ - 1, "digit position out of range");
+  return (level >= 1 && pos == 0) ? p0_radix_ : half();
+}
+
+// --- NodeLabel --------------------------------------------------------------
+
+NodeLabel NodeLabel::from_digits(const FatTreeParams& params,
+                                 const std::array<int, kMaxTreeHeight>& digits) {
+  NodeLabel label;
+  label.n_ = params.n();
+  for (int i = 0; i < params.n(); ++i) {
+    const int d = digits[static_cast<std::size_t>(i)];
+    MLID_EXPECT(d >= 0 && d < params.node_digit_radix(i),
+                "node digit out of radix range");
+    label.digits_[static_cast<std::size_t>(i)] = d;
+  }
+  return label;
+}
+
+NodeLabel NodeLabel::from_pid(const FatTreeParams& params, std::uint32_t pid) {
+  MLID_EXPECT(pid < params.num_nodes(), "PID out of range");
+  NodeLabel label;
+  label.n_ = params.n();
+  std::uint32_t rest = pid;
+  // Digits i >= 1 each have radix m/2 and weight (m/2)^(n-1-i); digit 0 has
+  // radix m and weight (m/2)^(n-1).
+  for (int i = params.n() - 1; i >= 1; --i) {
+    label.digits_[static_cast<std::size_t>(i)] =
+        static_cast<int>(rest % static_cast<std::uint32_t>(params.half()));
+    rest /= static_cast<std::uint32_t>(params.half());
+  }
+  MLID_ASSERT(rest < static_cast<std::uint32_t>(params.p0_radix()),
+              "PID decomposition overflow");
+  label.digits_[0] = static_cast<int>(rest);
+  return label;
+}
+
+std::uint32_t NodeLabel::pid(const FatTreeParams& params) const {
+  MLID_EXPECT(n_ == params.n(), "label height mismatch");
+  // Mixed radix: digit 0 has radix m but weight (m/2)^(n-1) like the rest.
+  auto value = static_cast<std::uint32_t>(digit(0));
+  for (int i = 1; i < n_; ++i) {
+    value = value * static_cast<std::uint32_t>(params.half()) +
+            static_cast<std::uint32_t>(digit(i));
+  }
+  return value;
+}
+
+std::string NodeLabel::to_string() const {
+  std::ostringstream os;
+  os << "P(";
+  for (int i = 0; i < n_; ++i) {
+    if (digits_[static_cast<std::size_t>(i)] > 9) os << (i ? "." : "");
+    os << digits_[static_cast<std::size_t>(i)];
+    if (digits_[static_cast<std::size_t>(i)] > 9 && i + 1 < n_) os << ".";
+  }
+  os << ")";
+  return os.str();
+}
+
+// --- SwitchLabel ------------------------------------------------------------
+
+SwitchLabel SwitchLabel::from_digits(const FatTreeParams& params, int level,
+                                     const std::array<int, kMaxTreeHeight>& w) {
+  MLID_EXPECT(level >= 0 && level < params.n(), "level out of range");
+  SwitchLabel label;
+  label.level_ = level;
+  label.len_ = params.n() - 1;
+  for (int i = 0; i < label.len_; ++i) {
+    const int d = w[static_cast<std::size_t>(i)];
+    MLID_EXPECT(d >= 0 && d < params.switch_digit_radix(level, i),
+                "switch digit out of radix range");
+    label.digits_[static_cast<std::size_t>(i)] = d;
+  }
+  return label;
+}
+
+SwitchLabel SwitchLabel::from_index(const FatTreeParams& params, int level,
+                                    std::uint32_t index) {
+  MLID_EXPECT(index < params.switches_at_level(level), "index out of range");
+  SwitchLabel label;
+  label.level_ = level;
+  label.len_ = params.n() - 1;
+  std::uint32_t rest = index;
+  for (int i = label.len_ - 1; i >= 0; --i) {
+    const auto radix =
+        static_cast<std::uint32_t>(params.switch_digit_radix(level, i));
+    label.digits_[static_cast<std::size_t>(i)] = static_cast<int>(rest % radix);
+    rest /= radix;
+  }
+  MLID_ASSERT(rest == 0, "switch index decomposition overflow");
+  return label;
+}
+
+std::uint32_t SwitchLabel::index_in_level(const FatTreeParams& params) const {
+  std::uint32_t value = 0;
+  for (int i = 0; i < len_; ++i) {
+    value = value * static_cast<std::uint32_t>(
+                        params.switch_digit_radix(level_, i)) +
+            static_cast<std::uint32_t>(digit(i));
+  }
+  return value;
+}
+
+SwitchId SwitchLabel::switch_id(const FatTreeParams& params) const {
+  return params.level_offset(level_) + index_in_level(params);
+}
+
+std::string SwitchLabel::to_string() const {
+  std::ostringstream os;
+  os << "SW<";
+  for (int i = 0; i < len_; ++i) {
+    if (digits_[static_cast<std::size_t>(i)] > 9) os << (i ? "." : "");
+    os << digits_[static_cast<std::size_t>(i)];
+    if (digits_[static_cast<std::size_t>(i)] > 9 && i + 1 < len_) os << ".";
+  }
+  os << "," << level_ << ">";
+  return os.str();
+}
+
+SwitchLabel switch_from_id(const FatTreeParams& params, SwitchId id) {
+  MLID_EXPECT(id < params.num_switches(), "switch id out of range");
+  int level = params.n() - 1;
+  while (params.level_offset(level) > id) --level;
+  return SwitchLabel::from_index(params, level, id - params.level_offset(level));
+}
+
+// --- Wiring -----------------------------------------------------------------
+
+SwitchLabel leaf_switch_of(const FatTreeParams& params, const NodeLabel& node) {
+  std::array<int, kMaxTreeHeight> w{};
+  for (int i = 0; i < params.n() - 1; ++i) w[static_cast<std::size_t>(i)] =
+      node.digit(i);
+  return SwitchLabel::from_digits(params, params.n() - 1, w);
+}
+
+PortId leaf_port_of(const FatTreeParams& params, const NodeLabel& node) {
+  return static_cast<PortId>(node.digit(params.n() - 1) + kPortShift);
+}
+
+int num_down_ports(const FatTreeParams& params, int level) {
+  MLID_EXPECT(level >= 0 && level < params.n(), "level out of range");
+  return level == 0 ? params.p0_radix() : params.half();
+}
+
+int num_up_ports(const FatTreeParams& params, int level) {
+  MLID_EXPECT(level >= 0 && level < params.n(), "level out of range");
+  return level == 0 ? 0 : params.half();
+}
+
+SwitchLabel child_through_port(const FatTreeParams& params,
+                               const SwitchLabel& sw, PortId port) {
+  MLID_EXPECT(sw.level() < params.n() - 1,
+              "leaf switches attach nodes, not child switches");
+  const int tree_port = port - kPortShift;
+  MLID_EXPECT(tree_port >= 0 && tree_port < num_down_ports(params, sw.level()),
+              "not a down port");
+  std::array<int, kMaxTreeHeight> w{};
+  for (int i = 0; i < sw.length(); ++i) w[static_cast<std::size_t>(i)] =
+      sw.digit(i);
+  // Children differ from the parent exactly at digit position `level`, and
+  // the parent's tree port equals that digit of the child.
+  w[static_cast<std::size_t>(sw.level())] = tree_port;
+  return SwitchLabel::from_digits(params, sw.level() + 1, w);
+}
+
+NodeLabel leaf_node_at(const FatTreeParams& params, const SwitchLabel& leaf,
+                       PortId port) {
+  MLID_EXPECT(leaf.level() == params.n() - 1, "not a leaf switch");
+  const int tree_port = port - kPortShift;
+  MLID_EXPECT(tree_port >= 0 && tree_port < params.half(), "not a node port");
+  std::array<int, kMaxTreeHeight> p{};
+  for (int i = 0; i < leaf.length(); ++i) p[static_cast<std::size_t>(i)] =
+      leaf.digit(i);
+  p[static_cast<std::size_t>(params.n() - 1)] = tree_port;
+  return NodeLabel::from_digits(params, p);
+}
+
+SwitchLabel parent_through_port(const FatTreeParams& params,
+                                const SwitchLabel& sw, PortId port) {
+  MLID_EXPECT(sw.level() >= 1, "roots have no parents");
+  const int tree_port = port - kPortShift;
+  MLID_EXPECT(tree_port >= params.half() && tree_port < params.m(),
+              "not an up port");
+  std::array<int, kMaxTreeHeight> w{};
+  for (int i = 0; i < sw.length(); ++i) w[static_cast<std::size_t>(i)] =
+      sw.digit(i);
+  // The child's tree up port is (parent digit at position level-1) + m/2.
+  w[static_cast<std::size_t>(sw.level() - 1)] = tree_port - params.half();
+  return SwitchLabel::from_digits(params, sw.level() - 1, w);
+}
+
+PortId parent_facing_port(const FatTreeParams& params,
+                          const SwitchLabel& parent, const SwitchLabel& child) {
+  MLID_EXPECT(child.level() == parent.level() + 1, "not a parent/child pair");
+  (void)params;
+  return static_cast<PortId>(child.digit(parent.level()) + kPortShift);
+}
+
+PortId child_facing_port(const FatTreeParams& params, const SwitchLabel& child,
+                         const SwitchLabel& parent) {
+  MLID_EXPECT(child.level() == parent.level() + 1, "not a parent/child pair");
+  return static_cast<PortId>(parent.digit(parent.level()) + params.half() +
+                             kPortShift);
+}
+
+}  // namespace mlid

@@ -1,0 +1,218 @@
+// m-port n-tree fat-tree label algebra (paper Section 3).
+//
+// An FT(m, n) is a fat-tree of height n built from m-port switches:
+//   * 2 (m/2)^n processing nodes labelled P(p0 p1 ... p(n-1)) with
+//     p0 in [0, m) and pi in [0, m/2) for i >= 1;
+//   * (2n-1) (m/2)^(n-1) switches labelled SW<w, l> with level l in [0, n)
+//     (level 0 = roots, level n-1 = leaf switches) and w = w0 ... w(n-2)
+//     where roots draw every digit from [0, m/2) and lower levels draw w0
+//     from [0, m) and the rest from [0, m/2);
+//   * SW<w, l> and SW<w', l+1> are joined iff w and w' agree everywhere
+//     except digit position l; the upper switch uses (tree) port w'_l and
+//     the lower switch uses (tree) port w_l + m/2;
+//   * leaf switch SW<w, n-1> attaches node P(p) on (tree) port p(n-1) iff
+//     w = p0 ... p(n-2).
+//
+// The InfiniBand realization IBFT(m, n) shifts every tree port by one
+// because physical port 0 of an IBA switch is the internal management port.
+// All *public* port values in this library are physical (1-based); the
+// shift lives in kPortShift only.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+#include "common/types.hpp"
+
+namespace mlid {
+
+/// Tree port -> physical IBA port offset (management port 0 is reserved).
+inline constexpr PortId kPortShift = 1;
+
+/// The two constructive tree families this library builds.  Their label
+/// algebra is identical up to the radix of digit position 0:
+///   * m-port n-tree (the paper): digit 0 in [0, m), 2 (m/2)^n nodes, roots
+///     use all m ports downward;
+///   * k-ary n-tree (Petrini & Vanneschi, the paper's reference [10]),
+///     realized on 2k-port switches: every digit in [0, k), k^n nodes,
+///     roots use only their k down ports.
+enum class TreeFamily : std::uint8_t { kMPortNTree, kKaryNTree };
+
+/// Validated shape of one fat tree (either family).
+class FatTreeParams {
+ public:
+  /// m-port n-tree: m must be an even power of two >= 4 (the construction
+  /// needs m/2 >= 2); 2 <= n <= kMaxTreeHeight.
+  FatTreeParams(int m, int n);
+
+  /// k-ary n-tree on 2k-port switches; k must be a power of two >= 2.
+  static FatTreeParams kary(int k, int n);
+
+  [[nodiscard]] TreeFamily family() const noexcept { return family_; }
+
+  [[nodiscard]] int m() const noexcept { return m_; }
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] int half() const noexcept { return m_ / 2; }
+
+  /// Number of processing nodes: 2 (m/2)^n.
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept { return nodes_; }
+
+  /// Number of switches: (2n-1) (m/2)^(n-1).
+  [[nodiscard]] std::uint32_t num_switches() const noexcept {
+    return switches_;
+  }
+
+  /// Switches at a given level: (m/2)^(n-1) roots at level 0, twice that at
+  /// every level >= 1.
+  [[nodiscard]] std::uint32_t switches_at_level(int level) const;
+
+  /// First SwitchId of a level when switches are numbered (level, index).
+  [[nodiscard]] SwitchId level_offset(int level) const;
+
+  /// Radix of node-label digit position pos (m for pos 0, m/2 otherwise).
+  [[nodiscard]] int node_digit_radix(int pos) const;
+
+  /// Radix of switch-label digit position pos at the given level.
+  [[nodiscard]] int switch_digit_radix(int level, int pos) const;
+
+  /// LMC value of the MLID scheme: log2((m/2)^(n-1)).
+  [[nodiscard]] Lmc mlid_lmc() const noexcept { return lmc_; }
+
+  /// LIDs per node under MLID: 2^LMC = (m/2)^(n-1); also the number of
+  /// distinct root switches reachable from one leaf switch.
+  [[nodiscard]] std::uint32_t paths_per_pair() const noexcept {
+    return std::uint32_t{1} << lmc_;
+  }
+
+  /// Radix of the node label's digit 0 (m for m-port n-trees, k = m/2 for
+  /// k-ary n-trees); every other digit has radix m/2.
+  [[nodiscard]] int p0_radix() const noexcept { return p0_radix_; }
+
+  friend bool operator==(const FatTreeParams&, const FatTreeParams&) = default;
+
+ private:
+  FatTreeParams(TreeFamily family, int m, int n);
+
+  TreeFamily family_;
+  int m_;
+  int n_;
+  int p0_radix_;
+  std::uint32_t nodes_;
+  std::uint32_t switches_;
+  Lmc lmc_;
+};
+
+/// Processing-node label P(p0 ... p(n-1)); value type, cheap to copy.
+class NodeLabel {
+ public:
+  NodeLabel() = default;
+
+  /// Build from explicit digits (validated against the params).
+  static NodeLabel from_digits(const FatTreeParams& params,
+                               const std::array<int, kMaxTreeHeight>& digits);
+
+  /// Build from a PID (the node's rank in gcpg(<>, 0), i.e. its mixed-radix
+  /// value); PIDs enumerate nodes in lexicographic label order.
+  static NodeLabel from_pid(const FatTreeParams& params, std::uint32_t pid);
+
+  [[nodiscard]] int length() const noexcept { return n_; }
+  [[nodiscard]] int digit(int i) const {
+    MLID_ASSERT(i >= 0 && i < n_, "digit index out of range");
+    return digits_[static_cast<std::size_t>(i)];
+  }
+
+  /// PID(P(p)) = sum_i p_i (m/2)^(n-1-i)  (paper Definition 4 with x = <>).
+  [[nodiscard]] std::uint32_t pid(const FatTreeParams& params) const;
+
+  /// "P(102)" rendering used by exporters and error messages.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const NodeLabel&, const NodeLabel&) = default;
+
+ private:
+  std::array<int, kMaxTreeHeight> digits_{};
+  int n_ = 0;
+};
+
+/// Switch label SW<w0 ... w(n-2), level>; value type.
+class SwitchLabel {
+ public:
+  SwitchLabel() = default;
+
+  static SwitchLabel from_digits(const FatTreeParams& params, int level,
+                                 const std::array<int, kMaxTreeHeight>& w);
+
+  /// Inverse of index_in_level() for the given level.
+  static SwitchLabel from_index(const FatTreeParams& params, int level,
+                                std::uint32_t index);
+
+  [[nodiscard]] int level() const noexcept { return level_; }
+  [[nodiscard]] int length() const noexcept { return len_; }
+  [[nodiscard]] int digit(int i) const {
+    MLID_ASSERT(i >= 0 && i < len_, "digit index out of range");
+    return digits_[static_cast<std::size_t>(i)];
+  }
+
+  /// Mixed-radix value of w within its level (0-based, lexicographic).
+  [[nodiscard]] std::uint32_t index_in_level(const FatTreeParams& params) const;
+
+  /// Global dense switch id: level_offset(level) + index_in_level().
+  [[nodiscard]] SwitchId switch_id(const FatTreeParams& params) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const SwitchLabel&, const SwitchLabel&) = default;
+
+ private:
+  std::array<int, kMaxTreeHeight> digits_{};
+  int len_ = 0;
+  int level_ = 0;
+};
+
+/// Global SwitchId -> label (inverse of SwitchLabel::switch_id).
+SwitchLabel switch_from_id(const FatTreeParams& params, SwitchId id);
+
+// --- Wiring rules (all returned ports are physical, 1-based) ---------------
+
+/// Leaf switch SW<p0...p(n-2), n-1> that hosts the node.
+SwitchLabel leaf_switch_of(const FatTreeParams& params, const NodeLabel& node);
+
+/// Physical leaf-switch port the node attaches to: p(n-1) + 1.
+PortId leaf_port_of(const FatTreeParams& params, const NodeLabel& node);
+
+/// Number of physical down ports of a switch at `level` (m for roots,
+/// m/2 otherwise); down ports are the low-numbered physical ports
+/// 1 .. num_down_ports.
+int num_down_ports(const FatTreeParams& params, int level);
+
+/// Number of up ports (0 for roots, m/2 otherwise); up ports are physical
+/// ports m/2+1 .. m.
+int num_up_ports(const FatTreeParams& params, int level);
+
+/// Child reached through physical down port `port` of `sw` (level < n-1
+/// only; leaf switches attach nodes instead — see leaf_node_at).
+SwitchLabel child_through_port(const FatTreeParams& params,
+                               const SwitchLabel& sw, PortId port);
+
+/// Node attached to physical port `port` of a *leaf* switch.
+NodeLabel leaf_node_at(const FatTreeParams& params, const SwitchLabel& leaf,
+                       PortId port);
+
+/// Parent reached through physical up port `port` of `sw` (level >= 1).
+SwitchLabel parent_through_port(const FatTreeParams& params,
+                                const SwitchLabel& sw, PortId port);
+
+/// Physical port on `parent` that faces back to `child`
+/// (= child's digit at position parent.level(), shifted).
+PortId parent_facing_port(const FatTreeParams& params,
+                          const SwitchLabel& parent, const SwitchLabel& child);
+
+/// Physical port on `child` that faces up to `parent`
+/// (= parent's digit at position parent.level() + m/2, shifted).
+PortId child_facing_port(const FatTreeParams& params, const SwitchLabel& child,
+                         const SwitchLabel& parent);
+
+}  // namespace mlid

@@ -1,0 +1,113 @@
+#include "topology/properties.hpp"
+
+namespace mlid {
+
+int gcp_length(const FatTreeParams& params, const NodeLabel& a,
+               const NodeLabel& b) {
+  MLID_EXPECT(a.length() == params.n() && b.length() == params.n(),
+              "label height mismatch");
+  int alpha = 0;
+  while (alpha < params.n() && a.digit(alpha) == b.digit(alpha)) ++alpha;
+  return alpha;
+}
+
+std::uint32_t num_least_common_ancestors(const FatTreeParams& params,
+                                         const NodeLabel& a,
+                                         const NodeLabel& b) {
+  const int alpha = gcp_length(params, a, b);
+  MLID_EXPECT(alpha < params.n(), "identical nodes have no lca set");
+  return static_cast<std::uint32_t>(
+      ipow(static_cast<std::uint64_t>(params.half()), params.n() - 1 - alpha));
+}
+
+std::vector<SwitchLabel> least_common_ancestors(const FatTreeParams& params,
+                                                const NodeLabel& a,
+                                                const NodeLabel& b) {
+  const int alpha = gcp_length(params, a, b);
+  MLID_EXPECT(alpha < params.n(), "identical nodes have no lca set");
+  // Enumerate all switches at level alpha whose first alpha digits equal the
+  // common prefix; the remaining n-1-alpha digits range over [0, m/2)
+  // because positions >= 1 always have radix m/2 and position 0 is either
+  // fixed (alpha >= 1) or has root radix m/2 (alpha = 0).
+  std::vector<SwitchLabel> result;
+  const int free_digits = params.n() - 1 - alpha;
+  const auto count = static_cast<std::uint32_t>(
+      ipow(static_cast<std::uint64_t>(params.half()), free_digits));
+  result.reserve(count);
+  std::array<int, kMaxTreeHeight> w{};
+  for (int i = 0; i < alpha; ++i) w[static_cast<std::size_t>(i)] = a.digit(i);
+  for (std::uint32_t v = 0; v < count; ++v) {
+    std::uint32_t rest = v;
+    for (int i = params.n() - 2; i >= alpha; --i) {
+      w[static_cast<std::size_t>(i)] =
+          static_cast<int>(rest % static_cast<std::uint32_t>(params.half()));
+      rest /= static_cast<std::uint32_t>(params.half());
+    }
+    result.push_back(SwitchLabel::from_digits(params, alpha, w));
+  }
+  return result;
+}
+
+std::uint32_t gcp_group_size(const FatTreeParams& params, int alpha) {
+  MLID_EXPECT(alpha >= 0 && alpha <= params.n(), "alpha out of range");
+  if (alpha == 0) return params.num_nodes();
+  return static_cast<std::uint32_t>(
+      ipow(static_cast<std::uint64_t>(params.half()), params.n() - alpha));
+}
+
+std::vector<NodeLabel> gcp_group(const FatTreeParams& params,
+                                 const NodeLabel& representative, int alpha) {
+  MLID_EXPECT(alpha >= 0 && alpha <= params.n(), "alpha out of range");
+  std::vector<NodeLabel> result;
+  const std::uint32_t count = gcp_group_size(params, alpha);
+  result.reserve(count);
+  std::array<int, kMaxTreeHeight> p{};
+  for (int i = 0; i < alpha; ++i) {
+    p[static_cast<std::size_t>(i)] = representative.digit(i);
+  }
+  // Free positions alpha..n-1 enumerate lexicographically; position 0 (when
+  // free, i.e. alpha = 0) has radix m, the rest m/2.
+  for (std::uint32_t v = 0; v < count; ++v) {
+    std::uint32_t rest = v;
+    for (int i = params.n() - 1; i >= alpha; --i) {
+      const auto radix =
+          static_cast<std::uint32_t>(params.node_digit_radix(i));
+      p[static_cast<std::size_t>(i)] = static_cast<int>(rest % radix);
+      rest /= radix;
+    }
+    result.push_back(NodeLabel::from_digits(params, p));
+  }
+  return result;
+}
+
+std::uint32_t rank_in_group(const FatTreeParams& params, const NodeLabel& node,
+                            int alpha) {
+  MLID_EXPECT(alpha >= 0 && alpha < params.n(), "alpha out of range");
+  std::uint32_t value = 0;
+  for (int i = alpha; i < params.n(); ++i) {
+    // Weight (m/2)^(n-1-i) regardless of the digit's own radix.
+    value = (i == alpha)
+                ? static_cast<std::uint32_t>(node.digit(i))
+                : value * static_cast<std::uint32_t>(params.half()) +
+                      static_cast<std::uint32_t>(node.digit(i));
+  }
+  return value;
+}
+
+bool reachable_downward(const FatTreeParams& params, const SwitchLabel& sw,
+                        const NodeLabel& node) {
+  MLID_EXPECT(node.length() == params.n(), "label height mismatch");
+  for (int i = 0; i < sw.level(); ++i) {
+    if (sw.digit(i) != node.digit(i)) return false;
+  }
+  return true;
+}
+
+int min_path_links(const FatTreeParams& params, const NodeLabel& a,
+                   const NodeLabel& b) {
+  const int alpha = gcp_length(params, a, b);
+  if (alpha == params.n()) return 0;
+  return 2 * (params.n() - alpha);
+}
+
+}  // namespace mlid

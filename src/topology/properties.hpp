@@ -1,0 +1,53 @@
+// Greatest-common-prefix algebra on node labels (paper Definitions 1-4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/fat_tree.hpp"
+
+namespace mlid {
+
+/// Length of the greatest common prefix of two node labels (Definition 1);
+/// 0 means no common prefix, n means identical labels.
+int gcp_length(const FatTreeParams& params, const NodeLabel& a,
+               const NodeLabel& b);
+
+/// Least common ancestors of two distinct nodes (Definition 2): all
+/// switches at level alpha = gcp_length whose first alpha digits match the
+/// common prefix.  There are (m/2)^(n-1-alpha) of them.
+std::vector<SwitchLabel> least_common_ancestors(const FatTreeParams& params,
+                                                const NodeLabel& a,
+                                                const NodeLabel& b);
+
+/// Number of least common ancestors without materializing them.
+std::uint32_t num_least_common_ancestors(const FatTreeParams& params,
+                                         const NodeLabel& a,
+                                         const NodeLabel& b);
+
+/// Members of gcpg(x, alpha) where x is taken as the first alpha digits of
+/// `representative` (Definition 3).  alpha = 0 yields every node.
+std::vector<NodeLabel> gcp_group(const FatTreeParams& params,
+                                 const NodeLabel& representative, int alpha);
+
+/// Size of gcpg(x, alpha): 2 (m/2)^n for alpha = 0, (m/2)^(n-alpha)
+/// otherwise.
+std::uint32_t gcp_group_size(const FatTreeParams& params, int alpha);
+
+/// rank(gcpg(x, alpha), P(p)) = sum_{i >= alpha} p_i (m/2)^(n-1-i)
+/// (Definition 4); rank with alpha = 0 is the PID.
+std::uint32_t rank_in_group(const FatTreeParams& params, const NodeLabel& node,
+                            int alpha);
+
+/// True iff the node is reachable going only downward from the switch,
+/// i.e. the switch's first `level` digits equal the node's.
+bool reachable_downward(const FatTreeParams& params, const SwitchLabel& sw,
+                        const NodeLabel& node);
+
+/// Minimal path length in links between two nodes: 2 (n - alpha) for
+/// distinct nodes (node->leaf, 2(n-1-alpha) switch hops, leaf->node), 0 for
+/// a node and itself.
+int min_path_links(const FatTreeParams& params, const NodeLabel& a,
+                   const NodeLabel& b);
+
+}  // namespace mlid

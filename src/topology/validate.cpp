@@ -1,0 +1,138 @@
+#include "topology/validate.hpp"
+
+#include <deque>
+#include <sstream>
+
+namespace mlid {
+
+namespace {
+
+void check(ValidationReport& report, bool ok, const std::string& what) {
+  if (!ok) report.problems.push_back(what);
+}
+
+}  // namespace
+
+ValidationReport validate_fat_tree(const FatTreeFabric& ft) {
+  ValidationReport report;
+  const FatTreeParams& p = ft.params();
+  const Fabric& g = ft.fabric();
+
+  // Counts.
+  check(report, g.num_endnodes() == p.num_nodes(), "endnode count mismatch");
+  check(report, g.num_switches() == p.num_switches(), "switch count mismatch");
+  {
+    std::uint32_t per_level_total = 0;
+    for (int l = 0; l < p.n(); ++l) per_level_total += p.switches_at_level(l);
+    check(report, per_level_total == p.num_switches(),
+          "per-level switch counts do not add up");
+  }
+  {
+    // Links: inter-switch (each non-root switch has m/2 up links) + node
+    // attachment links.
+    std::uint32_t expected = p.num_nodes();
+    for (int l = 1; l < p.n(); ++l) {
+      expected += p.switches_at_level(l) *
+                  static_cast<std::uint32_t>(num_up_ports(p, l));
+    }
+    check(report, g.num_links() == expected, "link count mismatch");
+  }
+
+  // Per-device port population and wiring rules.
+  for (SwitchId sw = 0; sw < p.num_switches(); ++sw) {
+    const SwitchLabel label = ft.switch_label(sw);
+    const DeviceId dev = ft.switch_device(sw);
+    const Device& device = g.device(dev);
+    const int down = num_down_ports(p, label.level());
+    const int up = num_up_ports(p, label.level());
+    for (PortId port = 1; port <= p.m(); ++port) {
+      const bool should_connect = port <= down || (port > p.half() && up > 0);
+      if (device.port_connected(port) != should_connect) {
+        std::ostringstream os;
+        os << label.to_string() << " port " << int(port)
+           << (should_connect ? " should be connected" : " must stay free");
+        report.problems.push_back(os.str());
+        continue;
+      }
+      if (!should_connect) continue;
+      const PortRef peer = device.peer(port);
+      // Symmetry.
+      const PortRef back = g.peer_of(peer.device, peer.port);
+      check(report, back == PortRef{dev, port},
+            label.to_string() + " link asymmetry");
+      const Device& peer_dev = g.device(peer.device);
+      if (label.level() == p.n() - 1 && port <= down) {
+        // Leaf node attachment.
+        check(report, peer_dev.kind() == DeviceKind::kEndnode,
+              label.to_string() + " down port must reach an endnode");
+        if (peer_dev.kind() == DeviceKind::kEndnode) {
+          const NodeLabel node = ft.node_label(peer_dev.node_id);
+          check(report,
+                leaf_switch_of(p, node) == label &&
+                    leaf_port_of(p, node) == port,
+                label.to_string() + " hosts the wrong node " +
+                    node.to_string());
+        }
+      } else {
+        check(report, peer_dev.kind() == DeviceKind::kSwitch,
+              label.to_string() + " inter-switch port must reach a switch");
+        if (peer_dev.kind() != DeviceKind::kSwitch) continue;
+        const SwitchLabel other = ft.switch_label(peer_dev.switch_id);
+        const bool going_down = port <= down;
+        const SwitchLabel& parent = going_down ? label : other;
+        const SwitchLabel& child = going_down ? other : label;
+        bool rule_ok = child.level() == parent.level() + 1;
+        if (rule_ok) {
+          for (int i = 0; i < parent.length(); ++i) {
+            if (i != parent.level() && parent.digit(i) != child.digit(i)) {
+              rule_ok = false;
+            }
+          }
+          rule_ok = rule_ok &&
+                    parent_facing_port(p, parent, child) ==
+                        (going_down ? port : g.peer_of(dev, port).port) &&
+                    child_facing_port(p, child, parent) ==
+                        (going_down ? g.peer_of(dev, port).port : port);
+        }
+        check(report, rule_ok,
+              "wiring rule violated on " + label.to_string() + " port " +
+                  std::to_string(int(port)));
+      }
+    }
+  }
+
+  // Endnodes: exactly one port, attached to a leaf switch.
+  for (NodeId node = 0; node < p.num_nodes(); ++node) {
+    const Device& device = g.device(ft.node_device(node));
+    check(report, device.num_ports() == 1, "endnode must have one endport");
+    check(report, device.port_connected(1),
+          "endnode " + device.name() + " is unattached");
+  }
+
+  // Connectivity: BFS over all devices.
+  {
+    std::vector<char> seen(g.num_devices(), 0);
+    std::deque<DeviceId> frontier{0};
+    seen[0] = 1;
+    std::size_t visited = 1;
+    while (!frontier.empty()) {
+      const DeviceId cur = frontier.front();
+      frontier.pop_front();
+      const Device& device = g.device(cur);
+      for (PortId port = 1; port <= device.num_ports(); ++port) {
+        if (!device.port_connected(port)) continue;
+        const DeviceId next = device.peer(port).device;
+        if (!seen[next]) {
+          seen[next] = 1;
+          ++visited;
+          frontier.push_back(next);
+        }
+      }
+    }
+    check(report, visited == g.num_devices(), "fabric is not connected");
+  }
+
+  return report;
+}
+
+}  // namespace mlid

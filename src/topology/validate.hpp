@@ -1,0 +1,29 @@
+// Structural validation of a constructed IBFT(m, n) fabric.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/builder.hpp"
+
+namespace mlid {
+
+/// Result of a validation pass: empty `problems` means the fabric satisfies
+/// every checked invariant.
+struct ValidationReport {
+  std::vector<std::string> problems;
+  [[nodiscard]] bool ok() const noexcept { return problems.empty(); }
+};
+
+/// Checks, against the closed forms of Section 3:
+///  * device counts (nodes, switches, switches per level);
+///  * port population: roots use all m ports down, inner switches m/2 down
+///    + m/2 up, leaves m/2 node ports + m/2 up, endnodes exactly 1 port;
+///  * link symmetry (peer-of-peer round trip);
+///  * wiring consistency: every inter-switch link satisfies the digit rule
+///    (labels agree except at the parent's level, ports match the rule);
+///  * every endnode hangs off the leaf switch its label prescribes;
+///  * connectivity (single component via BFS).
+ValidationReport validate_fat_tree(const FatTreeFabric& fabric);
+
+}  // namespace mlid

@@ -1,0 +1,41 @@
+#include "common/expect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mlid {
+namespace {
+
+TEST(Expect, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(MLID_EXPECT(1 + 1 == 2, "math works"));
+}
+
+TEST(Expect, FailingConditionThrowsWithContext) {
+  try {
+    MLID_EXPECT(false, "the message");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("the message"), std::string::npos);
+    EXPECT_NE(what.find("expect_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Expect, ContractViolationIsLogicError) {
+  EXPECT_THROW(MLID_EXPECT(false, ""), std::logic_error);
+}
+
+TEST(Expect, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  MLID_EXPECT([&] {
+    ++evaluations;
+    return true;
+  }(),
+              "side effect counting");
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace mlid

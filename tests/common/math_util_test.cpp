@@ -1,0 +1,88 @@
+#include "common/math_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+namespace mlid {
+namespace {
+
+TEST(MathUtil, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(4));
+  EXPECT_FALSE(is_pow2(6));
+  EXPECT_TRUE(is_pow2(1ULL << 63));
+  EXPECT_FALSE(is_pow2((1ULL << 63) + 1));
+}
+
+TEST(MathUtil, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(2), 1);
+  EXPECT_EQ(ilog2(3), 1);
+  EXPECT_EQ(ilog2(4), 2);
+  EXPECT_EQ(ilog2(255), 7);
+  EXPECT_EQ(ilog2(256), 8);
+  EXPECT_EQ(ilog2(1ULL << 40), 40);
+  EXPECT_THROW(ilog2(0), ContractViolation);
+}
+
+TEST(MathUtil, Ilog2Exact) {
+  EXPECT_EQ(ilog2_exact(8), 3);
+  EXPECT_THROW(ilog2_exact(6), ContractViolation);
+}
+
+TEST(MathUtil, Ipow) {
+  EXPECT_EQ(ipow(2, 0), 1u);
+  EXPECT_EQ(ipow(2, 10), 1024u);
+  EXPECT_EQ(ipow(3, 4), 81u);
+  EXPECT_EQ(ipow(10, 0), 1u);
+  EXPECT_EQ(ipow(1, 63), 1u);
+  EXPECT_THROW(ipow(2, -1), ContractViolation);
+  EXPECT_THROW(ipow(1ULL << 32, 3), ContractViolation);
+}
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 5), 0u);
+  EXPECT_EQ(ceil_div(1, 5), 1u);
+  EXPECT_EQ(ceil_div(5, 5), 1u);
+  EXPECT_EQ(ceil_div(6, 5), 2u);
+  EXPECT_THROW(ceil_div(1, 0), ContractViolation);
+}
+
+TEST(MathUtil, RadixDigit) {
+  // 123 in base 10.
+  EXPECT_EQ(radix_digit(123, 10, 0), 3u);
+  EXPECT_EQ(radix_digit(123, 10, 1), 2u);
+  EXPECT_EQ(radix_digit(123, 10, 2), 1u);
+  EXPECT_EQ(radix_digit(123, 10, 3), 0u);
+  // 0b1101 in base 2.
+  EXPECT_EQ(radix_digit(13, 2, 0), 1u);
+  EXPECT_EQ(radix_digit(13, 2, 1), 0u);
+  EXPECT_EQ(radix_digit(13, 2, 2), 1u);
+  EXPECT_EQ(radix_digit(13, 2, 3), 1u);
+}
+
+/// Property sweep: reconstruct values from their digits across radixes.
+class RadixRoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RadixRoundTrip, DigitsRecomposeTheValue) {
+  const std::uint32_t radix = GetParam();
+  for (std::uint64_t v : {0ULL, 1ULL, 7ULL, 63ULL, 64ULL, 12345ULL}) {
+    std::uint64_t rebuilt = 0;
+    std::uint64_t weight = 1;
+    for (int i = 0; i < 16; ++i) {  // 2^16 covers every sample value
+      rebuilt += radix_digit(v, radix, i) * weight;
+      weight *= radix;
+    }
+    EXPECT_EQ(rebuilt, v) << "radix " << radix;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radixes, RadixRoundTrip,
+                         ::testing::Values(2u, 3u, 4u, 8u, 16u));
+
+}  // namespace
+}  // namespace mlid

@@ -1,0 +1,93 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+namespace mlid {
+namespace {
+
+TEST(SplitMix64, KnownSequenceFromSeedZero) {
+  // Reference values from the public-domain splitmix64.c.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(sm.next(), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(sm.next(), 0x06C45D188009454FULL);
+}
+
+TEST(SplitMix64, DistinctSeedsProduceDistinctStreams) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, DeterministicPerSeed) {
+  Xoshiro256 a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    (void)c();
+  }
+  Xoshiro256 a2(123), c2(124);
+  EXPECT_NE(a2(), c2());
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, BelowOneIsAlwaysZero) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256, BetweenCoversClosedRange) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.between(3, 6));
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{3, 4, 5, 6}));
+}
+
+TEST(Xoshiro256, Uniform01IsInHalfOpenUnitInterval) {
+  Xoshiro256 rng(13);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  // Mean of U(0,1) is 0.5; 100k draws keep the sample mean within ~0.5%.
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.005);
+}
+
+TEST(Xoshiro256, ChanceMatchesProbability) {
+  Xoshiro256 rng(17);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.chance(0.2);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.2, 0.01);
+}
+
+TEST(Xoshiro256, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(19);
+  std::array<int, 8> buckets{};
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++buckets[rng.below(8)];
+  for (int b = 0; b < 8; ++b) {
+    EXPECT_NEAR(buckets[static_cast<std::size_t>(b)], kDraws / 8,
+                kDraws / 8 / 10)
+        << "bucket " << b;
+  }
+}
+
+}  // namespace
+}  // namespace mlid

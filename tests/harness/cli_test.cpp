@@ -1,0 +1,58 @@
+#include "harness/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/sweep.hpp"
+
+namespace mlid {
+namespace {
+
+CliOptions parse(std::initializer_list<const char*> args) {
+  std::vector<char*> argv;
+  static char name[] = "prog";
+  argv.push_back(name);
+  for (const char* a : args) {
+    argv.push_back(const_cast<char*>(a));
+  }
+  return CliOptions(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, Defaults) {
+  const CliOptions opts = parse({});
+  EXPECT_FALSE(opts.quick());
+  EXPECT_FALSE(opts.csv());
+  EXPECT_EQ(opts.seed(), 1u);
+  EXPECT_EQ(opts.threads(), 0u);
+  EXPECT_TRUE(opts.positional().empty());
+}
+
+TEST(Cli, ParsesFlags) {
+  const CliOptions opts =
+      parse({"--quick", "--csv", "--seed=99", "--threads=3", "extra"});
+  EXPECT_TRUE(opts.quick());
+  EXPECT_TRUE(opts.csv());
+  EXPECT_EQ(opts.seed(), 99u);
+  EXPECT_EQ(opts.threads(), 3u);
+  ASSERT_EQ(opts.positional().size(), 1u);
+  EXPECT_EQ(opts.positional()[0], "extra");
+}
+
+TEST(Cli, QuickModeShrinksAFigureSpec) {
+  const CliOptions opts = parse({"--quick", "--seed=5"});
+  FigureSpec spec;
+  opts.apply(spec);
+  EXPECT_EQ(spec.sim.seed, 5u);
+  EXPECT_EQ(spec.loads.size(), 3u);
+  EXPECT_LT(spec.sim.measure_ns, 80'000);
+}
+
+TEST(Cli, NonQuickKeepsTheFullGrid) {
+  const CliOptions opts = parse({"--seed=5"});
+  FigureSpec spec;
+  opts.apply(spec);
+  EXPECT_EQ(spec.loads.size(), FigureSpec::kDefaultLoads().size());
+  EXPECT_EQ(spec.sim.measure_ns, 80'000);
+}
+
+}  // namespace
+}  // namespace mlid

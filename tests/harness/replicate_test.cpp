@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "harness/sweep.hpp"
+
+namespace mlid {
+namespace {
+
+SimConfig quick() {
+  SimConfig cfg;
+  cfg.warmup_ns = 4'000;
+  cfg.measure_ns = 16'000;
+  cfg.seed = 8;
+  return cfg;
+}
+
+TEST(Replicate, AccumulatesTheRequestedRuns) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Replication rep = replicate(
+      subnet, quick(), {TrafficKind::kUniform, 0.2, 0, 9}, 0.4, 5);
+  EXPECT_EQ(rep.runs, 5);
+  EXPECT_EQ(rep.accepted.count(), 5u);
+  EXPECT_EQ(rep.avg_latency.count(), 5u);
+  EXPECT_GT(rep.accepted.mean(), 0.0);
+  EXPECT_GT(rep.avg_latency.mean(), 0.0);
+}
+
+TEST(Replicate, SeedsActuallyVary) {
+  // Distinct seeds must produce nonzero spread at moderate load.
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Replication rep = replicate(
+      subnet, quick(), {TrafficKind::kUniform, 0.2, 0, 9}, 0.6, 4);
+  EXPECT_GT(rep.avg_latency.stddev(), 0.0);
+}
+
+TEST(Replicate, SpreadIsSmallRelativeToTheMeanBelowSaturation) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Replication rep = replicate(
+      subnet, quick(), {TrafficKind::kUniform, 0.2, 0, 9}, 0.2, 5);
+  EXPECT_LT(rep.accepted.stddev(), 0.1 * rep.accepted.mean());
+}
+
+TEST(Replicate, RejectsZeroRuns) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  EXPECT_THROW(
+      replicate(subnet, quick(), {TrafficKind::kUniform, 0.2, 0, 9}, 0.4, 0),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace mlid

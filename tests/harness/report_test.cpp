@@ -1,0 +1,117 @@
+#include "harness/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mlid {
+namespace {
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("a").value(std::uint64_t{1});
+  json.key("b").value(2.5);
+  json.key("c").value(true);
+  json.key("d").value("text");
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"a":1,"b":2.5,"c":true,"d":"text"})");
+}
+
+TEST(JsonWriter, NestedArrays) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("xs").begin_array();
+  json.value(std::uint64_t{1});
+  json.value(std::uint64_t{2});
+  json.begin_object();
+  json.key("y").value(std::int64_t{-3});
+  json.end_object();
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"xs":[1,2,{"y":-3}]})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("s").value("a\"b\\c\nd");
+  json.end_object();
+  EXPECT_EQ(json.str(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(std::nan(""));
+  json.end_array();
+  EXPECT_EQ(json.str(), "[null]");
+}
+
+TEST(JsonWriter, MisuseIsRejected) {
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.value(1.0), ContractViolation);  // value without key
+  }
+  {
+    JsonWriter json;
+    json.begin_array();
+    EXPECT_THROW(json.end_object(), ContractViolation);  // mismatched close
+  }
+  {
+    JsonWriter json;
+    EXPECT_THROW(json.key("k"), ContractViolation);  // key at top level
+  }
+}
+
+TEST(Report, SimResultRoundTripsTheHeadlineFields) {
+  SimResult r;
+  r.offered_load = 0.5;
+  r.accepted_bytes_per_ns_per_node = 0.25;
+  r.avg_latency_ns = 123.5;
+  r.packets_measured = 42;
+  r.delivered_per_vl = {40, 2};
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("\"offered_load\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"packets_measured\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"delivered_per_vl\":[40,2]"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Report, BurstResultSerializes) {
+  BurstResult r;
+  r.makespan_ns = 1824;
+  r.messages = 3;
+  r.total_bytes = 999;
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("\"makespan_ns\":1824"), std::string::npos);
+  EXPECT_NE(json.find("\"aggregate_bytes_per_ns\""), std::string::npos);
+}
+
+TEST(Report, FigureSweepSerializesEveryPoint) {
+  FigureSpec spec;
+  spec.title = "json test";
+  spec.m = 4;
+  spec.n = 2;
+  spec.traffic = {TrafficKind::kUniform, 0.2, 0, 3};
+  spec.sim.warmup_ns = 3'000;
+  spec.sim.measure_ns = 10'000;
+  spec.vl_counts = {1};
+  spec.loads = {0.2, 0.5};
+  const auto points = run_figure(spec, 1);
+  const std::string json = to_json(spec, points);
+  EXPECT_NE(json.find("\"title\":\"json test\""), std::string::npos);
+  EXPECT_NE(json.find("\"traffic\":\"uniform\""), std::string::npos);
+  // One "scheme" entry per point.
+  std::size_t count = 0;
+  for (std::size_t pos = json.find("\"scheme\""); pos != std::string::npos;
+       pos = json.find("\"scheme\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, points.size());
+}
+
+}  // namespace
+}  // namespace mlid

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "harness/sweep.hpp"
+
+namespace mlid {
+namespace {
+
+SimConfig quick() {
+  SimConfig cfg;
+  cfg.warmup_ns = 4'000;
+  cfg.measure_ns = 16'000;
+  cfg.seed = 6;
+  return cfg;
+}
+
+TEST(Saturation, NeighborTrafficIsBoundedByTheCreditLoop) {
+  // dst = src ^ 1 gives every pair private links, so the only limit is the
+  // single-packet credit loop: the NIC may reinject only after
+  // wire + t_fly + t_r + wire + t_fly = 396 ns, i.e. load 256/396 = 0.646.
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const double sat = find_saturation_load(
+      subnet, quick(), {TrafficKind::kNeighbor, 0, 0, 3});
+  EXPECT_GT(sat, 0.55);
+  EXPECT_LT(sat, 0.75);
+}
+
+TEST(Saturation, DeepBuffersHideTheCreditLoop) {
+  // With 4-packet buffers the 140 ns credit bubble is fully pipelined and
+  // contention-free traffic keeps up at the full injection rate.
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  SimConfig cfg = quick();
+  cfg.in_buf_pkts = 4;
+  cfg.out_buf_pkts = 4;
+  const double sat = find_saturation_load(
+      subnet, cfg, {TrafficKind::kNeighbor, 0, 0, 3});
+  EXPECT_DOUBLE_EQ(sat, 1.0);
+}
+
+TEST(Saturation, PureHotSpotSaturatesNearOneOverN) {
+  // Everybody floods node 0: the terminal link splits across N - 1 senders
+  // (the hot node's own uniform traffic keeps up separately), so the
+  // per-node sustainable load is roughly 1 / (N - 1).
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const double sat = find_saturation_load(
+      subnet, quick(), {TrafficKind::kCentric, 1.0, 0, 3});
+  EXPECT_GT(sat, 0.02);
+  EXPECT_LT(sat, 0.25);
+}
+
+TEST(Saturation, MlidSaturatesNoLowerThanSlid) {
+  const FatTreeFabric fabric{FatTreeParams(8, 2)};
+  const Subnet mlid(fabric, SchemeKind::kMlid);
+  const Subnet slid(fabric, SchemeKind::kSlid);
+  const TrafficConfig traffic{TrafficKind::kCentric, 0.2, 0, 3};
+  const double sat_mlid = find_saturation_load(mlid, quick(), traffic);
+  const double sat_slid = find_saturation_load(slid, quick(), traffic);
+  EXPECT_GE(sat_mlid, sat_slid - 0.03);
+}
+
+TEST(Saturation, RejectsBadParameters) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  EXPECT_THROW(find_saturation_load(subnet, quick(),
+                                    {TrafficKind::kUniform, 0, 0, 3},
+                                    /*slack=*/0.0),
+               ContractViolation);
+  EXPECT_THROW(find_saturation_load(subnet, quick(),
+                                    {TrafficKind::kUniform, 0, 0, 3},
+                                    /*slack=*/0.05, /*tolerance=*/1.5),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace mlid

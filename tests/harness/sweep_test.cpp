@@ -1,0 +1,82 @@
+#include "harness/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlid {
+namespace {
+
+FigureSpec tiny_spec() {
+  FigureSpec spec;
+  spec.title = "test figure";
+  spec.m = 4;
+  spec.n = 2;
+  spec.traffic = {TrafficKind::kUniform, 0.2, 0, 3};
+  spec.sim.warmup_ns = 4'000;
+  spec.sim.measure_ns = 12'000;
+  spec.sim.seed = 2;
+  spec.vl_counts = {1, 2};
+  spec.loads = {0.2, 0.6};
+  return spec;
+}
+
+TEST(Sweep, ProducesTheFullGridInOrder) {
+  const FigureSpec spec = tiny_spec();
+  const auto points = run_figure(spec, /*threads=*/1);
+  ASSERT_EQ(points.size(), 2u * 2u * 2u);  // schemes x vls x loads
+  // Grid order: scheme-major, then VLs, then loads.
+  EXPECT_EQ(points[0].scheme, SchemeKind::kSlid);
+  EXPECT_EQ(points[0].vls, 1);
+  EXPECT_DOUBLE_EQ(points[0].load, 0.2);
+  EXPECT_EQ(points.back().scheme, SchemeKind::kMlid);
+  EXPECT_EQ(points.back().vls, 2);
+  EXPECT_DOUBLE_EQ(points.back().load, 0.6);
+  for (const auto& p : points) {
+    EXPECT_GT(p.result.packets_measured, 0u);
+  }
+}
+
+TEST(Sweep, ThreadCountDoesNotChangeResults) {
+  const FigureSpec spec = tiny_spec();
+  const auto serial = run_figure(spec, 1);
+  const auto parallel = run_figure(spec, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].result.avg_latency_ns,
+                     parallel[i].result.avg_latency_ns);
+    EXPECT_EQ(serial[i].result.packets_measured,
+              parallel[i].result.packets_measured);
+  }
+}
+
+TEST(Sweep, SaturationThroughputPicksTheSeriesMaximum) {
+  const FigureSpec spec = tiny_spec();
+  const auto points = run_figure(spec, 1);
+  const double sat = saturation_throughput(points, SchemeKind::kMlid, 1);
+  double expected = 0.0;
+  for (const auto& p : points) {
+    if (p.scheme == SchemeKind::kMlid && p.vls == 1) {
+      expected = std::max(expected, p.result.accepted_bytes_per_ns_per_node);
+    }
+  }
+  EXPECT_DOUBLE_EQ(sat, expected);
+  EXPECT_EQ(saturation_throughput(points, SchemeKind::kMlid, 4), 0.0);
+}
+
+TEST(Sweep, RenderersIncludeEverySample) {
+  const FigureSpec spec = tiny_spec();
+  const auto points = run_figure(spec, 1);
+  const std::string table = render_figure_table(spec, points);
+  EXPECT_NE(table.find("test figure"), std::string::npos);
+  EXPECT_NE(table.find("SLID 1VL"), std::string::npos);
+  EXPECT_NE(table.find("MLID 2VL"), std::string::npos);
+  const std::string csv = render_figure_csv(spec, points);
+  // Header + 8 rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'),
+            static_cast<long>(points.size()) + 1);
+  const std::string summary = render_figure_summary(spec, points);
+  EXPECT_NE(summary.find("MLID/SLID saturation throughput @1VL"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlid

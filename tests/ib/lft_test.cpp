@@ -1,0 +1,54 @@
+#include "ib/lft.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlid {
+namespace {
+
+TEST(Lft, SetAndLookup) {
+  Lft lft(100);
+  EXPECT_EQ(lft.max_lid(), 100u);
+  EXPECT_FALSE(lft.has(5));
+  lft.set(5, 3);
+  EXPECT_TRUE(lft.has(5));
+  EXPECT_EQ(int(lft.lookup(5)), 3);
+  lft.set(5, 7);  // overwrite is allowed (SM reprogramming)
+  EXPECT_EQ(int(lft.lookup(5)), 7);
+}
+
+TEST(Lft, Lid0IsAlwaysUnroutable) {
+  Lft lft(10);
+  EXPECT_FALSE(lft.has(0));
+  EXPECT_THROW(lft.set(0, 1), ContractViolation);
+  EXPECT_THROW(static_cast<void>(lft.lookup(0)), ContractViolation);
+}
+
+TEST(Lft, OutOfRangeLids) {
+  Lft lft(10);
+  EXPECT_THROW(lft.set(11, 1), ContractViolation);
+  EXPECT_FALSE(lft.has(11));
+  EXPECT_THROW(static_cast<void>(lft.lookup(11)), ContractViolation);
+}
+
+TEST(Lft, SentinelPortValueRejected) {
+  Lft lft(10);
+  EXPECT_THROW(lft.set(1, Lft::kNoEntry), ContractViolation);
+}
+
+TEST(Lft, NumEntriesCountsProgrammedLids) {
+  Lft lft(10);
+  EXPECT_EQ(lft.num_entries(), 0u);
+  lft.set(1, 1);
+  lft.set(2, 2);
+  lft.set(2, 3);
+  EXPECT_EQ(lft.num_entries(), 2u);
+}
+
+TEST(Lft, EmptyTable) {
+  Lft lft;
+  EXPECT_EQ(lft.max_lid(), 0u);
+  EXPECT_FALSE(lft.has(1));
+}
+
+}  // namespace
+}  // namespace mlid

@@ -1,0 +1,51 @@
+#include "ib/lid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlid {
+namespace {
+
+TEST(LidRange, BasicsAndPaperExample) {
+  // Figure 10 (digits restored): LIDset(P(010)) = {9, 10, 11, 12} with
+  // LMC 2 in a 4-port 3-tree.
+  const LidRange r(9, 2);
+  EXPECT_EQ(r.base(), 9u);
+  EXPECT_EQ(int(r.lmc()), 2);
+  EXPECT_EQ(r.count(), 4u);
+  EXPECT_EQ(r.last(), 12u);
+  EXPECT_TRUE(r.contains(9));
+  EXPECT_TRUE(r.contains(12));
+  EXPECT_FALSE(r.contains(8));
+  EXPECT_FALSE(r.contains(13));
+  EXPECT_EQ(r.at(0), 9u);
+  EXPECT_EQ(r.at(3), 12u);
+  EXPECT_EQ(r.offset_of(11), 2u);
+}
+
+TEST(LidRange, LmcZeroIsASingleLid) {
+  const LidRange r(5, 0);
+  EXPECT_EQ(r.count(), 1u);
+  EXPECT_EQ(r.last(), 5u);
+  EXPECT_THROW(static_cast<void>(r.at(1)), ContractViolation);
+}
+
+TEST(LidRange, RejectsReservedAndOversized) {
+  EXPECT_THROW(LidRange(0, 0), ContractViolation);  // LID 0 reserved
+  EXPECT_THROW(LidRange(1, 8), ContractViolation);  // LMC is 3 bits
+  EXPECT_NO_THROW(LidRange(0xFFFF, 0));             // top of the space
+  EXPECT_THROW(LidRange(0xFFFF, 1), ContractViolation);  // spills over
+}
+
+TEST(LidRange, OffsetOfRejectsForeignLids) {
+  const LidRange r(16, 2);
+  EXPECT_THROW(static_cast<void>(r.offset_of(15)), ContractViolation);
+  EXPECT_THROW(static_cast<void>(r.offset_of(20)), ContractViolation);
+}
+
+TEST(LidRange, DefaultIsInvalid) {
+  const LidRange r;
+  EXPECT_EQ(r.base(), kInvalidLid);
+}
+
+}  // namespace
+}  // namespace mlid

@@ -1,0 +1,85 @@
+// Whole-stack integration: fabric -> SM bring-up -> routing validation ->
+// simulation, per network size and scheme.
+#include <gtest/gtest.h>
+
+#include "routing/validate.hpp"
+#include "sim/engine.hpp"
+#include "topology/validate.hpp"
+
+namespace mlid {
+namespace {
+
+struct Case {
+  int m;
+  int n;
+};
+
+class EndToEnd : public ::testing::TestWithParam<Case> {};
+
+TEST_P(EndToEnd, BringUpRouteAndSimulate) {
+  const auto c = GetParam();
+  const FatTreeFabric fabric{FatTreeParams(c.m, c.n)};
+
+  // Topology is structurally sound.
+  ASSERT_TRUE(validate_fat_tree(fabric).ok());
+
+  for (const SchemeKind kind : {SchemeKind::kSlid, SchemeKind::kMlid}) {
+    const Subnet subnet(fabric, kind);
+
+    // The programmed tables route every (src, DLID) pair correctly.
+    const RoutingReport paths =
+        verify_all_paths(fabric, subnet.scheme(), subnet.routes());
+    for (const auto& p : paths.problems) ADD_FAILURE() << p;
+
+    // A short simulation at moderate load completes cleanly.
+    SimConfig cfg;
+    cfg.warmup_ns = 5'000;
+    cfg.measure_ns = 20'000;
+    cfg.seed = 3;
+    Simulation sim(subnet, cfg, {TrafficKind::kUniform, 0.2, 0, 7}, 0.5);
+    const SimResult r = sim.run();
+    EXPECT_GT(r.packets_measured, 50u);
+    EXPECT_EQ(r.packets_dropped, 0u);
+    // Average hop count sits inside the tree's geometric bounds.
+    EXPECT_GE(r.avg_hops, 1.0);
+    EXPECT_LE(r.avg_hops, 2.0 * c.n - 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, EndToEnd,
+                         ::testing::Values(Case{4, 2}, Case{4, 3}, Case{8, 2},
+                                           Case{4, 4}, Case{8, 3}));
+
+TEST(EndToEnd, MlidUsesEveryRootUnderUniformLoadWhileSlidConcentratesPerDst) {
+  // Link-level view of the spreading property: count distinct roots used by
+  // all sources toward one destination.
+  const FatTreeParams p(4, 3);
+  const FatTreeFabric fabric(p);
+  const Subnet mlid(fabric, SchemeKind::kMlid);
+  const Subnet slid(fabric, SchemeKind::kSlid);
+
+  auto roots_used = [&](const Subnet& subnet, NodeId dst) {
+    std::set<DeviceId> roots;
+    for (NodeId src = 0; src < p.num_nodes(); ++src) {
+      if (src == dst) continue;
+      const PathTrace trace = trace_path(fabric, subnet.routes(), src,
+                                         subnet.select_dlid(src, dst));
+      for (std::size_t i = 1; i < trace.hops.size(); ++i) {
+        const Device& dev = fabric.fabric().device(trace.hops[i].device);
+        if (dev.kind() == DeviceKind::kSwitch &&
+            fabric.switch_label(dev.switch_id).level() == 0) {
+          roots.insert(trace.hops[i].device);
+        }
+      }
+    }
+    return roots.size();
+  };
+
+  for (NodeId dst : {NodeId{0}, NodeId{5}, NodeId{15}}) {
+    EXPECT_EQ(roots_used(mlid, dst), 4u) << "MLID must fan over all roots";
+    EXPECT_EQ(roots_used(slid, dst), 1u) << "SLID funnels through one root";
+  }
+}
+
+}  // namespace
+}  // namespace mlid

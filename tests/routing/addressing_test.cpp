@@ -1,0 +1,107 @@
+// Tests for the processing-node addressing scheme (paper Section 4.1).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "routing/fat_tree_routing.hpp"
+
+namespace mlid {
+namespace {
+
+TEST(Addressing, PaperFigure10Example) {
+  // Figure 10 (digits restored): in a 4-port 3-tree, LMC = 2 and
+  // BaseLID(P(010)) = 9, so LIDset(P(010)) = {9, 10, 11, 12}.
+  const FatTreeParams p(4, 3);
+  const MlidRouting scheme(p);
+  EXPECT_EQ(int(scheme.lmc()), 2);
+  const NodeId node010 = 2;  // PID of P(010)
+  const LidRange range = scheme.lids_of(node010);
+  EXPECT_EQ(range.base(), 9u);
+  EXPECT_EQ(range.count(), 4u);
+  EXPECT_EQ(range.last(), 12u);
+}
+
+TEST(Addressing, BaseLidFormula) {
+  // BaseLID(P(p)) = PID * 2^LMC + 1.
+  const FatTreeParams p(4, 3);
+  const MlidRouting scheme(p);
+  for (NodeId node = 0; node < p.num_nodes(); ++node) {
+    EXPECT_EQ(scheme.lids_of(node).base(), node * 4 + 1);
+  }
+}
+
+TEST(Addressing, SlidAssignsOneLidPerNode) {
+  const FatTreeParams p(4, 3);
+  const SlidRouting scheme(p);
+  EXPECT_EQ(int(scheme.lmc()), 0);
+  for (NodeId node = 0; node < p.num_nodes(); ++node) {
+    const LidRange range = scheme.lids_of(node);
+    EXPECT_EQ(range.base(), node + 1);
+    EXPECT_EQ(range.count(), 1u);
+  }
+  EXPECT_EQ(scheme.max_lid(), p.num_nodes());
+}
+
+TEST(Addressing, NodeOfLidRejectsBadLids) {
+  const FatTreeParams p(4, 2);
+  const MlidRouting scheme(p);
+  EXPECT_THROW(static_cast<void>(scheme.node_of_lid(0)), ContractViolation);
+  EXPECT_THROW(static_cast<void>(scheme.node_of_lid(scheme.max_lid() + 1)),
+               ContractViolation);
+  EXPECT_THROW(static_cast<void>(scheme.lids_of(p.num_nodes())),
+               ContractViolation);
+}
+
+struct AddressingCase {
+  int m;
+  int n;
+  SchemeKind kind;
+};
+
+class AddressingSweep : public ::testing::TestWithParam<AddressingCase> {};
+
+TEST_P(AddressingSweep, LidBlocksAreDisjointAndCoverTheSpace) {
+  const auto param = GetParam();
+  const FatTreeParams p(param.m, param.n);
+  const auto scheme = make_scheme(param.kind, p);
+  std::vector<NodeId> owner(scheme->max_lid() + 1, kInvalidNode);
+  for (NodeId node = 0; node < p.num_nodes(); ++node) {
+    const LidRange range = scheme->lids_of(node);
+    for (Lid lid = range.base(); lid <= range.last(); ++lid) {
+      ASSERT_EQ(owner[lid], kInvalidNode) << "LID " << lid << " double-assigned";
+      owner[lid] = node;
+      // The inverse mapping agrees.
+      EXPECT_EQ(scheme->node_of_lid(lid), node);
+    }
+  }
+  // LID 0 reserved, everything above it assigned: blocks are contiguous.
+  EXPECT_EQ(owner[0], kInvalidNode);
+  for (Lid lid = 1; lid < owner.size(); ++lid) {
+    EXPECT_NE(owner[lid], kInvalidNode) << "LID " << lid << " unassigned";
+  }
+}
+
+TEST_P(AddressingSweep, BlockSizeMatchesLmc) {
+  const auto param = GetParam();
+  const FatTreeParams p(param.m, param.n);
+  const auto scheme = make_scheme(param.kind, p);
+  const std::uint32_t expected =
+      param.kind == SchemeKind::kMlid ? p.paths_per_pair() : 1u;
+  for (NodeId node = 0; node < p.num_nodes(); ++node) {
+    EXPECT_EQ(scheme->lids_of(node).count(), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AddressingSweep,
+    ::testing::Values(AddressingCase{4, 2, SchemeKind::kMlid},
+                      AddressingCase{4, 3, SchemeKind::kMlid},
+                      AddressingCase{4, 4, SchemeKind::kMlid},
+                      AddressingCase{8, 2, SchemeKind::kMlid},
+                      AddressingCase{8, 3, SchemeKind::kMlid},
+                      AddressingCase{16, 2, SchemeKind::kMlid},
+                      AddressingCase{4, 3, SchemeKind::kSlid},
+                      AddressingCase{8, 3, SchemeKind::kSlid}));
+
+}  // namespace
+}  // namespace mlid

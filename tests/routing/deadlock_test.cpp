@@ -1,0 +1,98 @@
+// Deadlock-freedom: the channel dependency graph of all used paths must be
+// acyclic for deterministic routing without escape channels (Duato's
+// condition; up*/down* routing on a tree satisfies it by construction).
+#include <gtest/gtest.h>
+
+#include "routing/fat_tree_routing.hpp"
+#include "routing/validate.hpp"
+
+namespace mlid {
+namespace {
+
+struct Case {
+  int m;
+  int n;
+  SchemeKind kind;
+};
+
+class DeadlockFree : public ::testing::TestWithParam<Case> {};
+
+TEST_P(DeadlockFree, ChannelDependencyGraphIsAcyclic) {
+  const auto param = GetParam();
+  const FatTreeParams p(param.m, param.n);
+  const FatTreeFabric fabric(p);
+  const auto scheme = make_scheme(param.kind, p);
+  const CompiledRoutes routes(fabric, *scheme);
+  const RoutingReport report = verify_deadlock_free(fabric, *scheme, routes);
+  for (const auto& problem : report.problems) ADD_FAILURE() << problem;
+  EXPECT_GT(report.paths_checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DeadlockFree,
+                         ::testing::Values(Case{4, 2, SchemeKind::kMlid},
+                                           Case{4, 3, SchemeKind::kMlid},
+                                           Case{4, 4, SchemeKind::kMlid},
+                                           Case{8, 2, SchemeKind::kMlid},
+                                           Case{8, 3, SchemeKind::kMlid},
+                                           Case{16, 2, SchemeKind::kMlid},
+                                           Case{4, 3, SchemeKind::kSlid},
+                                           Case{8, 3, SchemeKind::kSlid}));
+
+TEST(DeadlockDetector, CatchesAnArtificialCycle) {
+  // Sanity-check the detector itself: corrupt one leaf switch's LFT so a
+  // packet bounces between two leaf switches through a shared parent...
+  // Simplest reliable cycle: make two switches forward one DLID to each
+  // other by swapping an up entry with a down entry.  We emulate this by
+  // building routes from a scheme whose LFT we post-process.
+  const FatTreeParams p(4, 2);
+  const FatTreeFabric fabric(p);
+
+  /// Wrapper that mis-programs SW<0,1>'s entry for node P(00) (lid 1) to
+  /// point up even though the node is below, creating an up-down-up
+  /// oscillation between that leaf and a root.
+  class Broken final : public RoutingScheme {
+   public:
+    explicit Broken(const FatTreeParams& params)
+        : params_(params), inner_(params) {}
+    [[nodiscard]] std::string_view name() const noexcept override {
+      return "BROKEN";
+    }
+    [[nodiscard]] Lmc lmc() const noexcept override { return inner_.lmc(); }
+    [[nodiscard]] LidRange lids_of(NodeId node) const override {
+      return inner_.lids_of(node);
+    }
+    [[nodiscard]] NodeId node_of_lid(Lid lid) const override {
+      return inner_.node_of_lid(lid);
+    }
+    [[nodiscard]] Lid select_dlid(NodeId src, NodeId dst) const override {
+      return inner_.select_dlid(src, dst);
+    }
+    [[nodiscard]] Lid max_lid() const override { return inner_.max_lid(); }
+    [[nodiscard]] Lft build_lft(SwitchId sw) const override {
+      Lft lft = inner_.build_lft(sw);
+      const SwitchLabel label = switch_from_id(params_, sw);
+      if (label.level() == 1 && label.index_in_level(params_) == 0) {
+        lft.set(1, static_cast<PortId>(params_.half() + 1));  // up instead
+      }
+      return lft;
+    }
+
+   private:
+    FatTreeParams params_;
+    SlidRouting inner_;
+  };
+
+  const Broken scheme(p);
+  const CompiledRoutes routes(fabric, scheme);
+  // The walk for (src != P(000..001) subtree, lid 1) now oscillates: it
+  // descends to SW<0,1>, gets kicked back up, descends again, ... so
+  // verify_all_paths must flag it; the CDG check may or may not see a cycle
+  // (the oscillation revisits channels, which *is* a cycle).
+  const RoutingReport paths = verify_all_paths(fabric, scheme, routes);
+  EXPECT_FALSE(paths.ok());
+  const RoutingReport cdg = verify_deadlock_free(fabric, scheme, routes);
+  EXPECT_FALSE(cdg.ok());
+}
+
+}  // namespace
+}  // namespace mlid

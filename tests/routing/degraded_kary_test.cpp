@@ -1,0 +1,73 @@
+// Fault tolerance on the k-ary family and additional load-analysis matrix
+// coverage: the extensions composed together.
+#include <gtest/gtest.h>
+
+#include "harness/sweep.hpp"
+#include "routing/fat_tree_routing.hpp"
+#include "routing/load_analysis.hpp"
+#include "routing/updown.hpp"
+#include "routing/validate.hpp"
+
+namespace mlid {
+namespace {
+
+TEST(DegradedKary, UpdnRoutesAroundAFailedUplink) {
+  FatTreeFabric fabric(FatTreeParams::kary(2, 3));
+  // Fail the first level-1 switch's first up port.
+  const SwitchLabel victim = SwitchLabel::from_index(fabric.params(), 1, 0);
+  fabric.mutable_fabric().disconnect(
+      fabric.switch_device(victim.switch_id(fabric.params())),
+      static_cast<PortId>(fabric.params().half() + 1));
+  const UpDownRouting updn(fabric, fabric.params().mlid_lmc());
+  ASSERT_TRUE(updn.fully_connected());
+  const CompiledRoutes routes(fabric, updn);
+  const RoutingReport report = verify_all_paths_relaxed(fabric, updn, routes);
+  for (const auto& problem : report.problems) ADD_FAILURE() << problem;
+  EXPECT_TRUE(verify_deadlock_free(fabric, updn, routes).ok());
+}
+
+TEST(DegradedKary, PartitionDetectedWhenLeafLosesAllUplinks) {
+  FatTreeFabric fabric(FatTreeParams::kary(2, 2));
+  const SwitchLabel leaf = SwitchLabel::from_index(fabric.params(), 1, 0);
+  const DeviceId dev = fabric.switch_device(leaf.switch_id(fabric.params()));
+  fabric.mutable_fabric().disconnect(dev, 3);
+  fabric.mutable_fabric().disconnect(dev, 4);
+  const UpDownRouting updn(fabric, 0);
+  EXPECT_FALSE(updn.fully_connected());
+}
+
+TEST(LoadAnalysisPermutation, MatrixDrivesPredictionsCorrectly) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const MlidRouting scheme(fabric.params());
+  const CompiledRoutes routes(fabric, scheme);
+  const LoadAnalysis analysis(fabric, scheme, routes);
+  // Ring permutation: every node sends exactly one unit.
+  std::vector<NodeId> dst(8);
+  for (NodeId i = 0; i < 8; ++i) dst[i] = (i + 1) % 8;
+  const auto loads = analysis.predict(TrafficMatrix::permutation(dst));
+  // Every NIC link carries exactly 1 unit out and 1 unit in.
+  for (const PredictedLoad& entry : loads) {
+    const Device& device = fabric.fabric().device(entry.dev);
+    if (device.kind() == DeviceKind::kEndnode) {
+      EXPECT_DOUBLE_EQ(entry.load, 1.0);
+    }
+    const Device& peer =
+        fabric.fabric().device(device.peer(entry.port).device);
+    if (peer.kind() == DeviceKind::kEndnode) {
+      EXPECT_DOUBLE_EQ(entry.load, 1.0);
+    }
+  }
+}
+
+TEST(RunFigure, EmptyLoadGridYieldsNoPoints) {
+  FigureSpec spec;
+  spec.title = "empty";
+  spec.m = 4;
+  spec.n = 2;
+  spec.loads = {};
+  const auto points = run_figure(spec, 1);
+  EXPECT_TRUE(points.empty());
+}
+
+}  // namespace
+}  // namespace mlid

@@ -1,0 +1,102 @@
+// Fault tolerance: after links fail, UpDownRouting routes around them while
+// the closed-form MLID tables (computed for the pristine tree) do not.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "routing/fat_tree_routing.hpp"
+#include "routing/updown.hpp"
+#include "routing/validate.hpp"
+
+namespace mlid {
+namespace {
+
+/// Disconnect one inter-switch link: SW<00,1>'s up port 3 (to root <00>)
+/// in a 4-port 3-tree.
+void fail_one_uplink(FatTreeFabric& fabric) {
+  const SwitchLabel mid = SwitchLabel::from_index(fabric.params(), 1, 0);
+  fabric.mutable_fabric().disconnect(
+      fabric.switch_device(mid.switch_id(fabric.params())), 3);
+}
+
+TEST(FaultTolerance, UpDownRoutesAroundASingleFailedUplink) {
+  FatTreeFabric fabric{FatTreeParams(4, 3)};
+  fail_one_uplink(fabric);
+  const UpDownRouting updn(fabric, fabric.params().mlid_lmc());
+  EXPECT_TRUE(updn.fully_connected());
+  const CompiledRoutes routes(fabric, updn);
+
+  // Every selected path still completes at the right node and no walk uses
+  // the dead link (trace_path would report incomplete if it did).
+  const FatTreeParams& p = fabric.params();
+  for (NodeId src = 0; src < p.num_nodes(); ++src) {
+    for (NodeId dst = 0; dst < p.num_nodes(); ++dst) {
+      if (src == dst) continue;
+      const PathTrace trace =
+          trace_path(fabric, routes, src, updn.select_dlid(src, dst));
+      ASSERT_TRUE(trace.complete)
+          << src << " -> " << dst << ": " << to_string(fabric, trace);
+      EXPECT_EQ(trace.terminal, fabric.node_device(dst));
+    }
+  }
+  // Deadlock freedom survives the detours.
+  EXPECT_TRUE(verify_deadlock_free(fabric, updn, routes).ok());
+}
+
+TEST(FaultTolerance, ClosedFormMlidBreaksOnTheSameFault) {
+  FatTreeFabric fabric{FatTreeParams(4, 3)};
+  fail_one_uplink(fabric);
+  const MlidRouting mlid(fabric.params());
+  const CompiledRoutes routes(fabric, mlid);
+  // Some (src, dlid) walk must now fall off the dead port.
+  const RoutingReport report = verify_all_paths(fabric, mlid, routes);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(FaultTolerance, SurvivesManyRandomLinkFailures) {
+  // Knock out 4 random inter-switch links (seeded); the 4-port 3-tree has
+  // enough redundancy that connectivity usually survives, and whenever the
+  // engine reports fully_connected() the paths must all check out.
+  Xoshiro256 rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    FatTreeFabric fabric{FatTreeParams(4, 3)};
+    Fabric& g = fabric.mutable_fabric();
+    int removed = 0;
+    while (removed < 4) {
+      const auto sw = static_cast<SwitchId>(
+          rng.below(fabric.params().num_switches()));
+      const SwitchLabel label = fabric.switch_label(sw);
+      if (label.level() == 0) continue;
+      const auto port = static_cast<PortId>(
+          static_cast<std::uint64_t>(fabric.params().half()) + 1 +
+          rng.below(2));
+      const DeviceId dev = fabric.switch_device(sw);
+      if (!g.device(dev).port_connected(port)) continue;
+      g.disconnect(dev, port);
+      ++removed;
+    }
+    const UpDownRouting updn(fabric, fabric.params().mlid_lmc());
+    const CompiledRoutes routes(fabric, updn);
+    if (!updn.fully_connected()) continue;  // partitioned: nothing to check
+    const RoutingReport report = verify_all_paths_relaxed(fabric, updn, routes);
+    for (const auto& p : report.problems) ADD_FAILURE() << p;
+    EXPECT_TRUE(verify_deadlock_free(fabric, updn, routes).ok());
+  }
+}
+
+TEST(FaultTolerance, ReportsPartitionWhenANodeIsCutOff) {
+  FatTreeFabric fabric{FatTreeParams(4, 2)};
+  // Cut node 0's only attachment.
+  fabric.mutable_fabric().disconnect(fabric.node_device(0), 1);
+  const UpDownRouting updn(fabric, 0);
+  EXPECT_FALSE(updn.fully_connected());
+  // Other pairs still route.
+  const CompiledRoutes routes(fabric, updn);
+  const PathTrace trace =
+      trace_path(fabric, routes, 2, updn.select_dlid(2, 7));
+  EXPECT_TRUE(trace.complete);
+  // Nothing routes to the severed node.
+  EXPECT_FALSE(routes.lft(0).has(updn.lids_of(0).base()));
+}
+
+}  // namespace
+}  // namespace mlid

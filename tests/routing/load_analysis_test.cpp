@@ -1,0 +1,172 @@
+// Static load analysis: conservation, the predicted MLID/SLID imbalance
+// (paper Figures 8/9 quantified), and cross-validation against the
+// simulator's measured utilizations.
+#include "routing/load_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "routing/fat_tree_routing.hpp"
+#include "sim/engine.hpp"
+
+namespace mlid {
+namespace {
+
+TEST(TrafficMatrix, RowsAreNormalized) {
+  for (const auto& m :
+       {TrafficMatrix::uniform(8), TrafficMatrix::centric(8, 3, 0.2)}) {
+    for (NodeId src = 0; src < 8; ++src) {
+      double row = 0.0;
+      for (NodeId dst = 0; dst < 8; ++dst) {
+        EXPECT_GE(m.rate(src, dst), 0.0);
+        row += m.rate(src, dst);
+      }
+      EXPECT_NEAR(row, 1.0, 1e-12);
+      EXPECT_EQ(m.rate(src, src), 0.0);
+    }
+  }
+}
+
+TEST(TrafficMatrix, CentricConcentratesOnTheHotNode) {
+  const TrafficMatrix m = TrafficMatrix::centric(16, 5, 0.2);
+  EXPECT_NEAR(m.rate(0, 5), 0.2 + 0.8 / 15.0, 1e-12);
+  EXPECT_NEAR(m.rate(0, 1), 0.8 / 15.0, 1e-12);
+}
+
+TEST(TrafficMatrix, PermutationValidation) {
+  EXPECT_NO_THROW(TrafficMatrix::permutation({1, 0, 3, 2}));
+  EXPECT_THROW(TrafficMatrix::permutation({0, 1, 2, 3}), ContractViolation);
+  EXPECT_THROW(TrafficMatrix::permutation({4, 0, 1, 2}), ContractViolation);
+}
+
+TEST(LoadAnalysis, NodeLinkLoadsEqualTheMatrixMarginals) {
+  // The load on src's NIC link is src's total injection (= 1); the load on
+  // the link into dst is the column sum of the matrix.
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const MlidRouting scheme(fabric.params());
+  const CompiledRoutes routes(fabric, scheme);
+  const LoadAnalysis analysis(fabric, scheme, routes);
+  const TrafficMatrix matrix = TrafficMatrix::centric(8, 0, 0.5);
+  const auto loads = analysis.predict(matrix);
+
+  for (const PredictedLoad& entry : loads) {
+    const Device& dev = fabric.fabric().device(entry.dev);
+    if (dev.kind() == DeviceKind::kEndnode) {
+      EXPECT_NEAR(entry.load, 1.0, 1e-12) << "NIC of " << dev.name();
+    }
+    const PortRef peer = dev.peer(entry.port);
+    const Device& peer_dev = fabric.fabric().device(peer.device);
+    if (peer_dev.kind() == DeviceKind::kEndnode) {
+      double column = 0.0;
+      for (NodeId src = 0; src < 8; ++src) {
+        column += matrix.rate(src, peer_dev.node_id);
+      }
+      EXPECT_NEAR(entry.load, column, 1e-12)
+          << "terminal link of " << peer_dev.name();
+    }
+  }
+}
+
+TEST(LoadAnalysis, TotalLoadEqualsRateWeightedPathLengths) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const MlidRouting scheme(fabric.params());
+  const CompiledRoutes routes(fabric, scheme);
+  const LoadAnalysis analysis(fabric, scheme, routes);
+  const TrafficMatrix matrix = TrafficMatrix::uniform(16);
+  const auto loads = analysis.predict(matrix);
+  const double total = std::accumulate(
+      loads.begin(), loads.end(), 0.0,
+      [](double a, const PredictedLoad& b) { return a + b.load; });
+  double expected = 0.0;
+  for (NodeId src = 0; src < 16; ++src) {
+    for (NodeId dst = 0; dst < 16; ++dst) {
+      if (src == dst) continue;
+      expected += matrix.rate(src, dst) *
+                  min_path_links(fabric.params(), fabric.node_label(src),
+                                 fabric.node_label(dst));
+    }
+  }
+  EXPECT_NEAR(total, expected, 1e-9);
+}
+
+TEST(LoadAnalysis, UniformTrafficLoadsNearlyBalancedAndSchemeIndependent) {
+  // Under the uniform matrix the two schemes produce the same aggregate
+  // link-load distribution (flows per link differ only in *which* flows,
+  // not how many); the residual stddev reflects the ascent-vs-descent role
+  // split, not imbalance within a level.
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const MlidRouting mlid(fabric.params());
+  const SlidRouting slid(fabric.params());
+  const CompiledRoutes mlid_routes(fabric, mlid);
+  const CompiledRoutes slid_routes(fabric, slid);
+  const LoadAnalysis mlid_analysis(fabric, mlid, mlid_routes);
+  const LoadAnalysis slid_analysis(fabric, slid, slid_routes);
+  const auto matrix = TrafficMatrix::uniform(16);
+  const auto a = mlid_analysis.summarize(mlid_analysis.predict(matrix));
+  const auto b = slid_analysis.summarize(slid_analysis.predict(matrix));
+  EXPECT_NEAR(a.max_load, b.max_load, 1e-9);
+  EXPECT_NEAR(a.mean_load, b.mean_load, 1e-9);
+  EXPECT_NEAR(a.stddev_load, b.stddev_load, 1e-9);
+  EXPECT_LT(a.stddev_load, 0.1 * a.mean_load);
+}
+
+TEST(LoadAnalysis, MlidSpreadsTheHotSpotSlidFunnelsIt) {
+  // Pure hot spot: every node sends only to node 0.  SLID funnels every
+  // remote flow through one root and one final descent link (load 14);
+  // MLID spreads the descents over all m/2 = 2 links into the hot leaf
+  // (load 7) -- the achievable gain on the last inter-switch stage is
+  // bounded by the leaf's down-degree even though four roots are used.
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const TrafficMatrix matrix = TrafficMatrix::centric(16, 0, 1.0);
+
+  const MlidRouting mlid(fabric.params());
+  const CompiledRoutes mlid_routes(fabric, mlid);
+  const auto mlid_summary = LoadAnalysis(fabric, mlid, mlid_routes)
+                                .summarize(LoadAnalysis(fabric, mlid,
+                                                        mlid_routes)
+                                               .predict(matrix));
+
+  const SlidRouting slid(fabric.params());
+  const CompiledRoutes slid_routes(fabric, slid);
+  const auto slid_summary = LoadAnalysis(fabric, slid, slid_routes)
+                                .summarize(LoadAnalysis(fabric, slid,
+                                                        slid_routes)
+                                               .predict(matrix));
+
+  EXPECT_NEAR(slid_summary.max_load, 14.0, 1e-9);
+  EXPECT_NEAR(mlid_summary.max_load, 7.0, 1e-9);
+  EXPECT_GT(mlid_summary.saturation_bound, slid_summary.saturation_bound);
+}
+
+TEST(LoadAnalysis, PredictionMatchesSimulatedUtilizationRanking) {
+  // The analytically hottest link must also be (one of) the hottest in a
+  // low-load simulation, where queueing effects are negligible.
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const LoadAnalysis analysis(fabric, subnet.scheme(), subnet.routes());
+  const auto predicted =
+      analysis.predict(TrafficMatrix::centric(8, 0, 1.0));
+
+  SimConfig cfg;
+  cfg.warmup_ns = 10'000;
+  cfg.measure_ns = 60'000;
+  cfg.seed = 3;
+  Simulation sim(subnet, cfg, {TrafficKind::kCentric, 1.0, 0, 3}, 0.2);
+  sim.run();
+  const auto measured = sim.link_loads();
+
+  const auto hottest_predicted = std::max_element(
+      predicted.begin(), predicted.end(),
+      [](const auto& a, const auto& b) { return a.load < b.load; });
+  const auto hottest_measured = std::max_element(
+      measured.begin(), measured.end(), [](const auto& a, const auto& b) {
+        return a.busy_fraction < b.busy_fraction;
+      });
+  EXPECT_EQ(hottest_predicted->dev, hottest_measured->dev);
+  EXPECT_EQ(hottest_predicted->port, hottest_measured->port);
+}
+
+}  // namespace
+}  // namespace mlid

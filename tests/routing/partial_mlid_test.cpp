@@ -1,0 +1,66 @@
+// PartialMlidRouting: the LMC-reduced middle ground between SLID and MLID.
+#include <gtest/gtest.h>
+
+#include "routing/fat_tree_routing.hpp"
+#include "routing/validate.hpp"
+
+namespace mlid {
+namespace {
+
+TEST(PartialMlid, Lmc0MatchesSlidSelection) {
+  const FatTreeParams p(4, 3);
+  const PartialMlidRouting partial(p, 0);
+  const SlidRouting slid(p);
+  for (NodeId src = 0; src < p.num_nodes(); ++src) {
+    for (NodeId dst = 0; dst < p.num_nodes(); ++dst) {
+      EXPECT_EQ(partial.select_dlid(src, dst), slid.select_dlid(src, dst));
+    }
+  }
+}
+
+TEST(PartialMlid, FullLmcMatchesMlidSelection) {
+  const FatTreeParams p(4, 3);
+  const PartialMlidRouting partial(p, p.mlid_lmc());
+  const MlidRouting mlid(p);
+  for (NodeId src = 0; src < p.num_nodes(); ++src) {
+    for (NodeId dst = 0; dst < p.num_nodes(); ++dst) {
+      EXPECT_EQ(partial.select_dlid(src, dst), mlid.select_dlid(src, dst));
+    }
+  }
+}
+
+class PartialLmcSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartialLmcSweep, AllPathsRemainValid) {
+  const FatTreeParams p(4, 3);
+  const auto lmc = static_cast<Lmc>(GetParam());
+  const FatTreeFabric fabric(p);
+  const PartialMlidRouting scheme(p, lmc);
+  const CompiledRoutes routes(fabric, scheme);
+  const RoutingReport report = verify_all_paths(fabric, scheme, routes);
+  for (const auto& problem : report.problems) ADD_FAILURE() << problem;
+  EXPECT_TRUE(verify_deadlock_free(fabric, scheme, routes).ok());
+}
+
+TEST_P(PartialLmcSweep, DistinctDlidsPerSubgroupUpToBlockSize) {
+  // A subgroup of size S spreads over min(S, 2^lmc) DLIDs.
+  const FatTreeParams p(4, 3);
+  const auto lmc = static_cast<Lmc>(GetParam());
+  const PartialMlidRouting scheme(p, lmc);
+  const NodeId dst = p.num_nodes() - 1;
+  std::set<Lid> dlids;
+  for (NodeId src = 0; src < 4; ++src) {  // gcpg(0,1): subgroup of size 4
+    dlids.insert(scheme.select_dlid(src, dst));
+  }
+  EXPECT_EQ(dlids.size(), std::min<std::size_t>(4, 1u << lmc));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lmc, PartialLmcSweep, ::testing::Values(0, 1, 2));
+
+TEST(PartialMlid, RejectsLmcBeyondTreeDiversity) {
+  const FatTreeParams p(4, 3);
+  EXPECT_THROW(PartialMlidRouting(p, 3), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mlid

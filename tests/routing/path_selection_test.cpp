@@ -1,0 +1,105 @@
+// Tests for the path selection scheme (paper Section 4.2).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "routing/fat_tree_routing.hpp"
+#include "topology/properties.hpp"
+
+namespace mlid {
+namespace {
+
+TEST(PathSelection, PaperFigure11Example) {
+  // Figure 11 (digits restored): in IBFT(4, 3) the members of gcpg(0, 1) =
+  // {P(000), P(001), P(010), P(011)} sending to P(100) pick the four
+  // consecutive LIDs BaseLID(P(100)) + {0, 1, 2, 3} = {17, 18, 19, 20}.
+  const FatTreeParams p(4, 3);
+  const MlidRouting scheme(p);
+  const NodeId dst = 4;  // P(100)
+  EXPECT_EQ(scheme.lids_of(dst).base(), 17u);
+  EXPECT_EQ(scheme.select_dlid(0, dst), 17u);  // P(000)
+  EXPECT_EQ(scheme.select_dlid(1, dst), 18u);  // P(001)
+  EXPECT_EQ(scheme.select_dlid(2, dst), 19u);  // P(010)
+  EXPECT_EQ(scheme.select_dlid(3, dst), 20u);  // P(011)
+}
+
+TEST(PathSelection, SlidAlwaysPicksTheSingleLid) {
+  const FatTreeParams p(4, 3);
+  const SlidRouting scheme(p);
+  for (NodeId src = 0; src < p.num_nodes(); ++src) {
+    for (NodeId dst = 0; dst < p.num_nodes(); ++dst) {
+      EXPECT_EQ(scheme.select_dlid(src, dst), dst + 1);
+    }
+  }
+}
+
+TEST(PathSelection, SameLeafUsesBaseLid) {
+  // Nodes under one leaf switch have a unique minimal path; the rank term
+  // vanishes and the base LID is used.
+  const FatTreeParams p(4, 3);
+  const MlidRouting scheme(p);
+  EXPECT_EQ(scheme.select_dlid(0, 1), scheme.lids_of(1).base());  // P(000)->P(001)
+  EXPECT_EQ(scheme.select_dlid(1, 0), scheme.lids_of(0).base());
+}
+
+TEST(PathSelection, SelfSendIsBaseLid) {
+  const FatTreeParams p(4, 3);
+  const MlidRouting scheme(p);
+  EXPECT_EQ(scheme.select_dlid(5, 5), scheme.lids_of(5).base());
+}
+
+class SelectionSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SelectionSweep, DlidAlwaysBelongsToTheDestination) {
+  const auto [m, n] = GetParam();
+  const FatTreeParams p(m, n);
+  const MlidRouting scheme(p);
+  for (NodeId src = 0; src < p.num_nodes(); ++src) {
+    for (NodeId dst = 0; dst < p.num_nodes(); ++dst) {
+      const Lid dlid = scheme.select_dlid(src, dst);
+      EXPECT_TRUE(scheme.lids_of(dst).contains(dlid));
+      EXPECT_EQ(scheme.node_of_lid(dlid), dst);
+    }
+  }
+}
+
+TEST_P(SelectionSweep, SubgroupMembersGetDistinctDlids) {
+  // The heart of MLID (Section 4.2): for a fixed destination, all members
+  // of the source's gcp subgroup choose pairwise different DLIDs, i.e. the
+  // one-to-one source -> path mapping the paper claims.
+  const auto [m, n] = GetParam();
+  const FatTreeParams p(m, n);
+  const MlidRouting scheme(p);
+  for (NodeId dst = 0; dst < p.num_nodes(); ++dst) {
+    const NodeLabel dst_label = NodeLabel::from_pid(p, dst);
+    // subgroup key -> set of chosen DLIDs
+    std::map<std::pair<int, std::uint32_t>, std::set<Lid>> chosen;
+    for (NodeId src = 0; src < p.num_nodes(); ++src) {
+      if (src == dst) continue;
+      const NodeLabel src_label = NodeLabel::from_pid(p, src);
+      const int alpha = gcp_length(p, src_label, dst_label);
+      const std::uint32_t rank =
+          (alpha + 1 < n) ? rank_in_group(p, src_label, alpha + 1) : 0;
+      const std::uint32_t prefix = src - rank;
+      const Lid dlid = scheme.select_dlid(src, dst);
+      EXPECT_TRUE((chosen[{alpha, prefix}].insert(dlid).second))
+          << "sources " << src_label.to_string() << " (subgroup " << prefix
+          << ") reuse DLID " << dlid << " toward " << dst_label.to_string();
+    }
+    // Each subgroup uses a dense block of DLIDs starting at the base.
+    for (const auto& [key, dlids] : chosen) {
+      EXPECT_EQ(*dlids.begin(), scheme.lids_of(dst).base());
+      EXPECT_EQ(*dlids.rbegin(),
+                scheme.lids_of(dst).base() + dlids.size() - 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SelectionSweep,
+                         ::testing::Values(std::pair{4, 2}, std::pair{4, 3},
+                                           std::pair{4, 4}, std::pair{8, 2},
+                                           std::pair{8, 3}, std::pair{16, 2}));
+
+}  // namespace
+}  // namespace mlid

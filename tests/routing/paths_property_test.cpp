@@ -1,0 +1,75 @@
+// Exhaustive path properties: every (source, DLID) pair routes minimally to
+// the right node, ascending then descending (verify_all_paths).
+#include <gtest/gtest.h>
+
+#include "routing/fat_tree_routing.hpp"
+#include "routing/validate.hpp"
+
+namespace mlid {
+namespace {
+
+struct Case {
+  int m;
+  int n;
+  SchemeKind kind;
+};
+
+class AllPaths : public ::testing::TestWithParam<Case> {};
+
+TEST_P(AllPaths, EveryPathIsMinimalCorrectAndUpDown) {
+  const auto param = GetParam();
+  const FatTreeParams p(param.m, param.n);
+  const FatTreeFabric fabric(p);
+  const auto scheme = make_scheme(param.kind, p);
+  const CompiledRoutes routes(fabric, *scheme);
+  const RoutingReport report = verify_all_paths(fabric, *scheme, routes);
+  for (const auto& problem : report.problems) ADD_FAILURE() << problem;
+  // Exactly N * (N - 1) * 2^LMC paths were walked.
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(p.num_nodes()) * (p.num_nodes() - 1) *
+      scheme->lids_of(0).count();
+  EXPECT_EQ(report.paths_checked, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AllPaths,
+    ::testing::Values(Case{4, 2, SchemeKind::kMlid},
+                      Case{4, 3, SchemeKind::kMlid},
+                      Case{4, 4, SchemeKind::kMlid},
+                      Case{8, 2, SchemeKind::kMlid},
+                      Case{8, 3, SchemeKind::kMlid},
+                      Case{16, 2, SchemeKind::kMlid},
+                      Case{4, 2, SchemeKind::kSlid},
+                      Case{4, 3, SchemeKind::kSlid},
+                      Case{4, 4, SchemeKind::kSlid},
+                      Case{8, 2, SchemeKind::kSlid},
+                      Case{8, 3, SchemeKind::kSlid},
+                      Case{16, 2, SchemeKind::kSlid}));
+
+TEST(PathTrace, RendersReadableDiagnostics) {
+  const FatTreeParams p(4, 2);
+  const FatTreeFabric fabric(p);
+  const MlidRouting scheme(p);
+  const CompiledRoutes routes(fabric, scheme);
+  const PathTrace trace =
+      trace_path(fabric, routes, 0, scheme.select_dlid(0, 7));
+  ASSERT_TRUE(trace.complete);
+  const std::string text = to_string(fabric, trace);
+  EXPECT_EQ(text.rfind("P(00)", 0), 0u);
+  EXPECT_NE(text.find("P(31)"), std::string::npos);
+  EXPECT_EQ(text.find("INCOMPLETE"), std::string::npos);
+}
+
+TEST(PathTrace, HopLimitMarksIncomplete) {
+  const FatTreeParams p(4, 2);
+  const FatTreeFabric fabric(p);
+  const MlidRouting scheme(p);
+  const CompiledRoutes routes(fabric, scheme);
+  const PathTrace trace =
+      trace_path(fabric, routes, 0, scheme.select_dlid(0, 7), /*max_hops=*/1);
+  EXPECT_FALSE(trace.complete);
+  EXPECT_NE(to_string(fabric, trace).find("INCOMPLETE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlid

@@ -1,0 +1,85 @@
+// The load-spreading property that motivates MLID (paper Figures 8/9):
+// senders of a subgroup reach a common destination through pairwise
+// distinct least common ancestors.  SLID, by design, funnels them through
+// one LCA -- we assert both directions.
+#include <gtest/gtest.h>
+
+#include "routing/fat_tree_routing.hpp"
+#include "routing/validate.hpp"
+
+namespace mlid {
+namespace {
+
+class MlidSpreading : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(MlidSpreading, SubgroupsUseDistinctLcas) {
+  const auto [m, n] = GetParam();
+  const FatTreeParams p(m, n);
+  const FatTreeFabric fabric(p);
+  const MlidRouting scheme(p);
+  const CompiledRoutes routes(fabric, scheme);
+  const RoutingReport report = verify_lca_spreading(fabric, scheme, routes);
+  for (const auto& problem : report.problems) ADD_FAILURE() << problem;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MlidSpreading,
+                         ::testing::Values(std::pair{4, 2}, std::pair{4, 3},
+                                           std::pair{4, 4}, std::pair{8, 2},
+                                           std::pair{8, 3}, std::pair{16, 2}));
+
+TEST(SlidSpreading, ConvergesOntoASingleLca) {
+  // The baseline's defect (paper Figure 9a): with one LID per node every
+  // source subtree funnels through the same ancestors, so the spreading
+  // check must report reuse for any tree with more than one LCA choice.
+  const FatTreeParams p(4, 3);
+  const FatTreeFabric fabric(p);
+  const SlidRouting scheme(p);
+  const CompiledRoutes routes(fabric, scheme);
+  const RoutingReport report =
+      verify_lca_spreading(fabric, scheme, routes, /*max_problems=*/5);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(SlidSpreading, AllSendersToOneDestinationShareTheFinalLink) {
+  // Stronger statement of the congestion scenario: under SLID, every packet
+  // towards P(000) enters its leaf switch through a path ending in the same
+  // final inter-switch link, because the DLID fully determines the descent.
+  const FatTreeParams p(4, 3);
+  const FatTreeFabric fabric(p);
+  const SlidRouting scheme(p);
+  const CompiledRoutes routes(fabric, scheme);
+  const Lid dlid = scheme.select_dlid(8, 0);
+  DeviceId shared_lca = kInvalidDevice;
+  for (NodeId src = 4; src < 16; ++src) {  // all sources outside 0xx
+    const PathTrace trace = trace_path(fabric, routes, src, dlid);
+    ASSERT_TRUE(trace.complete);
+    // LCA for alpha = 0 is the single root this DLID maps to.
+    const DeviceId lca = trace.hops[trace.hops.size() - 3].device;
+    if (shared_lca == kInvalidDevice) {
+      shared_lca = lca;
+    } else {
+      EXPECT_EQ(lca, shared_lca);
+    }
+  }
+}
+
+TEST(MlidSpreadingExample, PaperFigure11RoutesUseFourDistinctRoots) {
+  const FatTreeParams p(4, 3);
+  const FatTreeFabric fabric(p);
+  const MlidRouting scheme(p);
+  const CompiledRoutes routes(fabric, scheme);
+  std::set<DeviceId> roots;
+  for (NodeId src = 0; src < 4; ++src) {  // gcpg(0,1) -> P(100)
+    const PathTrace trace =
+        trace_path(fabric, routes, src, scheme.select_dlid(src, 4));
+    ASSERT_TRUE(trace.complete);
+    ASSERT_EQ(trace.hops.size(), 6u);  // node + 5 switches
+    const Device& turn = fabric.fabric().device(trace.hops[3].device);
+    EXPECT_EQ(fabric.switch_label(turn.switch_id).level(), 0);
+    roots.insert(trace.hops[3].device);
+  }
+  EXPECT_EQ(roots.size(), 4u);
+}
+
+}  // namespace
+}  // namespace mlid

@@ -1,0 +1,95 @@
+// Generic up*/down* routing: equivalence with MLID on pristine trees and
+// the BFS machinery itself.
+#include "routing/updown.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/fat_tree_routing.hpp"
+#include "routing/validate.hpp"
+
+namespace mlid {
+namespace {
+
+class UpDownPristine : public ::testing::TestWithParam<std::pair<int, int>> {
+};
+
+TEST_P(UpDownPristine, ReproducesMlidTablesExactly) {
+  // On an undamaged fat tree, BFS distances equal the closed forms and the
+  // digit-based candidate selection matches Equation (2), so the computed
+  // LFTs must be entry-for-entry identical to MLID's.
+  const auto [m, n] = GetParam();
+  const FatTreeFabric fabric{FatTreeParams(m, n)};
+  const UpDownRouting updn(fabric, fabric.params().mlid_lmc());
+  const MlidRouting mlid(fabric.params());
+  ASSERT_TRUE(updn.fully_connected());
+  ASSERT_EQ(updn.max_lid(), mlid.max_lid());
+  for (SwitchId sw = 0; sw < fabric.params().num_switches(); ++sw) {
+    const Lft a = updn.build_lft(sw);
+    const Lft b = mlid.build_lft(sw);
+    for (Lid lid = 1; lid <= mlid.max_lid(); ++lid) {
+      ASSERT_EQ(int(a.lookup(lid)), int(b.lookup(lid)))
+          << "switch " << sw << " lid " << lid;
+    }
+  }
+}
+
+TEST_P(UpDownPristine, PassesAllRoutingValidators) {
+  const auto [m, n] = GetParam();
+  const FatTreeFabric fabric{FatTreeParams(m, n)};
+  const UpDownRouting updn(fabric, fabric.params().mlid_lmc());
+  const CompiledRoutes routes(fabric, updn);
+  for (const auto& p : verify_all_paths(fabric, updn, routes).problems) {
+    ADD_FAILURE() << p;
+  }
+  EXPECT_TRUE(verify_deadlock_free(fabric, updn, routes).ok());
+  EXPECT_TRUE(verify_lca_spreading(fabric, updn, routes).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, UpDownPristine,
+                         ::testing::Values(std::pair{4, 2}, std::pair{4, 3},
+                                           std::pair{8, 2}, std::pair{8, 3}));
+
+TEST(UpDown, LmcZeroReproducesSlidTablesExactly) {
+  // With one LID per node the digit rule consumes the destination PID's
+  // digits, which is precisely SLID's per-destination striping.
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const UpDownRouting updn(fabric, 0);
+  const SlidRouting slid(fabric.params());
+  for (SwitchId sw = 0; sw < fabric.params().num_switches(); ++sw) {
+    const Lft a = updn.build_lft(sw);
+    const Lft b = slid.build_lft(sw);
+    for (Lid lid = 1; lid <= slid.max_lid(); ++lid) {
+      ASSERT_EQ(int(a.lookup(lid)), int(b.lookup(lid)))
+          << "switch " << sw << " lid " << lid;
+    }
+  }
+}
+
+TEST(UpDown, LmcZeroGivesOneLidPerNode) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const UpDownRouting updn(fabric, 0);
+  EXPECT_EQ(updn.max_lid(), 16u);
+  EXPECT_EQ(updn.lids_of(5).count(), 1u);
+  EXPECT_EQ(updn.select_dlid(0, 5), 6u);  // base LID = PID + 1
+  const CompiledRoutes routes(fabric, updn);
+  EXPECT_TRUE(verify_all_paths(fabric, updn, routes).ok());
+}
+
+TEST(UpDown, RejectsOversizedLmc) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  EXPECT_THROW(UpDownRouting(fabric, 5), ContractViolation);
+}
+
+TEST(UpDown, SelectDlidStaysInsideTheDestinationBlock) {
+  const FatTreeFabric fabric{FatTreeParams(8, 2)};
+  const UpDownRouting updn(fabric, 1);  // reduced LMC
+  for (NodeId src = 0; src < 32; ++src) {
+    for (NodeId dst = 0; dst < 32; ++dst) {
+      const Lid dlid = updn.select_dlid(src, dst);
+      EXPECT_TRUE(updn.lids_of(dst).contains(dlid));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mlid

@@ -1,0 +1,82 @@
+// Packet conservation and accounting identities across a config matrix.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace mlid {
+namespace {
+
+struct Case {
+  int m;
+  int n;
+  SchemeKind kind;
+  TrafficKind traffic;
+  double load;
+  int vls;
+};
+
+class Conservation : public ::testing::TestWithParam<Case> {};
+
+TEST_P(Conservation, CountsAndRatesAreConsistent) {
+  const auto c = GetParam();
+  const FatTreeFabric fabric{FatTreeParams(c.m, c.n)};
+  const Subnet subnet(fabric, c.kind);
+  SimConfig cfg;
+  cfg.warmup_ns = 8'000;
+  cfg.measure_ns = 40'000;
+  cfg.seed = 17;
+  cfg.num_vls = c.vls;
+  Simulation sim(subnet, cfg, {c.traffic, 0.2, 0, 23}, c.load);
+  const SimResult r = sim.run();
+
+  // Conservation: no drops, deliveries never exceed generation, and the
+  // windowed subset never exceeds total deliveries.
+  EXPECT_EQ(r.packets_dropped, 0u);
+  EXPECT_LE(r.packets_delivered, r.packets_generated);
+  EXPECT_LE(r.packets_measured, r.packets_delivered);
+  EXPECT_GT(r.packets_measured, 0u);
+
+  // Generation rate: one packet per interval per node across the run
+  // (within one interval of rounding per node).
+  const double interval = 256.0 / c.load;
+  const double expected_generated =
+      static_cast<double>(fabric.params().num_nodes()) *
+      static_cast<double>(cfg.end_time()) / interval;
+  EXPECT_NEAR(static_cast<double>(r.packets_generated), expected_generated,
+              static_cast<double>(fabric.params().num_nodes()) + 2);
+
+  // Accepted traffic identity: measured packets * bytes / window / nodes.
+  const double expected_accepted =
+      static_cast<double>(r.packets_measured) * 256.0 /
+      static_cast<double>(cfg.measure_ns) /
+      static_cast<double>(fabric.params().num_nodes());
+  EXPECT_DOUBLE_EQ(r.accepted_bytes_per_ns_per_node, expected_accepted);
+
+  // Latency sanity: bounded below by the physical minimum.
+  const double min_latency =
+      1.0 * static_cast<double>(cfg.routing_delay_ns) +
+      2.0 * static_cast<double>(cfg.flying_time_ns) + 256.0;
+  EXPECT_GE(r.avg_latency_ns, min_latency);
+  EXPECT_GE(r.avg_network_latency_ns, min_latency);
+  EXPECT_LE(r.avg_network_latency_ns, r.avg_latency_ns + 1e-9);
+  EXPECT_LE(r.p50_latency_ns, r.p99_latency_ns + 1e-9);
+
+  // Hops: between 1 (same leaf) and 2n - 1 switches.
+  EXPECT_GE(r.avg_hops, 1.0);
+  EXPECT_LE(r.avg_hops, 2.0 * c.n - 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, Conservation,
+    ::testing::Values(
+        Case{4, 2, SchemeKind::kMlid, TrafficKind::kUniform, 0.3, 1},
+        Case{4, 2, SchemeKind::kSlid, TrafficKind::kUniform, 0.3, 1},
+        Case{4, 3, SchemeKind::kMlid, TrafficKind::kUniform, 0.7, 2},
+        Case{4, 3, SchemeKind::kSlid, TrafficKind::kCentric, 0.5, 4},
+        Case{8, 2, SchemeKind::kMlid, TrafficKind::kCentric, 0.9, 1},
+        Case{8, 2, SchemeKind::kSlid, TrafficKind::kPermutation, 0.6, 2},
+        Case{4, 4, SchemeKind::kMlid, TrafficKind::kBitComplement, 0.4, 1},
+        Case{8, 3, SchemeKind::kMlid, TrafficKind::kUniform, 0.5, 2}));
+
+}  // namespace
+}  // namespace mlid

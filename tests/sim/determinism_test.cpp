@@ -1,0 +1,74 @@
+// Bit-reproducibility: identical configuration => identical results, and
+// seed / parameter changes actually change the run.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace mlid {
+namespace {
+
+SimConfig window(std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.warmup_ns = 8'000;
+  cfg.measure_ns = 40'000;
+  cfg.seed = seed;
+  return cfg;
+}
+
+SimResult run_once(SchemeKind kind, std::uint64_t seed, double load,
+                   TrafficKind traffic = TrafficKind::kUniform) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, kind);
+  Simulation sim(subnet, window(seed), {traffic, 0.2, 0, seed * 3 + 1}, load);
+  return sim.run();
+}
+
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.packets_generated, b.packets_generated);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.packets_measured, b.packets_measured);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_DOUBLE_EQ(a.avg_latency_ns, b.avg_latency_ns);
+  EXPECT_DOUBLE_EQ(a.avg_network_latency_ns, b.avg_network_latency_ns);
+  EXPECT_DOUBLE_EQ(a.accepted_bytes_per_ns_per_node,
+                   b.accepted_bytes_per_ns_per_node);
+  EXPECT_DOUBLE_EQ(a.p99_latency_ns, b.p99_latency_ns);
+  EXPECT_DOUBLE_EQ(a.mean_link_utilization, b.mean_link_utilization);
+}
+
+TEST(Determinism, SameSeedsSameResultsUniform) {
+  expect_identical(run_once(SchemeKind::kMlid, 5, 0.6),
+                   run_once(SchemeKind::kMlid, 5, 0.6));
+}
+
+TEST(Determinism, SameSeedsSameResultsCentricSlid) {
+  expect_identical(
+      run_once(SchemeKind::kSlid, 9, 0.8, TrafficKind::kCentric),
+      run_once(SchemeKind::kSlid, 9, 0.8, TrafficKind::kCentric));
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  const SimResult a = run_once(SchemeKind::kMlid, 5, 0.6);
+  const SimResult b = run_once(SchemeKind::kMlid, 6, 0.6);
+  EXPECT_NE(a.avg_latency_ns, b.avg_latency_ns);
+}
+
+TEST(Determinism, FreshSubnetDoesNotPerturbResults) {
+  // Rebuilding the fabric/subnet between runs must not change anything:
+  // no hidden global state.
+  const SimResult a = run_once(SchemeKind::kMlid, 11, 0.4);
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  Simulation sim(subnet, window(11), {TrafficKind::kUniform, 0.2, 0, 34},
+                 0.4);
+  expect_identical(a, sim.run());
+}
+
+TEST(Determinism, LoadChangesTheOutcome) {
+  const SimResult a = run_once(SchemeKind::kMlid, 5, 0.2);
+  const SimResult b = run_once(SchemeKind::kMlid, 5, 0.8);
+  EXPECT_GT(b.packets_generated, a.packets_generated);
+}
+
+}  // namespace
+}  // namespace mlid

@@ -1,0 +1,74 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlid {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(30, EventKind::kTryTx, 1);
+  q.push(10, EventKind::kGenerate, 2);
+  q.push(20, EventKind::kDeliver, 3);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().time, 10);
+  EXPECT_EQ(q.pop().time, 20);
+  EXPECT_EQ(q.pop().time, 30);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SimultaneousEventsPopInInsertionOrder) {
+  EventQueue q;
+  for (DeviceId dev = 0; dev < 10; ++dev) {
+    q.push(5, EventKind::kTryTx, dev);
+  }
+  for (DeviceId dev = 0; dev < 10; ++dev) {
+    EXPECT_EQ(q.pop().dev, dev);
+  }
+}
+
+TEST(EventQueue, CarriesThePayload) {
+  EventQueue q;
+  q.push(7, EventKind::kHeadArrive, 42, 3, 2, 99);
+  const Event e = q.pop();
+  EXPECT_EQ(e.kind, EventKind::kHeadArrive);
+  EXPECT_EQ(e.dev, 42u);
+  EXPECT_EQ(int(e.port), 3);
+  EXPECT_EQ(int(e.vl), 2);
+  EXPECT_EQ(e.pkt, 99u);
+}
+
+TEST(EventQueue, PopEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), ContractViolation);
+}
+
+TEST(EventQueue, SchedulingIntoThePastIsACodingError) {
+  EventQueue q;
+  q.push(100, EventKind::kGenerate, 0);
+  (void)q.pop();
+  EXPECT_THROW(q.push(50, EventKind::kGenerate, 0), ContractViolation);
+}
+
+TEST(EventQueue, EventsProcessedCounter) {
+  EventQueue q;
+  EXPECT_EQ(q.events_processed(), 0u);
+  q.push(1, EventKind::kGenerate, 0);
+  q.push(2, EventKind::kGenerate, 0);
+  EXPECT_EQ(q.events_processed(), 2u);
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsOrder) {
+  EventQueue q;
+  q.push(10, EventKind::kGenerate, 1);
+  q.push(20, EventKind::kGenerate, 2);
+  EXPECT_EQ(q.pop().dev, 1u);
+  q.push(15, EventKind::kGenerate, 3);
+  q.push(12, EventKind::kGenerate, 4);
+  EXPECT_EQ(q.pop().dev, 4u);
+  EXPECT_EQ(q.pop().dev, 3u);
+  EXPECT_EQ(q.pop().dev, 2u);
+}
+
+}  // namespace
+}  // namespace mlid

@@ -1,0 +1,91 @@
+// Credit-based flow control: backpressure bounds in-flight packets, buffer
+// depth changes behaviour in the expected direction, and nothing is lost.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace mlid {
+namespace {
+
+SimConfig window() {
+  SimConfig cfg;
+  cfg.warmup_ns = 10'000;
+  cfg.measure_ns = 50'000;
+  cfg.seed = 33;
+  return cfg;
+}
+
+TEST(FlowControl, NoPacketIsEverDropped) {
+  // Credits reserve the downstream slot before transmission, so even a
+  // saturated hot-spot loses nothing.
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  for (double load : {0.3, 0.9}) {
+    for (auto kind : {TrafficKind::kUniform, TrafficKind::kCentric}) {
+      Simulation sim(subnet, window(), {kind, 0.2, 0, 9}, load);
+      const SimResult r = sim.run();
+      EXPECT_EQ(r.packets_dropped, 0u);
+      EXPECT_LE(r.packets_delivered, r.packets_generated);
+      EXPECT_GT(r.packets_delivered, 0u);
+    }
+  }
+}
+
+TEST(FlowControl, DeeperBuffersRaiseHotSpotThroughput) {
+  // The 1-packet credit loop leaves a (t_r + 2 t_fly)-sized bubble per
+  // packet on a saturated link; deeper input buffers hide it.
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  SimConfig shallow = window();
+  SimConfig deep = window();
+  deep.in_buf_pkts = 4;
+  deep.out_buf_pkts = 4;
+  const TrafficConfig traffic{TrafficKind::kCentric, 1.0, 0, 9};
+  const double t_shallow =
+      Simulation(subnet, shallow, traffic, 0.9).run()
+          .accepted_bytes_per_ns_per_node;
+  const double t_deep =
+      Simulation(subnet, deep, traffic, 0.9).run()
+          .accepted_bytes_per_ns_per_node;
+  EXPECT_GT(t_deep, t_shallow);
+}
+
+TEST(FlowControl, BackpressureKeepsSourceQueuesBoundedAtLowLoad) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  Simulation sim(subnet, window(), {TrafficKind::kUniform, 0, 0, 9}, 0.1);
+  const SimResult r = sim.run();
+  EXPECT_LE(r.max_source_queue_pkts, 4u);
+}
+
+TEST(FlowControl, SaturationGrowsSourceQueuesNotTheNetwork) {
+  // Past saturation the network holds a bounded number of packets (credits
+  // cap per-hop occupancy); the surplus accumulates in source queues.
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  Simulation sim(subnet, window(), {TrafficKind::kCentric, 1.0, 0, 9}, 1.0);
+  const SimResult r = sim.run();
+  EXPECT_GT(r.max_source_queue_pkts, 50u);
+  // In-network packets at end = generated - delivered - still queued; the
+  // engine cannot report queue occupancy directly, but the physical bound
+  // is (#links * (in+out buffers) * VLs); sanity-check via counts.
+  const std::uint64_t in_flight_bound =
+      static_cast<std::uint64_t>(fabric.fabric().num_links()) * 2u * 2u + 64;
+  EXPECT_LE(r.packets_generated - r.packets_delivered,
+            in_flight_bound + r.max_source_queue_pkts *
+                                  fabric.params().num_nodes());
+}
+
+TEST(FlowControl, ZeroFlyingTimeStillConserves) {
+  SimConfig cfg = window();
+  cfg.flying_time_ns = 0;
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  Simulation sim(subnet, cfg, {TrafficKind::kUniform, 0, 0, 9}, 0.5);
+  const SimResult r = sim.run();
+  EXPECT_EQ(r.packets_dropped, 0u);
+  EXPECT_GT(r.packets_measured, 0u);
+}
+
+}  // namespace
+}  // namespace mlid

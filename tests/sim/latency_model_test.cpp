@@ -1,0 +1,102 @@
+// Exact checks of the virtual cut-through timing model against the closed
+// form  latency = S * t_r + (S + 1) * t_fly + L * t_byte  for a packet
+// crossing S switches without contention.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace mlid {
+namespace {
+
+SimConfig quiet_config() {
+  SimConfig cfg;
+  cfg.warmup_ns = 5'000;
+  cfg.measure_ns = 40'000;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(LatencyModel, NeighborTrafficMatchesTheClosedForm) {
+  // dst = src ^ 1 crosses exactly one switch (the shared leaf):
+  // 1 * 100 + 2 * 20 + 256 * 1 = 396 ns, with zero contention because every
+  // pair owns its two links exclusively.
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  Simulation sim(subnet, quiet_config(), {TrafficKind::kNeighbor, 0, 0, 3},
+                 /*offered_load=*/0.05);
+  const SimResult r = sim.run();
+  ASSERT_GT(r.packets_measured, 40u);
+  EXPECT_DOUBLE_EQ(r.avg_latency_ns, 396.0);
+  EXPECT_DOUBLE_EQ(r.max_latency_ns, 396.0);
+  EXPECT_DOUBLE_EQ(r.avg_hops, 1.0);
+  EXPECT_EQ(r.packets_dropped, 0u);
+}
+
+TEST(LatencyModel, BitComplementCrossesTheFullTree) {
+  // In a 4-port 2-tree every complement pair has no common prefix: three
+  // switches, 3 * 100 + 4 * 20 + 256 = 636 ns, and the MLID path selection
+  // gives each flow private links, so the latency is exact.
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  Simulation sim(subnet, quiet_config(),
+                 {TrafficKind::kBitComplement, 0, 0, 3}, 0.05);
+  const SimResult r = sim.run();
+  ASSERT_GT(r.packets_measured, 40u);
+  EXPECT_DOUBLE_EQ(r.avg_latency_ns, 636.0);
+  EXPECT_DOUBLE_EQ(r.max_latency_ns, 636.0);
+  EXPECT_DOUBLE_EQ(r.avg_hops, 3.0);
+}
+
+TEST(LatencyModel, TallerTreeAddsTwoHopsPerLevel) {
+  // 4-port 3-tree bit-complement: 5 switches -> 5*100 + 6*20 + 256 = 876.
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  Simulation sim(subnet, quiet_config(),
+                 {TrafficKind::kBitComplement, 0, 0, 3}, 0.05);
+  const SimResult r = sim.run();
+  ASSERT_GT(r.packets_measured, 100u);
+  EXPECT_DOUBLE_EQ(r.avg_latency_ns, 876.0);
+  EXPECT_DOUBLE_EQ(r.avg_hops, 5.0);
+}
+
+TEST(LatencyModel, TimingKnobsScaleTheFormula) {
+  SimConfig cfg = quiet_config();
+  cfg.routing_delay_ns = 50;
+  cfg.flying_time_ns = 10;
+  cfg.byte_time_ns = 2;
+  cfg.packet_bytes = 128;
+  // Neighbor in (4,2): 1*50 + 2*10 + 128*2 = 326.
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  Simulation sim(subnet, cfg, {TrafficKind::kNeighbor, 0, 0, 3}, 0.05);
+  const SimResult r = sim.run();
+  ASSERT_GT(r.packets_measured, 50u);
+  EXPECT_DOUBLE_EQ(r.avg_latency_ns, 326.0);
+}
+
+TEST(LatencyModel, NetworkLatencyEqualsTotalAtLowLoad) {
+  // With an idle NIC the packet leaves the source queue instantly, so
+  // generation->delivery equals injection->delivery.
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  Simulation sim(subnet, quiet_config(), {TrafficKind::kNeighbor, 0, 0, 3},
+                 0.05);
+  const SimResult r = sim.run();
+  EXPECT_DOUBLE_EQ(r.avg_latency_ns, r.avg_network_latency_ns);
+}
+
+TEST(LatencyModel, AcceptedTrafficTracksTheOfferedLoadBelowSaturation) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  for (double load : {0.1, 0.2, 0.4}) {
+    Simulation sim(subnet, quiet_config(), {TrafficKind::kNeighbor, 0, 0, 3},
+                   load);
+    const SimResult r = sim.run();
+    // offered bytes/ns/node = load (1 B/ns link, saturating pattern-free).
+    EXPECT_NEAR(r.accepted_bytes_per_ns_per_node, load, 0.02 * load + 0.005)
+        << "load " << load;
+  }
+}
+
+}  // namespace
+}  // namespace mlid

@@ -1,0 +1,125 @@
+// Packet tracing and link-load accounting.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace mlid {
+namespace {
+
+SimConfig traced_config(std::uint32_t n) {
+  SimConfig cfg;
+  cfg.warmup_ns = 2'000;
+  cfg.measure_ns = 20'000;
+  cfg.seed = 11;
+  cfg.trace_packets = n;
+  return cfg;
+}
+
+TEST(Trace, OffByDefault) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  Simulation sim(subnet, traced_config(0), {TrafficKind::kNeighbor, 0, 0, 3},
+                 0.1);
+  sim.run();
+  EXPECT_TRUE(sim.traces().empty());
+}
+
+TEST(Trace, FirstPacketTimelineMatchesTheTimingModel) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  Simulation sim(subnet, traced_config(4), {TrafficKind::kNeighbor, 0, 0, 3},
+                 0.05);
+  sim.run();
+  ASSERT_EQ(sim.traces().size(), 4u);
+  for (const PacketTraceRecord& rec : sim.traces()) {
+    // Neighbor pattern: generated -> injected -> head at leaf ->
+    // forwarded by leaf -> head at dst -> delivered.
+    ASSERT_EQ(rec.events.size(), 6u);
+    EXPECT_EQ(rec.events[0].point, TracePoint::kGenerated);
+    EXPECT_EQ(rec.events[1].point, TracePoint::kInjected);
+    EXPECT_EQ(rec.events[2].point, TracePoint::kHeadArrive);
+    EXPECT_EQ(rec.events[3].point, TracePoint::kForwarded);
+    EXPECT_EQ(rec.events[4].point, TracePoint::kHeadArrive);
+    EXPECT_EQ(rec.events[5].point, TracePoint::kDelivered);
+    const SimTime t0 = rec.events[0].time;
+    EXPECT_EQ(rec.events[1].time, t0);        // idle NIC injects at once
+    EXPECT_EQ(rec.events[2].time, t0 + 20);   // flying time
+    EXPECT_EQ(rec.events[3].time, t0 + 120);  // + routing delay
+    EXPECT_EQ(rec.events[4].time, t0 + 140);  // + flying time
+    EXPECT_EQ(rec.events[5].time, t0 + 396);  // + serialization (tail)
+    EXPECT_EQ(rec.dst, rec.src ^ 1u);
+  }
+}
+
+TEST(Trace, RecordsExactlyTheRequestedCount) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  Simulation sim(subnet, traced_config(7), {TrafficKind::kUniform, 0, 0, 3},
+                 0.4);
+  const SimResult r = sim.run();
+  ASSERT_GT(r.packets_generated, 7u);
+  EXPECT_EQ(sim.traces().size(), 7u);
+}
+
+TEST(Trace, LinkLoadsConserveForwardedPackets) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  Simulation sim(subnet, traced_config(0), {TrafficKind::kUniform, 0, 0, 3},
+                 0.3);
+  const SimResult r = sim.run();
+  const auto loads = sim.link_loads();
+  // One entry per connected directed link.
+  EXPECT_EQ(loads.size(), 2u * fabric.fabric().num_links());
+  std::uint64_t nic_tx = 0;
+  std::uint64_t total_tx = 0;
+  for (const LinkLoad& load : loads) {
+    EXPECT_GE(load.busy_fraction, 0.0);
+    EXPECT_LE(load.busy_fraction, 1.0 + 1e-9);
+    total_tx += load.packets_tx;
+    if (fabric.fabric().device(load.dev).kind() == DeviceKind::kEndnode) {
+      nic_tx += load.packets_tx;
+    }
+  }
+  // Every injected packet crossed the NIC link exactly once...
+  EXPECT_LE(nic_tx, r.packets_generated);
+  EXPECT_GE(nic_tx, r.packets_delivered);
+  // ...and each delivered packet used at least 2 directed links.
+  EXPECT_GE(total_tx, 2 * r.packets_delivered);
+}
+
+TEST(Trace, RecordRendering) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  Simulation sim(subnet, traced_config(1), {TrafficKind::kNeighbor, 0, 0, 3},
+                 0.05);
+  sim.run();
+  ASSERT_EQ(sim.traces().size(), 1u);
+  const std::string text = to_string(sim.traces().front());
+  EXPECT_NE(text.find("generated"), std::string::npos);
+  EXPECT_NE(text.find("delivered"), std::string::npos);
+  // One line per event plus the header.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'),
+            static_cast<long>(sim.traces().front().events.size()) + 1);
+}
+
+TEST(Trace, InvariantCheckPassesAfterEveryRun) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  for (double load : {0.2, 0.9}) {
+    Simulation sim(subnet, traced_config(0),
+                   {TrafficKind::kCentric, 0.3, 0, 3}, load);
+    sim.run();  // run() already calls check_invariants()
+    EXPECT_NO_THROW(sim.check_invariants());
+  }
+}
+
+TEST(Trace, ToStringNames) {
+  EXPECT_EQ(to_string(TracePoint::kGenerated), "generated");
+  EXPECT_EQ(to_string(TracePoint::kInjected), "injected");
+  EXPECT_EQ(to_string(TracePoint::kHeadArrive), "head-arrive");
+  EXPECT_EQ(to_string(TracePoint::kForwarded), "forwarded");
+  EXPECT_EQ(to_string(TracePoint::kDelivered), "delivered");
+}
+
+}  // namespace
+}  // namespace mlid

@@ -1,0 +1,113 @@
+#include "sim/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace mlid {
+namespace {
+
+TEST(Traffic, UniformNeverPicksSelfAndCoversEveryone) {
+  TrafficPattern pattern({TrafficKind::kUniform, 0.2, 0, 7}, 16);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 4000; ++i) {
+    const NodeId dst = pattern.pick_destination(3);
+    EXPECT_NE(dst, 3u);
+    EXPECT_LT(dst, 16u);
+    seen.insert(dst);
+  }
+  EXPECT_EQ(seen.size(), 15u);
+}
+
+TEST(Traffic, UniformIsRoughlyUniform) {
+  TrafficPattern pattern({TrafficKind::kUniform, 0.2, 0, 11}, 8);
+  std::map<NodeId, int> hist;
+  constexpr int kDraws = 70000;
+  for (int i = 0; i < kDraws; ++i) ++hist[pattern.pick_destination(0)];
+  for (NodeId dst = 1; dst < 8; ++dst) {
+    EXPECT_NEAR(hist[dst], kDraws / 7, kDraws / 70) << "dst " << dst;
+  }
+}
+
+TEST(Traffic, CentricHitsTheHotNodeAtTheConfiguredRate) {
+  // P(hot) = h + (1 - h) / (N - 1) for sources other than the hot node.
+  TrafficConfig cfg{TrafficKind::kCentric, 0.20, 5, 13};
+  TrafficPattern pattern(cfg, 16);
+  int hot = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    hot += pattern.pick_destination(2) == 5;
+  }
+  const double expected = 0.20 + 0.80 / 15.0;
+  EXPECT_NEAR(static_cast<double>(hot) / kDraws, expected, 0.01);
+}
+
+TEST(Traffic, CentricHotNodeItselfSendsUniformly) {
+  TrafficConfig cfg{TrafficKind::kCentric, 0.20, 5, 13};
+  TrafficPattern pattern(cfg, 16);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NE(pattern.pick_destination(5), 5u);
+  }
+}
+
+TEST(Traffic, PermutationIsAFixedDerangement) {
+  TrafficPattern pattern({TrafficKind::kPermutation, 0.2, 0, 99}, 32);
+  std::set<NodeId> images;
+  for (NodeId src = 0; src < 32; ++src) {
+    const NodeId dst = pattern.pick_destination(src);
+    EXPECT_NE(dst, src) << "fixed point at " << src;
+    EXPECT_TRUE(images.insert(dst).second) << "not a bijection";
+    // Stable across draws.
+    EXPECT_EQ(pattern.pick_destination(src), dst);
+  }
+  EXPECT_EQ(images.size(), 32u);
+}
+
+TEST(Traffic, BitComplementAndNeighborFormulas) {
+  TrafficPattern bc({TrafficKind::kBitComplement, 0.2, 0, 1}, 16);
+  EXPECT_EQ(bc.pick_destination(0), 15u);
+  EXPECT_EQ(bc.pick_destination(7), 8u);
+  TrafficPattern nb({TrafficKind::kNeighbor, 0.2, 0, 1}, 16);
+  EXPECT_EQ(nb.pick_destination(0), 1u);
+  EXPECT_EQ(nb.pick_destination(1), 0u);
+  EXPECT_EQ(nb.pick_destination(6), 7u);
+}
+
+TEST(Traffic, SameSeedSameStream) {
+  TrafficConfig cfg{TrafficKind::kUniform, 0.2, 0, 321};
+  TrafficPattern a(cfg, 16), b(cfg, 16);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.pick_destination(4), b.pick_destination(4));
+  }
+}
+
+TEST(Traffic, PerSourceStreamsAreIndependent) {
+  // Drawing from one source must not perturb another source's stream.
+  TrafficConfig cfg{TrafficKind::kUniform, 0.2, 0, 55};
+  TrafficPattern a(cfg, 16), b(cfg, 16);
+  for (int i = 0; i < 100; ++i) (void)a.pick_destination(9);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.pick_destination(4), b.pick_destination(4));
+  }
+}
+
+TEST(Traffic, RejectsBadConfigs) {
+  EXPECT_THROW(TrafficPattern({TrafficKind::kUniform, 0.2, 0, 1}, 1),
+               ContractViolation);
+  EXPECT_THROW(TrafficPattern({TrafficKind::kCentric, 1.5, 0, 1}, 4),
+               ContractViolation);
+  EXPECT_THROW(TrafficPattern({TrafficKind::kCentric, 0.2, 9, 1}, 4),
+               ContractViolation);
+}
+
+TEST(Traffic, ToStringNames) {
+  EXPECT_EQ(to_string(TrafficKind::kUniform), "uniform");
+  EXPECT_EQ(to_string(TrafficKind::kCentric), "centric");
+  EXPECT_EQ(to_string(TrafficKind::kPermutation), "permutation");
+  EXPECT_EQ(to_string(TrafficKind::kBitComplement), "bit-complement");
+  EXPECT_EQ(to_string(TrafficKind::kNeighbor), "neighbor");
+}
+
+}  // namespace
+}  // namespace mlid

@@ -1,0 +1,60 @@
+// Subnet bring-up with caller-supplied routing schemes, and its failure
+// behaviour on damaged fabrics.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "routing/fat_tree_routing.hpp"
+#include "routing/updown.hpp"
+#include "subnet/subnet.hpp"
+
+namespace mlid {
+namespace {
+
+TEST(CustomScheme, PartialMlidSubnetWorksEndToEnd) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(
+      fabric, std::make_unique<PartialMlidRouting>(fabric.params(), 1));
+  EXPECT_EQ(subnet.scheme().name(), "PartialMLID");
+  EXPECT_EQ(subnet.init_stats().lids_assigned, 16u * 2u);
+  // DLID selection folds the rank into the 2-LID block.
+  const Lid dlid = subnet.select_dlid(3, 4);  // P(011) -> P(100), rank 3
+  EXPECT_EQ(dlid, subnet.scheme().lids_of(4).at(3 & 1));
+}
+
+TEST(CustomScheme, UpdnSubnetWorksEndToEnd) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(
+      fabric, std::make_unique<UpDownRouting>(fabric, Lmc{1}));
+  EXPECT_EQ(subnet.scheme().name(), "UPDN");
+  EXPECT_EQ(subnet.routes().num_switches(), 6u);
+}
+
+TEST(CustomScheme, NullSchemeIsRejected) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  EXPECT_THROW(Subnet(fabric, std::unique_ptr<RoutingScheme>{}),
+               ContractViolation);
+}
+
+TEST(CustomScheme, BringUpRefusesAPartitionedFabric) {
+  // Cutting a node's only attachment makes the discovery sweep fall short
+  // of the expected device count; the SM refuses to initialize.
+  FatTreeFabric fabric{FatTreeParams(4, 2)};
+  fabric.mutable_fabric().disconnect(fabric.node_device(3), 1);
+  EXPECT_THROW(Subnet(fabric, SchemeKind::kMlid), ContractViolation);
+}
+
+TEST(CustomScheme, BringUpToleratesRedundantLinkLoss) {
+  // Losing one inter-switch link keeps the fabric connected; the sweep
+  // still reaches everything (the *routing* question is separate).
+  FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const SwitchLabel leaf = SwitchLabel::from_index(fabric.params(), 1, 0);
+  fabric.mutable_fabric().disconnect(
+      fabric.switch_device(leaf.switch_id(fabric.params())), 3);
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  EXPECT_EQ(subnet.init_stats().discovered_links,
+            fabric.fabric().num_links());
+}
+
+}  // namespace
+}  // namespace mlid

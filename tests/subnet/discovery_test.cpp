@@ -1,0 +1,81 @@
+#include "subnet/discovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/builder.hpp"
+
+namespace mlid {
+namespace {
+
+TEST(Discovery, SweepFindsTheWholeSubnet) {
+  const FatTreeFabric ft{FatTreeParams(4, 3)};
+  const DiscoveredTopology topo =
+      discover_subnet(ft.fabric(), ft.node_device(0));
+  EXPECT_EQ(topo.num_endnodes, 16u);
+  EXPECT_EQ(topo.num_switches, 20u);
+  EXPECT_EQ(topo.num_links, ft.fabric().num_links());
+  EXPECT_EQ(topo.devices.size(), ft.fabric().num_devices());
+}
+
+TEST(Discovery, ProbeCountIsOnePerExaminedPort) {
+  const FatTreeFabric ft{FatTreeParams(4, 2)};
+  const DiscoveredTopology topo =
+      discover_subnet(ft.fabric(), ft.node_device(0));
+  // 8 endnodes x 1 port + 6 switches x 4 ports.
+  EXPECT_EQ(topo.probes_sent, 8u + 24u);
+}
+
+TEST(Discovery, BfsDepthsAreMonotoneAndStartAtZero) {
+  const FatTreeFabric ft{FatTreeParams(4, 3)};
+  const DiscoveredTopology topo =
+      discover_subnet(ft.fabric(), ft.node_device(0));
+  EXPECT_EQ(topo.devices.front().id, ft.node_device(0));
+  EXPECT_EQ(topo.devices.front().hops_from_sm, 0);
+  int last = 0;
+  int deepest = 0;
+  for (const auto& d : topo.devices) {
+    EXPECT_GE(d.hops_from_sm, last);  // BFS order
+    last = d.hops_from_sm;
+    deepest = std::max(deepest, d.hops_from_sm);
+  }
+  // Node -> leaf -> ... -> root -> ... -> leaf -> farthest node: 2n hops.
+  EXPECT_EQ(deepest, 6);
+}
+
+TEST(Discovery, RecordedPeersMatchTheFabric) {
+  const FatTreeFabric ft{FatTreeParams(4, 2)};
+  const DiscoveredTopology topo =
+      discover_subnet(ft.fabric(), ft.node_device(0));
+  for (const auto& d : topo.devices) {
+    const Device& real = ft.fabric().device(d.id);
+    EXPECT_EQ(d.kind, real.kind());
+    EXPECT_EQ(d.num_ports, real.num_ports());
+    for (PortId port = 1; port <= real.num_ports(); ++port) {
+      if (real.port_connected(port)) {
+        EXPECT_EQ(d.peers[port], real.peer(port));
+      } else {
+        EXPECT_FALSE(d.peers[port].valid());
+      }
+    }
+  }
+}
+
+TEST(Discovery, StartingFromASwitchWorksToo) {
+  const FatTreeFabric ft{FatTreeParams(4, 2)};
+  const DiscoveredTopology topo =
+      discover_subnet(ft.fabric(), ft.switch_device(0));
+  EXPECT_EQ(topo.devices.size(), ft.fabric().num_devices());
+  EXPECT_EQ(topo.num_links, ft.fabric().num_links());
+}
+
+TEST(Discovery, FindLocatesDevices) {
+  const FatTreeFabric ft{FatTreeParams(4, 2)};
+  const DiscoveredTopology topo =
+      discover_subnet(ft.fabric(), ft.node_device(0));
+  ASSERT_NE(topo.find(ft.switch_device(3)), nullptr);
+  EXPECT_EQ(topo.find(ft.switch_device(3))->id, ft.switch_device(3));
+  EXPECT_EQ(topo.find(kInvalidDevice), nullptr);
+}
+
+}  // namespace
+}  // namespace mlid

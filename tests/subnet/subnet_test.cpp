@@ -1,0 +1,49 @@
+#include "subnet/subnet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlid {
+namespace {
+
+TEST(Subnet, InitializationAccountsTheBringUp) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const SubnetInitStats& stats = subnet.init_stats();
+  EXPECT_EQ(stats.discovered_endnodes, 16u);
+  EXPECT_EQ(stats.discovered_switches, 20u);
+  EXPECT_EQ(stats.discovered_links, 48u);
+  EXPECT_EQ(stats.lids_assigned, 16u * 4u);
+  // Every switch carries a full LFT: 20 switches x 64 entries.
+  EXPECT_EQ(stats.lft_entries_programmed, 20u * 64u);
+  EXPECT_GT(stats.discovery_probes, 0u);
+}
+
+TEST(Subnet, SlidInitialization) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kSlid);
+  EXPECT_EQ(subnet.init_stats().lids_assigned, 16u);
+  EXPECT_EQ(subnet.init_stats().lft_entries_programmed, 20u * 16u);
+  EXPECT_EQ(subnet.scheme().name(), "SLID");
+}
+
+TEST(Subnet, PathSelectionAndLidLookupsDelegateToTheScheme) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  EXPECT_EQ(subnet.select_dlid(0, 4), 17u);
+  EXPECT_EQ(subnet.node_of(17), 4u);
+  EXPECT_EQ(subnet.slid_of(2), 9u);
+  EXPECT_EQ(subnet.scheme().name(), "MLID");
+}
+
+TEST(Subnet, RoutesCoverEverySwitch) {
+  const FatTreeFabric fabric{FatTreeParams(8, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  EXPECT_EQ(subnet.routes().num_switches(),
+            fabric.params().num_switches());
+  for (SwitchId sw = 0; sw < fabric.params().num_switches(); ++sw) {
+    EXPECT_EQ(subnet.routes().lft(sw).max_lid(), subnet.scheme().max_lid());
+  }
+}
+
+}  // namespace
+}  // namespace mlid

@@ -1,0 +1,92 @@
+#include "topology/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/validate.hpp"
+
+namespace mlid {
+namespace {
+
+std::array<int, kMaxTreeHeight> digits(std::initializer_list<int> list) {
+  std::array<int, kMaxTreeHeight> d{};
+  int i = 0;
+  for (int v : list) d[static_cast<std::size_t>(i++)] = v;
+  return d;
+}
+
+TEST(Builder, FourPortThreeTreeShape) {
+  const FatTreeFabric ft{FatTreeParams(4, 3)};
+  EXPECT_EQ(ft.fabric().num_endnodes(), 16u);
+  EXPECT_EQ(ft.fabric().num_switches(), 20u);
+  // 16 node links + 16 links between levels 1-2 + 16 links between 0-1.
+  EXPECT_EQ(ft.fabric().num_links(), 48u);
+}
+
+TEST(Builder, NodeIdsArePids) {
+  const FatTreeFabric ft{FatTreeParams(4, 3)};
+  for (NodeId node = 0; node < 16; ++node) {
+    const DeviceId dev = ft.node_device(node);
+    EXPECT_EQ(ft.fabric().device(dev).node_id, node);
+    EXPECT_EQ(ft.node_label(node).pid(ft.params()), node);
+  }
+}
+
+TEST(Builder, SpecificWiringSpotChecks) {
+  // Paper Figure 5 example, digits restored: in a 4-port 3-tree the node
+  // P(111) hangs off SW<11,2> port 2, and SW<11,2>'s up port 3 reaches
+  // SW<10,1> whose down port facing back is 2.
+  const FatTreeParams p(4, 3);
+  const FatTreeFabric ft{p};
+  const Fabric& g = ft.fabric();
+
+  const NodeLabel n111 = NodeLabel::from_digits(p, digits({1, 1, 1}));
+  const SwitchLabel leaf = SwitchLabel::from_digits(p, 2, digits({1, 1}));
+  const PortRef hop = g.peer_of(ft.node_device(n111.pid(p)), 1);
+  EXPECT_EQ(hop.device, ft.switch_device(leaf.switch_id(p)));
+  EXPECT_EQ(int(hop.port), 2);
+
+  const PortRef up = g.peer_of(ft.switch_device(leaf.switch_id(p)), 3);
+  const SwitchLabel parent = SwitchLabel::from_digits(p, 1, digits({1, 0}));
+  EXPECT_EQ(up.device, ft.switch_device(parent.switch_id(p)));
+  EXPECT_EQ(int(up.port), 2);
+}
+
+TEST(Builder, RootRowReachesAllSubtrees) {
+  const FatTreeParams p(4, 3);
+  const FatTreeFabric ft{p};
+  const SwitchLabel root = SwitchLabel::from_digits(p, 0, digits({0, 0}));
+  const DeviceId dev = ft.switch_device(root.switch_id(p));
+  std::set<int> child_digit0;
+  for (PortId port = 1; port <= 4; ++port) {
+    const PortRef peer = ft.fabric().peer_of(dev, port);
+    ASSERT_TRUE(peer.valid());
+    const Device& child = ft.fabric().device(peer.device);
+    ASSERT_EQ(child.kind(), DeviceKind::kSwitch);
+    const SwitchLabel label = ft.switch_label(child.switch_id);
+    EXPECT_EQ(label.level(), 1);
+    child_digit0.insert(label.digit(0));
+  }
+  EXPECT_EQ(child_digit0, (std::set<int>{0, 1, 2, 3}));
+}
+
+class BuilderValidation
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(BuilderValidation, PassesStructuralValidation) {
+  const auto [m, n] = GetParam();
+  const FatTreeFabric ft{FatTreeParams(m, n)};
+  const ValidationReport report = validate_fat_tree(ft);
+  EXPECT_TRUE(report.ok()) << (report.problems.empty()
+                                   ? ""
+                                   : report.problems.front());
+  for (const auto& problem : report.problems) ADD_FAILURE() << problem;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, BuilderValidation,
+                         ::testing::Values(std::pair{4, 2}, std::pair{4, 3},
+                                           std::pair{4, 4}, std::pair{8, 2},
+                                           std::pair{8, 3}, std::pair{16, 2},
+                                           std::pair{4, 5}));
+
+}  // namespace
+}  // namespace mlid

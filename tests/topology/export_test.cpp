@@ -1,0 +1,54 @@
+#include "topology/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mlid {
+namespace {
+
+TEST(Export, DotContainsEveryDeviceAndLink) {
+  const FatTreeFabric ft{FatTreeParams(4, 2)};
+  const std::string dot = to_dot(ft);
+  EXPECT_EQ(dot.rfind("graph ibft {", 0), 0u);
+  for (SwitchId sw = 0; sw < 6; ++sw) {
+    EXPECT_NE(dot.find("sw" + std::to_string(sw) + " ["), std::string::npos);
+  }
+  for (NodeId node = 0; node < 8; ++node) {
+    EXPECT_NE(dot.find("n" + std::to_string(node) + " ["), std::string::npos);
+  }
+  // One " -- " edge per link.
+  std::size_t edges = 0;
+  for (std::size_t pos = dot.find(" -- "); pos != std::string::npos;
+       pos = dot.find(" -- ", pos + 1)) {
+    ++edges;
+  }
+  EXPECT_EQ(edges, ft.fabric().num_links());
+}
+
+TEST(Export, LinksCsvHasHeaderAndOneRowPerLink) {
+  const FatTreeFabric ft{FatTreeParams(4, 2)};
+  const std::string csv = links_csv(ft);
+  std::istringstream is(csv);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "device_a,port_a,device_b,port_b");
+  std::size_t rows = 0;
+  while (std::getline(is, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, ft.fabric().num_links());
+}
+
+TEST(Export, DescribeMentionsTheKeyNumbers) {
+  const FatTreeFabric ft{FatTreeParams(4, 3)};
+  const std::string text = describe(ft);
+  EXPECT_NE(text.find("IBFT(4, 3)"), std::string::npos);
+  EXPECT_NE(text.find("16 processing nodes"), std::string::npos);
+  EXPECT_NE(text.find("20 switches"), std::string::npos);
+  EXPECT_NE(text.find("LMC 2"), std::string::npos);
+  EXPECT_NE(text.find("4 paths per node pair"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlid

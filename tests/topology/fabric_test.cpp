@@ -1,0 +1,70 @@
+#include "topology/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlid {
+namespace {
+
+TEST(Fabric, DeviceCreation) {
+  Fabric g;
+  const DeviceId node = g.add_endnode("n0");
+  const DeviceId sw = g.add_switch(4, "s0");
+  EXPECT_EQ(g.num_devices(), 2u);
+  EXPECT_EQ(g.num_endnodes(), 1u);
+  EXPECT_EQ(g.num_switches(), 1u);
+  EXPECT_EQ(g.device(node).kind(), DeviceKind::kEndnode);
+  EXPECT_EQ(g.device(node).num_ports(), 1);
+  EXPECT_EQ(g.device(sw).kind(), DeviceKind::kSwitch);
+  EXPECT_EQ(g.device(sw).num_ports(), 4);
+  EXPECT_EQ(g.device(sw).name(), "s0");
+}
+
+TEST(Fabric, ConnectIsSymmetric) {
+  Fabric g;
+  const DeviceId a = g.add_switch(4, "a");
+  const DeviceId b = g.add_switch(4, "b");
+  g.connect(a, 2, b, 3);
+  EXPECT_EQ(g.num_links(), 1u);
+  EXPECT_EQ(g.peer_of(a, 2), (PortRef{b, 3}));
+  EXPECT_EQ(g.peer_of(b, 3), (PortRef{a, 2}));
+  EXPECT_TRUE(g.device(a).port_connected(2));
+  EXPECT_FALSE(g.device(a).port_connected(1));
+}
+
+TEST(Fabric, RejectsInvalidConnections) {
+  Fabric g;
+  const DeviceId a = g.add_switch(4, "a");
+  const DeviceId b = g.add_switch(4, "b");
+  EXPECT_THROW(g.connect(a, 0, b, 1), ContractViolation);  // mgmt port
+  EXPECT_THROW(g.connect(a, 5, b, 1), ContractViolation);  // out of range
+  EXPECT_THROW(g.connect(a, 1, 99, 1), ContractViolation); // no such device
+  EXPECT_THROW(g.connect(a, 1, a, 1), ContractViolation);  // self-loop port
+  g.connect(a, 1, b, 1);
+  EXPECT_THROW(g.connect(a, 1, b, 2), ContractViolation);  // port a in use
+  EXPECT_THROW(g.connect(a, 2, b, 1), ContractViolation);  // port b in use
+}
+
+TEST(Fabric, AllowsLoopbackBetweenDistinctPorts) {
+  // Two ports of the same switch may be cabled together (valid in IB).
+  Fabric g;
+  const DeviceId a = g.add_switch(4, "a");
+  g.connect(a, 1, a, 2);
+  EXPECT_EQ(g.peer_of(a, 1), (PortRef{a, 2}));
+  EXPECT_EQ(g.peer_of(a, 2), (PortRef{a, 1}));
+}
+
+TEST(Fabric, PortRefValidity) {
+  PortRef unset;
+  EXPECT_FALSE(unset.valid());
+  PortRef set{3, 1};
+  EXPECT_TRUE(set.valid());
+}
+
+TEST(Fabric, RejectsAbsurdPortCounts) {
+  Fabric g;
+  EXPECT_THROW(g.add_switch(0, "zero"), ContractViolation);
+  EXPECT_THROW(g.add_switch(255, "too-many"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mlid

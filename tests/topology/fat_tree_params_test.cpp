@@ -1,0 +1,114 @@
+#include "topology/fat_tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlid {
+namespace {
+
+TEST(FatTreeParams, PaperExampleCounts4Port2Tree) {
+  // Figure 4 of the paper: a 4-port 2-tree has 8 nodes and 6 switches.
+  const FatTreeParams p(4, 2);
+  EXPECT_EQ(p.num_nodes(), 8u);
+  EXPECT_EQ(p.num_switches(), 6u);
+  EXPECT_EQ(p.switches_at_level(0), 2u);
+  EXPECT_EQ(p.switches_at_level(1), 4u);
+  EXPECT_EQ(int(p.mlid_lmc()), 1);
+  EXPECT_EQ(p.paths_per_pair(), 2u);
+}
+
+TEST(FatTreeParams, PaperExampleCounts4Port3Tree) {
+  // Section 3's running example: 16 nodes, 20 switches, 4 roots.
+  const FatTreeParams p(4, 3);
+  EXPECT_EQ(p.num_nodes(), 16u);
+  EXPECT_EQ(p.num_switches(), 20u);
+  EXPECT_EQ(p.switches_at_level(0), 4u);
+  EXPECT_EQ(p.switches_at_level(1), 8u);
+  EXPECT_EQ(p.switches_at_level(2), 8u);
+  EXPECT_EQ(int(p.mlid_lmc()), 2);
+  EXPECT_EQ(p.paths_per_pair(), 4u);
+}
+
+TEST(FatTreeParams, EightPortCounts) {
+  const FatTreeParams p2(8, 2);
+  EXPECT_EQ(p2.num_nodes(), 32u);   // 2 * 4^2
+  EXPECT_EQ(p2.num_switches(), 12u);  // 3 * 4
+  const FatTreeParams p3(8, 3);
+  EXPECT_EQ(p3.num_nodes(), 128u);  // 2 * 4^3
+  EXPECT_EQ(p3.num_switches(), 80u);  // 5 * 16
+  EXPECT_EQ(int(p3.mlid_lmc()), 4);
+}
+
+TEST(FatTreeParams, LevelOffsetsPartitionTheIdSpace) {
+  const FatTreeParams p(8, 3);
+  EXPECT_EQ(p.level_offset(0), 0u);
+  EXPECT_EQ(p.level_offset(1), 16u);
+  EXPECT_EQ(p.level_offset(2), 48u);
+  EXPECT_EQ(p.level_offset(2) + p.switches_at_level(2), p.num_switches());
+}
+
+TEST(FatTreeParams, DigitRadixes) {
+  const FatTreeParams p(8, 3);
+  EXPECT_EQ(p.node_digit_radix(0), 8);
+  EXPECT_EQ(p.node_digit_radix(1), 4);
+  EXPECT_EQ(p.node_digit_radix(2), 4);
+  // Roots draw every digit from [0, m/2); lower levels free digit 0 to m.
+  EXPECT_EQ(p.switch_digit_radix(0, 0), 4);
+  EXPECT_EQ(p.switch_digit_radix(0, 1), 4);
+  EXPECT_EQ(p.switch_digit_radix(1, 0), 8);
+  EXPECT_EQ(p.switch_digit_radix(2, 0), 8);
+  EXPECT_EQ(p.switch_digit_radix(2, 1), 4);
+}
+
+TEST(FatTreeParams, RejectsInvalidShapes) {
+  EXPECT_THROW(FatTreeParams(3, 2), ContractViolation);   // not a power of 2
+  EXPECT_THROW(FatTreeParams(6, 2), ContractViolation);   // not a power of 2
+  EXPECT_THROW(FatTreeParams(2, 2), ContractViolation);   // m/2 < 2
+  EXPECT_THROW(FatTreeParams(4, 1), ContractViolation);   // height < 2
+  EXPECT_THROW(FatTreeParams(4, 99), ContractViolation);  // above kMaxTreeHeight
+}
+
+TEST(FatTreeParams, RejectsLidSpaceOverflow) {
+  // A 16-port 3-tree needs 2*8^3 = 1024 nodes x 2^6 LIDs = 65536 LIDs,
+  // one more than the 16-bit space allows (LID 0 is reserved); the paper's
+  // scheme cannot address it, so construction is rejected up front.
+  EXPECT_THROW(FatTreeParams(16, 3), ContractViolation);
+  EXPECT_THROW(FatTreeParams(16, 5), ContractViolation);
+  EXPECT_NO_THROW(FatTreeParams(16, 2));
+}
+
+/// Property sweep across the whole experiment grid.
+class ParamsInvariants
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ParamsInvariants, ClosedFormsAreConsistent) {
+  const auto [m, n] = GetParam();
+  const FatTreeParams p(m, n);
+  const auto half = static_cast<std::uint64_t>(m / 2);
+  EXPECT_EQ(p.num_nodes(), 2 * ipow(half, n));
+  EXPECT_EQ(p.num_switches(),
+            static_cast<std::uint64_t>(2 * n - 1) * ipow(half, n - 1));
+  // LIDs per node equals the number of roots reachable from a leaf.
+  EXPECT_EQ(p.paths_per_pair(), ipow(half, n - 1));
+  // Port budget balances: down ports at level l+1 == up ports wired from
+  // level l+1, and the node ports match the node count.
+  std::uint64_t node_ports = p.switches_at_level(n - 1) *
+                             static_cast<std::uint64_t>(num_down_ports(p, n - 1));
+  EXPECT_EQ(node_ports, p.num_nodes());
+  for (int l = 0; l + 1 < n; ++l) {
+    const std::uint64_t down = p.switches_at_level(l) *
+                               static_cast<std::uint64_t>(num_down_ports(p, l));
+    const std::uint64_t up =
+        p.switches_at_level(l + 1) *
+        static_cast<std::uint64_t>(num_up_ports(p, l + 1));
+    EXPECT_EQ(down, up) << "between levels " << l << " and " << l + 1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ParamsInvariants,
+    ::testing::Values(std::pair{4, 2}, std::pair{4, 3}, std::pair{4, 4},
+                      std::pair{8, 2}, std::pair{8, 3}, std::pair{16, 2},
+                      std::pair{32, 2}, std::pair{4, 5}));
+
+}  // namespace
+}  // namespace mlid

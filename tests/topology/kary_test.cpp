@@ -1,0 +1,111 @@
+// k-ary n-tree family (Petrini & Vanneschi; the paper's reference [10]):
+// construction, validation and routing through the shared machinery.
+#include <gtest/gtest.h>
+
+#include "routing/fat_tree_routing.hpp"
+#include "routing/updown.hpp"
+#include "routing/validate.hpp"
+#include "topology/export.hpp"
+#include "topology/validate.hpp"
+
+namespace mlid {
+namespace {
+
+TEST(KaryTree, ClosedFormCounts) {
+  // A 2-ary 3-tree: 2^3 = 8 nodes, 3 * 2^2 = 12 switches on 4-port gear.
+  const FatTreeParams p = FatTreeParams::kary(2, 3);
+  EXPECT_EQ(p.family(), TreeFamily::kKaryNTree);
+  EXPECT_EQ(p.m(), 4);        // physical switch radix 2k
+  EXPECT_EQ(p.half(), 2);     // k
+  EXPECT_EQ(p.p0_radix(), 2);
+  EXPECT_EQ(p.num_nodes(), 8u);
+  EXPECT_EQ(p.num_switches(), 12u);
+  for (int l = 0; l < 3; ++l) EXPECT_EQ(p.switches_at_level(l), 4u);
+  EXPECT_EQ(int(p.mlid_lmc()), 2);
+
+  // A 4-ary 2-tree: 16 nodes, 8 switches on 8-port gear.
+  const FatTreeParams q = FatTreeParams::kary(4, 2);
+  EXPECT_EQ(q.num_nodes(), 16u);
+  EXPECT_EQ(q.num_switches(), 8u);
+}
+
+TEST(KaryTree, RootsUseOnlyTheirDownPorts) {
+  const FatTreeParams p = FatTreeParams::kary(2, 2);
+  EXPECT_EQ(num_down_ports(p, 0), 2);  // k, not 2k
+  EXPECT_EQ(num_up_ports(p, 0), 0);
+  EXPECT_EQ(num_down_ports(p, 1), 2);
+  EXPECT_EQ(num_up_ports(p, 1), 2);
+  // Physical ports 3 and 4 of a root stay unwired.
+  const FatTreeFabric fabric(p);
+  const Device& root = fabric.fabric().device(fabric.switch_device(0));
+  EXPECT_TRUE(root.port_connected(1));
+  EXPECT_TRUE(root.port_connected(2));
+  EXPECT_FALSE(root.port_connected(3));
+  EXPECT_FALSE(root.port_connected(4));
+}
+
+TEST(KaryTree, DescribeNamesTheFamily) {
+  const FatTreeFabric fabric(FatTreeParams::kary(2, 3));
+  const std::string text = describe(fabric);
+  EXPECT_NE(text.find("2-ary 3-tree"), std::string::npos);
+  EXPECT_NE(text.find("8 processing nodes"), std::string::npos);
+}
+
+class KaryGrid : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(KaryGrid, StructureValidates) {
+  const auto [k, n] = GetParam();
+  const FatTreeFabric fabric(FatTreeParams::kary(k, n));
+  const ValidationReport report = validate_fat_tree(fabric);
+  for (const auto& problem : report.problems) ADD_FAILURE() << problem;
+}
+
+TEST_P(KaryGrid, MlidAndSlidRouteCorrectly) {
+  const auto [k, n] = GetParam();
+  const FatTreeFabric fabric(FatTreeParams::kary(k, n));
+  for (const SchemeKind kind : {SchemeKind::kSlid, SchemeKind::kMlid}) {
+    const auto scheme = make_scheme(kind, fabric.params());
+    const CompiledRoutes routes(fabric, *scheme);
+    const RoutingReport report = verify_all_paths(fabric, *scheme, routes);
+    for (const auto& problem : report.problems) ADD_FAILURE() << problem;
+    EXPECT_TRUE(verify_deadlock_free(fabric, *scheme, routes).ok());
+  }
+}
+
+TEST_P(KaryGrid, MlidSpreadsOverDistinctLcas) {
+  const auto [k, n] = GetParam();
+  const FatTreeFabric fabric(FatTreeParams::kary(k, n));
+  const MlidRouting scheme(fabric.params());
+  const CompiledRoutes routes(fabric, scheme);
+  const RoutingReport report = verify_lca_spreading(fabric, scheme, routes);
+  for (const auto& problem : report.problems) ADD_FAILURE() << problem;
+}
+
+TEST_P(KaryGrid, UpDownMatchesMlid) {
+  const auto [k, n] = GetParam();
+  const FatTreeFabric fabric(FatTreeParams::kary(k, n));
+  const UpDownRouting updn(fabric, fabric.params().mlid_lmc());
+  const MlidRouting mlid(fabric.params());
+  for (SwitchId sw = 0; sw < fabric.params().num_switches(); ++sw) {
+    const Lft a = updn.build_lft(sw);
+    const Lft b = mlid.build_lft(sw);
+    for (Lid lid = 1; lid <= mlid.max_lid(); ++lid) {
+      ASSERT_EQ(int(a.lookup(lid)), int(b.lookup(lid)))
+          << "switch " << sw << " lid " << lid;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, KaryGrid,
+                         ::testing::Values(std::pair{2, 2}, std::pair{2, 3},
+                                           std::pair{2, 4}, std::pair{4, 2},
+                                           std::pair{4, 3}, std::pair{8, 2}));
+
+TEST(KaryTree, RejectsBadShapes) {
+  EXPECT_THROW(FatTreeParams::kary(3, 2), ContractViolation);  // not pow2
+  EXPECT_THROW(FatTreeParams::kary(1, 2), ContractViolation);  // degenerate
+  EXPECT_THROW(FatTreeParams::kary(2, 1), ContractViolation);  // too flat
+}
+
+}  // namespace
+}  // namespace mlid

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "topology/fat_tree.hpp"
+
+namespace mlid {
+namespace {
+
+std::array<int, kMaxTreeHeight> digits(std::initializer_list<int> list) {
+  std::array<int, kMaxTreeHeight> d{};
+  int i = 0;
+  for (int v : list) d[static_cast<std::size_t>(i++)] = v;
+  return d;
+}
+
+TEST(NodeLabel, PaperPidExamples) {
+  // Section 3 (digits restored): PID(P(100)) = 4 and PID(P(111)) = 7 in a
+  // 4-port 3-tree.
+  const FatTreeParams p(4, 3);
+  EXPECT_EQ(NodeLabel::from_digits(p, digits({1, 0, 0})).pid(p), 4u);
+  EXPECT_EQ(NodeLabel::from_digits(p, digits({1, 1, 1})).pid(p), 7u);
+  EXPECT_EQ(NodeLabel::from_digits(p, digits({0, 0, 0})).pid(p), 0u);
+  EXPECT_EQ(NodeLabel::from_digits(p, digits({3, 1, 1})).pid(p), 15u);
+  EXPECT_EQ(NodeLabel::from_digits(p, digits({0, 1, 0})).pid(p), 2u);
+}
+
+TEST(NodeLabel, FirstDigitUsesFullPortRadix) {
+  // p0 ranges over [0, m), the rest over [0, m/2).
+  const FatTreeParams p(4, 3);
+  EXPECT_NO_THROW(NodeLabel::from_digits(p, digits({3, 1, 1})));
+  EXPECT_THROW(NodeLabel::from_digits(p, digits({4, 0, 0})),
+               ContractViolation);
+  EXPECT_THROW(NodeLabel::from_digits(p, digits({0, 2, 0})),
+               ContractViolation);
+  EXPECT_THROW(NodeLabel::from_digits(p, digits({0, 0, 2})),
+               ContractViolation);
+}
+
+TEST(NodeLabel, ToString) {
+  const FatTreeParams p(4, 3);
+  EXPECT_EQ(NodeLabel::from_digits(p, digits({1, 0, 1})).to_string(),
+            "P(101)");
+}
+
+TEST(SwitchLabel, RootsDrawEveryDigitFromHalfRadix) {
+  const FatTreeParams p(4, 3);
+  EXPECT_NO_THROW(SwitchLabel::from_digits(p, 0, digits({1, 1})));
+  EXPECT_THROW(SwitchLabel::from_digits(p, 0, digits({2, 0})),
+               ContractViolation);
+  // Levels >= 1 allow w0 in [0, m).
+  EXPECT_NO_THROW(SwitchLabel::from_digits(p, 1, digits({3, 1})));
+  EXPECT_THROW(SwitchLabel::from_digits(p, 1, digits({0, 2})),
+               ContractViolation);
+}
+
+TEST(SwitchLabel, ToString) {
+  const FatTreeParams p(4, 3);
+  EXPECT_EQ(SwitchLabel::from_digits(p, 2, digits({3, 1})).to_string(),
+            "SW<31,2>");
+}
+
+TEST(SwitchLabel, GlobalIdsAreDenseAndLevelMajor) {
+  const FatTreeParams p(4, 3);
+  // 4 roots first, then 8 level-1 switches, then 8 leaves.
+  EXPECT_EQ(SwitchLabel::from_digits(p, 0, digits({0, 0})).switch_id(p), 0u);
+  EXPECT_EQ(SwitchLabel::from_digits(p, 0, digits({1, 1})).switch_id(p), 3u);
+  EXPECT_EQ(SwitchLabel::from_digits(p, 1, digits({0, 0})).switch_id(p), 4u);
+  EXPECT_EQ(SwitchLabel::from_digits(p, 2, digits({3, 1})).switch_id(p), 19u);
+}
+
+class LabelRoundTrip : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(LabelRoundTrip, PidBijection) {
+  const auto [m, n] = GetParam();
+  const FatTreeParams p(m, n);
+  for (std::uint32_t pid = 0; pid < p.num_nodes(); ++pid) {
+    const NodeLabel label = NodeLabel::from_pid(p, pid);
+    EXPECT_EQ(label.pid(p), pid);
+    // PIDs enumerate labels lexicographically.
+    if (pid > 0) {
+      const NodeLabel prev = NodeLabel::from_pid(p, pid - 1);
+      bool greater = false;
+      for (int i = 0; i < n; ++i) {
+        if (prev.digit(i) != label.digit(i)) {
+          greater = prev.digit(i) < label.digit(i);
+          break;
+        }
+      }
+      EXPECT_TRUE(greater) << "PID order must be lexicographic";
+    }
+  }
+  EXPECT_THROW(NodeLabel::from_pid(p, p.num_nodes()), ContractViolation);
+}
+
+TEST_P(LabelRoundTrip, SwitchIdBijection) {
+  const auto [m, n] = GetParam();
+  const FatTreeParams p(m, n);
+  for (SwitchId id = 0; id < p.num_switches(); ++id) {
+    const SwitchLabel label = switch_from_id(p, id);
+    EXPECT_EQ(label.switch_id(p), id);
+    EXPECT_EQ(SwitchLabel::from_index(p, label.level(),
+                                      label.index_in_level(p)),
+              label);
+  }
+  EXPECT_THROW(switch_from_id(p, p.num_switches()), ContractViolation);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, LabelRoundTrip,
+                         ::testing::Values(std::pair{4, 2}, std::pair{4, 3},
+                                           std::pair{4, 4}, std::pair{8, 2},
+                                           std::pair{8, 3}, std::pair{16, 2}));
+
+}  // namespace
+}  // namespace mlid

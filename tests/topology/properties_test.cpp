@@ -1,0 +1,151 @@
+#include "topology/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mlid {
+namespace {
+
+std::array<int, kMaxTreeHeight> digits(std::initializer_list<int> list) {
+  std::array<int, kMaxTreeHeight> d{};
+  int i = 0;
+  for (int v : list) d[static_cast<std::size_t>(i++)] = v;
+  return d;
+}
+
+// The paper's Section 3 running example (4-port 3-tree, digits restored):
+// gcp(P(100), P(111)) = "1", lca = {SW<10,1>, SW<11,1>}, both nodes are in
+// gcpg(1, 1) which has 4 members, their ranks are 0 and 3, and their PIDs
+// are 4 and 7.
+TEST(Properties, PaperRunningExample) {
+  const FatTreeParams p(4, 3);
+  const NodeLabel a = NodeLabel::from_digits(p, digits({1, 0, 0}));
+  const NodeLabel b = NodeLabel::from_digits(p, digits({1, 1, 1}));
+  EXPECT_EQ(gcp_length(p, a, b), 1);
+
+  const auto lcas = least_common_ancestors(p, a, b);
+  ASSERT_EQ(lcas.size(), 2u);
+  const std::set<std::string> names{lcas[0].to_string(), lcas[1].to_string()};
+  EXPECT_EQ(names, (std::set<std::string>{"SW<10,1>", "SW<11,1>"}));
+
+  EXPECT_EQ(gcp_group_size(p, 1), 4u);
+  const auto group = gcp_group(p, a, 1);
+  ASSERT_EQ(group.size(), 4u);
+  EXPECT_EQ(group[0].to_string(), "P(100)");
+  EXPECT_EQ(group[3].to_string(), "P(111)");
+
+  EXPECT_EQ(rank_in_group(p, a, 1), 0u);
+  EXPECT_EQ(rank_in_group(p, b, 1), 3u);
+  EXPECT_EQ(a.pid(p), 4u);
+  EXPECT_EQ(b.pid(p), 7u);
+}
+
+TEST(Properties, GcpOfIdenticalNodesIsFullLength) {
+  const FatTreeParams p(4, 3);
+  const NodeLabel a = NodeLabel::from_digits(p, digits({2, 1, 0}));
+  EXPECT_EQ(gcp_length(p, a, a), 3);
+  EXPECT_THROW(least_common_ancestors(p, a, a), ContractViolation);
+}
+
+TEST(Properties, NoCommonPrefixMeansRootLcas) {
+  const FatTreeParams p(4, 3);
+  const NodeLabel a = NodeLabel::from_digits(p, digits({0, 0, 0}));
+  const NodeLabel b = NodeLabel::from_digits(p, digits({1, 0, 0}));
+  EXPECT_EQ(gcp_length(p, a, b), 0);
+  const auto lcas = least_common_ancestors(p, a, b);
+  EXPECT_EQ(lcas.size(), 4u);  // all (m/2)^(n-1) roots
+  for (const auto& sw : lcas) EXPECT_EQ(sw.level(), 0);
+}
+
+TEST(Properties, GroupSizeAlphaZeroIsAllNodes) {
+  const FatTreeParams p(4, 3);
+  EXPECT_EQ(gcp_group_size(p, 0), 16u);
+  EXPECT_EQ(gcp_group(p, NodeLabel::from_pid(p, 0), 0).size(), 16u);
+  EXPECT_EQ(gcp_group_size(p, 3), 1u);
+}
+
+TEST(Properties, ReachableDownward) {
+  const FatTreeParams p(4, 3);
+  const NodeLabel node = NodeLabel::from_digits(p, digits({1, 0, 1}));
+  // Any root reaches everything.
+  EXPECT_TRUE(reachable_downward(
+      p, SwitchLabel::from_digits(p, 0, digits({1, 1})), node));
+  // Level 1 requires digit 0 to match.
+  EXPECT_TRUE(reachable_downward(
+      p, SwitchLabel::from_digits(p, 1, digits({1, 0})), node));
+  EXPECT_FALSE(reachable_downward(
+      p, SwitchLabel::from_digits(p, 1, digits({2, 0})), node));
+  // Leaf requires both prefix digits.
+  EXPECT_TRUE(reachable_downward(
+      p, SwitchLabel::from_digits(p, 2, digits({1, 0})), node));
+  EXPECT_FALSE(reachable_downward(
+      p, SwitchLabel::from_digits(p, 2, digits({1, 1})), node));
+}
+
+TEST(Properties, MinPathLinks) {
+  const FatTreeParams p(4, 3);
+  const NodeLabel a = NodeLabel::from_digits(p, digits({0, 0, 0}));
+  EXPECT_EQ(min_path_links(p, a, a), 0);
+  // Same leaf switch: node -> leaf -> node.
+  EXPECT_EQ(min_path_links(p, a, NodeLabel::from_digits(p, digits({0, 0, 1}))),
+            2);
+  // No common prefix: up to a root and back down: 2n links.
+  EXPECT_EQ(min_path_links(p, a, NodeLabel::from_digits(p, digits({3, 1, 1}))),
+            6);
+}
+
+class PropertiesSweep : public ::testing::TestWithParam<std::pair<int, int>> {
+};
+
+TEST_P(PropertiesSweep, RanksAreABijectionWithinEveryGroup) {
+  const auto [m, n] = GetParam();
+  const FatTreeParams p(m, n);
+  for (int alpha = 0; alpha < n; ++alpha) {
+    // Every group partition: collect (prefix, rank) pairs over all nodes;
+    // ranks within a group must be unique and dense [0, group size).
+    std::map<std::uint32_t, std::set<std::uint32_t>> ranks_by_prefix;
+    for (std::uint32_t pid = 0; pid < p.num_nodes(); ++pid) {
+      const NodeLabel node = NodeLabel::from_pid(p, pid);
+      const std::uint32_t rank = rank_in_group(p, node, alpha);
+      const std::uint32_t prefix = pid - rank;  // zeroes the free digits
+      EXPECT_TRUE(ranks_by_prefix[prefix].insert(rank).second)
+          << "duplicate rank in a group";
+    }
+    for (const auto& [prefix, ranks] : ranks_by_prefix) {
+      EXPECT_EQ(ranks.size(), gcp_group_size(p, alpha));
+      EXPECT_EQ(*ranks.begin(), 0u);
+      EXPECT_EQ(*ranks.rbegin(), gcp_group_size(p, alpha) - 1);
+    }
+  }
+}
+
+TEST_P(PropertiesSweep, LcaCountMatchesClosedForm) {
+  const auto [m, n] = GetParam();
+  const FatTreeParams p(m, n);
+  // Sample pairs; exhaustive for small networks.
+  const std::uint32_t stride = p.num_nodes() > 64 ? 7 : 1;
+  for (std::uint32_t a = 0; a < p.num_nodes(); a += stride) {
+    for (std::uint32_t b = 0; b < p.num_nodes(); b += stride) {
+      if (a == b) continue;
+      const NodeLabel la = NodeLabel::from_pid(p, a);
+      const NodeLabel lb = NodeLabel::from_pid(p, b);
+      const auto lcas = least_common_ancestors(p, la, lb);
+      EXPECT_EQ(lcas.size(), num_least_common_ancestors(p, la, lb));
+      const int alpha = gcp_length(p, la, lb);
+      for (const auto& sw : lcas) {
+        EXPECT_EQ(sw.level(), alpha);
+        EXPECT_TRUE(reachable_downward(p, sw, la));
+        EXPECT_TRUE(reachable_downward(p, sw, lb));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PropertiesSweep,
+                         ::testing::Values(std::pair{4, 2}, std::pair{4, 3},
+                                           std::pair{4, 4}, std::pair{8, 2},
+                                           std::pair{8, 3}, std::pair{16, 2}));
+
+}  // namespace
+}  // namespace mlid

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "topology/fat_tree.hpp"
+
+namespace mlid {
+namespace {
+
+std::array<int, kMaxTreeHeight> digits(std::initializer_list<int> list) {
+  std::array<int, kMaxTreeHeight> d{};
+  int i = 0;
+  for (int v : list) d[static_cast<std::size_t>(i++)] = v;
+  return d;
+}
+
+TEST(Wiring, LeafAttachmentFollowsThePrefixRule) {
+  // SW<w, n-1> hosts P(p) iff w = p0...p(n-2), on tree port p(n-1)
+  // (physical p(n-1)+1).
+  const FatTreeParams p(4, 3);
+  const NodeLabel node = NodeLabel::from_digits(p, digits({1, 1, 1}));
+  const SwitchLabel leaf = leaf_switch_of(p, node);
+  EXPECT_EQ(leaf, SwitchLabel::from_digits(p, 2, digits({1, 1})));
+  EXPECT_EQ(int(leaf_port_of(p, node)), 2);  // tree port 1, shifted by one
+  EXPECT_EQ(leaf_node_at(p, leaf, leaf_port_of(p, node)), node);
+}
+
+TEST(Wiring, RootsUseAllPortsDownward) {
+  const FatTreeParams p(4, 3);
+  EXPECT_EQ(num_down_ports(p, 0), 4);
+  EXPECT_EQ(num_up_ports(p, 0), 0);
+  EXPECT_EQ(num_down_ports(p, 1), 2);
+  EXPECT_EQ(num_up_ports(p, 1), 2);
+  EXPECT_EQ(num_down_ports(p, 2), 2);
+  EXPECT_EQ(num_up_ports(p, 2), 2);
+}
+
+TEST(Wiring, RootChildrenDifferAtDigitZero) {
+  const FatTreeParams p(4, 3);
+  const SwitchLabel root = SwitchLabel::from_digits(p, 0, digits({0, 1}));
+  // Tree port k (physical k+1) reaches the level-1 switch with digit0 = k.
+  for (int k = 0; k < 4; ++k) {
+    const SwitchLabel child =
+        child_through_port(p, root, static_cast<PortId>(k + 1));
+    EXPECT_EQ(child.level(), 1);
+    EXPECT_EQ(child.digit(0), k);
+    EXPECT_EQ(child.digit(1), 1);  // all other digits preserved
+  }
+}
+
+TEST(Wiring, ParentChildPortsAreMutuallyConsistent) {
+  const FatTreeParams p(4, 3);
+  const SwitchLabel child = SwitchLabel::from_digits(p, 2, digits({3, 1}));
+  // The child's up port (m/2 + d + 1) reaches the parent with digit d at
+  // position level-1.
+  for (int d = 0; d < p.half(); ++d) {
+    const auto up_port = static_cast<PortId>(p.half() + d + 1);
+    const SwitchLabel parent = parent_through_port(p, child, up_port);
+    EXPECT_EQ(parent.level(), 1);
+    EXPECT_EQ(parent.digit(0), 3);
+    EXPECT_EQ(parent.digit(1), d);
+    EXPECT_EQ(child_facing_port(p, child, parent), up_port);
+    EXPECT_EQ(child_through_port(p, parent,
+                                 parent_facing_port(p, parent, child)),
+              child);
+  }
+}
+
+TEST(Wiring, RejectsWrongPortClasses) {
+  const FatTreeParams p(4, 3);
+  const SwitchLabel root = SwitchLabel::from_digits(p, 0, digits({0, 0}));
+  const SwitchLabel leaf = SwitchLabel::from_digits(p, 2, digits({0, 0}));
+  EXPECT_THROW(parent_through_port(p, root, PortId{3}), ContractViolation);
+  EXPECT_THROW(child_through_port(p, leaf, PortId{1}), ContractViolation);
+  EXPECT_THROW(leaf_node_at(p, root, PortId{1}), ContractViolation);
+  // Down ports of an inner switch are 1..m/2 only.
+  const SwitchLabel inner = SwitchLabel::from_digits(p, 1, digits({0, 0}));
+  EXPECT_THROW(child_through_port(p, inner, PortId{3}), ContractViolation);
+  EXPECT_THROW(parent_through_port(p, inner, PortId{2}), ContractViolation);
+}
+
+class WiringProperty : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(WiringProperty, UpDownRoundTripForEverySwitch) {
+  const auto [m, n] = GetParam();
+  const FatTreeParams p(m, n);
+  for (SwitchId id = 0; id < p.num_switches(); ++id) {
+    const SwitchLabel sw = switch_from_id(p, id);
+    if (sw.level() >= 1) {
+      for (int u = 0; u < num_up_ports(p, sw.level()); ++u) {
+        const auto port = static_cast<PortId>(p.half() + u + 1);
+        const SwitchLabel parent = parent_through_port(p, sw, port);
+        EXPECT_EQ(parent.level(), sw.level() - 1);
+        EXPECT_EQ(child_through_port(p, parent,
+                                     parent_facing_port(p, parent, sw)),
+                  sw);
+        EXPECT_EQ(child_facing_port(p, sw, parent), port);
+      }
+    }
+    if (sw.level() < p.n() - 1) {
+      for (int d = 0; d < num_down_ports(p, sw.level()); ++d) {
+        const auto port = static_cast<PortId>(d + 1);
+        const SwitchLabel child = child_through_port(p, sw, port);
+        EXPECT_EQ(child.level(), sw.level() + 1);
+        EXPECT_EQ(parent_through_port(p, child,
+                                      child_facing_port(p, child, sw)),
+                  sw);
+      }
+    }
+  }
+}
+
+TEST_P(WiringProperty, EveryNodeHasAUniqueLeafAttachment) {
+  const auto [m, n] = GetParam();
+  const FatTreeParams p(m, n);
+  std::set<std::pair<SwitchId, PortId>> attachments;
+  for (std::uint32_t pid = 0; pid < p.num_nodes(); ++pid) {
+    const NodeLabel node = NodeLabel::from_pid(p, pid);
+    const SwitchLabel leaf = leaf_switch_of(p, node);
+    EXPECT_EQ(leaf.level(), p.n() - 1);
+    const PortId port = leaf_port_of(p, node);
+    EXPECT_TRUE(attachments.emplace(leaf.switch_id(p), port).second)
+        << "two nodes share a leaf port";
+    EXPECT_EQ(leaf_node_at(p, leaf, port).pid(p), pid);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, WiringProperty,
+                         ::testing::Values(std::pair{4, 2}, std::pair{4, 3},
+                                           std::pair{4, 4}, std::pair{8, 2},
+                                           std::pair{8, 3}, std::pair{16, 2}));
+
+}  // namespace
+}  // namespace mlid
