@@ -4,10 +4,31 @@
 #include <string_view>
 
 namespace mlid {
+namespace {
+
+// Reads the value of a flag that accepts both `--flag=V` and `--flag V`.
+// Advances `i` past the consumed value token in the two-token form.
+bool flag_value(int argc, char** argv, int& i, std::string_view name,
+                std::string_view& value) {
+  const std::string_view arg = argv[i];
+  if (arg.rfind(name, 0) == 0 && arg.size() > name.size() &&
+      arg[name.size()] == '=') {
+    value = arg.substr(name.size() + 1);
+    return true;
+  }
+  if (arg == name && i + 1 < argc) {
+    value = argv[++i];
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 CliOptions::CliOptions(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
+    std::string_view value;
     if (arg == "--quick") {
       quick_ = true;
     } else if (arg == "--csv") {
@@ -21,10 +42,22 @@ CliOptions::CliOptions(int argc, char** argv) {
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads_ = static_cast<unsigned>(
           std::strtoul(arg.data() + 10, nullptr, 10));
+    } else if (flag_value(argc, argv, i, "--fail-links", value)) {
+      fail_links_ = static_cast<int>(std::strtol(value.data(), nullptr, 10));
+    } else if (flag_value(argc, argv, i, "--fail-at-ns", value)) {
+      fail_at_ns_ = std::strtoll(value.data(), nullptr, 10);
+    } else if (flag_value(argc, argv, i, "--recover-at-ns", value)) {
+      recover_at_ns_ = std::strtoll(value.data(), nullptr, 10);
     } else {
       positional_.emplace_back(arg);
     }
   }
+}
+
+FaultSchedule CliOptions::fault_schedule(const FatTreeFabric& fabric) const {
+  if (fail_links_ <= 0) return FaultSchedule{};
+  return FaultSchedule::random_uplink_failures(fabric, fail_links_, fail_at_ns_,
+                                               seed_ ^ 0xFA11u, recover_at_ns_);
 }
 
 }  // namespace mlid

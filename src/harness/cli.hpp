@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/fault_schedule.hpp"
+
 namespace mlid {
 
 /// Parses the tiny flag language the harness binaries accept:
@@ -15,6 +17,10 @@ namespace mlid {
 ///   --out=PATH         also write the CSV (and JSON if --json) to files
 ///                      PATH.csv / PATH.json
 ///   --threads=N        worker threads for the sweep
+///   --fail-links=N     fail N random inter-switch uplinks mid-run
+///   --fail-at-ns=T     when the failures hit (default 20000)
+///   --recover-at-ns=T  bring the failed links back at T (default: never)
+/// The fault flags also accept the two-token form (`--fail-links 4`).
 class CliOptions {
  public:
   CliOptions(int argc, char** argv);
@@ -25,9 +31,19 @@ class CliOptions {
   [[nodiscard]] const std::string& out_path() const noexcept { return out_; }
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
   [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+  [[nodiscard]] int fail_links() const noexcept { return fail_links_; }
+  [[nodiscard]] std::int64_t fail_at_ns() const noexcept { return fail_at_ns_; }
+  [[nodiscard]] std::int64_t recover_at_ns() const noexcept {
+    return recover_at_ns_;
+  }
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
     return positional_;
   }
+
+  /// The fault schedule the --fail-links / --fail-at-ns / --recover-at-ns
+  /// flags describe for this fabric (empty without --fail-links), so any
+  /// bench can opt into mid-run faults without bespoke wiring.
+  [[nodiscard]] FaultSchedule fault_schedule(const FatTreeFabric& fabric) const;
 
   /// Apply quick-mode shrinking to a figure spec (fewer loads, shorter
   /// windows) so `--quick` runs finish in seconds.
@@ -49,6 +65,9 @@ class CliOptions {
   std::string out_;
   std::uint64_t seed_ = 1;
   unsigned threads_ = 0;
+  int fail_links_ = 0;
+  std::int64_t fail_at_ns_ = 20'000;
+  std::int64_t recover_at_ns_ = -1;
   std::vector<std::string> positional_;
 };
 

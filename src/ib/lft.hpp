@@ -34,6 +34,14 @@ class LinearForwardingTable {
     entries_[lid] = port;
   }
 
+  /// Withdraw the entry for a LID (the SM revoking a route whose
+  /// destination became unreachable from this switch).
+  void clear(Lid lid) {
+    MLID_EXPECT(lid != kInvalidLid, "LID 0 is reserved");
+    MLID_EXPECT(lid < entries_.size(), "LID beyond table size");
+    entries_[lid] = kNoEntry;
+  }
+
   [[nodiscard]] bool has(Lid lid) const noexcept {
     return lid != kInvalidLid && lid < entries_.size() &&
            entries_[lid] != kNoEntry;
@@ -51,6 +59,10 @@ class LinearForwardingTable {
     for (auto e : entries_) n += (e != kNoEntry);
     return n;
   }
+
+  /// Whole-table comparison (the SM tests assert incremental repair and a
+  /// full rebuild land on identical tables).
+  [[nodiscard]] bool operator==(const LinearForwardingTable&) const = default;
 
  private:
   std::vector<std::uint8_t> entries_;

@@ -1,0 +1,46 @@
+#include "routing/repair.hpp"
+
+#include "routing/updown.hpp"
+
+namespace mlid {
+
+LftRepairPlan compute_lft_repair(const FatTreeFabric& fabric, Lmc lmc,
+                                 const std::vector<Lft>& live) {
+  MLID_EXPECT(live.size() == fabric.params().num_switches(),
+              "need one live LFT per switch");
+  const UpDownRouting target(fabric, lmc);
+  LftRepairPlan plan;
+  plan.fully_connected = target.fully_connected();
+  for (SwitchId sw = 0; sw < fabric.params().num_switches(); ++sw) {
+    const Lft want = target.build_lft(sw);
+    const Lft& have = live[sw];
+    MLID_EXPECT(want.max_lid() == have.max_lid(),
+                "live tables use a different LID layout than the repair "
+                "target (LMC mismatch?)");
+    SwitchRepair repair;
+    repair.sw = sw;
+    for (Lid lid = 1; lid <= want.max_lid(); ++lid) {
+      const PortId want_port = want.has(lid) ? want.lookup(lid) : Lft::kNoEntry;
+      const PortId have_port = have.has(lid) ? have.lookup(lid) : Lft::kNoEntry;
+      if (want_port != have_port) {
+        repair.deltas.push_back(LftDelta{lid, want_port});
+      }
+    }
+    if (!repair.deltas.empty()) {
+      plan.switches.push_back(std::move(repair));
+    }
+  }
+  return plan;
+}
+
+void apply_repair(const SwitchRepair& repair, Lft& table) {
+  for (const LftDelta& delta : repair.deltas) {
+    if (delta.port == Lft::kNoEntry) {
+      table.clear(delta.lid);
+    } else {
+      table.set(delta.lid, delta.port);
+    }
+  }
+}
+
+}  // namespace mlid

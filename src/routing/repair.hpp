@@ -1,0 +1,56 @@
+// Incremental LFT repair: the delta between a subnet's live forwarding
+// state and a fresh up*/down* computation on the (possibly degraded)
+// fabric.
+//
+// This is the OpenSM-style "ucast cache" update path: the SM recomputes
+// routing in memory — cheap compared to SMP traffic — but pushes only the
+// entries that actually changed to the switches, so the programming phase
+// of a re-sweep costs O(changed entries) instead of O(switches x LID
+// space).  Applying every delta of a plan leaves each switch's table
+// bit-identical to a full UpDownRouting rebuild on the same fabric
+// (asserted by tests/subnet/sm_test.cpp).
+#pragma once
+
+#include <vector>
+
+#include "ib/lft.hpp"
+#include "topology/builder.hpp"
+
+namespace mlid {
+
+/// One LFT write: set `lid -> port`, or withdraw the route when `port` is
+/// Lft::kNoEntry (the destination became unreachable from this switch).
+struct LftDelta {
+  Lid lid = kInvalidLid;
+  PortId port = Lft::kNoEntry;
+};
+
+/// All writes one switch needs.
+struct SwitchRepair {
+  SwitchId sw = kInvalidSwitch;
+  std::vector<LftDelta> deltas;
+};
+
+struct LftRepairPlan {
+  /// Switches whose tables change, in SwitchId order.
+  std::vector<SwitchRepair> switches;
+  /// False when the degraded fabric can no longer connect every node pair.
+  bool fully_connected = true;
+
+  [[nodiscard]] std::size_t total_entries() const noexcept {
+    std::size_t n = 0;
+    for (const auto& s : switches) n += s.deltas.size();
+    return n;
+  }
+};
+
+/// Diff the live tables against a fresh UPDN computation on the fabric's
+/// current link state.  `live` must hold one table per switch, sized for
+/// the same LID layout (any of the repo's schemes at the same LMC).
+LftRepairPlan compute_lft_repair(const FatTreeFabric& fabric, Lmc lmc,
+                                 const std::vector<Lft>& live);
+
+/// Apply one switch's deltas in place.
+void apply_repair(const SwitchRepair& repair, Lft& table);
+
+}  // namespace mlid

@@ -137,6 +137,25 @@ Simulation::Simulation(const Subnet& subnet, SimConfig config,
   }
 }
 
+void Simulation::attach_live_sm(SubnetManager& sm,
+                                const FaultSchedule& faults) {
+  MLID_EXPECT(!burst_, "the live SM is modelled in open-loop mode");
+  MLID_EXPECT(sm_ == nullptr, "a Subnet Manager is already attached");
+  MLID_EXPECT(&sm.subnet() == subnet_,
+              "the SM must manage the subnet this simulation runs on");
+  sm_ = &sm;
+  for (const FaultEvent& f : faults.events()) {
+    if (f.fail) {
+      events_.push(f.at, EventKind::kLinkFail, f.dev_a, f.port_a);
+    } else {
+      // kLinkRecover names both endpoints: the second one travels in the
+      // otherwise unused pkt (device) and vl (port) payload fields.
+      events_.push(f.at, EventKind::kLinkRecover, f.dev_a, f.port_a,
+                   static_cast<VlId>(f.port_b), static_cast<PacketId>(f.dev_b));
+    }
+  }
+}
+
 // --- packet pool ------------------------------------------------------------
 
 PacketId Simulation::alloc_packet() {
@@ -229,6 +248,122 @@ void Simulation::try_source_pull(NodeId node, VlId vl, SimTime now) {
   try_tx(dev, 1, now);
 }
 
+// --- faults and the live SM --------------------------------------------------
+
+void Simulation::count_drop(DropReason reason, PacketId pkt) {
+  ++result_.packets_dropped;
+  switch (reason) {
+    case DropReason::kUnroutable:
+      ++result_.dropped_unroutable;
+      break;
+    case DropReason::kDeadLink:
+      ++result_.dropped_dead_link;
+      break;
+    case DropReason::kConvergence:
+      ++result_.dropped_during_convergence;
+      break;
+  }
+  // A dropped packet that was injected into an already-converged fabric
+  // means recovery did not actually restore full routing — the
+  // live-recovery bench asserts this stays 0.  Stragglers routed during
+  // the convergence window may still die shortly after the last program
+  // lands; those are convergence loss, not a recovery failure.
+  if (sm_ != nullptr && result_.first_fault_ns >= 0 && sm_->converged() &&
+      pool_[pkt].injected_at >= sm_->stats().converged_at) {
+    ++result_.drops_post_convergence;
+  }
+}
+
+/// A packet that was sitting inside a switch (output queue or crossbar wait
+/// queue) when its link died: free its input slot and account the loss.
+void Simulation::drop_in_switch(PacketId pkt, SimTime now) {
+  const PacketRt& rt = rt_[pkt];
+  if (rt.in_port != 0) {
+    // The input slot it held frees now instead of at transmit time.  The
+    // upstream port may itself have just died (multi-link failures at one
+    // timestamp): its credits are void, so the return is simply skipped.
+    const PortRef up = subnet_->fabric().fabric().peer_of(rt.dev, rt.in_port);
+    if (up.valid()) {
+      events_.push(now + cfg_.flying_time_ns, EventKind::kCreditArrive,
+                   up.device, up.port, pool_[pkt].vl);
+    }
+  }
+  trace_event(pkt, now, TracePoint::kDropped, rt.dev, rt.out_port,
+              pool_[pkt].vl);
+  count_drop(DropReason::kDeadLink, pkt);
+  release_packet(pkt);
+}
+
+void Simulation::kill_port(DeviceId dev, PortId port, SimTime now) {
+  OutPort& out = devices_[dev].out[port];
+  MLID_ASSERT(out.connected, "killing a port twice");
+  out.connected = false;
+  DeviceState& state = devices_[dev];
+  for (int vl = 0; vl < cfg_.num_vls; ++vl) {
+    VlOut& slot = out.vls[static_cast<std::size_t>(vl)];
+    // A head already on the wire keeps its events: it is judged at head
+    // arrival on the (now dead) far side, and its tail-out still frees this
+    // slot.  Everything queued behind it is lost with the link.
+    const std::size_t keep = slot.head_started ? 1 : 0;
+    while (slot.queue.size() > keep) {
+      const PacketId pkt = slot.queue.back();
+      slot.queue.pop_back();
+      ++slot.free_slots;
+      drop_in_switch(pkt, now);
+    }
+    auto& waitq = state.wait[static_cast<std::size_t>(port) *
+                                static_cast<std::size_t>(cfg_.num_vls) +
+                            static_cast<std::size_t>(vl)];
+    while (!waitq.empty()) {
+      const PacketId pkt = waitq.front();
+      waitq.pop_front();
+      drop_in_switch(pkt, now);
+    }
+  }
+}
+
+void Simulation::revive_port(DeviceId dev, PortId port) {
+  OutPort& out = devices_[dev].out[port];
+  MLID_EXPECT(!out.connected, "reviving a port that is not down");
+  for (int vl = 0; vl < cfg_.num_vls; ++vl) {
+    VlOut& slot = out.vls[static_cast<std::size_t>(vl)];
+    MLID_EXPECT(slot.queue.empty() && !slot.head_started,
+                "link recovered while its last transmission is still "
+                "draining; space fail and recover events further apart");
+    slot.free_slots = cfg_.out_buf_pkts;
+    slot.credits = cfg_.in_buf_pkts;  // the reborn link starts empty
+  }
+  out.connected = true;
+  out.wrr_vl = 0;
+  out.wrr_budget = cfg_.vl_weights.empty() ? 1 : cfg_.vl_weights.front();
+}
+
+void Simulation::on_link_fail(DeviceId dev, PortId port, SimTime now) {
+  MLID_ASSERT(sm_ != nullptr, "fault events need an attached SM");
+  const PortRef peer = subnet_->fabric().fabric().peer_of(dev, port);
+  if (!peer.valid()) return;  // duplicate schedule entry: already dead
+  if (result_.first_fault_ns < 0) result_.first_fault_ns = now;
+  // The SM disconnects the fabric (so LFT lookups see the dead port) and
+  // tells us when the endpoints' traps will reach it.
+  const auto traps = sm_->on_link_fail(dev, port, now);
+  kill_port(dev, port, now);
+  kill_port(peer.device, peer.port, now);
+  for (const auto& trap : traps) {
+    events_.push(trap.at, EventKind::kTrap, trap.reporter, trap.port);
+  }
+}
+
+void Simulation::on_link_recover(DeviceId dev_a, PortId port_a,
+                                 DeviceId dev_b, PortId port_b, SimTime now) {
+  MLID_ASSERT(sm_ != nullptr, "fault events need an attached SM");
+  const auto traps = sm_->on_link_recover(dev_a, port_a, dev_b, port_b, now);
+  revive_port(dev_a, port_a);
+  revive_port(dev_b, port_b);
+  for (const auto& trap : traps) {
+    events_.push(trap.at, EventKind::kTrap, trap.reporter, trap.port);
+  }
+}
+
 // --- link transmission ---------------------------------------------------------
 
 void Simulation::accumulate_utilization(OutPort& port, SimTime start,
@@ -240,7 +375,9 @@ void Simulation::accumulate_utilization(OutPort& port, SimTime start,
 
 void Simulation::try_tx(DeviceId dev, PortId port, SimTime now) {
   OutPort& out = devices_[dev].out[port];
-  MLID_ASSERT(out.connected, "transmitting on an unconnected port");
+  // A port can go down mid-run with credit returns / retries still queued
+  // against it; those late events are simply void.
+  if (!out.connected) return;
   if (out.busy_until > now) {
     if (!out.retry_scheduled) {
       out.retry_scheduled = true;
@@ -308,9 +445,15 @@ void Simulation::try_tx(DeviceId dev, PortId port, SimTime now) {
   if (rt_[pkt].in_port != 0) {
     const PortRef up =
         subnet_->fabric().fabric().peer_of(dev, rt_[pkt].in_port);
-    MLID_ASSERT(up.valid(), "credit return on an unconnected port");
-    events_.push(now + wire + cfg_.flying_time_ns, EventKind::kCreditArrive,
-                 up.device, up.port, vl_id);
+    // The packet may have entered through a link that has since died (it
+    // was already buffered here, so it survives and forwards normally);
+    // the freed input slot then has no upstream to credit.
+    if (up.valid()) {
+      events_.push(now + wire + cfg_.flying_time_ns, EventKind::kCreditArrive,
+                   up.device, up.port, vl_id);
+    } else {
+      MLID_ASSERT(sm_ != nullptr, "unconnected in-port without a live SM");
+    }
   }
 }
 
@@ -318,6 +461,15 @@ void Simulation::try_tx(DeviceId dev, PortId port, SimTime now) {
 
 void Simulation::on_head_arrive(DeviceId dev, PortId port, VlId vl,
                                 PacketId pkt, SimTime now) {
+  if (!devices_[dev].out[port].connected) {
+    // The link died while the packet was on the wire.  Its tail-out on the
+    // transmitting side still cleans up that output slot; here the packet
+    // simply never lands.
+    trace_event(pkt, now, TracePoint::kDropped, dev, port, vl);
+    count_drop(DropReason::kDeadLink, pkt);
+    release_packet(pkt);
+    return;
+  }
   trace_event(pkt, now, TracePoint::kHeadArrive, dev, port, vl);
   const Device& device = subnet_->fabric().fabric().device(dev);
   if (device.kind() == DeviceKind::kEndnode) {
@@ -333,7 +485,7 @@ void Simulation::on_head_arrive(DeviceId dev, PortId port, VlId vl,
 
 PortId Simulation::pick_output(DeviceId dev, const Device& device, VlId vl,
                                Lid dlid) const {
-  const Lft& lft = subnet_->routes().lft(device.switch_id);
+  const Lft& lft = live_lft(device.switch_id);
   const PortId deterministic = lft.lookup(dlid);
   if (cfg_.forwarding == ForwardingMode::kDeterministic ||
       first_up_port_[dev] == 0 || deterministic < first_up_port_[dev]) {
@@ -365,12 +517,24 @@ PortId Simulation::pick_output(DeviceId dev, const Device& device, VlId vl,
 void Simulation::on_routed(DeviceId dev, PortId port, VlId vl, PacketId pkt,
                            SimTime now) {
   const Device& device = subnet_->fabric().fabric().device(dev);
-  const Lft& lft = subnet_->routes().lft(device.switch_id);
+  const Lft& lft = live_lft(device.switch_id);
   const Lid dlid = pool_[pkt].dlid;
-  if (!lft.has(dlid) || !device.port_connected(lft.lookup(dlid))) {
-    // Unroutable DLID: real switches drop such packets.  Our schemes cover
-    // every LID, so the counter doubles as a routing-bug detector.
-    ++result_.packets_dropped;
+  if (!lft.has(dlid)) {
+    // No entry at all: a routing hole.  On an intact run the counter
+    // doubles as a routing-bug detector; after a partitioning failure it
+    // counts destinations the repaired tables legitimately cannot reach.
+    trace_event(pkt, now, TracePoint::kDropped, dev, port, vl);
+    count_drop(DropReason::kUnroutable, pkt);
+    return_credit_upstream(dev, port, vl, now);
+    release_packet(pkt);
+    return;
+  }
+  if (!device.port_connected(lft.lookup(dlid))) {
+    // The entry points at a dead port: the table is stale relative to the
+    // physical fabric.  With a live SM this is the convergence window;
+    // with offline tables it is the permanent cost of not re-sweeping.
+    trace_event(pkt, now, TracePoint::kDropped, dev, port, vl);
+    count_drop(DropReason::kConvergence, pkt);
     return_credit_upstream(dev, port, vl, now);
     release_packet(pkt);
     return;
@@ -402,7 +566,12 @@ void Simulation::grant_output(DeviceId dev, PortId out, VlId vl, PacketId pkt,
 void Simulation::return_credit_upstream(DeviceId dev, PortId in_port, VlId vl,
                                         SimTime now) {
   const PortRef up = subnet_->fabric().fabric().peer_of(dev, in_port);
-  MLID_ASSERT(up.valid(), "credit return on an unconnected port");
+  if (!up.valid()) {
+    // The in-port's link died after this packet was buffered: the credit
+    // has nowhere to go (revive_port resets counters on recovery).
+    MLID_ASSERT(sm_ != nullptr, "credit return on an unconnected port");
+    return;
+  }
   events_.push(now + cfg_.flying_time_ns, EventKind::kCreditArrive, up.device,
                up.port, vl);
 }
@@ -516,16 +685,50 @@ void Simulation::dispatch(const Event& e) {
     case EventKind::kTailOut:
       on_tail_out(e.dev, e.port, e.vl, e.pkt, e.time);
       break;
-    case EventKind::kCreditArrive:
-      devices_[e.dev].out[e.port].vls[e.vl].credits++;
+    case EventKind::kCreditArrive: {
+      OutPort& out = devices_[e.dev].out[e.port];
+      if (!out.connected) break;  // credit for a dead port: void
+      VlOut& slot = out.vls[e.vl];
+      if (slot.credits < cfg_.in_buf_pkts) {
+        ++slot.credits;
+      } else {
+        // Only possible after a fail/recover cycle: a packet that crossed
+        // the link before the failure returns its credit to the revived
+        // (already fully credited) port.  The stale credit is void.
+        MLID_ASSERT(sm_ != nullptr, "credit overflow without a live SM");
+      }
       try_tx(e.dev, e.port, e.time);
       break;
+    }
     case EventKind::kTryTx:
       devices_[e.dev].out[e.port].retry_scheduled = false;
       try_tx(e.dev, e.port, e.time);
       break;
     case EventKind::kDeliver:
       on_deliver(e.dev, e.port, e.vl, e.pkt, e.time);
+      break;
+    case EventKind::kLinkFail:
+      on_link_fail(e.dev, e.port, e.time);
+      break;
+    case EventKind::kLinkRecover:
+      on_link_recover(e.dev, e.port, static_cast<DeviceId>(e.pkt), e.vl,
+                      e.time);
+      break;
+    case EventKind::kTrap: {
+      const auto sweep_done = sm_->on_trap(e.dev, e.port, e.time);
+      if (sweep_done) {
+        events_.push(*sweep_done, EventKind::kSweepDone, e.dev);
+      }
+      break;
+    }
+    case EventKind::kSweepDone:
+      for (const auto& op : sm_->on_sweep_done(e.time)) {
+        events_.push(op.at, EventKind::kLftProgram, op.plan_index, 0, 0,
+                     op.epoch);
+      }
+      break;
+    case EventKind::kLftProgram:
+      sm_->apply_program(e.dev, e.pkt, e.time);
       break;
   }
 }
@@ -629,6 +832,19 @@ SimResult Simulation::run() {
       sum_sq > 0.0 ? sum * sum / (n_nodes * sum_sq) : 0.0;
   result_.min_node_accepted_bytes_per_ns = std::max(lo, 0.0);
   result_.max_node_accepted_bytes_per_ns = hi;
+
+  if (sm_ != nullptr) {
+    const SmStats& sm = sm_->stats();
+    result_.sm_traps = sm.traps_received;
+    result_.sm_sweeps = sm.sweeps_completed;
+    result_.sm_entries_programmed = sm.entries_programmed;
+    result_.sm_switches_programmed = sm.switches_programmed;
+    result_.sm_converged_ns = sm.converged_at;
+    if (result_.first_fault_ns >= 0 &&
+        sm.converged_at >= result_.first_fault_ns) {
+      result_.reconvergence_ns = sm.converged_at - result_.first_fault_ns;
+    }
+  }
   return result_;
 }
 

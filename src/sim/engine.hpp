@@ -17,10 +17,12 @@
 
 #include "sim/config.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault_schedule.hpp"
 #include "sim/metrics.hpp"
 #include "sim/trace.hpp"
 #include "sim/traffic.hpp"
 #include "sim/workload.hpp"
+#include "subnet/sm.hpp"
 #include "subnet/subnet.hpp"
 
 namespace mlid {
@@ -38,6 +40,15 @@ class Simulation {
   /// run_to_completion().
   Simulation(const Subnet& subnet, SimConfig config,
              const std::vector<MessageSpec>& workload);
+
+  /// Attach a live Subnet Manager and a fault schedule (open-loop mode
+  /// only; call before run()).  The schedule's link failures and
+  /// recoveries become simulation events: packets caught on a failing
+  /// link are dropped, stale tables misroute until the SM's trap-driven
+  /// re-sweep reprograms the switches, and the timeline lands in
+  /// SimResult.  With an empty schedule the run is bit-identical to an
+  /// unattached one.
+  void attach_live_sm(SubnetManager& sm, const FaultSchedule& faults);
 
   /// Run to config.end_time() and return the collected metrics
   /// (open-loop mode only).
@@ -117,6 +128,23 @@ class Simulation {
   void on_deliver(DeviceId dev, PortId port, VlId vl, PacketId pkt,
                   SimTime now);
 
+  // --- live SM / fault handling ----------------------------------------------
+  enum class DropReason : std::uint8_t {
+    kUnroutable,   ///< no LFT entry for the DLID
+    kDeadLink,     ///< on or behind a link at the instant it failed
+    kConvergence,  ///< stale LFT entry pointing at a dead port
+  };
+  void count_drop(DropReason reason, PacketId pkt);
+  void on_link_fail(DeviceId dev, PortId port, SimTime now);
+  void on_link_recover(DeviceId dev_a, PortId port_a, DeviceId dev_b,
+                       PortId port_b, SimTime now);
+  void kill_port(DeviceId dev, PortId port, SimTime now);
+  void revive_port(DeviceId dev, PortId port);
+  void drop_in_switch(PacketId pkt, SimTime now);
+  [[nodiscard]] const Lft& live_lft(SwitchId sw) const {
+    return sm_ ? sm_->lft(sw) : subnet_->routes().lft(sw);
+  }
+
   // --- mechanics ---------------------------------------------------------------
   void try_source_pull(NodeId node, VlId vl, SimTime now);
   [[nodiscard]] PortId pick_output(DeviceId dev, const Device& device,
@@ -141,6 +169,7 @@ class Simulation {
 
   // --- wiring -------------------------------------------------------------------
   const Subnet* subnet_;
+  SubnetManager* sm_ = nullptr;  ///< live tables + SM state machine, optional
   SimConfig cfg_;
   TrafficPattern traffic_;
   double offered_load_;

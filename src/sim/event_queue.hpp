@@ -23,6 +23,12 @@ enum class EventKind : std::uint8_t {
   kCreditArrive,  ///< one credit returned to out port (dev, port, vl)
   kTryTx,         ///< re-attempt link transmission on out port (dev, port)
   kDeliver,       ///< packet tail fully received by destination node
+  // --- live Subnet Manager (only scheduled when an SM is attached) ----------
+  kLinkFail,      ///< the link leaving (dev, port) dies now
+  kLinkRecover,   ///< reconnect (dev, port) <-> (pkt as DeviceId, vl as PortId)
+  kTrap,          ///< a trap from (dev, port) reaches the SM
+  kSweepDone,     ///< the SM's re-sweep completes; compute + schedule programs
+  kLftProgram,    ///< apply plan entry (dev as plan index, pkt as epoch)
 };
 
 struct Event {

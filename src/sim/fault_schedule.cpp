@@ -1,0 +1,92 @@
+#include "sim/fault_schedule.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace mlid {
+
+void FaultSchedule::fail_link(SimTime at, const Fabric& fabric, DeviceId dev,
+                              PortId port) {
+  MLID_EXPECT(at >= 0, "fault time must be non-negative");
+  const PortRef peer = fabric.peer_of(dev, port);
+  MLID_EXPECT(peer.valid(), "failing a link that is not connected");
+  MLID_EXPECT(fabric.device(dev).kind() == DeviceKind::kSwitch &&
+                  fabric.device(peer.device).kind() == DeviceKind::kSwitch,
+              "only inter-switch links may fail (an endnode attach link "
+              "would partition the node)");
+  events_.push_back(
+      FaultEvent{at, dev, port, peer.device, peer.port, /*fail=*/true});
+  sorted_ = false;
+}
+
+void FaultSchedule::recover_link(SimTime at, DeviceId dev_a, PortId port_a,
+                                 DeviceId dev_b, PortId port_b) {
+  MLID_EXPECT(at >= 0, "fault time must be non-negative");
+  events_.push_back(
+      FaultEvent{at, dev_a, port_a, dev_b, port_b, /*fail=*/false});
+  sorted_ = false;
+}
+
+const std::vector<FaultEvent>& FaultSchedule::events() const {
+  if (!sorted_) {
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                       return a.at < b.at;
+                     });
+    sorted_ = true;
+  }
+  return events_;
+}
+
+FaultSchedule FaultSchedule::random_uplink_failures(
+    const FatTreeFabric& fabric, int count, SimTime fail_at,
+    std::uint64_t seed, SimTime recover_at) {
+  FaultSchedule schedule;
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<DeviceId, PortId>> chosen;
+  // Clamp to the number of distinct uplinks (each inter-level link has
+  // exactly one lower endpoint with an up port), so an oversized request
+  // fails every uplink instead of rejection-sampling forever.
+  int available = 0;
+  for (std::uint32_t sw = 0; sw < fabric.params().num_switches(); ++sw) {
+    if (fabric.switch_label(static_cast<SwitchId>(sw)).level() == 0) continue;
+    const DeviceId dev = fabric.switch_device(static_cast<SwitchId>(sw));
+    for (int p = fabric.params().half() + 1; p <= fabric.params().m(); ++p) {
+      if (fabric.fabric().device(dev).port_connected(static_cast<PortId>(p))) {
+        ++available;
+      }
+    }
+  }
+  int remaining = std::min(count, available);
+  while (remaining > 0) {
+    const auto sw =
+        static_cast<SwitchId>(rng.below(fabric.params().num_switches()));
+    if (fabric.switch_label(sw).level() == 0) continue;  // roots have no ups
+    const auto port = static_cast<PortId>(
+        static_cast<std::uint64_t>(fabric.params().half()) + 1 +
+        rng.below(static_cast<std::uint64_t>(fabric.params().half())));
+    const DeviceId dev = fabric.switch_device(sw);
+    if (!fabric.fabric().device(dev).port_connected(port)) continue;
+    bool duplicate = false;
+    const PortRef peer = fabric.fabric().peer_of(dev, port);
+    for (const auto& [cdev, cport] : chosen) {
+      if ((cdev == dev && cport == port) ||
+          (cdev == peer.device && cport == peer.port)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    chosen.emplace_back(dev, port);
+    schedule.fail_link(fail_at, fabric.fabric(), dev, port);
+    if (recover_at >= 0) {
+      MLID_EXPECT(recover_at > fail_at, "recovery must follow the failure");
+      schedule.recover_link(recover_at, dev, port, peer.device, peer.port);
+    }
+    --remaining;
+  }
+  return schedule;
+}
+
+}  // namespace mlid

@@ -1,0 +1,59 @@
+// Fault schedule: timestamped link failure / recovery events injected into
+// a live simulation run.
+//
+// Each event names both endpoints of the affected link, resolved at
+// schedule-build time (a recovery must reconnect the exact ports the
+// failure tore down, and by then the fabric no longer knows the pairing).
+// The schedule itself is inert data; Simulation::attach_live_sm turns it
+// into kLinkFail / kLinkRecover events on the engine's queue.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/builder.hpp"
+
+namespace mlid {
+
+struct FaultEvent {
+  SimTime at = 0;
+  DeviceId dev_a = kInvalidDevice;
+  PortId port_a = 0;
+  DeviceId dev_b = kInvalidDevice;
+  PortId port_b = 0;
+  bool fail = true;  ///< false = reconnect (a, port_a) <-> (b, port_b)
+};
+
+/// An ordered list of mid-run fabric mutations.  Only switch-to-switch
+/// links may fail: an endnode attach link has no alternative path, so its
+/// failure partitions the node rather than exercising rerouting.
+class FaultSchedule {
+ public:
+  /// Fail the link leaving (dev, port) at time `at`.  The peer endpoint is
+  /// resolved from the fabric's current wiring.
+  void fail_link(SimTime at, const Fabric& fabric, DeviceId dev, PortId port);
+
+  /// Reconnect a previously failed link at time `at`.
+  void recover_link(SimTime at, DeviceId dev_a, PortId port_a, DeviceId dev_b,
+                    PortId port_b);
+
+  /// Events sorted by time (ties keep insertion order).
+  [[nodiscard]] const std::vector<FaultEvent>& events() const;
+
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// `count` distinct random inter-switch uplinks all failing at `fail_at`
+  /// (the selection mirrors bench/ablation_faults).  When `recover_at` is
+  /// non-negative every failed link comes back at that time.
+  static FaultSchedule random_uplink_failures(const FatTreeFabric& fabric,
+                                              int count, SimTime fail_at,
+                                              std::uint64_t seed,
+                                              SimTime recover_at = -1);
+
+ private:
+  mutable std::vector<FaultEvent> events_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace mlid

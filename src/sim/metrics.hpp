@@ -28,7 +28,24 @@ struct SimResult {
   std::uint64_t packets_generated = 0;  ///< whole run
   std::uint64_t packets_delivered = 0;  ///< whole run
   std::uint64_t packets_measured = 0;   ///< delivered inside the window
-  std::uint64_t packets_dropped = 0;    ///< unroutable DLID (must stay 0)
+  /// Total drops, all reasons (sum of the breakdown below).  Zero on a
+  /// pristine fabric with matching tables; non-zero either flags a routing
+  /// bug (dropped_unroutable) or measures fault/convergence loss.
+  std::uint64_t packets_dropped = 0;
+  /// No LFT entry at all for the DLID — a routing hole (bug, or a
+  /// partitioned fabric after repair).
+  std::uint64_t dropped_unroutable = 0;
+  /// Caught on or queued behind a link at the instant it failed.
+  std::uint64_t dropped_dead_link = 0;
+  /// A stale LFT entry forwarded into a dead port — the convergence-window
+  /// loss a live SM shrinks and an offline/stale table suffers forever.
+  std::uint64_t dropped_during_convergence = 0;
+  /// Drops of packets *injected* while the SM was quiescent (converged) —
+  /// stays 0 when recovery actually works (asserted by the live-recovery
+  /// bench).  Stragglers injected during the convergence window may still
+  /// die shortly after the last program lands; those count as convergence
+  /// loss above, not here.
+  std::uint64_t drops_post_convergence = 0;
   std::uint64_t events_processed = 0;
   double avg_hops = 0.0;
   std::uint64_t max_source_queue_pkts = 0;
@@ -44,6 +61,17 @@ struct SimResult {
   double jain_fairness_index = 0.0;
   double min_node_accepted_bytes_per_ns = 0.0;
   double max_node_accepted_bytes_per_ns = 0.0;
+
+  // --- live SM timeline (populated only when a SubnetManager is attached) ----
+  SimTime first_fault_ns = -1;    ///< first link failure event (-1 = none)
+  SimTime sm_converged_ns = -1;   ///< last time the SM reached quiescence
+  /// sm_converged_ns - first_fault_ns: the window in which traffic ran on
+  /// stale tables (-1 when no fault occurred or the run ended mid-repair).
+  SimTime reconvergence_ns = -1;
+  std::uint64_t sm_traps = 0;
+  std::uint64_t sm_sweeps = 0;
+  std::uint64_t sm_entries_programmed = 0;
+  std::uint64_t sm_switches_programmed = 0;
 };
 
 }  // namespace mlid

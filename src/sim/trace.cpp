@@ -28,6 +28,8 @@ std::string to_string(TracePoint point) {
       return "forwarded";
     case TracePoint::kDelivered:
       return "delivered";
+    case TracePoint::kDropped:
+      return "dropped";
   }
   return "?";
 }

@@ -15,6 +15,7 @@ enum class TracePoint : std::uint8_t {
   kHeadArrive,  ///< head reached an input port
   kForwarded,   ///< head left a switch output port
   kDelivered,   ///< tail fully received by the destination
+  kDropped,     ///< lost to a dead link or a stale forwarding entry
 };
 
 [[nodiscard]] std::string to_string(TracePoint point);

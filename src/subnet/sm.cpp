@@ -1,0 +1,150 @@
+#include "subnet/sm.hpp"
+
+namespace mlid {
+
+SubnetManager::SubnetManager(FatTreeFabric& fabric, const Subnet& subnet,
+                             SmConfig config)
+    : fabric_(&fabric), subnet_(&subnet), cfg_(config) {
+  cfg_.validate();
+  MLID_EXPECT(&subnet.fabric() == &fabric,
+              "the SM must manage the fabric its subnet was built on");
+  // Adopt the bring-up's tables as the live forwarding state.
+  lfts_.reserve(subnet.routes().num_switches());
+  for (SwitchId sw = 0; sw < subnet.routes().num_switches(); ++sw) {
+    lfts_.push_back(subnet.routes().lft(sw));
+  }
+}
+
+std::vector<SubnetManager::TrapSchedule> SubnetManager::traps_from_endpoints(
+    DeviceId dev_a, PortId port_a, DeviceId dev_b, PortId port_b,
+    SimTime now) const {
+  // Both switch endpoints notice the port state change after the detection
+  // delay and report it; endnode ports have no trap path in this model.
+  std::vector<TrapSchedule> traps;
+  const SimTime at = now + cfg_.detection_delay_ns + cfg_.trap_travel_ns;
+  const Fabric& g = fabric_->fabric();
+  if (g.device(dev_a).kind() == DeviceKind::kSwitch) {
+    traps.push_back(TrapSchedule{at, dev_a, port_a});
+  }
+  if (g.device(dev_b).kind() == DeviceKind::kSwitch) {
+    traps.push_back(TrapSchedule{at, dev_b, port_b});
+  }
+  return traps;
+}
+
+std::vector<SubnetManager::TrapSchedule> SubnetManager::on_link_fail(
+    DeviceId dev, PortId port, SimTime now) {
+  const PortRef peer = fabric_->fabric().peer_of(dev, port);
+  MLID_EXPECT(peer.valid(), "failing a link that is not connected");
+  fabric_->mutable_fabric().disconnect(dev, port);
+  ++fabric_version_;
+  return traps_from_endpoints(dev, port, peer.device, peer.port, now);
+}
+
+std::vector<SubnetManager::TrapSchedule> SubnetManager::on_link_recover(
+    DeviceId dev_a, PortId port_a, DeviceId dev_b, PortId port_b,
+    SimTime now) {
+  fabric_->mutable_fabric().connect(dev_a, port_a, dev_b, port_b);
+  ++fabric_version_;
+  return traps_from_endpoints(dev_a, port_a, dev_b, port_b, now);
+}
+
+std::optional<SimTime> SubnetManager::on_trap(DeviceId /*reporter*/,
+                                              PortId /*port*/, SimTime now) {
+  ++stats_.traps_received;
+  if (stats_.first_trap_ns < 0) stats_.first_trap_ns = now;
+  if (!cfg_.react || sweep_in_progress_ ||
+      fabric_version_ == routed_version_) {
+    // A sweep in progress observes the fabric at its completion, so it
+    // already covers whatever this trap reports; a trap for an
+    // already-routed change (the second endpoint of a handled failure)
+    // needs no action either.
+    ++stats_.traps_coalesced;
+    return std::nullopt;
+  }
+  sweep_in_progress_ = true;
+  ++stats_.sweeps_started;
+  stats_.last_sweep_started_ns = now;
+  // The sweep cost is the modeled SMP probe traffic of a full re-discovery
+  // from the SM's own endport — genuinely re-run on the degraded fabric.
+  const DiscoveredTopology topo =
+      discover_subnet(fabric_->fabric(), fabric_->node_device(0));
+  stats_.probes_sent += topo.probes_sent;
+  stats_.last_sweep_cost_ns =
+      static_cast<SimTime>(topo.probes_sent) * cfg_.smp_probe_ns;
+  return now + stats_.last_sweep_cost_ns;
+}
+
+std::vector<SubnetManager::ProgramOp> SubnetManager::on_sweep_done(
+    SimTime now) {
+  MLID_EXPECT(sweep_in_progress_, "sweep completion without a sweep");
+  sweep_in_progress_ = false;
+  ++stats_.sweeps_completed;
+  stats_.last_sweep_done_ns = now;
+  routed_version_ = fabric_version_;
+  ++epoch_;  // any program of an older plan still in flight is void
+
+  const LftRepairPlan repair =
+      compute_lft_repair(*fabric_, subnet_->scheme().lmc(), lfts_);
+  if (cfg_.incremental) {
+    plan_ = repair.switches;
+  } else {
+    // Full rewrite: every switch gets a complete table push, carrying the
+    // same deltas (the final state is identical) but costed as a full
+    // linear-table write per switch.
+    plan_.clear();
+    plan_.reserve(lfts_.size());
+    std::size_t next_changed = 0;
+    for (SwitchId sw = 0; sw < lfts_.size(); ++sw) {
+      SwitchRepair full;
+      full.sw = sw;
+      if (next_changed < repair.switches.size() &&
+          repair.switches[next_changed].sw == sw) {
+        full.deltas = repair.switches[next_changed].deltas;
+        ++next_changed;
+      }
+      plan_.push_back(std::move(full));
+    }
+  }
+
+  std::vector<ProgramOp> ops;
+  pending_programs_ = plan_.size();
+  if (plan_.empty()) {
+    stats_.last_program_cost_ns = 0;
+    maybe_converge(now);
+    return ops;
+  }
+  // Switches are programmed sequentially, one SMP session each: session
+  // overhead plus one write per entry (whole table in full mode).
+  SimTime t = now;
+  ops.reserve(plan_.size());
+  for (std::uint32_t i = 0; i < plan_.size(); ++i) {
+    const std::uint64_t writes =
+        cfg_.incremental ? plan_[i].deltas.size()
+                         : static_cast<std::uint64_t>(lfts_[plan_[i].sw].max_lid());
+    t += cfg_.switch_program_overhead_ns +
+         static_cast<SimTime>(writes) * cfg_.lft_entry_program_ns;
+    ops.push_back(ProgramOp{t, i, epoch_, plan_[i].sw});
+    stats_.entries_programmed += writes;
+  }
+  stats_.last_program_cost_ns = t - now;
+  return ops;
+}
+
+bool SubnetManager::apply_program(std::uint32_t plan_index,
+                                  std::uint32_t epoch, SimTime now) {
+  if (epoch != epoch_) return false;  // superseded by a newer sweep
+  MLID_EXPECT(plan_index < plan_.size(), "program index out of range");
+  apply_repair(plan_[plan_index], lfts_[plan_[plan_index].sw]);
+  ++stats_.switches_programmed;
+  MLID_ASSERT(pending_programs_ > 0, "more programs applied than scheduled");
+  --pending_programs_;
+  if (pending_programs_ == 0) maybe_converge(now);
+  return true;
+}
+
+void SubnetManager::maybe_converge(SimTime now) {
+  if (converged()) stats_.converged_at = now;
+}
+
+}  // namespace mlid

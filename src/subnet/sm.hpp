@@ -1,0 +1,164 @@
+// Live Subnet Manager: the entity that keeps a running subnet routed.
+//
+// The offline Subnet object models the *initial* bring-up (discovery, LID
+// assignment, LFT programming) as an instantaneous step before t = 0.
+// SubnetManager models what happens afterwards, while traffic flows:
+//
+//   link fails --> both switch ports detect it after detection_delay_ns and
+//   send a trap (trap_travel_ns in flight) --> the SM starts a re-sweep,
+//   reusing discover_subnet and paying smp_probe_ns per probe --> at sweep
+//   completion it recomputes routes (generic UPDN at the subnet scheme's
+//   LMC) and derives a programming plan: the full table per switch, or — in
+//   incremental mode — only the entries that changed (routing/repair.hpp)
+//   --> switches are reprogrammed one SMP session at a time, each write
+//   costing lft_entry_program_ns --> when the last program lands and no
+//   newer fabric change is outstanding, the SM is converged.
+//
+// The class owns the *live* per-switch LFTs the simulator forwards with;
+// between a failure and the matching reprogramming the tables are stale,
+// which is exactly the convergence window the live-recovery bench measures.
+//
+// All methods are plain state transitions taking `now` and returning what
+// should be scheduled — the simulation engine turns the return values into
+// events, and unit tests drive the state machine directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "routing/repair.hpp"
+#include "subnet/subnet.hpp"
+
+namespace mlid {
+
+struct SmConfig {
+  SimTime detection_delay_ns = 2'000;  ///< port down/up -> trap sent
+  SimTime trap_travel_ns = 500;        ///< trap SMP flight to the SM
+  SimTime smp_probe_ns = 200;          ///< per discovery probe (SMP RTT)
+  SimTime lft_entry_program_ns = 50;   ///< per LFT entry written
+  SimTime switch_program_overhead_ns = 500;  ///< per-switch SMP session
+  /// true: push only changed entries (routing/repair.hpp); false: rewrite
+  /// every switch's whole linear table, like a from-scratch bring-up.
+  bool incremental = true;
+  /// false: the SM counts traps but never re-sweeps — models a dead or
+  /// misconfigured SM, the "stale tables forever" baseline.
+  bool react = true;
+
+  void validate() const {
+    MLID_EXPECT(detection_delay_ns >= 0 && trap_travel_ns >= 0 &&
+                    smp_probe_ns >= 0 && lft_entry_program_ns >= 0 &&
+                    switch_program_overhead_ns >= 0,
+                "SM cost constants must be non-negative");
+  }
+};
+
+/// Counters and timeline marks for one SM lifetime.
+struct SmStats {
+  std::uint64_t traps_received = 0;
+  std::uint64_t traps_coalesced = 0;  ///< arrived during a sweep / stale
+  std::uint64_t sweeps_started = 0;
+  std::uint64_t sweeps_completed = 0;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t entries_programmed = 0;  ///< modeled SMP table writes
+  std::uint64_t switches_programmed = 0;
+  SimTime first_trap_ns = -1;
+  SimTime last_sweep_started_ns = -1;
+  SimTime last_sweep_done_ns = -1;
+  SimTime last_sweep_cost_ns = 0;    ///< modeled duration of the last sweep
+  SimTime last_program_cost_ns = 0;  ///< modeled span of the last plan
+  SimTime converged_at = -1;  ///< last time the SM reached quiescence
+};
+
+class SubnetManager {
+ public:
+  /// `fabric` is the live fabric the engine mutates through this SM;
+  /// `subnet` supplies the initial tables and the addressing (the SM can
+  /// reroute, but endnodes keep their assigned LIDs and path selection).
+  SubnetManager(FatTreeFabric& fabric, const Subnet& subnet,
+                SmConfig config = {});
+
+  /// Live forwarding table of one switch (what the simulator routes with).
+  [[nodiscard]] const Lft& lft(SwitchId sw) const {
+    MLID_EXPECT(sw < lfts_.size(), "switch id out of range");
+    return lfts_[sw];
+  }
+
+  // --- engine callbacks, in event order ------------------------------------
+
+  /// A trap to be delivered to the SM at `at`.
+  struct TrapSchedule {
+    SimTime at = 0;
+    DeviceId reporter = kInvalidDevice;
+    PortId port = 0;
+  };
+
+  /// The link leaving (dev, port) just died: disconnect the fabric and
+  /// return the traps its switch endpoints will raise.
+  std::vector<TrapSchedule> on_link_fail(DeviceId dev, PortId port,
+                                         SimTime now);
+
+  /// A previously failed link comes back (IBA IN_SERVICE trap).
+  std::vector<TrapSchedule> on_link_recover(DeviceId dev_a, PortId port_a,
+                                            DeviceId dev_b, PortId port_b,
+                                            SimTime now);
+
+  /// A trap reached the SM.  Returns the sweep-completion time when this
+  /// trap starts a re-sweep; nullopt when it is coalesced into a sweep
+  /// already in progress, describes a change already routed, or the SM is
+  /// configured not to react.
+  std::optional<SimTime> on_trap(DeviceId reporter, PortId port, SimTime now);
+
+  /// One pending switch reprogramming.
+  struct ProgramOp {
+    SimTime at = 0;
+    std::uint32_t plan_index = 0;
+    std::uint32_t epoch = 0;
+    SwitchId sw = kInvalidSwitch;
+  };
+
+  /// The re-sweep finished: recompute routes from the fabric's *current*
+  /// state (a sweep observes every change up to its completion, including
+  /// failures whose traps are still in flight) and return the programming
+  /// schedule.  An empty schedule means the tables were already correct.
+  std::vector<ProgramOp> on_sweep_done(SimTime now);
+
+  /// Apply one scheduled program.  Returns false (a no-op) when a newer
+  /// sweep has superseded the plan the op belongs to.
+  bool apply_program(std::uint32_t plan_index, std::uint32_t epoch,
+                     SimTime now);
+
+  // --- inspection -----------------------------------------------------------
+
+  /// No sweep running, no programs pending, routes match the fabric.
+  [[nodiscard]] bool converged() const noexcept {
+    return !sweep_in_progress_ && pending_programs_ == 0 &&
+           routed_version_ == fabric_version_;
+  }
+
+  [[nodiscard]] const SmStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const SmConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const Subnet& subnet() const noexcept { return *subnet_; }
+
+ private:
+  std::vector<TrapSchedule> traps_from_endpoints(DeviceId dev_a, PortId port_a,
+                                                 DeviceId dev_b, PortId port_b,
+                                                 SimTime now) const;
+  void maybe_converge(SimTime now);
+
+  FatTreeFabric* fabric_;
+  const Subnet* subnet_;
+  SmConfig cfg_;
+  std::vector<Lft> lfts_;  ///< live tables, mutated by apply_program
+
+  std::uint64_t fabric_version_ = 0;  ///< bumped per fail / recover
+  std::uint64_t routed_version_ = 0;  ///< fabric version the tables reflect
+  bool sweep_in_progress_ = false;
+  std::uint32_t epoch_ = 0;  ///< plan generation; stale ops are ignored
+  std::size_t pending_programs_ = 0;
+  std::vector<SwitchRepair> plan_;
+
+  SmStats stats_;
+};
+
+}  // namespace mlid

@@ -37,6 +37,41 @@ TEST(Cli, ParsesFlags) {
   EXPECT_EQ(opts.positional()[0], "extra");
 }
 
+TEST(Cli, FaultFlagsDefaultOff) {
+  const CliOptions opts = parse({});
+  EXPECT_EQ(opts.fail_links(), 0);
+  EXPECT_EQ(opts.fail_at_ns(), 20'000);
+  EXPECT_EQ(opts.recover_at_ns(), -1);
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  EXPECT_TRUE(opts.fault_schedule(fabric).empty());
+}
+
+TEST(Cli, ParsesFaultFlagsBothForms) {
+  const CliOptions eq =
+      parse({"--fail-links=3", "--fail-at-ns=12000", "--recover-at-ns=50000"});
+  EXPECT_EQ(eq.fail_links(), 3);
+  EXPECT_EQ(eq.fail_at_ns(), 12'000);
+  EXPECT_EQ(eq.recover_at_ns(), 50'000);
+  EXPECT_TRUE(eq.positional().empty());
+
+  const CliOptions two = parse({"--fail-links", "3", "--fail-at-ns", "12000"});
+  EXPECT_EQ(two.fail_links(), 3);
+  EXPECT_EQ(two.fail_at_ns(), 12'000);
+  EXPECT_TRUE(two.positional().empty());
+}
+
+TEST(Cli, FaultScheduleMatchesFlags) {
+  const CliOptions opts =
+      parse({"--fail-links=2", "--fail-at-ns=15000", "--recover-at-ns=40000"});
+  const FatTreeFabric fabric{FatTreeParams(8, 2)};
+  const FaultSchedule faults = opts.fault_schedule(fabric);
+  ASSERT_EQ(faults.size(), 4u);  // 2 failures + 2 recoveries
+  EXPECT_TRUE(faults.events()[0].fail);
+  EXPECT_EQ(faults.events()[0].at, 15'000);
+  EXPECT_FALSE(faults.events()[3].fail);
+  EXPECT_EQ(faults.events()[3].at, 40'000);
+}
+
 TEST(Cli, QuickModeShrinksAFigureSpec) {
   const CliOptions opts = parse({"--quick", "--seed=5"});
   FigureSpec spec;
