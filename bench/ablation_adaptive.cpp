@@ -5,14 +5,17 @@
 // crossbars to credit-aware adaptive uplink selection and compares against
 // the static schemes, bounding the gap MLID leaves on the table.
 #include <cstdio>
+#include <string>
 
 #include "common/text_table.hpp"
 #include "harness/cli.hpp"
+#include "harness/report.hpp"
 #include "sim/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace mlid;
   const CliOptions opts(argc, argv);
+  BenchReport report(bench_name_from_path(argv[0]), opts);
   const int m = 8, n = 2;
   const FatTreeFabric fabric{FatTreeParams(m, n)};
   const Subnet slid(fabric, SchemeKind::kSlid);
@@ -44,6 +47,8 @@ int main(int argc, char** argv) {
         table.add_row({label, scheme_label, mode_label,
                        TextTable::num(r.accepted_bytes_per_ns_per_node, 4),
                        TextTable::num(r.avg_latency_ns, 1)});
+        report.add(std::string(label) + "/" + scheme_label + "/" + mode_label,
+                   r);
       }
     }
   }
@@ -52,5 +57,6 @@ int main(int argc, char** argv) {
             " (it substitutes for\nthe static spreading); on top of MLID it"
             " adds only a small further gain -- the\npaper's deterministic"
             " scheme already captures most of the multipath benefit.");
+  std::printf("\n(wrote %s)\n", report.write().c_str());
   return 0;
 }

@@ -6,11 +6,13 @@
 
 #include "common/text_table.hpp"
 #include "harness/cli.hpp"
+#include "harness/report.hpp"
 #include "sim/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace mlid;
   const CliOptions opts(argc, argv);
+  BenchReport report(bench_name_from_path(argv[0]), opts);
   const int m = 4, n = 3;
   const FatTreeFabric fabric{FatTreeParams(m, n)};
   const Subnet slid(fabric, SchemeKind::kSlid);
@@ -33,6 +35,8 @@ int main(int argc, char** argv) {
                                 opts.seed() ^ 0xAB3u};
     const SimResult s = Simulation(slid, cfg, traffic, 0.9).run();
     const SimResult q = Simulation(mlid, cfg, traffic, 0.9).run();
+    report.add("SLID/bufs=" + std::to_string(depth), s);
+    report.add("MLID/bufs=" + std::to_string(depth), q);
     table.add_row({std::to_string(depth),
                    TextTable::num(s.accepted_bytes_per_ns_per_node, 4),
                    TextTable::num(s.avg_latency_ns, 1),
@@ -46,5 +50,6 @@ int main(int argc, char** argv) {
   std::fputs(table.to_string().c_str(), stdout);
   std::puts("\nExpected shape: absolute throughput rises with depth (credit"
             " bubble amortized);\nMLID >= SLID at every depth.");
+  std::printf("\n(wrote %s)\n", report.write().c_str());
   return 0;
 }

@@ -6,16 +6,19 @@
 // shows why fault handling needs the generic engine.
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "common/rng.hpp"
 #include "common/text_table.hpp"
 #include "harness/cli.hpp"
+#include "harness/report.hpp"
 #include "routing/updown.hpp"
 #include "sim/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace mlid;
   const CliOptions opts(argc, argv);
+  BenchReport report(bench_name_from_path(argv[0]), opts);
   const int m = 8, n = 2;
 
   std::printf("Ablation A5: link failures, %d-port %d-tree, uniform traffic,"
@@ -59,6 +62,8 @@ int main(int argc, char** argv) {
 
     const Subnet stale_mlid(fabric, SchemeKind::kMlid);
     const SimResult s = Simulation(stale_mlid, cfg, traffic, 0.6).run();
+    report.add("UPDN/failures=" + std::to_string(failures), r);
+    report.add("MLID-stale/failures=" + std::to_string(failures), s);
 
     table.add_row({std::to_string(failures),
                    TextTable::num(r.accepted_bytes_per_ns_per_node, 4),
@@ -70,5 +75,6 @@ int main(int argc, char** argv) {
   std::puts("\nExpected shape: UPDN throughput degrades gracefully with"
             " failures and never drops;\nthe stale closed-form tables drop"
             " packets as soon as one link is gone.");
+  std::printf("\n(wrote %s)\n", report.write().c_str());
   return 0;
 }

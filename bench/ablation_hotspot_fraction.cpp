@@ -2,14 +2,17 @@
 // fraction at 20%; this sweep shows where the MLID advantage appears as the
 // hot fraction grows from uniform-like (5%) to heavily centric (40%).
 #include <cstdio>
+#include <string>
 
 #include "common/text_table.hpp"
 #include "harness/cli.hpp"
+#include "harness/report.hpp"
 #include "sim/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace mlid;
   const CliOptions opts(argc, argv);
+  BenchReport report(bench_name_from_path(argv[0]), opts);
   const int m = 8, n = 2;
   const FatTreeFabric fabric{FatTreeParams(m, n)};
   const Subnet slid(fabric, SchemeKind::kSlid);
@@ -30,6 +33,8 @@ int main(int argc, char** argv) {
                                 opts.seed() ^ 0xAB4u};
     const SimResult s = Simulation(slid, cfg, traffic, 0.9).run();
     const SimResult q = Simulation(mlid, cfg, traffic, 0.9).run();
+    report.add("SLID/hot=" + TextTable::num(h, 2), s);
+    report.add("MLID/hot=" + TextTable::num(h, 2), q);
     table.add_row({TextTable::num(h, 2),
                    TextTable::num(s.accepted_bytes_per_ns_per_node, 4),
                    TextTable::num(q.accepted_bytes_per_ns_per_node, 4),
@@ -45,5 +50,6 @@ int main(int argc, char** argv) {
             " becomes the physical\nbottleneck; MLID's edge is largest at"
             " small-to-moderate fractions where tree links,\nnot the"
             " terminal link, are the constraint.");
+  std::printf("\n(wrote %s)\n", report.write().c_str());
   return 0;
 }

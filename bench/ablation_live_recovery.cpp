@@ -24,6 +24,7 @@
 
 #include "common/text_table.hpp"
 #include "harness/cli.hpp"
+#include "harness/report.hpp"
 #include "routing/updown.hpp"
 #include "sim/engine.hpp"
 
@@ -54,6 +55,7 @@ std::unique_ptr<Subnet> make_subnet(const FatTreeFabric& fabric,
 
 int main(int argc, char** argv) {
   const CliOptions opts(argc, argv);
+  BenchReport report(bench_name_from_path(argv[0]), opts);
   const int m = 8, n = 2;
   const FatTreeParams params(m, n);
 
@@ -132,6 +134,12 @@ int main(int argc, char** argv) {
       Simulation sim2(*subnet2, steady, traffic, kLoad);
       sim2.attach_live_sm(sm2, faults);
       const SimResult post = sim2.run();
+      report.add(std::string(spec.name) + "/k=" + std::to_string(k) +
+                     "/convergence",
+                 r);
+      report.add(std::string(spec.name) + "/k=" + std::to_string(k) +
+                     "/steady",
+                 post);
 
       // Offline baseline: a fresh UPDN bring-up on the fabric in its final
       // wiring state (failures applied, recoveries re-applied) at the
@@ -180,6 +188,7 @@ int main(int argc, char** argv) {
             " stop once the SM is converged (post-conv drops = 0), and\n"
             "the repaired fabric's steady throughput matches an offline UPDN"
             " rebuild (ratio >= 0.95).");
+  std::printf("\n(wrote %s)\n", report.write().c_str());
   if (violations != 0) {
     std::printf("\nFAIL: %d acceptance check(s) violated\n", violations);
     return 1;

@@ -5,15 +5,18 @@
 // offered load, and reports saturation throughput per LMC.
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "common/text_table.hpp"
 #include "harness/cli.hpp"
+#include "harness/report.hpp"
 #include "routing/fat_tree_routing.hpp"
 #include "sim/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace mlid;
   const CliOptions opts(argc, argv);
+  BenchReport report(bench_name_from_path(argv[0]), opts);
   const int m = 4, n = 3;
   const FatTreeFabric fabric{FatTreeParams(m, n)};
   SimConfig cfg;
@@ -36,6 +39,9 @@ int main(int argc, char** argv) {
       TrafficConfig traffic{kind, 0.20, 0, opts.seed() ^ 0xAB1u};
       Simulation sim(subnet, cfg, traffic, /*offered_load=*/0.9);
       const SimResult r = sim.run();
+      report.add(std::string(to_string(kind)) + "/lmc=" +
+                     std::to_string(int(lmc)),
+                 r);
       if (lmc == 0) baseline = r.accepted_bytes_per_ns_per_node;
       table.add_row(
           {std::string(to_string(kind)), std::to_string(int(lmc)),
@@ -50,5 +56,6 @@ int main(int argc, char** argv) {
   std::puts("\nExpected shape: throughput grows monotonically with LMC under"
             " centric traffic;\nthe first bits buy the most (path diversity"
             " doubles per bit).");
+  std::printf("\n(wrote %s)\n", report.write().c_str());
   return 0;
 }

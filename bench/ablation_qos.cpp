@@ -4,14 +4,17 @@
 // Sweeping the VL0:VL1 arbitration weight shows the latency isolation the
 // IBA VLArb mechanism buys the critical class.
 #include <cstdio>
+#include <string>
 
 #include "common/text_table.hpp"
 #include "harness/cli.hpp"
+#include "harness/report.hpp"
 #include "sim/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace mlid;
   const CliOptions opts(argc, argv);
+  BenchReport report(bench_name_from_path(argv[0]), opts);
   const int m = 4, n = 3;
   const FatTreeFabric fabric{FatTreeParams(m, n)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
@@ -40,6 +43,7 @@ int main(int argc, char** argv) {
                    {TrafficKind::kUniform, 0.2, 0, opts.seed() ^ 0xABAu},
                    0.9);
     const SimResult r = sim.run();
+    report.add("weights=" + std::to_string(w0) + ":1", r);
     const double total = static_cast<double>(r.delivered_per_vl[0] +
                                              r.delivered_per_vl[1]);
     table.add_row({std::to_string(w0) + ":1",
@@ -55,5 +59,6 @@ int main(int argc, char** argv) {
             " latency improve with its\nweight and plateau once it is no"
             " longer arbitration-limited; the bulk class pays\nthe"
             " difference.");
+  std::printf("\n(wrote %s)\n", report.write().c_str());
   return 0;
 }

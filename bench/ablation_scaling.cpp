@@ -6,11 +6,13 @@
 
 #include "common/text_table.hpp"
 #include "harness/cli.hpp"
+#include "harness/report.hpp"
 #include "harness/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace mlid;
   const CliOptions opts(argc, argv);
+  BenchReport report(bench_name_from_path(argv[0]), opts);
 
   std::puts("Ablation A12: scaling with tree height (20%-centric, 1 VL)");
   TextTable table({"network", "nodes", "SLID sat B/ns/node",
@@ -33,6 +35,8 @@ int main(int argc, char** argv) {
       spec.loads = {0.2, 0.4, 0.6, 0.8, 0.95};
     }
     const auto points = run_figure(spec, opts.threads());
+    spec.title = std::to_string(m) + "-port " + std::to_string(n) + "-tree";
+    report.add_figure(spec, points);
     const double slid = saturation_throughput(points, SchemeKind::kSlid, 1);
     const double mlid = saturation_throughput(points, SchemeKind::kMlid, 1);
     table.add_row({std::to_string(m) + "-port " + std::to_string(n) + "-tree",
@@ -43,5 +47,6 @@ int main(int argc, char** argv) {
   std::fputs(table.to_string().c_str(), stdout);
   std::puts("\nExpected shape: the MLID/SLID ratio grows along both axes"
             " (taller trees and\nwider switches), Remark 3 of the paper.");
+  std::printf("\n(wrote %s)\n", report.write().c_str());
   return 0;
 }

@@ -9,6 +9,7 @@
 
 #include "common/text_table.hpp"
 #include "harness/cli.hpp"
+#include "harness/report.hpp"
 #include "routing/fat_tree_routing.hpp"
 #include "routing/updown.hpp"
 #include "sim/engine.hpp"
@@ -16,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace mlid;
   const CliOptions opts(argc, argv);
+  BenchReport report(bench_name_from_path(argv[0]), opts);
   const int m = 8, n = 2;
   const FatTreeFabric fabric{FatTreeParams(m, n)};
   const Lmc full = fabric.params().mlid_lmc();
@@ -63,6 +65,8 @@ int main(int argc, char** argv) {
         Simulation(*entry.subnet, cfg,
                    {TrafficKind::kCentric, 0.2, 0, opts.seed() ^ 0xAB6u}, 0.9)
             .run();
+    report.add(entry.label + "/uniform", uni);
+    report.add(entry.label + "/centric", cen);
     table.add_row({entry.label,
                    TextTable::num(uni.accepted_bytes_per_ns_per_node, 4),
                    TextTable::num(uni.avg_latency_ns, 1),
@@ -73,5 +77,6 @@ int main(int argc, char** argv) {
   std::puts("\nExpected shape: throughput rises with the LMC; UPDN(full)"
             " matches MLID(full) exactly\n(identical tables); UPDN lmc=0"
             " matches SLID.");
+  std::printf("\n(wrote %s)\n", report.write().c_str());
   return 0;
 }

@@ -3,14 +3,17 @@
 // seeds and reports mean +/- stddev for both schemes plus the per-seed
 // ratio range -- the error bars behind the EXPERIMENTS.md tables.
 #include <cstdio>
+#include <string>
 
 #include "common/text_table.hpp"
 #include "harness/cli.hpp"
+#include "harness/report.hpp"
 #include "harness/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace mlid;
   const CliOptions opts(argc, argv);
+  BenchReport report(bench_name_from_path(argv[0]), opts);
   const int runs = opts.quick() ? 3 : 10;
 
   std::printf("Ablation A14: seed sensitivity (%d replications, 20%%-centric,"
@@ -31,6 +34,10 @@ int main(int argc, char** argv) {
                                 opts.seed() ^ 0xABEu};
     const Replication rs = replicate(slid, cfg, traffic, 0.9, runs);
     const Replication rq = replicate(mlid, cfg, traffic, 0.9, runs);
+    const std::string net =
+        std::to_string(m) + "-port-" + std::to_string(n) + "-tree";
+    report.add("SLID/" + net + "/first-replication", rs.first);
+    report.add("MLID/" + net + "/first-replication", rq.first);
     table.add_row({std::to_string(m) + "-port " + std::to_string(n) + "-tree",
                    TextTable::num(rs.accepted.mean(), 4),
                    TextTable::num(rs.accepted.stddev(), 4),
@@ -43,5 +50,6 @@ int main(int argc, char** argv) {
   std::fputs(table.to_string().c_str(), stdout);
   std::puts("\nExpected shape: per-scheme stddev well below the MLID-SLID"
             " gap, i.e. the paper's\ncomparison is not a seed artifact.");
+  std::printf("\n(wrote %s)\n", report.write().c_str());
   return 0;
 }

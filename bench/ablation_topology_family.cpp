@@ -4,14 +4,17 @@
 // the price of halved per-node root bandwidth, which shows up as earlier
 // saturation under uniform traffic.
 #include <cstdio>
+#include <string>
 
 #include "common/text_table.hpp"
 #include "harness/cli.hpp"
+#include "harness/report.hpp"
 #include "sim/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace mlid;
   const CliOptions opts(argc, argv);
+  BenchReport report(bench_name_from_path(argv[0]), opts);
 
   struct Config {
     const char* label;
@@ -42,6 +45,9 @@ int main(int argc, char** argv) {
                      {TrafficKind::kUniform, 0.2, 0, opts.seed() ^ 0xAB7u},
                      load)
               .run();
+      report.add(std::string(config.label) + "/load=" +
+                     TextTable::num(load, 1),
+                 r);
       table.add_row({config.label,
                      std::to_string(fabric.params().num_nodes()),
                      std::to_string(fabric.params().num_switches()),
@@ -54,5 +60,6 @@ int main(int argc, char** argv) {
   std::puts("\nExpected shape: at equal node counts the k-ary tree spends"
             " more switches and\nsustains higher per-node throughput; the"
             " m-port tree is the cheaper build.");
+  std::printf("\n(wrote %s)\n", report.write().c_str());
   return 0;
 }

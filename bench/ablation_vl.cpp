@@ -2,14 +2,17 @@
 // for both schemes.  Extends the paper's {1, 2, 4} grid and quantifies the
 // claim that MLID@1VL can beat SLID@2VL on large-port networks.
 #include <cstdio>
+#include <string>
 
 #include "common/text_table.hpp"
 #include "harness/cli.hpp"
+#include "harness/report.hpp"
 #include "sim/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace mlid;
   const CliOptions opts(argc, argv);
+  BenchReport report(bench_name_from_path(argv[0]), opts);
   const int m = 8, n = 2;
   const FatTreeFabric fabric{FatTreeParams(m, n)};
   const Subnet slid(fabric, SchemeKind::kSlid);
@@ -29,12 +32,12 @@ int main(int argc, char** argv) {
     }
     const TrafficConfig traffic{TrafficKind::kCentric, 0.20, 0,
                                 opts.seed() ^ 0xAB2u};
-    const double s = Simulation(slid, cfg, traffic, 0.9)
-                         .run()
-                         .accepted_bytes_per_ns_per_node;
-    const double q = Simulation(mlid, cfg, traffic, 0.9)
-                         .run()
-                         .accepted_bytes_per_ns_per_node;
+    const SimResult slid_r = Simulation(slid, cfg, traffic, 0.9).run();
+    const SimResult mlid_r = Simulation(mlid, cfg, traffic, 0.9).run();
+    report.add("SLID/vls=" + std::to_string(vls), slid_r);
+    report.add("MLID/vls=" + std::to_string(vls), mlid_r);
+    const double s = slid_r.accepted_bytes_per_ns_per_node;
+    const double q = mlid_r.accepted_bytes_per_ns_per_node;
     if (vls == 1) mlid_1vl = q;
     if (vls == 2) slid_2vl = s;
     table.add_row({std::to_string(vls), TextTable::num(s, 4),
@@ -44,5 +47,6 @@ int main(int argc, char** argv) {
   std::printf("\nObservation-3 check (large m): MLID@1VL / SLID@2VL = %.3fx"
               " (paper expects >= 1)\n",
               mlid_1vl / slid_2vl);
+  std::printf("\n(wrote %s)\n", report.write().c_str());
   return 0;
 }

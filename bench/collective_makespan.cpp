@@ -7,11 +7,13 @@
 
 #include "common/text_table.hpp"
 #include "harness/cli.hpp"
+#include "harness/report.hpp"
 #include "sim/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace mlid;
   const CliOptions opts(argc, argv);
+  BenchReport report(bench_name_from_path(argv[0]), opts);
   const int m = 8, n = 2;
   const FatTreeFabric fabric{FatTreeParams(m, n)};
   const std::uint32_t nodes = fabric.params().num_nodes();
@@ -44,6 +46,8 @@ int main(int argc, char** argv) {
         Simulation(slid, cfg, workload.messages).run_to_completion();
     const BurstResult q =
         Simulation(mlid, cfg, workload.messages).run_to_completion();
+    report.add("SLID/" + workload.label, s);
+    report.add("MLID/" + workload.label, q);
     table.add_row(
         {workload.label, std::to_string(workload.messages.size()),
          std::to_string(s.makespan_ns), std::to_string(q.makespan_ns),
@@ -61,5 +65,6 @@ int main(int argc, char** argv) {
             " single random\npermutation is a coin flip between the two"
             " static hashes (src-rank vs dest-digit)\n-- vary --seed to see"
             " both outcomes.");
+  std::printf("\n(wrote %s)\n", report.write().c_str());
   return 0;
 }

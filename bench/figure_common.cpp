@@ -23,6 +23,7 @@ FigureSpec paper_figure(std::string title, int m, int n, TrafficKind traffic) {
 int run_figure_main(int argc, char** argv, FigureSpec spec) {
   const CliOptions opts(argc, argv);
   opts.apply(spec);
+  BenchReport report(bench_name_from_path(argv[0]), opts);
   const auto start = std::chrono::steady_clock::now();
   const auto points = run_figure(spec, opts.threads());
   const auto elapsed = std::chrono::duration<double>(
@@ -50,7 +51,10 @@ int run_figure_main(int argc, char** argv, FigureSpec spec) {
     std::printf("\n(wrote %s.csv%s)\n", opts.out_path().c_str(),
                 opts.json() ? " and .json" : "");
   }
-  std::printf("\n(%zu simulations in %.1f s%s)\n", points.size(), elapsed,
+  report.add_figure(spec, points);
+  const std::string bench_path = report.write();
+  std::printf("\n(wrote %s)\n", bench_path.c_str());
+  std::printf("(%zu simulations in %.1f s%s)\n", points.size(), elapsed,
               opts.quick() ? ", --quick mode" : "");
   return 0;
 }

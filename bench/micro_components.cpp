@@ -2,6 +2,9 @@
 // cost determines how large a network the simulator can sweep.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "harness/report.hpp"
 #include "routing/fat_tree_routing.hpp"
 #include "routing/load_analysis.hpp"
 #include "routing/path.hpp"
@@ -151,4 +154,27 @@ BENCHMARK(BM_LoadAnalysisPredict);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark keeps its own
+// flag language (--benchmark_filter etc. -- CliOptions would reject it),
+// and after the benchmarks we emit the standard BENCH json with one labeled
+// smoke simulation so this binary's output is schema-compatible with every
+// other bench.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  BenchReport report(bench_name_from_path(argv[0]), /*seed=*/1,
+                     /*threads=*/1, /*quick=*/true);
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  SimConfig cfg;
+  cfg.warmup_ns = 2'000;
+  cfg.measure_ns = 20'000;
+  const SimResult r =
+      Simulation(subnet, cfg, {TrafficKind::kUniform, 0.2, 0, 2}, 0.6).run();
+  report.add("smoke/MLID/4-port-3-tree", r);
+  std::printf("\n(wrote %s)\n", report.write().c_str());
+  return 0;
+}

@@ -1,10 +1,49 @@
 #include "harness/cli.hpp"
 
+#include <charconv>
+#include <cstdio>
 #include <cstdlib>
 #include <string_view>
 
 namespace mlid {
 namespace {
+
+constexpr std::string_view kUsage =
+    "flags:\n"
+    "  --help             print this message and exit\n"
+    "  --quick            shrink windows & load grid (CI-friendly)\n"
+    "  --seed=N           master seed\n"
+    "  --csv              also print the CSV block\n"
+    "  --json             also print a JSON result blob\n"
+    "  --out=PATH         also write CSV (and JSON if --json) to PATH.csv /\n"
+    "                     PATH.json\n"
+    "  --threads=N        worker threads for the sweep\n"
+    "  --fail-links=N     fail N random inter-switch uplinks mid-run\n"
+    "  --fail-at-ns=T     when the failures hit (default 20000)\n"
+    "  --recover-at-ns=T  bring the failed links back at T (default: never)\n"
+    "The fault flags also accept the two-token form (`--fail-links 4`).\n";
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n%s", message.c_str(),
+               std::string(kUsage).c_str());
+  std::exit(2);
+}
+
+// Parses the *entire* token as a base-10 integer; anything else (empty,
+// trailing junk like `--threads=4x`, out of range) is a fatal usage error.
+// The old strtol-with-null-endptr parsing accepted those silently -- e.g.
+// `--seed=abc` became seed 0 -- which is exactly the bug class this guards.
+template <typename Int>
+Int parse_int(std::string_view flag, std::string_view text) {
+  Int value{};
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value, 10);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    usage_error("invalid value '" + std::string(text) + "' for " +
+                std::string(flag) + " (expected a base-10 integer)");
+  }
+  return value;
+}
 
 // Reads the value of a flag that accepts both `--flag=V` and `--flag V`.
 // Advances `i` past the consumed value token in the two-token form.
@@ -16,7 +55,10 @@ bool flag_value(int argc, char** argv, int& i, std::string_view name,
     value = arg.substr(name.size() + 1);
     return true;
   }
-  if (arg == name && i + 1 < argc) {
+  if (arg == name) {
+    if (i + 1 >= argc) {
+      usage_error("flag " + std::string(name) + " needs a value");
+    }
     value = argv[++i];
     return true;
   }
@@ -29,7 +71,10 @@ CliOptions::CliOptions(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     std::string_view value;
-    if (arg == "--quick") {
+    if (arg == "--help") {
+      std::fputs(std::string(kUsage).c_str(), stdout);
+      std::exit(0);
+    } else if (arg == "--quick") {
       quick_ = true;
     } else if (arg == "--csv") {
       csv_ = true;
@@ -38,16 +83,18 @@ CliOptions::CliOptions(int argc, char** argv) {
     } else if (arg.rfind("--out=", 0) == 0) {
       out_ = std::string(arg.substr(6));
     } else if (arg.rfind("--seed=", 0) == 0) {
-      seed_ = std::strtoull(arg.data() + 7, nullptr, 10);
+      seed_ = parse_int<std::uint64_t>("--seed", arg.substr(7));
     } else if (arg.rfind("--threads=", 0) == 0) {
-      threads_ = static_cast<unsigned>(
-          std::strtoul(arg.data() + 10, nullptr, 10));
+      threads_ = parse_int<unsigned>("--threads", arg.substr(10));
     } else if (flag_value(argc, argv, i, "--fail-links", value)) {
-      fail_links_ = static_cast<int>(std::strtol(value.data(), nullptr, 10));
+      fail_links_ = parse_int<int>("--fail-links", value);
     } else if (flag_value(argc, argv, i, "--fail-at-ns", value)) {
-      fail_at_ns_ = std::strtoll(value.data(), nullptr, 10);
+      fail_at_ns_ = parse_int<std::int64_t>("--fail-at-ns", value);
     } else if (flag_value(argc, argv, i, "--recover-at-ns", value)) {
-      recover_at_ns_ = std::strtoll(value.data(), nullptr, 10);
+      recover_at_ns_ = parse_int<std::int64_t>("--recover-at-ns", value);
+    } else if (arg.rfind("--", 0) == 0) {
+      // A typo like `--quik` must not silently become a positional.
+      usage_error("unknown flag '" + std::string(arg) + "'");
     } else {
       positional_.emplace_back(arg);
     }

@@ -10,6 +10,7 @@
 namespace mlid {
 
 /// Parses the tiny flag language the harness binaries accept:
+///   --help             print usage and exit 0
 ///   --quick            shrink windows & load grid (CI-friendly)
 ///   --seed=N           master seed
 ///   --csv              also print the CSV block
@@ -21,6 +22,11 @@ namespace mlid {
 ///   --fail-at-ns=T     when the failures hit (default 20000)
 ///   --recover-at-ns=T  bring the failed links back at T (default: never)
 /// The fault flags also accept the two-token form (`--fail-links 4`).
+///
+/// Parsing is strict: numeric values must consume the whole token
+/// (`--seed=abc` and `--threads=4x` are fatal, not silently 0 / 4), and an
+/// unrecognized `--flag` exits 2 with a diagnostic listing the known flags
+/// instead of being swallowed as a positional argument.
 class CliOptions {
  public:
   CliOptions(int argc, char** argv);

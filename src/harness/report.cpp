@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 
 #include "common/expect.hpp"
+#include "harness/cli.hpp"
 
 namespace mlid {
 
@@ -147,6 +149,34 @@ JsonWriter& JsonWriter::value(std::string_view v) {
 
 namespace {
 
+// Emits a Log2Histogram as a value ({"total": N, "counts": [...]}); the
+// counts array is trimmed at the last non-empty bucket (the fixed layout
+// means readers can always re-pad to Log2Histogram::kBuckets).
+void emit_log2_hist(JsonWriter& json, const Log2Histogram& h) {
+  json.begin_object();
+  json.key("total").value(h.total());
+  json.key("counts").begin_array();
+  for (std::size_t i = 0, n = h.trimmed_size(); i < n; ++i) {
+    json.value(h.counts()[i]);
+  }
+  json.end_array();
+  json.end_object();
+}
+
+void emit_link_summary(JsonWriter& json, const LinkSummary& s) {
+  json.begin_object();
+  json.key("links").value(s.links);
+  json.key("total_packets").value(s.total_packets);
+  json.key("total_bytes").value(s.total_bytes);
+  json.key("mean_utilization").value(s.mean_utilization);
+  json.key("max_utilization").value(s.max_utilization);
+  json.key("total_credit_stall_ns").value(s.total_credit_stall_ns);
+  json.key("max_credit_stall_ns").value(s.max_credit_stall_ns);
+  json.key("max_queue_depth_pkts")
+      .value(static_cast<std::uint64_t>(s.max_queue_depth_pkts));
+  json.end_object();
+}
+
 void emit_sim_result_fields(JsonWriter& json, const SimResult& r) {
   json.key("offered_load").value(r.offered_load);
   json.key("accepted_bytes_per_ns_per_node")
@@ -154,12 +184,14 @@ void emit_sim_result_fields(JsonWriter& json, const SimResult& r) {
   json.key("avg_latency_ns").value(r.avg_latency_ns);
   json.key("avg_network_latency_ns").value(r.avg_network_latency_ns);
   json.key("p50_latency_ns").value(r.p50_latency_ns);
+  json.key("p95_latency_ns").value(r.p95_latency_ns);
   json.key("p99_latency_ns").value(r.p99_latency_ns);
   json.key("max_latency_ns").value(r.max_latency_ns);
   json.key("packets_generated").value(r.packets_generated);
   json.key("packets_delivered").value(r.packets_delivered);
   json.key("packets_measured").value(r.packets_measured);
   json.key("packets_dropped").value(r.packets_dropped);
+  json.key("events_processed").value(r.events_processed);
   json.key("avg_hops").value(r.avg_hops);
   json.key("mean_link_utilization").value(r.mean_link_utilization);
   json.key("max_link_utilization").value(r.max_link_utilization);
@@ -167,6 +199,75 @@ void emit_sim_result_fields(JsonWriter& json, const SimResult& r) {
   json.key("delivered_per_vl").begin_array();
   for (const std::uint64_t v : r.delivered_per_vl) json.value(v);
   json.end_array();
+  json.key("telemetry").value(r.telemetry);
+  if (r.telemetry) {
+    json.key("latency_log2_hist");
+    emit_log2_hist(json, r.latency_log2_hist);
+    json.key("queue_log2_hist");
+    emit_log2_hist(json, r.queue_log2_hist);
+    json.key("network_log2_hist");
+    emit_log2_hist(json, r.network_log2_hist);
+    json.key("latency_log2_per_vl").begin_array();
+    for (const Log2Histogram& h : r.latency_log2_per_vl) {
+      emit_log2_hist(json, h);
+    }
+    json.end_array();
+    json.key("link_summary");
+    emit_link_summary(json, r.link_summary);
+  }
+}
+
+void emit_point_manifest(JsonWriter& json, const PointManifest& m) {
+  json.begin_object();
+  json.key("sim_seed").value(m.sim_seed);
+  json.key("traffic_seed").value(m.traffic_seed);
+  json.key("wall_seconds").value(m.wall_seconds);
+  json.key("events_processed").value(m.events_processed);
+  json.key("events_per_sec").value(m.events_per_sec);
+  json.end_object();
+}
+
+void emit_burst_result_fields(JsonWriter& json, const BurstResult& r) {
+  json.key("makespan_ns").value(static_cast<std::int64_t>(r.makespan_ns));
+  json.key("avg_message_latency_ns").value(r.avg_message_latency_ns);
+  json.key("max_message_latency_ns").value(r.max_message_latency_ns);
+  json.key("messages").value(r.messages);
+  json.key("packets").value(r.packets);
+  json.key("total_bytes").value(r.total_bytes);
+  json.key("events_processed").value(r.events_processed);
+  json.key("aggregate_bytes_per_ns").value(r.aggregate_bytes_per_ns());
+  json.key("telemetry").value(r.telemetry);
+  if (r.telemetry) {
+    json.key("p50_message_latency_ns").value(r.p50_message_latency_ns);
+    json.key("p95_message_latency_ns").value(r.p95_message_latency_ns);
+    json.key("p99_message_latency_ns").value(r.p99_message_latency_ns);
+    json.key("message_latency_hist");
+    emit_log2_hist(json, r.message_latency_hist);
+    json.key("link_summary");
+    emit_link_summary(json, r.link_summary);
+  }
+}
+
+void emit_figure(JsonWriter& json, const FigureSpec& spec,
+                 const std::vector<SweepPoint>& points) {
+  json.begin_object();
+  json.key("title").value(spec.title);
+  json.key("m").value(spec.m);
+  json.key("n").value(spec.n);
+  json.key("traffic").value(to_string(spec.traffic.kind));
+  json.key("points").begin_array();
+  for (const SweepPoint& point : points) {
+    json.begin_object();
+    json.key("scheme").value(to_string(point.scheme));
+    json.key("vls").value(point.vls);
+    json.key("load").value(point.load);
+    emit_sim_result_fields(json, point.result);
+    json.key("manifest");
+    emit_point_manifest(json, point.manifest);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
 }
 
 }  // namespace
@@ -182,13 +283,7 @@ std::string to_json(const SimResult& result) {
 std::string to_json(const BurstResult& result) {
   JsonWriter json;
   json.begin_object();
-  json.key("makespan_ns").value(static_cast<std::int64_t>(result.makespan_ns));
-  json.key("avg_message_latency_ns").value(result.avg_message_latency_ns);
-  json.key("max_message_latency_ns").value(result.max_message_latency_ns);
-  json.key("messages").value(result.messages);
-  json.key("packets").value(result.packets);
-  json.key("total_bytes").value(result.total_bytes);
-  json.key("aggregate_bytes_per_ns").value(result.aggregate_bytes_per_ns());
+  emit_burst_result_fields(json, result);
   json.end_object();
   return json.str();
 }
@@ -196,23 +291,112 @@ std::string to_json(const BurstResult& result) {
 std::string to_json(const FigureSpec& spec,
                     const std::vector<SweepPoint>& points) {
   JsonWriter json;
+  emit_figure(json, spec, points);
+  return json.str();
+}
+
+std::string git_describe() {
+#ifdef MLID_GIT_DESCRIBE
+  return MLID_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+std::string bench_name_from_path(std::string_view argv0) {
+  const auto slash = argv0.find_last_of("/\\");
+  if (slash != std::string_view::npos) argv0.remove_prefix(slash + 1);
+  return std::string(argv0);
+}
+
+BenchReport::BenchReport(std::string name, std::uint64_t seed,
+                         unsigned threads, bool quick)
+    : name_(std::move(name)),
+      seed_(seed),
+      threads_(threads),
+      quick_(quick),
+      started_(std::chrono::steady_clock::now()) {
+  MLID_EXPECT(!name_.empty(), "bench report needs a name");
+}
+
+BenchReport::BenchReport(std::string name, const CliOptions& opts)
+    : BenchReport(std::move(name), opts.seed(), opts.threads(),
+                  opts.quick()) {}
+
+void BenchReport::add(std::string_view series, const SimResult& result) {
+  results_.push_back(SimEntry{std::string(series), result});
+}
+
+void BenchReport::add(std::string_view series, const BurstResult& result) {
+  bursts_.push_back(BurstEntry{std::string(series), result});
+}
+
+void BenchReport::add_figure(const FigureSpec& spec,
+                             const std::vector<SweepPoint>& points) {
+  figures_.push_back(FigureEntry{spec, points});
+}
+
+std::string BenchReport::file_name() const {
+  return "BENCH_" + name_ + ".json";
+}
+
+std::string BenchReport::to_json() const {
+  std::uint64_t events = 0;
+  for (const SimEntry& e : results_) events += e.result.events_processed;
+  for (const BurstEntry& e : bursts_) events += e.result.events_processed;
+  for (const FigureEntry& f : figures_) {
+    for (const SweepPoint& p : f.points) events += p.result.events_processed;
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_)
+          .count();
+
+  JsonWriter json;
   json.begin_object();
-  json.key("title").value(spec.title);
-  json.key("m").value(spec.m);
-  json.key("n").value(spec.n);
-  json.key("traffic").value(to_string(spec.traffic.kind));
-  json.key("points").begin_array();
-  for (const SweepPoint& point : points) {
+  json.key("schema").value("mlid-bench-v1");
+  json.key("name").value(name_);
+  json.key("manifest").begin_object();
+  json.key("git").value(git_describe());
+  json.key("seed").value(seed_);
+  json.key("threads").value(static_cast<std::uint64_t>(threads_));
+  json.key("quick").value(quick_);
+  json.key("wall_seconds").value(wall);
+  json.key("events_processed").value(events);
+  json.key("events_per_sec")
+      .value(wall > 0.0 ? static_cast<double>(events) / wall : 0.0);
+  json.end_object();
+  json.key("results").begin_array();
+  for (const SimEntry& e : results_) {
     json.begin_object();
-    json.key("scheme").value(to_string(point.scheme));
-    json.key("vls").value(point.vls);
-    json.key("load").value(point.load);
-    emit_sim_result_fields(json, point.result);
+    json.key("series").value(e.series);
+    emit_sim_result_fields(json, e.result);
     json.end_object();
   }
   json.end_array();
+  json.key("bursts").begin_array();
+  for (const BurstEntry& e : bursts_) {
+    json.begin_object();
+    json.key("series").value(e.series);
+    emit_burst_result_fields(json, e.result);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("figures").begin_array();
+  for (const FigureEntry& f : figures_) emit_figure(json, f.spec, f.points);
+  json.end_array();
   json.end_object();
   return json.str();
+}
+
+std::string BenchReport::write(const std::string& dir) const {
+  const std::string path =
+      dir.empty() || dir == "." ? file_name() : dir + "/" + file_name();
+  std::ofstream out(path, std::ios::trunc);
+  MLID_EXPECT(out.good(), "cannot open bench report file for writing");
+  out << to_json() << "\n";
+  MLID_EXPECT(out.good(), "bench report write failed");
+  return path;
 }
 
 }  // namespace mlid

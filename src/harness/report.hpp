@@ -3,11 +3,14 @@
 // downstream tooling can plot without scraping the console tables.
 #pragma once
 
+#include <chrono>
 #include <string>
 
 #include "harness/sweep.hpp"
 
 namespace mlid {
+
+class CliOptions;
 
 /// Minimal JSON value builder sufficient for flat result records: objects,
 /// arrays, numbers, strings, booleans.  Output is deterministic (insertion
@@ -49,8 +52,66 @@ std::string to_json(const SimResult& result);
 std::string to_json(const BurstResult& result);
 
 /// A whole figure sweep: {"title": ..., "points": [...]} with the series
-/// key (scheme, vls, load) embedded in every point.
+/// key (scheme, vls, load) and its reproducibility manifest embedded in
+/// every point.
 std::string to_json(const FigureSpec& spec,
                     const std::vector<SweepPoint>& points);
+
+/// The build's `git describe` string, baked in at configure time
+/// (MLID_GIT_DESCRIBE); "unknown" when the build did not come from a
+/// checkout.
+[[nodiscard]] std::string git_describe();
+
+/// Bench name from its argv[0]: the basename, directories stripped.
+[[nodiscard]] std::string bench_name_from_path(std::string_view argv0);
+
+/// Collects everything one bench binary produced -- standalone results,
+/// burst results, whole figure sweeps -- and writes them as a single
+/// `BENCH_<name>.json` (schema "mlid-bench-v1") whose manifest records the
+/// configuration (seed, threads, quick), the build (git describe) and the
+/// host cost (wall seconds, events processed, events/sec).  Every bench
+/// executable emits one of these so runs are diffable across machines and
+/// commits.
+class BenchReport {
+ public:
+  BenchReport(std::string name, std::uint64_t seed, unsigned threads,
+              bool quick);
+  /// Convenience: pull seed / threads / quick from parsed CLI flags.
+  BenchReport(std::string name, const CliOptions& opts);
+
+  void add(std::string_view series, const SimResult& result);
+  void add(std::string_view series, const BurstResult& result);
+  void add_figure(const FigureSpec& spec,
+                  const std::vector<SweepPoint>& points);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::string file_name() const;  ///< "BENCH_<name>.json"
+  [[nodiscard]] std::string to_json() const;
+  /// Writes file_name() under `dir`; returns the path written.
+  std::string write(const std::string& dir = ".") const;
+
+ private:
+  struct SimEntry {
+    std::string series;
+    SimResult result;
+  };
+  struct BurstEntry {
+    std::string series;
+    BurstResult result;
+  };
+  struct FigureEntry {
+    FigureSpec spec;
+    std::vector<SweepPoint> points;
+  };
+
+  std::string name_;
+  std::uint64_t seed_;
+  unsigned threads_;
+  bool quick_;
+  std::chrono::steady_clock::time_point started_;
+  std::vector<SimEntry> results_;
+  std::vector<BurstEntry> bursts_;
+  std::vector<FigureEntry> figures_;
+};
 
 }  // namespace mlid

@@ -1,13 +1,45 @@
 #include "harness/sweep.hpp"
 
 #include <atomic>
+#include <bit>
+#include <chrono>
 #include <map>
 #include <sstream>
 #include <thread>
 
+#include "common/rng.hpp"
 #include "common/text_table.hpp"
 
 namespace mlid {
+
+namespace {
+
+// Feed each coordinate through a full SplitMix64 finalization so nearby
+// grid points (vls 2 vs 4, load 0.40 vs 0.50) land in unrelated streams.
+std::uint64_t mix_word(std::uint64_t h, std::uint64_t word) {
+  return SplitMix64(h ^ word).next();
+}
+
+// Domain separator between the simulation and traffic stream families.
+constexpr std::uint64_t kTrafficSeedDomain = 0x5EEDFACE5EEDFACEull;
+
+}  // namespace
+
+std::uint64_t sweep_point_seed(std::uint64_t base, SchemeKind scheme, int vls,
+                               double load) {
+  std::uint64_t h = SplitMix64(base).next();
+  h = mix_word(h, static_cast<std::uint64_t>(scheme));
+  h = mix_word(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(vls)));
+  h = mix_word(h, std::bit_cast<std::uint64_t>(load));
+  return h;
+}
+
+std::uint64_t sweep_traffic_seed(std::uint64_t base, int vls, double load) {
+  std::uint64_t h = SplitMix64(base ^ kTrafficSeedDomain).next();
+  h = mix_word(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(vls)));
+  h = mix_word(h, std::bit_cast<std::uint64_t>(load));
+  return h;
+}
 
 std::vector<SweepPoint> run_figure(const FigureSpec& spec, unsigned threads) {
   const FatTreeParams params(spec.m, spec.n);
@@ -30,7 +62,7 @@ std::vector<SweepPoint> run_figure(const FigureSpec& spec, unsigned threads) {
   for (std::size_t s = 0; s < spec.schemes.size(); ++s) {
     for (const int vls : spec.vl_counts) {
       for (const double load : spec.loads) {
-        jobs.push_back(Job{s, SweepPoint{spec.schemes[s], vls, load, {}}});
+        jobs.push_back(Job{s, SweepPoint{spec.schemes[s], vls, load, {}, {}}});
       }
     }
   }
@@ -48,13 +80,29 @@ std::vector<SweepPoint> run_figure(const FigureSpec& spec, unsigned threads) {
       SimConfig cfg = spec.sim;
       cfg.num_vls = job.point.vls;
       // Decorrelate the RNG streams across grid points while keeping each
-      // point reproducible in isolation.
-      cfg.seed = spec.sim.seed * 1000003u + i;
+      // point reproducible in isolation; the hash depends only on the
+      // point's own coordinates, never on the grid shape or job index.
+      cfg.seed = sweep_point_seed(spec.sim.seed, job.point.scheme,
+                                  job.point.vls, job.point.load);
       TrafficConfig traffic = spec.traffic;
-      traffic.seed = spec.traffic.seed * 1000033u + i;
+      traffic.seed = sweep_traffic_seed(spec.traffic.seed, job.point.vls,
+                                        job.point.load);
+      const auto start = std::chrono::steady_clock::now();
       Simulation sim(*subnets[job.subnet_index], cfg, traffic,
                      job.point.load);
       job.point.result = sim.run();
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      job.point.manifest.sim_seed = cfg.seed;
+      job.point.manifest.traffic_seed = traffic.seed;
+      job.point.manifest.wall_seconds = wall;
+      job.point.manifest.events_processed = job.point.result.events_processed;
+      job.point.manifest.events_per_sec =
+          wall > 0.0
+              ? static_cast<double>(job.point.result.events_processed) / wall
+              : 0.0;
     }
   };
   if (threads <= 1) {
@@ -121,6 +169,7 @@ Replication replicate(const Subnet& subnet, const SimConfig& cfg,
     run_traffic.seed = traffic.seed + static_cast<std::uint64_t>(i) * 104729u;
     Simulation sim(subnet, run_cfg, run_traffic, offered_load);
     const SimResult r = sim.run();
+    if (rep.runs == 0) rep.first = r;
     rep.accepted.add(r.accepted_bytes_per_ns_per_node);
     rep.avg_latency.add(r.avg_latency_ns);
     ++rep.runs;

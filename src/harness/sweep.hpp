@@ -25,13 +25,42 @@ struct FigureSpec {
   }
 };
 
+/// Reproducibility + host-performance record attached to every sweep
+/// sample: exactly which seeds produced it and what it cost to compute.
+struct PointManifest {
+  std::uint64_t sim_seed = 0;
+  std::uint64_t traffic_seed = 0;
+  double wall_seconds = 0.0;          ///< host time for this one simulation
+  std::uint64_t events_processed = 0;
+  double events_per_sec = 0.0;
+};
+
 /// One sweep sample: the series key plus the simulation outcome.
 struct SweepPoint {
   SchemeKind scheme = SchemeKind::kSlid;
   int vls = 1;
   double load = 0.0;
   SimResult result;
+  PointManifest manifest;
 };
+
+/// Per-point seed derivation: a SplitMix64 hash chain over the base seed
+/// and the point's own coordinates (scheme, VL count, load bits).  Unlike
+/// the old `base * K + job_index` scheme it does not depend on the grid
+/// shape -- adding a load to the sweep leaves every other point's seed (and
+/// therefore its results) unchanged -- and a base seed of 0 still yields
+/// decorrelated streams instead of collapsing to the bare index.
+[[nodiscard]] std::uint64_t sweep_point_seed(std::uint64_t base,
+                                             SchemeKind scheme, int vls,
+                                             double load);
+
+/// Traffic-stream seed for a grid point.  Deliberately *scheme-independent*
+/// (and domain-separated from the simulation streams): both routing schemes
+/// at the same (vls, load) point face the bit-identical workload instance
+/// -- same hot destinations, same arrival draws -- so their comparison
+/// measures routing, not traffic luck.
+[[nodiscard]] std::uint64_t sweep_traffic_seed(std::uint64_t base, int vls,
+                                               double load);
 
 /// Run the whole grid.  Independent simulations are distributed over
 /// `threads` worker threads (0 = hardware concurrency); results come back
@@ -55,6 +84,7 @@ double find_saturation_load(const Subnet& subnet, const SimConfig& cfg,
 struct Replication {
   OnlineStats accepted;     ///< bytes/ns/node
   OnlineStats avg_latency;  ///< ns
+  SimResult first;          ///< full result of the first replication
   int runs = 0;
 };
 

@@ -60,6 +60,13 @@ struct SimConfig {
   SimTime measure_ns = 80'000;
   std::uint64_t seed = 1;
 
+  /// Collect the extended telemetry (log2 latency histograms, per-link and
+  /// per-VL counters, LinkSummary).  Pure observability: it adds counter
+  /// increments to the hot path but never schedules events or draws random
+  /// numbers, so turning it off changes nothing except leaving SimResult's
+  /// telemetry block empty (asserted by sim/telemetry_test.cpp).
+  bool telemetry = true;
+
   /// Record full event timelines for the first N generated packets
   /// (0 = tracing off; see Simulation::traces()).
   std::uint32_t trace_packets = 0;

@@ -109,6 +109,11 @@ Simulation::Simulation(const Subnet& subnet, SimConfig config,
   latency_per_vl_.assign(static_cast<std::size_t>(cfg_.num_vls),
                          OnlineStats{});
   bytes_per_node_.assign(num_nodes, 0);
+  result_.telemetry = cfg_.telemetry;
+  if (cfg_.telemetry) {
+    result_.latency_log2_per_vl.assign(static_cast<std::size_t>(cfg_.num_vls),
+                                       Log2Histogram{});
+  }
 
   // Up-port ranges for the adaptive what-if mode: on both tree families the
   // up ports of a non-root switch are the contiguous physical range
@@ -301,6 +306,10 @@ void Simulation::kill_port(DeviceId dev, PortId port, SimTime now) {
   DeviceState& state = devices_[dev];
   for (int vl = 0; vl < cfg_.num_vls; ++vl) {
     VlOut& slot = out.vls[static_cast<std::size_t>(vl)];
+    if (slot.stall_since >= 0) {  // the stall ends with the link
+      slot.credit_stall_ns += now - slot.stall_since;
+      slot.stall_since = -1;
+    }
     // A head already on the wire keeps its events: it is judged at head
     // arrival on the (now dead) far side, and its tail-out still frees this
     // slot.  Everything queued behind it is lost with the link.
@@ -412,7 +421,21 @@ void Simulation::try_tx(DeviceId dev, PortId port, SimTime now) {
     chosen = out.wrr_vl;
     out.wrr_budget = weight_of(chosen);
   }
-  if (chosen < 0) return;  // re-armed by credit arrival / new grant
+  if (chosen < 0) {
+    // Nothing eligible on an idle link: any VL whose head is blocked purely
+    // on downstream credits starts (or continues) a credit-stall interval,
+    // closed when the credit arrives (kCreditArrive) or the link dies.
+    if (cfg_.telemetry) {
+      for (int vl = 0; vl < vls; ++vl) {
+        VlOut& cand = out.vls[static_cast<std::size_t>(vl)];
+        if (!cand.queue.empty() && !cand.head_started && cand.credits == 0 &&
+            cand.stall_since < 0) {
+          cand.stall_since = now;
+        }
+      }
+    }
+    return;  // re-armed by credit arrival / new grant
+  }
   if (chosen != out.wrr_vl) {
     out.wrr_vl = chosen;
     out.wrr_budget = weight_of(chosen);
@@ -426,6 +449,10 @@ void Simulation::try_tx(DeviceId dev, PortId port, SimTime now) {
   accumulate_utilization(out, now, now + wire);
   out.busy_until = now + wire;
   ++out.packets_tx;
+  if (cfg_.telemetry) {
+    ++slot.pkts_tx;
+    slot.bytes_tx += pool_[pkt].size_bytes;
+  }
   const bool from_endnode =
       subnet_->fabric().fabric().device(dev).kind() == DeviceKind::kEndnode;
   if (from_endnode) {
@@ -550,6 +577,7 @@ void Simulation::on_routed(DeviceId dev, PortId port, VlId vl, PacketId pkt,
                   static_cast<std::size_t>(cfg_.num_vls) +
               vl]
         .push_back(pkt);
+    if (cfg_.telemetry) note_queue_depth(dev, out, vl);
   }
 }
 
@@ -560,7 +588,19 @@ void Simulation::grant_output(DeviceId dev, PortId out, VlId vl, PacketId pkt,
   --slot.free_slots;
   slot.queue.push_back(pkt);
   rt_[pkt].out_port = out;
+  if (cfg_.telemetry) note_queue_depth(dev, out, vl);
   try_tx(dev, out, now);
+}
+
+void Simulation::note_queue_depth(DeviceId dev, PortId out, VlId vl) {
+  VlOut& slot = devices_[dev].out[out].vls[vl];
+  const auto& waitq =
+      devices_[dev].wait[static_cast<std::size_t>(out) *
+                             static_cast<std::size_t>(cfg_.num_vls) +
+                         static_cast<std::size_t>(vl)];
+  const auto depth =
+      static_cast<std::uint32_t>(slot.queue.size() + waitq.size());
+  slot.peak_queue_pkts = std::max(slot.peak_queue_pkts, depth);
 }
 
 void Simulation::return_credit_upstream(DeviceId dev, PortId in_port, VlId vl,
@@ -628,6 +668,13 @@ void Simulation::on_deliver(DeviceId dev, PortId port, VlId vl, PacketId pkt,
     latency_hist_.add(lat);
     net_latency_window_.add(static_cast<double>(now - p.injected_at));
     hops_window_.add(static_cast<double>(p.hops));
+    if (cfg_.telemetry) {
+      result_.latency_log2_hist.add(lat);
+      result_.queue_log2_hist.add(
+          static_cast<double>(p.injected_at - p.generated_at));
+      result_.network_log2_hist.add(static_cast<double>(now - p.injected_at));
+      result_.latency_log2_per_vl[vl].add(lat);
+    }
   }
   if (p.msg != kNoMessage) {
     MsgState& msg = msgs_[p.msg];
@@ -635,6 +682,7 @@ void Simulation::on_deliver(DeviceId dev, PortId port, VlId vl, PacketId pkt,
     if (--msg.remaining_segments == 0) {
       msg.completed_at = now;
       msg_latency_.add(static_cast<double>(now));  // all bursts start at 0
+      if (cfg_.telemetry) msg_latency_hist_.add(static_cast<double>(now));
     }
   }
   last_delivery_ = std::max(last_delivery_, now);
@@ -689,6 +737,10 @@ void Simulation::dispatch(const Event& e) {
       OutPort& out = devices_[e.dev].out[e.port];
       if (!out.connected) break;  // credit for a dead port: void
       VlOut& slot = out.vls[e.vl];
+      if (slot.stall_since >= 0) {
+        slot.credit_stall_ns += e.time - slot.stall_since;
+        slot.stall_since = -1;
+      }
       if (slot.credits < cfg_.in_buf_pkts) {
         ++slot.credits;
       } else {
@@ -753,7 +805,88 @@ BurstResult Simulation::run_to_completion() {
   burst.packets = burst_packets_;
   burst.total_bytes = burst_bytes_;
   burst.events_processed = events_.events_processed();
+  if (cfg_.telemetry) {
+    burst.telemetry = true;
+    burst.p50_message_latency_ns = msg_latency_hist_.quantile(0.50);
+    burst.p95_message_latency_ns = msg_latency_hist_.quantile(0.95);
+    burst.p99_message_latency_ns = msg_latency_hist_.quantile(0.99);
+    burst.message_latency_hist = msg_latency_hist_;
+    burst.link_summary = finish_link_telemetry(
+        last_delivery_, std::max<SimTime>(last_delivery_, 1));
+  }
   return burst;
+}
+
+LinkSummary Simulation::finish_link_telemetry(SimTime end, SimTime window_ns) {
+  LinkSummary summary;
+  if (!cfg_.telemetry) return summary;
+  const Fabric& g = subnet_->fabric().fabric();
+  OnlineStats util;
+  for (DeviceId dev = 0; dev < g.num_devices(); ++dev) {
+    for (PortId port = 1; port <= g.device(dev).num_ports(); ++port) {
+      OutPort& out = devices_[dev].out[port];
+      if (!out.connected) continue;
+      ++summary.links;
+      util.add(static_cast<double>(out.busy_in_window) /
+               static_cast<double>(window_ns));
+      for (VlOut& slot : out.vls) {
+        if (slot.stall_since >= 0) {  // still blocked when the run ended
+          slot.credit_stall_ns += end - slot.stall_since;
+          slot.stall_since = -1;
+        }
+        summary.total_packets += slot.pkts_tx;
+        summary.total_bytes += slot.bytes_tx;
+        summary.total_credit_stall_ns +=
+            static_cast<std::uint64_t>(slot.credit_stall_ns);
+        summary.max_credit_stall_ns =
+            std::max(summary.max_credit_stall_ns,
+                     static_cast<std::uint64_t>(slot.credit_stall_ns));
+        summary.max_queue_depth_pkts =
+            std::max(summary.max_queue_depth_pkts, slot.peak_queue_pkts);
+      }
+    }
+  }
+  summary.mean_utilization = util.mean();
+  summary.max_utilization = util.max();
+  return summary;
+}
+
+std::vector<LinkStats> Simulation::link_stats() const {
+  MLID_EXPECT(cfg_.telemetry,
+              "link_stats() needs SimConfig::telemetry enabled");
+  // Utilization is relative to the same window finish_link_telemetry used:
+  // the measurement window in open-loop mode, the makespan for bursts.
+  const auto window = static_cast<double>(
+      burst_ ? std::max<SimTime>(last_delivery_, 1) : cfg_.measure_ns);
+  std::vector<LinkStats> stats;
+  const Fabric& g = subnet_->fabric().fabric();
+  for (DeviceId dev = 0; dev < g.num_devices(); ++dev) {
+    for (PortId port = 1; port <= g.device(dev).num_ports(); ++port) {
+      const OutPort& out = devices_[dev].out[port];
+      if (!out.connected) continue;
+      LinkStats link;
+      link.dev = dev;
+      link.port = port;
+      link.busy_ns = out.busy_in_window;
+      link.utilization = static_cast<double>(out.busy_in_window) / window;
+      link.vls.reserve(out.vls.size());
+      for (const VlOut& slot : out.vls) {
+        VlLinkStats vl;
+        vl.packets_tx = slot.pkts_tx;
+        vl.bytes_tx = slot.bytes_tx;
+        vl.credit_stall_ns = slot.credit_stall_ns;
+        vl.peak_queue_pkts = slot.peak_queue_pkts;
+        link.packets_tx += vl.packets_tx;
+        link.bytes_tx += vl.bytes_tx;
+        link.credit_stall_ns += vl.credit_stall_ns;
+        link.peak_queue_pkts =
+            std::max(link.peak_queue_pkts, vl.peak_queue_pkts);
+        link.vls.push_back(vl);
+      }
+      stats.push_back(std::move(link));
+    }
+  }
+  return stats;
 }
 
 void Simulation::check_invariants() const {
@@ -798,6 +931,7 @@ SimResult Simulation::run() {
   result_.avg_latency_ns = latency_window_.mean();
   result_.avg_network_latency_ns = net_latency_window_.mean();
   result_.p50_latency_ns = latency_hist_.quantile(0.50);
+  result_.p95_latency_ns = latency_hist_.quantile(0.95);
   result_.p99_latency_ns = latency_hist_.quantile(0.99);
   result_.max_latency_ns = latency_window_.max();
   result_.avg_hops = hops_window_.mean();
@@ -812,6 +946,7 @@ SimResult Simulation::run() {
   }
   result_.mean_link_utilization = util.mean();
   result_.max_link_utilization = util.max();
+  result_.link_summary = finish_link_telemetry(end, cfg_.measure_ns);
 
   result_.delivered_per_vl = delivered_per_vl_;
   result_.avg_latency_per_vl_ns.clear();

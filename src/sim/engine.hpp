@@ -73,6 +73,11 @@ class Simulation {
   /// deterministic (device, port) order.  Valid after run().
   [[nodiscard]] std::vector<LinkLoad> link_loads() const;
 
+  /// Full per-link / per-VL telemetry (bytes, busy time, credit stalls,
+  /// peak queue depths), in deterministic (device, port) order.  Requires
+  /// SimConfig::telemetry; valid after run() / run_to_completion().
+  [[nodiscard]] std::vector<LinkStats> link_stats() const;
+
   /// Token-conservation self-check: every output slot/credit counter must
   /// still balance against its capacity.  Throws ContractViolation on the
   /// first violation; run() calls it automatically before returning.
@@ -85,6 +90,12 @@ class Simulation {
     int free_slots = 0;
     int credits = 0;             ///< downstream input slots available
     bool head_started = false;   ///< head packet is on the wire
+    // Telemetry counters (only touched when cfg_.telemetry is on).
+    std::uint64_t pkts_tx = 0;
+    std::uint64_t bytes_tx = 0;
+    SimTime stall_since = -1;       ///< head blocked on credits since (-1 = no)
+    SimTime credit_stall_ns = 0;    ///< accumulated credit-blocked idle time
+    std::uint32_t peak_queue_pkts = 0;
   };
   struct OutPort {
     std::vector<VlOut> vls;
@@ -166,6 +177,11 @@ class Simulation {
                    PortId port, VlId vl);
   [[nodiscard]] VlId assign_vl(NodeId src, NodeId dst);
   void accumulate_utilization(OutPort& port, SimTime start, SimTime end);
+  /// Closes open credit-stall intervals at `end` and rolls the per-link /
+  /// per-VL counters up into a LinkSummary (utilization is busy time over
+  /// `window_ns`).  No-op without cfg_.telemetry.
+  LinkSummary finish_link_telemetry(SimTime end, SimTime window_ns);
+  void note_queue_depth(DeviceId dev, PortId out, VlId vl);
 
   // --- wiring -------------------------------------------------------------------
   const Subnet* subnet_;
@@ -201,6 +217,7 @@ class Simulation {
   bool burst_ = false;
   std::vector<MsgState> msgs_;
   OnlineStats msg_latency_;
+  Log2Histogram msg_latency_hist_;
   SimTime last_delivery_ = 0;
   std::uint64_t burst_packets_ = 0;
   std::uint64_t burst_bytes_ = 0;

@@ -1,13 +1,122 @@
-// Simulation results: the quantities the paper plots plus diagnostics.
+// Simulation results: the quantities the paper plots plus diagnostics, and
+// the observability-layer types (log2 latency histograms, link summaries)
+// every run exports alongside them.
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
+#include "common/expect.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
 namespace mlid {
+
+/// Fixed-bucket base-2 logarithmic histogram for latency-style quantities
+/// (nanoseconds).  Bucket 0 counts values in [0, 1); bucket i >= 1 counts
+/// [2^(i-1), 2^i); the top bucket absorbs everything at or above its lower
+/// edge.  The layout is identical for every instance, so histograms from
+/// different runs, schemes or VLs merge by element-wise addition -- unlike
+/// a range-fitted linear histogram, no rebinning is ever needed.
+class Log2Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 48;  // 2^46 ns ~ 19.5 hours
+
+  /// Bucket index a value lands in (negatives and NaN clamp to bucket 0).
+  [[nodiscard]] static std::size_t bucket_of(double x) noexcept {
+    if (!(x >= 1.0)) return 0;
+    if (x >= 0x1p63) return kBuckets - 1;
+    const auto v = static_cast<std::uint64_t>(x);
+    return std::min<std::size_t>(std::bit_width(v), kBuckets - 1);
+  }
+
+  /// Inclusive lower edge of bucket `i` (0, 1, 2, 4, 8, ...).
+  [[nodiscard]] static double bucket_lo(std::size_t i) noexcept {
+    return i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+  }
+
+  /// Exclusive upper edge of bucket `i` (1, 2, 4, 8, ...).
+  [[nodiscard]] static double bucket_hi(std::size_t i) noexcept {
+    return std::ldexp(1.0, static_cast<int>(i));
+  }
+
+  void add(double x) noexcept {
+    ++counts_[bucket_of(x)];
+    ++total_;
+  }
+
+  void merge(const Log2Histogram& other) noexcept {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& counts()
+      const noexcept {
+    return counts_;
+  }
+
+  /// Index just past the last non-empty bucket (0 when empty) -- lets
+  /// exporters trim the long zero tail.
+  [[nodiscard]] std::size_t trimmed_size() const noexcept {
+    std::size_t n = kBuckets;
+    while (n > 0 && counts_[n - 1] == 0) --n;
+    return n;
+  }
+
+  /// Approximate quantile (q in [0, 1]) assuming uniform density per
+  /// bucket.  Resolution is the bucket width, i.e. a factor of two -- fine
+  /// for tail shape, not for tight percentile deltas (SimResult's p50/p95/
+  /// p99 come from a fine-grained linear histogram instead).
+  [[nodiscard]] double quantile(double q) const {
+    MLID_EXPECT(q >= 0.0 && q <= 1.0, "quantile out of range");
+    if (total_ == 0) return 0.0;
+    const auto target =
+        static_cast<std::uint64_t>(q * static_cast<double>(total_));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      if (seen + counts_[i] > target) {
+        const double frac = counts_[i]
+                                ? static_cast<double>(target - seen) /
+                                      static_cast<double>(counts_[i])
+                                : 0.0;
+        return bucket_lo(i) + frac * (bucket_hi(i) - bucket_lo(i));
+      }
+      seen += counts_[i];
+    }
+    return bucket_hi(kBuckets - 1);
+  }
+
+  friend bool operator==(const Log2Histogram&,
+                         const Log2Histogram&) = default;
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+/// Aggregate per-link telemetry for one run: the roll-up of the per-link /
+/// per-VL counters (Simulation::link_stats()) that is cheap enough to ship
+/// with every SweepPoint.  Only populated when SimConfig::telemetry is on.
+struct LinkSummary {
+  std::uint64_t links = 0;            ///< connected directed links at run end
+  std::uint64_t total_packets = 0;    ///< whole run, all links
+  std::uint64_t total_bytes = 0;      ///< whole run, all links
+  double mean_utilization = 0.0;      ///< busy fraction, measurement window
+  double max_utilization = 0.0;
+  /// Total / worst time any (link, VL) head sat blocked on zero downstream
+  /// credits while the link itself was idle -- the credit-loop bubble.
+  std::uint64_t total_credit_stall_ns = 0;
+  std::uint64_t max_credit_stall_ns = 0;
+  /// Deepest per-(link, VL) output backlog (granted queue + crossbar
+  /// waiters) seen anywhere in the fabric.
+  std::uint32_t max_queue_depth_pkts = 0;
+};
 
 struct SimResult {
   // --- the paper's axes ------------------------------------------------------
@@ -21,6 +130,7 @@ struct SimResult {
   // --- additional latency detail --------------------------------------------
   double avg_network_latency_ns = 0.0;  ///< injection -> delivery
   double p50_latency_ns = 0.0;
+  double p95_latency_ns = 0.0;
   double p99_latency_ns = 0.0;
   double max_latency_ns = 0.0;
 
@@ -61,6 +171,19 @@ struct SimResult {
   double jain_fairness_index = 0.0;
   double min_node_accepted_bytes_per_ns = 0.0;
   double max_node_accepted_bytes_per_ns = 0.0;
+
+  // --- telemetry (populated only when SimConfig::telemetry is on) ------------
+  // Turning telemetry off zeroes this block and nothing else: the engine
+  // asserts (sim/telemetry_test.cpp) that every field above is
+  // bit-identical with telemetry on and off.
+  bool telemetry = false;
+  Log2Histogram latency_log2_hist;  ///< generation -> delivery, window
+  Log2Histogram queue_log2_hist;    ///< generation -> injection (source queue)
+  Log2Histogram network_log2_hist;  ///< injection -> delivery (in-network)
+  /// Generation -> delivery per virtual lane; merging all lanes reproduces
+  /// latency_log2_hist exactly.
+  std::vector<Log2Histogram> latency_log2_per_vl;
+  LinkSummary link_summary;
 
   // --- live SM timeline (populated only when a SubnetManager is attached) ----
   SimTime first_fault_ns = -1;    ///< first link failure event (-1 = none)

@@ -48,4 +48,31 @@ struct LinkLoad {
   double busy_fraction = 0.0;  ///< of the measurement window
 };
 
+/// Per-VL slice of one directed link's telemetry counters (whole run).
+struct VlLinkStats {
+  std::uint64_t packets_tx = 0;
+  std::uint64_t bytes_tx = 0;
+  /// Time this VL's head packet sat ready on an idle link with zero
+  /// downstream credits -- the link-level flow-control bubble.
+  SimTime credit_stall_ns = 0;
+  /// Deepest output backlog (granted queue + crossbar waiters) seen.
+  std::uint32_t peak_queue_pkts = 0;
+};
+
+/// Full telemetry for one directed link: LinkLoad's counters extended with
+/// bytes, busy time, credit stalls and queue depths, plus the per-VL
+/// breakdown.  Collected only when SimConfig::telemetry is on; exported by
+/// Simulation::link_stats() in deterministic (device, port) order.
+struct LinkStats {
+  DeviceId dev = kInvalidDevice;
+  PortId port = 0;
+  std::uint64_t packets_tx = 0;
+  std::uint64_t bytes_tx = 0;
+  SimTime busy_ns = 0;         ///< inside the measurement window
+  double utilization = 0.0;    ///< busy_ns / measurement window
+  SimTime credit_stall_ns = 0;          ///< sum over VLs
+  std::uint32_t peak_queue_pkts = 0;    ///< max over VLs
+  std::vector<VlLinkStats> vls;
+};
+
 }  // namespace mlid

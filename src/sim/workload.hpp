@@ -12,6 +12,7 @@
 #include "common/expect.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "sim/metrics.hpp"
 
 namespace mlid {
 
@@ -31,6 +32,17 @@ struct BurstResult {
   std::uint64_t packets = 0;
   std::uint64_t total_bytes = 0;
   std::uint64_t events_processed = 0;
+
+  // --- telemetry (populated only when SimConfig::telemetry is on) ------------
+  bool telemetry = false;
+  double p50_message_latency_ns = 0.0;
+  double p95_message_latency_ns = 0.0;
+  double p99_message_latency_ns = 0.0;
+  Log2Histogram message_latency_hist;  ///< completion time per message
+  /// Per-link roll-up over the burst; utilization is relative to the
+  /// makespan (not a measurement window, which bursts do not have).
+  LinkSummary link_summary;
+
   /// Aggregate goodput: total payload bytes / makespan.
   [[nodiscard]] double aggregate_bytes_per_ns() const noexcept {
     return makespan_ns > 0

@@ -89,5 +89,47 @@ TEST(Cli, NonQuickKeepsTheFullGrid) {
   EXPECT_EQ(spec.sim.measure_ns, 80'000);
 }
 
+// Malformed input must exit non-zero with a diagnostic, never be silently
+// coerced (--seed=abc used to parse as 0, --threads=4x as 4).
+using CliDeathTest = ::testing::Test;
+
+TEST(CliDeathTest, NonNumericValueIsRejected) {
+  EXPECT_EXIT(parse({"--seed=abc"}), ::testing::ExitedWithCode(2),
+              "--seed");
+}
+
+TEST(CliDeathTest, TrailingGarbageAfterNumberIsRejected) {
+  EXPECT_EXIT(parse({"--threads=4x"}), ::testing::ExitedWithCode(2),
+              "--threads");
+  EXPECT_EXIT(parse({"--fail-at-ns=12000ns"}), ::testing::ExitedWithCode(2),
+              "--fail-at-ns");
+}
+
+TEST(CliDeathTest, EmptyAndMissingValuesAreRejected) {
+  EXPECT_EXIT(parse({"--seed="}), ::testing::ExitedWithCode(2), "--seed");
+  EXPECT_EXIT(parse({"--fail-links"}), ::testing::ExitedWithCode(2),
+              "--fail-links");
+}
+
+TEST(CliDeathTest, OutOfRangeValueIsRejected) {
+  // One past UINT64_MAX.
+  EXPECT_EXIT(parse({"--seed=18446744073709551616"}),
+              ::testing::ExitedWithCode(2), "--seed");
+  // Negative where the flag's type is unsigned.
+  EXPECT_EXIT(parse({"--threads=-1"}), ::testing::ExitedWithCode(2),
+              "--threads");
+}
+
+TEST(CliDeathTest, UnknownFlagListsTheKnownOnes) {
+  EXPECT_EXIT(parse({"--quik"}), ::testing::ExitedWithCode(2),
+              "unknown flag '--quik'");
+  // The diagnostic must teach: it lists the flags that do exist.
+  EXPECT_EXIT(parse({"--bogus"}), ::testing::ExitedWithCode(2), "--seed=N");
+}
+
+TEST(CliDeathTest, HelpPrintsUsageAndExitsZero) {
+  EXPECT_EXIT(parse({"--help"}), ::testing::ExitedWithCode(0), "");
+}
+
 }  // namespace
 }  // namespace mlid

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 
 namespace mlid {
 namespace {
@@ -111,6 +114,78 @@ TEST(Report, FigureSweepSerializesEveryPoint) {
     ++count;
   }
   EXPECT_EQ(count, points.size());
+}
+
+TEST(Report, TelemetryFieldsSerializeWhenPresent) {
+  SimResult r;
+  r.telemetry = true;
+  r.latency_log2_hist.add(100.0);
+  r.latency_log2_per_vl.assign(2, Log2Histogram{});
+  r.latency_log2_per_vl[0].add(100.0);
+  r.link_summary.links = 3;
+  r.link_summary.max_queue_depth_pkts = 5;
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("\"telemetry\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_log2_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"link_summary\""), std::string::npos);
+  EXPECT_NE(json.find("\"max_queue_depth_pkts\":5"), std::string::npos);
+
+  SimResult off;
+  const std::string json_off = to_json(off);
+  EXPECT_NE(json_off.find("\"telemetry\":false"), std::string::npos);
+  EXPECT_EQ(json_off.find("\"latency_log2_hist\""), std::string::npos);
+}
+
+TEST(Report, BenchReportEmitsTheSchema) {
+  BenchReport report("unit_bench", /*seed=*/9, /*threads=*/2, /*quick=*/true);
+  SimResult r;
+  r.packets_measured = 10;
+  r.events_processed = 1000;
+  report.add("series-a", r);
+  BurstResult b;
+  b.makespan_ns = 5;
+  b.events_processed = 50;
+  report.add("burst-b", b);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"schema\":\"mlid-bench-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"unit_bench\""), std::string::npos);
+  EXPECT_NE(json.find("\"git\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"threads\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"quick\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_seconds\""), std::string::npos);
+  // Host cost aggregates across every recorded entry.
+  EXPECT_NE(json.find("\"events_processed\":1050"), std::string::npos);
+  EXPECT_NE(json.find("\"series\":\"series-a\""), std::string::npos);
+  EXPECT_NE(json.find("\"series\":\"burst-b\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Report, BenchReportWritesItsFile) {
+  BenchReport report("write_test", 1, 1, false);
+  report.add("s", SimResult{});
+  const std::string path = report.write(::testing::TempDir());
+  EXPECT_NE(path.find("BENCH_write_test.json"), std::string::npos);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  // wall_seconds advances between serializations, so compare structure,
+  // not the exact bytes.
+  EXPECT_NE(buf.str().find("\"schema\":\"mlid-bench-v1\""), std::string::npos);
+  EXPECT_NE(buf.str().find("\"name\":\"write_test\""), std::string::npos);
+  EXPECT_EQ(buf.str().back(), '\n');
+  std::remove(path.c_str());
+}
+
+TEST(Report, BenchNameFromPathStripsDirectories) {
+  EXPECT_EQ(bench_name_from_path("/a/b/fig12_uniform"), "fig12_uniform");
+  EXPECT_EQ(bench_name_from_path("bench\\table1"), "table1");
+  EXPECT_EQ(bench_name_from_path("plain"), "plain");
+  EXPECT_FALSE(git_describe().empty());
 }
 
 }  // namespace

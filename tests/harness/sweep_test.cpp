@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 namespace mlid {
 namespace {
 
@@ -45,6 +47,83 @@ TEST(Sweep, ThreadCountDoesNotChangeResults) {
                      parallel[i].result.avg_latency_ns);
     EXPECT_EQ(serial[i].result.packets_measured,
               parallel[i].result.packets_measured);
+  }
+}
+
+TEST(Sweep, PointSeedsDependOnCoordinatesNotGridShape) {
+  // The old derivation (base * K + job_index) changed every point's seed
+  // whenever the grid grew.  Now the seed is a pure function of the point's
+  // own coordinates: adding loads must leave existing points' results
+  // bit-identical.
+  FigureSpec small = tiny_spec();
+  FigureSpec large = tiny_spec();
+  large.loads = {0.2, 0.4, 0.6};  // insert a load between the two existing
+  const auto small_points = run_figure(small, 1);
+  const auto large_points = run_figure(large, 1);
+  for (const auto& sp : small_points) {
+    bool found = false;
+    for (const auto& lp : large_points) {
+      if (lp.scheme == sp.scheme && lp.vls == sp.vls && lp.load == sp.load) {
+        found = true;
+        EXPECT_EQ(lp.manifest.sim_seed, sp.manifest.sim_seed);
+        EXPECT_EQ(lp.manifest.traffic_seed, sp.manifest.traffic_seed);
+        EXPECT_EQ(lp.result.packets_measured, sp.result.packets_measured);
+        EXPECT_EQ(lp.result.avg_latency_ns, sp.result.avg_latency_ns);
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Sweep, PointSeedDerivationSeparatesCoordinates) {
+  // Base 0 must not collapse the grid (0 * K + i degenerated to job order).
+  std::set<std::uint64_t> seeds;
+  for (const SchemeKind scheme : {SchemeKind::kSlid, SchemeKind::kMlid}) {
+    for (const int vls : {1, 2, 4}) {
+      for (const double load : {0.1, 0.2, 0.9}) {
+        seeds.insert(sweep_point_seed(0, scheme, vls, load));
+      }
+    }
+  }
+  EXPECT_EQ(seeds.size(), 2u * 3u * 3u);
+  // Distinct bases decorrelate, and the sim/traffic domains never collide.
+  EXPECT_NE(sweep_point_seed(0, SchemeKind::kSlid, 1, 0.2),
+            sweep_point_seed(1, SchemeKind::kSlid, 1, 0.2));
+  EXPECT_NE(sweep_traffic_seed(0, 1, 0.2),
+            sweep_point_seed(0, SchemeKind::kSlid, 1, 0.2));
+  EXPECT_NE(sweep_traffic_seed(0, 1, 0.2), sweep_traffic_seed(0, 1, 0.4));
+}
+
+TEST(Sweep, BothSchemesFaceTheIdenticalWorkload) {
+  // The traffic stream is a function of (base, vls, load) only: at every
+  // grid point SLID and MLID see the same destinations and arrivals, so
+  // their comparison measures routing, not traffic luck.
+  const FigureSpec spec = tiny_spec();
+  const auto points = run_figure(spec, 1);
+  for (const auto& a : points) {
+    for (const auto& b : points) {
+      if (a.vls == b.vls && a.load == b.load) {
+        EXPECT_EQ(a.manifest.traffic_seed, b.manifest.traffic_seed);
+      }
+      if (a.scheme != b.scheme) {
+        EXPECT_NE(a.manifest.sim_seed, b.manifest.sim_seed);
+      }
+    }
+  }
+}
+
+TEST(Sweep, ManifestRecordsTheRun) {
+  const FigureSpec spec = tiny_spec();
+  const auto points = run_figure(spec, 1);
+  for (const auto& p : points) {
+    EXPECT_EQ(p.manifest.sim_seed,
+              sweep_point_seed(spec.sim.seed, p.scheme, p.vls, p.load));
+    EXPECT_GT(p.manifest.events_processed, 0u);
+    EXPECT_EQ(p.manifest.events_processed, p.result.events_processed);
+    EXPECT_GE(p.manifest.wall_seconds, 0.0);
+    // events_per_sec is 0 only if the clock read 0 wall time.
+    EXPECT_TRUE(p.manifest.events_per_sec > 0.0 ||
+                p.manifest.wall_seconds == 0.0);
   }
 }
 

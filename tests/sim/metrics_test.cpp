@@ -1,0 +1,120 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace mlid {
+namespace {
+
+TEST(Log2Histogram, BucketEdgesArePowersOfTwo) {
+  // Bucket 0 holds [0, 1); bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(Log2Histogram::bucket_of(0.0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_of(0.5), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_of(0.999), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_of(1.0), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_of(1.999), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_of(2.0), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_of(3.999), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_of(4.0), 3u);
+  EXPECT_EQ(Log2Histogram::bucket_of(1024.0), 11u);
+  EXPECT_EQ(Log2Histogram::bucket_of(1025.0), 11u);
+  for (std::size_t i = 1; i + 1 < Log2Histogram::kBuckets; ++i) {
+    EXPECT_EQ(Log2Histogram::bucket_of(Log2Histogram::bucket_lo(i)), i);
+    EXPECT_EQ(Log2Histogram::bucket_of(
+                  std::nextafter(Log2Histogram::bucket_hi(i), 0.0)),
+              i);
+  }
+}
+
+TEST(Log2Histogram, DegenerateInputsClampInsteadOfCorrupting) {
+  EXPECT_EQ(Log2Histogram::bucket_of(-5.0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_of(std::numeric_limits<double>::quiet_NaN()),
+            0u);
+  EXPECT_EQ(Log2Histogram::bucket_of(std::numeric_limits<double>::infinity()),
+            Log2Histogram::kBuckets - 1);
+  EXPECT_EQ(Log2Histogram::bucket_of(1e300), Log2Histogram::kBuckets - 1);
+}
+
+TEST(Log2Histogram, AddAndTotalTrackCounts) {
+  Log2Histogram h;
+  EXPECT_EQ(h.total(), 0u);
+  h.add(0.5);
+  h.add(3.0);
+  h.add(3.5);
+  h.add(100.0);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[2], 2u);
+  EXPECT_EQ(h.counts()[7], 1u);  // [64, 128)
+}
+
+TEST(Log2Histogram, QuantileInterpolatesWithinBucket) {
+  Log2Histogram h;
+  for (int i = 0; i < 100; ++i) h.add(10.0);  // all in bucket [8, 16)
+  // Every sample lands in one bucket: quantiles interpolate linearly
+  // across [8, 16) by rank.
+  EXPECT_NEAR(h.quantile(0.0), 8.0, 1e-9);
+  EXPECT_NEAR(h.quantile(0.5), 12.0, 1.0);
+  EXPECT_LE(h.quantile(0.99), 16.0);
+  EXPECT_GE(h.quantile(0.99), 8.0);
+}
+
+TEST(Log2Histogram, QuantileOrderingAndEmpty) {
+  Log2Histogram empty;
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+
+  Log2Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  const double p50 = h.quantile(0.50);
+  const double p95 = h.quantile(0.95);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Bucketed quantiles are accurate to within their bucket width.
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 1024.0);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1024.0);
+}
+
+TEST(Log2Histogram, MergeEqualsAddingAllSamplesToOne) {
+  Log2Histogram a, b, both;
+  const double samples_a[] = {0.2, 1.0, 7.0, 300.0};
+  const double samples_b[] = {2.0, 7.5, 4096.0};
+  for (double s : samples_a) {
+    a.add(s);
+    both.add(s);
+  }
+  for (double s : samples_b) {
+    b.add(s);
+    both.add(s);
+  }
+  a.merge(b);
+  EXPECT_EQ(a, both);
+  EXPECT_EQ(a.total(), 7u);
+}
+
+TEST(Log2Histogram, MergeWithEmptyIsIdentity) {
+  Log2Histogram h, empty;
+  h.add(5.0);
+  h.add(9.0);
+  const Log2Histogram before = h;
+  h.merge(empty);
+  EXPECT_EQ(h, before);
+  empty.merge(h);
+  EXPECT_EQ(empty, before);
+}
+
+TEST(Log2Histogram, TrimmedSizeDropsTrailingZeroBuckets) {
+  Log2Histogram h;
+  EXPECT_EQ(h.trimmed_size(), 0u);
+  h.add(100.0);  // bucket 7
+  EXPECT_EQ(h.trimmed_size(), 8u);
+  h.add(0.0);  // bucket 0 does not extend the trim
+  EXPECT_EQ(h.trimmed_size(), 8u);
+}
+
+}  // namespace
+}  // namespace mlid

@@ -1,0 +1,169 @@
+// The observability layer's core contract: telemetry is counters-only.
+// Turning it off must not change a single engine result bit, and the
+// exported aggregates must be consistent with each other and with the
+// always-on LinkLoad counters.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace mlid {
+namespace {
+
+SimConfig small_config(bool telemetry) {
+  SimConfig cfg;
+  cfg.seed = 7;
+  cfg.warmup_ns = 5'000;
+  cfg.measure_ns = 25'000;
+  cfg.num_vls = 2;
+  cfg.telemetry = telemetry;
+  return cfg;
+}
+
+TrafficConfig small_traffic() {
+  return {TrafficKind::kUniform, 0.2, 0, 11};
+}
+
+// Every non-telemetry SimResult field, compared bit-for-bit (EXPECT_EQ on
+// doubles is deliberate: the engine is deterministic, so "close" would hide
+// a telemetry-path perturbation).
+void expect_identical_core(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.offered_load, b.offered_load);
+  EXPECT_EQ(a.accepted_bytes_per_ns_per_node, b.accepted_bytes_per_ns_per_node);
+  EXPECT_EQ(a.avg_latency_ns, b.avg_latency_ns);
+  EXPECT_EQ(a.avg_network_latency_ns, b.avg_network_latency_ns);
+  EXPECT_EQ(a.p50_latency_ns, b.p50_latency_ns);
+  EXPECT_EQ(a.p95_latency_ns, b.p95_latency_ns);
+  EXPECT_EQ(a.p99_latency_ns, b.p99_latency_ns);
+  EXPECT_EQ(a.max_latency_ns, b.max_latency_ns);
+  EXPECT_EQ(a.packets_generated, b.packets_generated);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.packets_measured, b.packets_measured);
+  EXPECT_EQ(a.packets_dropped, b.packets_dropped);
+  EXPECT_EQ(a.dropped_unroutable, b.dropped_unroutable);
+  EXPECT_EQ(a.dropped_dead_link, b.dropped_dead_link);
+  EXPECT_EQ(a.dropped_during_convergence, b.dropped_during_convergence);
+  EXPECT_EQ(a.drops_post_convergence, b.drops_post_convergence);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.avg_hops, b.avg_hops);
+  EXPECT_EQ(a.max_source_queue_pkts, b.max_source_queue_pkts);
+  EXPECT_EQ(a.mean_link_utilization, b.mean_link_utilization);
+  EXPECT_EQ(a.max_link_utilization, b.max_link_utilization);
+  EXPECT_EQ(a.sim_end_ns, b.sim_end_ns);
+  EXPECT_EQ(a.delivered_per_vl, b.delivered_per_vl);
+  EXPECT_EQ(a.avg_latency_per_vl_ns, b.avg_latency_per_vl_ns);
+  EXPECT_EQ(a.jain_fairness_index, b.jain_fairness_index);
+  EXPECT_EQ(a.min_node_accepted_bytes_per_ns, b.min_node_accepted_bytes_per_ns);
+  EXPECT_EQ(a.max_node_accepted_bytes_per_ns, b.max_node_accepted_bytes_per_ns);
+  EXPECT_EQ(a.first_fault_ns, b.first_fault_ns);
+  EXPECT_EQ(a.sm_converged_ns, b.sm_converged_ns);
+  EXPECT_EQ(a.reconvergence_ns, b.reconvergence_ns);
+  EXPECT_EQ(a.sm_traps, b.sm_traps);
+  EXPECT_EQ(a.sm_sweeps, b.sm_sweeps);
+  EXPECT_EQ(a.sm_entries_programmed, b.sm_entries_programmed);
+  EXPECT_EQ(a.sm_switches_programmed, b.sm_switches_programmed);
+}
+
+TEST(Telemetry, EngineResultsBitIdenticalOnAndOff) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const SimResult with_telemetry =
+      Simulation(subnet, small_config(true), small_traffic(), 0.7).run();
+  const SimResult without =
+      Simulation(subnet, small_config(false), small_traffic(), 0.7).run();
+  EXPECT_TRUE(with_telemetry.telemetry);
+  EXPECT_FALSE(without.telemetry);
+  expect_identical_core(with_telemetry, without);
+  // Off means off: the telemetry block stays at its zero defaults.
+  EXPECT_EQ(without.latency_log2_hist.total(), 0u);
+  EXPECT_TRUE(without.latency_log2_per_vl.empty());
+  EXPECT_EQ(without.link_summary.links, 0u);
+}
+
+TEST(Telemetry, HistogramsCoverTheMeasuredPackets) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const SimResult r =
+      Simulation(subnet, small_config(true), small_traffic(), 0.6).run();
+  ASSERT_GT(r.packets_measured, 0u);
+  EXPECT_EQ(r.latency_log2_hist.total(), r.packets_measured);
+  EXPECT_EQ(r.queue_log2_hist.total(), r.packets_measured);
+  EXPECT_EQ(r.network_log2_hist.total(), r.packets_measured);
+  // The log2 p50 must agree with the fine-grained p50 to bucket resolution
+  // (one factor of two either way).
+  const double coarse = r.latency_log2_hist.quantile(0.5);
+  EXPECT_GE(coarse, r.p50_latency_ns / 2.0);
+  EXPECT_LE(coarse, r.p50_latency_ns * 2.0 + 1.0);
+}
+
+TEST(Telemetry, PerVlHistogramsMergeBackToTheTotal) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  SimConfig cfg = small_config(true);
+  cfg.num_vls = 4;
+  const SimResult r = Simulation(subnet, cfg, small_traffic(), 0.6).run();
+  ASSERT_EQ(r.latency_log2_per_vl.size(), 4u);
+  Log2Histogram merged;
+  for (const Log2Histogram& h : r.latency_log2_per_vl) merged.merge(h);
+  EXPECT_EQ(merged, r.latency_log2_hist);
+}
+
+TEST(Telemetry, LinkStatsAgreeWithAlwaysOnLinkLoads) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  Simulation sim(subnet, small_config(true), small_traffic(), 0.6);
+  const SimResult r = sim.run();
+  const auto loads = sim.link_loads();
+  const auto stats = sim.link_stats();
+  ASSERT_EQ(stats.size(), loads.size());
+  ASSERT_EQ(r.link_summary.links, loads.size());
+  std::uint64_t sum_packets = 0, sum_bytes = 0;
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    // Same deterministic (device, port) order as link_loads().
+    EXPECT_EQ(stats[i].dev, loads[i].dev);
+    EXPECT_EQ(stats[i].port, loads[i].port);
+    // Whole-run totals can only exceed the windowed LinkLoad count.
+    EXPECT_GE(stats[i].packets_tx, loads[i].packets_tx);
+    std::uint64_t vl_packets = 0, vl_bytes = 0;
+    std::uint32_t vl_peak = 0;
+    for (const VlLinkStats& vl : stats[i].vls) {
+      vl_packets += vl.packets_tx;
+      vl_bytes += vl.bytes_tx;
+      vl_peak = std::max(vl_peak, vl.peak_queue_pkts);
+    }
+    EXPECT_EQ(stats[i].packets_tx, vl_packets);
+    EXPECT_EQ(stats[i].bytes_tx, vl_bytes);
+    EXPECT_EQ(stats[i].peak_queue_pkts, vl_peak);
+    sum_packets += stats[i].packets_tx;
+    sum_bytes += stats[i].bytes_tx;
+  }
+  EXPECT_EQ(r.link_summary.total_packets, sum_packets);
+  EXPECT_EQ(r.link_summary.total_bytes, sum_bytes);
+  EXPECT_GE(r.link_summary.max_utilization, r.link_summary.mean_utilization);
+  EXPECT_GT(r.link_summary.max_queue_depth_pkts, 0u);
+}
+
+TEST(Telemetry, BurstResultsBitIdenticalOnAndOff) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kSlid);
+  const auto workload = all_to_all_personalized(8, 1024);
+  SimConfig on = small_config(true);
+  SimConfig off = small_config(false);
+  const BurstResult a = Simulation(subnet, on, workload).run_to_completion();
+  const BurstResult b = Simulation(subnet, off, workload).run_to_completion();
+  EXPECT_TRUE(a.telemetry);
+  EXPECT_FALSE(b.telemetry);
+  EXPECT_EQ(a.makespan_ns, b.makespan_ns);
+  EXPECT_EQ(a.packets, b.packets);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.avg_message_latency_ns, b.avg_message_latency_ns);
+  EXPECT_EQ(a.max_message_latency_ns, b.max_message_latency_ns);
+  ASSERT_GT(a.messages, 0u);
+  EXPECT_EQ(a.message_latency_hist.total(), a.messages);
+  EXPECT_LE(a.p50_message_latency_ns, a.p99_message_latency_ns);
+  EXPECT_GT(a.link_summary.links, 0u);
+}
+
+}  // namespace
+}  // namespace mlid
