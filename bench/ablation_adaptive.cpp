@@ -41,8 +41,8 @@ int main(int argc, char** argv) {
           cfg.measure_ns = 20'000;
         }
         const SimResult r =
-            Simulation(*subnet, cfg, {kind, hot, 0, opts.seed() ^ 0xABBu},
-                       0.9)
+            Simulation::open_loop(*subnet, cfg,
+                                  {kind, hot, 0, opts.seed() ^ 0xABBu}, 0.9)
                 .run();
         table.add_row({label, scheme_label, mode_label,
                        TextTable::num(r.accepted_bytes_per_ns_per_node, 4),

@@ -33,8 +33,8 @@ int main(int argc, char** argv) {
     }
     const TrafficConfig traffic{TrafficKind::kUniform, 0.20, 0,
                                 opts.seed() ^ 0xAB3u};
-    const SimResult s = Simulation(slid, cfg, traffic, 0.9).run();
-    const SimResult q = Simulation(mlid, cfg, traffic, 0.9).run();
+    const SimResult s = Simulation::open_loop(slid, cfg, traffic, 0.9).run();
+    const SimResult q = Simulation::open_loop(mlid, cfg, traffic, 0.9).run();
     report.add("SLID/bufs=" + std::to_string(depth), s);
     report.add("MLID/bufs=" + std::to_string(depth), q);
     table.add_row({std::to_string(depth),

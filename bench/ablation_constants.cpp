@@ -54,8 +54,8 @@ int main(int argc, char** argv) {
     }
     const TrafficConfig traffic{TrafficKind::kCentric, 0.20, 0,
                                 opts.seed() ^ 0xABDu};
-    const SimResult slid_r = Simulation(slid, cfg, traffic, 0.9).run();
-    const SimResult mlid_r = Simulation(mlid, cfg, traffic, 0.9).run();
+    const SimResult slid_r = Simulation::open_loop(slid, cfg, traffic, 0.9).run();
+    const SimResult mlid_r = Simulation::open_loop(mlid, cfg, traffic, 0.9).run();
     report.add(std::string("SLID/") + v.label, slid_r);
     report.add(std::string("MLID/") + v.label, mlid_r);
     const double s = slid_r.accepted_bytes_per_ns_per_node;

@@ -31,8 +31,8 @@ int main(int argc, char** argv) {
     }
     const TrafficConfig traffic{TrafficKind::kCentric, h, 0,
                                 opts.seed() ^ 0xAB4u};
-    const SimResult s = Simulation(slid, cfg, traffic, 0.9).run();
-    const SimResult q = Simulation(mlid, cfg, traffic, 0.9).run();
+    const SimResult s = Simulation::open_loop(slid, cfg, traffic, 0.9).run();
+    const SimResult q = Simulation::open_loop(mlid, cfg, traffic, 0.9).run();
     report.add("SLID/hot=" + TextTable::num(h, 2), s);
     report.add("MLID/hot=" + TextTable::num(h, 2), q);
     table.add_row({TextTable::num(h, 2),

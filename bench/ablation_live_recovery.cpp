@@ -111,8 +111,8 @@ int main(int argc, char** argv) {
       FatTreeFabric fabric{params};
       const auto subnet = make_subnet(fabric, spec);
       SubnetManager sm(fabric, *subnet);
-      Simulation sim(*subnet, base, traffic, kLoad);
-      sim.attach_live_sm(sm, faults);
+      Simulation sim =
+          Simulation::open_loop(*subnet, base, traffic, kLoad, {&sm, faults});
       const SimResult r = sim.run();
 
       if (r.reconvergence_ns < 0) {
@@ -131,8 +131,8 @@ int main(int argc, char** argv) {
       FatTreeFabric fabric2{params};
       const auto subnet2 = make_subnet(fabric2, spec);
       SubnetManager sm2(fabric2, *subnet2);
-      Simulation sim2(*subnet2, steady, traffic, kLoad);
-      sim2.attach_live_sm(sm2, faults);
+      Simulation sim2 = Simulation::open_loop(*subnet2, steady, traffic, kLoad,
+                                              {&sm2, faults});
       const SimResult post = sim2.run();
       report.add(std::string(spec.name) + "/k=" + std::to_string(k) +
                      "/convergence",
@@ -160,7 +160,7 @@ int main(int argc, char** argv) {
       if (offline_routes->fully_connected()) {
         const Subnet offline(degraded, std::move(offline_routes));
         const SimResult base_r =
-            Simulation(offline, steady, traffic, kLoad).run();
+            Simulation::open_loop(offline, steady, traffic, kLoad).run();
         offline_tp = base_r.accepted_bytes_per_ns_per_node;
         ratio = post.accepted_bytes_per_ns_per_node / offline_tp;
         if (ratio < min_ratio) ++violations;

@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
       const Subnet subnet(
           fabric, std::make_unique<PartialMlidRouting>(fabric.params(), lmc));
       TrafficConfig traffic{kind, 0.20, 0, opts.seed() ^ 0xAB1u};
-      Simulation sim(subnet, cfg, traffic, /*offered_load=*/0.9);
+      Simulation sim = Simulation::open_loop(subnet, cfg, traffic,
+                                             /*offered_load=*/0.9);
       const SimResult r = sim.run();
       report.add(std::string(to_string(kind)) + "/lmc=" +
                      std::to_string(int(lmc)),

@@ -39,9 +39,9 @@ int main(int argc, char** argv) {
       cfg.warmup_ns = 5'000;
       cfg.measure_ns = 20'000;
     }
-    Simulation sim(subnet, cfg,
-                   {TrafficKind::kUniform, 0.2, 0, opts.seed() ^ 0xABAu},
-                   0.9);
+    Simulation sim = Simulation::open_loop(subnet, cfg,
+                                           {TrafficKind::kUniform, 0.2, 0, opts.seed() ^ 0xABAu},
+                                           0.9);
     const SimResult r = sim.run();
     report.add("weights=" + std::to_string(w0) + ":1", r);
     const double total = static_cast<double>(r.delivered_per_vl[0] +

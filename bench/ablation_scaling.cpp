@@ -15,6 +15,10 @@ int main(int argc, char** argv) {
   BenchReport report(bench_name_from_path(argv[0]), opts);
 
   std::puts("Ablation A12: scaling with tree height (20%-centric, 1 VL)");
+  // The loop below applies its own --quick grid, so the sweep-level quick
+  // shrink stays off; the other flags pass through.
+  SweepOptions sweep = opts.sweep_options();
+  sweep.quick = false;
   TextTable table({"network", "nodes", "SLID sat B/ns/node",
                    "MLID sat B/ns/node", "MLID/SLID"});
   for (const auto& [m, n] : {std::pair{4, 2}, std::pair{4, 3},
@@ -34,7 +38,7 @@ int main(int argc, char** argv) {
     } else {
       spec.loads = {0.2, 0.4, 0.6, 0.8, 0.95};
     }
-    const auto points = run_figure(spec, opts.threads());
+    const auto points = run_sweep(spec, sweep);
     spec.title = std::to_string(m) + "-port " + std::to_string(n) + "-tree";
     report.add_figure(spec, points);
     const double slid = saturation_throughput(points, SchemeKind::kSlid, 1);

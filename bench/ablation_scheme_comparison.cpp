@@ -58,12 +58,14 @@ int main(int argc, char** argv) {
       cfg.measure_ns = 20'000;
     }
     const SimResult uni =
-        Simulation(*entry.subnet, cfg,
-                   {TrafficKind::kUniform, 0.2, 0, opts.seed() ^ 0xAB6u}, 0.9)
+        Simulation::open_loop(*entry.subnet, cfg,
+                              {TrafficKind::kUniform, 0.2, 0, opts.seed() ^ 0xAB6u},
+                              0.9)
             .run();
     const SimResult cen =
-        Simulation(*entry.subnet, cfg,
-                   {TrafficKind::kCentric, 0.2, 0, opts.seed() ^ 0xAB6u}, 0.9)
+        Simulation::open_loop(*entry.subnet, cfg,
+                              {TrafficKind::kCentric, 0.2, 0, opts.seed() ^ 0xAB6u},
+                              0.9)
             .run();
     report.add(entry.label + "/uniform", uni);
     report.add(entry.label + "/centric", cen);

@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
       // One telemetry run at the found saturation point, so the BENCH json
       // carries full latency/link detail alongside the scalar bound.
       const SimResult at_sat =
-          Simulation(subnet, cfg, traffic, sat > 0.0 ? sat : 0.1).run();
+          Simulation::open_loop(subnet, cfg, traffic, sat > 0.0 ? sat : 0.1).run();
       report.add(std::string(pattern.label) + "/" +
                      std::string(to_string(kind)) + "/at-saturation",
                  at_sat);

@@ -41,9 +41,9 @@ int main(int argc, char** argv) {
         cfg.measure_ns = 20'000;
       }
       const SimResult r =
-          Simulation(subnet, cfg,
-                     {TrafficKind::kUniform, 0.2, 0, opts.seed() ^ 0xAB7u},
-                     load)
+          Simulation::open_loop(subnet, cfg,
+                                {TrafficKind::kUniform, 0.2, 0, opts.seed() ^ 0xAB7u},
+                                load)
               .run();
       report.add(std::string(config.label) + "/load=" +
                      TextTable::num(load, 1),

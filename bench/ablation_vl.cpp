@@ -32,8 +32,8 @@ int main(int argc, char** argv) {
     }
     const TrafficConfig traffic{TrafficKind::kCentric, 0.20, 0,
                                 opts.seed() ^ 0xAB2u};
-    const SimResult slid_r = Simulation(slid, cfg, traffic, 0.9).run();
-    const SimResult mlid_r = Simulation(mlid, cfg, traffic, 0.9).run();
+    const SimResult slid_r = Simulation::open_loop(slid, cfg, traffic, 0.9).run();
+    const SimResult mlid_r = Simulation::open_loop(mlid, cfg, traffic, 0.9).run();
     report.add("SLID/vls=" + std::to_string(vls), slid_r);
     report.add("MLID/vls=" + std::to_string(vls), mlid_r);
     const double s = slid_r.accepted_bytes_per_ns_per_node;

@@ -43,9 +43,9 @@ int main(int argc, char** argv) {
     SimConfig cfg;
     cfg.seed = opts.seed();
     const BurstResult s =
-        Simulation(slid, cfg, workload.messages).run_to_completion();
+        Simulation::burst(slid, cfg, workload.messages).run_to_completion();
     const BurstResult q =
-        Simulation(mlid, cfg, workload.messages).run_to_completion();
+        Simulation::burst(mlid, cfg, workload.messages).run_to_completion();
     report.add("SLID/" + workload.label, s);
     report.add("MLID/" + workload.label, q);
     table.add_row(

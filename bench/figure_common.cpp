@@ -25,7 +25,7 @@ int run_figure_main(int argc, char** argv, FigureSpec spec) {
   opts.apply(spec);
   BenchReport report(bench_name_from_path(argv[0]), opts);
   const auto start = std::chrono::steady_clock::now();
-  const auto points = run_figure(spec, opts.threads());
+  const auto points = run_sweep(spec, opts.sweep_options());
   const auto elapsed = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - start)
                            .count();

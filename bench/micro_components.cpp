@@ -2,7 +2,12 @@
 // cost determines how large a network the simulator can sweep.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "harness/report.hpp"
 #include "routing/fat_tree_routing.hpp"
@@ -13,6 +18,10 @@
 namespace {
 
 using namespace mlid;
+
+// Queue kind the simulation-level benchmarks run on (set by --event-queue;
+// BM_EventQueuePushPop always measures both kinds side by side).
+EventQueueKind g_queue_kind = EventQueueKind::kLadder;
 
 void BM_LftLookup(benchmark::State& state) {
   const FatTreeParams p(8, 3);
@@ -64,7 +73,8 @@ void BM_SelectDlid(benchmark::State& state) {
 BENCHMARK(BM_SelectDlid);
 
 void BM_EventQueuePushPop(benchmark::State& state) {
-  EventQueue q;
+  const auto kind = static_cast<EventQueueKind>(state.range(0));
+  EventQueue q(kind);
   SimTime t = 0;
   for (auto _ : state) {
     for (int i = 0; i < 64; ++i) {
@@ -76,8 +86,11 @@ void BM_EventQueuePushPop(benchmark::State& state) {
     t += 1000;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+  state.SetLabel(std::string(to_string(kind)));
 }
-BENCHMARK(BM_EventQueuePushPop);
+BENCHMARK(BM_EventQueuePushPop)
+    ->Arg(static_cast<int>(EventQueueKind::kHeap))
+    ->Arg(static_cast<int>(EventQueueKind::kLadder));
 
 void BM_TracePath(benchmark::State& state) {
   const FatTreeFabric fabric{FatTreeParams(8, 3)};
@@ -110,11 +123,14 @@ void BM_SimulationEventsPerSecond(benchmark::State& state) {
   SimConfig cfg;
   cfg.warmup_ns = 2'000;
   cfg.measure_ns = 20'000;
+  cfg.event_queue = g_queue_kind;
   std::uint64_t events = 0;
   std::uint64_t seed = 1;
   for (auto _ : state) {
     cfg.seed = seed++;
-    Simulation sim(subnet, cfg, {TrafficKind::kUniform, 0.2, 0, seed}, 0.6);
+    Simulation sim = Simulation::open_loop(subnet, cfg,
+                                           {TrafficKind::kUniform, 0.2, 0, seed},
+                                           0.6);
     const SimResult r = sim.run();
     events += r.events_processed;
     benchmark::DoNotOptimize(r);
@@ -130,7 +146,8 @@ void BM_BurstAllToAll(benchmark::State& state) {
   std::uint64_t packets = 0;
   for (auto _ : state) {
     SimConfig cfg;
-    Simulation sim(subnet, cfg, workload);
+    cfg.event_queue = g_queue_kind;
+    Simulation sim = Simulation::burst(subnet, cfg, workload);
     const BurstResult r = sim.run_to_completion();
     packets += r.packets;
     benchmark::DoNotOptimize(r);
@@ -154,27 +171,101 @@ BENCHMARK(BM_LoadAnalysisPredict);
 
 }  // namespace
 
-// Custom main instead of BENCHMARK_MAIN(): google-benchmark keeps its own
-// flag language (--benchmark_filter etc. -- CliOptions would reject it),
-// and after the benchmarks we emit the standard BENCH json with one labeled
-// smoke simulation so this binary's output is schema-compatible with every
-// other bench.
-int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+namespace {
 
-  BenchReport report(bench_name_from_path(argv[0]), /*seed=*/1,
-                     /*threads=*/1, /*quick=*/true);
+// One timed smoke simulation on the given queue kind, reported as its own
+// labeled series with the manifest carrying events/sec and queue internals.
+mlid::SimResult run_smoke(mlid::BenchReport& report,
+                          mlid::EventQueueKind kind) {
+  using namespace mlid;
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
   SimConfig cfg;
   cfg.warmup_ns = 2'000;
   cfg.measure_ns = 20'000;
-  const SimResult r =
-      Simulation(subnet, cfg, {TrafficKind::kUniform, 0.2, 0, 2}, 0.6).run();
-  report.add("smoke/MLID/4-port-3-tree", r);
+  cfg.seed = 2;
+  cfg.event_queue = kind;
+  const auto start = std::chrono::steady_clock::now();
+  Simulation sim = Simulation::open_loop(
+      subnet, cfg, {TrafficKind::kUniform, 0.2, 0, 2}, 0.6);
+  const SimResult r = sim.run();
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  PointManifest manifest;
+  manifest.sim_seed = cfg.seed;
+  manifest.traffic_seed = 2;
+  manifest.wall_seconds = wall;
+  manifest.events_processed = r.events_processed;
+  manifest.events_scheduled = r.events_scheduled;
+  manifest.events_per_sec =
+      wall > 0.0 ? static_cast<double>(r.events_processed) / wall : 0.0;
+  manifest.queue = sim.queue_stats();
+  report.add(std::string("smoke/MLID/4-port-3-tree/") +
+                 std::string(to_string(kind)),
+             r, manifest);
+  return r;
+}
+
+}  // namespace
+
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark keeps its own
+// flag language (--benchmark_filter etc. -- CliOptions would reject it), so
+// the harness flags this binary understands (--quick, --event-queue=K) are
+// stripped from argv before benchmark::Initialize sees them.  After the
+// benchmarks we emit the standard BENCH json with one labeled smoke
+// simulation per queue kind -- asserted bit-identical -- so this binary's
+// output is schema-compatible with every other bench and lets CI compare
+// heap vs ladder events/sec from a single file.
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::vector<char*> args;
+  std::string min_time_flag;  // outlives the argv google-benchmark keeps
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--event-queue", 0) == 0) {
+      std::string_view value;
+      if (arg.size() > 13 && arg[13] == '=') {
+        value = arg.substr(14);
+      } else if (arg.size() == 13 && i + 1 < argc) {
+        value = argv[++i];
+      }
+      const auto kind = event_queue_from_string(value);
+      if (!kind) {
+        std::fprintf(stderr,
+                     "error: invalid value '%.*s' for --event-queue "
+                     "(expected heap or ladder)\n",
+                     static_cast<int>(value.size()), value.data());
+        return 2;
+      }
+      g_queue_kind = *kind;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (quick) {
+    min_time_flag = "--benchmark_min_time=0.01";
+    args.push_back(min_time_flag.data());
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  BenchReport report(bench_name_from_path(argv[0]), /*seed=*/1,
+                     /*threads=*/1, quick);
+  const SimResult heap = run_smoke(report, EventQueueKind::kHeap);
+  const SimResult ladder = run_smoke(report, EventQueueKind::kLadder);
+  // The queue kind is pure mechanism: any divergence here is a determinism
+  // bug in the ladder queue, not a tuning difference.
+  MLID_EXPECT(to_json(heap) == to_json(ladder),
+              "heap and ladder smoke runs must be bit-identical");
   std::printf("\n(wrote %s)\n", report.write().c_str());
   return 0;
 }

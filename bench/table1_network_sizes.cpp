@@ -52,9 +52,9 @@ int main(int argc, char** argv) {
     cfg.warmup_ns = 5'000;
     cfg.measure_ns = 20'000;
     const SimResult r =
-        Simulation(subnet, cfg,
-                   {TrafficKind::kUniform, 0.2, 0, opts.seed() ^ 0x7AB1u},
-                   0.5)
+        Simulation::open_loop(subnet, cfg,
+                              {TrafficKind::kUniform, 0.2, 0, opts.seed() ^ 0x7AB1u},
+                              0.5)
             .run();
     bench.add("smoke/MLID/4-port-2-tree", r);
   }

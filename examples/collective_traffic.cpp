@@ -28,7 +28,8 @@ int main(int argc, char** argv) {
         TrafficKind::kNeighbor, TrafficKind::kUniform}) {
     for (const auto* subnet : {&slid, &mlid}) {
       SimConfig cfg;
-      Simulation sim(*subnet, cfg, {kind, 0.2, 0, 7}, load);
+      Simulation sim = Simulation::open_loop(*subnet, cfg, {kind, 0.2, 0, 7},
+                                             load);
       const SimResult r = sim.run();
       table.add_row({std::string(to_string(kind)),
                      std::string(subnet->scheme().name()),
@@ -58,9 +59,9 @@ int main(int argc, char** argv) {
   for (const auto& [label, workload] : collectives) {
     SimConfig cfg;
     const SimTime t_slid =
-        Simulation(slid, cfg, workload).run_to_completion().makespan_ns;
+        Simulation::burst(slid, cfg, workload).run_to_completion().makespan_ns;
     const SimTime t_mlid =
-        Simulation(mlid, cfg, workload).run_to_completion().makespan_ns;
+        Simulation::burst(mlid, cfg, workload).run_to_completion().makespan_ns;
     burst_table.add_row(
         {label, std::to_string(t_slid), std::to_string(t_mlid),
          TextTable::num(static_cast<double>(t_slid) /

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   {
     FatTreeFabric fabric{params};
     const Subnet subnet(fabric, SchemeKind::kMlid);
-    const SimResult r = Simulation(subnet, cfg, traffic, 0.5).run();
+    const SimResult r = Simulation::open_loop(subnet, cfg, traffic, 0.5).run();
     std::printf("healthy fabric, MLID tables:  accepted %.4f B/ns/node, "
                 "%llu dropped\n\n",
                 r.accepted_bytes_per_ns_per_node,
@@ -60,8 +60,8 @@ int main(int argc, char** argv) {
     const Subnet subnet(fabric, SchemeKind::kMlid);
     SubnetManager sm(fabric, subnet);
     const SmConfig& smc = sm.config();
-    Simulation sim(subnet, cfg, traffic, 0.5);
-    sim.attach_live_sm(sm, schedule);
+    Simulation sim =
+        Simulation::open_loop(subnet, cfg, traffic, 0.5, {&sm, schedule});
 
     std::printf("*** live run: %s port %d fails at t=%lld ns ***\n\n",
                 victim.to_string().c_str(), int(dead_port),
@@ -115,8 +115,8 @@ int main(int argc, char** argv) {
 
     const Subnet subnet(fabric, SchemeKind::kMlid);
     SubnetManager sm(fabric, subnet);
-    Simulation sim(subnet, cfg, traffic, 0.5);
-    sim.attach_live_sm(sm, schedule);
+    Simulation sim =
+        Simulation::open_loop(subnet, cfg, traffic, 0.5, {&sm, schedule});
     const SimResult r = sim.run();
     const SmStats& s = sm.stats();
 
@@ -149,8 +149,8 @@ int main(int argc, char** argv) {
     SmConfig dead;
     dead.react = false;
     SubnetManager sm(fabric, subnet, dead);
-    Simulation sim(subnet, cfg, traffic, 0.5);
-    sim.attach_live_sm(sm, schedule);
+    Simulation sim =
+        Simulation::open_loop(subnet, cfg, traffic, 0.5, {&sm, schedule});
     const SimResult r = sim.run();
     std::printf("dead SM (react=false):        accepted %.4f B/ns/node, "
                 "%llu dropped and still dropping\n",

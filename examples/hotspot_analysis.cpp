@@ -56,10 +56,10 @@ int main(int argc, char** argv) {
   for (const double h : {0.10, 0.20, 0.40}) {
     SimConfig cfg;
     const TrafficConfig traffic{TrafficKind::kCentric, h, hot, 99};
-    const double s = Simulation(slid, cfg, traffic, 0.9)
+    const double s = Simulation::open_loop(slid, cfg, traffic, 0.9)
                          .run()
                          .accepted_bytes_per_ns_per_node;
-    const double q = Simulation(mlid, cfg, traffic, 0.9)
+    const double q = Simulation::open_loop(mlid, cfg, traffic, 0.9)
                          .run()
                          .accepted_bytes_per_ns_per_node;
     table.add_row({TextTable::num(h, 2), TextTable::num(s, 4),

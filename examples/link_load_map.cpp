@@ -36,7 +36,9 @@ int main(int argc, char** argv) {
   // Low-load measurement (queueing negligible, utilization tracks load).
   SimConfig cfg;
   const double load = 0.15;
-  Simulation sim(subnet, cfg, {TrafficKind::kCentric, hot, 0, 11}, load);
+  Simulation sim = Simulation::open_loop(subnet, cfg,
+                                         {TrafficKind::kCentric, hot, 0, 11},
+                                         load);
   sim.run();
 
   // Top-10 busiest links side by side.

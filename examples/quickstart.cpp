@@ -51,7 +51,8 @@ int main(int argc, char** argv) {
 
   // 4. Simulate uniform traffic at half load.
   SimConfig cfg;  // DESIGN.md defaults: 100ns routing, 20ns fly, 256B packets
-  Simulation sim(subnet, cfg, {TrafficKind::kUniform}, /*offered_load=*/0.5);
+  Simulation sim = Simulation::open_loop(subnet, cfg, {TrafficKind::kUniform},
+                                         /*offered_load=*/0.5);
   const SimResult r = sim.run();
   std::printf(
       "\nsimulated %lld ns: accepted %.4f bytes/ns/node, "

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   for (const SchemeKind kind : {SchemeKind::kSlid, SchemeKind::kMlid}) {
     const Subnet subnet(fabric, kind);
     SimConfig cfg;
-    Simulation sim(subnet, cfg, workload);
+    Simulation sim = Simulation::burst(subnet, cfg, workload);
     const BurstResult r = sim.run_to_completion();
     std::printf("%-4s: makespan %lld ns, avg message latency %.1f ns, "
                 "goodput %.3f B/ns\n",

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "harness/sweep.hpp"
+
 namespace mlid {
 namespace {
 
@@ -18,6 +20,8 @@ constexpr std::string_view kUsage =
     "  --out=PATH         also write CSV (and JSON if --json) to PATH.csv /\n"
     "                     PATH.json\n"
     "  --threads=N        worker threads for the sweep\n"
+    "  --event-queue=K    pending-event structure: heap | ladder\n"
+    "  --no-telemetry     skip the extended per-link/histogram telemetry\n"
     "  --fail-links=N     fail N random inter-switch uplinks mid-run\n"
     "  --fail-at-ns=T     when the failures hit (default 20000)\n"
     "  --recover-at-ns=T  bring the failed links back at T (default: never)\n"
@@ -86,6 +90,15 @@ CliOptions::CliOptions(int argc, char** argv) {
       seed_ = parse_int<std::uint64_t>("--seed", arg.substr(7));
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads_ = parse_int<unsigned>("--threads", arg.substr(10));
+    } else if (arg == "--no-telemetry") {
+      telemetry_ = false;
+    } else if (flag_value(argc, argv, i, "--event-queue", value)) {
+      const auto kind = event_queue_from_string(value);
+      if (!kind) {
+        usage_error("invalid value '" + std::string(value) +
+                    "' for --event-queue (expected heap or ladder)");
+      }
+      event_queue_ = *kind;
     } else if (flag_value(argc, argv, i, "--fail-links", value)) {
       fail_links_ = parse_int<int>("--fail-links", value);
     } else if (flag_value(argc, argv, i, "--fail-at-ns", value)) {
@@ -99,6 +112,15 @@ CliOptions::CliOptions(int argc, char** argv) {
       positional_.emplace_back(arg);
     }
   }
+}
+
+SweepOptions CliOptions::sweep_options() const {
+  SweepOptions options;
+  options.threads = threads_;
+  options.quick = quick_;
+  if (!telemetry_) options.telemetry = false;
+  options.event_queue = event_queue_;
+  return options;
 }
 
 FaultSchedule CliOptions::fault_schedule(const FatTreeFabric& fabric) const {

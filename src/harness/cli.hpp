@@ -2,12 +2,16 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "sim/event_queue.hpp"
 #include "sim/fault_schedule.hpp"
 
 namespace mlid {
+
+struct SweepOptions;
 
 /// Parses the tiny flag language the harness binaries accept:
 ///   --help             print usage and exit 0
@@ -18,6 +22,8 @@ namespace mlid {
 ///   --out=PATH         also write the CSV (and JSON if --json) to files
 ///                      PATH.csv / PATH.json
 ///   --threads=N        worker threads for the sweep
+///   --event-queue=K    pending-event structure: heap | ladder
+///   --no-telemetry     skip the extended per-link/histogram telemetry
 ///   --fail-links=N     fail N random inter-switch uplinks mid-run
 ///   --fail-at-ns=T     when the failures hit (default 20000)
 ///   --recover-at-ns=T  bring the failed links back at T (default: never)
@@ -37,6 +43,11 @@ class CliOptions {
   [[nodiscard]] const std::string& out_path() const noexcept { return out_; }
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
   [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+  /// Queue kind from --event-queue; nullopt = keep the spec's default.
+  [[nodiscard]] std::optional<EventQueueKind> event_queue() const noexcept {
+    return event_queue_;
+  }
+  [[nodiscard]] bool telemetry() const noexcept { return telemetry_; }
   [[nodiscard]] int fail_links() const noexcept { return fail_links_; }
   [[nodiscard]] std::int64_t fail_at_ns() const noexcept { return fail_at_ns_; }
   [[nodiscard]] std::int64_t recover_at_ns() const noexcept {
@@ -51,12 +62,20 @@ class CliOptions {
   /// bench can opt into mid-run faults without bespoke wiring.
   [[nodiscard]] FaultSchedule fault_schedule(const FatTreeFabric& fabric) const;
 
-  /// Apply quick-mode shrinking to a figure spec (fewer loads, shorter
-  /// windows) so `--quick` runs finish in seconds.
+  /// The run_sweep execution knobs these flags describe (threads, quick,
+  /// --no-telemetry, --event-queue).
+  [[nodiscard]] SweepOptions sweep_options() const;
+
+  /// Apply the flags that change the *figure definition* to a spec: seeds
+  /// always, plus quick-mode shrinking and the sim-config overrides
+  /// (--event-queue, --no-telemetry) for binaries that run simulations
+  /// directly rather than through run_sweep.
   template <typename FigureSpecT>
   void apply(FigureSpecT& spec) const {
     spec.sim.seed = seed_;
     spec.traffic.seed = seed_ ^ 0x5EEDu;
+    if (!telemetry_) spec.sim.telemetry = false;
+    if (event_queue_) spec.sim.event_queue = *event_queue_;
     if (quick_) {
       spec.sim.warmup_ns = 5'000;
       spec.sim.measure_ns = 20'000;
@@ -71,6 +90,8 @@ class CliOptions {
   std::string out_;
   std::uint64_t seed_ = 1;
   unsigned threads_ = 0;
+  std::optional<EventQueueKind> event_queue_;
+  bool telemetry_ = true;
   int fail_links_ = 0;
   std::int64_t fail_at_ns_ = 20'000;
   std::int64_t recover_at_ns_ = -1;

@@ -192,6 +192,7 @@ void emit_sim_result_fields(JsonWriter& json, const SimResult& r) {
   json.key("packets_measured").value(r.packets_measured);
   json.key("packets_dropped").value(r.packets_dropped);
   json.key("events_processed").value(r.events_processed);
+  json.key("events_scheduled").value(r.events_scheduled);
   json.key("avg_hops").value(r.avg_hops);
   json.key("mean_link_utilization").value(r.mean_link_utilization);
   json.key("max_link_utilization").value(r.max_link_utilization);
@@ -217,13 +218,29 @@ void emit_sim_result_fields(JsonWriter& json, const SimResult& r) {
   }
 }
 
+void emit_queue_stats(JsonWriter& json, const EventQueueStats& q) {
+  json.begin_object();
+  json.key("kind").value(to_string(q.kind));
+  json.key("buckets").value(static_cast<std::uint64_t>(q.buckets));
+  json.key("bucket_width_ns")
+      .value(static_cast<std::int64_t>(q.bucket_width_ns));
+  json.key("resizes").value(static_cast<std::uint64_t>(q.resizes));
+  json.key("overflow_pushes").value(q.overflow_pushes);
+  json.key("max_overflow_depth").value(q.max_overflow_depth);
+  json.key("max_bucket_events").value(q.max_bucket_events);
+  json.end_object();
+}
+
 void emit_point_manifest(JsonWriter& json, const PointManifest& m) {
   json.begin_object();
   json.key("sim_seed").value(m.sim_seed);
   json.key("traffic_seed").value(m.traffic_seed);
   json.key("wall_seconds").value(m.wall_seconds);
   json.key("events_processed").value(m.events_processed);
+  json.key("events_scheduled").value(m.events_scheduled);
   json.key("events_per_sec").value(m.events_per_sec);
+  json.key("event_queue");
+  emit_queue_stats(json, m.queue);
   json.end_object();
 }
 
@@ -235,6 +252,7 @@ void emit_burst_result_fields(JsonWriter& json, const BurstResult& r) {
   json.key("packets").value(r.packets);
   json.key("total_bytes").value(r.total_bytes);
   json.key("events_processed").value(r.events_processed);
+  json.key("events_scheduled").value(r.events_scheduled);
   json.key("aggregate_bytes_per_ns").value(r.aggregate_bytes_per_ns());
   json.key("telemetry").value(r.telemetry);
   if (r.telemetry) {
@@ -324,7 +342,12 @@ BenchReport::BenchReport(std::string name, const CliOptions& opts)
                   opts.quick()) {}
 
 void BenchReport::add(std::string_view series, const SimResult& result) {
-  results_.push_back(SimEntry{std::string(series), result});
+  results_.push_back(SimEntry{std::string(series), result, std::nullopt});
+}
+
+void BenchReport::add(std::string_view series, const SimResult& result,
+                      const PointManifest& manifest) {
+  results_.push_back(SimEntry{std::string(series), result, manifest});
 }
 
 void BenchReport::add(std::string_view series, const BurstResult& result) {
@@ -371,6 +394,10 @@ std::string BenchReport::to_json() const {
     json.begin_object();
     json.key("series").value(e.series);
     emit_sim_result_fields(json, e.result);
+    if (e.manifest) {
+      json.key("manifest");
+      emit_point_manifest(json, *e.manifest);
+    }
     json.end_object();
   }
   json.end_array();

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <chrono>
+#include <optional>
 #include <string>
 
 #include "harness/sweep.hpp"
@@ -80,6 +81,11 @@ class BenchReport {
   BenchReport(std::string name, const CliOptions& opts);
 
   void add(std::string_view series, const SimResult& result);
+  /// Standalone result plus its reproducibility/host-cost manifest -- lets
+  /// a bench attach per-series wall time, events/sec and event-queue
+  /// internals (e.g. to compare queue kinds within one report).
+  void add(std::string_view series, const SimResult& result,
+           const PointManifest& manifest);
   void add(std::string_view series, const BurstResult& result);
   void add_figure(const FigureSpec& spec,
                   const std::vector<SweepPoint>& points);
@@ -94,6 +100,7 @@ class BenchReport {
   struct SimEntry {
     std::string series;
     SimResult result;
+    std::optional<PointManifest> manifest;
   };
   struct BurstEntry {
     std::string series;

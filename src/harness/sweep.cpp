@@ -41,7 +41,18 @@ std::uint64_t sweep_traffic_seed(std::uint64_t base, int vls, double load) {
   return h;
 }
 
-std::vector<SweepPoint> run_figure(const FigureSpec& spec, unsigned threads) {
+std::vector<SweepPoint> run_sweep(const FigureSpec& base_spec,
+                                  const SweepOptions& options) {
+  FigureSpec spec = base_spec;
+  if (options.quick) {
+    spec.sim.warmup_ns = 5'000;
+    spec.sim.measure_ns = 20'000;
+    spec.loads = {0.10, 0.40, 0.80};
+  }
+  if (options.telemetry) spec.sim.telemetry = *options.telemetry;
+  if (options.event_queue) spec.sim.event_queue = *options.event_queue;
+  unsigned threads = options.threads;
+
   const FatTreeParams params(spec.m, spec.n);
   const FatTreeFabric fabric(params);
 
@@ -88,8 +99,8 @@ std::vector<SweepPoint> run_figure(const FigureSpec& spec, unsigned threads) {
       traffic.seed = sweep_traffic_seed(spec.traffic.seed, job.point.vls,
                                         job.point.load);
       const auto start = std::chrono::steady_clock::now();
-      Simulation sim(*subnets[job.subnet_index], cfg, traffic,
-                     job.point.load);
+      Simulation sim = Simulation::open_loop(*subnets[job.subnet_index], cfg,
+                                             traffic, job.point.load);
       job.point.result = sim.run();
       const double wall =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -99,10 +110,12 @@ std::vector<SweepPoint> run_figure(const FigureSpec& spec, unsigned threads) {
       job.point.manifest.traffic_seed = traffic.seed;
       job.point.manifest.wall_seconds = wall;
       job.point.manifest.events_processed = job.point.result.events_processed;
+      job.point.manifest.events_scheduled = job.point.result.events_scheduled;
       job.point.manifest.events_per_sec =
           wall > 0.0
               ? static_cast<double>(job.point.result.events_processed) / wall
               : 0.0;
+      job.point.manifest.queue = sim.queue_stats();
     }
   };
   if (threads <= 1) {
@@ -138,7 +151,7 @@ double find_saturation_load(const Subnet& subnet, const SimConfig& cfg,
   MLID_EXPECT(tolerance > 0.0 && tolerance < 1.0,
               "tolerance must be a fraction");
   auto keeps_up = [&](double load) {
-    Simulation sim(subnet, cfg, traffic, load);
+    Simulation sim = Simulation::open_loop(subnet, cfg, traffic, load);
     const SimResult r = sim.run();
     // Offered bytes/ns/node at this load (endnode links carry one byte per
     // byte_time_ns at load 1.0).
@@ -167,7 +180,8 @@ Replication replicate(const Subnet& subnet, const SimConfig& cfg,
     run_cfg.seed = cfg.seed + static_cast<std::uint64_t>(i) * 7919u;
     TrafficConfig run_traffic = traffic;
     run_traffic.seed = traffic.seed + static_cast<std::uint64_t>(i) * 104729u;
-    Simulation sim(subnet, run_cfg, run_traffic, offered_load);
+    Simulation sim =
+        Simulation::open_loop(subnet, run_cfg, run_traffic, offered_load);
     const SimResult r = sim.run();
     if (rep.runs == 0) rep.first = r;
     rep.accepted.add(r.accepted_bytes_per_ns_per_node);

@@ -2,6 +2,7 @@
 // and render latency-vs-accepted-traffic series like the paper's figures.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,8 +32,12 @@ struct PointManifest {
   std::uint64_t sim_seed = 0;
   std::uint64_t traffic_seed = 0;
   double wall_seconds = 0.0;          ///< host time for this one simulation
+  /// Events the engine actually dispatched; scheduled additionally counts
+  /// work still queued at cutoff.  events_per_sec = processed / wall.
   std::uint64_t events_processed = 0;
+  std::uint64_t events_scheduled = 0;
   double events_per_sec = 0.0;
+  EventQueueStats queue;              ///< pending-event structure internals
 };
 
 /// One sweep sample: the series key plus the simulation outcome.
@@ -62,11 +67,34 @@ struct SweepPoint {
 [[nodiscard]] std::uint64_t sweep_traffic_seed(std::uint64_t base, int vls,
                                                double load);
 
+/// Execution knobs for run_sweep, separate from the figure definition so
+/// call sites never grow positional booleans.  The optional fields inherit
+/// from FigureSpec::sim when unset -- a default-constructed SweepOptions
+/// changes nothing about the spec.
+struct SweepOptions {
+  unsigned threads = 0;  ///< worker threads (0 = hardware concurrency)
+  /// CI-sized run: shrink the measurement window and load grid to the
+  /// smoke values (warmup 5 us, measure 20 us, loads {0.10, 0.40, 0.80}).
+  bool quick = false;
+  std::optional<bool> telemetry;  ///< override SimConfig::telemetry
+  std::optional<EventQueueKind> event_queue;  ///< override SimConfig::event_queue
+};
+
 /// Run the whole grid.  Independent simulations are distributed over
-/// `threads` worker threads (0 = hardware concurrency); results come back
-/// in deterministic grid order regardless of scheduling.
-std::vector<SweepPoint> run_figure(const FigureSpec& spec,
-                                   unsigned threads = 0);
+/// `options.threads` worker threads; results come back in deterministic
+/// grid order regardless of scheduling.
+std::vector<SweepPoint> run_sweep(const FigureSpec& spec,
+                                  const SweepOptions& options = {});
+
+/// Deprecated spelling of run_sweep from before SweepOptions existed; kept
+/// as an inline shim so stale branches keep compiling through one release.
+[[deprecated("use run_sweep(spec, SweepOptions{...})")]]
+inline std::vector<SweepPoint> run_figure(const FigureSpec& spec,
+                                          unsigned threads = 0) {
+  SweepOptions options;
+  options.threads = threads;
+  return run_sweep(spec, options);
+}
 
 /// Saturation throughput of a finished sweep: the highest accepted traffic
 /// any load point of the given series reached.

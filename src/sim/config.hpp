@@ -12,6 +12,7 @@
 
 #include "common/expect.hpp"
 #include "common/types.hpp"
+#include "sim/event_queue.hpp"
 
 namespace mlid {
 
@@ -70,6 +71,12 @@ struct SimConfig {
   /// Record full event timelines for the first N generated packets
   /// (0 = tracing off; see Simulation::traces()).
   std::uint32_t trace_packets = 0;
+
+  /// Pending-event structure the engine runs on.  The ladder queue is the
+  /// default hot path; the heap is the O(log n) reference kept one flag away
+  /// for bit-identity checks (asserted by sim/queue_parity_test.cpp) and
+  /// perf comparisons.  The choice never alters results, only speed.
+  EventQueueKind event_queue = EventQueueKind::kLadder;
 
   [[nodiscard]] SimTime end_time() const noexcept {
     return warmup_ns + measure_ns;

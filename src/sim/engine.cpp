@@ -2,13 +2,34 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 namespace mlid {
 
+Simulation Simulation::open_loop(const Subnet& subnet, const SimConfig& config,
+                                 const TrafficConfig& traffic,
+                                 double offered_load,
+                                 const OpenLoopOptions& options) {
+  return Simulation(subnet, config, traffic, offered_load, options);
+}
+
+Simulation Simulation::burst(const Subnet& subnet, const SimConfig& config,
+                             const std::vector<MessageSpec>& workload) {
+  return Simulation(subnet, config, workload);
+}
+
 Simulation::Simulation(const Subnet& subnet, SimConfig config,
-                       TrafficConfig traffic, double offered_load)
-    : Simulation(subnet, config, traffic, offered_load, /*burst=*/false) {}
+                       TrafficConfig traffic, double offered_load,
+                       const OpenLoopOptions& options)
+    : Simulation(subnet, config, traffic, offered_load, /*burst=*/false) {
+  if (options.live_sm != nullptr) {
+    attach_live_sm(*options.live_sm, options.faults);
+  } else {
+    MLID_EXPECT(options.faults.empty(),
+                "a fault schedule needs a live SM to react to it");
+  }
+}
 
 Simulation::Simulation(const Subnet& subnet, SimConfig config,
                        const std::vector<MessageSpec>& workload)
@@ -67,6 +88,7 @@ Simulation::Simulation(const Subnet& subnet, SimConfig config,
       offered_load_(offered_load),
       gen_interval_ns_(static_cast<double>(config.packet_wire_ns()) /
                        offered_load),
+      events_(config.event_queue),
       latency_hist_(0.0, 400'000.0, 4000) {
   cfg_.validate();
   burst_ = burst;
@@ -786,13 +808,13 @@ void Simulation::dispatch(const Event& e) {
 }
 
 BurstResult Simulation::run_to_completion() {
-  MLID_EXPECT(burst_, "run_to_completion needs the burst constructor");
-  while (!events_.empty()) {
-    const Event e = events_.pop();
-    MLID_ASSERT(e.kind != EventKind::kGenerate,
-                "burst mode schedules no generation");
-    dispatch(e);
-  }
+  MLID_EXPECT(burst_, "run_to_completion needs the burst factory");
+  events_.drain_until(std::numeric_limits<SimTime>::max(),
+                      [this](const Event& e) {
+                        MLID_ASSERT(e.kind != EventKind::kGenerate,
+                                    "burst mode schedules no generation");
+                        dispatch(e);
+                      });
   MLID_EXPECT(result_.packets_delivered + result_.packets_dropped ==
                   result_.packets_generated,
               "burst did not fully drain");
@@ -805,6 +827,7 @@ BurstResult Simulation::run_to_completion() {
   burst.packets = burst_packets_;
   burst.total_bytes = burst_bytes_;
   burst.events_processed = events_.events_processed();
+  burst.events_scheduled = events_.events_scheduled();
   if (cfg_.telemetry) {
     burst.telemetry = true;
     burst.p50_message_latency_ns = msg_latency_hist_.quantile(0.50);
@@ -915,14 +938,13 @@ void Simulation::check_invariants() const {
 SimResult Simulation::run() {
   MLID_EXPECT(!burst_, "burst simulation: use run_to_completion()");
   const SimTime end = cfg_.end_time();
-  while (!events_.empty() && events_.top().time < end) {
-    dispatch(events_.pop());
-  }
+  events_.drain_until(end, [this](const Event& e) { dispatch(e); });
   check_invariants();
 
   result_.offered_load = offered_load_;
   result_.sim_end_ns = end;
   result_.events_processed = events_.events_processed();
+  result_.events_scheduled = events_.events_scheduled();
   const auto num_nodes =
       static_cast<double>(subnet_->fabric().params().num_nodes());
   result_.accepted_bytes_per_ns_per_node =

@@ -27,28 +27,37 @@
 
 namespace mlid {
 
+/// Optional extras for Simulation::open_loop.  Attaching a live Subnet
+/// Manager here -- rather than through a post-construction setter -- makes
+/// the old "attach after run()" misuse unrepresentable by construction.
+struct OpenLoopOptions {
+  /// Live Subnet Manager (non-owning; must outlive the simulation).  The
+  /// fault schedule's link failures and recoveries become simulation
+  /// events: packets caught on a failing link are dropped, stale tables
+  /// misroute until the SM's trap-driven re-sweep reprograms the switches,
+  /// and the timeline lands in SimResult.  With an empty schedule the run
+  /// is bit-identical to an unattached one.
+  SubnetManager* live_sm = nullptr;
+  FaultSchedule faults;
+};
+
 class Simulation {
  public:
   /// Open-loop mode: `offered_load` is the per-node injection rate as a
   /// fraction of the endnode link bandwidth (1.0 = one packet every
   /// packet_wire_ns).  Use run().
-  Simulation(const Subnet& subnet, SimConfig config, TrafficConfig traffic,
-             double offered_load);
+  [[nodiscard]] static Simulation open_loop(const Subnet& subnet,
+                                            const SimConfig& config,
+                                            const TrafficConfig& traffic,
+                                            double offered_load,
+                                            const OpenLoopOptions& options = {});
 
   /// Closed-loop (burst) mode: segments every message at the MTU
   /// (config.packet_bytes) and queues all segments at t = 0.  Use
   /// run_to_completion().
-  Simulation(const Subnet& subnet, SimConfig config,
-             const std::vector<MessageSpec>& workload);
-
-  /// Attach a live Subnet Manager and a fault schedule (open-loop mode
-  /// only; call before run()).  The schedule's link failures and
-  /// recoveries become simulation events: packets caught on a failing
-  /// link are dropped, stale tables misroute until the SM's trap-driven
-  /// re-sweep reprograms the switches, and the timeline lands in
-  /// SimResult.  With an empty schedule the run is bit-identical to an
-  /// unattached one.
-  void attach_live_sm(SubnetManager& sm, const FaultSchedule& faults);
+  [[nodiscard]] static Simulation burst(
+      const Subnet& subnet, const SimConfig& config,
+      const std::vector<MessageSpec>& workload);
 
   /// Run to config.end_time() and return the collected metrics
   /// (open-loop mode only).
@@ -82,6 +91,14 @@ class Simulation {
   /// still balance against its capacity.  Throws ContractViolation on the
   /// first violation; run() calls it automatically before returning.
   void check_invariants() const;
+
+  /// Internals of the pending-event structure this run executed on (kind,
+  /// scheduled/processed counts, ladder bucket occupancy / resizes /
+  /// overflow depth).  Pure host-performance metadata: identical results
+  /// come out of either queue kind.
+  [[nodiscard]] EventQueueStats queue_stats() const noexcept {
+    return events_.stats();
+  }
 
  private:
   // --- engine state types ----------------------------------------------------
@@ -165,8 +182,14 @@ class Simulation {
                     SimTime now);
   void return_credit_upstream(DeviceId dev, PortId in_port, VlId vl,
                               SimTime now);
+  // Construction happens through the open_loop() / burst() factories only.
   Simulation(const Subnet& subnet, SimConfig config, TrafficConfig traffic,
              double offered_load, bool burst);  // shared setup
+  Simulation(const Subnet& subnet, SimConfig config, TrafficConfig traffic,
+             double offered_load, const OpenLoopOptions& options);
+  Simulation(const Subnet& subnet, SimConfig config,
+             const std::vector<MessageSpec>& workload);
+  void attach_live_sm(SubnetManager& sm, const FaultSchedule& faults);
   PacketId alloc_packet();
   void release_packet(PacketId pkt);
   [[nodiscard]] SimTime wire_ns(PacketId pkt) const {

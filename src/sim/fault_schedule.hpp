@@ -4,7 +4,7 @@
 // Each event names both endpoints of the affected link, resolved at
 // schedule-build time (a recovery must reconnect the exact ports the
 // failure tore down, and by then the fabric no longer knows the pairing).
-// The schedule itself is inert data; Simulation::attach_live_sm turns it
+// The schedule itself is inert data; OpenLoopOptions::live_sm turns it
 // into kLinkFail / kLinkRecover events on the engine's queue.
 #pragma once
 

@@ -156,7 +156,11 @@ struct SimResult {
   /// die shortly after the last program lands; those count as convergence
   /// loss above, not here.
   std::uint64_t drops_post_convergence = 0;
+  /// Events dispatched by the engine's main loop.  events_scheduled also
+  /// counts work still queued when the run's end time cut the loop off, so
+  /// scheduled >= processed; events/sec manifests divide by *processed*.
   std::uint64_t events_processed = 0;
+  std::uint64_t events_scheduled = 0;
   double avg_hops = 0.0;
   std::uint64_t max_source_queue_pkts = 0;
   double mean_link_utilization = 0.0;  ///< busy fraction, measurement window

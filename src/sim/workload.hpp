@@ -31,7 +31,10 @@ struct BurstResult {
   std::uint64_t messages = 0;
   std::uint64_t packets = 0;
   std::uint64_t total_bytes = 0;
+  /// A burst drains completely, so processed == scheduled here; both are
+  /// reported for symmetry with SimResult.
   std::uint64_t events_processed = 0;
+  std::uint64_t events_scheduled = 0;
 
   // --- telemetry (populated only when SimConfig::telemetry is on) ------------
   bool telemetry = false;

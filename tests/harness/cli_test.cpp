@@ -72,6 +72,42 @@ TEST(Cli, FaultScheduleMatchesFlags) {
   EXPECT_EQ(faults.events()[3].at, 40'000);
 }
 
+TEST(Cli, EventQueueFlagBothFormsAndDefault) {
+  EXPECT_FALSE(parse({}).event_queue().has_value());
+  const CliOptions eq = parse({"--event-queue=heap"});
+  ASSERT_TRUE(eq.event_queue().has_value());
+  EXPECT_EQ(*eq.event_queue(), EventQueueKind::kHeap);
+  const CliOptions two = parse({"--event-queue", "ladder"});
+  ASSERT_TRUE(two.event_queue().has_value());
+  EXPECT_EQ(*two.event_queue(), EventQueueKind::kLadder);
+}
+
+TEST(Cli, SweepOptionsMirrorTheFlags) {
+  const CliOptions opts =
+      parse({"--quick", "--threads=3", "--event-queue=heap",
+             "--no-telemetry"});
+  const SweepOptions sweep = opts.sweep_options();
+  EXPECT_EQ(sweep.threads, 3u);
+  EXPECT_TRUE(sweep.quick);
+  ASSERT_TRUE(sweep.telemetry.has_value());
+  EXPECT_FALSE(*sweep.telemetry);
+  ASSERT_TRUE(sweep.event_queue.has_value());
+  EXPECT_EQ(*sweep.event_queue, EventQueueKind::kHeap);
+
+  // Unset flags stay nullopt so the spec's own settings win.
+  const SweepOptions defaults = parse({}).sweep_options();
+  EXPECT_FALSE(defaults.telemetry.has_value());
+  EXPECT_FALSE(defaults.event_queue.has_value());
+}
+
+TEST(Cli, ApplyPropagatesSimOverrides) {
+  const CliOptions opts = parse({"--event-queue=heap", "--no-telemetry"});
+  FigureSpec spec;
+  opts.apply(spec);
+  EXPECT_EQ(spec.sim.event_queue, EventQueueKind::kHeap);
+  EXPECT_FALSE(spec.sim.telemetry);
+}
+
 TEST(Cli, QuickModeShrinksAFigureSpec) {
   const CliOptions opts = parse({"--quick", "--seed=5"});
   FigureSpec spec;
@@ -118,6 +154,13 @@ TEST(CliDeathTest, OutOfRangeValueIsRejected) {
   // Negative where the flag's type is unsigned.
   EXPECT_EXIT(parse({"--threads=-1"}), ::testing::ExitedWithCode(2),
               "--threads");
+}
+
+TEST(CliDeathTest, BogusEventQueueKindIsRejected) {
+  EXPECT_EXIT(parse({"--event-queue=bogus"}), ::testing::ExitedWithCode(2),
+              "--event-queue");
+  EXPECT_EXIT(parse({"--event-queue="}), ::testing::ExitedWithCode(2),
+              "heap or ladder");
 }
 
 TEST(CliDeathTest, UnknownFlagListsTheKnownOnes) {

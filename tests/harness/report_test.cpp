@@ -103,7 +103,7 @@ TEST(Report, FigureSweepSerializesEveryPoint) {
   spec.sim.measure_ns = 10'000;
   spec.vl_counts = {1};
   spec.loads = {0.2, 0.5};
-  const auto points = run_figure(spec, 1);
+  const auto points = run_sweep(spec, {.threads = 1});
   const std::string json = to_json(spec, points);
   EXPECT_NE(json.find("\"title\":\"json test\""), std::string::npos);
   EXPECT_NE(json.find("\"traffic\":\"uniform\""), std::string::npos);

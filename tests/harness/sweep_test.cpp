@@ -23,7 +23,7 @@ FigureSpec tiny_spec() {
 
 TEST(Sweep, ProducesTheFullGridInOrder) {
   const FigureSpec spec = tiny_spec();
-  const auto points = run_figure(spec, /*threads=*/1);
+  const auto points = run_sweep(spec, {.threads = 1});
   ASSERT_EQ(points.size(), 2u * 2u * 2u);  // schemes x vls x loads
   // Grid order: scheme-major, then VLs, then loads.
   EXPECT_EQ(points[0].scheme, SchemeKind::kSlid);
@@ -39,8 +39,8 @@ TEST(Sweep, ProducesTheFullGridInOrder) {
 
 TEST(Sweep, ThreadCountDoesNotChangeResults) {
   const FigureSpec spec = tiny_spec();
-  const auto serial = run_figure(spec, 1);
-  const auto parallel = run_figure(spec, 4);
+  const auto serial = run_sweep(spec, {.threads = 1});
+  const auto parallel = run_sweep(spec, {.threads = 4});
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_DOUBLE_EQ(serial[i].result.avg_latency_ns,
@@ -58,8 +58,8 @@ TEST(Sweep, PointSeedsDependOnCoordinatesNotGridShape) {
   FigureSpec small = tiny_spec();
   FigureSpec large = tiny_spec();
   large.loads = {0.2, 0.4, 0.6};  // insert a load between the two existing
-  const auto small_points = run_figure(small, 1);
-  const auto large_points = run_figure(large, 1);
+  const auto small_points = run_sweep(small, {.threads = 1});
+  const auto large_points = run_sweep(large, {.threads = 1});
   for (const auto& sp : small_points) {
     bool found = false;
     for (const auto& lp : large_points) {
@@ -99,7 +99,7 @@ TEST(Sweep, BothSchemesFaceTheIdenticalWorkload) {
   // grid point SLID and MLID see the same destinations and arrivals, so
   // their comparison measures routing, not traffic luck.
   const FigureSpec spec = tiny_spec();
-  const auto points = run_figure(spec, 1);
+  const auto points = run_sweep(spec, {.threads = 1});
   for (const auto& a : points) {
     for (const auto& b : points) {
       if (a.vls == b.vls && a.load == b.load) {
@@ -114,22 +114,74 @@ TEST(Sweep, BothSchemesFaceTheIdenticalWorkload) {
 
 TEST(Sweep, ManifestRecordsTheRun) {
   const FigureSpec spec = tiny_spec();
-  const auto points = run_figure(spec, 1);
+  const auto points = run_sweep(spec, {.threads = 1});
   for (const auto& p : points) {
     EXPECT_EQ(p.manifest.sim_seed,
               sweep_point_seed(spec.sim.seed, p.scheme, p.vls, p.load));
     EXPECT_GT(p.manifest.events_processed, 0u);
     EXPECT_EQ(p.manifest.events_processed, p.result.events_processed);
+    // An open-loop run ends at a wall-clock cutoff with work still queued,
+    // so scheduled must exceed processed; events/sec divides by processed.
+    EXPECT_GE(p.manifest.events_scheduled, p.manifest.events_processed);
+    EXPECT_EQ(p.manifest.events_scheduled, p.result.events_scheduled);
     EXPECT_GE(p.manifest.wall_seconds, 0.0);
     // events_per_sec is 0 only if the clock read 0 wall time.
     EXPECT_TRUE(p.manifest.events_per_sec > 0.0 ||
                 p.manifest.wall_seconds == 0.0);
+    // Queue internals ride along (ladder is the default).
+    EXPECT_EQ(p.manifest.queue.kind, EventQueueKind::kLadder);
+    EXPECT_GT(p.manifest.queue.buckets, 0u);
+    EXPECT_EQ(p.manifest.queue.events_processed, p.manifest.events_processed);
+  }
+}
+
+TEST(Sweep, OptionsOverrideQueueKindAndTelemetry) {
+  const FigureSpec spec = tiny_spec();
+  SweepOptions options;
+  options.threads = 1;
+  options.event_queue = EventQueueKind::kHeap;
+  options.telemetry = false;
+  const auto points = run_sweep(spec, options);
+  for (const auto& p : points) {
+    EXPECT_EQ(p.manifest.queue.kind, EventQueueKind::kHeap);
+    EXPECT_FALSE(p.result.telemetry);
+  }
+  // Defaults inherit from the spec instead of overriding it.
+  FigureSpec no_telemetry = tiny_spec();
+  no_telemetry.sim.telemetry = false;
+  no_telemetry.loads = {0.2};
+  no_telemetry.vl_counts = {1};
+  const auto inherited = run_sweep(no_telemetry, {.threads = 1});
+  for (const auto& p : inherited) EXPECT_FALSE(p.result.telemetry);
+}
+
+TEST(Sweep, QuickOptionShrinksTheGrid) {
+  FigureSpec spec = tiny_spec();
+  spec.loads = FigureSpec::kDefaultLoads();
+  const auto points = run_sweep(spec, {.threads = 1, .quick = true});
+  // 2 schemes x 2 vls x the 3 smoke loads.
+  EXPECT_EQ(points.size(), 2u * 2u * 3u);
+}
+
+TEST(Sweep, DeprecatedRunFigureShimForwards) {
+  const FigureSpec spec = tiny_spec();
+  const auto via_options = run_sweep(spec, {.threads = 1});
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto via_shim = run_figure(spec, 1);
+#pragma GCC diagnostic pop
+  ASSERT_EQ(via_shim.size(), via_options.size());
+  for (std::size_t i = 0; i < via_shim.size(); ++i) {
+    EXPECT_EQ(via_shim[i].result.packets_measured,
+              via_options[i].result.packets_measured);
+    EXPECT_DOUBLE_EQ(via_shim[i].result.avg_latency_ns,
+                     via_options[i].result.avg_latency_ns);
   }
 }
 
 TEST(Sweep, SaturationThroughputPicksTheSeriesMaximum) {
   const FigureSpec spec = tiny_spec();
-  const auto points = run_figure(spec, 1);
+  const auto points = run_sweep(spec, {.threads = 1});
   const double sat = saturation_throughput(points, SchemeKind::kMlid, 1);
   double expected = 0.0;
   for (const auto& p : points) {
@@ -143,7 +195,7 @@ TEST(Sweep, SaturationThroughputPicksTheSeriesMaximum) {
 
 TEST(Sweep, RenderersIncludeEverySample) {
   const FigureSpec spec = tiny_spec();
-  const auto points = run_figure(spec, 1);
+  const auto points = run_sweep(spec, {.threads = 1});
   const std::string table = render_figure_table(spec, points);
   EXPECT_NE(table.find("test figure"), std::string::npos);
   EXPECT_NE(table.find("SLID 1VL"), std::string::npos);

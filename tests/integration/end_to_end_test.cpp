@@ -36,7 +36,9 @@ TEST_P(EndToEnd, BringUpRouteAndSimulate) {
     cfg.warmup_ns = 5'000;
     cfg.measure_ns = 20'000;
     cfg.seed = 3;
-    Simulation sim(subnet, cfg, {TrafficKind::kUniform, 0.2, 0, 7}, 0.5);
+    Simulation sim = Simulation::open_loop(subnet, cfg,
+                                           {TrafficKind::kUniform, 0.2, 0, 7},
+                                           0.5);
     const SimResult r = sim.run();
     EXPECT_GT(r.packets_measured, 50u);
     EXPECT_EQ(r.packets_dropped, 0u);

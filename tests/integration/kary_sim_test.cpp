@@ -16,7 +16,9 @@ TEST(KarySim, OpenLoopUniformRuns) {
     cfg.warmup_ns = 5'000;
     cfg.measure_ns = 25'000;
     cfg.seed = 14;
-    Simulation sim(subnet, cfg, {TrafficKind::kUniform, 0.2, 0, 8}, 0.5);
+    Simulation sim = Simulation::open_loop(subnet, cfg,
+                                           {TrafficKind::kUniform, 0.2, 0, 8},
+                                           0.5);
     const SimResult r = sim.run();
     EXPECT_GT(r.packets_measured, 50u);
     EXPECT_EQ(r.packets_dropped, 0u);
@@ -34,7 +36,9 @@ TEST(KarySim, LatencyClosedFormHolds) {
   cfg.warmup_ns = 5'000;
   cfg.measure_ns = 30'000;
   cfg.seed = 14;
-  Simulation sim(subnet, cfg, {TrafficKind::kNeighbor, 0, 0, 8}, 0.05);
+  Simulation sim = Simulation::open_loop(subnet, cfg,
+                                         {TrafficKind::kNeighbor, 0, 0, 8},
+                                         0.05);
   const SimResult r = sim.run();
   ASSERT_GT(r.packets_measured, 30u);
   EXPECT_DOUBLE_EQ(r.avg_latency_ns, 396.0);
@@ -50,9 +54,9 @@ TEST(KarySim, CentricMlidBeatsSlid) {
   cfg.seed = 14;
   const TrafficConfig traffic{TrafficKind::kCentric, 0.3, 0, 8};
   const double q =
-      Simulation(mlid, cfg, traffic, 0.9).run().accepted_bytes_per_ns_per_node;
+      Simulation::open_loop(mlid, cfg, traffic, 0.9).run().accepted_bytes_per_ns_per_node;
   const double s =
-      Simulation(slid, cfg, traffic, 0.9).run().accepted_bytes_per_ns_per_node;
+      Simulation::open_loop(slid, cfg, traffic, 0.9).run().accepted_bytes_per_ns_per_node;
   EXPECT_GT(q, s);
 }
 
@@ -61,7 +65,8 @@ TEST(KarySim, BurstAllToAllDrains) {
   const Subnet subnet(fabric, SchemeKind::kMlid);
   SimConfig cfg;
   cfg.seed = 14;
-  Simulation sim(subnet, cfg, all_to_all_personalized(8, 512));
+  Simulation sim = Simulation::burst(subnet, cfg,
+                                     all_to_all_personalized(8, 512));
   const BurstResult r = sim.run_to_completion();
   EXPECT_EQ(r.messages, 8u * 7u);
   EXPECT_GT(r.makespan_ns, 0);

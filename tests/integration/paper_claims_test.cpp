@@ -25,7 +25,7 @@ TEST(PaperClaims, Remark1MlidThroughputAtLeastSlidCentric) {
   // scheme for all simulated cases" -- sharpest under centric traffic.
   for (const auto& [m, n] : {std::pair{4, 3}, std::pair{8, 2}}) {
     const FigureSpec spec = spec_for(m, n, TrafficKind::kCentric);
-    const auto points = run_figure(spec, 1);
+    const auto points = run_sweep(spec, {.threads = 1});
     const double mlid = saturation_throughput(points, SchemeKind::kMlid, 1);
     const double slid = saturation_throughput(points, SchemeKind::kSlid, 1);
     EXPECT_GT(mlid, slid) << m << "-port " << n << "-tree";
@@ -34,7 +34,7 @@ TEST(PaperClaims, Remark1MlidThroughputAtLeastSlidCentric) {
 
 TEST(PaperClaims, Remark1MlidThroughputAtLeastSlidUniform) {
   const FigureSpec spec = spec_for(8, 2, TrafficKind::kUniform);
-  const auto points = run_figure(spec, 1);
+  const auto points = run_sweep(spec, {.threads = 1});
   const double mlid = saturation_throughput(points, SchemeKind::kMlid, 1);
   const double slid = saturation_throughput(points, SchemeKind::kSlid, 1);
   EXPECT_GE(mlid, slid * 0.98);  // "a little higher or equal" for small m
@@ -44,7 +44,7 @@ TEST(PaperClaims, Remark2LowLoadLatencyComparable) {
   // "When the network traffic is low, the average message latency of the
   // MLID scheme, in general, is less than or equal to that of SLID."
   const FigureSpec spec = spec_for(4, 3, TrafficKind::kUniform);
-  const auto points = run_figure(spec, 1);
+  const auto points = run_sweep(spec, {.threads = 1});
   double mlid_low = 0.0, slid_low = 0.0;
   for (const auto& p : points) {
     if (p.load != 0.05) continue;
@@ -64,7 +64,7 @@ TEST(PaperClaims, Observation4CentricLowLoadLatencyFavorsMlid) {
   // With a hot spot even the lowest load queues packets, and MLID's spread
   // ascent keeps those queues shorter.
   const FigureSpec spec = spec_for(8, 2, TrafficKind::kCentric);
-  const auto points = run_figure(spec, 1);
+  const auto points = run_sweep(spec, {.threads = 1});
   double mlid_low = 0.0, slid_low = 0.0;
   for (const auto& p : points) {
     if (p.load != 0.9) continue;  // deep in the congested regime
@@ -83,7 +83,7 @@ TEST(PaperClaims, Remark3AdvantageGrowsWithNetworkSize) {
   // noticeable while a network size is getting larger."
   auto ratio = [&](int m, int n) {
     const FigureSpec spec = spec_for(m, n, TrafficKind::kCentric);
-    const auto points = run_figure(spec, 1);
+    const auto points = run_sweep(spec, {.threads = 1});
     return saturation_throughput(points, SchemeKind::kMlid, 1) /
            saturation_throughput(points, SchemeKind::kSlid, 1);
   };

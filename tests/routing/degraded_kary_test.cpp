@@ -65,7 +65,7 @@ TEST(RunFigure, EmptyLoadGridYieldsNoPoints) {
   spec.m = 4;
   spec.n = 2;
   spec.loads = {};
-  const auto points = run_figure(spec, 1);
+  const auto points = run_sweep(spec, {.threads = 1});
   EXPECT_TRUE(points.empty());
 }
 

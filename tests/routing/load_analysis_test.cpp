@@ -153,7 +153,9 @@ TEST(LoadAnalysis, PredictionMatchesSimulatedUtilizationRanking) {
   cfg.warmup_ns = 10'000;
   cfg.measure_ns = 60'000;
   cfg.seed = 3;
-  Simulation sim(subnet, cfg, {TrafficKind::kCentric, 1.0, 0, 3}, 0.2);
+  Simulation sim = Simulation::open_loop(subnet, cfg,
+                                         {TrafficKind::kCentric, 1.0, 0, 3},
+                                         0.2);
   sim.run();
   const auto measured = sim.link_loads();
 

@@ -23,8 +23,9 @@ TEST(Adaptive, DeliversEverythingCorrectly) {
        {FatTreeParams(4, 3), FatTreeParams(8, 2), FatTreeParams::kary(2, 3)}) {
     const FatTreeFabric fabric(params);
     const Subnet subnet(fabric, SchemeKind::kSlid);
-    Simulation sim(subnet, adaptive_cfg(), {TrafficKind::kUniform, 0.2, 0, 5},
-                   0.6);
+    Simulation sim = Simulation::open_loop(subnet, adaptive_cfg(),
+                                           {TrafficKind::kUniform, 0.2, 0, 5},
+                                           0.6);
     const SimResult r = sim.run();
     EXPECT_GT(r.packets_measured, 100u);
     EXPECT_EQ(r.packets_dropped, 0u);
@@ -37,7 +38,9 @@ TEST(Adaptive, LatencyModelUnchangedWithoutContention) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
   SimConfig cfg = adaptive_cfg();
-  Simulation sim(subnet, cfg, {TrafficKind::kBitComplement, 0, 0, 5}, 0.05);
+  Simulation sim = Simulation::open_loop(subnet, cfg,
+                                         {TrafficKind::kBitComplement, 0, 0, 5},
+                                         0.05);
   const SimResult r = sim.run();
   ASSERT_GT(r.packets_measured, 40u);
   EXPECT_DOUBLE_EQ(r.avg_latency_ns, 636.0);
@@ -53,10 +56,10 @@ TEST(Adaptive, RescuesSlidFromHotSpotConvergence) {
   SimConfig det = adaptive_cfg();
   det.forwarding = ForwardingMode::kDeterministic;
   const double d =
-      Simulation(subnet, det, traffic, 0.9).run()
+      Simulation::open_loop(subnet, det, traffic, 0.9).run()
           .accepted_bytes_per_ns_per_node;
   const double a =
-      Simulation(subnet, adaptive_cfg(), traffic, 0.9).run()
+      Simulation::open_loop(subnet, adaptive_cfg(), traffic, 0.9).run()
           .accepted_bytes_per_ns_per_node;
   EXPECT_GT(a, d);
 }
@@ -68,10 +71,10 @@ TEST(Adaptive, AtLeastMatchesMlidUnderHotSpot) {
   SimConfig det = adaptive_cfg();
   det.forwarding = ForwardingMode::kDeterministic;
   const double d =
-      Simulation(subnet, det, traffic, 0.9).run()
+      Simulation::open_loop(subnet, det, traffic, 0.9).run()
           .accepted_bytes_per_ns_per_node;
   const double a =
-      Simulation(subnet, adaptive_cfg(), traffic, 0.9).run()
+      Simulation::open_loop(subnet, adaptive_cfg(), traffic, 0.9).run()
           .accepted_bytes_per_ns_per_node;
   EXPECT_GE(a, 0.95 * d);
 }
@@ -80,8 +83,10 @@ TEST(Adaptive, StillDeterministicGivenTheSeed) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
   const TrafficConfig traffic{TrafficKind::kUniform, 0.2, 0, 5};
-  const SimResult a = Simulation(subnet, adaptive_cfg(), traffic, 0.7).run();
-  const SimResult b = Simulation(subnet, adaptive_cfg(), traffic, 0.7).run();
+  const SimResult a = Simulation::open_loop(subnet, adaptive_cfg(), traffic,
+                                            0.7).run();
+  const SimResult b = Simulation::open_loop(subnet, adaptive_cfg(), traffic,
+                                            0.7).run();
   EXPECT_EQ(a.packets_measured, b.packets_measured);
   EXPECT_DOUBLE_EQ(a.avg_latency_ns, b.avg_latency_ns);
 }

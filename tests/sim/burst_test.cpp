@@ -90,7 +90,7 @@ TEST(Burst, SingleMessageMatchesTheClosedFormLatency) {
   // 3*100 + 4*20 + 256 = 636 ns.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
-  Simulation sim(subnet, one_lane(), {{0, 7, 256}});
+  Simulation sim = Simulation::burst(subnet, one_lane(), {{0, 7, 256}});
   const BurstResult r = sim.run_to_completion();
   EXPECT_EQ(r.messages, 1u);
   EXPECT_EQ(r.packets, 1u);
@@ -104,7 +104,7 @@ TEST(Burst, SegmentedMessagePipelinesAtTheCreditCadence) {
   // so the tail segment leaves at 3*396 and lands 636 ns later: 1824 ns.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
-  Simulation sim(subnet, one_lane(), {{0, 7, 1024}});
+  Simulation sim = Simulation::burst(subnet, one_lane(), {{0, 7, 1024}});
   const BurstResult r = sim.run_to_completion();
   EXPECT_EQ(r.packets, 4u);
   EXPECT_EQ(r.total_bytes, 1024u);
@@ -115,7 +115,7 @@ TEST(Burst, OddSizesSegmentExactly) {
   // 300 bytes -> one 256-byte and one 44-byte segment.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
-  Simulation sim(subnet, one_lane(), {{0, 1, 300}});
+  Simulation sim = Simulation::burst(subnet, one_lane(), {{0, 1, 300}});
   const BurstResult r = sim.run_to_completion();
   EXPECT_EQ(r.packets, 2u);
   EXPECT_EQ(r.total_bytes, 300u);
@@ -128,7 +128,7 @@ TEST(Burst, AllToAllDrainsAndConserves) {
   SimConfig cfg;
   cfg.seed = 41;
   const auto workload = all_to_all_personalized(16, 512);
-  Simulation sim(subnet, cfg, workload);
+  Simulation sim = Simulation::burst(subnet, cfg, workload);
   const BurstResult r = sim.run_to_completion();
   EXPECT_EQ(r.messages, 16u * 15u);
   EXPECT_EQ(r.packets, 16u * 15u * 2u);  // 512 B = 2 segments
@@ -149,9 +149,9 @@ TEST(Burst, MlidAllToAllNoSlowerThanSlid) {
   SimConfig cfg;
   cfg.seed = 41;
   const SimTime t_mlid =
-      Simulation(mlid, cfg, workload).run_to_completion().makespan_ns;
+      Simulation::burst(mlid, cfg, workload).run_to_completion().makespan_ns;
   const SimTime t_slid =
-      Simulation(slid, cfg, workload).run_to_completion().makespan_ns;
+      Simulation::burst(slid, cfg, workload).run_to_completion().makespan_ns;
   EXPECT_LE(t_mlid, static_cast<SimTime>(1.05 * static_cast<double>(t_slid)));
 }
 
@@ -160,7 +160,7 @@ TEST(Burst, GatherSerializesOnTheRootLink) {
   // the pure serialization of their payloads.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
-  Simulation sim(subnet, one_lane(), gather_to(8, 3, 512));
+  Simulation sim = Simulation::burst(subnet, one_lane(), gather_to(8, 3, 512));
   const BurstResult r = sim.run_to_completion();
   EXPECT_GE(r.makespan_ns, 7 * 512);
 }
@@ -171,8 +171,8 @@ TEST(Burst, Deterministic) {
   const auto workload = all_to_all_personalized(16, 512);
   SimConfig cfg;
   cfg.seed = 41;
-  const BurstResult a = Simulation(subnet, cfg, workload).run_to_completion();
-  const BurstResult b = Simulation(subnet, cfg, workload).run_to_completion();
+  const BurstResult a = Simulation::burst(subnet, cfg, workload).run_to_completion();
+  const BurstResult b = Simulation::burst(subnet, cfg, workload).run_to_completion();
   EXPECT_EQ(a.makespan_ns, b.makespan_ns);
   EXPECT_DOUBLE_EQ(a.avg_message_latency_ns, b.avg_message_latency_ns);
   EXPECT_EQ(a.events_processed, b.events_processed);
@@ -181,13 +181,16 @@ TEST(Burst, Deterministic) {
 TEST(Burst, ModeMixupsAreRejected) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
-  Simulation burst(subnet, one_lane(), {{0, 1, 256}});
+  Simulation burst = Simulation::burst(subnet, one_lane(), {{0, 1, 256}});
   EXPECT_THROW(burst.run(), ContractViolation);
-  Simulation open(subnet, one_lane(), {TrafficKind::kUniform, 0, 0, 1}, 0.5);
+  Simulation open = Simulation::open_loop(subnet, one_lane(),
+                                          {TrafficKind::kUniform, 0, 0, 1},
+                                          0.5);
   EXPECT_THROW(open.run_to_completion(), ContractViolation);
-  EXPECT_THROW(Simulation(subnet, one_lane(), std::vector<MessageSpec>{}),
+  EXPECT_THROW(Simulation::burst(subnet, one_lane(),
+                                 std::vector<MessageSpec>{}),
                ContractViolation);
-  EXPECT_THROW(Simulation(subnet, one_lane(), {{0, 0, 256}}),
+  EXPECT_THROW(Simulation::burst(subnet, one_lane(), {{0, 0, 256}}),
                ContractViolation);
 }
 

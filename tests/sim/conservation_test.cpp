@@ -26,7 +26,8 @@ TEST_P(Conservation, CountsAndRatesAreConsistent) {
   cfg.measure_ns = 40'000;
   cfg.seed = 17;
   cfg.num_vls = c.vls;
-  Simulation sim(subnet, cfg, {c.traffic, 0.2, 0, 23}, c.load);
+  Simulation sim = Simulation::open_loop(subnet, cfg, {c.traffic, 0.2, 0, 23},
+                                         c.load);
   const SimResult r = sim.run();
 
   // Conservation: no drops, deliveries never exceed generation, and the

@@ -22,7 +22,9 @@ TEST(Contention, PureHotSpotSaturatesTheDestinationLink) {
   // much is offered.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
-  Simulation sim(subnet, window(), {TrafficKind::kCentric, 1.0, 0, 5}, 0.9);
+  Simulation sim = Simulation::open_loop(subnet, window(),
+                                         {TrafficKind::kCentric, 1.0, 0, 5},
+                                         0.9);
   const SimResult r = sim.run();
   // The terminal link is the busiest in the network.  Its steady-state
   // cadence is one packet per (wire + credit round trip) where the credit
@@ -44,7 +46,9 @@ TEST(Contention, SharedLinkServesCompetitorsFairly) {
   // across two runs differing only in seed.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
-  Simulation sim(subnet, window(), {TrafficKind::kCentric, 1.0, 0, 5}, 0.9);
+  Simulation sim = Simulation::open_loop(subnet, window(),
+                                         {TrafficKind::kCentric, 1.0, 0, 5},
+                                         0.9);
   const SimResult r = sim.run();
   // All 7 competing sources deliver in steady state; the hot node's own
   // uniform traffic also flows.  Sanity: deliveries happened and nothing
@@ -58,7 +62,9 @@ TEST(Contention, UniformLoadDegradesGracefully) {
   const Subnet subnet(fabric, SchemeKind::kMlid);
   double last_latency = 0.0;
   for (double load : {0.1, 0.5, 0.9}) {
-    Simulation sim(subnet, window(), {TrafficKind::kUniform, 0, 0, 5}, load);
+    Simulation sim = Simulation::open_loop(subnet, window(),
+                                           {TrafficKind::kUniform, 0, 0, 5},
+                                           load);
     const SimResult r = sim.run();
     EXPECT_GE(r.avg_latency_ns, last_latency * 0.95)
         << "latency should not drop as load rises (load " << load << ")";
@@ -73,8 +79,10 @@ TEST(Contention, MlidBeatsSlidOnCentricTraffic) {
   const Subnet mlid_subnet(fabric, SchemeKind::kMlid);
   const Subnet slid_subnet(fabric, SchemeKind::kSlid);
   const TrafficConfig traffic{TrafficKind::kCentric, 0.20, 0, 5};
-  Simulation mlid_sim(mlid_subnet, window(), traffic, 0.8);
-  Simulation slid_sim(slid_subnet, window(), traffic, 0.8);
+  Simulation mlid_sim = Simulation::open_loop(mlid_subnet, window(), traffic,
+                                              0.8);
+  Simulation slid_sim = Simulation::open_loop(slid_subnet, window(), traffic,
+                                              0.8);
   const double mlid_acc = mlid_sim.run().accepted_bytes_per_ns_per_node;
   const double slid_acc = slid_sim.run().accepted_bytes_per_ns_per_node;
   EXPECT_GT(mlid_acc, slid_acc);
@@ -83,7 +91,8 @@ TEST(Contention, MlidBeatsSlidOnCentricTraffic) {
 TEST(Contention, LinkUtilizationIsAProperFraction) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
-  Simulation sim(subnet, window(), {TrafficKind::kUniform, 0, 0, 5}, 0.7);
+  Simulation sim = Simulation::open_loop(subnet, window(),
+                                         {TrafficKind::kUniform, 0, 0, 5}, 0.7);
   const SimResult r = sim.run();
   EXPECT_GT(r.mean_link_utilization, 0.0);
   EXPECT_LE(r.max_link_utilization, 1.0 + 1e-9);

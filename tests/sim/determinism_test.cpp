@@ -19,7 +19,8 @@ SimResult run_once(SchemeKind kind, std::uint64_t seed, double load,
                    TrafficKind traffic = TrafficKind::kUniform) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
   const Subnet subnet(fabric, kind);
-  Simulation sim(subnet, window(seed), {traffic, 0.2, 0, seed * 3 + 1}, load);
+  Simulation sim = Simulation::open_loop(subnet, window(seed),
+                                         {traffic, 0.2, 0, seed * 3 + 1}, load);
   return sim.run();
 }
 
@@ -59,8 +60,9 @@ TEST(Determinism, FreshSubnetDoesNotPerturbResults) {
   const SimResult a = run_once(SchemeKind::kMlid, 11, 0.4);
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
-  Simulation sim(subnet, window(11), {TrafficKind::kUniform, 0.2, 0, 34},
-                 0.4);
+  Simulation sim = Simulation::open_loop(subnet, window(11),
+                                         {TrafficKind::kUniform, 0.2, 0, 34},
+                                         0.4);
   expect_identical(a, sim.run());
 }
 

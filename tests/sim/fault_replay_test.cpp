@@ -30,9 +30,9 @@ SimResult run_live(SchemeKind kind, std::uint64_t seed,
   FatTreeFabric fabric{FatTreeParams(kM, kN)};
   const Subnet subnet(fabric, kind);
   SubnetManager sm(fabric, subnet);
-  Simulation sim(subnet, window(seed), {TrafficKind::kUniform, 0.2, 0, seed},
-                 0.6);
-  sim.attach_live_sm(sm, faults);
+  Simulation sim = Simulation::open_loop(subnet, window(seed),
+                                         {TrafficKind::kUniform, 0.2, 0, seed},
+                                         0.6, {&sm, faults});
   return sim.run();
 }
 
@@ -78,11 +78,12 @@ TEST(FaultReplay, EmptyScheduleIdenticalToUnattachedRun) {
   FatTreeFabric fabric{FatTreeParams(kM, kN)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
   const TrafficConfig traffic{TrafficKind::kUniform, 0.2, 0, 5};
-  const SimResult plain = Simulation(subnet, window(5), traffic, 0.6).run();
+  const SimResult plain = Simulation::open_loop(subnet, window(5), traffic,
+                                                0.6).run();
 
   SubnetManager sm(fabric, subnet);
-  Simulation live(subnet, window(5), traffic, 0.6);
-  live.attach_live_sm(sm, FaultSchedule{});
+  Simulation live =
+      Simulation::open_loop(subnet, window(5), traffic, 0.6, {&sm, {}});
   const SimResult attached = live.run();
 
   expect_identical(plain, attached);

@@ -22,7 +22,8 @@ TEST(FlowControl, NoPacketIsEverDropped) {
   const Subnet subnet(fabric, SchemeKind::kMlid);
   for (double load : {0.3, 0.9}) {
     for (auto kind : {TrafficKind::kUniform, TrafficKind::kCentric}) {
-      Simulation sim(subnet, window(), {kind, 0.2, 0, 9}, load);
+      Simulation sim = Simulation::open_loop(subnet, window(),
+                                             {kind, 0.2, 0, 9}, load);
       const SimResult r = sim.run();
       EXPECT_EQ(r.packets_dropped, 0u);
       EXPECT_LE(r.packets_delivered, r.packets_generated);
@@ -42,10 +43,10 @@ TEST(FlowControl, DeeperBuffersRaiseHotSpotThroughput) {
   deep.out_buf_pkts = 4;
   const TrafficConfig traffic{TrafficKind::kCentric, 1.0, 0, 9};
   const double t_shallow =
-      Simulation(subnet, shallow, traffic, 0.9).run()
+      Simulation::open_loop(subnet, shallow, traffic, 0.9).run()
           .accepted_bytes_per_ns_per_node;
   const double t_deep =
-      Simulation(subnet, deep, traffic, 0.9).run()
+      Simulation::open_loop(subnet, deep, traffic, 0.9).run()
           .accepted_bytes_per_ns_per_node;
   EXPECT_GT(t_deep, t_shallow);
 }
@@ -53,7 +54,8 @@ TEST(FlowControl, DeeperBuffersRaiseHotSpotThroughput) {
 TEST(FlowControl, BackpressureKeepsSourceQueuesBoundedAtLowLoad) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
-  Simulation sim(subnet, window(), {TrafficKind::kUniform, 0, 0, 9}, 0.1);
+  Simulation sim = Simulation::open_loop(subnet, window(),
+                                         {TrafficKind::kUniform, 0, 0, 9}, 0.1);
   const SimResult r = sim.run();
   EXPECT_LE(r.max_source_queue_pkts, 4u);
 }
@@ -63,7 +65,9 @@ TEST(FlowControl, SaturationGrowsSourceQueuesNotTheNetwork) {
   // cap per-hop occupancy); the surplus accumulates in source queues.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
-  Simulation sim(subnet, window(), {TrafficKind::kCentric, 1.0, 0, 9}, 1.0);
+  Simulation sim = Simulation::open_loop(subnet, window(),
+                                         {TrafficKind::kCentric, 1.0, 0, 9},
+                                         1.0);
   const SimResult r = sim.run();
   EXPECT_GT(r.max_source_queue_pkts, 50u);
   // In-network packets at end = generated - delivered - still queued; the
@@ -81,7 +85,8 @@ TEST(FlowControl, ZeroFlyingTimeStillConserves) {
   cfg.flying_time_ns = 0;
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
-  Simulation sim(subnet, cfg, {TrafficKind::kUniform, 0, 0, 9}, 0.5);
+  Simulation sim = Simulation::open_loop(subnet, cfg,
+                                         {TrafficKind::kUniform, 0, 0, 9}, 0.5);
   const SimResult r = sim.run();
   EXPECT_EQ(r.packets_dropped, 0u);
   EXPECT_GT(r.packets_measured, 0u);

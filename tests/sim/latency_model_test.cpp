@@ -22,8 +22,9 @@ TEST(LatencyModel, NeighborTrafficMatchesTheClosedForm) {
   // pair owns its two links exclusively.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
-  Simulation sim(subnet, quiet_config(), {TrafficKind::kNeighbor, 0, 0, 3},
-                 /*offered_load=*/0.05);
+  Simulation sim = Simulation::open_loop(subnet, quiet_config(),
+                                         {TrafficKind::kNeighbor, 0, 0, 3},
+                                         /*offered_load=*/0.05);
   const SimResult r = sim.run();
   ASSERT_GT(r.packets_measured, 40u);
   EXPECT_DOUBLE_EQ(r.avg_latency_ns, 396.0);
@@ -38,8 +39,9 @@ TEST(LatencyModel, BitComplementCrossesTheFullTree) {
   // gives each flow private links, so the latency is exact.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
-  Simulation sim(subnet, quiet_config(),
-                 {TrafficKind::kBitComplement, 0, 0, 3}, 0.05);
+  Simulation sim = Simulation::open_loop(subnet, quiet_config(),
+                                         {TrafficKind::kBitComplement, 0, 0, 3},
+                                         0.05);
   const SimResult r = sim.run();
   ASSERT_GT(r.packets_measured, 40u);
   EXPECT_DOUBLE_EQ(r.avg_latency_ns, 636.0);
@@ -51,8 +53,9 @@ TEST(LatencyModel, TallerTreeAddsTwoHopsPerLevel) {
   // 4-port 3-tree bit-complement: 5 switches -> 5*100 + 6*20 + 256 = 876.
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
-  Simulation sim(subnet, quiet_config(),
-                 {TrafficKind::kBitComplement, 0, 0, 3}, 0.05);
+  Simulation sim = Simulation::open_loop(subnet, quiet_config(),
+                                         {TrafficKind::kBitComplement, 0, 0, 3},
+                                         0.05);
   const SimResult r = sim.run();
   ASSERT_GT(r.packets_measured, 100u);
   EXPECT_DOUBLE_EQ(r.avg_latency_ns, 876.0);
@@ -68,7 +71,9 @@ TEST(LatencyModel, TimingKnobsScaleTheFormula) {
   // Neighbor in (4,2): 1*50 + 2*10 + 128*2 = 326.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
-  Simulation sim(subnet, cfg, {TrafficKind::kNeighbor, 0, 0, 3}, 0.05);
+  Simulation sim = Simulation::open_loop(subnet, cfg,
+                                         {TrafficKind::kNeighbor, 0, 0, 3},
+                                         0.05);
   const SimResult r = sim.run();
   ASSERT_GT(r.packets_measured, 50u);
   EXPECT_DOUBLE_EQ(r.avg_latency_ns, 326.0);
@@ -79,8 +84,9 @@ TEST(LatencyModel, NetworkLatencyEqualsTotalAtLowLoad) {
   // generation->delivery equals injection->delivery.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
-  Simulation sim(subnet, quiet_config(), {TrafficKind::kNeighbor, 0, 0, 3},
-                 0.05);
+  Simulation sim = Simulation::open_loop(subnet, quiet_config(),
+                                         {TrafficKind::kNeighbor, 0, 0, 3},
+                                         0.05);
   const SimResult r = sim.run();
   EXPECT_DOUBLE_EQ(r.avg_latency_ns, r.avg_network_latency_ns);
 }
@@ -89,8 +95,9 @@ TEST(LatencyModel, AcceptedTrafficTracksTheOfferedLoadBelowSaturation) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
   for (double load : {0.1, 0.2, 0.4}) {
-    Simulation sim(subnet, quiet_config(), {TrafficKind::kNeighbor, 0, 0, 3},
-                   load);
+    Simulation sim = Simulation::open_loop(subnet, quiet_config(),
+                                           {TrafficKind::kNeighbor, 0, 0, 3},
+                                           load);
     const SimResult r = sim.run();
     // offered bytes/ns/node = load (1 B/ns link, saturating pattern-free).
     EXPECT_NEAR(r.accepted_bytes_per_ns_per_node, load, 0.02 * load + 0.005)

@@ -1,0 +1,105 @@
+// Acceptance gate for the ladder queue: full simulations on the heap and on
+// the ladder must produce bit-identical results -- open-loop, burst, and
+// live-SM fault scenarios alike.  Comparison goes through the JSON export,
+// which serializes every public result field.
+#include <gtest/gtest.h>
+
+#include "harness/report.hpp"
+#include "harness/sweep.hpp"
+#include "sim/engine.hpp"
+
+namespace mlid {
+namespace {
+
+SimConfig quick_window(EventQueueKind kind) {
+  SimConfig cfg;
+  cfg.warmup_ns = 5'000;
+  cfg.measure_ns = 20'000;
+  cfg.seed = 3;
+  cfg.event_queue = kind;
+  return cfg;
+}
+
+TEST(QueueParity, OpenLoopRunsAreBitIdentical) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const TrafficConfig traffic{TrafficKind::kUniform, 0.2, 0, 9};
+  for (const double load : {0.2, 0.6, 0.9}) {
+    const SimResult heap =
+        Simulation::open_loop(subnet, quick_window(EventQueueKind::kHeap),
+                              traffic, load)
+            .run();
+    const SimResult ladder =
+        Simulation::open_loop(subnet, quick_window(EventQueueKind::kLadder),
+                              traffic, load)
+            .run();
+    EXPECT_EQ(to_json(heap), to_json(ladder)) << "load " << load;
+    EXPECT_GT(heap.packets_delivered, 0u);
+  }
+}
+
+TEST(QueueParity, Fig12QuickSweepIsBitIdentical) {
+  FigureSpec spec;
+  spec.title = "fig12 parity";
+  spec.traffic.kind = TrafficKind::kUniform;
+
+  SweepOptions heap_opts;
+  heap_opts.threads = 1;
+  heap_opts.quick = true;
+  heap_opts.event_queue = EventQueueKind::kHeap;
+  SweepOptions ladder_opts = heap_opts;
+  ladder_opts.event_queue = EventQueueKind::kLadder;
+
+  const auto heap = run_sweep(spec, heap_opts);
+  const auto ladder = run_sweep(spec, ladder_opts);
+  ASSERT_EQ(heap.size(), ladder.size());
+  for (std::size_t i = 0; i < heap.size(); ++i) {
+    EXPECT_EQ(to_json(heap[i].result), to_json(ladder[i].result))
+        << heap[i].vls << "VL @ " << heap[i].load;
+    // The manifests record which structure computed each point.
+    EXPECT_EQ(heap[i].manifest.queue.kind, EventQueueKind::kHeap);
+    EXPECT_EQ(ladder[i].manifest.queue.kind, EventQueueKind::kLadder);
+    EXPECT_GT(ladder[i].manifest.queue.buckets, 0u);
+  }
+}
+
+TEST(QueueParity, LiveSmFaultRunsAreBitIdentical) {
+  const FatTreeParams params(4, 3);
+  auto run = [&](EventQueueKind kind) {
+    FatTreeFabric fabric{params};
+    const Subnet subnet(fabric, SchemeKind::kMlid);
+    SubnetManager sm(fabric, subnet);
+    const FaultSchedule faults = FaultSchedule::random_uplink_failures(
+        fabric, /*count=*/2, /*fail_at=*/8'000, /*seed=*/5, /*recover_at=*/
+        18'000);
+    const TrafficConfig traffic{TrafficKind::kUniform, 0.2, 0, 4};
+    return Simulation::open_loop(subnet, quick_window(kind), traffic, 0.6,
+                                 {&sm, faults})
+        .run();
+  };
+  const SimResult heap = run(EventQueueKind::kHeap);
+  const SimResult ladder = run(EventQueueKind::kLadder);
+  EXPECT_EQ(to_json(heap), to_json(ladder));
+  // Meaningful scenario: the fault machinery actually fired.
+  EXPECT_GT(heap.sm_traps, 0u);
+  EXPECT_GT(heap.packets_dropped, 0u);
+}
+
+TEST(QueueParity, BurstRunsAreBitIdentical) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const auto workload = all_to_all_personalized(16, 512);
+  const BurstResult heap =
+      Simulation::burst(subnet, quick_window(EventQueueKind::kHeap), workload)
+          .run_to_completion();
+  const BurstResult ladder =
+      Simulation::burst(subnet, quick_window(EventQueueKind::kLadder),
+                        workload)
+          .run_to_completion();
+  EXPECT_EQ(to_json(heap), to_json(ladder));
+  EXPECT_EQ(heap.events_processed, heap.events_scheduled);  // fully drained
+  EXPECT_GT(heap.messages, 0u);
+}
+
+}  // namespace
+}  // namespace mlid

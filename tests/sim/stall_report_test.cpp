@@ -11,7 +11,8 @@ TEST(StallReport, EmptyAfterADrainedBurst) {
   const Subnet subnet(fabric, SchemeKind::kMlid);
   SimConfig cfg;
   cfg.seed = 51;
-  Simulation sim(subnet, cfg, all_to_all_personalized(8, 256));
+  Simulation sim = Simulation::burst(subnet, cfg,
+                                     all_to_all_personalized(8, 256));
   sim.run_to_completion();
   EXPECT_TRUE(sim.stall_report().empty());
 }
@@ -25,7 +26,9 @@ TEST(StallReport, DescribesInFlightStateAfterACutOffRun) {
   cfg.warmup_ns = 5'000;
   cfg.measure_ns = 20'000;
   cfg.seed = 51;
-  Simulation sim(subnet, cfg, {TrafficKind::kCentric, 1.0, 0, 5}, 0.9);
+  Simulation sim = Simulation::open_loop(subnet, cfg,
+                                         {TrafficKind::kCentric, 1.0, 0, 5},
+                                         0.9);
   sim.run();
   const std::string report = sim.stall_report();
   EXPECT_FALSE(report.empty());
@@ -39,7 +42,7 @@ TEST(StallReport, LinkLoadsAvailableInBurstMode) {
   const Subnet subnet(fabric, SchemeKind::kMlid);
   SimConfig cfg;
   cfg.seed = 51;
-  Simulation sim(subnet, cfg, gather_to(8, 0, 1024));
+  Simulation sim = Simulation::burst(subnet, cfg, gather_to(8, 0, 1024));
   const BurstResult r = sim.run_to_completion();
   std::uint64_t total_tx = 0;
   for (const LinkLoad& load : sim.link_loads()) total_tx += load.packets_tx;

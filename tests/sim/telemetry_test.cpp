@@ -69,9 +69,9 @@ TEST(Telemetry, EngineResultsBitIdenticalOnAndOff) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
   const SimResult with_telemetry =
-      Simulation(subnet, small_config(true), small_traffic(), 0.7).run();
+      Simulation::open_loop(subnet, small_config(true), small_traffic(), 0.7).run();
   const SimResult without =
-      Simulation(subnet, small_config(false), small_traffic(), 0.7).run();
+      Simulation::open_loop(subnet, small_config(false), small_traffic(), 0.7).run();
   EXPECT_TRUE(with_telemetry.telemetry);
   EXPECT_FALSE(without.telemetry);
   expect_identical_core(with_telemetry, without);
@@ -85,7 +85,7 @@ TEST(Telemetry, HistogramsCoverTheMeasuredPackets) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
   const SimResult r =
-      Simulation(subnet, small_config(true), small_traffic(), 0.6).run();
+      Simulation::open_loop(subnet, small_config(true), small_traffic(), 0.6).run();
   ASSERT_GT(r.packets_measured, 0u);
   EXPECT_EQ(r.latency_log2_hist.total(), r.packets_measured);
   EXPECT_EQ(r.queue_log2_hist.total(), r.packets_measured);
@@ -102,7 +102,7 @@ TEST(Telemetry, PerVlHistogramsMergeBackToTheTotal) {
   const Subnet subnet(fabric, SchemeKind::kMlid);
   SimConfig cfg = small_config(true);
   cfg.num_vls = 4;
-  const SimResult r = Simulation(subnet, cfg, small_traffic(), 0.6).run();
+  const SimResult r = Simulation::open_loop(subnet, cfg, small_traffic(), 0.6).run();
   ASSERT_EQ(r.latency_log2_per_vl.size(), 4u);
   Log2Histogram merged;
   for (const Log2Histogram& h : r.latency_log2_per_vl) merged.merge(h);
@@ -112,7 +112,8 @@ TEST(Telemetry, PerVlHistogramsMergeBackToTheTotal) {
 TEST(Telemetry, LinkStatsAgreeWithAlwaysOnLinkLoads) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
-  Simulation sim(subnet, small_config(true), small_traffic(), 0.6);
+  Simulation sim = Simulation::open_loop(subnet, small_config(true),
+                                         small_traffic(), 0.6);
   const SimResult r = sim.run();
   const auto loads = sim.link_loads();
   const auto stats = sim.link_stats();
@@ -150,8 +151,8 @@ TEST(Telemetry, BurstResultsBitIdenticalOnAndOff) {
   const auto workload = all_to_all_personalized(8, 1024);
   SimConfig on = small_config(true);
   SimConfig off = small_config(false);
-  const BurstResult a = Simulation(subnet, on, workload).run_to_completion();
-  const BurstResult b = Simulation(subnet, off, workload).run_to_completion();
+  const BurstResult a = Simulation::burst(subnet, on, workload).run_to_completion();
+  const BurstResult b = Simulation::burst(subnet, off, workload).run_to_completion();
   EXPECT_TRUE(a.telemetry);
   EXPECT_FALSE(b.telemetry);
   EXPECT_EQ(a.makespan_ns, b.makespan_ns);

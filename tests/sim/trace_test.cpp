@@ -18,8 +18,9 @@ SimConfig traced_config(std::uint32_t n) {
 TEST(Trace, OffByDefault) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
-  Simulation sim(subnet, traced_config(0), {TrafficKind::kNeighbor, 0, 0, 3},
-                 0.1);
+  Simulation sim = Simulation::open_loop(subnet, traced_config(0),
+                                         {TrafficKind::kNeighbor, 0, 0, 3},
+                                         0.1);
   sim.run();
   EXPECT_TRUE(sim.traces().empty());
 }
@@ -27,8 +28,9 @@ TEST(Trace, OffByDefault) {
 TEST(Trace, FirstPacketTimelineMatchesTheTimingModel) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
-  Simulation sim(subnet, traced_config(4), {TrafficKind::kNeighbor, 0, 0, 3},
-                 0.05);
+  Simulation sim = Simulation::open_loop(subnet, traced_config(4),
+                                         {TrafficKind::kNeighbor, 0, 0, 3},
+                                         0.05);
   sim.run();
   ASSERT_EQ(sim.traces().size(), 4u);
   for (const PacketTraceRecord& rec : sim.traces()) {
@@ -54,8 +56,8 @@ TEST(Trace, FirstPacketTimelineMatchesTheTimingModel) {
 TEST(Trace, RecordsExactlyTheRequestedCount) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
-  Simulation sim(subnet, traced_config(7), {TrafficKind::kUniform, 0, 0, 3},
-                 0.4);
+  Simulation sim = Simulation::open_loop(subnet, traced_config(7),
+                                         {TrafficKind::kUniform, 0, 0, 3}, 0.4);
   const SimResult r = sim.run();
   ASSERT_GT(r.packets_generated, 7u);
   EXPECT_EQ(sim.traces().size(), 7u);
@@ -64,8 +66,8 @@ TEST(Trace, RecordsExactlyTheRequestedCount) {
 TEST(Trace, LinkLoadsConserveForwardedPackets) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
-  Simulation sim(subnet, traced_config(0), {TrafficKind::kUniform, 0, 0, 3},
-                 0.3);
+  Simulation sim = Simulation::open_loop(subnet, traced_config(0),
+                                         {TrafficKind::kUniform, 0, 0, 3}, 0.3);
   const SimResult r = sim.run();
   const auto loads = sim.link_loads();
   // One entry per connected directed link.
@@ -90,8 +92,9 @@ TEST(Trace, LinkLoadsConserveForwardedPackets) {
 TEST(Trace, RecordRendering) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
-  Simulation sim(subnet, traced_config(1), {TrafficKind::kNeighbor, 0, 0, 3},
-                 0.05);
+  Simulation sim = Simulation::open_loop(subnet, traced_config(1),
+                                         {TrafficKind::kNeighbor, 0, 0, 3},
+                                         0.05);
   sim.run();
   ASSERT_EQ(sim.traces().size(), 1u);
   const std::string text = to_string(sim.traces().front());
@@ -106,8 +109,9 @@ TEST(Trace, InvariantCheckPassesAfterEveryRun) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
   for (double load : {0.2, 0.9}) {
-    Simulation sim(subnet, traced_config(0),
-                   {TrafficKind::kCentric, 0.3, 0, 3}, load);
+    Simulation sim = Simulation::open_loop(subnet, traced_config(0),
+                                           {TrafficKind::kCentric, 0.3, 0, 3},
+                                           load);
     sim.run();  // run() already calls check_invariants()
     EXPECT_NO_THROW(sim.check_invariants());
   }

@@ -36,8 +36,8 @@ TEST(VlArbitration, UnitWeightsEqualPlainRoundRobin) {
   weighted.num_vls = 2;
   weighted.vl_weights = {1, 1};
   const TrafficConfig traffic{TrafficKind::kUniform, 0.2, 0, 17};
-  const SimResult a = Simulation(subnet, plain, traffic, 0.7).run();
-  const SimResult b = Simulation(subnet, weighted, traffic, 0.7).run();
+  const SimResult a = Simulation::open_loop(subnet, plain, traffic, 0.7).run();
+  const SimResult b = Simulation::open_loop(subnet, weighted, traffic, 0.7).run();
   EXPECT_EQ(a.packets_measured, b.packets_measured);
   EXPECT_DOUBLE_EQ(a.avg_latency_ns, b.avg_latency_ns);
 }
@@ -52,7 +52,7 @@ TEST(VlArbitration, WeightsSkewSaturatedLaneThroughput) {
   cfg.vl_policy = VlPolicy::kBySource;
   cfg.vl_weights = {3, 1};
   const TrafficConfig traffic{TrafficKind::kCentric, 1.0, 0, 17};
-  const SimResult r = Simulation(subnet, cfg, traffic, 0.9).run();
+  const SimResult r = Simulation::open_loop(subnet, cfg, traffic, 0.9).run();
   ASSERT_EQ(r.delivered_per_vl.size(), 2u);
   ASSERT_GT(r.delivered_per_vl[1], 0u);
   const double ratio = static_cast<double>(r.delivered_per_vl[0]) /
@@ -67,7 +67,8 @@ TEST(VlArbitration, PerVlCountsSumToMeasured) {
   SimConfig cfg = window();
   cfg.num_vls = 4;
   const SimResult r =
-      Simulation(subnet, cfg, {TrafficKind::kUniform, 0.2, 0, 17}, 0.5)
+      Simulation::open_loop(subnet, cfg, {TrafficKind::kUniform, 0.2, 0, 17},
+                            0.5)
           .run();
   const std::uint64_t sum = std::accumulate(
       r.delivered_per_vl.begin(), r.delivered_per_vl.end(), std::uint64_t{0});
@@ -80,7 +81,8 @@ TEST(Fairness, UniformTrafficIsFair) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
   const SimResult r =
-      Simulation(subnet, window(), {TrafficKind::kUniform, 0.2, 0, 17}, 0.3)
+      Simulation::open_loop(subnet, window(),
+                            {TrafficKind::kUniform, 0.2, 0, 17}, 0.3)
           .run();
   EXPECT_GT(r.jain_fairness_index, 0.9);
   EXPECT_GT(r.min_node_accepted_bytes_per_ns, 0.0);
@@ -92,7 +94,8 @@ TEST(Fairness, HotSpotSkewsTheIndex) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
   const Subnet subnet(fabric, SchemeKind::kMlid);
   const SimResult r =
-      Simulation(subnet, window(), {TrafficKind::kCentric, 1.0, 0, 17}, 0.9)
+      Simulation::open_loop(subnet, window(),
+                            {TrafficKind::kCentric, 1.0, 0, 17}, 0.9)
           .run();
   EXPECT_LT(r.jain_fairness_index, 0.7);
   // The hot node is the max receiver by a wide margin.

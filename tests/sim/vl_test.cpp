@@ -27,8 +27,8 @@ TEST(VirtualLanes, Fixed0WithManyLanesEqualsOneLane) {
   four.num_vls = 4;
   four.vl_policy = VlPolicy::kFixed0;
   const TrafficConfig traffic{TrafficKind::kUniform, 0, 0, 15};
-  const SimResult a = Simulation(subnet, one, traffic, 0.6).run();
-  const SimResult b = Simulation(subnet, four, traffic, 0.6).run();
+  const SimResult a = Simulation::open_loop(subnet, one, traffic, 0.6).run();
+  const SimResult b = Simulation::open_loop(subnet, four, traffic, 0.6).run();
   EXPECT_EQ(a.packets_generated, b.packets_generated);
   EXPECT_EQ(a.packets_measured, b.packets_measured);
   EXPECT_DOUBLE_EQ(a.avg_latency_ns, b.avg_latency_ns);
@@ -47,10 +47,10 @@ TEST(VirtualLanes, MoreLanesHelpUnderHotSpot) {
   SimConfig four = window();
   four.num_vls = 4;
   const double t1 =
-      Simulation(subnet, one, traffic, 0.8).run()
+      Simulation::open_loop(subnet, one, traffic, 0.8).run()
           .accepted_bytes_per_ns_per_node;
   const double t4 =
-      Simulation(subnet, four, traffic, 0.8).run()
+      Simulation::open_loop(subnet, four, traffic, 0.8).run()
           .accepted_bytes_per_ns_per_node;
   EXPECT_GT(t4, t1 * 0.98);  // at minimum not worse; typically clearly better
 }
@@ -65,7 +65,9 @@ TEST(VirtualLanes, PolicyMappingsAreHonoured) {
     SimConfig cfg = window();
     cfg.num_vls = 4;
     cfg.vl_policy = policy;
-    Simulation sim(subnet, cfg, {TrafficKind::kUniform, 0, 0, 15}, 0.5);
+    Simulation sim = Simulation::open_loop(subnet, cfg,
+                                           {TrafficKind::kUniform, 0, 0, 15},
+                                           0.5);
     const SimResult r = sim.run();
     EXPECT_GT(r.packets_measured, 100u);
     EXPECT_EQ(r.packets_dropped, 0u);
