@@ -1,0 +1,46 @@
+#include "cc/cct.hpp"
+
+#include <algorithm>
+
+namespace mlid {
+
+std::string to_string(CctShape shape) {
+  return shape == CctShape::kQuadratic ? "quadratic" : "linear";
+}
+
+CongestionControlTable::CongestionControlTable(const CcConfig& cfg,
+                                               std::uint32_t num_destinations)
+    : levels_(cfg.cct_levels),
+      increase_(cfg.becn_increase),
+      quantum_ns_(cfg.cct_quantum_ns),
+      shape_(cfg.cct_shape),
+      index_(num_destinations, 0) {
+  cfg.validate();
+}
+
+std::uint16_t CongestionControlTable::on_becn(NodeId dst) {
+  std::uint16_t& idx = index_[dst];
+  if (idx == 0) ++active_;
+  idx = static_cast<std::uint16_t>(
+      std::min<std::uint32_t>(idx + increase_, levels_));
+  peak_ = std::max(peak_, idx);
+  return idx;
+}
+
+bool CongestionControlTable::decay() {
+  if (active_ == 0) return false;
+  for (std::uint16_t& idx : index_) {
+    if (idx == 0) continue;
+    if (--idx == 0) --active_;
+  }
+  return active_ > 0;
+}
+
+SimTime CongestionControlTable::delay_ns(NodeId dst) const noexcept {
+  const std::uint16_t idx = index_[dst];
+  const auto i = static_cast<SimTime>(idx);
+  return shape_ == CctShape::kQuadratic ? quantum_ns_ * i * i
+                                        : quantum_ns_ * i;
+}
+
+}  // namespace mlid

@@ -1,0 +1,47 @@
+// Congestion Control Table: per-destination throttle state of one HCA.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cc/config.hpp"
+#include "common/types.hpp"
+
+namespace mlid {
+
+/// One source HCA's CCT: an index per destination, bumped by BECNs and
+/// decayed by the recovery timer.  The index maps to an inter-packet
+/// injection delay through CcConfig's shape.  Copies the config knobs it
+/// needs so it never dangles on a moved SimConfig.
+class CongestionControlTable {
+ public:
+  CongestionControlTable(const CcConfig& cfg, std::uint32_t num_destinations);
+
+  /// A BECN for `dst` arrived: index += becn_increase, saturating at
+  /// cct_levels.  Returns the new index.
+  std::uint16_t on_becn(NodeId dst);
+
+  /// One recovery-timer tick: every non-zero index decrements by one.
+  /// Returns true while any index remains non-zero (i.e. the timer must
+  /// stay armed).
+  bool decay();
+
+  [[nodiscard]] std::uint16_t index(NodeId dst) const {
+    return index_[dst];
+  }
+  [[nodiscard]] SimTime delay_ns(NodeId dst) const noexcept;
+  [[nodiscard]] bool any_active() const noexcept { return active_ > 0; }
+  /// Highest index ever reached (not just currently held).
+  [[nodiscard]] std::uint16_t peak_index() const noexcept { return peak_; }
+
+ private:
+  std::uint16_t levels_;
+  std::uint16_t increase_;
+  SimTime quantum_ns_;
+  CctShape shape_;
+  std::vector<std::uint16_t> index_;  ///< one entry per destination
+  std::uint32_t active_ = 0;          ///< entries currently non-zero
+  std::uint16_t peak_ = 0;
+};
+
+}  // namespace mlid

@@ -1,0 +1,72 @@
+// Congestion-control (IBA Congestion Control Annex) configuration.
+//
+// The modeled control loop: switches FECN-mark packets whose output VL
+// crosses a queue-depth or credit-stall threshold, the destination HCA
+// echoes each mark back to the source as a BECN, and the source HCA
+// throttles injection toward that destination through its Congestion
+// Control Table (CCT) -- the index rises with BECNs, decays on a timer,
+// and maps to an inter-packet injection delay.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/expect.hpp"
+#include "common/types.hpp"
+
+namespace mlid {
+
+/// How a CCT index maps to an inter-packet injection delay.
+enum class CctShape : std::uint8_t {
+  kLinear,     ///< delay = quantum * index
+  kQuadratic,  ///< delay = quantum * index^2 (harsher under sustained marks)
+};
+
+[[nodiscard]] std::string to_string(CctShape shape);
+
+struct CcConfig {
+  bool enabled = false;
+
+  // --- FECN marking at switches ----------------------------------------------
+  /// Mark a packet when its output (port, VL) backlog (granted queue +
+  /// crossbar waiters, including the packet itself) reaches this depth.
+  std::uint32_t fecn_threshold_pkts = 3;
+  /// Also mark a packet whose transmission was blocked purely on downstream
+  /// credits for at least this long (the congestion-tree signature when
+  /// buffers are too shallow for depth marking to see the backlog).
+  SimTime fecn_stall_ns = 2'000;
+
+  // --- BECN return from the destination HCA ----------------------------------
+  /// Modeled control-message latency from the destination back to the
+  /// source (like SM traps, BECNs do not occupy data VLs or credits).
+  SimTime becn_delay_ns = 1'000;
+
+  // --- CCT throttling at the source HCA --------------------------------------
+  std::uint16_t cct_levels = 32;     ///< index saturates here
+  std::uint16_t becn_increase = 2;   ///< index bump per BECN received
+  SimTime cct_quantum_ns = 300;      ///< delay unit of the shape mapping
+  CctShape cct_shape = CctShape::kLinear;
+  /// Period of the per-HCA recovery timer; each tick decrements every
+  /// non-zero CCT index by one.  Armed only while any index is non-zero.
+  SimTime timer_ns = 10'000;
+
+  /// Inter-packet injection delay for a given CCT index.
+  [[nodiscard]] SimTime delay_ns(std::uint16_t index) const noexcept {
+    const auto idx = static_cast<SimTime>(index);
+    return cct_shape == CctShape::kQuadratic ? cct_quantum_ns * idx * idx
+                                             : cct_quantum_ns * idx;
+  }
+
+  void validate() const {
+    MLID_EXPECT(fecn_threshold_pkts >= 1,
+                "FECN depth threshold must admit at least one packet");
+    MLID_EXPECT(fecn_stall_ns >= 0 && becn_delay_ns >= 0,
+                "CC delays must be non-negative");
+    MLID_EXPECT(cct_levels >= 1, "the CCT needs at least one level");
+    MLID_EXPECT(becn_increase >= 1, "a BECN must raise the CCT index");
+    MLID_EXPECT(cct_quantum_ns >= 0, "CCT quantum must be non-negative");
+    MLID_EXPECT(timer_ns >= 1, "CCT recovery timer period must be positive");
+  }
+};
+
+}  // namespace mlid

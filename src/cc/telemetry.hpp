@@ -1,0 +1,49 @@
+// Congestion-control telemetry: pure counters the engine accumulates while
+// the CC loop runs.  Like the observability layer, these never schedule
+// events or draw random numbers -- with CC disabled the whole block stays
+// zero and results are bit-identical to a CC-free engine (asserted by
+// tests/sim/cc_parity_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mlid {
+
+/// Per-HCA view of the control loop (dense, indexed by NodeId).
+struct CcNodeStats {
+  std::uint64_t becn_sent = 0;      ///< marks this node echoed as destination
+  std::uint64_t becn_received = 0;  ///< BECNs received as a source
+  std::uint64_t throttled_pkts = 0; ///< injections that left a gate behind
+  std::uint64_t throttled_ns = 0;   ///< time the NIC sat gated with traffic
+  std::uint16_t peak_cct_index = 0; ///< highest CCT index ever reached
+};
+
+/// Whole-run roll-up attached to SimResult / BurstResult.
+struct CcSummary {
+  bool enabled = false;
+
+  // --- FECN marking at switches ----------------------------------------------
+  std::uint64_t fecn_marked = 0;       ///< packets marked (first mark only)
+  std::uint64_t fecn_depth_marks = 0;  ///< via the queue-depth threshold
+  std::uint64_t fecn_stall_marks = 0;  ///< via the credit-stall threshold
+
+  // --- BECN return -----------------------------------------------------------
+  std::uint64_t becn_sent = 0;      ///< echoed by destinations
+  std::uint64_t becn_received = 0;  ///< landed at sources (<= sent: in flight
+                                    ///< BECNs die with the run's end time)
+
+  // --- CCT throttling --------------------------------------------------------
+  std::uint64_t cct_timer_fires = 0;
+  std::uint64_t throttled_pkts = 0;
+  std::uint64_t throttled_ns_total = 0;  ///< summed over all HCAs
+  std::uint64_t max_node_throttled_ns = 0;
+  std::uint16_t peak_cct_index = 0;
+  /// Histogram of the index value *after* each BECN application
+  /// (size cct_levels + 1); shows how deep the table actually worked.
+  std::vector<std::uint64_t> cct_index_hist;
+};
+
+}  // namespace mlid

@@ -25,7 +25,11 @@ constexpr std::string_view kUsage =
     "  --fail-links=N     fail N random inter-switch uplinks mid-run\n"
     "  --fail-at-ns=T     when the failures hit (default 20000)\n"
     "  --recover-at-ns=T  bring the failed links back at T (default: never)\n"
-    "The fault flags also accept the two-token form (`--fail-links 4`).\n";
+    "  --cc               enable IBA congestion control (FECN/BECN + CCT)\n"
+    "  --cc-threshold=N   FECN marking backlog threshold, packets\n"
+    "  --cc-timer-ns=T    CCT recovery-timer period\n"
+    "The fault and CC value flags also accept the two-token form\n"
+    "(`--fail-links 4`, `--cc-threshold 3`).\n";
 
 [[noreturn]] void usage_error(const std::string& message) {
   std::fprintf(stderr, "error: %s\n%s", message.c_str(),
@@ -99,6 +103,12 @@ CliOptions::CliOptions(int argc, char** argv) {
                     "' for --event-queue (expected heap or ladder)");
       }
       event_queue_ = *kind;
+    } else if (arg == "--cc") {
+      cc_ = true;
+    } else if (flag_value(argc, argv, i, "--cc-threshold", value)) {
+      cc_threshold_ = parse_int<std::uint32_t>("--cc-threshold", value);
+    } else if (flag_value(argc, argv, i, "--cc-timer-ns", value)) {
+      cc_timer_ns_ = parse_int<std::int64_t>("--cc-timer-ns", value);
     } else if (flag_value(argc, argv, i, "--fail-links", value)) {
       fail_links_ = parse_int<int>("--fail-links", value);
     } else if (flag_value(argc, argv, i, "--fail-at-ns", value)) {
@@ -120,6 +130,7 @@ SweepOptions CliOptions::sweep_options() const {
   options.quick = quick_;
   if (!telemetry_) options.telemetry = false;
   options.event_queue = event_queue_;
+  options.cc = cc();
   return options;
 }
 

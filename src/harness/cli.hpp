@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "cc/config.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/fault_schedule.hpp"
 
@@ -27,7 +28,11 @@ struct SweepOptions;
 ///   --fail-links=N     fail N random inter-switch uplinks mid-run
 ///   --fail-at-ns=T     when the failures hit (default 20000)
 ///   --recover-at-ns=T  bring the failed links back at T (default: never)
-/// The fault flags also accept the two-token form (`--fail-links 4`).
+///   --cc               enable IBA congestion control (FECN/BECN + CCT)
+///   --cc-threshold=N   FECN marking backlog threshold, packets
+///   --cc-timer-ns=T    CCT recovery-timer period
+/// The fault and CC value flags also accept the two-token form
+/// (`--fail-links 4`, `--cc-threshold 3`).
 ///
 /// Parsing is strict: numeric values must consume the whole token
 /// (`--seed=abc` and `--threads=4x` are fatal, not silently 0 / 4), and an
@@ -48,6 +53,16 @@ class CliOptions {
     return event_queue_;
   }
   [[nodiscard]] bool telemetry() const noexcept { return telemetry_; }
+  /// Congestion-control config from --cc / --cc-threshold / --cc-timer-ns;
+  /// nullopt without --cc (the value flags tune the config --cc enables).
+  [[nodiscard]] std::optional<CcConfig> cc() const noexcept {
+    if (!cc_) return std::nullopt;
+    CcConfig config;
+    config.enabled = true;
+    if (cc_threshold_) config.fecn_threshold_pkts = *cc_threshold_;
+    if (cc_timer_ns_) config.timer_ns = *cc_timer_ns_;
+    return config;
+  }
   [[nodiscard]] int fail_links() const noexcept { return fail_links_; }
   [[nodiscard]] std::int64_t fail_at_ns() const noexcept { return fail_at_ns_; }
   [[nodiscard]] std::int64_t recover_at_ns() const noexcept {
@@ -76,6 +91,7 @@ class CliOptions {
     spec.traffic.seed = seed_ ^ 0x5EEDu;
     if (!telemetry_) spec.sim.telemetry = false;
     if (event_queue_) spec.sim.event_queue = *event_queue_;
+    if (const auto cc_cfg = cc()) spec.sim.cc = *cc_cfg;
     if (quick_) {
       spec.sim.warmup_ns = 5'000;
       spec.sim.measure_ns = 20'000;
@@ -92,6 +108,9 @@ class CliOptions {
   unsigned threads_ = 0;
   std::optional<EventQueueKind> event_queue_;
   bool telemetry_ = true;
+  bool cc_ = false;
+  std::optional<std::uint32_t> cc_threshold_;
+  std::optional<std::int64_t> cc_timer_ns_;
   int fail_links_ = 0;
   std::int64_t fail_at_ns_ = 20'000;
   std::int64_t recover_at_ns_ = -1;

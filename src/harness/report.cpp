@@ -174,6 +174,29 @@ void emit_link_summary(JsonWriter& json, const LinkSummary& s) {
   json.key("max_credit_stall_ns").value(s.max_credit_stall_ns);
   json.key("max_queue_depth_pkts")
       .value(static_cast<std::uint64_t>(s.max_queue_depth_pkts));
+  json.key("total_fecn_marks").value(s.total_fecn_marks);
+  json.end_object();
+}
+
+// Emits the congestion-control summary object (only written when
+// SimConfig::cc was enabled; cc_enabled is emitted unconditionally so
+// consumers can branch without probing for the object).
+void emit_cc_summary(JsonWriter& json, const CcSummary& cc) {
+  json.begin_object();
+  json.key("fecn_marked").value(cc.fecn_marked);
+  json.key("fecn_depth_marks").value(cc.fecn_depth_marks);
+  json.key("fecn_stall_marks").value(cc.fecn_stall_marks);
+  json.key("becn_sent").value(cc.becn_sent);
+  json.key("becn_received").value(cc.becn_received);
+  json.key("cct_timer_fires").value(cc.cct_timer_fires);
+  json.key("throttled_pkts").value(cc.throttled_pkts);
+  json.key("throttled_ns_total").value(cc.throttled_ns_total);
+  json.key("max_node_throttled_ns").value(cc.max_node_throttled_ns);
+  json.key("peak_cct_index")
+      .value(static_cast<std::uint64_t>(cc.peak_cct_index));
+  json.key("cct_index_hist").begin_array();
+  for (const std::uint64_t v : cc.cct_index_hist) json.value(v);
+  json.end_array();
   json.end_object();
 }
 
@@ -200,6 +223,17 @@ void emit_sim_result_fields(JsonWriter& json, const SimResult& r) {
   json.key("delivered_per_vl").begin_array();
   for (const std::uint64_t v : r.delivered_per_vl) json.value(v);
   json.end_array();
+  json.key("victim_packets").value(r.victim_packets);
+  json.key("hot_packets").value(r.hot_packets);
+  json.key("victim_avg_latency_ns").value(r.victim_avg_latency_ns);
+  json.key("victim_p99_latency_ns").value(r.victim_p99_latency_ns);
+  json.key("hot_avg_latency_ns").value(r.hot_avg_latency_ns);
+  json.key("hot_p99_latency_ns").value(r.hot_p99_latency_ns);
+  json.key("cc_enabled").value(r.cc.enabled);
+  if (r.cc.enabled) {
+    json.key("cc");
+    emit_cc_summary(json, r.cc);
+  }
   json.key("telemetry").value(r.telemetry);
   if (r.telemetry) {
     json.key("latency_log2_hist");
@@ -254,6 +288,11 @@ void emit_burst_result_fields(JsonWriter& json, const BurstResult& r) {
   json.key("events_processed").value(r.events_processed);
   json.key("events_scheduled").value(r.events_scheduled);
   json.key("aggregate_bytes_per_ns").value(r.aggregate_bytes_per_ns());
+  json.key("cc_enabled").value(r.cc.enabled);
+  if (r.cc.enabled) {
+    json.key("cc");
+    emit_cc_summary(json, r.cc);
+  }
   json.key("telemetry").value(r.telemetry);
   if (r.telemetry) {
     json.key("p50_message_latency_ns").value(r.p50_message_latency_ns);
@@ -377,7 +416,7 @@ std::string BenchReport::to_json() const {
 
   JsonWriter json;
   json.begin_object();
-  json.key("schema").value("mlid-bench-v1");
+  json.key("schema").value("mlid-bench-v2");
   json.key("name").value(name_);
   json.key("manifest").begin_object();
   json.key("git").value(git_describe());

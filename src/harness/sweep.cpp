@@ -51,6 +51,7 @@ std::vector<SweepPoint> run_sweep(const FigureSpec& base_spec,
   }
   if (options.telemetry) spec.sim.telemetry = *options.telemetry;
   if (options.event_queue) spec.sim.event_queue = *options.event_queue;
+  if (options.cc) spec.sim.cc = *options.cc;
   unsigned threads = options.threads;
 
   const FatTreeParams params(spec.m, spec.n);

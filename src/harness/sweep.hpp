@@ -78,6 +78,7 @@ struct SweepOptions {
   bool quick = false;
   std::optional<bool> telemetry;  ///< override SimConfig::telemetry
   std::optional<EventQueueKind> event_queue;  ///< override SimConfig::event_queue
+  std::optional<CcConfig> cc;  ///< override SimConfig::cc (congestion control)
 };
 
 /// Run the whole grid.  Independent simulations are distributed over
@@ -85,16 +86,6 @@ struct SweepOptions {
 /// grid order regardless of scheduling.
 std::vector<SweepPoint> run_sweep(const FigureSpec& spec,
                                   const SweepOptions& options = {});
-
-/// Deprecated spelling of run_sweep from before SweepOptions existed; kept
-/// as an inline shim so stale branches keep compiling through one release.
-[[deprecated("use run_sweep(spec, SweepOptions{...})")]]
-inline std::vector<SweepPoint> run_figure(const FigureSpec& spec,
-                                          unsigned threads = 0) {
-  SweepOptions options;
-  options.threads = threads;
-  return run_sweep(spec, options);
-}
 
 /// Saturation throughput of a finished sweep: the highest accepted traffic
 /// any load point of the given series reached.

@@ -30,6 +30,11 @@ struct Packet {
   SimTime delivered_at = -1;  ///< tail received at the destination
   MessageId msg = kNoMessage; ///< owning message (burst workloads only)
   std::uint16_t hops = 0;     ///< switches traversed
+  /// Forward Explicit Congestion Notification (CCA): set by a congested
+  /// switch, echoed back to the source by the destination HCA as a BECN.
+  /// The BECN itself travels as a control event (EventKind::kBecnArrive),
+  /// like SM traps -- not as an in-band packet.
+  bool fecn = false;
 };
 
 }  // namespace mlid

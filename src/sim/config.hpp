@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cc/config.hpp"
 #include "common/expect.hpp"
 #include "common/types.hpp"
 #include "sim/event_queue.hpp"
@@ -78,6 +79,12 @@ struct SimConfig {
   /// perf comparisons.  The choice never alters results, only speed.
   EventQueueKind event_queue = EventQueueKind::kLadder;
 
+  /// Congestion control (IBA CCA): FECN marking at switches, BECN echo from
+  /// destinations, CCT-indexed injection throttling at sources.  Off by
+  /// default; with cc.enabled == false every run is bit-identical to the
+  /// pre-CC engine (asserted by sim/cc_parity_test.cpp).
+  CcConfig cc;
+
   [[nodiscard]] SimTime end_time() const noexcept {
     return warmup_ns + measure_ns;
   }
@@ -105,6 +112,7 @@ struct SimConfig {
                 "buffers must hold at least one packet");
     MLID_EXPECT(warmup_ns >= 0 && measure_ns > 0,
                 "measurement window must be non-empty");
+    cc.validate();
   }
 };
 

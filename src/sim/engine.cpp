@@ -89,7 +89,9 @@ Simulation::Simulation(const Subnet& subnet, SimConfig config,
       gen_interval_ns_(static_cast<double>(config.packet_wire_ns()) /
                        offered_load),
       events_(config.event_queue),
-      latency_hist_(0.0, 400'000.0, 4000) {
+      latency_hist_(0.0, 400'000.0, 4000),
+      victim_hist_(0.0, 400'000.0, 4000),
+      hot_hist_(0.0, 400'000.0, 4000) {
   cfg_.validate();
   burst_ = burst;
   MLID_EXPECT(burst || (offered_load > 0.0 && offered_load <= 1.0),
@@ -125,6 +127,16 @@ Simulation::Simulation(const Subnet& subnet, SimConfig config,
   for (NodeId node = 0; node < num_nodes; ++node) {
     nodes_[node].source_queue.resize(static_cast<std::size_t>(cfg_.num_vls));
     vl_rng_.emplace_back(seeder.next());
+  }
+
+  if (cfg_.cc.enabled) {
+    cc_nodes_.resize(num_nodes);
+    cct_.reserve(num_nodes);
+    for (NodeId node = 0; node < num_nodes; ++node) {
+      cc_nodes_[node].next_allowed.assign(num_nodes, 0);
+      cct_.emplace_back(cfg_.cc, num_nodes);
+    }
+    cc_index_hist_.assign(static_cast<std::size_t>(cfg_.cc.cct_levels) + 1, 0);
   }
 
   delivered_per_vl_.assign(static_cast<std::size_t>(cfg_.num_vls), 0);
@@ -170,6 +182,7 @@ void Simulation::attach_live_sm(SubnetManager& sm,
   MLID_EXPECT(sm_ == nullptr, "a Subnet Manager is already attached");
   MLID_EXPECT(&sm.subnet() == subnet_,
               "the SM must manage the subnet this simulation runs on");
+  faults.validate();  // reject recover-before-fail / duplicate fails early
   sm_ = &sm;
   for (const FaultEvent& f : faults.events()) {
     if (f.fail) {
@@ -260,15 +273,51 @@ void Simulation::try_source_pull(NodeId node, VlId vl, SimTime now) {
   NodeState& ns = nodes_[node];
   auto& queue = ns.source_queue[vl];
   if (queue.empty()) return;
+  std::size_t pick = 0;
+  if (cc_on()) {
+    // CCT injection gate, per destination (flow): the previous pull toward
+    // a destination set an inter-packet delay on that flow.  A gated head
+    // must not head-of-line block other flows sharing this FIFO -- real
+    // HCAs schedule per QP -- so pull the first packet whose flow is open
+    // (per-destination order is preserved, which is the IB ordering
+    // contract).  If every queued flow is gated, retry when the earliest
+    // gate opens.
+    CcNode& cn = cc_nodes_[node];
+    SimTime earliest = std::numeric_limits<SimTime>::max();
+    while (pick < queue.size()) {
+      const SimTime allowed = cn.next_allowed[pool_[queue[pick]].dst];
+      if (allowed <= now) break;
+      earliest = std::min(earliest, allowed);
+      ++pick;
+    }
+    if (pick == queue.size()) {
+      if (!cn.release_scheduled) {
+        cn.release_scheduled = true;
+        cn.stats.throttled_ns += static_cast<std::uint64_t>(earliest - now);
+        events_.push(earliest, EventKind::kCcRelease, node);
+      }
+      return;
+    }
+  }
   const DeviceId dev = subnet_->fabric().node_device(node);
   OutPort& out = devices_[dev].out[1];  // the endnode's single endport
   VlOut& slot = out.vls[vl];
   if (slot.free_slots == 0) return;
-  const PacketId pkt = queue.front();
-  queue.pop_front();
+  const PacketId pkt = queue[pick];
+  queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick));
   --ns.queued_pkts;
   --slot.free_slots;
   slot.queue.push_back(pkt);
+  if (cc_on()) {
+    // The *next* pull toward this destination pays its CCT index as an
+    // inter-packet delay (rate throttling, not retroactive blocking).
+    const SimTime delay = cct_[node].delay_ns(pool_[pkt].dst);
+    if (delay > 0) {
+      CcNode& cn = cc_nodes_[node];
+      cn.next_allowed[pool_[pkt].dst] = now + delay;
+      ++cn.stats.throttled_pkts;
+    }
+  }
   rt_[pkt].dev = dev;       // keep the trace index assigned at generation
   rt_[pkt].in_port = 0;
   rt_[pkt].out_port = 1;
@@ -332,6 +381,7 @@ void Simulation::kill_port(DeviceId dev, PortId port, SimTime now) {
       slot.credit_stall_ns += now - slot.stall_since;
       slot.stall_since = -1;
     }
+    slot.cc_stall_since = -1;  // whatever stalled here is dropped below
     // A head already on the wire keeps its events: it is judged at head
     // arrival on the (now dead) far side, and its tail-out still frees this
     // slot.  Everything queued behind it is lost with the link.
@@ -456,6 +506,17 @@ void Simulation::try_tx(DeviceId dev, PortId port, SimTime now) {
         }
       }
     }
+    if (cc_on()) {
+      // Same clock, kept separate: CC marking must not depend on whether
+      // telemetry collection is enabled.
+      for (int vl = 0; vl < vls; ++vl) {
+        VlOut& cand = out.vls[static_cast<std::size_t>(vl)];
+        if (!cand.queue.empty() && !cand.head_started && cand.credits == 0 &&
+            cand.cc_stall_since < 0) {
+          cand.cc_stall_since = now;
+        }
+      }
+    }
     return;  // re-armed by credit arrival / new grant
   }
   if (chosen != out.wrr_vl) {
@@ -479,6 +540,18 @@ void Simulation::try_tx(DeviceId dev, PortId port, SimTime now) {
       subnet_->fabric().fabric().device(dev).kind() == DeviceKind::kEndnode;
   if (from_endnode) {
     pool_[pkt].injected_at = now;  // head enters the first link
+  }
+  if (cc_on() && slot.cc_stall_since >= 0) {
+    // The head finally transmits after a credit-blocked wait.  A long
+    // enough stall on a *switch* output is the congestion-tree signature
+    // one-deep buffers hide from depth marking; NIC stalls are the
+    // throttle's own doing and never self-mark.
+    if (!from_endnode &&
+        now - slot.cc_stall_since >= cfg_.cc.fecn_stall_ns) {
+      mark_fecn(pkt, /*stall_mark=*/true, dev, port,
+                static_cast<VlId>(chosen));
+    }
+    slot.cc_stall_since = -1;
   }
   trace_event(pkt, now,
               from_endnode ? TracePoint::kInjected : TracePoint::kForwarded,
@@ -591,14 +664,28 @@ void Simulation::on_routed(DeviceId dev, PortId port, VlId vl, PacketId pkt,
   const PortId out = pick_output(dev, device, vl, dlid);
   ++pool_[pkt].hops;
   VlOut& slot = devices_[dev].out[out].vls[vl];
+  auto& waitq =
+      devices_[dev].wait[static_cast<std::size_t>(out) *
+                             static_cast<std::size_t>(cfg_.num_vls) +
+                         vl];
+  if (cc_on() && slot.cc_stall_since < 0) {
+    // FECN depth marking: the backlog this packet joins at its output
+    // (granted queue + crossbar waiters), counting the packet itself.
+    // Only at the congestion tree's *root*: a backlog that persists while
+    // the output is draining at link rate (not credit-stalled) means the
+    // sink itself is oversubscribed.  Credit-stalled outputs upstream are
+    // victims of that root; marking there would throttle innocent flows
+    // that merely share a link with the tree (they get the stall-mark
+    // path instead, which only fires on the long-blocked head packet).
+    const std::size_t depth = slot.queue.size() + waitq.size() + 1;
+    if (depth >= cfg_.cc.fecn_threshold_pkts) {
+      mark_fecn(pkt, /*stall_mark=*/false, dev, out, vl);
+    }
+  }
   if (slot.free_slots > 0) {
     grant_output(dev, out, vl, pkt, now);
   } else {
-    devices_[dev]
-        .wait[static_cast<std::size_t>(out) *
-                  static_cast<std::size_t>(cfg_.num_vls) +
-              vl]
-        .push_back(pkt);
+    waitq.push_back(pkt);
     if (cfg_.telemetry) note_queue_depth(dev, out, vl);
   }
 }
@@ -690,6 +777,15 @@ void Simulation::on_deliver(DeviceId dev, PortId port, VlId vl, PacketId pkt,
     latency_hist_.add(lat);
     net_latency_window_.add(static_cast<double>(now - p.injected_at));
     hops_window_.add(static_cast<double>(p.hops));
+    if (traffic_.config().kind == TrafficKind::kCentric) {
+      if (p.dst == traffic_.config().hot_node) {
+        hot_window_.add(lat);
+        hot_hist_.add(lat);
+      } else {
+        victim_window_.add(lat);
+        victim_hist_.add(lat);
+      }
+    }
     if (cfg_.telemetry) {
       result_.latency_log2_hist.add(lat);
       result_.queue_log2_hist.add(
@@ -707,12 +803,93 @@ void Simulation::on_deliver(DeviceId dev, PortId port, VlId vl, PacketId pkt,
       if (cfg_.telemetry) msg_latency_hist_.add(static_cast<double>(now));
     }
   }
+  if (cc_on() && p.fecn) {
+    // BECN return: the destination HCA echoes the mark to the source as a
+    // small control packet, modeled as a delayed event like SM traps.
+    ++cc_becn_sent_;
+    ++cc_nodes_[p.dst].stats.becn_sent;
+    events_.push(now + cfg_.cc.becn_delay_ns, EventKind::kBecnArrive, p.src,
+                 0, 0, static_cast<PacketId>(p.dst));
+  }
   last_delivery_ = std::max(last_delivery_, now);
   trace_event(pkt, now, TracePoint::kDelivered, dev, port, vl);
   // The destination endnode consumes at link rate: its input slot frees as
   // the tail lands, so the credit travels back immediately.
   return_credit_upstream(dev, port, vl, now);
   release_packet(pkt);
+}
+
+// --- congestion control ------------------------------------------------------
+
+void Simulation::mark_fecn(PacketId pkt, bool stall_mark, DeviceId dev,
+                           PortId port, VlId vl) {
+  Packet& p = pool_[pkt];
+  if (p.fecn) return;  // one mark per packet, whichever trigger fires first
+  p.fecn = true;
+  ++cc_fecn_marked_;
+  if (stall_mark) {
+    ++cc_fecn_stall_marks_;
+  } else {
+    ++cc_fecn_depth_marks_;
+  }
+  if (cfg_.telemetry) ++devices_[dev].out[port].vls[vl].fecn_marks;
+}
+
+void Simulation::on_becn(NodeId src, NodeId dst, SimTime now) {
+  CcNode& cn = cc_nodes_[src];
+  ++cn.stats.becn_received;
+  const std::uint16_t idx = cct_[src].on_becn(dst);
+  cn.stats.peak_cct_index = std::max(cn.stats.peak_cct_index, idx);
+  ++cc_index_hist_[idx];
+  if (!cn.timer_armed) {
+    cn.timer_armed = true;
+    events_.push(now + cfg_.cc.timer_ns, EventKind::kCctTimer, src);
+  }
+}
+
+void Simulation::on_cct_timer(NodeId node, SimTime now) {
+  ++cc_timer_fires_;
+  if (cct_[node].decay()) {
+    events_.push(now + cfg_.cc.timer_ns, EventKind::kCctTimer, node);
+  } else {
+    cc_nodes_[node].timer_armed = false;
+  }
+}
+
+void Simulation::on_cc_release(NodeId node, SimTime now) {
+  cc_nodes_[node].release_scheduled = false;
+  for (int vl = 0; vl < cfg_.num_vls; ++vl) {
+    try_source_pull(node, static_cast<VlId>(vl), now);
+  }
+}
+
+CcSummary Simulation::collect_cc() const {
+  CcSummary cc;
+  if (!cc_on()) return cc;
+  cc.enabled = true;
+  cc.fecn_marked = cc_fecn_marked_;
+  cc.fecn_depth_marks = cc_fecn_depth_marks_;
+  cc.fecn_stall_marks = cc_fecn_stall_marks_;
+  cc.becn_sent = cc_becn_sent_;
+  cc.cct_timer_fires = cc_timer_fires_;
+  cc.cct_index_hist = cc_index_hist_;
+  for (const CcNode& cn : cc_nodes_) {
+    const CcNodeStats& s = cn.stats;
+    cc.becn_received += s.becn_received;
+    cc.throttled_pkts += s.throttled_pkts;
+    cc.throttled_ns_total += s.throttled_ns;
+    cc.max_node_throttled_ns =
+        std::max(cc.max_node_throttled_ns, s.throttled_ns);
+    cc.peak_cct_index = std::max(cc.peak_cct_index, s.peak_cct_index);
+  }
+  return cc;
+}
+
+std::vector<CcNodeStats> Simulation::cc_node_stats() const {
+  std::vector<CcNodeStats> stats;
+  stats.reserve(cc_nodes_.size());
+  for (const CcNode& cn : cc_nodes_) stats.push_back(cn.stats);
+  return stats;
 }
 
 void Simulation::trace_event(PacketId pkt, SimTime now, TracePoint point,
@@ -804,6 +981,15 @@ void Simulation::dispatch(const Event& e) {
     case EventKind::kLftProgram:
       sm_->apply_program(e.dev, e.pkt, e.time);
       break;
+    case EventKind::kBecnArrive:
+      on_becn(static_cast<NodeId>(e.dev), static_cast<NodeId>(e.pkt), e.time);
+      break;
+    case EventKind::kCctTimer:
+      on_cct_timer(static_cast<NodeId>(e.dev), e.time);
+      break;
+    case EventKind::kCcRelease:
+      on_cc_release(static_cast<NodeId>(e.dev), e.time);
+      break;
   }
 }
 
@@ -828,6 +1014,7 @@ BurstResult Simulation::run_to_completion() {
   burst.total_bytes = burst_bytes_;
   burst.events_processed = events_.events_processed();
   burst.events_scheduled = events_.events_scheduled();
+  burst.cc = collect_cc();
   if (cfg_.telemetry) {
     burst.telemetry = true;
     burst.p50_message_latency_ns = msg_latency_hist_.quantile(0.50);
@@ -866,6 +1053,7 @@ LinkSummary Simulation::finish_link_telemetry(SimTime end, SimTime window_ns) {
                      static_cast<std::uint64_t>(slot.credit_stall_ns));
         summary.max_queue_depth_pkts =
             std::max(summary.max_queue_depth_pkts, slot.peak_queue_pkts);
+        summary.total_fecn_marks += slot.fecn_marks;
       }
     }
   }
@@ -899,11 +1087,13 @@ std::vector<LinkStats> Simulation::link_stats() const {
         vl.bytes_tx = slot.bytes_tx;
         vl.credit_stall_ns = slot.credit_stall_ns;
         vl.peak_queue_pkts = slot.peak_queue_pkts;
+        vl.fecn_marks = slot.fecn_marks;
         link.packets_tx += vl.packets_tx;
         link.bytes_tx += vl.bytes_tx;
         link.credit_stall_ns += vl.credit_stall_ns;
         link.peak_queue_pkts =
             std::max(link.peak_queue_pkts, vl.peak_queue_pkts);
+        link.fecn_marks += vl.fecn_marks;
         link.vls.push_back(vl);
       }
       stats.push_back(std::move(link));
@@ -989,6 +1179,16 @@ SimResult Simulation::run() {
       sum_sq > 0.0 ? sum * sum / (n_nodes * sum_sq) : 0.0;
   result_.min_node_accepted_bytes_per_ns = std::max(lo, 0.0);
   result_.max_node_accepted_bytes_per_ns = hi;
+
+  if (traffic_.config().kind == TrafficKind::kCentric) {
+    result_.victim_packets = victim_window_.count();
+    result_.hot_packets = hot_window_.count();
+    result_.victim_avg_latency_ns = victim_window_.mean();
+    result_.victim_p99_latency_ns = victim_hist_.quantile(0.99);
+    result_.hot_avg_latency_ns = hot_window_.mean();
+    result_.hot_p99_latency_ns = hot_hist_.quantile(0.99);
+  }
+  result_.cc = collect_cc();
 
   if (sm_ != nullptr) {
     const SmStats& sm = sm_->stats();

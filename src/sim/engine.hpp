@@ -15,6 +15,8 @@
 #include <deque>
 #include <vector>
 
+#include "cc/cct.hpp"
+#include "cc/telemetry.hpp"
 #include "sim/config.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/fault_schedule.hpp"
@@ -100,6 +102,11 @@ class Simulation {
     return events_.stats();
   }
 
+  /// Per-HCA congestion-control counters (BECNs, throttled time, peak CCT
+  /// index), indexed by NodeId.  Empty unless SimConfig::cc is enabled;
+  /// valid after run() / run_to_completion().
+  [[nodiscard]] std::vector<CcNodeStats> cc_node_stats() const;
+
  private:
   // --- engine state types ----------------------------------------------------
   struct VlOut {
@@ -113,6 +120,11 @@ class Simulation {
     SimTime stall_since = -1;       ///< head blocked on credits since (-1 = no)
     SimTime credit_stall_ns = 0;    ///< accumulated credit-blocked idle time
     std::uint32_t peak_queue_pkts = 0;
+    // Congestion control (only touched when cfg_.cc.enabled).  A separate
+    // stall clock from the telemetry one above: CC behavior must be
+    // identical whether telemetry is on or off.
+    SimTime cc_stall_since = -1;    ///< head credit-blocked since (-1 = no)
+    std::uint64_t fecn_marks = 0;   ///< marks stamped here (telemetry only)
   };
   struct OutPort {
     std::vector<VlOut> vls;
@@ -144,6 +156,17 @@ class Simulation {
     std::uint32_t remaining_segments = 0;
     SimTime completed_at = -1;
   };
+  /// Per-HCA congestion-control state (only populated when cfg_.cc.enabled).
+  struct CcNode {
+    /// Per-destination earliest next injection: the CCT delay is an
+    /// inter-packet gap on the throttled *flow*, so a source full of
+    /// victim traffic is not stalled by one congested destination
+    /// (beyond FIFO head-of-line blocking while a gated head waits).
+    std::vector<SimTime> next_allowed;
+    bool release_scheduled = false; ///< a kCcRelease is already queued
+    bool timer_armed = false;       ///< a kCctTimer is already queued
+    CcNodeStats stats;
+  };
 
   // --- event handlers ---------------------------------------------------------
   void on_generate(NodeId node, SimTime now);
@@ -155,6 +178,17 @@ class Simulation {
                    SimTime now);
   void on_deliver(DeviceId dev, PortId port, VlId vl, PacketId pkt,
                   SimTime now);
+
+  // --- congestion control (IBA CCA) -------------------------------------------
+  [[nodiscard]] bool cc_on() const noexcept { return cfg_.cc.enabled; }
+  /// Stamps the FECN bit (idempotent; counters see the first mark only).
+  void mark_fecn(PacketId pkt, bool stall_mark, DeviceId dev, PortId port,
+                 VlId vl);
+  /// A BECN from destination `dst` lands at source HCA `src`.
+  void on_becn(NodeId src, NodeId dst, SimTime now);
+  void on_cct_timer(NodeId node, SimTime now);
+  void on_cc_release(NodeId node, SimTime now);
+  [[nodiscard]] CcSummary collect_cc() const;
 
   // --- live SM / fault handling ----------------------------------------------
   enum class DropReason : std::uint8_t {
@@ -224,6 +258,16 @@ class Simulation {
   std::vector<PortId> first_up_port_;  ///< per device; 0 = no up ports
   std::vector<Xoshiro256> vl_rng_;
 
+  // --- congestion control (empty / zero unless cfg_.cc.enabled) ---------------
+  std::vector<CcNode> cc_nodes_;                    ///< per HCA
+  std::vector<CongestionControlTable> cct_;         ///< per HCA
+  std::uint64_t cc_fecn_marked_ = 0;
+  std::uint64_t cc_fecn_depth_marks_ = 0;
+  std::uint64_t cc_fecn_stall_marks_ = 0;
+  std::uint64_t cc_becn_sent_ = 0;
+  std::uint64_t cc_timer_fires_ = 0;
+  std::vector<std::uint64_t> cc_index_hist_;        ///< [0, cct_levels]
+
   // --- metrics accumulation -------------------------------------------------
   SimResult result_;
   std::vector<PacketTraceRecord> traces_;
@@ -231,6 +275,11 @@ class Simulation {
   OnlineStats net_latency_window_;
   OnlineStats hops_window_;
   Histogram latency_hist_;
+  // Hot-spot victim breakdown (only fed on kCentric traffic).
+  OnlineStats victim_window_;
+  OnlineStats hot_window_;
+  Histogram victim_hist_;
+  Histogram hot_hist_;
   std::uint64_t bytes_accepted_window_ = 0;
   std::vector<std::uint64_t> delivered_per_vl_;
   std::vector<OnlineStats> latency_per_vl_;

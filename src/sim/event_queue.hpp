@@ -46,6 +46,10 @@ enum class EventKind : std::uint8_t {
   kTrap,          ///< a trap from (dev, port) reaches the SM
   kSweepDone,     ///< the SM's re-sweep completes; compute + schedule programs
   kLftProgram,    ///< apply plan entry (dev as plan index, pkt as epoch)
+  // --- congestion control (only scheduled when SimConfig::cc is enabled) ----
+  kBecnArrive,    ///< a BECN reaches source HCA `dev` (pkt = destination node)
+  kCctTimer,      ///< HCA `dev`'s CCT recovery-timer tick
+  kCcRelease,     ///< HCA `dev`'s injection gate opens; retry source pulls
 };
 
 struct Event {

@@ -1,6 +1,8 @@
 #include "sim/fault_schedule.hpp"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 
 #include "common/rng.hpp"
 
@@ -37,6 +39,37 @@ const std::vector<FaultEvent>& FaultSchedule::events() const {
     sorted_ = true;
   }
   return events_;
+}
+
+void FaultSchedule::validate() const {
+  // A link is identified by its unordered endpoint pair: a recovery may
+  // name the endpoints in either order relative to the failure.
+  const auto key_of = [](const FaultEvent& e) {
+    const std::uint64_t a =
+        (static_cast<std::uint64_t>(e.dev_a) << 8) | e.port_a;
+    const std::uint64_t b =
+        (static_cast<std::uint64_t>(e.dev_b) << 8) | e.port_b;
+    return std::make_pair(std::min(a, b), std::max(a, b));
+  };
+  std::map<std::pair<std::uint64_t, std::uint64_t>, SimTime> down_since;
+  for (const FaultEvent& e : events()) {
+    const auto key = key_of(e);
+    const auto it = down_since.find(key);
+    if (e.fail) {
+      MLID_EXPECT(it == down_since.end(),
+                  "fault schedule fails a link that is already down "
+                  "(duplicate failure without an intervening recovery)");
+      down_since.emplace(key, e.at);
+    } else {
+      MLID_EXPECT(it != down_since.end(),
+                  "fault schedule recovers a link that is not down "
+                  "(recovery before, or without, its failure)");
+      MLID_EXPECT(e.at > it->second,
+                  "fault schedule recovers a link at (or before) the "
+                  "instant it fails; recovery must be strictly later");
+      down_since.erase(it);
+    }
+  }
 }
 
 FaultSchedule FaultSchedule::random_uplink_failures(

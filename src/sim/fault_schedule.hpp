@@ -40,6 +40,15 @@ class FaultSchedule {
   /// Events sorted by time (ties keep insertion order).
   [[nodiscard]] const std::vector<FaultEvent>& events() const;
 
+  /// Check per-link event ordering: every recovery must name a link that a
+  /// strictly earlier failure tore down, and a link that is already down
+  /// may not fail again (including a duplicate fail at the same timestamp)
+  /// until it recovers.  Throws ContractViolation naming the offending
+  /// event.  Called by Simulation::attach_live_sm before any event is
+  /// scheduled, so a malformed schedule fails fast instead of tripping an
+  /// engine assertion mid-run.
+  void validate() const;
+
   [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
 

@@ -11,6 +11,7 @@
 #include <limits>
 #include <vector>
 
+#include "cc/telemetry.hpp"
 #include "common/expect.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -116,6 +117,9 @@ struct LinkSummary {
   /// Deepest per-(link, VL) output backlog (granted queue + crossbar
   /// waiters) seen anywhere in the fabric.
   std::uint32_t max_queue_depth_pkts = 0;
+  /// FECN marks stamped across all (link, VL) outputs (zero unless both
+  /// telemetry and congestion control are enabled).
+  std::uint64_t total_fecn_marks = 0;
 };
 
 struct SimResult {
@@ -175,6 +179,20 @@ struct SimResult {
   double jain_fairness_index = 0.0;
   double min_node_accepted_bytes_per_ns = 0.0;
   double max_node_accepted_bytes_per_ns = 0.0;
+
+  // --- hot-spot victim breakdown (centric traffic only; zero otherwise) ------
+  // Victim flows are the packets NOT destined to the traffic pattern's hot
+  // node: they share switches with the congestion tree without causing it.
+  // Always collected for kCentric runs (counters only, like the p99 path).
+  std::uint64_t victim_packets = 0;  ///< delivered in window, dst != hot
+  std::uint64_t hot_packets = 0;     ///< delivered in window, dst == hot
+  double victim_avg_latency_ns = 0.0;
+  double victim_p99_latency_ns = 0.0;
+  double hot_avg_latency_ns = 0.0;
+  double hot_p99_latency_ns = 0.0;
+
+  // --- congestion control (populated only when SimConfig::cc is enabled) -----
+  CcSummary cc;
 
   // --- telemetry (populated only when SimConfig::telemetry is on) ------------
   // Turning telemetry off zeroes this block and nothing else: the engine

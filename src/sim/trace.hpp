@@ -57,6 +57,8 @@ struct VlLinkStats {
   SimTime credit_stall_ns = 0;
   /// Deepest output backlog (granted queue + crossbar waiters) seen.
   std::uint32_t peak_queue_pkts = 0;
+  /// FECN marks stamped at this (link, VL) output (congestion control on).
+  std::uint64_t fecn_marks = 0;
 };
 
 /// Full telemetry for one directed link: LinkLoad's counters extended with
@@ -72,6 +74,7 @@ struct LinkStats {
   double utilization = 0.0;    ///< busy_ns / measurement window
   SimTime credit_stall_ns = 0;          ///< sum over VLs
   std::uint32_t peak_queue_pkts = 0;    ///< max over VLs
+  std::uint64_t fecn_marks = 0;         ///< sum over VLs
   std::vector<VlLinkStats> vls;
 };
 

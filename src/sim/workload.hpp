@@ -36,6 +36,9 @@ struct BurstResult {
   std::uint64_t events_processed = 0;
   std::uint64_t events_scheduled = 0;
 
+  // --- congestion control (populated only when SimConfig::cc is enabled) -----
+  CcSummary cc;
+
   // --- telemetry (populated only when SimConfig::telemetry is on) ------------
   bool telemetry = false;
   double p50_message_latency_ns = 0.0;

@@ -1,0 +1,117 @@
+// Unit tests for the congestion-control config and the per-HCA CCT.
+#include <gtest/gtest.h>
+
+#include "cc/cct.hpp"
+#include "common/expect.hpp"
+
+namespace mlid {
+namespace {
+
+CcConfig enabled_config() {
+  CcConfig cfg;
+  cfg.enabled = true;
+  return cfg;
+}
+
+TEST(CcConfig, DefaultsValidate) {
+  CcConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_NO_THROW(enabled_config().validate());
+}
+
+TEST(CcConfig, RejectsDegenerateKnobs) {
+  {
+    CcConfig cfg = enabled_config();
+    cfg.fecn_threshold_pkts = 0;
+    EXPECT_THROW(cfg.validate(), ContractViolation);
+  }
+  {
+    CcConfig cfg = enabled_config();
+    cfg.becn_delay_ns = -1;
+    EXPECT_THROW(cfg.validate(), ContractViolation);
+  }
+  {
+    CcConfig cfg = enabled_config();
+    cfg.cct_levels = 0;
+    EXPECT_THROW(cfg.validate(), ContractViolation);
+  }
+  {
+    CcConfig cfg = enabled_config();
+    cfg.becn_increase = 0;
+    EXPECT_THROW(cfg.validate(), ContractViolation);
+  }
+  {
+    CcConfig cfg = enabled_config();
+    cfg.timer_ns = 0;
+    EXPECT_THROW(cfg.validate(), ContractViolation);
+  }
+}
+
+TEST(CcConfig, ShapeMapsIndexToDelay) {
+  CcConfig cfg;
+  cfg.cct_quantum_ns = 100;
+  cfg.cct_shape = CctShape::kLinear;
+  EXPECT_EQ(cfg.delay_ns(0), 0);
+  EXPECT_EQ(cfg.delay_ns(3), 300);
+  cfg.cct_shape = CctShape::kQuadratic;
+  EXPECT_EQ(cfg.delay_ns(0), 0);
+  EXPECT_EQ(cfg.delay_ns(3), 900);
+  EXPECT_EQ(to_string(CctShape::kLinear), "linear");
+  EXPECT_EQ(to_string(CctShape::kQuadratic), "quadratic");
+}
+
+TEST(Cct, BecnBumpsAndSaturates) {
+  CcConfig cfg = enabled_config();
+  cfg.cct_levels = 5;
+  cfg.becn_increase = 2;
+  CongestionControlTable cct(cfg, 4);
+  EXPECT_FALSE(cct.any_active());
+  EXPECT_EQ(cct.on_becn(1), 2);
+  EXPECT_EQ(cct.on_becn(1), 4);
+  EXPECT_EQ(cct.on_becn(1), 5);  // saturates at cct_levels, not 6
+  EXPECT_EQ(cct.on_becn(1), 5);
+  EXPECT_EQ(cct.index(1), 5);
+  EXPECT_EQ(cct.index(0), 0);  // other destinations untouched
+  EXPECT_EQ(cct.peak_index(), 5);
+  EXPECT_TRUE(cct.any_active());
+}
+
+TEST(Cct, DecayDecrementsEveryNonZeroIndex) {
+  CcConfig cfg = enabled_config();
+  CongestionControlTable cct(cfg, 3);
+  cct.on_becn(0);  // index 2
+  cct.on_becn(0);  // index 4
+  cct.on_becn(2);  // index 2
+  EXPECT_TRUE(cct.decay());
+  EXPECT_EQ(cct.index(0), 3);
+  EXPECT_EQ(cct.index(1), 0);
+  EXPECT_EQ(cct.index(2), 1);
+  EXPECT_TRUE(cct.decay());  // 2 / 0 / 0 -- still active
+  EXPECT_EQ(cct.index(2), 0);
+  EXPECT_TRUE(cct.decay());   // 1 / 0 / 0
+  EXPECT_FALSE(cct.decay());  // 0 / 0 / 0 -- timer can disarm
+  EXPECT_FALSE(cct.any_active());
+  // Peak remembers the high-water mark through the decay.
+  EXPECT_EQ(cct.peak_index(), 4);
+}
+
+TEST(Cct, DelayFollowsTheConfiguredShape) {
+  CcConfig cfg = enabled_config();
+  cfg.cct_quantum_ns = 250;
+  cfg.becn_increase = 3;
+  cfg.cct_shape = CctShape::kQuadratic;
+  CongestionControlTable cct(cfg, 2);
+  EXPECT_EQ(cct.delay_ns(0), 0);
+  cct.on_becn(0);
+  EXPECT_EQ(cct.delay_ns(0), 250 * 9);
+  EXPECT_EQ(cct.delay_ns(1), 0);
+}
+
+TEST(Cct, ValidatesConfigOnConstruction) {
+  CcConfig cfg = enabled_config();
+  cfg.cct_levels = 0;
+  EXPECT_THROW(CongestionControlTable(cfg, 4), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mlid

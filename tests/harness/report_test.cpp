@@ -136,6 +136,51 @@ TEST(Report, TelemetryFieldsSerializeWhenPresent) {
   EXPECT_EQ(json_off.find("\"latency_log2_hist\""), std::string::npos);
 }
 
+TEST(Report, CcFieldsSerializePerTheV2Schema) {
+  // cc_enabled and the victim/hot split are always present; the cc block
+  // only when congestion control ran.
+  SimResult off;
+  const std::string json_off = to_json(off);
+  EXPECT_NE(json_off.find("\"cc_enabled\":false"), std::string::npos);
+  EXPECT_NE(json_off.find("\"victim_packets\":0"), std::string::npos);
+  EXPECT_NE(json_off.find("\"hot_packets\":0"), std::string::npos);
+  EXPECT_EQ(json_off.find("\"cc\":{"), std::string::npos);
+
+  SimResult on;
+  on.cc.enabled = true;
+  on.cc.fecn_depth_marks = 3;
+  on.cc.fecn_stall_marks = 4;
+  on.cc.fecn_marked = 7;
+  on.cc.becn_sent = 6;
+  on.cc.becn_received = 5;
+  on.cc.cct_timer_fires = 2;
+  on.cc.throttled_pkts = 4;
+  on.cc.throttled_ns_total = 900;
+  on.cc.max_node_throttled_ns = 500;
+  on.cc.peak_cct_index = 8;
+  on.cc.cct_index_hist = {1, 4};
+  on.victim_packets = 11;
+  on.victim_p99_latency_ns = 125.5;
+  on.telemetry = true;
+  on.link_summary.total_fecn_marks = 7;
+  const std::string json = to_json(on);
+  EXPECT_NE(json.find("\"cc_enabled\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"fecn_marked\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"fecn_depth_marks\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"fecn_stall_marks\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"becn_sent\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"becn_received\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"cct_timer_fires\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"throttled_pkts\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"throttled_ns_total\":900"), std::string::npos);
+  EXPECT_NE(json.find("\"max_node_throttled_ns\":500"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_cct_index\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"cct_index_hist\":[1,4]"), std::string::npos);
+  EXPECT_NE(json.find("\"victim_packets\":11"), std::string::npos);
+  EXPECT_NE(json.find("\"victim_p99_latency_ns\":125.5"), std::string::npos);
+  EXPECT_NE(json.find("\"total_fecn_marks\":7"), std::string::npos);
+}
+
 TEST(Report, BenchReportEmitsTheSchema) {
   BenchReport report("unit_bench", /*seed=*/9, /*threads=*/2, /*quick=*/true);
   SimResult r;
@@ -147,7 +192,7 @@ TEST(Report, BenchReportEmitsTheSchema) {
   b.events_processed = 50;
   report.add("burst-b", b);
   const std::string json = report.to_json();
-  EXPECT_NE(json.find("\"schema\":\"mlid-bench-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"mlid-bench-v2\""), std::string::npos);
   EXPECT_NE(json.find("\"name\":\"unit_bench\""), std::string::npos);
   EXPECT_NE(json.find("\"git\""), std::string::npos);
   EXPECT_NE(json.find("\"seed\":9"), std::string::npos);
@@ -175,7 +220,7 @@ TEST(Report, BenchReportWritesItsFile) {
   buf << in.rdbuf();
   // wall_seconds advances between serializations, so compare structure,
   // not the exact bytes.
-  EXPECT_NE(buf.str().find("\"schema\":\"mlid-bench-v1\""), std::string::npos);
+  EXPECT_NE(buf.str().find("\"schema\":\"mlid-bench-v2\""), std::string::npos);
   EXPECT_NE(buf.str().find("\"name\":\"write_test\""), std::string::npos);
   EXPECT_EQ(buf.str().back(), '\n');
   std::remove(path.c_str());

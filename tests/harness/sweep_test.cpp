@@ -163,20 +163,16 @@ TEST(Sweep, QuickOptionShrinksTheGrid) {
   EXPECT_EQ(points.size(), 2u * 2u * 3u);
 }
 
-TEST(Sweep, DeprecatedRunFigureShimForwards) {
-  const FigureSpec spec = tiny_spec();
-  const auto via_options = run_sweep(spec, {.threads = 1});
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto via_shim = run_figure(spec, 1);
-#pragma GCC diagnostic pop
-  ASSERT_EQ(via_shim.size(), via_options.size());
-  for (std::size_t i = 0; i < via_shim.size(); ++i) {
-    EXPECT_EQ(via_shim[i].result.packets_measured,
-              via_options[i].result.packets_measured);
-    EXPECT_DOUBLE_EQ(via_shim[i].result.avg_latency_ns,
-                     via_options[i].result.avg_latency_ns);
-  }
+TEST(Sweep, CcOverrideAppliesToEveryPoint) {
+  FigureSpec spec = tiny_spec();
+  CcConfig cc;
+  cc.enabled = true;
+  const auto points = run_sweep(spec, {.threads = 1, .cc = cc});
+  ASSERT_FALSE(points.empty());
+  for (const auto& p : points) EXPECT_TRUE(p.result.cc.enabled);
+  // An unset option inherits the spec's own (disabled) CC config.
+  const auto inherited = run_sweep(spec, {.threads = 1});
+  for (const auto& p : inherited) EXPECT_FALSE(p.result.cc.enabled);
 }
 
 TEST(Sweep, SaturationThroughputPicksTheSeriesMaximum) {

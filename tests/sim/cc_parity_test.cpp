@@ -1,0 +1,89 @@
+// The congestion-control bit-identity contract: with SimConfig::cc
+// disabled the engine must produce results bit-identical to the pre-CC
+// engine -- no CC code path may schedule an event, draw randomness, or
+// touch a counter.  Asserted two ways: (1) cc-off runs are invariant under
+// every inert CC knob, and (2) a cc-*enabled* run whose thresholds are
+// unreachable matches a cc-off run in every field except the cc block
+// itself (the strongest form: the CC machinery is armed but never fires).
+#include <gtest/gtest.h>
+
+#include "harness/report.hpp"
+#include "sim/engine.hpp"
+
+namespace mlid {
+namespace {
+
+SimConfig quick_window() {
+  SimConfig cfg;
+  cfg.warmup_ns = 5'000;
+  cfg.measure_ns = 20'000;
+  cfg.seed = 3;
+  return cfg;
+}
+
+// CC enabled but physically unable to fire: the depth threshold exceeds
+// any possible backlog and the stall threshold exceeds the run length.
+SimConfig inert_cc_window() {
+  SimConfig cfg = quick_window();
+  cfg.cc.enabled = true;
+  cfg.cc.fecn_threshold_pkts = 1'000'000;
+  cfg.cc.fecn_stall_ns = 1'000'000'000;
+  return cfg;
+}
+
+TEST(CcParity, CcOffIsInvariantUnderInertKnobs) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const TrafficConfig traffic{TrafficKind::kCentric, 0.2, 0, 9};
+  SimConfig tweaked = quick_window();
+  tweaked.cc.fecn_threshold_pkts = 1;
+  tweaked.cc.cct_quantum_ns = 99'999;
+  tweaked.cc.becn_increase = 7;  // all inert while cc.enabled is false
+  const SimResult base =
+      Simulation::open_loop(subnet, quick_window(), traffic, 0.6).run();
+  const SimResult other =
+      Simulation::open_loop(subnet, tweaked, traffic, 0.6).run();
+  EXPECT_EQ(to_json(base), to_json(other));
+  EXPECT_GT(base.packets_delivered, 0u);
+}
+
+TEST(CcParity, ArmedButUnreachableCcMatchesCcOffBitForBit) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kSlid);
+  const TrafficConfig traffic{TrafficKind::kCentric, 0.2, 0, 9};
+  for (const double load : {0.3, 0.9}) {
+    const SimResult off =
+        Simulation::open_loop(subnet, quick_window(), traffic, load).run();
+    const SimResult armed =
+        Simulation::open_loop(subnet, inert_cc_window(), traffic, load).run();
+    // The armed run must not have fired once...
+    EXPECT_EQ(armed.cc.fecn_marked, 0u) << "load " << load;
+    EXPECT_EQ(armed.cc.becn_received, 0u) << "load " << load;
+    EXPECT_EQ(armed.cc.throttled_pkts, 0u) << "load " << load;
+    // ...and every non-cc field must be bit-identical to the cc-off run.
+    SimResult armed_sans_cc = armed;
+    armed_sans_cc.cc = off.cc;
+    EXPECT_EQ(to_json(off), to_json(armed_sans_cc)) << "load " << load;
+    EXPECT_GT(off.packets_delivered, 0u);
+  }
+}
+
+TEST(CcParity, BurstCcOffMatchesArmedUnreachableCc) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const auto workload = all_to_all_personalized(16, 512);
+  const BurstResult off =
+      Simulation::burst(subnet, quick_window(), workload).run_to_completion();
+  const BurstResult armed = Simulation::burst(subnet, inert_cc_window(),
+                                              workload)
+                                .run_to_completion();
+  EXPECT_EQ(armed.cc.fecn_marked, 0u);
+  EXPECT_EQ(armed.cc.throttled_pkts, 0u);
+  BurstResult armed_sans_cc = armed;
+  armed_sans_cc.cc = off.cc;
+  EXPECT_EQ(to_json(off), to_json(armed_sans_cc));
+  EXPECT_GT(off.messages, 0u);
+}
+
+}  // namespace
+}  // namespace mlid

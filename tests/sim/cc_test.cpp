@@ -1,0 +1,204 @@
+// Engine-level congestion-control behavior: FECN marking thresholds, the
+// BECN return loop, CCT throttling, telemetry consistency, and
+// determinism of the whole control loop.
+#include <gtest/gtest.h>
+
+#include "harness/report.hpp"
+#include "sim/engine.hpp"
+
+namespace mlid {
+namespace {
+
+// A hot-spot scenario that reliably forms a congestion tree: everyone
+// hammers node 0 with 40% of their traffic at a load well past the hot
+// terminal link's capacity.
+TrafficConfig hot_traffic() { return {TrafficKind::kCentric, 0.4, 0, 9}; }
+
+SimConfig cc_window() {
+  SimConfig cfg;
+  cfg.warmup_ns = 5'000;
+  cfg.measure_ns = 30'000;
+  cfg.seed = 3;
+  cfg.cc.enabled = true;
+  return cfg;
+}
+
+TEST(CongestionControl, HotSpotDrivesTheFullControlLoop) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const SimResult r =
+      Simulation::open_loop(subnet, cc_window(), hot_traffic(), 0.6).run();
+  EXPECT_TRUE(r.cc.enabled);
+  // Every stage of the loop fired: marks, echoes, throttles, decay.
+  EXPECT_GT(r.cc.fecn_marked, 0u);
+  EXPECT_EQ(r.cc.fecn_marked, r.cc.fecn_depth_marks + r.cc.fecn_stall_marks);
+  EXPECT_GT(r.cc.becn_sent, 0u);
+  EXPECT_GT(r.cc.becn_received, 0u);
+  EXPECT_LE(r.cc.becn_received, r.cc.becn_sent);  // some still in flight
+  EXPECT_GT(r.cc.throttled_pkts, 0u);
+  EXPECT_GT(r.cc.throttled_ns_total, 0u);
+  EXPECT_GE(r.cc.max_node_throttled_ns, 1u);
+  EXPECT_LE(r.cc.max_node_throttled_ns, r.cc.throttled_ns_total);
+  EXPECT_GT(r.cc.cct_timer_fires, 0u);
+  EXPECT_GT(r.cc.peak_cct_index, 0u);
+  // A BECN can only echo a delivered FECN mark.
+  EXPECT_LE(r.cc.becn_sent, r.cc.fecn_marked);
+  // The index histogram records exactly one entry per BECN applied.
+  std::uint64_t hist_total = 0;
+  for (const std::uint64_t v : r.cc.cct_index_hist) hist_total += v;
+  EXPECT_EQ(hist_total, r.cc.becn_received);
+}
+
+TEST(CongestionControl, DisabledRunReportsAnEmptyCcBlock) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  SimConfig cfg = cc_window();
+  cfg.cc.enabled = false;
+  const SimResult r =
+      Simulation::open_loop(subnet, cfg, hot_traffic(), 0.6).run();
+  EXPECT_FALSE(r.cc.enabled);
+  EXPECT_EQ(r.cc.fecn_marked, 0u);
+  EXPECT_EQ(r.cc.throttled_pkts, 0u);
+  EXPECT_TRUE(r.cc.cct_index_hist.empty());
+}
+
+TEST(CongestionControl, DepthThresholdOneMarksAggressively) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  // threshold 1: every packet routed through a non-stalled switch output
+  // joins a backlog of at least itself, so marking is near-universal.
+  SimConfig eager = cc_window();
+  eager.cc.fecn_threshold_pkts = 1;
+  SimConfig lazy = cc_window();
+  lazy.cc.fecn_threshold_pkts = 1'000'000;
+  lazy.cc.fecn_stall_ns = 1'000'000'000;
+  const SimResult r_eager =
+      Simulation::open_loop(subnet, eager, hot_traffic(), 0.6).run();
+  const SimResult r_lazy =
+      Simulation::open_loop(subnet, lazy, hot_traffic(), 0.6).run();
+  EXPECT_GT(r_eager.cc.fecn_depth_marks, 0u);
+  EXPECT_EQ(r_lazy.cc.fecn_marked, 0u);
+  EXPECT_GT(r_eager.cc.fecn_marked, r_lazy.cc.fecn_marked);
+}
+
+TEST(CongestionControl, StallMarkingFiresWithoutDepthMarking) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  // Depth marking off the table; only the credit-stall path can mark, and
+  // a congestion tree at this load stalls heads for far longer than 1 us.
+  SimConfig cfg = cc_window();
+  cfg.cc.fecn_threshold_pkts = 1'000'000;
+  cfg.cc.fecn_stall_ns = 1'000;
+  const SimResult r =
+      Simulation::open_loop(subnet, cfg, hot_traffic(), 0.6).run();
+  EXPECT_GT(r.cc.fecn_stall_marks, 0u);
+  EXPECT_EQ(r.cc.fecn_depth_marks, 0u);
+}
+
+TEST(CongestionControl, ThrottlingThrottlesTheHotDestination) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  SimConfig cfg = cc_window();
+  cfg.cc.becn_increase = 4;
+  cfg.cc.cct_quantum_ns = 600;
+  const SimResult off = Simulation::open_loop(subnet, [] {
+                          SimConfig c = cc_window();
+                          c.cc.enabled = false;
+                          return c;
+                        }(), hot_traffic(), 0.6)
+                            .run();
+  const SimResult on =
+      Simulation::open_loop(subnet, cfg, hot_traffic(), 0.6).run();
+  // Throttling redistributes service from the congestion tree to its
+  // victims: fairness must improve in this heavily hot-spotted scenario.
+  EXPECT_GT(on.jain_fairness_index, off.jain_fairness_index);
+  EXPECT_GT(on.cc.throttled_pkts, 0u);
+}
+
+TEST(CongestionControl, VictimHotSplitAccountsEveryMeasuredPacket) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const SimResult r =
+      Simulation::open_loop(subnet, cc_window(), hot_traffic(), 0.6).run();
+  EXPECT_EQ(r.victim_packets + r.hot_packets, r.packets_measured);
+  EXPECT_GT(r.victim_packets, 0u);
+  EXPECT_GT(r.hot_packets, 0u);
+  EXPECT_GT(r.victim_p99_latency_ns, 0.0);
+  EXPECT_GT(r.hot_p99_latency_ns, 0.0);
+  // Uniform traffic has no hot node: the split stays zeroed.
+  const TrafficConfig uniform{TrafficKind::kUniform, 0.2, 0, 9};
+  const SimResult u =
+      Simulation::open_loop(subnet, cc_window(), uniform, 0.6).run();
+  EXPECT_EQ(u.victim_packets, 0u);
+  EXPECT_EQ(u.hot_packets, 0u);
+}
+
+TEST(CongestionControl, TelemetryLinkMarksSumToTheGlobalCount) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  Simulation sim =
+      Simulation::open_loop(subnet, cc_window(), hot_traffic(), 0.6);
+  const SimResult r = sim.run();
+  ASSERT_TRUE(r.telemetry);
+  EXPECT_EQ(r.link_summary.total_fecn_marks, r.cc.fecn_marked);
+  std::uint64_t from_links = 0;
+  for (const LinkStats& link : sim.link_stats()) {
+    std::uint64_t from_vls = 0;
+    for (const VlLinkStats& vl : link.vls) from_vls += vl.fecn_marks;
+    EXPECT_EQ(link.fecn_marks, from_vls);
+    from_links += link.fecn_marks;
+  }
+  EXPECT_EQ(from_links, r.cc.fecn_marked);
+}
+
+TEST(CongestionControl, TelemetryOffLeavesCcBehaviorBitIdentical) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  SimConfig with = cc_window();
+  SimConfig without = cc_window();
+  without.telemetry = false;
+  const SimResult a =
+      Simulation::open_loop(subnet, with, hot_traffic(), 0.6).run();
+  const SimResult b =
+      Simulation::open_loop(subnet, without, hot_traffic(), 0.6).run();
+  // CC decisions (marking, throttling) must not depend on telemetry.
+  EXPECT_EQ(a.cc.fecn_marked, b.cc.fecn_marked);
+  EXPECT_EQ(a.cc.becn_received, b.cc.becn_received);
+  EXPECT_EQ(a.cc.throttled_pkts, b.cc.throttled_pkts);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.avg_latency_ns, b.avg_latency_ns);
+}
+
+TEST(CongestionControl, CcRunsAreDeterministic) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kSlid);
+  const SimResult a =
+      Simulation::open_loop(subnet, cc_window(), hot_traffic(), 0.6).run();
+  const SimResult b =
+      Simulation::open_loop(subnet, cc_window(), hot_traffic(), 0.6).run();
+  EXPECT_EQ(to_json(a), to_json(b));
+  EXPECT_GT(a.cc.fecn_marked, 0u);
+}
+
+TEST(CongestionControl, PerNodeStatsRollUpToTheSummary) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  Simulation sim =
+      Simulation::open_loop(subnet, cc_window(), hot_traffic(), 0.6);
+  const SimResult r = sim.run();
+  std::uint64_t becn_rx = 0, throttled = 0, throttled_ns = 0;
+  std::uint16_t peak = 0;
+  for (const CcNodeStats& s : sim.cc_node_stats()) {
+    becn_rx += s.becn_received;
+    throttled += s.throttled_pkts;
+    throttled_ns += s.throttled_ns;
+    peak = std::max(peak, s.peak_cct_index);
+  }
+  EXPECT_EQ(becn_rx, r.cc.becn_received);
+  EXPECT_EQ(throttled, r.cc.throttled_pkts);
+  EXPECT_EQ(throttled_ns, r.cc.throttled_ns_total);
+  EXPECT_EQ(peak, r.cc.peak_cct_index);
+}
+
+}  // namespace
+}  // namespace mlid

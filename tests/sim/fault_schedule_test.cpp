@@ -1,0 +1,127 @@
+// FaultSchedule::validate(): per-link event-ordering hardening.  A
+// malformed schedule (recover-before-fail, duplicate fails, recover at
+// the failure instant) must be rejected up front with a clear error, not
+// trip an engine assertion halfway through a run.
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "sim/engine.hpp"
+
+namespace mlid {
+namespace {
+
+struct Link {
+  DeviceId dev_a;
+  PortId port_a;
+  DeviceId dev_b;
+  PortId port_b;
+};
+
+// First inter-switch uplink of the fabric (the same family of links
+// random_uplink_failures draws from).
+Link first_uplink(const FatTreeFabric& fabric) {
+  for (std::uint32_t sw = 0; sw < fabric.params().num_switches(); ++sw) {
+    if (fabric.switch_label(static_cast<SwitchId>(sw)).level() == 0) continue;
+    const DeviceId dev = fabric.switch_device(static_cast<SwitchId>(sw));
+    for (int p = fabric.params().half() + 1; p <= fabric.params().m(); ++p) {
+      const auto port = static_cast<PortId>(p);
+      if (!fabric.fabric().device(dev).port_connected(port)) continue;
+      const PortRef peer = fabric.fabric().peer_of(dev, port);
+      return {dev, port, peer.device, peer.port};
+    }
+  }
+  ADD_FAILURE() << "fabric has no uplink";
+  return {};
+}
+
+TEST(FaultSchedule, WellFormedSchedulesValidate) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Link l = first_uplink(fabric);
+  FaultSchedule s;
+  s.fail_link(1'000, fabric.fabric(), l.dev_a, l.port_a);
+  s.recover_link(2'000, l.dev_a, l.port_a, l.dev_b, l.port_b);
+  s.fail_link(3'000, fabric.fabric(), l.dev_a, l.port_a);  // fail again: ok
+  s.recover_link(4'000, l.dev_a, l.port_a, l.dev_b, l.port_b);
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_NO_THROW(FaultSchedule{}.validate());
+  EXPECT_NO_THROW(FaultSchedule::random_uplink_failures(fabric, 3, 8'000, 7,
+                                                        18'000)
+                      .validate());
+}
+
+TEST(FaultSchedule, RecoverNamingReversedEndpointsValidates) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Link l = first_uplink(fabric);
+  FaultSchedule s;
+  s.fail_link(1'000, fabric.fabric(), l.dev_a, l.port_a);
+  // The link is an unordered endpoint pair; either orientation recovers it.
+  s.recover_link(2'000, l.dev_b, l.port_b, l.dev_a, l.port_a);
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(FaultSchedule, RejectsRecoverBeforeFail) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Link l = first_uplink(fabric);
+  {
+    FaultSchedule s;
+    s.recover_link(1'000, l.dev_a, l.port_a, l.dev_b, l.port_b);
+    EXPECT_THROW(s.validate(), ContractViolation);
+  }
+  {
+    FaultSchedule s;  // recover sorts before the later fail
+    s.recover_link(1'000, l.dev_a, l.port_a, l.dev_b, l.port_b);
+    s.fail_link(2'000, fabric.fabric(), l.dev_a, l.port_a);
+    EXPECT_THROW(s.validate(), ContractViolation);
+  }
+}
+
+TEST(FaultSchedule, RejectsDuplicateFail) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Link l = first_uplink(fabric);
+  {
+    FaultSchedule s;  // same timestamp
+    s.fail_link(1'000, fabric.fabric(), l.dev_a, l.port_a);
+    s.fail_link(1'000, fabric.fabric(), l.dev_a, l.port_a);
+    EXPECT_THROW(s.validate(), ContractViolation);
+  }
+  {
+    FaultSchedule s;  // later duplicate without an intervening recovery
+    s.fail_link(1'000, fabric.fabric(), l.dev_a, l.port_a);
+    s.fail_link(5'000, fabric.fabric(), l.dev_a, l.port_a);
+    EXPECT_THROW(s.validate(), ContractViolation);
+  }
+}
+
+TEST(FaultSchedule, RejectsRecoveryAtTheFailureInstant) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Link l = first_uplink(fabric);
+  FaultSchedule s;
+  s.fail_link(1'000, fabric.fabric(), l.dev_a, l.port_a);
+  s.recover_link(1'000, l.dev_a, l.port_a, l.dev_b, l.port_b);
+  EXPECT_THROW(s.validate(), ContractViolation);
+}
+
+TEST(FaultSchedule, AttachingALiveSmValidatesTheSchedule) {
+  FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  SubnetManager sm(fabric, subnet);
+  SimConfig cfg;
+  cfg.warmup_ns = 5'000;
+  cfg.measure_ns = 20'000;
+  const TrafficConfig traffic{TrafficKind::kUniform, 0.2, 0, 4};
+  const Link l = first_uplink(fabric);
+  FaultSchedule bad;
+  bad.recover_link(9'000, l.dev_a, l.port_a, l.dev_b, l.port_b);
+  EXPECT_THROW(
+      Simulation::open_loop(subnet, cfg, traffic, 0.5, {&sm, bad}),
+      ContractViolation);
+  FaultSchedule good;
+  good.fail_link(8'000, fabric.fabric(), l.dev_a, l.port_a);
+  good.recover_link(18'000, l.dev_a, l.port_a, l.dev_b, l.port_b);
+  const SimResult r =
+      Simulation::open_loop(subnet, cfg, traffic, 0.5, {&sm, good}).run();
+  EXPECT_GT(r.sm_traps, 0u);
+}
+
+}  // namespace
+}  // namespace mlid
