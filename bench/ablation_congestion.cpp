@@ -60,6 +60,10 @@ int main(int argc, char** argv) {
     for (const double h : fractions) {
       SimConfig cfg;
       cfg.seed = opts.seed();
+      // Sampler on by default: the BENCH json then carries a timeline per
+      // cell, and the CC-on cells show the BECN burst and CCT onset
+      // time-resolved (used by the EXPERIMENTS.md plot).
+      cfg.sample_interval_ns = opts.sample_interval_ns().value_or(1'000);
       if (opts.quick()) {
         cfg.warmup_ns = 5'000;
         cfg.measure_ns = 20'000;

@@ -17,12 +17,14 @@
 // observe the convergence timeline, once with the warmup extended past the
 // observed convergence point so the measurement window samples only the
 // repaired steady state.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/text_table.hpp"
+#include "harness/chrome_trace.hpp"
 #include "harness/cli.hpp"
 #include "harness/report.hpp"
 #include "routing/updown.hpp"
@@ -51,6 +53,67 @@ std::unique_ptr<Subnet> make_subnet(const FatTreeFabric& fabric,
   return std::make_unique<Subnet>(fabric, spec.kind);
 }
 
+/// What the interval sampler's timeline must show for one convergence run:
+/// no drops before the fault, a drop dip starting at (or after) the fault,
+/// and -- when the schedule heals the links again -- the delivered rate back
+/// to >= 90% of its pre-fault mean once the SM finished reprogramming the
+/// restored fabric.  Without a recovery event the post-reconvergence rate is
+/// the *degraded* fabric's and carries no such bound (at load 0.6 a missing
+/// uplink is a real capacity loss), so the 90% check is gated on
+/// `expect_recovery`.
+struct TimelineCheck {
+  double pre_rate = 0.0;       ///< delivered pkts/ns before the fault
+  double post_rate = 0.0;      ///< delivered pkts/ns after reconvergence
+  SimTime dip_start = -1;      ///< window start of the first dropping sample
+  int violations = 0;
+};
+
+TimelineCheck check_timeline(const SimResult& r, SimTime fail_at,
+                             bool expect_recovery) {
+  TimelineCheck out;
+  const Timeline& tl = r.timeline;
+  // The dip-start bound is only exact when samples align with the fault
+  // (always true for the default grid; a custom --sample-interval-ns that
+  // does not divide --fail-at-ns blurs the boundary by one window).
+  const bool aligned = fail_at % tl.base_interval_ns == 0;
+  double pre_sum = 0.0, post_sum = 0.0;
+  std::uint64_t pre_n = 0, post_n = 0;
+  for (const TimelineSample& s : tl.samples) {
+    const SimTime span =
+        static_cast<SimTime>(s.intervals) * tl.base_interval_ns;
+    const SimTime start = s.t_ns - span;
+    const double rate =
+        static_cast<double>(s.delivered) / static_cast<double>(span);
+    // A sample ending at t covers strictly-earlier events, so every sample
+    // with t_ns <= fail_at is pure pre-fault traffic: no drops allowed.
+    if (s.t_ns <= fail_at && s.dropped > 0) ++out.violations;
+    if (s.t_ns <= fail_at && s.t_ns > fail_at / 2) {
+      pre_sum += rate;
+      ++pre_n;
+    }
+    if (out.dip_start < 0 && s.dropped > 0) out.dip_start = start;
+    if (r.sm_converged_ns >= 0 &&
+        start >= r.sm_converged_ns + kConvergenceSlackNs) {
+      post_sum += rate;
+      ++post_n;
+    }
+  }
+  if (r.packets_dropped > 0 && out.dip_start < 0) ++out.violations;
+  if (aligned && out.dip_start >= 0 && out.dip_start < fail_at) {
+    ++out.violations;  // the dip may not begin before the fault
+  }
+  if (pre_n == 0 || post_n == 0) {
+    ++out.violations;  // the window must sample both sides of the story
+    return out;
+  }
+  out.pre_rate = pre_sum / static_cast<double>(pre_n);
+  out.post_rate = post_sum / static_cast<double>(post_n);
+  if (expect_recovery && out.post_rate < 0.90 * out.pre_rate) {
+    ++out.violations;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -62,6 +125,9 @@ int main(int argc, char** argv) {
   SimConfig base;
   base.seed = opts.seed();
   base.warmup_ns = opts.quick() ? 5'000 : 20'000;
+  // The interval sampler is on by default here: the timeline self-check
+  // below is this bench's whole point (--sample-interval-ns 0 disables it).
+  base.sample_interval_ns = opts.sample_interval_ns().value_or(1'000);
   // Pass 1 must outlast the slowest convergence (k=4, full-table rebuild
   // costs included), so its window shrinks less than usual under --quick.
   base.measure_ns = 80'000;
@@ -95,6 +161,8 @@ int main(int argc, char** argv) {
   };
 
   int violations = 0;
+  std::string timeline_notes;
+  const bool want_chrome = !opts.chrome_trace().empty();
   for (const int k : ks) {
     // The schedule stores (device, port) pairs, so one schedule built
     // against a pristine fabric replays identically onto every fresh
@@ -107,13 +175,35 @@ int main(int argc, char** argv) {
                          opts.seed() ^ 0xFA11u ^ static_cast<std::uint64_t>(k));
 
     for (const SchemeSpec& spec : schemes) {
-      // Pass 1: watch the convergence timeline.
+      // Pass 1: watch the convergence timeline.  The first cell also feeds
+      // the chrome-trace exporter when --chrome-trace asked for a file:
+      // packet traces, the control-plane record and the flight recorder all
+      // ride along (they are passive, so the results are unchanged).
+      const bool chrome_cell =
+          want_chrome && k == ks.front() && &spec == &schemes[0];
+      SimConfig cfg1 = base;
+      if (chrome_cell) {
+        cfg1.trace_packets = opts.trace_packets().value_or(512);
+        cfg1.trace_stride = opts.trace_stride().value_or(64);
+        cfg1.trace_control = true;
+        cfg1.flight_recorder_depth = opts.flight_recorder().value_or(32);
+      }
       FatTreeFabric fabric{params};
       const auto subnet = make_subnet(fabric, spec);
       SubnetManager sm(fabric, *subnet);
       Simulation sim =
-          Simulation::open_loop(*subnet, base, traffic, kLoad, {&sm, faults});
+          Simulation::open_loop(*subnet, cfg1, traffic, kLoad, {&sm, faults});
       const SimResult r = sim.run();
+      if (chrome_cell) {
+        ChromeTraceData data;
+        data.packets = &sim.traces();
+        data.control = &sim.control_trace();
+        data.timeline = &sim.timeline();
+        data.flight = &sim.flight_dump();
+        write_chrome_trace(opts.chrome_trace(), fabric.fabric(), data);
+        std::printf("(wrote chrome trace %s: k=%d %s)\n\n",
+                    opts.chrome_trace().c_str(), k, spec.name);
+      }
 
       if (r.reconvergence_ns < 0) {
         table.add_row({std::to_string(k), spec.name, "did not converge", "-",
@@ -122,6 +212,29 @@ int main(int argc, char** argv) {
         continue;
       }
       if (r.drops_post_convergence != 0) ++violations;
+
+      // The sampler's timeline must tell the fault story on its own: no
+      // drops before the fault, a dip that starts at (or after) it.  The
+      // links stay dead in the grid runs, so the post-reconvergence rate is
+      // informational here; the 90% restoration bound lives in the healing
+      // pass below.
+      if (r.timeline.enabled()) {
+        const bool heals = std::any_of(
+            faults.events().begin(), faults.events().end(),
+            [](const FaultEvent& ev) { return !ev.fail; });
+        const TimelineCheck tc = check_timeline(r, fail_at, heals);
+        violations += tc.violations;
+        char buf[192];
+        std::snprintf(
+            buf, sizeof buf,
+            "  k=%d %-4s pre-fault %.4f pkts/ns, drop dip at %lld ns, "
+            "post-reconvergence %.4f pkts/ns (%.0f%%)%s\n",
+            k, spec.name, tc.pre_rate,
+            static_cast<long long>(tc.dip_start), tc.post_rate,
+            tc.pre_rate > 0.0 ? 100.0 * tc.post_rate / tc.pre_rate : 0.0,
+            tc.violations != 0 ? "  <-- VIOLATION" : "");
+        timeline_notes += buf;
+      }
 
       // Pass 2: same seed and schedule, warmup pushed past the observed
       // convergence point, so the window measures the repaired fabric.
@@ -181,13 +294,65 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Pass 3: the restoration story the sampler exists to tell.  One uplink
+  // dies and *heals* mid-run; the SM reprograms twice (repair, then
+  // restore), and the timeline alone must show the dip starting at the
+  // fault and the delivered rate back to >= 90% of its pre-fault mean once
+  // the second reprogramming converged.  The recovery lands past the first
+  // trap -> sweep -> program pipeline (~36 us on this fabric: 2.5 us
+  // detection+trap, 25.6 us sweep, programming) so the two reconvergences
+  // stay distinct, and the window outlives the second pipeline plus a
+  // sampling tail.
+  std::string heal_notes;
+  if (base.sample_interval_ns > 0) {
+    const SimTime heal_fail = base.warmup_ns + 10'000;
+    const SimTime heal_recover = heal_fail + 40'000;
+    SimConfig heal_cfg = base;
+    heal_cfg.measure_ns = (heal_recover - base.warmup_ns) + 70'000;
+    const FatTreeFabric pristine{params};
+    const FaultSchedule heal = FaultSchedule::random_uplink_failures(
+        pristine, 1, heal_fail, opts.seed() ^ 0x5E1Fu, heal_recover);
+    for (const SchemeSpec& spec : schemes) {
+      FatTreeFabric fabric{params};
+      const auto subnet = make_subnet(fabric, spec);
+      SubnetManager sm(fabric, *subnet);
+      Simulation sim =
+          Simulation::open_loop(*subnet, heal_cfg, traffic, kLoad, {&sm, heal});
+      const SimResult r = sim.run();
+      const TimelineCheck tc =
+          check_timeline(r, heal_fail, /*expect_recovery=*/true);
+      violations += tc.violations;
+      char buf[192];
+      std::snprintf(
+          buf, sizeof buf,
+          "  %-4s pre-fault %.4f pkts/ns, drop dip at %lld ns, restored "
+          "%.4f pkts/ns (%.0f%%)%s\n",
+          spec.name, tc.pre_rate, static_cast<long long>(tc.dip_start),
+          tc.post_rate,
+          tc.pre_rate > 0.0 ? 100.0 * tc.post_rate / tc.pre_rate : 0.0,
+          tc.violations != 0 ? "  <-- VIOLATION" : "");
+      heal_notes += buf;
+      report.add(std::string(spec.name) + "/heal", r);
+    }
+  }
+
   std::fputs(table.to_string().c_str(), stdout);
   if (opts.csv()) std::fputs(table.to_csv().c_str(), stdout);
+  if (!timeline_notes.empty()) {
+    std::puts("\nTimeline self-check (interval sampler, pass 1):");
+    std::fputs(timeline_notes.c_str(), stdout);
+  }
+  if (!heal_notes.empty()) {
+    std::puts("\nTimeline self-check (fail at +10 us, heal at +50 us):");
+    std::fputs(heal_notes.c_str(), stdout);
+  }
   std::puts("\nExpected shape: every scheme reconverges (reconverge ns grows"
             " with the sweep+programming\ncost, not with k alone), drops"
-            " stop once the SM is converged (post-conv drops = 0), and\n"
-            "the repaired fabric's steady throughput matches an offline UPDN"
-            " rebuild (ratio >= 0.95).");
+            " stop once the SM is converged (post-conv drops = 0), the\n"
+            "repaired fabric's steady throughput matches an offline UPDN"
+            " rebuild (ratio >= 0.95), and\nafter the healed link is"
+            " reprogrammed the sampled rate recovers to >= 90% of"
+            " pre-fault.");
   std::printf("\n(wrote %s)\n", report.write().c_str());
   if (violations != 0) {
     std::printf("\nFAIL: %d acceptance check(s) violated\n", violations);

@@ -12,16 +12,25 @@
 //   4. The same failure with a dead SM (SmConfig::react = false): the
 //      tables stay stale forever and the drop counter never stops.
 //
-//   $ ./fault_recovery [m] [n]
+// The live run (2.) keeps the interval sampler on, so after the prose
+// timeline a time-resolved one is printed straight from the samples: the
+// drop burst at the failure and the delivered-rate recovery after the SM
+// converges.  An optional third argument names a Chrome trace-event file
+// (chrome://tracing or https://ui.perfetto.dev) with packet lifecycles,
+// the SM/fault/CC control events, and the sampled counters.
+//
+//   $ ./fault_recovery [m] [n] [chrome-trace.json]
 #include <cstdio>
 #include <cstdlib>
 
+#include "harness/chrome_trace.hpp"
 #include "sim/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace mlid;
   const int m = argc > 1 ? std::atoi(argv[1]) : 4;
   const int n = argc > 2 ? std::atoi(argv[2]) : 3;
+  const char* trace_path = argc > 3 ? argv[3] : nullptr;
 
   const FatTreeParams params(m, n);
   SimConfig cfg;
@@ -60,8 +69,16 @@ int main(int argc, char** argv) {
     const Subnet subnet(fabric, SchemeKind::kMlid);
     SubnetManager sm(fabric, subnet);
     const SmConfig& smc = sm.config();
+    SimConfig live_cfg = cfg;
+    live_cfg.sample_interval_ns = 1'000;
+    if (trace_path != nullptr) {
+      live_cfg.trace_packets = 256;
+      live_cfg.trace_stride = 16;
+      live_cfg.trace_control = true;
+      live_cfg.flight_recorder_depth = 32;
+    }
     Simulation sim =
-        Simulation::open_loop(subnet, cfg, traffic, 0.5, {&sm, schedule});
+        Simulation::open_loop(subnet, live_cfg, traffic, 0.5, {&sm, schedule});
 
     std::printf("*** live run: %s port %d fails at t=%lld ns ***\n\n",
                 victim.to_string().c_str(), int(dead_port),
@@ -102,6 +119,37 @@ int main(int argc, char** argv) {
     std::printf("  after convergence  %llu drops among packets injected into "
                 "the repaired fabric\n\n",
                 static_cast<unsigned long long>(r.drops_post_convergence));
+
+    // The same story time-resolved, straight from the interval sampler:
+    // each row is one sample window around the failure.
+    std::printf("sampled timeline (%lld ns cadence) around the failure:\n",
+                static_cast<long long>(r.timeline.interval_ns));
+    std::printf("  %10s %9s %9s %9s %9s\n", "window end", "delivered",
+                "dropped", "in-flight", "stalled");
+    for (const TimelineSample& ts : r.timeline.samples) {
+      if (ts.t_ns <= kFailAt - 2'000 || ts.t_ns > s.converged_at + 6'000) {
+        continue;
+      }
+      std::printf("  %10lld %9llu %9llu %9llu %9u%s\n",
+                  static_cast<long long>(ts.t_ns),
+                  static_cast<unsigned long long>(ts.delivered),
+                  static_cast<unsigned long long>(ts.dropped),
+                  static_cast<unsigned long long>(ts.in_flight),
+                  ts.stalled_vls, ts.dropped > 0 ? "  <-- dropping" : "");
+    }
+    std::printf("\n");
+
+    if (trace_path != nullptr) {
+      ChromeTraceData data;
+      data.packets = &sim.traces();
+      data.control = &sim.control_trace();
+      data.timeline = &sim.timeline();
+      data.flight = &sim.flight_dump();
+      write_chrome_trace(trace_path, fabric.fabric(), data);
+      std::printf("wrote Chrome trace to %s (load in chrome://tracing or "
+                  "ui.perfetto.dev)\n\n",
+                  trace_path);
+    }
   }
 
   // 3. Failure + recovery in one run: the SM converges twice and ends up

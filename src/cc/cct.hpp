@@ -33,6 +33,15 @@ class CongestionControlTable {
   [[nodiscard]] bool any_active() const noexcept { return active_ > 0; }
   /// Highest index ever reached (not just currently held).
   [[nodiscard]] std::uint16_t peak_index() const noexcept { return peak_; }
+  /// Highest index currently held (0 when fully decayed).  O(destinations)
+  /// scan, short-circuited when no entry is active -- only the interval
+  /// sampler calls this, off the hot path.
+  [[nodiscard]] std::uint16_t max_index() const noexcept {
+    if (active_ == 0) return 0;
+    std::uint16_t top = 0;
+    for (const std::uint16_t v : index_) top = v > top ? v : top;
+    return top;
+  }
 
  private:
   std::uint16_t levels_;

@@ -1,0 +1,222 @@
+#include "harness/chrome_trace.hpp"
+
+#include <fstream>
+#include <set>
+
+#include "common/expect.hpp"
+#include "harness/report.hpp"
+
+namespace mlid {
+namespace {
+
+constexpr std::uint64_t kPidDevices = 1;
+constexpr std::uint64_t kPidControl = 2;
+constexpr std::uint64_t kPidCounters = 3;
+constexpr std::uint64_t kPidFlight = 4;
+
+// The trace-event format's ts unit is microseconds; simulation time is
+// nanoseconds.  Fractional microseconds keep the sub-microsecond spacing.
+double us(SimTime t) { return static_cast<double>(t) / 1000.0; }
+
+// Opens one event object with the common fields; the caller adds "dur" /
+// "args" as needed and closes it.
+void event_header(JsonWriter& json, std::string_view name,
+                  std::string_view ph, std::uint64_t pid, std::uint64_t tid,
+                  double ts) {
+  json.begin_object();
+  json.key("name").value(name);
+  json.key("ph").value(ph);
+  json.key("pid").value(pid);
+  json.key("tid").value(tid);
+  json.key("ts").value(ts);
+}
+
+// "M" metadata event naming a process or thread track.
+void metadata(JsonWriter& json, std::string_view kind, std::uint64_t pid,
+              std::uint64_t tid, std::string_view label) {
+  event_header(json, kind, "M", pid, tid, 0.0);
+  json.key("args").begin_object();
+  json.key("name").value(label);
+  json.end_object();
+  json.end_object();
+}
+
+void emit_packet_track(JsonWriter& json, const Fabric& fabric,
+                       const std::vector<PacketTraceRecord>& records) {
+  metadata(json, "process_name", kPidDevices, 0, "fabric devices");
+  // Name only the device threads that actually appear, in id order.
+  std::set<DeviceId> devices;
+  for (const PacketTraceRecord& rec : records) {
+    for (const TraceEvent& e : rec.events) devices.insert(e.dev);
+  }
+  for (const DeviceId dev : devices) {
+    metadata(json, "thread_name", kPidDevices, dev,
+             fabric.device(dev).name());
+  }
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    const PacketTraceRecord& rec = records[r];
+    for (std::size_t i = 0; i < rec.events.size(); ++i) {
+      const TraceEvent& e = rec.events[i];
+      if (e.point == TracePoint::kDropped) {
+        event_header(json,
+                     "drop(" + std::string(to_string(e.drop)) + ")", "i",
+                     kPidDevices, e.dev, us(e.time));
+        json.key("args").begin_object();
+        json.key("trace_index").value(static_cast<std::uint64_t>(r));
+        json.key("src").value(static_cast<std::uint64_t>(rec.src));
+        json.key("dst").value(static_cast<std::uint64_t>(rec.dst));
+        json.key("dlid").value(static_cast<std::uint64_t>(rec.dlid));
+        json.end_object();
+        json.end_object();
+        continue;
+      }
+      // A span is a pair of consecutive events on the same device: the
+      // time the packet spent *in* that device.
+      if (i + 1 >= rec.events.size()) continue;
+      const TraceEvent& next = rec.events[i + 1];
+      if (next.dev != e.dev) continue;
+      std::string_view name;
+      if (e.point == TracePoint::kGenerated &&
+          next.point == TracePoint::kInjected) {
+        name = "source-queue";
+      } else if (e.point == TracePoint::kHeadArrive &&
+                 next.point == TracePoint::kForwarded) {
+        name = "switch";
+      } else if (e.point == TracePoint::kHeadArrive &&
+                 next.point == TracePoint::kDelivered) {
+        name = "deliver";
+      } else {
+        continue;
+      }
+      event_header(json, name, "X", kPidDevices, e.dev, us(e.time));
+      json.key("dur").value(us(next.time - e.time));
+      json.key("args").begin_object();
+      json.key("trace_index").value(static_cast<std::uint64_t>(r));
+      json.key("src").value(static_cast<std::uint64_t>(rec.src));
+      json.key("dst").value(static_cast<std::uint64_t>(rec.dst));
+      json.key("dlid").value(static_cast<std::uint64_t>(rec.dlid));
+      json.key("vl").value(static_cast<std::uint64_t>(e.vl));
+      json.end_object();
+      json.end_object();
+    }
+  }
+}
+
+std::uint64_t control_tid(ControlPoint point) {
+  switch (point) {
+    case ControlPoint::kLinkFail:
+    case ControlPoint::kLinkRecover:
+      return 0;
+    case ControlPoint::kTrap:
+    case ControlPoint::kSweepDone:
+    case ControlPoint::kLftProgram:
+      return 1;
+    case ControlPoint::kBecn:
+    case ControlPoint::kCctTimer:
+    case ControlPoint::kCcRelease:
+      return 2;
+  }
+  return 2;
+}
+
+void emit_control_track(JsonWriter& json,
+                        const std::vector<ControlTraceRecord>& control) {
+  metadata(json, "process_name", kPidControl, 0, "control plane");
+  metadata(json, "thread_name", kPidControl, 0, "faults");
+  metadata(json, "thread_name", kPidControl, 1, "subnet-manager");
+  metadata(json, "thread_name", kPidControl, 2, "congestion-control");
+  for (const ControlTraceRecord& rec : control) {
+    event_header(json, to_string(rec.point), "i", kPidControl,
+                 control_tid(rec.point), us(rec.time));
+    json.key("args").begin_object();
+    json.key("dev").value(static_cast<std::uint64_t>(rec.dev));
+    json.key("aux").value(static_cast<std::uint64_t>(rec.aux));
+    json.key("port").value(static_cast<std::uint64_t>(rec.port));
+    json.end_object();
+    json.end_object();
+  }
+}
+
+void emit_counter_track(JsonWriter& json, const Timeline& timeline) {
+  metadata(json, "process_name", kPidCounters, 0, "timeline counters");
+  for (const TimelineSample& s : timeline.samples) {
+    const double ts = us(s.t_ns);
+    event_header(json, "throughput", "C", kPidCounters, 0, ts);
+    json.key("args").begin_object();
+    json.key("generated").value(s.generated);
+    json.key("delivered").value(s.delivered);
+    json.key("dropped").value(s.dropped);
+    json.end_object();
+    json.end_object();
+    event_header(json, "occupancy", "C", kPidCounters, 0, ts);
+    json.key("args").begin_object();
+    json.key("in_flight").value(s.in_flight);
+    json.key("queued_pkts").value(s.queued_pkts);
+    json.key("max_queue_depth")
+        .value(static_cast<std::uint64_t>(s.max_queue_depth));
+    json.key("stalled_vls").value(static_cast<std::uint64_t>(s.stalled_vls));
+    json.end_object();
+    json.end_object();
+    event_header(json, "congestion", "C", kPidCounters, 0, ts);
+    json.key("args").begin_object();
+    json.key("becn").value(s.becn);
+    json.key("cct_active_nodes")
+        .value(static_cast<std::uint64_t>(s.cct_active_nodes));
+    json.key("peak_cct_index")
+        .value(static_cast<std::uint64_t>(s.peak_cct_index));
+    json.end_object();
+    json.end_object();
+  }
+}
+
+void emit_flight_track(JsonWriter& json, const FlightRecorderDump& flight) {
+  metadata(json, "process_name", kPidFlight, 0, "flight recorder");
+  metadata(json, "thread_name", kPidFlight, 0,
+           flight.device_name + " (" + flight.cause + ")");
+  for (const FlightEvent& e : flight.events) {
+    event_header(json, to_string(e.kind), "i", kPidFlight, 0, us(e.time));
+    json.key("args").begin_object();
+    json.key("dev").value(static_cast<std::uint64_t>(e.dev));
+    json.key("pkt").value(static_cast<std::uint64_t>(e.pkt));
+    json.key("port").value(static_cast<std::uint64_t>(e.port));
+    json.key("vl").value(static_cast<std::uint64_t>(e.vl));
+    json.end_object();
+    json.end_object();
+  }
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Fabric& fabric,
+                              const ChromeTraceData& data) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("displayTimeUnit").value("ns");
+  json.key("traceEvents").begin_array();
+  if (data.packets != nullptr && !data.packets->empty()) {
+    emit_packet_track(json, fabric, *data.packets);
+  }
+  if (data.control != nullptr && !data.control->empty()) {
+    emit_control_track(json, *data.control);
+  }
+  if (data.timeline != nullptr && data.timeline->enabled()) {
+    emit_counter_track(json, *data.timeline);
+  }
+  if (data.flight != nullptr && data.flight->valid()) {
+    emit_flight_track(json, *data.flight);
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+void write_chrome_trace(const std::string& path, const Fabric& fabric,
+                        const ChromeTraceData& data) {
+  std::ofstream out(path, std::ios::trunc);
+  MLID_EXPECT(out.good(), "cannot open chrome-trace file for writing");
+  out << chrome_trace_json(fabric, data) << "\n";
+  out.flush();
+  MLID_EXPECT(out.good(), "chrome-trace write failed");
+}
+
+}  // namespace mlid

@@ -1,0 +1,45 @@
+// Chrome trace-event JSON export: renders packet traces, the control-plane
+// record, the interval sampler's timeline and the flight recorder as a
+// single trace file loadable in chrome://tracing and Perfetto.
+//
+// Track layout (process ids are synthetic grouping keys):
+//   pid 1  fabric devices   one thread per DeviceId; packet lifecycle spans
+//                           ("source-queue", "switch", "deliver") and drop
+//                           instants ("drop(<reason>)")
+//   pid 2  control plane    thread 0 faults, 1 subnet manager, 2 congestion
+//                           control; one instant per ControlTraceRecord
+//   pid 3  counters         "C" events fed from the Timeline samples
+//   pid 4  flight recorder  the frozen ring as instants, when one froze
+// Timestamps are the simulation's nanoseconds divided by 1000 (the format's
+// ts unit is microseconds), so sub-microsecond spacing survives as decimals.
+#pragma once
+
+#include <string>
+
+#include "sim/timeline.hpp"
+#include "sim/trace.hpp"
+#include "topology/fabric.hpp"
+
+namespace mlid {
+
+/// Everything the exporter can draw, all optional: pass nullptr (or an
+/// empty / disabled object) to skip a track.  Pointers are non-owning and
+/// only read during the call.
+struct ChromeTraceData {
+  const std::vector<PacketTraceRecord>* packets = nullptr;
+  const std::vector<ControlTraceRecord>* control = nullptr;
+  const Timeline* timeline = nullptr;
+  const FlightRecorderDump* flight = nullptr;
+};
+
+/// The complete trace file content ({"displayTimeUnit": ..., "traceEvents":
+/// [...]}).  `fabric` names the device tracks.
+[[nodiscard]] std::string chrome_trace_json(const Fabric& fabric,
+                                            const ChromeTraceData& data);
+
+/// chrome_trace_json written to `path` (throws ContractViolation on I/O
+/// failure).
+void write_chrome_trace(const std::string& path, const Fabric& fabric,
+                        const ChromeTraceData& data);
+
+}  // namespace mlid

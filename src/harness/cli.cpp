@@ -28,7 +28,13 @@ constexpr std::string_view kUsage =
     "  --cc               enable IBA congestion control (FECN/BECN + CCT)\n"
     "  --cc-threshold=N   FECN marking backlog threshold, packets\n"
     "  --cc-timer-ns=T    CCT recovery-timer period\n"
-    "The fault and CC value flags also accept the two-token form\n"
+    "  --sample-interval-ns=T  interval-sampler cadence (0 = off)\n"
+    "  --chrome-trace=PATH     write a chrome://tracing / Perfetto JSON "
+    "trace\n"
+    "  --trace-packets=N  record up to N per-packet event timelines\n"
+    "  --trace-stride=K   trace every K-th generated packet\n"
+    "  --flight-recorder=K     keep the last K engine events per device\n"
+    "The fault, CC and tracing value flags also accept the two-token form\n"
     "(`--fail-links 4`, `--cc-threshold 3`).\n";
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -109,6 +115,18 @@ CliOptions::CliOptions(int argc, char** argv) {
       cc_threshold_ = parse_int<std::uint32_t>("--cc-threshold", value);
     } else if (flag_value(argc, argv, i, "--cc-timer-ns", value)) {
       cc_timer_ns_ = parse_int<std::int64_t>("--cc-timer-ns", value);
+    } else if (flag_value(argc, argv, i, "--sample-interval-ns", value)) {
+      sample_interval_ns_ =
+          parse_int<std::int64_t>("--sample-interval-ns", value);
+    } else if (flag_value(argc, argv, i, "--chrome-trace", value)) {
+      if (value.empty()) usage_error("--chrome-trace needs a file path");
+      chrome_trace_ = std::string(value);
+    } else if (flag_value(argc, argv, i, "--trace-packets", value)) {
+      trace_packets_ = parse_int<std::uint32_t>("--trace-packets", value);
+    } else if (flag_value(argc, argv, i, "--trace-stride", value)) {
+      trace_stride_ = parse_int<std::uint32_t>("--trace-stride", value);
+    } else if (flag_value(argc, argv, i, "--flight-recorder", value)) {
+      flight_recorder_ = parse_int<std::uint32_t>("--flight-recorder", value);
     } else if (flag_value(argc, argv, i, "--fail-links", value)) {
       fail_links_ = parse_int<int>("--fail-links", value);
     } else if (flag_value(argc, argv, i, "--fail-at-ns", value)) {
@@ -131,6 +149,7 @@ SweepOptions CliOptions::sweep_options() const {
   if (!telemetry_) options.telemetry = false;
   options.event_queue = event_queue_;
   options.cc = cc();
+  options.sample_interval_ns = sample_interval_ns_;
   return options;
 }
 

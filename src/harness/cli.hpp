@@ -31,7 +31,12 @@ struct SweepOptions;
 ///   --cc               enable IBA congestion control (FECN/BECN + CCT)
 ///   --cc-threshold=N   FECN marking backlog threshold, packets
 ///   --cc-timer-ns=T    CCT recovery-timer period
-/// The fault and CC value flags also accept the two-token form
+///   --sample-interval-ns=T  interval-sampler cadence (0 = off)
+///   --chrome-trace=PATH     write a chrome://tracing / Perfetto JSON trace
+///   --trace-packets=N  record up to N per-packet event timelines
+///   --trace-stride=K   trace every K-th generated packet
+///   --flight-recorder=K     keep the last K engine events per device
+/// The fault, CC and tracing value flags also accept the two-token form
 /// (`--fail-links 4`, `--cc-threshold 3`).
 ///
 /// Parsing is strict: numeric values must consume the whole token
@@ -63,6 +68,25 @@ class CliOptions {
     if (cc_timer_ns_) config.timer_ns = *cc_timer_ns_;
     return config;
   }
+  /// Sampler cadence from --sample-interval-ns; nullopt = keep the
+  /// binary's default (most default to off, the ablation benches to 1 us).
+  [[nodiscard]] std::optional<std::int64_t> sample_interval_ns()
+      const noexcept {
+    return sample_interval_ns_;
+  }
+  /// Output path from --chrome-trace (empty = no trace export).
+  [[nodiscard]] const std::string& chrome_trace() const noexcept {
+    return chrome_trace_;
+  }
+  [[nodiscard]] std::optional<std::uint32_t> trace_packets() const noexcept {
+    return trace_packets_;
+  }
+  [[nodiscard]] std::optional<std::uint32_t> trace_stride() const noexcept {
+    return trace_stride_;
+  }
+  [[nodiscard]] std::optional<std::uint32_t> flight_recorder() const noexcept {
+    return flight_recorder_;
+  }
   [[nodiscard]] int fail_links() const noexcept { return fail_links_; }
   [[nodiscard]] std::int64_t fail_at_ns() const noexcept { return fail_at_ns_; }
   [[nodiscard]] std::int64_t recover_at_ns() const noexcept {
@@ -92,6 +116,13 @@ class CliOptions {
     if (!telemetry_) spec.sim.telemetry = false;
     if (event_queue_) spec.sim.event_queue = *event_queue_;
     if (const auto cc_cfg = cc()) spec.sim.cc = *cc_cfg;
+    if (sample_interval_ns_) spec.sim.sample_interval_ns = *sample_interval_ns_;
+    if (trace_packets_) spec.sim.trace_packets = *trace_packets_;
+    if (trace_stride_) spec.sim.trace_stride = *trace_stride_;
+    if (flight_recorder_) spec.sim.flight_recorder_depth = *flight_recorder_;
+    // The chrome-trace exporter needs the control-plane record to draw its
+    // fault / SM / CC tracks; asking for the file turns the recording on.
+    if (!chrome_trace_.empty()) spec.sim.trace_control = true;
     if (quick_) {
       spec.sim.warmup_ns = 5'000;
       spec.sim.measure_ns = 20'000;
@@ -111,6 +142,11 @@ class CliOptions {
   bool cc_ = false;
   std::optional<std::uint32_t> cc_threshold_;
   std::optional<std::int64_t> cc_timer_ns_;
+  std::optional<std::int64_t> sample_interval_ns_;
+  std::string chrome_trace_;
+  std::optional<std::uint32_t> trace_packets_;
+  std::optional<std::uint32_t> trace_stride_;
+  std::optional<std::uint32_t> flight_recorder_;
   int fail_links_ = 0;
   std::int64_t fail_at_ns_ = 20'000;
   std::int64_t recover_at_ns_ = -1;

@@ -200,6 +200,45 @@ void emit_cc_summary(JsonWriter& json, const CcSummary& cc) {
   json.end_object();
 }
 
+// Emits the interval sampler's output in columnar form: a "columns" legend
+// plus one fixed-width array per sample.  Kept flat (no per-sample objects)
+// because a 512-sample timeline rides along with every SweepPoint.
+void emit_timeline(JsonWriter& json, const Timeline& t) {
+  static constexpr std::string_view kColumns[] = {
+      "t_ns",          "intervals",   "generated",
+      "delivered",     "dropped",     "becn",
+      "in_flight",     "queued_pkts", "max_queue_depth",
+      "stalled_vls",   "cct_active_nodes", "peak_cct_index"};
+  json.begin_object();
+  json.key("base_interval_ns")
+      .value(static_cast<std::int64_t>(t.base_interval_ns));
+  json.key("interval_ns").value(static_cast<std::int64_t>(t.interval_ns));
+  json.key("max_samples").value(static_cast<std::uint64_t>(t.max_samples));
+  json.key("decimations").value(static_cast<std::uint64_t>(t.decimations));
+  json.key("columns").begin_array();
+  for (const std::string_view col : kColumns) json.value(col);
+  json.end_array();
+  json.key("samples").begin_array();
+  for (const TimelineSample& s : t.samples) {
+    json.begin_array();
+    json.value(static_cast<std::int64_t>(s.t_ns));
+    json.value(static_cast<std::uint64_t>(s.intervals));
+    json.value(s.generated);
+    json.value(s.delivered);
+    json.value(s.dropped);
+    json.value(s.becn);
+    json.value(s.in_flight);
+    json.value(s.queued_pkts);
+    json.value(static_cast<std::uint64_t>(s.max_queue_depth));
+    json.value(static_cast<std::uint64_t>(s.stalled_vls));
+    json.value(static_cast<std::uint64_t>(s.cct_active_nodes));
+    json.value(static_cast<std::uint64_t>(s.peak_cct_index));
+    json.end_array();
+  }
+  json.end_array();
+  json.end_object();
+}
+
 void emit_sim_result_fields(JsonWriter& json, const SimResult& r) {
   json.key("offered_load").value(r.offered_load);
   json.key("accepted_bytes_per_ns_per_node")
@@ -249,6 +288,11 @@ void emit_sim_result_fields(JsonWriter& json, const SimResult& r) {
     json.end_array();
     json.key("link_summary");
     emit_link_summary(json, r.link_summary);
+  }
+  json.key("timeline_enabled").value(r.timeline.enabled());
+  if (r.timeline.enabled()) {
+    json.key("timeline");
+    emit_timeline(json, r.timeline);
   }
 }
 
@@ -416,7 +460,7 @@ std::string BenchReport::to_json() const {
 
   JsonWriter json;
   json.begin_object();
-  json.key("schema").value("mlid-bench-v2");
+  json.key("schema").value("mlid-bench-v3");
   json.key("name").value(name_);
   json.key("manifest").begin_object();
   json.key("git").value(git_describe());

@@ -52,6 +52,9 @@ std::vector<SweepPoint> run_sweep(const FigureSpec& base_spec,
   if (options.telemetry) spec.sim.telemetry = *options.telemetry;
   if (options.event_queue) spec.sim.event_queue = *options.event_queue;
   if (options.cc) spec.sim.cc = *options.cc;
+  if (options.sample_interval_ns) {
+    spec.sim.sample_interval_ns = *options.sample_interval_ns;
+  }
   unsigned threads = options.threads;
 
   const FatTreeParams params(spec.m, spec.n);

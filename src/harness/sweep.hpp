@@ -79,6 +79,9 @@ struct SweepOptions {
   std::optional<bool> telemetry;  ///< override SimConfig::telemetry
   std::optional<EventQueueKind> event_queue;  ///< override SimConfig::event_queue
   std::optional<CcConfig> cc;  ///< override SimConfig::cc (congestion control)
+  /// Override SimConfig::sample_interval_ns: every point of the sweep then
+  /// carries an interval-sampler timeline in its result.
+  std::optional<SimTime> sample_interval_ns;
 };
 
 /// Run the whole grid.  Independent simulations are distributed over

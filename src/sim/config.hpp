@@ -69,9 +69,39 @@ struct SimConfig {
   /// telemetry block empty (asserted by sim/telemetry_test.cpp).
   bool telemetry = true;
 
-  /// Record full event timelines for the first N generated packets
+  /// Record full event timelines for up to N generated packets
   /// (0 = tracing off; see Simulation::traces()).
   std::uint32_t trace_packets = 0;
+
+  /// Trace every k-th generated packet until trace_packets records exist.
+  /// Stride 1 keeps the historical first-N behaviour; a larger stride
+  /// spreads the records across the run so traces cover steady state
+  /// instead of only the cold-start transient.
+  std::uint32_t trace_stride = 1;
+
+  /// Interval sampler cadence (0 = off; open-loop mode only).  Every
+  /// sample_interval_ns of simulated time the engine snapshots delivery /
+  /// generation / drop deltas, in-flight and queued packet counts,
+  /// credit-stall and CCT gauges into SimResult::timeline.  Sampling is
+  /// pure observation -- no events, no RNG draws -- so results stay
+  /// bit-identical with the sampler on or off (sim/timeline_test.cpp).
+  SimTime sample_interval_ns = 0;
+
+  /// Timeline length bound: reaching it merges adjacent sample pairs and
+  /// doubles the effective interval (see Timeline::append), keeping
+  /// BENCH_*.json bounded on arbitrarily long runs.
+  std::uint32_t timeline_max_samples = 512;
+
+  /// Per-device flight recorder: keep the last K dispatched engine events
+  /// per device (0 = off) and freeze the dropping device's ring on the
+  /// first drop, making the drop-reason taxonomy debuggable.  Passive like
+  /// the sampler.
+  std::uint32_t flight_recorder_depth = 0;
+
+  /// Record control-plane events (faults, SM traps/sweeps/programs, BECN /
+  /// CCT activity) into Simulation::control_trace() for the chrome-trace
+  /// exporter.  Passive like the sampler.
+  bool trace_control = false;
 
   /// Pending-event structure the engine runs on.  The ladder queue is the
   /// default hot path; the heap is the O(log n) reference kept one flag away
@@ -112,6 +142,12 @@ struct SimConfig {
                 "buffers must hold at least one packet");
     MLID_EXPECT(warmup_ns >= 0 && measure_ns > 0,
                 "measurement window must be non-empty");
+    MLID_EXPECT(trace_stride >= 1, "trace stride must be at least 1");
+    MLID_EXPECT(sample_interval_ns >= 0, "sampler interval cannot be negative");
+    if (sample_interval_ns > 0) {
+      MLID_EXPECT(timeline_max_samples >= 2,
+                  "timeline cap must hold at least two samples");
+    }
     cc.validate();
   }
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iostream>
 #include <limits>
 #include <sstream>
 
@@ -36,6 +37,9 @@ Simulation::Simulation(const Subnet& subnet, SimConfig config,
     : Simulation(subnet, config, TrafficConfig{}, /*offered_load=*/1.0,
                  /*burst=*/true) {
   MLID_EXPECT(!workload.empty(), "burst workload is empty");
+  MLID_EXPECT(cfg_.sample_interval_ns == 0,
+              "the interval sampler is open-loop only (burst runs have no "
+              "fixed end time to pace samples against)");
   // The whole burst is one measurement window.
   cfg_.warmup_ns = 0;
   cfg_.measure_ns = kSimTimeNever / 4;
@@ -137,6 +141,16 @@ Simulation::Simulation(const Subnet& subnet, SimConfig config,
       cct_.emplace_back(cfg_.cc, num_nodes);
     }
     cc_index_hist_.assign(static_cast<std::size_t>(cfg_.cc.cct_levels) + 1, 0);
+  }
+
+  if (cfg_.sample_interval_ns > 0) {
+    timeline_.configure(cfg_.sample_interval_ns, cfg_.timeline_max_samples);
+  }
+  if (cfg_.flight_recorder_depth > 0) {
+    flight_ring_.resize(static_cast<std::size_t>(g.num_devices()) *
+                        cfg_.flight_recorder_depth);
+    flight_pos_.assign(g.num_devices(), 0);
+    flight_len_.assign(g.num_devices(), 0);
   }
 
   delivered_per_vl_.assign(static_cast<std::size_t>(cfg_.num_vls), 0);
@@ -249,7 +263,8 @@ void Simulation::on_generate(NodeId node, SimTime now) {
   pkt.size_bytes = cfg_.packet_bytes;
   pkt.generated_at = now;
   ++result_.packets_generated;
-  if (traces_.size() < cfg_.trace_packets) {
+  if (traces_.size() < cfg_.trace_packets &&
+      (result_.packets_generated - 1) % cfg_.trace_stride == 0) {
     rt_[id].trace = static_cast<std::int32_t>(traces_.size());
     traces_.push_back(PacketTraceRecord{node, dst, pkt.dlid, {}});
     trace_event(id, now, TracePoint::kGenerated,
@@ -326,9 +341,18 @@ void Simulation::try_source_pull(NodeId node, VlId vl, SimTime now) {
 
 // --- faults and the live SM --------------------------------------------------
 
-void Simulation::count_drop(DropReason reason, PacketId pkt) {
+void Simulation::count_drop(DropReason reason, PacketId pkt, DeviceId dev,
+                            SimTime now) {
   ++result_.packets_dropped;
+  if (!flight_ring_.empty() && !flight_dump_.valid()) {
+    freeze_flight_dump(dev, now,
+                       std::string("first drop: ") +
+                           std::string(to_string(reason)));
+  }
   switch (reason) {
+    case DropReason::kNone:
+      MLID_ASSERT(false, "a drop needs a real reason");
+      break;
     case DropReason::kUnroutable:
       ++result_.dropped_unroutable;
       break;
@@ -365,8 +389,8 @@ void Simulation::drop_in_switch(PacketId pkt, SimTime now) {
     }
   }
   trace_event(pkt, now, TracePoint::kDropped, rt.dev, rt.out_port,
-              pool_[pkt].vl);
-  count_drop(DropReason::kDeadLink, pkt);
+              pool_[pkt].vl, DropReason::kDeadLink);
+  count_drop(DropReason::kDeadLink, pkt, rt.dev, now);
   release_packet(pkt);
 }
 
@@ -587,8 +611,9 @@ void Simulation::on_head_arrive(DeviceId dev, PortId port, VlId vl,
     // The link died while the packet was on the wire.  Its tail-out on the
     // transmitting side still cleans up that output slot; here the packet
     // simply never lands.
-    trace_event(pkt, now, TracePoint::kDropped, dev, port, vl);
-    count_drop(DropReason::kDeadLink, pkt);
+    trace_event(pkt, now, TracePoint::kDropped, dev, port, vl,
+                DropReason::kDeadLink);
+    count_drop(DropReason::kDeadLink, pkt, dev, now);
     release_packet(pkt);
     return;
   }
@@ -645,8 +670,9 @@ void Simulation::on_routed(DeviceId dev, PortId port, VlId vl, PacketId pkt,
     // No entry at all: a routing hole.  On an intact run the counter
     // doubles as a routing-bug detector; after a partitioning failure it
     // counts destinations the repaired tables legitimately cannot reach.
-    trace_event(pkt, now, TracePoint::kDropped, dev, port, vl);
-    count_drop(DropReason::kUnroutable, pkt);
+    trace_event(pkt, now, TracePoint::kDropped, dev, port, vl,
+                DropReason::kUnroutable);
+    count_drop(DropReason::kUnroutable, pkt, dev, now);
     return_credit_upstream(dev, port, vl, now);
     release_packet(pkt);
     return;
@@ -655,8 +681,9 @@ void Simulation::on_routed(DeviceId dev, PortId port, VlId vl, PacketId pkt,
     // The entry points at a dead port: the table is stale relative to the
     // physical fabric.  With a live SM this is the convergence window;
     // with offline tables it is the permanent cost of not re-sweeping.
-    trace_event(pkt, now, TracePoint::kDropped, dev, port, vl);
-    count_drop(DropReason::kConvergence, pkt);
+    trace_event(pkt, now, TracePoint::kDropped, dev, port, vl,
+                DropReason::kConvergence);
+    count_drop(DropReason::kConvergence, pkt, dev, now);
     return_credit_upstream(dev, port, vl, now);
     release_packet(pkt);
     return;
@@ -893,11 +920,162 @@ std::vector<CcNodeStats> Simulation::cc_node_stats() const {
 }
 
 void Simulation::trace_event(PacketId pkt, SimTime now, TracePoint point,
-                             DeviceId dev, PortId port, VlId vl) {
+                             DeviceId dev, PortId port, VlId vl,
+                             DropReason drop) {
   const std::int32_t idx = rt_[pkt].trace;
   if (idx < 0) return;
   traces_[static_cast<std::size_t>(idx)].events.push_back(
-      TraceEvent{now, point, dev, port, vl});
+      TraceEvent{now, point, dev, port, vl, drop});
+}
+
+// --- time-resolved observability ---------------------------------------------
+// All passive: these read counters and queue sizes but never schedule
+// events, draw random numbers or mutate engine state, which is what keeps
+// results bit-identical with the instrumentation on or off.
+
+void Simulation::take_sample(SimTime t) {
+  TimelineSample s;
+  s.t_ns = t;
+  // `intervals` counts BASE intervals: after d decimations each new sample
+  // covers one doubled window, i.e. 2^d base intervals, keeping the
+  // per-sample tiling invariant t_ns - prev.t_ns == intervals * base.
+  s.intervals =
+      static_cast<std::uint32_t>(timeline_.interval_ns /
+                                 timeline_.base_interval_ns);
+  s.generated = result_.packets_generated - sampled_generated_;
+  s.delivered = result_.packets_delivered - sampled_delivered_;
+  s.dropped = result_.packets_dropped - sampled_dropped_;
+  s.becn = cc_becn_sent_ - sampled_becn_;
+  sampled_generated_ = result_.packets_generated;
+  sampled_delivered_ = result_.packets_delivered;
+  sampled_dropped_ = result_.packets_dropped;
+  sampled_becn_ = cc_becn_sent_;
+  s.in_flight = result_.packets_generated - result_.packets_delivered -
+                result_.packets_dropped;
+
+  const Fabric& g = subnet_->fabric().fabric();
+  for (DeviceId dev = 0; dev < g.num_devices(); ++dev) {
+    const DeviceState& state = devices_[dev];
+    for (PortId port = 1; port <= g.device(dev).num_ports(); ++port) {
+      const OutPort& out = state.out[port];
+      if (!out.connected) continue;
+      for (int vl = 0; vl < cfg_.num_vls; ++vl) {
+        const VlOut& slot = out.vls[static_cast<std::size_t>(vl)];
+        const auto& waitq =
+            state.wait[static_cast<std::size_t>(port) *
+                           static_cast<std::size_t>(cfg_.num_vls) +
+                       static_cast<std::size_t>(vl)];
+        const auto depth =
+            static_cast<std::uint32_t>(slot.queue.size() + waitq.size());
+        s.queued_pkts += depth;
+        s.max_queue_depth = std::max(s.max_queue_depth, depth);
+        // The same structural condition the credit-stall telemetry clocks,
+        // read directly so the sample does not depend on cfg_.telemetry.
+        if (!slot.queue.empty() && !slot.head_started && slot.credits == 0) {
+          ++s.stalled_vls;
+        }
+      }
+    }
+  }
+  if (cc_on()) {
+    for (const CongestionControlTable& cct : cct_) {
+      if (!cct.any_active()) continue;
+      ++s.cct_active_nodes;
+      s.peak_cct_index = std::max(s.peak_cct_index, cct.max_index());
+    }
+  }
+  timeline_.append(s);
+}
+
+void Simulation::record_flight(const Event& e) {
+  const std::int64_t owner = flight_device_of(e);
+  if (owner < 0) return;
+  const auto dev = static_cast<DeviceId>(owner);
+  const std::uint32_t depth = cfg_.flight_recorder_depth;
+  const std::size_t base = static_cast<std::size_t>(dev) * depth;
+  flight_ring_[base + flight_pos_[dev]] =
+      FlightEvent{e.time, e.kind, e.dev, e.pkt, e.port, e.vl};
+  flight_pos_[dev] = (flight_pos_[dev] + 1) % depth;
+  flight_len_[dev] = std::min(flight_len_[dev] + 1, depth);
+  last_flight_dev_ = dev;
+}
+
+std::int64_t Simulation::flight_device_of(const Event& e) const {
+  switch (e.kind) {
+    case EventKind::kGenerate:
+    case EventKind::kBecnArrive:
+    case EventKind::kCctTimer:
+    case EventKind::kCcRelease:
+      // Node-scoped: file under the node's NIC device.
+      return subnet_->fabric().node_device(static_cast<NodeId>(e.dev));
+    case EventKind::kSweepDone:
+    case EventKind::kLftProgram:
+      return -1;  // SM-global; no single device owns them
+    default:
+      return e.dev;
+  }
+}
+
+void Simulation::record_control(const Event& e) {
+  switch (e.kind) {
+    case EventKind::kLinkFail:
+      control_trace_.push_back(
+          {e.time, ControlPoint::kLinkFail, e.dev, 0, e.port});
+      break;
+    case EventKind::kLinkRecover:
+      // Endpoint B travels in the pkt (device) / vl (port) payload fields.
+      control_trace_.push_back({e.time, ControlPoint::kLinkRecover, e.dev,
+                                static_cast<std::uint32_t>(e.pkt), e.port});
+      break;
+    case EventKind::kTrap:
+      control_trace_.push_back(
+          {e.time, ControlPoint::kTrap, e.dev, 0, e.port});
+      break;
+    case EventKind::kSweepDone:
+      control_trace_.push_back({e.time, ControlPoint::kSweepDone, e.dev, 0, 0});
+      break;
+    case EventKind::kLftProgram:
+      control_trace_.push_back({e.time, ControlPoint::kLftProgram, e.dev,
+                                static_cast<std::uint32_t>(e.pkt), 0});
+      break;
+    case EventKind::kBecnArrive:
+      control_trace_.push_back({e.time, ControlPoint::kBecn, e.dev,
+                                static_cast<std::uint32_t>(e.pkt), 0});
+      break;
+    case EventKind::kCctTimer:
+      control_trace_.push_back({e.time, ControlPoint::kCctTimer, e.dev, 0, 0});
+      break;
+    case EventKind::kCcRelease:
+      control_trace_.push_back(
+          {e.time, ControlPoint::kCcRelease, e.dev, 0, 0});
+      break;
+    default:
+      break;  // data-plane events are the packet traces' job
+  }
+}
+
+FlightRecorderDump Simulation::render_flight_ring(DeviceId dev, SimTime at,
+                                                  std::string cause) const {
+  FlightRecorderDump dump;
+  dump.at = at;
+  dump.dev = dev;
+  dump.device_name = subnet_->fabric().fabric().device(dev).name();
+  dump.cause = std::move(cause);
+  const std::uint32_t depth = cfg_.flight_recorder_depth;
+  const std::size_t base = static_cast<std::size_t>(dev) * depth;
+  const std::uint32_t len = flight_len_[dev];
+  dump.events.reserve(len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    const std::uint32_t slot = (flight_pos_[dev] + depth - len + i) % depth;
+    dump.events.push_back(flight_ring_[base + slot]);
+  }
+  return dump;
+}
+
+void Simulation::freeze_flight_dump(DeviceId dev, SimTime at,
+                                    std::string cause) {
+  flight_dump_ = render_flight_ring(dev, at, std::move(cause));
+  std::cerr << to_string(flight_dump_);
 }
 
 std::vector<LinkLoad> Simulation::link_loads() const {
@@ -919,6 +1097,8 @@ std::vector<LinkLoad> Simulation::link_loads() const {
 // --- main loop ---------------------------------------------------------------------
 
 void Simulation::dispatch(const Event& e) {
+  if (!flight_ring_.empty()) record_flight(e);
+  if (cfg_.trace_control) record_control(e);
   switch (e.kind) {
     case EventKind::kGenerate:
       on_generate(static_cast<NodeId>(e.dev), e.time);
@@ -1128,8 +1308,44 @@ void Simulation::check_invariants() const {
 SimResult Simulation::run() {
   MLID_EXPECT(!burst_, "burst simulation: use run_to_completion()");
   const SimTime end = cfg_.end_time();
-  events_.drain_until(end, [this](const Event& e) { dispatch(e); });
-  check_invariants();
+  try {
+    if (!timeline_.enabled()) {
+      events_.drain_until(end, [this](const Event& e) { dispatch(e); });
+    } else {
+      // Sampler-interposed drain: a sample at time t is taken before any
+      // event at t dispatches, so it covers the window ending at t.  The
+      // cadence is re-read after every sample because append() doubles it
+      // when decimation triggers.  This is an observation loop wrapped
+      // around the identical pop order -- no event is ever scheduled for
+      // sampling, which is what keeps results bit-identical.
+      SimTime next = timeline_.interval_ns;
+      while (const Event* e = events_.peek()) {
+        if (e->time >= end) break;
+        while (next <= e->time) {
+          take_sample(next);
+          next += timeline_.interval_ns;
+        }
+        dispatch(events_.pop());
+      }
+      for (; next <= end; next += timeline_.interval_ns) take_sample(next);
+    }
+    check_invariants();
+  } catch (const ContractViolation&) {
+    // Give the flight recorder its second job: on an engine-invariant
+    // failure, dump the last-touched device's ring before propagating.
+    if (!flight_ring_.empty() && last_flight_dev_ != kInvalidDevice &&
+        flight_len_[last_flight_dev_] > 0) {
+      const DeviceId dev = last_flight_dev_;
+      const std::uint32_t depth = cfg_.flight_recorder_depth;
+      const std::uint32_t newest = (flight_pos_[dev] + depth - 1) % depth;
+      const SimTime at =
+          flight_ring_[static_cast<std::size_t>(dev) * depth + newest].time;
+      std::cerr << to_string(
+          render_flight_ring(dev, at, "contract violation"));
+    }
+    throw;
+  }
+  result_.timeline = timeline_;
 
   result_.offered_load = offered_load_;
   result_.sim_end_ns = end;

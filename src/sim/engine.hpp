@@ -21,6 +21,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/fault_schedule.hpp"
 #include "sim/metrics.hpp"
+#include "sim/timeline.hpp"
 #include "sim/trace.hpp"
 #include "sim/traffic.hpp"
 #include "sim/workload.hpp"
@@ -74,10 +75,30 @@ class Simulation {
   /// network fully drained (modulo source queues).
   [[nodiscard]] std::string stall_report() const;
 
-  /// Timelines of the first SimConfig::trace_packets generated packets
-  /// (empty when tracing is off).  Valid after run().
+  /// Timelines of up to SimConfig::trace_packets generated packets, taken
+  /// every SimConfig::trace_stride-th generation (empty when tracing is
+  /// off).  Valid after run().
   [[nodiscard]] const std::vector<PacketTraceRecord>& traces() const noexcept {
     return traces_;
+  }
+
+  /// The interval sampler's output (empty unless
+  /// SimConfig::sample_interval_ns > 0).  Also exported in
+  /// SimResult::timeline; valid after run().
+  [[nodiscard]] const Timeline& timeline() const noexcept { return timeline_; }
+
+  /// Control-plane events (faults, SM pipeline, CC loop) in dispatch order
+  /// (empty unless SimConfig::trace_control).  Valid after run().
+  [[nodiscard]] const std::vector<ControlTraceRecord>& control_trace()
+      const noexcept {
+    return control_trace_;
+  }
+
+  /// The flight recorder's frozen ring: the last K engine events on the
+  /// first dropping device (invalid when SimConfig::flight_recorder_depth
+  /// is 0 or nothing dropped).  Also rendered to stderr at freeze time.
+  [[nodiscard]] const FlightRecorderDump& flight_dump() const noexcept {
+    return flight_dump_;
   }
 
   /// Per-directed-link transmission counts and busy fractions, in
@@ -191,12 +212,10 @@ class Simulation {
   [[nodiscard]] CcSummary collect_cc() const;
 
   // --- live SM / fault handling ----------------------------------------------
-  enum class DropReason : std::uint8_t {
-    kUnroutable,   ///< no LFT entry for the DLID
-    kDeadLink,     ///< on or behind a link at the instant it failed
-    kConvergence,  ///< stale LFT entry pointing at a dead port
-  };
-  void count_drop(DropReason reason, PacketId pkt);
+  // DropReason (sim/trace.hpp) names the taxonomy; `dev` is where the
+  // packet died (freezes that device's flight-recorder ring on the first
+  // drop).
+  void count_drop(DropReason reason, PacketId pkt, DeviceId dev, SimTime now);
   void on_link_fail(DeviceId dev, PortId port, SimTime now);
   void on_link_recover(DeviceId dev_a, PortId port_a, DeviceId dev_b,
                        PortId port_b, SimTime now);
@@ -231,7 +250,19 @@ class Simulation {
   }
   void dispatch(const Event& e);
   void trace_event(PacketId pkt, SimTime now, TracePoint point, DeviceId dev,
-                   PortId port, VlId vl);
+                   PortId port, VlId vl,
+                   DropReason drop = DropReason::kNone);
+  // --- time-resolved observability (all passive; see sim/timeline.hpp) -------
+  /// Snapshots one TimelineSample at simulated time `t` (counters-only).
+  void take_sample(SimTime t);
+  void record_flight(const Event& e);
+  void record_control(const Event& e);
+  /// The device a dispatched event belongs to for the flight recorder
+  /// (node-scoped events map to the node's NIC; -1 = not device-scoped).
+  [[nodiscard]] std::int64_t flight_device_of(const Event& e) const;
+  void freeze_flight_dump(DeviceId dev, SimTime at, std::string cause);
+  [[nodiscard]] FlightRecorderDump render_flight_ring(DeviceId dev, SimTime at,
+                                                      std::string cause) const;
   [[nodiscard]] VlId assign_vl(NodeId src, NodeId dst);
   void accumulate_utilization(OutPort& port, SimTime start, SimTime end);
   /// Closes open credit-stall intervals at `end` and rolls the per-link /
@@ -267,6 +298,19 @@ class Simulation {
   std::uint64_t cc_becn_sent_ = 0;
   std::uint64_t cc_timer_fires_ = 0;
   std::vector<std::uint64_t> cc_index_hist_;        ///< [0, cct_levels]
+
+  // --- time-resolved observability (empty / inert unless configured) ---------
+  Timeline timeline_;
+  std::uint64_t sampled_generated_ = 0;  ///< counters at the last sample
+  std::uint64_t sampled_delivered_ = 0;
+  std::uint64_t sampled_dropped_ = 0;
+  std::uint64_t sampled_becn_ = 0;
+  std::vector<FlightEvent> flight_ring_;   ///< [dev * depth + slot]
+  std::vector<std::uint32_t> flight_pos_;  ///< next write slot per device
+  std::vector<std::uint32_t> flight_len_;  ///< valid entries per device
+  DeviceId last_flight_dev_ = kInvalidDevice;
+  FlightRecorderDump flight_dump_;
+  std::vector<ControlTraceRecord> control_trace_;
 
   // --- metrics accumulation -------------------------------------------------
   SimResult result_;

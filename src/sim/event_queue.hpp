@@ -52,6 +52,42 @@ enum class EventKind : std::uint8_t {
   kCcRelease,     ///< HCA `dev`'s injection gate opens; retry source pulls
 };
 
+[[nodiscard]] constexpr std::string_view to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kGenerate:
+      return "generate";
+    case EventKind::kHeadArrive:
+      return "head-arrive";
+    case EventKind::kRouted:
+      return "routed";
+    case EventKind::kTailOut:
+      return "tail-out";
+    case EventKind::kCreditArrive:
+      return "credit-arrive";
+    case EventKind::kTryTx:
+      return "try-tx";
+    case EventKind::kDeliver:
+      return "deliver";
+    case EventKind::kLinkFail:
+      return "link-fail";
+    case EventKind::kLinkRecover:
+      return "link-recover";
+    case EventKind::kTrap:
+      return "trap";
+    case EventKind::kSweepDone:
+      return "sweep-done";
+    case EventKind::kLftProgram:
+      return "lft-program";
+    case EventKind::kBecnArrive:
+      return "becn-arrive";
+    case EventKind::kCctTimer:
+      return "cct-timer";
+    case EventKind::kCcRelease:
+      return "cc-release";
+  }
+  return "?";
+}
+
 struct Event {
   SimTime time = 0;
   std::uint64_t seq = 0;  ///< insertion order; total-orders simultaneous events

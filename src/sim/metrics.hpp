@@ -15,6 +15,7 @@
 #include "common/expect.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "sim/timeline.hpp"
 
 namespace mlid {
 
@@ -206,6 +207,12 @@ struct SimResult {
   /// latency_log2_hist exactly.
   std::vector<Log2Histogram> latency_log2_per_vl;
   LinkSummary link_summary;
+
+  // --- time-resolved telemetry (populated only when the sampler is on) -------
+  /// Interval-sampler output (SimConfig::sample_interval_ns > 0): deltas
+  /// and gauges on a fixed cadence, pair-merged under the cap.  Like the
+  /// telemetry block, leaving it off changes nothing else.
+  Timeline timeline;
 
   // --- live SM timeline (populated only when a SubnetManager is attached) ----
   SimTime first_fault_ns = -1;    ///< first link failure event (-1 = none)

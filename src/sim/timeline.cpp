@@ -1,0 +1,82 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mlid {
+
+void TimelineSample::merge_from(const TimelineSample& later) noexcept {
+  t_ns = later.t_ns;
+  intervals += later.intervals;
+  generated += later.generated;
+  delivered += later.delivered;
+  dropped += later.dropped;
+  becn += later.becn;
+  // Gauges: the merged sample reports the later snapshot for the absolute
+  // level and the worst case seen across the window for the pressure peaks.
+  in_flight = later.in_flight;
+  queued_pkts = std::max(queued_pkts, later.queued_pkts);
+  max_queue_depth = std::max(max_queue_depth, later.max_queue_depth);
+  stalled_vls = std::max(stalled_vls, later.stalled_vls);
+  cct_active_nodes = std::max(cct_active_nodes, later.cct_active_nodes);
+  peak_cct_index = std::max(peak_cct_index, later.peak_cct_index);
+}
+
+void Timeline::append(const TimelineSample& sample) {
+  MLID_EXPECT(enabled(), "appending to an unconfigured timeline");
+  samples.push_back(sample);
+  if (samples.size() >= max_samples) decimate();
+}
+
+void Timeline::decimate() {
+  // Merge adjacent pairs in place; an odd trailing sample survives as-is
+  // (its `intervals` keeps the accounting exact either way).
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < samples.size(); r += 2) {
+    TimelineSample merged = samples[r];
+    if (r + 1 < samples.size()) merged.merge_from(samples[r + 1]);
+    samples[w++] = merged;
+  }
+  samples.resize(w);
+  interval_ns *= 2;
+  ++decimations;
+}
+
+std::string to_string(const FlightRecorderDump& dump) {
+  std::ostringstream os;
+  if (!dump.valid()) return "flight recorder: no dump\n";
+  os << "flight recorder: device " << dump.dev;
+  if (!dump.device_name.empty()) os << " (" << dump.device_name << ")";
+  os << " at t=" << dump.at << "ns, cause: " << dump.cause << "\n";
+  for (const FlightEvent& e : dump.events) {
+    os << "  t=" << e.time << "ns  " << to_string(e.kind) << "  port "
+       << int(e.port) << " vl " << int(e.vl);
+    if (e.pkt != kInvalidPacket) os << " pkt " << e.pkt;
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string_view to_string(ControlPoint point) {
+  switch (point) {
+    case ControlPoint::kLinkFail:
+      return "link-fail";
+    case ControlPoint::kLinkRecover:
+      return "link-recover";
+    case ControlPoint::kTrap:
+      return "trap";
+    case ControlPoint::kSweepDone:
+      return "sweep-done";
+    case ControlPoint::kLftProgram:
+      return "lft-program";
+    case ControlPoint::kBecn:
+      return "becn";
+    case ControlPoint::kCctTimer:
+      return "cct-timer";
+    case ControlPoint::kCcRelease:
+      return "cc-release";
+  }
+  return "?";
+}
+
+}  // namespace mlid

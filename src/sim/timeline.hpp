@@ -1,0 +1,150 @@
+// Time-resolved observability: the interval sampler's Timeline, the
+// per-device flight recorder and the control-plane trace.
+//
+// Everything in this header is passive instrumentation, like the telemetry
+// counters: recording never schedules events, draws random numbers or
+// touches engine state, so enabling any of it leaves the simulation's
+// results bit-identical (asserted by sim/timeline_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/types.hpp"
+#include "sim/event_queue.hpp"
+
+namespace mlid {
+
+/// One sampler interval.  Deltas cover the half-open window
+/// (t_ns - intervals * base_interval, t_ns]; gauges are snapshots taken at
+/// t_ns.  Samples are mergeable: two adjacent samples combine into one
+/// covering both windows (deltas add, gauges keep the max / the later
+/// value), which is what the decimation policy and cross-run aggregation
+/// rely on.
+struct TimelineSample {
+  SimTime t_ns = 0;             ///< exclusive end of the covered window
+  std::uint32_t intervals = 1;  ///< base intervals merged into this sample
+
+  // --- deltas over the covered window ----------------------------------------
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t becn = 0;  ///< BECNs echoed by destinations (CC only)
+
+  // --- gauges at t_ns ---------------------------------------------------------
+  /// Packets alive anywhere (source queues included):
+  /// generated - delivered - dropped, whole run.
+  std::uint64_t in_flight = 0;
+  /// Packets sitting in switch output queues + crossbar wait queues.
+  std::uint64_t queued_pkts = 0;
+  /// Deepest single (port, VL) output backlog right now.
+  std::uint32_t max_queue_depth = 0;
+  /// (link, VL) heads blocked purely on zero downstream credits.
+  std::uint32_t stalled_vls = 0;
+  /// HCAs currently holding any non-zero CCT entry (CC only).
+  std::uint32_t cct_active_nodes = 0;
+  /// Highest CCT index currently held by any HCA (CC only).
+  std::uint16_t peak_cct_index = 0;
+
+  /// Folds the chronologically *later* sample into this one.
+  void merge_from(const TimelineSample& later) noexcept;
+
+  friend bool operator==(const TimelineSample&,
+                         const TimelineSample&) = default;
+};
+
+/// The interval sampler's output: a bounded sequence of TimelineSamples.
+/// When appending would exceed max_samples, adjacent pairs are merged in
+/// place and the effective interval doubles (a "decimation"), so the
+/// timeline of an arbitrarily long run stays within the cap while every
+/// base interval remains accounted for exactly once.
+struct Timeline {
+  SimTime base_interval_ns = 0;  ///< SimConfig::sample_interval_ns
+  SimTime interval_ns = 0;       ///< current cadence (doubles per decimation)
+  std::uint32_t max_samples = 0;
+  std::uint32_t decimations = 0;
+  std::vector<TimelineSample> samples;
+
+  [[nodiscard]] bool enabled() const noexcept { return interval_ns > 0; }
+
+  void configure(SimTime interval, std::uint32_t cap) {
+    MLID_EXPECT(interval > 0, "sampler interval must be positive");
+    MLID_EXPECT(cap >= 2, "timeline cap must hold at least two samples");
+    base_interval_ns = interval;
+    interval_ns = interval;
+    max_samples = cap;
+    samples.reserve(cap);
+  }
+
+  /// Appends one sample, decimating when the cap is reached.
+  void append(const TimelineSample& sample);
+
+  friend bool operator==(const Timeline&, const Timeline&) = default;
+
+ private:
+  void decimate();
+};
+
+/// One slot of a device's flight-recorder ring: a dispatched engine event,
+/// with node-scoped events (generation, BECN arrival, CC timers) mapped to
+/// the node's NIC device.
+struct FlightEvent {
+  SimTime time = 0;
+  EventKind kind = EventKind::kGenerate;
+  DeviceId dev = kInvalidDevice;
+  PacketId pkt = kInvalidPacket;
+  PortId port = 0;
+  VlId vl = 0;
+
+  friend bool operator==(const FlightEvent&, const FlightEvent&) = default;
+};
+
+/// Frozen copy of one device's ring, taken at the first drop (or rendered
+/// on a contract violation): the last K engine events that touched the
+/// device, oldest first -- the context that makes a drop-taxonomy counter
+/// debuggable.
+struct FlightRecorderDump {
+  SimTime at = -1;  ///< freeze time (-1 = never froze)
+  DeviceId dev = kInvalidDevice;
+  std::string device_name;
+  std::string cause;
+  std::vector<FlightEvent> events;  ///< oldest -> newest
+
+  [[nodiscard]] bool valid() const noexcept { return at >= 0; }
+};
+
+/// Multi-line human-readable rendering (what lands on stderr on freeze).
+[[nodiscard]] std::string to_string(const FlightRecorderDump& dump);
+
+/// Control-plane occurrences the chrome-trace exporter renders as instant
+/// events: fault injections, the SM's trap -> sweep -> program pipeline and
+/// the congestion-control loop.
+enum class ControlPoint : std::uint8_t {
+  kLinkFail,     ///< dev = failing device, port = failing port
+  kLinkRecover,  ///< dev/port = endpoint A, aux = endpoint B device
+  kTrap,         ///< dev = reporting device, port = reported port
+  kSweepDone,    ///< the SM's re-sweep completed
+  kLftProgram,   ///< dev = plan index, aux = epoch
+  kBecn,         ///< dev = source HCA node, aux = congested destination node
+  kCctTimer,     ///< dev = HCA node
+  kCcRelease,    ///< dev = HCA node whose injection gate reopened
+};
+
+[[nodiscard]] std::string_view to_string(ControlPoint point);
+
+/// One recorded control event (SimConfig::trace_control).
+struct ControlTraceRecord {
+  SimTime time = 0;
+  ControlPoint point = ControlPoint::kLinkFail;
+  DeviceId dev = kInvalidDevice;  ///< semantics per ControlPoint above
+  std::uint32_t aux = 0;
+  PortId port = 0;
+
+  friend bool operator==(const ControlTraceRecord&,
+                         const ControlTraceRecord&) = default;
+};
+
+}  // namespace mlid

@@ -11,9 +11,27 @@ std::string to_string(const PacketTraceRecord& record) {
   for (const TraceEvent& event : record.events) {
     os << "  t=" << event.time << "ns  " << to_string(event.point)
        << "  device " << event.dev << " port " << int(event.port) << " vl "
-       << int(event.vl) << "\n";
+       << int(event.vl);
+    if (event.drop != DropReason::kNone) {
+      os << " (" << to_string(event.drop) << ")";
+    }
+    os << "\n";
   }
   return os.str();
+}
+
+std::string_view to_string(DropReason reason) {
+  switch (reason) {
+    case DropReason::kNone:
+      return "none";
+    case DropReason::kUnroutable:
+      return "unroutable";
+    case DropReason::kDeadLink:
+      return "dead-link";
+    case DropReason::kConvergence:
+      return "convergence";
+  }
+  return "?";
 }
 
 std::string to_string(TracePoint point) {

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.hpp"
@@ -20,21 +21,40 @@ enum class TracePoint : std::uint8_t {
 
 [[nodiscard]] std::string to_string(TracePoint point);
 
+/// Why a packet died -- the taxonomy SimResult's drop counters aggregate,
+/// carried on the kDropped trace event so a traced packet's timeline says
+/// what killed it, not just that it stopped.
+enum class DropReason : std::uint8_t {
+  kNone,         ///< not a drop (every non-kDropped event)
+  kUnroutable,   ///< no LFT entry for the DLID
+  kDeadLink,     ///< on or behind a link at the instant it failed
+  kConvergence,  ///< stale LFT entry pointing at a dead port
+};
+
+[[nodiscard]] std::string_view to_string(DropReason reason);
+
 struct TraceEvent {
   SimTime time = 0;
   TracePoint point = TracePoint::kGenerated;
   DeviceId dev = kInvalidDevice;
   PortId port = 0;
   VlId vl = 0;
+  DropReason drop = DropReason::kNone;  ///< set only on kDropped events
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
 
-/// Timeline of one traced packet (the first SimConfig::trace_packets
-/// generated packets are recorded).
+/// Timeline of one traced packet.  Up to SimConfig::trace_packets records
+/// are collected, taking every SimConfig::trace_stride-th generated packet
+/// (stride 1 = the first N packets).
 struct PacketTraceRecord {
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
   Lid dlid = kInvalidLid;
   std::vector<TraceEvent> events;
+
+  friend bool operator==(const PacketTraceRecord&,
+                         const PacketTraceRecord&) = default;
 };
 
 /// Multi-line human-readable rendering of one trace record.

@@ -1,0 +1,164 @@
+// The Chrome trace-event exporter: structural JSON validity and the four
+// tracks (packet spans, control plane, sampled counters, flight recorder)
+// from a fully instrumented fault run.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/chrome_trace.hpp"
+#include "sim/engine.hpp"
+
+namespace mlid {
+namespace {
+
+// Minimal structural check: braces and brackets balance outside strings.
+void expect_balanced(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0) << "underflow at offset " << i;
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(depth, 0);
+}
+
+struct InstrumentedRun {
+  InstrumentedRun() : fabric{FatTreeParams(4, 3)},
+                      subnet(fabric, SchemeKind::kMlid),
+                      sm(fabric, subnet) {
+    // Long enough for the trap -> sweep -> program pipeline to finish (a
+    // (4,3) sweep costs ~12 us of probe SMPs), so the control track holds
+    // the full SM story.  Stride 5 is coprime with the 16-node generation
+    // round-robin, so traced packets rotate through every source.
+    const FaultSchedule faults = FaultSchedule::random_uplink_failures(
+        fabric, /*count=*/2, /*fail_at=*/8'000, /*seed=*/5,
+        /*recover_at=*/30'000);
+    SimConfig cfg;
+    cfg.warmup_ns = 5'000;
+    cfg.measure_ns = 55'000;
+    cfg.seed = 3;
+    cfg.sample_interval_ns = 1'000;
+    cfg.trace_packets = 64;
+    cfg.trace_stride = 5;
+    cfg.trace_control = true;
+    cfg.flight_recorder_depth = 16;
+    sim.emplace(Simulation::open_loop(subnet, cfg,
+                                      {TrafficKind::kUniform, 0.2, 0, 4},
+                                      0.6, {&sm, faults}));
+    result = sim->run();
+  }
+
+  [[nodiscard]] ChromeTraceData data() const {
+    ChromeTraceData d;
+    d.packets = &sim->traces();
+    d.control = &sim->control_trace();
+    d.timeline = &sim->timeline();
+    d.flight = &sim->flight_dump();
+    return d;
+  }
+
+  FatTreeFabric fabric;
+  Subnet subnet;
+  SubnetManager sm;
+  std::optional<Simulation> sim;
+  SimResult result;
+};
+
+TEST(ChromeTrace, EmptyDataIsAnEmptyTrace) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const std::string json = chrome_trace_json(fabric.fabric(), {});
+  EXPECT_EQ(json, R"({"displayTimeUnit":"ns","traceEvents":[]})");
+}
+
+TEST(ChromeTrace, InstrumentedFaultRunProducesAllFourTracks) {
+  const InstrumentedRun run;
+  ASSERT_GT(run.result.packets_dropped, 0u);  // the scenario has teeth
+  const std::string json = chrome_trace_json(run.fabric.fabric(), run.data());
+  expect_balanced(json);
+  // Track 1: packet lifecycle spans on named device threads.
+  EXPECT_NE(json.find(R"("name":"fabric devices")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"source-queue","ph":"X")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"switch","ph":"X")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"deliver","ph":"X")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"thread_name","ph":"M")"), std::string::npos);
+  // Track 2: the control plane with the SM pipeline and the faults.
+  EXPECT_NE(json.find(R"("name":"control plane")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"link-fail","ph":"i")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"trap","ph":"i")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"sweep-done","ph":"i")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"lft-program","ph":"i")"), std::string::npos);
+  // Track 3: the sampled counters.
+  EXPECT_NE(json.find(R"("name":"timeline counters")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"throughput","ph":"C")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"occupancy","ph":"C")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"congestion","ph":"C")"), std::string::npos);
+  // Track 4: the flight recorder froze on the first drop.
+  ASSERT_TRUE(run.sim->flight_dump().valid());
+  EXPECT_NE(json.find(R"("name":"flight recorder")"), std::string::npos);
+  EXPECT_NE(json.find("first drop"), std::string::npos);
+}
+
+TEST(ChromeTrace, DroppedPacketsShowUpAsInstants) {
+  // Deterministic single-record input: a packet that dies on a dead link
+  // renders as an instant named after the reason, not as a span.
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  PacketTraceRecord rec;
+  rec.src = 0;
+  rec.dst = 5;
+  rec.dlid = 21;
+  rec.events.push_back({100, TracePoint::kGenerated, 0, 0, 0});
+  rec.events.push_back({100, TracePoint::kInjected, 0, 0, 0});
+  rec.events.push_back(
+      {340, TracePoint::kDropped, 8, 2, 0, DropReason::kDeadLink});
+  const std::vector<PacketTraceRecord> packets{rec};
+  ChromeTraceData data;
+  data.packets = &packets;
+  const std::string json = chrome_trace_json(fabric.fabric(), data);
+  expect_balanced(json);
+  EXPECT_NE(json.find(R"x("name":"drop(dead-link)","ph":"i")x"),
+            std::string::npos);
+  // The generated->injected pair on the source still spans.
+  EXPECT_NE(json.find(R"("name":"source-queue","ph":"X")"), std::string::npos);
+}
+
+TEST(ChromeTrace, TracksAreSkippedWhenTheirSourceIsOff) {
+  const InstrumentedRun run;
+  ChromeTraceData only_counters;
+  only_counters.timeline = &run.sim->timeline();
+  const std::string json =
+      chrome_trace_json(run.fabric.fabric(), only_counters);
+  expect_balanced(json);
+  EXPECT_NE(json.find(R"("name":"timeline counters")"), std::string::npos);
+  EXPECT_EQ(json.find(R"("name":"fabric devices")"), std::string::npos);
+  EXPECT_EQ(json.find(R"("name":"control plane")"), std::string::npos);
+  EXPECT_EQ(json.find(R"("name":"flight recorder")"), std::string::npos);
+}
+
+TEST(ChromeTrace, WriteProducesTheSameBytesPlusNewline) {
+  const InstrumentedRun run;
+  const std::string path =
+      ::testing::TempDir() + "mlid_chrome_trace_test.json";
+  write_chrome_trace(path, run.fabric.fabric(), run.data());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream read_back;
+  read_back << in.rdbuf();
+  EXPECT_EQ(read_back.str(),
+            chrome_trace_json(run.fabric.fabric(), run.data()) + "\n");
+}
+
+}  // namespace
+}  // namespace mlid

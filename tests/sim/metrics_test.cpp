@@ -107,6 +107,41 @@ TEST(Log2Histogram, MergeWithEmptyIsIdentity) {
   EXPECT_EQ(empty, before);
 }
 
+TEST(Log2Histogram, TopBucketClampsAtTwoToTheSixtyThree) {
+  // 0x1p63 is the first double that cannot round-trip through uint64, so
+  // bucket_of short-circuits before the integer conversion: everything at
+  // or above it clamps to the top bucket instead of hitting UB.
+  EXPECT_EQ(Log2Histogram::bucket_of(0x1p63), Log2Histogram::kBuckets - 1);
+  EXPECT_EQ(Log2Histogram::bucket_of(std::nextafter(0x1p63, 0.0)),
+            Log2Histogram::kBuckets - 1);
+  EXPECT_EQ(Log2Histogram::bucket_of(0x1p64), Log2Histogram::kBuckets - 1);
+  EXPECT_EQ(Log2Histogram::bucket_of(std::numeric_limits<double>::max()),
+            Log2Histogram::kBuckets - 1);
+  Log2Histogram h;
+  h.add(0x1p63);
+  h.add(-0x1p63);  // negative mirror lands in bucket 0, not the top
+  EXPECT_EQ(h.counts()[Log2Histogram::kBuckets - 1], 1u);
+  EXPECT_EQ(h.counts()[0], 1u);
+}
+
+TEST(Log2Histogram, MergeIsAssociative) {
+  // Decimation merges samples pairwise in whatever order the cap forces;
+  // histogram merge must not care about that grouping.
+  Log2Histogram a, b, c;
+  for (double s : {0.0, 1.5, 80.0}) a.add(s);
+  for (double s : {2.0, 2.5, 1e6}) b.add(s);
+  for (double s : {0.4, 4096.0}) c.add(s);
+  Log2Histogram left = a;   // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  Log2Histogram bc = b;     // a + (b + c)
+  bc.merge(c);
+  Log2Histogram right = a;
+  right.merge(bc);
+  EXPECT_EQ(left, right);
+  EXPECT_EQ(left.total(), 8u);
+}
+
 TEST(Log2Histogram, TrimmedSizeDropsTrailingZeroBuckets) {
   Log2Histogram h;
   EXPECT_EQ(h.trimmed_size(), 0u);

@@ -4,6 +4,8 @@
 // which serializes every public result field.
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "harness/report.hpp"
 #include "harness/sweep.hpp"
 #include "sim/engine.hpp"
@@ -83,6 +85,48 @@ TEST(QueueParity, LiveSmFaultRunsAreBitIdentical) {
   // Meaningful scenario: the fault machinery actually fired.
   EXPECT_GT(heap.sm_traps, 0u);
   EXPECT_GT(heap.packets_dropped, 0u);
+}
+
+TEST(QueueParity, TelemetryIsBitIdenticalAcrossQueues) {
+  // The time-resolved layer must not depend on the queue structure either:
+  // packet traces, the sampled timeline, and the control trace all compare
+  // field-for-field between heap and ladder runs of a live-SM fault
+  // scenario (the richest telemetry source: drops, traps, LFT writes).
+  const FatTreeParams params(4, 3);
+  auto run = [&](EventQueueKind kind) {
+    FatTreeFabric fabric{params};
+    const Subnet subnet(fabric, SchemeKind::kMlid);
+    SubnetManager sm(fabric, subnet);
+    const FaultSchedule faults = FaultSchedule::random_uplink_failures(
+        fabric, /*count=*/2, /*fail_at=*/8'000, /*seed=*/5, /*recover_at=*/
+        18'000);
+    SimConfig cfg = quick_window(kind);
+    cfg.sample_interval_ns = 500;
+    cfg.trace_packets = 64;
+    cfg.trace_stride = 8;
+    cfg.trace_control = true;
+    Simulation sim = Simulation::open_loop(
+        subnet, cfg, {TrafficKind::kUniform, 0.2, 0, 4}, 0.6, {&sm, faults});
+    const SimResult r = sim.run();
+    return std::tuple{r, sim.traces(), sim.control_trace()};
+  };
+  const auto [heap_r, heap_traces, heap_control] =
+      run(EventQueueKind::kHeap);
+  const auto [ladder_r, ladder_traces, ladder_control] =
+      run(EventQueueKind::kLadder);
+  EXPECT_EQ(to_json(heap_r), to_json(ladder_r));
+  EXPECT_TRUE(heap_r.timeline == ladder_r.timeline);
+  EXPECT_EQ(heap_traces, ladder_traces);
+  ASSERT_EQ(heap_control.size(), ladder_control.size());
+  for (std::size_t i = 0; i < heap_control.size(); ++i) {
+    EXPECT_EQ(heap_control[i].time, ladder_control[i].time) << "event " << i;
+    EXPECT_EQ(heap_control[i].point, ladder_control[i].point) << "event " << i;
+    EXPECT_EQ(heap_control[i].dev, ladder_control[i].dev) << "event " << i;
+  }
+  // Meaningful scenario: every telemetry stream actually has content.
+  EXPECT_FALSE(heap_r.timeline.samples.empty());
+  EXPECT_FALSE(heap_traces.empty());
+  EXPECT_FALSE(heap_control.empty());
 }
 
 TEST(QueueParity, BurstRunsAreBitIdentical) {

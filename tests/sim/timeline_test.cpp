@@ -1,0 +1,336 @@
+// The time-resolved observability layer: interval sampler, decimation
+// policy, flight recorder and control-plane trace.  The headline contract
+// is the first test group: turning everything on changes NOTHING about the
+// simulation result.
+#include <gtest/gtest.h>
+
+#include "harness/report.hpp"
+#include "sim/engine.hpp"
+
+namespace mlid {
+namespace {
+
+SimConfig window(SimTime warmup = 2'000, SimTime measure = 20'000) {
+  SimConfig cfg;
+  cfg.warmup_ns = warmup;
+  cfg.measure_ns = measure;
+  cfg.seed = 11;
+  return cfg;
+}
+
+SimConfig all_telemetry_on(SimConfig cfg) {
+  cfg.sample_interval_ns = 1'000;
+  cfg.trace_packets = 32;
+  cfg.trace_stride = 4;
+  cfg.trace_control = true;
+  cfg.flight_recorder_depth = 16;
+  return cfg;
+}
+
+TEST(Timeline, OffByDefault) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  Simulation sim = Simulation::open_loop(subnet, window(),
+                                         {TrafficKind::kUniform, 0, 0, 3},
+                                         0.3);
+  const SimResult r = sim.run();
+  EXPECT_FALSE(r.timeline.enabled());
+  EXPECT_TRUE(r.timeline.samples.empty());
+  EXPECT_FALSE(sim.flight_dump().valid());
+  EXPECT_TRUE(sim.control_trace().empty());
+}
+
+TEST(Timeline, FullTelemetryLeavesTheResultBitIdentical) {
+  // Observability is counters-only: the instrumented run must reproduce
+  // the plain run's SimResult field for field.  Comparison goes through
+  // the JSON export with the timeline scrubbed back out.
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const TrafficConfig traffic{TrafficKind::kUniform, 0, 0, 3};
+  const SimResult plain =
+      Simulation::open_loop(subnet, window(), traffic, 0.5).run();
+  const SimResult instrumented =
+      Simulation::open_loop(subnet, all_telemetry_on(window()), traffic, 0.5)
+          .run();
+  ASSERT_TRUE(instrumented.timeline.enabled());
+  ASSERT_FALSE(instrumented.timeline.samples.empty());
+  SimResult scrubbed = instrumented;
+  scrubbed.timeline = Timeline{};
+  EXPECT_EQ(to_json(scrubbed), to_json(plain));
+}
+
+TEST(Timeline, FullTelemetryIsBitIdenticalUnderFaultsToo) {
+  // Same contract on the richest code path: live SM, link failure and
+  // recovery, drops (which freeze the flight recorder mid-run) and LFT
+  // reprogramming.
+  const FatTreeParams params(4, 3);
+  auto run = [&](bool instrumented) {
+    FatTreeFabric fabric{params};
+    const Subnet subnet(fabric, SchemeKind::kMlid);
+    SubnetManager sm(fabric, subnet);
+    const FaultSchedule faults = FaultSchedule::random_uplink_failures(
+        fabric, /*count=*/2, /*fail_at=*/8'000, /*seed=*/5,
+        /*recover_at=*/15'000);
+    const SimConfig cfg =
+        instrumented ? all_telemetry_on(window(5'000, 15'000))
+                     : window(5'000, 15'000);
+    return Simulation::open_loop(subnet, cfg,
+                                 {TrafficKind::kUniform, 0.2, 0, 4}, 0.6,
+                                 {&sm, faults})
+        .run();
+  };
+  const SimResult plain = run(false);
+  const SimResult instrumented = run(true);
+  ASSERT_GT(plain.packets_dropped, 0u);
+  SimResult scrubbed = instrumented;
+  scrubbed.timeline = Timeline{};
+  EXPECT_EQ(to_json(scrubbed), to_json(plain));
+}
+
+TEST(Timeline, DeltasSumToTheRunTotals) {
+  // With an interval that divides the run length and no decimation, the
+  // sample windows tile [0, end] exactly: every generation, delivery and
+  // drop lands in exactly one window.
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  SimConfig cfg = window();  // end = 22'000
+  cfg.sample_interval_ns = 1'000;
+  Simulation sim = Simulation::open_loop(subnet, cfg,
+                                         {TrafficKind::kUniform, 0, 0, 3},
+                                         0.5);
+  const SimResult r = sim.run();
+  const Timeline& tl = r.timeline;
+  ASSERT_EQ(tl.samples.size(), 22u);
+  EXPECT_EQ(tl.decimations, 0u);
+  EXPECT_EQ(tl.interval_ns, tl.base_interval_ns);
+  std::uint64_t generated = 0, delivered = 0, dropped = 0;
+  for (std::size_t i = 0; i < tl.samples.size(); ++i) {
+    const TimelineSample& s = tl.samples[i];
+    EXPECT_EQ(s.t_ns, static_cast<SimTime>(i + 1) * 1'000);
+    EXPECT_EQ(s.intervals, 1u);
+    generated += s.generated;
+    delivered += s.delivered;
+    dropped += s.dropped;
+  }
+  EXPECT_EQ(generated, r.packets_generated);
+  EXPECT_EQ(delivered, r.packets_delivered);
+  EXPECT_EQ(dropped, r.packets_dropped);
+  // The final gauge is the whole-run balance.
+  EXPECT_EQ(tl.samples.back().in_flight,
+            r.packets_generated - r.packets_delivered - r.packets_dropped);
+  // A loaded fabric is visible in the gauges somewhere along the run.
+  std::uint64_t peak_queued = 0;
+  for (const TimelineSample& s : tl.samples) {
+    peak_queued = std::max(peak_queued, s.queued_pkts);
+  }
+  EXPECT_GT(peak_queued, 0u);
+}
+
+TEST(Timeline, DecimationKeepsTheCapAndTheAccounting) {
+  // A tight cap forces repeated pair-merges; the surviving samples must
+  // still tile the covered prefix of the run with no interval counted
+  // twice or lost.
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  SimConfig cfg = window();
+  cfg.sample_interval_ns = 250;  // 88 base intervals vs a cap of 8
+  cfg.timeline_max_samples = 8;
+  Simulation sim = Simulation::open_loop(subnet, cfg,
+                                         {TrafficKind::kUniform, 0, 0, 3},
+                                         0.5);
+  const SimResult r = sim.run();
+  const Timeline& tl = r.timeline;
+  ASSERT_FALSE(tl.samples.empty());
+  EXPECT_LT(tl.samples.size(), 8u);  // append decimates on reaching the cap
+  EXPECT_GE(tl.decimations, 3u);
+  EXPECT_EQ(tl.interval_ns, tl.base_interval_ns << tl.decimations);
+  SimTime prev_end = 0;
+  std::uint64_t generated = 0;
+  std::uint32_t intervals = 0;
+  for (const TimelineSample& s : tl.samples) {
+    EXPECT_EQ(s.t_ns - prev_end,
+              static_cast<SimTime>(s.intervals) * tl.base_interval_ns);
+    prev_end = s.t_ns;
+    generated += s.generated;
+    intervals += s.intervals;
+  }
+  EXPECT_EQ(static_cast<SimTime>(intervals) * tl.base_interval_ns, prev_end);
+  // Coverage may stop short of end when the doubled cadence overshoots it,
+  // but everything up to the last window edge is accounted for exactly.
+  EXPECT_LE(prev_end, cfg.end_time());
+  EXPECT_LE(generated, r.packets_generated);
+}
+
+TEST(Timeline, MergeFromAddsDeltasAndResolvesGauges) {
+  TimelineSample a;
+  a.t_ns = 1'000;
+  a.generated = 10;
+  a.delivered = 7;
+  a.dropped = 1;
+  a.becn = 2;
+  a.in_flight = 9;
+  a.queued_pkts = 5;
+  a.max_queue_depth = 4;
+  a.stalled_vls = 3;
+  a.cct_active_nodes = 2;
+  a.peak_cct_index = 6;
+  TimelineSample b;
+  b.t_ns = 2'000;
+  b.generated = 4;
+  b.delivered = 6;
+  b.dropped = 0;
+  b.becn = 1;
+  b.in_flight = 7;
+  b.queued_pkts = 2;
+  b.max_queue_depth = 7;
+  b.stalled_vls = 1;
+  b.cct_active_nodes = 1;
+  b.peak_cct_index = 1;
+  a.merge_from(b);
+  EXPECT_EQ(a.t_ns, 2'000);       // window extends to the later edge
+  EXPECT_EQ(a.intervals, 2u);     // both base intervals accounted
+  EXPECT_EQ(a.generated, 14u);    // deltas add
+  EXPECT_EQ(a.delivered, 13u);
+  EXPECT_EQ(a.dropped, 1u);
+  EXPECT_EQ(a.becn, 3u);
+  EXPECT_EQ(a.in_flight, 7u);     // level gauge: the later snapshot
+  EXPECT_EQ(a.queued_pkts, 5u);   // pressure gauges: worst case seen
+  EXPECT_EQ(a.max_queue_depth, 7u);
+  EXPECT_EQ(a.stalled_vls, 3u);
+  EXPECT_EQ(a.cct_active_nodes, 2u);
+  EXPECT_EQ(a.peak_cct_index, 6u);
+}
+
+TEST(Timeline, BurstModeRejectsTheSampler) {
+  // Burst runs have no fixed end time to pace samples against, so the
+  // configuration is refused up front instead of silently ignored.
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  SimConfig cfg = window();
+  cfg.sample_interval_ns = 1'000;
+  EXPECT_THROW(Simulation::burst(subnet, cfg, all_to_all_personalized(4, 64)),
+               ContractViolation);
+}
+
+TEST(FlightRecorder, FreezesOnTheFirstDrop) {
+  const FatTreeParams params(4, 2);
+  FatTreeFabric fabric{params};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  SmConfig dead;
+  dead.react = false;
+  SubnetManager sm(fabric, subnet, dead);
+  const FaultSchedule faults = FaultSchedule::random_uplink_failures(
+      fabric, /*count=*/1, /*fail_at=*/4'000, /*seed=*/5);
+  SimConfig cfg = window();
+  cfg.flight_recorder_depth = 8;
+  Simulation sim = Simulation::open_loop(
+      subnet, cfg, {TrafficKind::kUniform, 0, 0, 3}, 0.5, {&sm, faults});
+  const SimResult r = sim.run();
+  ASSERT_GT(r.packets_dropped, 0u);
+  const FlightRecorderDump& dump = sim.flight_dump();
+  ASSERT_TRUE(dump.valid());
+  EXPECT_GE(dump.at, 4'000);  // nothing drops before the link dies
+  EXPECT_NE(dump.cause.find("first drop"), std::string::npos);
+  EXPECT_EQ(dump.device_name, fabric.fabric().device(dump.dev).name());
+  ASSERT_FALSE(dump.events.empty());
+  EXPECT_LE(dump.events.size(), 8u);
+  for (std::size_t i = 1; i < dump.events.size(); ++i) {
+    EXPECT_LE(dump.events[i - 1].time, dump.events[i].time);  // oldest first
+  }
+  EXPECT_LE(dump.events.back().time, dump.at);
+  const std::string text = to_string(dump);
+  EXPECT_NE(text.find("flight recorder"), std::string::npos);
+  EXPECT_NE(text.find(dump.device_name), std::string::npos);
+}
+
+TEST(FlightRecorder, StaysUnfrozenWithoutDrops) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  SimConfig cfg = window();
+  cfg.flight_recorder_depth = 8;
+  Simulation sim = Simulation::open_loop(subnet, cfg,
+                                         {TrafficKind::kUniform, 0, 0, 3},
+                                         0.2);
+  const SimResult r = sim.run();
+  EXPECT_EQ(r.packets_dropped, 0u);
+  EXPECT_FALSE(sim.flight_dump().valid());
+  EXPECT_EQ(to_string(sim.flight_dump()), "flight recorder: no dump\n");
+}
+
+TEST(ControlTrace, RecordsTheFaultAndSmPipelineInOrder) {
+  const FatTreeParams params(4, 3);
+  FatTreeFabric fabric{params};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  SubnetManager sm(fabric, subnet);
+  // The window must outlive TWO full trap -> sweep -> program pipelines: a
+  // (4,3) sweep alone costs ~12 us of probe SMPs, and the recovery has to
+  // land after the first repair converged (a recovery mid-sweep coalesces
+  // into the running sweep and diffs to zero programs).
+  const FaultSchedule faults = FaultSchedule::random_uplink_failures(
+      fabric, /*count=*/1, /*fail_at=*/8'000, /*seed=*/5,
+      /*recover_at=*/30'000);
+  SimConfig cfg = window(5'000, 55'000);
+  cfg.trace_control = true;
+  Simulation sim = Simulation::open_loop(
+      subnet, cfg, {TrafficKind::kUniform, 0.2, 0, 4}, 0.5, {&sm, faults});
+  sim.run();
+  const auto& control = sim.control_trace();
+  ASSERT_FALSE(control.empty());
+  SimTime prev = 0;
+  std::uint64_t fails = 0, recovers = 0, traps = 0, sweeps = 0, programs = 0;
+  for (const ControlTraceRecord& rec : control) {
+    EXPECT_GE(rec.time, prev);  // dispatch order == time order
+    prev = rec.time;
+    switch (rec.point) {
+      case ControlPoint::kLinkFail: ++fails; break;
+      case ControlPoint::kLinkRecover: ++recovers; break;
+      case ControlPoint::kTrap: ++traps; break;
+      case ControlPoint::kSweepDone: ++sweeps; break;
+      case ControlPoint::kLftProgram: ++programs; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(fails, 1u);
+  EXPECT_EQ(recovers, 1u);
+  EXPECT_GE(traps, 1u);
+  EXPECT_GE(sweeps, 2u);  // one per repair
+  EXPECT_GE(programs, 1u);
+  EXPECT_EQ(control.front().point, ControlPoint::kLinkFail);
+  EXPECT_EQ(control.front().time, 8'000);
+}
+
+TEST(ControlTrace, RecordsTheCongestionControlLoop) {
+  const FatTreeFabric fabric{FatTreeParams(8, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  SimConfig cfg = window(5'000, 20'000);
+  cfg.trace_control = true;
+  cfg.cc.enabled = true;
+  cfg.cc.becn_increase = 4;
+  cfg.cc.cct_quantum_ns = 600;
+  cfg.cc.timer_ns = 15'000;
+  Simulation sim = Simulation::open_loop(
+      subnet, cfg, {TrafficKind::kCentric, 0.3, 0, 0xCCA}, 0.3);
+  const SimResult r = sim.run();
+  ASSERT_GT(r.cc.becn_received, 0u);
+  std::uint64_t becns = 0, timers = 0;
+  for (const ControlTraceRecord& rec : sim.control_trace()) {
+    if (rec.point == ControlPoint::kBecn) ++becns;
+    if (rec.point == ControlPoint::kCctTimer) ++timers;
+  }
+  EXPECT_EQ(becns, r.cc.becn_received);
+  EXPECT_GT(timers, 0u);
+}
+
+TEST(ControlTrace, ToStringNames) {
+  EXPECT_EQ(to_string(ControlPoint::kLinkFail), "link-fail");
+  EXPECT_EQ(to_string(ControlPoint::kLinkRecover), "link-recover");
+  EXPECT_EQ(to_string(ControlPoint::kTrap), "trap");
+  EXPECT_EQ(to_string(ControlPoint::kSweepDone), "sweep-done");
+  EXPECT_EQ(to_string(ControlPoint::kLftProgram), "lft-program");
+  EXPECT_EQ(to_string(ControlPoint::kBecn), "becn");
+  EXPECT_EQ(to_string(ControlPoint::kCctTimer), "cct-timer");
+  EXPECT_EQ(to_string(ControlPoint::kCcRelease), "cc-release");
+}
+
+}  // namespace
+}  // namespace mlid

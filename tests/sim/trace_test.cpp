@@ -117,6 +117,77 @@ TEST(Trace, InvariantCheckPassesAfterEveryRun) {
   }
 }
 
+TEST(Trace, StrideSamplesTheWholeRunNotJustWarmup) {
+  // With stride 1 the first trace_packets generations fill the buffer
+  // during warm-up; a stride records every k-th generated packet, so the
+  // same packets appear in both runs at indices 0, k, 2k, ...
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const TrafficConfig traffic{TrafficKind::kUniform, 0, 0, 3};
+  SimConfig dense_cfg = traced_config(10);
+  Simulation dense = Simulation::open_loop(subnet, dense_cfg, traffic, 0.4);
+  dense.run();
+  SimConfig strided_cfg = traced_config(4);
+  strided_cfg.trace_stride = 3;
+  Simulation strided = Simulation::open_loop(subnet, strided_cfg, traffic, 0.4);
+  const SimResult r = strided.run();
+  ASSERT_GT(r.packets_generated, 4u * 3u);
+  ASSERT_EQ(strided.traces().size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(strided.traces()[i], dense.traces()[3 * i]) << "record " << i;
+  }
+  // The stride widens coverage: at the same record index, the strided run
+  // holds a packet generated strictly later than the dense run's.
+  EXPECT_GT(strided.traces()[3].events.front().time,
+            dense.traces()[3].events.front().time);
+}
+
+TEST(Trace, DroppedPacketsCarryTheReason) {
+  // Dead SM: the tables stay stale after the failure, so traced packets
+  // keep walking into the dead link for the rest of the run.
+  const FatTreeParams params(4, 2);
+  FatTreeFabric fabric{params};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  SmConfig dead;
+  dead.react = false;
+  SubnetManager sm(fabric, subnet, dead);
+  const FaultSchedule faults = FaultSchedule::random_uplink_failures(
+      fabric, /*count=*/2, /*fail_at=*/4'000, /*seed=*/5);
+  // Stride 3 is coprime with the 8-node generation round-robin, so the
+  // traced packets rotate through every source instead of aliasing onto
+  // the same few nodes (whose flows may all dodge the dead links).
+  SimConfig cfg = traced_config(256);
+  cfg.trace_stride = 3;
+  Simulation sim = Simulation::open_loop(
+      subnet, cfg, {TrafficKind::kUniform, 0, 0, 3}, 0.5, {&sm, faults});
+  const SimResult r = sim.run();
+  ASSERT_GT(r.packets_dropped, 0u);
+  std::size_t dropped_records = 0;
+  for (const PacketTraceRecord& rec : sim.traces()) {
+    for (const TraceEvent& e : rec.events) {
+      if (e.point != TracePoint::kDropped) {
+        EXPECT_EQ(e.drop, DropReason::kNone);
+        continue;
+      }
+      ++dropped_records;
+      EXPECT_NE(e.drop, DropReason::kNone);
+      // The terminal event renders with its reason attached.
+      const std::string text = to_string(rec);
+      EXPECT_NE(text.find("dropped"), std::string::npos);
+      EXPECT_NE(text.find("(" + std::string(to_string(e.drop)) + ")"),
+                std::string::npos);
+    }
+  }
+  EXPECT_GT(dropped_records, 0u);
+}
+
+TEST(Trace, DropReasonNames) {
+  EXPECT_EQ(to_string(DropReason::kNone), "none");
+  EXPECT_EQ(to_string(DropReason::kUnroutable), "unroutable");
+  EXPECT_EQ(to_string(DropReason::kDeadLink), "dead-link");
+  EXPECT_EQ(to_string(DropReason::kConvergence), "convergence");
+}
+
 TEST(Trace, ToStringNames) {
   EXPECT_EQ(to_string(TracePoint::kGenerated), "generated");
   EXPECT_EQ(to_string(TracePoint::kInjected), "injected");
