@@ -19,7 +19,11 @@ constexpr std::string_view kUsage =
     "  --json             also print a JSON result blob\n"
     "  --out=PATH         also write CSV (and JSON if --json) to PATH.csv /\n"
     "                     PATH.json\n"
-    "  --threads=N        worker threads for the sweep\n"
+    "  --threads=N        worker threads for the sweep (N >= 1; omit the\n"
+    "                     flag to use the hardware concurrency)\n"
+    "  --shards=N         engine shards per simulation (N >= 1; >1 runs the\n"
+    "                     sharded conservative-sync engine, which forces the\n"
+    "                     canonical event order)\n"
     "  --event-queue=K    pending-event structure: heap | ladder\n"
     "  --no-telemetry     skip the extended per-link/histogram telemetry\n"
     "  --fail-links=N     fail N random inter-switch uplinks mid-run\n"
@@ -100,6 +104,15 @@ CliOptions::CliOptions(int argc, char** argv) {
       seed_ = parse_int<std::uint64_t>("--seed", arg.substr(7));
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads_ = parse_int<unsigned>("--threads", arg.substr(10));
+      // from_chars already rejects negatives for unsigned; 0 would silently
+      // mean "hardware concurrency", which an explicit flag must not.
+      if (threads_ == 0) {
+        usage_error(
+            "--threads must be >= 1 (omit the flag for hardware concurrency)");
+      }
+    } else if (flag_value(argc, argv, i, "--shards", value)) {
+      shards_ = parse_int<unsigned>("--shards", value);
+      if (shards_ == 0) usage_error("--shards must be >= 1");
     } else if (arg == "--no-telemetry") {
       telemetry_ = false;
     } else if (flag_value(argc, argv, i, "--event-queue", value)) {
@@ -145,6 +158,7 @@ CliOptions::CliOptions(int argc, char** argv) {
 SweepOptions CliOptions::sweep_options() const {
   SweepOptions options;
   options.threads = threads_;
+  options.shards = shards_;
   options.quick = quick_;
   if (!telemetry_) options.telemetry = false;
   options.event_queue = event_queue_;

@@ -22,7 +22,10 @@ struct SweepOptions;
 ///   --json             also print a JSON result blob
 ///   --out=PATH         also write the CSV (and JSON if --json) to files
 ///                      PATH.csv / PATH.json
-///   --threads=N        worker threads for the sweep
+///   --threads=N        worker threads for the sweep (N >= 1; omitting the
+///                      flag picks the hardware concurrency)
+///   --shards=N         engine shards per simulation (N >= 1; >1 runs the
+///                      sharded conservative-sync engine)
 ///   --event-queue=K    pending-event structure: heap | ladder
 ///   --no-telemetry     skip the extended per-link/histogram telemetry
 ///   --fail-links=N     fail N random inter-switch uplinks mid-run
@@ -53,6 +56,7 @@ class CliOptions {
   [[nodiscard]] const std::string& out_path() const noexcept { return out_; }
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
   [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+  [[nodiscard]] unsigned shards() const noexcept { return shards_; }
   /// Queue kind from --event-queue; nullopt = keep the spec's default.
   [[nodiscard]] std::optional<EventQueueKind> event_queue() const noexcept {
     return event_queue_;
@@ -137,6 +141,7 @@ class CliOptions {
   std::string out_;
   std::uint64_t seed_ = 1;
   unsigned threads_ = 0;
+  unsigned shards_ = 1;
   std::optional<EventQueueKind> event_queue_;
   bool telemetry_ = true;
   bool cc_ = false;

@@ -317,6 +317,8 @@ void emit_point_manifest(JsonWriter& json, const PointManifest& m) {
   json.key("events_processed").value(m.events_processed);
   json.key("events_scheduled").value(m.events_scheduled);
   json.key("events_per_sec").value(m.events_per_sec);
+  json.key("threads").value(static_cast<std::uint64_t>(m.threads));
+  json.key("shards").value(static_cast<std::uint64_t>(m.shards));
   json.key("event_queue");
   emit_queue_stats(json, m.queue);
   json.end_object();
@@ -460,7 +462,9 @@ std::string BenchReport::to_json() const {
 
   JsonWriter json;
   json.begin_object();
-  json.key("schema").value("mlid-bench-v3");
+  // v4: point manifests additionally record the actual parallelism
+  // (worker threads + engine shards) that computed each point.
+  json.key("schema").value("mlid-bench-v4");
   json.key("name").value(name_);
   json.key("manifest").begin_object();
   json.key("git").value(git_describe());

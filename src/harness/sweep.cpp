@@ -9,6 +9,7 @@
 
 #include "common/rng.hpp"
 #include "common/text_table.hpp"
+#include "parallel/sharded.hpp"
 
 namespace mlid {
 
@@ -55,6 +56,7 @@ std::vector<SweepPoint> run_sweep(const FigureSpec& base_spec,
   if (options.sample_interval_ns) {
     spec.sim.sample_interval_ns = *options.sample_interval_ns;
   }
+  MLID_EXPECT(options.shards >= 1, "SweepOptions::shards must be >= 1");
   unsigned threads = options.threads;
 
   const FatTreeParams params(spec.m, spec.n);
@@ -103,9 +105,22 @@ std::vector<SweepPoint> run_sweep(const FigureSpec& base_spec,
       traffic.seed = sweep_traffic_seed(spec.traffic.seed, job.point.vls,
                                         job.point.load);
       const auto start = std::chrono::steady_clock::now();
-      Simulation sim = Simulation::open_loop(*subnets[job.subnet_index], cfg,
-                                             traffic, job.point.load);
-      job.point.result = sim.run();
+      if (options.shards > 1) {
+        // Sharded engine per point.  With several sweep workers already in
+        // flight the shards drain inline (1 thread) to avoid oversubscribing
+        // the host; a single-worker sweep lets the engine pick its own pool.
+        ShardedSimulation sim = ShardedSimulation::open_loop(
+            *subnets[job.subnet_index], cfg, traffic, job.point.load,
+            {static_cast<std::uint32_t>(options.shards),
+             threads > 1 ? 1u : 0u});
+        job.point.result = sim.run();
+        job.point.manifest.queue = sim.queue_stats();
+      } else {
+        Simulation sim = Simulation::open_loop(*subnets[job.subnet_index],
+                                               cfg, traffic, job.point.load);
+        job.point.result = sim.run();
+        job.point.manifest.queue = sim.queue_stats();
+      }
       const double wall =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         start)
@@ -119,7 +134,8 @@ std::vector<SweepPoint> run_sweep(const FigureSpec& base_spec,
           wall > 0.0
               ? static_cast<double>(job.point.result.events_processed) / wall
               : 0.0;
-      job.point.manifest.queue = sim.queue_stats();
+      job.point.manifest.threads = threads;
+      job.point.manifest.shards = options.shards;
     }
   };
   if (threads <= 1) {

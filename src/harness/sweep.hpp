@@ -37,6 +37,11 @@ struct PointManifest {
   std::uint64_t events_processed = 0;
   std::uint64_t events_scheduled = 0;
   double events_per_sec = 0.0;
+  /// Actual parallelism that computed this point: resolved sweep worker
+  /// count (never 0 -- the 0 in SweepOptions means "pick for me") and the
+  /// engine shard count (1 = the sequential engine ran this point).
+  std::uint32_t threads = 1;
+  std::uint32_t shards = 1;
   EventQueueStats queue;              ///< pending-event structure internals
 };
 
@@ -73,6 +78,12 @@ struct SweepPoint {
 /// changes nothing about the spec.
 struct SweepOptions {
   unsigned threads = 0;  ///< worker threads (0 = hardware concurrency)
+  /// Engine shards per point (parallel/sharded.hpp).  1 runs the sequential
+  /// engine; >1 routes every point through ShardedSimulation, which forces
+  /// the canonical event order -- results then match a sequential run with
+  /// SimConfig::event_order == EventOrder::kCanonical, not the kFifo
+  /// default.  Must be >= 1.
+  unsigned shards = 1;
   /// CI-sized run: shrink the measurement window and load grid to the
   /// smoke values (warmup 5 us, measure 20 us, loads {0.10, 0.40, 0.80}).
   bool quick = false;

@@ -30,6 +30,11 @@ struct Packet {
   SimTime delivered_at = -1;  ///< tail received at the destination
   MessageId msg = kNoMessage; ///< owning message (burst workloads only)
   std::uint16_t hops = 0;     ///< switches traversed
+  /// Deterministic generation order: (src << 32 | per-source counter) for
+  /// open-loop packets, global segment index for burst workloads.  Stable
+  /// across shard counts (unlike the pool PacketId), so it serves as the
+  /// canonical event tie-break key (EventOrder::kCanonical).
+  std::uint64_t corder = 0;
   /// Forward Explicit Congestion Notification (CCA): set by a congested
   /// switch, echoed back to the source by the destination HCA as a BECN.
   /// The BECN itself travels as a control event (EventKind::kBecnArrive),

@@ -1,0 +1,68 @@
+#include "parallel/partition.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace mlid {
+
+ShardPlan ShardPlan::subtree(const FatTreeFabric& fabric, std::uint32_t shards,
+                             const SimConfig& config) {
+  const FatTreeParams& params = fabric.params();
+  const Fabric& graph = fabric.fabric();
+  const std::uint32_t num_nodes = params.num_nodes();
+
+  MLID_EXPECT(shards >= 1, "shard count must be positive");
+  MLID_EXPECT(shards <= num_nodes,
+              "cannot split a fabric into more shards than endnodes");
+
+  ShardPlan plan;
+  plan.num_shards = shards;
+  plan.lookahead_ns = config.flying_time_ns;
+  if (config.cc.enabled) {
+    plan.lookahead_ns = std::min(plan.lookahead_ns, config.cc.becn_delay_ns);
+  }
+  MLID_EXPECT(shards == 1 || plan.lookahead_ns >= 1,
+              "sharded runs need at least 1 ns of link lookahead "
+              "(flying_time_ns, and becn_delay_ns when CC is on)");
+
+  plan.node_shard.resize(num_nodes);
+  for (std::uint32_t node = 0; node < num_nodes; ++node) {
+    // Contiguous blocks in PID order: PIDs enumerate labels
+    // lexicographically, so a block is a union of adjacent subtrees.
+    plan.node_shard[node] = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(node) * shards / num_nodes);
+  }
+
+  plan.dev_shard.resize(graph.num_devices());
+  for (DeviceId dev = 0; dev < graph.num_devices(); ++dev) {
+    const Device& device = graph.device(dev);
+    if (device.kind() == DeviceKind::kEndnode) {
+      plan.dev_shard[dev] = plan.node_shard[device.node_id];
+      continue;
+    }
+    if (fabric.switch_label(device.switch_id).level() == 0) {
+      // Roots belong to no subtree (each one reaches every node, and the
+      // m/2 roots differing only in digit 0 share a leftmost descendant),
+      // so spread them round-robin instead of piling them on one shard.
+      plan.dev_shard[dev] = device.switch_id % shards;
+      continue;
+    }
+    // Non-root switch: follow down port 1 to its leftmost descendant
+    // endnode and co-locate with it.  The walk descends one level per hop
+    // (down ports are the low-numbered physical ports), so it terminates
+    // at a leaf-attached node.  Requires a pristine fabric, which is the
+    // state every run starts in -- faults arrive as scheduled events.
+    DeviceId cursor = dev;
+    while (graph.device(cursor).kind() == DeviceKind::kSwitch) {
+      const PortRef down = graph.peer_of(cursor, 1);
+      MLID_EXPECT(down.valid(),
+                  "partition requires a fully wired fabric (port 1 walk)");
+      cursor = down.device;
+    }
+    plan.dev_shard[dev] = plan.node_shard[graph.device(cursor).node_id];
+  }
+  return plan;
+}
+
+}  // namespace mlid

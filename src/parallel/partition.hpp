@@ -1,0 +1,41 @@
+// Fabric partitioning for the sharded conservative-sync engine.
+//
+// The m-port n-tree's subtree structure (the same structure the paper's gcp
+// algebra exploits for LID assignment) gives a natural shard boundary:
+// endnodes split into contiguous blocks, every non-root switch follows its
+// leftmost descendant endnode, and root switches -- which belong to no
+// subtree -- round-robin across shards.  Correctness never depends on the
+// partition (any ownership map yields bit-identical results; see
+// parallel/sharded.hpp); the subtree layout just keeps most hops
+// shard-local so boundary traffic stays small.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/config.hpp"
+#include "topology/builder.hpp"
+
+namespace mlid {
+
+/// Ownership map of one sharded run: which shard dispatches events for each
+/// device / node, plus the conservative lookahead the link timing allows.
+struct ShardPlan {
+  std::uint32_t num_shards = 1;
+  std::vector<std::uint32_t> dev_shard;   ///< by DeviceId
+  std::vector<std::uint32_t> node_shard;  ///< by NodeId
+  /// Conservative-sync window width: the minimum simulated time any event
+  /// takes to cross a shard boundary.  Link flying time, tightened by the
+  /// BECN echo delay when congestion control is on.
+  SimTime lookahead_ns = 0;
+
+  /// Subtree partition of `fabric` into `shards` pieces (1 <= shards <=
+  /// num_nodes).  Shard counts above 1 require lookahead >= 1 ns, i.e.
+  /// config.flying_time_ns >= 1 (and cc.becn_delay_ns >= 1 when CC is on).
+  [[nodiscard]] static ShardPlan subtree(const FatTreeFabric& fabric,
+                                         std::uint32_t shards,
+                                         const SimConfig& config);
+};
+
+}  // namespace mlid

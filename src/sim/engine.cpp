@@ -20,6 +20,30 @@ Simulation Simulation::burst(const Subnet& subnet, const SimConfig& config,
   return Simulation(subnet, config, workload);
 }
 
+Simulation Simulation::open_loop_shard(const Subnet& subnet,
+                                       const SimConfig& config,
+                                       const TrafficConfig& traffic,
+                                       double offered_load, SubnetManager* sm,
+                                       const ShardBinding& binding) {
+  Simulation sim(subnet, config, traffic, offered_load, /*burst=*/false,
+                 &binding);
+  if (sm != nullptr) {
+    MLID_EXPECT(&sm->subnet() == &subnet,
+                "the SM must manage the subnet this simulation runs on");
+    // Live tables only: the driver owns the fault schedule and replicates
+    // control dispatch itself (attach_live_sm would queue events here).
+    sim.sm_ = sm;
+  }
+  return sim;
+}
+
+Simulation Simulation::burst_shard(const Subnet& subnet,
+                                   const SimConfig& config,
+                                   const std::vector<MessageSpec>& workload,
+                                   const ShardBinding& binding) {
+  return Simulation(subnet, config, workload, &binding);
+}
+
 Simulation::Simulation(const Subnet& subnet, SimConfig config,
                        TrafficConfig traffic, double offered_load,
                        const OpenLoopOptions& options)
@@ -33,9 +57,10 @@ Simulation::Simulation(const Subnet& subnet, SimConfig config,
 }
 
 Simulation::Simulation(const Subnet& subnet, SimConfig config,
-                       const std::vector<MessageSpec>& workload)
+                       const std::vector<MessageSpec>& workload,
+                       const ShardBinding* binding)
     : Simulation(subnet, config, TrafficConfig{}, /*offered_load=*/1.0,
-                 /*burst=*/true) {
+                 /*burst=*/true, binding) {
   MLID_EXPECT(!workload.empty(), "burst workload is empty");
   MLID_EXPECT(cfg_.sample_interval_ns == 0,
               "the interval sampler is open-loop only (burst runs have no "
@@ -45,6 +70,10 @@ Simulation::Simulation(const Subnet& subnet, SimConfig config,
   cfg_.measure_ns = kSimTimeNever / 4;
   const std::uint32_t num_nodes = subnet.fabric().params().num_nodes();
   msgs_.reserve(workload.size());
+  // Packet::corder is the global segment index over the workload's iteration
+  // order, counted across every message even when a shard materializes only
+  // its owned sources -- that keeps the key identical for any shard count.
+  std::uint64_t segment_corder = 0;
   for (const MessageSpec& spec : workload) {
     MLID_EXPECT(spec.src < num_nodes && spec.dst < num_nodes,
                 "message endpoint out of range");
@@ -53,9 +82,13 @@ Simulation::Simulation(const Subnet& subnet, SimConfig config,
     const auto mid = static_cast<MessageId>(msgs_.size());
     std::uint32_t remaining = spec.bytes;
     std::uint32_t segments = 0;
+    const bool owned = owns_node(spec.src);
     while (remaining > 0) {
       const std::uint32_t size = std::min(remaining, cfg_.packet_bytes);
       remaining -= size;
+      const std::uint64_t corder = segment_corder++;
+      ++segments;
+      if (!owned) continue;
       const PacketId id = alloc_packet();
       Packet& pkt = pool_[id];
       pkt.src = spec.src;
@@ -66,7 +99,7 @@ Simulation::Simulation(const Subnet& subnet, SimConfig config,
       pkt.size_bytes = size;
       pkt.generated_at = 0;
       pkt.msg = mid;
-      ++segments;
+      pkt.corder = corder;
       ++result_.packets_generated;
       ++burst_packets_;
       burst_bytes_ += size;
@@ -74,10 +107,13 @@ Simulation::Simulation(const Subnet& subnet, SimConfig config,
       ns.source_queue[pkt.vl].push_back(id);
       ++ns.queued_pkts;
     }
+    // Every shard tracks every message (segment counts are shard-independent)
+    // so the driver's delivery replay can complete them on shard 0.
     msgs_.push_back(MsgState{segments, -1});
   }
-  // Prime every NIC once; subsequent pulls chain off tail-out events.
+  // Prime every owned NIC once; subsequent pulls chain off tail-out events.
   for (NodeId node = 0; node < num_nodes; ++node) {
+    if (!owns_node(node)) continue;
     for (int vl = 0; vl < cfg_.num_vls; ++vl) {
       try_source_pull(node, static_cast<VlId>(vl), 0);
     }
@@ -85,19 +121,33 @@ Simulation::Simulation(const Subnet& subnet, SimConfig config,
 }
 
 Simulation::Simulation(const Subnet& subnet, SimConfig config,
-                       TrafficConfig traffic, double offered_load, bool burst)
+                       TrafficConfig traffic, double offered_load, bool burst,
+                       const ShardBinding* binding)
     : subnet_(&subnet),
       cfg_(config),
       traffic_(traffic, subnet.fabric().params().num_nodes()),
       offered_load_(offered_load),
       gen_interval_ns_(static_cast<double>(config.packet_wire_ns()) /
                        offered_load),
-      events_(config.event_queue),
+      events_(config.event_queue, config.event_order),
       latency_hist_(0.0, 400'000.0, 4000),
       victim_hist_(0.0, 400'000.0, 4000),
       hot_hist_(0.0, 400'000.0, 4000) {
   cfg_.validate();
   burst_ = burst;
+  if (binding != nullptr) {
+    shard_ = *binding;
+    MLID_EXPECT(shard_.outbox != nullptr && shard_.control != nullptr &&
+                    shard_.dev_shard != nullptr && shard_.node_shard != nullptr,
+                "incomplete shard binding");
+    MLID_EXPECT(cfg_.event_order == EventOrder::kCanonical,
+                "sharded runs require the canonical event order");
+    MLID_EXPECT(cfg_.trace_packets == 0 && cfg_.sample_interval_ns == 0 &&
+                    cfg_.flight_recorder_depth == 0 && !cfg_.trace_control,
+                "per-event observability (packet traces, sampler, flight "
+                "recorder, control trace) is sequential-only; drop --shards "
+                "to use it");
+  }
   MLID_EXPECT(burst || (offered_load > 0.0 && offered_load <= 1.0),
               "offered load must be in (0, 1]");
 
@@ -182,10 +232,12 @@ Simulation::Simulation(const Subnet& subnet, SimConfig config,
   if (!burst_) {
     Xoshiro256 stagger(seeder.next());
     for (NodeId node = 0; node < num_nodes; ++node) {
+      // Every shard draws every node's stagger (keeping the stream aligned
+      // with the sequential run) but seeds generation only for owned nodes.
       nodes_[node].next_gen_ns = stagger.uniform01() * gen_interval_ns_;
-      events_.push(
-          static_cast<SimTime>(std::llround(nodes_[node].next_gen_ns)),
-          EventKind::kGenerate, node);
+      if (!owns_node(node)) continue;
+      schedule(static_cast<SimTime>(std::llround(nodes_[node].next_gen_ns)),
+               EventKind::kGenerate, node);
     }
   }
 }
@@ -200,14 +252,92 @@ void Simulation::attach_live_sm(SubnetManager& sm,
   sm_ = &sm;
   for (const FaultEvent& f : faults.events()) {
     if (f.fail) {
-      events_.push(f.at, EventKind::kLinkFail, f.dev_a, f.port_a);
+      schedule(f.at, EventKind::kLinkFail, f.dev_a, f.port_a);
     } else {
       // kLinkRecover names both endpoints: the second one travels in the
       // otherwise unused pkt (device) and vl (port) payload fields.
-      events_.push(f.at, EventKind::kLinkRecover, f.dev_a, f.port_a,
-                   static_cast<VlId>(f.port_b), static_cast<PacketId>(f.dev_b));
+      schedule(f.at, EventKind::kLinkRecover, f.dev_a, f.port_a,
+               static_cast<VlId>(f.port_b), static_cast<PacketId>(f.dev_b));
     }
   }
+}
+
+// --- shard-mode event routing ------------------------------------------------
+
+std::uint32_t Simulation::target_shard(EventKind kind,
+                                       DeviceId dev) const noexcept {
+  switch (kind) {
+    case EventKind::kGenerate:
+    case EventKind::kBecnArrive:
+    case EventKind::kCctTimer:
+    case EventKind::kCcRelease:
+      // Node-scoped: `dev` carries a NodeId.
+      return (*shard_.node_shard)[dev];
+    default:
+      return (*shard_.dev_shard)[dev];
+  }
+}
+
+std::uint64_t Simulation::corder_of(EventKind kind, PacketId pkt) const {
+  switch (kind) {
+    case EventKind::kHeadArrive:
+    case EventKind::kRouted:
+    case EventKind::kTailOut:
+    case EventKind::kDeliver:
+      return pool_[pkt].corder;
+    case EventKind::kBecnArrive:
+      return pkt;  // payload: the congested destination node
+    default:
+      // Remaining kinds are either unique per (time, kind, dev, port, vl)
+      // or commutative when tied (multiple credit returns to one slot).
+      return 0;
+  }
+}
+
+void Simulation::schedule(SimTime time, EventKind kind, DeviceId dev,
+                          PortId port, VlId vl, PacketId pkt) {
+  if (!sharded()) {
+    events_.push(time, kind, dev, port, vl, pkt, corder_of(kind, pkt));
+    return;
+  }
+  switch (kind) {
+    case EventKind::kLinkFail:
+    case EventKind::kLinkRecover:
+    case EventKind::kTrap:
+    case EventKind::kSweepDone:
+    case EventKind::kLftProgram:
+      // Control plane: the driver owns these (its control queue dispatches
+      // them in sequential global timesteps).
+      shard_.control->push_back(
+          ShardMessage{time, kind, dev, pkt, port, vl, 0, false, Packet{}});
+      return;
+    default:
+      break;
+  }
+  const std::uint64_t corder = corder_of(kind, pkt);
+  if (target_shard(kind, dev) == shard_.shard_id) {
+    events_.push(time, kind, dev, port, vl, pkt, corder);
+    return;
+  }
+  ShardMessage msg{time, kind, dev, pkt, port, vl, corder, false, Packet{}};
+  if (kind == EventKind::kHeadArrive) {
+    // Packet handoff: the receiving shard re-homes the copy in its own
+    // pool; our entry becomes a stale duplicate that dies at tail-out.
+    msg.has_packet = true;
+    msg.packet = pool_[pkt];
+    msg.pkt = kInvalidPacket;
+    rt_[pkt].handed_off = true;
+  }
+  shard_.outbox->push_back(msg);
+}
+
+void Simulation::receive(const ShardMessage& msg) {
+  PacketId pkt = msg.pkt;
+  if (msg.has_packet) {
+    pkt = alloc_packet();
+    pool_[pkt] = msg.packet;
+  }
+  events_.push(msg.time, msg.kind, msg.dev, msg.port, msg.vl, pkt, msg.corder);
 }
 
 // --- packet pool ------------------------------------------------------------
@@ -262,6 +392,8 @@ void Simulation::on_generate(NodeId node, SimTime now) {
   pkt.vl = assign_vl(node, dst);
   pkt.size_bytes = cfg_.packet_bytes;
   pkt.generated_at = now;
+  pkt.corder = (static_cast<std::uint64_t>(node) << 32) |
+               nodes_[node].generated++;
   ++result_.packets_generated;
   if (traces_.size() < cfg_.trace_packets &&
       (result_.packets_generated - 1) % cfg_.trace_stride == 0) {
@@ -279,9 +411,9 @@ void Simulation::on_generate(NodeId node, SimTime now) {
   try_source_pull(node, pkt.vl, now);
 
   ns.next_gen_ns += gen_interval_ns_;
-  events_.push(std::max(now + 1, static_cast<SimTime>(
-                                     std::llround(ns.next_gen_ns))),
-               EventKind::kGenerate, node);
+  schedule(std::max(now + 1,
+                    static_cast<SimTime>(std::llround(ns.next_gen_ns))),
+           EventKind::kGenerate, node);
 }
 
 void Simulation::try_source_pull(NodeId node, VlId vl, SimTime now) {
@@ -309,7 +441,7 @@ void Simulation::try_source_pull(NodeId node, VlId vl, SimTime now) {
       if (!cn.release_scheduled) {
         cn.release_scheduled = true;
         cn.stats.throttled_ns += static_cast<std::uint64_t>(earliest - now);
-        events_.push(earliest, EventKind::kCcRelease, node);
+        schedule(earliest, EventKind::kCcRelease, node);
       }
       return;
     }
@@ -384,8 +516,8 @@ void Simulation::drop_in_switch(PacketId pkt, SimTime now) {
     // timestamp): its credits are void, so the return is simply skipped.
     const PortRef up = subnet_->fabric().fabric().peer_of(rt.dev, rt.in_port);
     if (up.valid()) {
-      events_.push(now + cfg_.flying_time_ns, EventKind::kCreditArrive,
-                   up.device, up.port, pool_[pkt].vl);
+      schedule(now + cfg_.flying_time_ns, EventKind::kCreditArrive, up.device,
+               up.port, pool_[pkt].vl);
     }
   }
   trace_event(pkt, now, TracePoint::kDropped, rt.dev, rt.out_port,
@@ -454,7 +586,7 @@ void Simulation::on_link_fail(DeviceId dev, PortId port, SimTime now) {
   kill_port(dev, port, now);
   kill_port(peer.device, peer.port, now);
   for (const auto& trap : traps) {
-    events_.push(trap.at, EventKind::kTrap, trap.reporter, trap.port);
+    schedule(trap.at, EventKind::kTrap, trap.reporter, trap.port);
   }
 }
 
@@ -465,7 +597,7 @@ void Simulation::on_link_recover(DeviceId dev_a, PortId port_a,
   revive_port(dev_a, port_a);
   revive_port(dev_b, port_b);
   for (const auto& trap : traps) {
-    events_.push(trap.at, EventKind::kTrap, trap.reporter, trap.port);
+    schedule(trap.at, EventKind::kTrap, trap.reporter, trap.port);
   }
 }
 
@@ -486,7 +618,7 @@ void Simulation::try_tx(DeviceId dev, PortId port, SimTime now) {
   if (out.busy_until > now) {
     if (!out.retry_scheduled) {
       out.retry_scheduled = true;
-      events_.push(out.busy_until, EventKind::kTryTx, dev, port);
+      schedule(out.busy_until, EventKind::kTryTx, dev, port);
     }
     return;
   }
@@ -581,9 +713,9 @@ void Simulation::try_tx(DeviceId dev, PortId port, SimTime now) {
               from_endnode ? TracePoint::kInjected : TracePoint::kForwarded,
               dev, port, static_cast<VlId>(chosen));
   const auto vl_id = static_cast<VlId>(chosen);
-  events_.push(now + cfg_.flying_time_ns, EventKind::kHeadArrive,
-               out.peer.device, out.peer.port, vl_id, pkt);
-  events_.push(now + wire, EventKind::kTailOut, dev, port, vl_id, pkt);
+  schedule(now + cfg_.flying_time_ns, EventKind::kHeadArrive, out.peer.device,
+           out.peer.port, vl_id, pkt);
+  schedule(now + wire, EventKind::kTailOut, dev, port, vl_id, pkt);
   // The packet's input-side slot on *this* switch drains as the tail leaves
   // (at now + wire); the credit then flies back upstream.  Scheduled here --
   // not in on_tail_out -- because rt_[pkt] is re-pointed at the downstream
@@ -595,8 +727,8 @@ void Simulation::try_tx(DeviceId dev, PortId port, SimTime now) {
     // was already buffered here, so it survives and forwards normally);
     // the freed input slot then has no upstream to credit.
     if (up.valid()) {
-      events_.push(now + wire + cfg_.flying_time_ns, EventKind::kCreditArrive,
-                   up.device, up.port, vl_id);
+      schedule(now + wire + cfg_.flying_time_ns, EventKind::kCreditArrive,
+               up.device, up.port, vl_id);
     } else {
       MLID_ASSERT(sm_ != nullptr, "unconnected in-port without a live SM");
     }
@@ -621,13 +753,13 @@ void Simulation::on_head_arrive(DeviceId dev, PortId port, VlId vl,
   const Device& device = subnet_->fabric().fabric().device(dev);
   if (device.kind() == DeviceKind::kEndnode) {
     // Tail arrives one serialization time later; deliver then.
-    events_.push(now + wire_ns(pkt), EventKind::kDeliver, dev, port, vl, pkt);
+    schedule(now + wire_ns(pkt), EventKind::kDeliver, dev, port, vl, pkt);
     return;
   }
   rt_[pkt].dev = dev;
   rt_[pkt].in_port = port;
-  events_.push(now + cfg_.routing_delay_ns, EventKind::kRouted, dev, port, vl,
-               pkt);
+  schedule(now + cfg_.routing_delay_ns, EventKind::kRouted, dev, port, vl,
+           pkt);
 }
 
 PortId Simulation::pick_output(DeviceId dev, const Device& device, VlId vl,
@@ -748,8 +880,8 @@ void Simulation::return_credit_upstream(DeviceId dev, PortId in_port, VlId vl,
     MLID_ASSERT(sm_ != nullptr, "credit return on an unconnected port");
     return;
   }
-  events_.push(now + cfg_.flying_time_ns, EventKind::kCreditArrive, up.device,
-               up.port, vl);
+  schedule(now + cfg_.flying_time_ns, EventKind::kCreditArrive, up.device,
+           up.port, vl);
 }
 
 void Simulation::on_tail_out(DeviceId dev, PortId port, VlId vl, PacketId pkt,
@@ -772,7 +904,12 @@ void Simulation::on_tail_out(DeviceId dev, PortId port, VlId vl, PacketId pkt,
     grant_output(dev, port, vl, next, now);
   }
 
-  (void)pkt;  // identity asserted above; ownership already handed off
+  if (rt_[pkt].handed_off) {
+    // Shard mode: the head crossed a shard boundary at transmit time and the
+    // receiving shard owns the live copy now; ours dies with the tail.
+    rt_[pkt].handed_off = false;
+    release_packet(pkt);
+  }
   // The packet's tail has left this device.  The matching upstream credit
   // was already scheduled at transmit time (see try_tx); the only
   // input-side resource handled here is the NIC's source queue.
@@ -793,19 +930,48 @@ void Simulation::on_deliver(DeviceId dev, PortId port, VlId vl, PacketId pkt,
               "packet delivered to a node that does not own its DLID");
   p.delivered_at = now;
   ++result_.packets_delivered;
+  const DeliveryRecord rec{now,          dev,   vl,    p.corder,
+                           p.generated_at, p.injected_at, p.size_bytes,
+                           p.dst,        p.hops, p.msg};
+  if (sharded()) {
+    // The Welford windows and histograms are accumulation-order sensitive;
+    // log the delivery and let the driver replay the global log on shard 0
+    // in canonical order, reproducing the sequential accumulation sequence.
+    deliveries_.push_back(rec);
+  } else {
+    accumulate_delivery(rec);
+  }
+  if (cc_on() && p.fecn) {
+    // BECN return: the destination HCA echoes the mark to the source as a
+    // small control packet, modeled as a delayed event like SM traps.
+    ++cc_becn_sent_;
+    ++cc_nodes_[p.dst].stats.becn_sent;
+    schedule(now + cfg_.cc.becn_delay_ns, EventKind::kBecnArrive, p.src, 0, 0,
+             static_cast<PacketId>(p.dst));
+  }
+  last_delivery_ = std::max(last_delivery_, now);
+  trace_event(pkt, now, TracePoint::kDelivered, dev, port, vl);
+  // The destination endnode consumes at link rate: its input slot frees as
+  // the tail lands, so the credit travels back immediately.
+  return_credit_upstream(dev, port, vl, now);
+  release_packet(pkt);
+}
+
+void Simulation::accumulate_delivery(const DeliveryRecord& rec) {
+  const SimTime now = rec.time;
   if (now >= cfg_.warmup_ns && now < cfg_.end_time()) {
     ++result_.packets_measured;
-    bytes_accepted_window_ += p.size_bytes;
-    ++delivered_per_vl_[vl];
-    latency_per_vl_[vl].add(static_cast<double>(now - p.generated_at));
-    bytes_per_node_[p.dst] += p.size_bytes;
-    const auto lat = static_cast<double>(now - p.generated_at);
+    bytes_accepted_window_ += rec.size_bytes;
+    ++delivered_per_vl_[rec.vl];
+    latency_per_vl_[rec.vl].add(static_cast<double>(now - rec.generated_at));
+    bytes_per_node_[rec.dst] += rec.size_bytes;
+    const auto lat = static_cast<double>(now - rec.generated_at);
     latency_window_.add(lat);
     latency_hist_.add(lat);
-    net_latency_window_.add(static_cast<double>(now - p.injected_at));
-    hops_window_.add(static_cast<double>(p.hops));
+    net_latency_window_.add(static_cast<double>(now - rec.injected_at));
+    hops_window_.add(static_cast<double>(rec.hops));
     if (traffic_.config().kind == TrafficKind::kCentric) {
-      if (p.dst == traffic_.config().hot_node) {
+      if (rec.dst == traffic_.config().hot_node) {
         hot_window_.add(lat);
         hot_hist_.add(lat);
       } else {
@@ -816,13 +982,14 @@ void Simulation::on_deliver(DeviceId dev, PortId port, VlId vl, PacketId pkt,
     if (cfg_.telemetry) {
       result_.latency_log2_hist.add(lat);
       result_.queue_log2_hist.add(
-          static_cast<double>(p.injected_at - p.generated_at));
-      result_.network_log2_hist.add(static_cast<double>(now - p.injected_at));
-      result_.latency_log2_per_vl[vl].add(lat);
+          static_cast<double>(rec.injected_at - rec.generated_at));
+      result_.network_log2_hist.add(
+          static_cast<double>(now - rec.injected_at));
+      result_.latency_log2_per_vl[rec.vl].add(lat);
     }
   }
-  if (p.msg != kNoMessage) {
-    MsgState& msg = msgs_[p.msg];
+  if (rec.msg != kNoMessage) {
+    MsgState& msg = msgs_[rec.msg];
     MLID_ASSERT(msg.remaining_segments > 0, "message over-delivered");
     if (--msg.remaining_segments == 0) {
       msg.completed_at = now;
@@ -830,20 +997,6 @@ void Simulation::on_deliver(DeviceId dev, PortId port, VlId vl, PacketId pkt,
       if (cfg_.telemetry) msg_latency_hist_.add(static_cast<double>(now));
     }
   }
-  if (cc_on() && p.fecn) {
-    // BECN return: the destination HCA echoes the mark to the source as a
-    // small control packet, modeled as a delayed event like SM traps.
-    ++cc_becn_sent_;
-    ++cc_nodes_[p.dst].stats.becn_sent;
-    events_.push(now + cfg_.cc.becn_delay_ns, EventKind::kBecnArrive, p.src,
-                 0, 0, static_cast<PacketId>(p.dst));
-  }
-  last_delivery_ = std::max(last_delivery_, now);
-  trace_event(pkt, now, TracePoint::kDelivered, dev, port, vl);
-  // The destination endnode consumes at link rate: its input slot frees as
-  // the tail lands, so the credit travels back immediately.
-  return_credit_upstream(dev, port, vl, now);
-  release_packet(pkt);
 }
 
 // --- congestion control ------------------------------------------------------
@@ -870,14 +1023,14 @@ void Simulation::on_becn(NodeId src, NodeId dst, SimTime now) {
   ++cc_index_hist_[idx];
   if (!cn.timer_armed) {
     cn.timer_armed = true;
-    events_.push(now + cfg_.cc.timer_ns, EventKind::kCctTimer, src);
+    schedule(now + cfg_.cc.timer_ns, EventKind::kCctTimer, src);
   }
 }
 
 void Simulation::on_cct_timer(NodeId node, SimTime now) {
   ++cc_timer_fires_;
   if (cct_[node].decay()) {
-    events_.push(now + cfg_.cc.timer_ns, EventKind::kCctTimer, node);
+    schedule(now + cfg_.cc.timer_ns, EventKind::kCctTimer, node);
   } else {
     cc_nodes_[node].timer_armed = false;
   }
@@ -1148,14 +1301,13 @@ void Simulation::dispatch(const Event& e) {
     case EventKind::kTrap: {
       const auto sweep_done = sm_->on_trap(e.dev, e.port, e.time);
       if (sweep_done) {
-        events_.push(*sweep_done, EventKind::kSweepDone, e.dev);
+        schedule(*sweep_done, EventKind::kSweepDone, e.dev);
       }
       break;
     }
     case EventKind::kSweepDone:
       for (const auto& op : sm_->on_sweep_done(e.time)) {
-        events_.push(op.at, EventKind::kLftProgram, op.plan_index, 0, 0,
-                     op.epoch);
+        schedule(op.at, EventKind::kLftProgram, op.plan_index, 0, 0, op.epoch);
       }
       break;
     case EventKind::kLftProgram:
@@ -1175,6 +1327,7 @@ void Simulation::dispatch(const Event& e) {
 
 BurstResult Simulation::run_to_completion() {
   MLID_EXPECT(burst_, "run_to_completion needs the burst factory");
+  MLID_EXPECT(!sharded(), "sharded runs go through ShardedSimulation");
   events_.drain_until(std::numeric_limits<SimTime>::max(),
                       [this](const Event& e) {
                         MLID_ASSERT(e.kind != EventKind::kGenerate,
@@ -1185,6 +1338,12 @@ BurstResult Simulation::run_to_completion() {
                   result_.packets_generated,
               "burst did not fully drain");
   check_invariants();
+  return finalize_burst(events_.events_processed(),
+                        events_.events_scheduled());
+}
+
+BurstResult Simulation::finalize_burst(std::uint64_t events_processed,
+                                       std::uint64_t events_scheduled) {
   BurstResult burst;
   burst.makespan_ns = last_delivery_;
   burst.avg_message_latency_ns = msg_latency_.mean();
@@ -1192,8 +1351,8 @@ BurstResult Simulation::run_to_completion() {
   burst.messages = msgs_.size();
   burst.packets = burst_packets_;
   burst.total_bytes = burst_bytes_;
-  burst.events_processed = events_.events_processed();
-  burst.events_scheduled = events_.events_scheduled();
+  burst.events_processed = events_processed;
+  burst.events_scheduled = events_scheduled;
   burst.cc = collect_cc();
   if (cfg_.telemetry) {
     burst.telemetry = true;
@@ -1307,6 +1466,7 @@ void Simulation::check_invariants() const {
 
 SimResult Simulation::run() {
   MLID_EXPECT(!burst_, "burst simulation: use run_to_completion()");
+  MLID_EXPECT(!sharded(), "sharded runs go through ShardedSimulation");
   const SimTime end = cfg_.end_time();
   try {
     if (!timeline_.enabled()) {
@@ -1345,12 +1505,19 @@ SimResult Simulation::run() {
     }
     throw;
   }
+  return finalize_open_loop(events_.events_processed(),
+                            events_.events_scheduled());
+}
+
+SimResult Simulation::finalize_open_loop(std::uint64_t events_processed,
+                                         std::uint64_t events_scheduled) {
+  const SimTime end = cfg_.end_time();
   result_.timeline = timeline_;
 
   result_.offered_load = offered_load_;
   result_.sim_end_ns = end;
-  result_.events_processed = events_.events_processed();
-  result_.events_scheduled = events_.events_scheduled();
+  result_.events_processed = events_processed;
+  result_.events_scheduled = events_scheduled;
   const auto num_nodes =
       static_cast<double>(subnet_->fabric().params().num_nodes());
   result_.accepted_bytes_per_ns_per_node =

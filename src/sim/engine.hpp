@@ -44,6 +44,35 @@ struct OpenLoopOptions {
   FaultSchedule faults;
 };
 
+/// One event crossing a shard boundary in a sharded run (see
+/// parallel/sharded.hpp): a plain value the parallel driver carries from the
+/// scheduling shard's outbox into the owning shard's queue at the next
+/// window barrier.  Packet handoffs (kHeadArrive) carry the packet by value;
+/// the receiver re-allocates it in its own pool.
+struct ShardMessage {
+  SimTime time = 0;
+  EventKind kind = EventKind::kGenerate;
+  DeviceId dev = kInvalidDevice;
+  PacketId pkt = kInvalidPacket;  ///< payload field (BECN dst, recover endpoint)
+  PortId port = 0;
+  VlId vl = 0;
+  std::uint64_t corder = 0;
+  bool has_packet = false;
+  Packet packet;  ///< valid when has_packet
+};
+
+/// Binding of one Simulation instance into a sharded run.  Installed at
+/// construction by ShardedSimulation; all pointers reference driver-owned
+/// storage that outlives the shard.  A null outbox means "not sharded".
+struct ShardBinding {
+  std::uint32_t shard_id = 0;
+  std::uint32_t num_shards = 1;
+  const std::vector<std::uint32_t>* dev_shard = nullptr;   ///< by DeviceId
+  const std::vector<std::uint32_t>* node_shard = nullptr;  ///< by NodeId
+  std::vector<ShardMessage>* outbox = nullptr;   ///< cross-shard data events
+  std::vector<ShardMessage>* control = nullptr;  ///< SM/fault events -> driver
+};
+
 class Simulation {
  public:
   /// Open-loop mode: `offered_load` is the per-node injection rate as a
@@ -129,6 +158,11 @@ class Simulation {
   [[nodiscard]] std::vector<CcNodeStats> cc_node_stats() const;
 
  private:
+  /// The conservative-sync parallel driver (parallel/sharded.hpp) drives
+  /// shard instances through the private machinery: it pops/dispatches
+  /// events, drains outboxes, replays deliveries and merges results.
+  friend class ShardedSimulation;
+
   // --- engine state types ----------------------------------------------------
   struct VlOut {
     std::deque<PacketId> queue;  ///< granted packets, FIFO; head may transmit
@@ -167,16 +201,38 @@ class Simulation {
     PortId in_port = 0;  ///< 0 = came from the local source queue
     PortId out_port = 0;
     std::int32_t trace = -1;  ///< index into traces_, -1 = untraced
+    /// Shard mode: the packet's head crossed a shard boundary; this pool
+    /// entry is a stale copy to be released when its tail finishes.
+    bool handed_off = false;
   };
   struct NodeState {
     std::vector<std::deque<PacketId>> source_queue;  ///< per VL
     double next_gen_ns = 0.0;
     std::uint64_t queued_pkts = 0;
+    std::uint64_t generated = 0;  ///< per-source Packet::corder counter
   };
   struct MsgState {
     std::uint32_t remaining_segments = 0;
     SimTime completed_at = -1;
   };
+  /// Everything accumulate_delivery() needs from one delivered packet.  In a
+  /// sharded run each shard logs these instead of feeding its own Welford
+  /// accumulators; the driver replays the global log on shard 0 in canonical
+  /// order, so the order-sensitive running statistics see the exact sequence
+  /// the sequential oracle produced.
+  struct DeliveryRecord {
+    SimTime time = 0;
+    DeviceId dev = kInvalidDevice;
+    VlId vl = 0;
+    std::uint64_t corder = 0;
+    SimTime generated_at = 0;
+    SimTime injected_at = 0;
+    std::uint32_t size_bytes = 0;
+    NodeId dst = kInvalidNode;
+    std::uint16_t hops = 0;
+    MessageId msg = kNoMessage;
+  };
+
   /// Per-HCA congestion-control state (only populated when cfg_.cc.enabled).
   struct CcNode {
     /// Per-destination earliest next injection: the CCT delay is an
@@ -235,14 +291,61 @@ class Simulation {
                     SimTime now);
   void return_credit_upstream(DeviceId dev, PortId in_port, VlId vl,
                               SimTime now);
-  // Construction happens through the open_loop() / burst() factories only.
+  // Construction happens through the open_loop() / burst() factories only
+  // (plus the *_shard variants ShardedSimulation uses).
   Simulation(const Subnet& subnet, SimConfig config, TrafficConfig traffic,
-             double offered_load, bool burst);  // shared setup
+             double offered_load, bool burst,
+             const ShardBinding* binding = nullptr);  // shared setup
   Simulation(const Subnet& subnet, SimConfig config, TrafficConfig traffic,
              double offered_load, const OpenLoopOptions& options);
   Simulation(const Subnet& subnet, SimConfig config,
-             const std::vector<MessageSpec>& workload);
+             const std::vector<MessageSpec>& workload,
+             const ShardBinding* binding = nullptr);
   void attach_live_sm(SubnetManager& sm, const FaultSchedule& faults);
+
+  // --- shard-mode machinery (driven by ShardedSimulation) ---------------------
+  /// One shard of a sharded open-loop run: seeds only owned nodes, routes
+  /// boundary events through the binding's outbox.  `sm` (optional) is read
+  /// for live tables only; fault events live in the driver's control queue.
+  [[nodiscard]] static Simulation open_loop_shard(const Subnet& subnet,
+                                                  const SimConfig& config,
+                                                  const TrafficConfig& traffic,
+                                                  double offered_load,
+                                                  SubnetManager* sm,
+                                                  const ShardBinding& binding);
+  [[nodiscard]] static Simulation burst_shard(
+      const Subnet& subnet, const SimConfig& config,
+      const std::vector<MessageSpec>& workload, const ShardBinding& binding);
+  [[nodiscard]] bool sharded() const noexcept {
+    return shard_.outbox != nullptr;
+  }
+  [[nodiscard]] bool owns_node(NodeId node) const noexcept {
+    return !sharded() || (*shard_.node_shard)[node] == shard_.shard_id;
+  }
+  /// Shard that must dispatch an event (node-scoped kinds map through the
+  /// node partition, device-scoped through the device partition).
+  [[nodiscard]] std::uint32_t target_shard(EventKind kind,
+                                           DeviceId dev) const noexcept;
+  /// Canonical tie-break key for an event (EventOrder::kCanonical).
+  [[nodiscard]] std::uint64_t corder_of(EventKind kind, PacketId pkt) const;
+  /// The engine's single scheduling point: pushes locally, or -- in shard
+  /// mode -- routes control kinds and other shards' events into the binding.
+  void schedule(SimTime time, EventKind kind, DeviceId dev, PortId port = 0,
+                VlId vl = 0, PacketId pkt = kInvalidPacket);
+  /// Delivers a boundary event from another shard into the local queue,
+  /// re-homing a carried packet into the local pool.
+  void receive(const ShardMessage& msg);
+  /// Feeds one delivered packet into the order-sensitive accumulators
+  /// (Welford windows, histograms, per-VL/per-node tallies, burst message
+  /// completion).  Factored out of on_deliver so sharded runs can replay.
+  void accumulate_delivery(const DeliveryRecord& rec);
+  /// Tail of run(): assembles SimResult from the accumulated state.  Event
+  /// totals are parameters so the driver can pass fleet-wide sums.
+  [[nodiscard]] SimResult finalize_open_loop(std::uint64_t events_processed,
+                                             std::uint64_t events_scheduled);
+  /// Tail of run_to_completion(), same contract.
+  [[nodiscard]] BurstResult finalize_burst(std::uint64_t events_processed,
+                                           std::uint64_t events_scheduled);
   PacketId alloc_packet();
   void release_packet(PacketId pkt);
   [[nodiscard]] SimTime wire_ns(PacketId pkt) const {
@@ -274,6 +377,8 @@ class Simulation {
   // --- wiring -------------------------------------------------------------------
   const Subnet* subnet_;
   SubnetManager* sm_ = nullptr;  ///< live tables + SM state machine, optional
+  ShardBinding shard_;           ///< inert (null outbox) outside sharded runs
+  std::vector<DeliveryRecord> deliveries_;  ///< shard mode only
   SimConfig cfg_;
   TrafficPattern traffic_;
   double offered_load_;

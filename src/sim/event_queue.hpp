@@ -91,12 +91,35 @@ enum class EventKind : std::uint8_t {
 struct Event {
   SimTime time = 0;
   std::uint64_t seq = 0;  ///< insertion order; total-orders simultaneous events
+  /// Content-derived tie-break key, independent of which queue scheduled the
+  /// event (packet generation order for data events, payload for BECNs).
+  /// Only consulted under EventOrder::kCanonical.
+  std::uint64_t corder = 0;
   EventKind kind = EventKind::kGenerate;
   DeviceId dev = kInvalidDevice;
   PacketId pkt = kInvalidPacket;
   PortId port = 0;
   VlId vl = 0;
 };
+
+/// Tie-break rule for events at the same timestamp.
+enum class EventOrder : std::uint8_t {
+  /// Insertion order (seq).  The historical rule: deterministic for a single
+  /// sequential queue, and the default everywhere.
+  kFifo,
+  /// Content key (kind, dev, port, vl, corder) before seq.  Makes the
+  /// dispatch order at each timestamp a pure function of *what* is pending,
+  /// not of which queue (or shard) scheduled it first -- the property the
+  /// sharded engine needs to stay bit-identical to its sequential oracle.
+  /// Events with fully equal content keys are commutative (e.g. two credit
+  /// returns to the same (port, VL)), so seq as the final tie-break never
+  /// changes results.
+  kCanonical,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(EventOrder order) {
+  return order == EventOrder::kFifo ? "fifo" : "canonical";
+}
 
 /// Which pending-event structure the engine runs on.
 enum class EventQueueKind : std::uint8_t {
@@ -146,12 +169,34 @@ struct EarlierEvent {
     return a.seq < b.seq;
   }
 };
+
+/// Runtime-selected strict-weak "earlier" order: (time, seq) under kFifo,
+/// (time, kind, dev, port, vl, corder, seq) under kCanonical.  seq is unique
+/// either way, so both are total orders.
+struct EventCompare {
+  EventOrder order = EventOrder::kFifo;
+
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    if (order == EventOrder::kCanonical) {
+      if (a.kind != b.kind) return a.kind < b.kind;
+      if (a.dev != b.dev) return a.dev < b.dev;
+      if (a.port != b.port) return a.port < b.port;
+      if (a.vl != b.vl) return a.vl < b.vl;
+      if (a.corder != b.corder) return a.corder < b.corder;
+    }
+    return a.seq < b.seq;
+  }
+};
 }  // namespace detail
 
 /// The original binary-heap queue, kept as the bit-identical reference the
 /// ladder queue is validated (and raced) against.
 class HeapEventQueue {
  public:
+  explicit HeapEventQueue(EventOrder order = EventOrder::kFifo)
+      : heap_(Later{detail::EventCompare{order}}) {}
+
   void push(const Event& e) { heap_.push(e); }
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
@@ -166,8 +211,9 @@ class HeapEventQueue {
 
  private:
   struct Later {
+    detail::EventCompare earlier;
     bool operator()(const Event& a, const Event& b) const noexcept {
-      return detail::EarlierEvent{}(b, a);
+      return earlier(b, a);
     }
   };
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
@@ -196,7 +242,10 @@ class LadderEventQueue {
   /// Ring doubles when it averages more than this many events per bucket.
   static constexpr std::size_t kResizeLoad = 8;
 
-  LadderEventQueue() : ring_(kDefaultBuckets) {}
+  explicit LadderEventQueue(EventOrder order = EventOrder::kFifo)
+      : earlier_{order},
+        overflow_(LaterOverflow{detail::EventCompare{order}}),
+        ring_(kDefaultBuckets) {}
 
   void push(const Event& e) {
     ++size_;
@@ -205,10 +254,13 @@ class LadderEventQueue {
       // Arrival into (or, after a peek advanced the horizon, before) the
       // active epoch: merge beyond the drain cursor.  e.seq is larger than
       // every queued seq, so upper_bound lands it after all already-pending
-      // events with the same timestamp.
+      // events with the same order key.  An insertion point *behind* the
+      // cursor cannot arise under kFifo; under kCanonical a same-timestamp
+      // event with a smaller content key clamps to the cursor, which is
+      // exactly where a heap would pop it next.
       const auto it =
           std::upper_bound(drain_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                           drain_.end(), e, detail::EarlierEvent{});
+                           drain_.end(), e, earlier_);
       drain_.insert(it, e);
       return;
     }
@@ -302,7 +354,7 @@ class LadderEventQueue {
     drain_.swap(bucket);
     bucket.clear();
     ring_count_ -= drain_.size();
-    std::sort(drain_.begin(), drain_.end(), detail::EarlierEvent{});
+    std::sort(drain_.begin(), drain_.end(), earlier_);
     max_bucket_events_ =
         std::max(max_bucket_events_, static_cast<std::uint64_t>(drain_.size()));
   }
@@ -322,13 +374,15 @@ class LadderEventQueue {
       std::numeric_limits<std::uint64_t>::max();
 
   struct LaterOverflow {
+    detail::EventCompare earlier;
     bool operator()(const Event& a, const Event& b) const noexcept {
-      return detail::EarlierEvent{}(b, a);
+      return earlier(b, a);
     }
   };
 
-  std::vector<std::vector<Event>> ring_;  ///< epoch e -> ring_[e & mask]
+  detail::EventCompare earlier_;
   std::priority_queue<Event, std::vector<Event>, LaterOverflow> overflow_;
+  std::vector<std::vector<Event>> ring_;  ///< epoch e -> ring_[e & mask]
   std::vector<Event> drain_;  ///< current epoch, sorted; pos_ is the cursor
   std::size_t pos_ = 0;
   std::uint64_t cur_epoch_ = 0;
@@ -346,13 +400,15 @@ class LadderEventQueue {
 /// ordering to the implementation SimConfig::event_queue selects.
 class EventQueue {
  public:
-  explicit EventQueue(EventQueueKind kind = EventQueueKind::kLadder)
-      : kind_(kind) {}
+  explicit EventQueue(EventQueueKind kind = EventQueueKind::kLadder,
+                      EventOrder order = EventOrder::kFifo)
+      : kind_(kind), order_(order), heap_(order), ladder_(order) {}
 
   void push(SimTime time, EventKind kind, DeviceId dev, PortId port = 0,
-            VlId vl = 0, PacketId pkt = kInvalidPacket) {
+            VlId vl = 0, PacketId pkt = kInvalidPacket,
+            std::uint64_t corder = 0) {
     MLID_ASSERT(time >= last_popped_, "scheduling into the past");
-    const Event e{time, next_seq_++, kind, dev, pkt, port, vl};
+    const Event e{time, next_seq_++, corder, kind, dev, pkt, port, vl};
     if (kind_ == EventQueueKind::kHeap) {
       heap_.push(e);
     } else {
@@ -408,6 +464,7 @@ class EventQueue {
   }
 
   [[nodiscard]] EventQueueKind kind() const noexcept { return kind_; }
+  [[nodiscard]] EventOrder order() const noexcept { return order_; }
 
   [[nodiscard]] EventQueueStats stats() const noexcept {
     EventQueueStats s;
@@ -427,6 +484,7 @@ class EventQueue {
 
  private:
   EventQueueKind kind_;
+  EventOrder order_;
   HeapEventQueue heap_;
   LadderEventQueue ladder_;
   std::uint64_t next_seq_ = 0;

@@ -82,12 +82,19 @@ TEST(Cli, EventQueueFlagBothFormsAndDefault) {
   EXPECT_EQ(*two.event_queue(), EventQueueKind::kLadder);
 }
 
+TEST(Cli, ShardsFlagBothFormsAndDefault) {
+  EXPECT_EQ(parse({}).shards(), 1u);
+  EXPECT_EQ(parse({"--shards=4"}).shards(), 4u);
+  EXPECT_EQ(parse({"--shards", "2"}).shards(), 2u);
+}
+
 TEST(Cli, SweepOptionsMirrorTheFlags) {
   const CliOptions opts =
-      parse({"--quick", "--threads=3", "--event-queue=heap",
+      parse({"--quick", "--threads=3", "--shards=2", "--event-queue=heap",
              "--no-telemetry"});
   const SweepOptions sweep = opts.sweep_options();
   EXPECT_EQ(sweep.threads, 3u);
+  EXPECT_EQ(sweep.shards, 2u);
   EXPECT_TRUE(sweep.quick);
   ASSERT_TRUE(sweep.telemetry.has_value());
   EXPECT_FALSE(*sweep.telemetry);
@@ -154,6 +161,17 @@ TEST(CliDeathTest, OutOfRangeValueIsRejected) {
   // Negative where the flag's type is unsigned.
   EXPECT_EXIT(parse({"--threads=-1"}), ::testing::ExitedWithCode(2),
               "--threads");
+}
+
+TEST(CliDeathTest, ZeroParallelismIsRejected) {
+  // An explicit --threads=0 must not silently mean "hardware concurrency",
+  // and a zero shard count has no meaning at all.
+  EXPECT_EXIT(parse({"--threads=0"}), ::testing::ExitedWithCode(2),
+              "--threads must be >= 1");
+  EXPECT_EXIT(parse({"--shards=0"}), ::testing::ExitedWithCode(2),
+              "--shards must be >= 1");
+  EXPECT_EXIT(parse({"--shards=-2"}), ::testing::ExitedWithCode(2),
+              "--shards");
 }
 
 TEST(CliDeathTest, BogusEventQueueKindIsRejected) {

@@ -192,7 +192,7 @@ TEST(Report, BenchReportEmitsTheSchema) {
   b.events_processed = 50;
   report.add("burst-b", b);
   const std::string json = report.to_json();
-  EXPECT_NE(json.find("\"schema\":\"mlid-bench-v3\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"mlid-bench-v4\""), std::string::npos);
   EXPECT_NE(json.find("\"name\":\"unit_bench\""), std::string::npos);
   EXPECT_NE(json.find("\"git\""), std::string::npos);
   EXPECT_NE(json.find("\"seed\":9"), std::string::npos);
@@ -209,6 +209,21 @@ TEST(Report, BenchReportEmitsTheSchema) {
             std::count(json.begin(), json.end(), ']'));
 }
 
+TEST(Report, PointManifestEmitsParallelism) {
+  // v4: every point manifest records the actual parallelism that computed
+  // the point, so a BENCH file read in isolation says how it was made.
+  PointManifest m;
+  m.sim_seed = 7;
+  m.threads = 8;
+  m.shards = 4;
+  BenchReport report("manifest_bench", 1, 8, true);
+  report.add("pt", SimResult{}, m);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"sim_seed\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"threads\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"shards\":4"), std::string::npos);
+}
+
 TEST(Report, BenchReportWritesItsFile) {
   BenchReport report("write_test", 1, 1, false);
   report.add("s", SimResult{});
@@ -220,7 +235,7 @@ TEST(Report, BenchReportWritesItsFile) {
   buf << in.rdbuf();
   // wall_seconds advances between serializations, so compare structure,
   // not the exact bytes.
-  EXPECT_NE(buf.str().find("\"schema\":\"mlid-bench-v3\""), std::string::npos);
+  EXPECT_NE(buf.str().find("\"schema\":\"mlid-bench-v4\""), std::string::npos);
   EXPECT_NE(buf.str().find("\"name\":\"write_test\""), std::string::npos);
   EXPECT_EQ(buf.str().back(), '\n');
   std::remove(path.c_str());

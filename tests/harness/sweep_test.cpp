@@ -4,6 +4,8 @@
 
 #include <set>
 
+#include "harness/report.hpp"
+
 namespace mlid {
 namespace {
 
@@ -47,6 +49,50 @@ TEST(Sweep, ThreadCountDoesNotChangeResults) {
                      parallel[i].result.avg_latency_ns);
     EXPECT_EQ(serial[i].result.packets_measured,
               parallel[i].result.packets_measured);
+  }
+}
+
+TEST(Sweep, RunnerIsDeterministicAcrossThreadCounts) {
+  // The stronger form of the test above: every serialized result field is
+  // byte-identical between a serial and a heavily threaded sweep, and the
+  // reproducibility half of the manifest (seeds, event counts, queue
+  // structure) matches too.  Only wall-clock fields may differ.
+  const FigureSpec spec = tiny_spec();
+  const auto serial = run_sweep(spec, {.threads = 1});
+  const auto parallel = run_sweep(spec, {.threads = 8});
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(to_json(serial[i].result), to_json(parallel[i].result))
+        << "point " << i;
+    EXPECT_EQ(serial[i].manifest.sim_seed, parallel[i].manifest.sim_seed);
+    EXPECT_EQ(serial[i].manifest.traffic_seed,
+              parallel[i].manifest.traffic_seed);
+    EXPECT_EQ(serial[i].manifest.events_processed,
+              parallel[i].manifest.events_processed);
+    EXPECT_EQ(serial[i].manifest.events_scheduled,
+              parallel[i].manifest.events_scheduled);
+    EXPECT_EQ(serial[i].manifest.queue.kind, parallel[i].manifest.queue.kind);
+    // The manifest records the *actual* pool size, never the 0 placeholder.
+    EXPECT_EQ(serial[i].manifest.threads, 1u);
+    EXPECT_GE(parallel[i].manifest.threads, 1u);
+    EXPECT_LE(parallel[i].manifest.threads, 8u);
+    EXPECT_EQ(serial[i].manifest.shards, 1u);
+  }
+}
+
+TEST(Sweep, ShardedPointsMatchTheSequentialCanonicalOracle) {
+  // shards > 1 routes every point through the sharded engine, which forces
+  // the canonical event order -- so the oracle is a sequential sweep with
+  // that same order set explicitly.
+  FigureSpec spec = tiny_spec();
+  spec.sim.event_order = EventOrder::kCanonical;
+  const auto seq = run_sweep(spec, {.threads = 1});
+  const auto sharded = run_sweep(spec, {.threads = 1, .shards = 2});
+  ASSERT_EQ(seq.size(), sharded.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(to_json(seq[i].result), to_json(sharded[i].result))
+        << "point " << i;
+    EXPECT_EQ(sharded[i].manifest.shards, 2u);
   }
 }
 

@@ -1,0 +1,77 @@
+// ShardPlan structural invariants: every device owned by exactly one shard,
+// endnodes co-located with their node, subtree locality for non-root
+// switches, and a positive lookahead whenever more than one shard exists.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "parallel/partition.hpp"
+#include "sim/config.hpp"
+#include "topology/builder.hpp"
+
+namespace mlid {
+namespace {
+
+TEST(ShardPlan, EveryDeviceAndNodeIsOwned) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const SimConfig cfg;
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    const ShardPlan plan = ShardPlan::subtree(fabric, shards, cfg);
+    EXPECT_EQ(plan.num_shards, shards);
+    ASSERT_EQ(plan.dev_shard.size(), fabric.fabric().num_devices());
+    ASSERT_EQ(plan.node_shard.size(), fabric.params().num_nodes());
+    for (const std::uint32_t s : plan.dev_shard) EXPECT_LT(s, shards);
+    for (const std::uint32_t s : plan.node_shard) EXPECT_LT(s, shards);
+    // Node blocks are contiguous and every shard owns at least one node:
+    // shard ids along the node axis are non-decreasing and cover [0, shards).
+    std::uint32_t prev = 0;
+    for (const std::uint32_t s : plan.node_shard) {
+      EXPECT_GE(s, prev);
+      prev = s;
+    }
+    EXPECT_EQ(plan.node_shard.front(), 0u);
+    EXPECT_EQ(plan.node_shard.back(), shards - 1);
+  }
+}
+
+TEST(ShardPlan, EndnodeDevicesFollowTheirNode) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const ShardPlan plan = ShardPlan::subtree(fabric, 4, SimConfig{});
+  for (NodeId n = 0; n < fabric.params().num_nodes(); ++n) {
+    EXPECT_EQ(plan.dev_shard[fabric.node_device(n)], plan.node_shard[n])
+        << "node " << n;
+  }
+}
+
+TEST(ShardPlan, NonRootSwitchesColocateWithLeftmostDescendant) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const ShardPlan plan = ShardPlan::subtree(fabric, 4, SimConfig{});
+  const Fabric& fab = fabric.fabric();
+  for (DeviceId d = 0; d < fab.num_devices(); ++d) {
+    const Device& dev = fab.device(d);
+    if (dev.kind() != DeviceKind::kSwitch) continue;
+    if (fabric.switch_label(dev.switch_id).level() == 0) continue;
+    // Walk down port 1 until an endnode; the switch shares its shard.
+    DeviceId cur = d;
+    while (fab.device(cur).kind() == DeviceKind::kSwitch) {
+      cur = fab.peer_of(cur, 1).device;
+    }
+    EXPECT_EQ(plan.dev_shard[d], plan.dev_shard[cur]) << "switch dev " << d;
+  }
+}
+
+TEST(ShardPlan, LookaheadIsPositiveAndShrinksUnderCc) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  SimConfig cfg;
+  const ShardPlan plain = ShardPlan::subtree(fabric, 4, cfg);
+  EXPECT_EQ(plain.lookahead_ns, cfg.flying_time_ns);
+  EXPECT_GE(plain.lookahead_ns, 1);
+  cfg.cc.enabled = true;
+  const ShardPlan with_cc = ShardPlan::subtree(fabric, 4, cfg);
+  EXPECT_LE(with_cc.lookahead_ns, plain.lookahead_ns);
+  EXPECT_GE(with_cc.lookahead_ns, 1);
+}
+
+}  // namespace
+}  // namespace mlid

@@ -1,0 +1,183 @@
+// Acceptance gate for the sharded conservative-sync engine: for every shard
+// count and every thread count, a sharded run must produce results
+// bit-identical to a sequential run under the canonical event order --
+// open-loop, burst, live-SM fault, and congestion-control scenarios alike.
+// Comparison goes through the JSON export, which serializes every public
+// result field (including Welford-derived latency moments, so float rounding
+// is part of the contract).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "harness/report.hpp"
+#include "parallel/sharded.hpp"
+#include "sim/engine.hpp"
+
+namespace mlid {
+namespace {
+
+SimConfig quick_canonical() {
+  SimConfig cfg;
+  cfg.warmup_ns = 5'000;
+  cfg.measure_ns = 20'000;
+  cfg.seed = 3;
+  // The sequential oracle must use the same dispatch order the sharded
+  // engine forces internally; kFifo ties depend on scheduling order, which
+  // no partitioned run can reproduce.
+  cfg.event_order = EventOrder::kCanonical;
+  return cfg;
+}
+
+TEST(ShardParity, CanonicalOrderIsContentDetermined) {
+  // Same-timestamp events must pop in (kind, dev, port, vl, corder) order
+  // regardless of push order, on both queue structures.
+  for (const auto kind : {EventQueueKind::kHeap, EventQueueKind::kLadder}) {
+    EventQueue q(kind, EventOrder::kCanonical);
+    q.push(10, EventKind::kTailOut, 2, 1);
+    q.push(10, EventKind::kHeadArrive, 5, 1);
+    q.push(10, EventKind::kHeadArrive, 3, 2, 0, kInvalidPacket, 1);
+    q.push(10, EventKind::kHeadArrive, 3, 1, 0, kInvalidPacket, 4);
+    q.push(5, EventKind::kTailOut, 9, 0);
+    const Event first = q.pop();
+    EXPECT_EQ(first.time, 5);
+    EXPECT_EQ(first.dev, 9u);
+    const Event a = q.pop();  // kHeadArrive sorts before kTailOut
+    EXPECT_EQ(a.kind, EventKind::kHeadArrive);
+    EXPECT_EQ(a.dev, 3u);
+    EXPECT_EQ(int{a.port}, 1);
+    const Event b = q.pop();
+    EXPECT_EQ(b.dev, 3u);
+    EXPECT_EQ(int{b.port}, 2);
+    const Event c = q.pop();
+    EXPECT_EQ(c.dev, 5u);
+    const Event d = q.pop();
+    EXPECT_EQ(d.kind, EventKind::kTailOut);
+    EXPECT_EQ(d.dev, 2u);
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+TEST(ShardParity, OpenLoopRunsAreBitIdentical) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const TrafficConfig traffic{TrafficKind::kUniform, 0.2, 0, 9};
+  for (const double load : {0.2, 0.6, 0.9}) {
+    const SimResult oracle =
+        Simulation::open_loop(subnet, quick_canonical(), traffic, load).run();
+    EXPECT_GT(oracle.packets_delivered, 0u);
+    for (const std::uint32_t shards : {1u, 2u, 4u}) {
+      ShardedSimulation sim = ShardedSimulation::open_loop(
+          subnet, quick_canonical(), traffic, load, {shards, 0});
+      EXPECT_EQ(sim.num_shards(), shards);
+      const SimResult sharded = sim.run();
+      EXPECT_EQ(to_json(oracle), to_json(sharded))
+          << "load " << load << " shards " << shards;
+    }
+  }
+}
+
+TEST(ShardParity, ThreadCountDoesNotChangeResults) {
+  // Threads only change which worker drains which shard queue; any count
+  // must reproduce the oracle bit-for-bit.
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const TrafficConfig traffic{TrafficKind::kUniform, 0.2, 0, 9};
+  const SimResult oracle =
+      Simulation::open_loop(subnet, quick_canonical(), traffic, 0.6).run();
+  for (const std::uint32_t threads : {1u, 2u, 4u}) {
+    ShardedSimulation sim = ShardedSimulation::open_loop(
+        subnet, quick_canonical(), traffic, 0.6, {4, threads});
+    const SimResult sharded = sim.run();
+    EXPECT_GE(sim.threads_used(), 1u);
+    EXPECT_LE(sim.threads_used(), 4u);
+    EXPECT_EQ(to_json(oracle), to_json(sharded)) << "threads " << threads;
+  }
+}
+
+TEST(ShardParity, BurstRunsAreBitIdentical) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const auto workload = all_to_all_personalized(16, 512);
+  const BurstResult oracle =
+      Simulation::burst(subnet, quick_canonical(), workload)
+          .run_to_completion();
+  EXPECT_GT(oracle.messages, 0u);
+  EXPECT_EQ(oracle.events_processed, oracle.events_scheduled);
+  for (const std::uint32_t shards : {1u, 2u, 4u}) {
+    const BurstResult sharded =
+        ShardedSimulation::burst(subnet, quick_canonical(), workload,
+                                 {shards, 0})
+            .run_to_completion();
+    EXPECT_EQ(to_json(oracle), to_json(sharded)) << "shards " << shards;
+    EXPECT_EQ(sharded.events_processed, sharded.events_scheduled)
+        << "shards " << shards;
+  }
+}
+
+TEST(ShardParity, LiveSmFaultRunsAreBitIdentical) {
+  // The control plane (faults, traps, sweeps, LFT programs) runs as
+  // sequential global steps inside the sharded driver; its effects must
+  // land identically to the sequential dispatch loop.
+  const FatTreeParams params(4, 3);
+  auto run = [&](std::uint32_t shards) {
+    FatTreeFabric fabric{params};
+    const Subnet subnet(fabric, SchemeKind::kMlid);
+    SubnetManager sm(fabric, subnet);
+    const FaultSchedule faults = FaultSchedule::random_uplink_failures(
+        fabric, /*count=*/2, /*fail_at=*/8'000, /*seed=*/5, /*recover_at=*/
+        18'000);
+    const TrafficConfig traffic{TrafficKind::kUniform, 0.2, 0, 4};
+    if (shards == 0) {
+      return Simulation::open_loop(subnet, quick_canonical(), traffic, 0.6,
+                                   {&sm, faults})
+          .run();
+    }
+    return ShardedSimulation::open_loop(subnet, quick_canonical(), traffic,
+                                        0.6, {shards, 0}, {&sm, faults})
+        .run();
+  };
+  const SimResult oracle = run(0);
+  // Meaningful scenario: the fault machinery actually fired.
+  EXPECT_GT(oracle.sm_traps, 0u);
+  EXPECT_GT(oracle.packets_dropped, 0u);
+  for (const std::uint32_t shards : {1u, 2u, 4u}) {
+    EXPECT_EQ(to_json(oracle), to_json(run(shards))) << "shards " << shards;
+  }
+}
+
+TEST(ShardParity, CongestionControlRunsAreBitIdentical) {
+  // CC couples shards through BECN echoes (delivered-data events at the
+  // *source* node) and per-node CCT state; the lookahead shrinks to the
+  // BECN echo delay and the owner-exclusive CC state merges at the end.
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  SimConfig cfg = quick_canonical();
+  cfg.cc.enabled = true;
+  // Hot-spot traffic so FECN marking actually triggers.
+  const TrafficConfig traffic{TrafficKind::kCentric, 0.4, 3, 9};
+  const SimResult oracle =
+      Simulation::open_loop(subnet, cfg, traffic, 0.9).run();
+  EXPECT_GT(oracle.cc.fecn_marked, 0u);
+  EXPECT_GT(oracle.cc.becn_sent, 0u);
+  for (const std::uint32_t shards : {1u, 2u, 4u}) {
+    const SimResult sharded =
+        ShardedSimulation::open_loop(subnet, cfg, traffic, 0.9, {shards, 0})
+            .run();
+    EXPECT_EQ(to_json(oracle), to_json(sharded)) << "shards " << shards;
+  }
+}
+
+TEST(ShardParity, QueueStatsAccountForEveryEvent) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const TrafficConfig traffic{TrafficKind::kUniform, 0.2, 0, 9};
+  ShardedSimulation sim = ShardedSimulation::open_loop(
+      subnet, quick_canonical(), traffic, 0.6, {4, 0});
+  const SimResult r = sim.run();
+  const EventQueueStats stats = sim.queue_stats();
+  EXPECT_EQ(stats.events_scheduled, r.events_scheduled);
+  EXPECT_EQ(stats.events_processed, r.events_processed);
+}
+
+}  // namespace
+}  // namespace mlid
