@@ -1,0 +1,115 @@
+// Scale ablation: the FT(16,4)-class fabric from ROADMAP item 2 -- 8192
+// endnodes, 3584 switches, 65536 total ports.  Full MLID cannot address
+// this fabric (LMC 9 would need 2^9 LIDs per node), so the two layouts the
+// scale suite uses are PartialMlid at LMC 2 and SLID.  For each layout the
+// bench brings the subnet up, runs a short open-loop window, and reports
+// the memory split the struct-of-arrays refactor targets: compiled routing
+// tables (formula-backed CompactLft), engine hot state, and the combined
+// bytes-per-endport figure that docs/simulator.md budgets and CI regresses
+// on (BENCH_scale.json, manifest key "bytes_per_endport").
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/text_table.hpp"
+#include "harness/cli.hpp"
+#include "harness/report.hpp"
+#include "harness/sweep.hpp"
+#include "routing/fat_tree_routing.hpp"
+#include "sim/engine.hpp"
+#include "subnet/subnet.hpp"
+
+namespace {
+
+std::size_t total_ports(const mlid::FatTreeFabric& fabric) {
+  const mlid::Fabric& g = fabric.fabric();
+  std::size_t ports = 0;
+  for (mlid::DeviceId dev = 0; dev < g.num_devices(); ++dev) {
+    ports += static_cast<std::size_t>(g.device(dev).num_ports());
+  }
+  return ports;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mlid;
+  const CliOptions opts(argc, argv);
+  // Fixed report name: downstream tooling and the CI smoke step read
+  // BENCH_scale.json regardless of the binary's on-disk name.
+  BenchReport report("scale", opts);
+
+  std::puts("Scale ablation: FT(16,4), 8192 nodes / 65536 total ports");
+  const FatTreeFabric fabric{FatTreeParams(16, 4)};
+  const std::size_t ports = total_ports(fabric);
+
+  SimConfig cfg;
+  cfg.seed = opts.seed();
+  if (opts.quick()) {
+    cfg.warmup_ns = 500;
+    cfg.measure_ns = 2'000;
+  } else {
+    cfg.warmup_ns = 2'000;
+    cfg.measure_ns = 10'000;
+  }
+
+  struct Layout {
+    const char* series;
+    std::unique_ptr<Subnet> subnet;
+  };
+  Layout layouts[2];
+  layouts[0] = {"partial-mlid-lmc2",
+                std::make_unique<Subnet>(
+                    fabric, std::make_unique<PartialMlidRouting>(
+                                fabric.params(), Lmc{2}))};
+  layouts[1] = {"slid", std::make_unique<Subnet>(fabric, SchemeKind::kSlid)};
+
+  TextTable table({"layout", "LIDs", "routes MiB", "engine MiB", "B/endport",
+                   "delivered", "dropped"});
+  for (Layout& layout : layouts) {
+    const Subnet& subnet = *layout.subnet;
+    const auto start = std::chrono::steady_clock::now();
+    Simulation sim = Simulation::open_loop(
+        subnet, cfg, {TrafficKind::kUniform, 0.2, 0, opts.seed() ^ 0x5CA1Eu},
+        0.3);
+    const SimResult r = sim.run();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    const std::size_t routes_bytes = subnet.routes().memory_bytes();
+    const std::size_t engine_bytes = sim.memory_footprint();
+    const double per_port =
+        static_cast<double>(routes_bytes + engine_bytes) /
+        static_cast<double>(ports);
+
+    PointManifest manifest;
+    manifest.sim_seed = cfg.seed;
+    manifest.traffic_seed = opts.seed() ^ 0x5CA1Eu;
+    manifest.wall_seconds = wall;
+    manifest.events_processed = r.events_processed;
+    manifest.events_scheduled = r.events_scheduled;
+    manifest.events_per_sec =
+        wall > 0.0 ? static_cast<double>(r.events_processed) / wall : 0.0;
+    manifest.bytes_per_endport = per_port;
+    manifest.queue = sim.queue_stats();
+    report.add(layout.series, r, manifest);
+
+    constexpr double kMiB = 1024.0 * 1024.0;
+    table.add_row({layout.series,
+                   std::to_string(subnet.init_stats().lids_assigned),
+                   TextTable::num(static_cast<double>(routes_bytes) / kMiB, 1),
+                   TextTable::num(static_cast<double>(engine_bytes) / kMiB, 1),
+                   TextTable::num(per_port, 0),
+                   std::to_string(r.packets_delivered),
+                   std::to_string(r.packets_dropped)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts("\nExpected shape: both layouts fit the documented 2 KiB/endport"
+            " budget; routing\ntables stay near zero (formula-backed CompactLft"
+            " materializes no dense rows).");
+  std::printf("\n(wrote %s)\n", report.write().c_str());
+  return 0;
+}

@@ -153,6 +153,28 @@ CliOptions::CliOptions(int argc, char** argv) {
       positional_.emplace_back(arg);
     }
   }
+  if (shards_ > 1) {
+    // Per-event observability is sequential-only: the sharded engine keeps
+    // no per-event trace (events dispatch concurrently across shard queues),
+    // so these flags would silently produce empty output.  Fail loudly
+    // instead.  The interval sampler (--sample-interval-ns) is fine: the
+    // sharded driver owns the timeline and reproduces the sequential one.
+    if (!chrome_trace_.empty()) {
+      usage_error(
+          "--chrome-trace is sequential-only; drop --shards (or set "
+          "--shards=1) to export a trace");
+    }
+    if (trace_packets_ > 0) {
+      usage_error(
+          "--trace-packets is sequential-only; drop --shards (or set "
+          "--shards=1) to record packet timelines");
+    }
+    if (flight_recorder_ > 0) {
+      usage_error(
+          "--flight-recorder is sequential-only; drop --shards (or set "
+          "--shards=1) to keep per-device event rings");
+    }
+  }
 }
 
 SweepOptions CliOptions::sweep_options() const {

@@ -319,6 +319,7 @@ void emit_point_manifest(JsonWriter& json, const PointManifest& m) {
   json.key("events_per_sec").value(m.events_per_sec);
   json.key("threads").value(static_cast<std::uint64_t>(m.threads));
   json.key("shards").value(static_cast<std::uint64_t>(m.shards));
+  json.key("bytes_per_endport").value(m.bytes_per_endport);
   json.key("event_queue");
   emit_queue_stats(json, m.queue);
   json.end_object();
@@ -462,9 +463,11 @@ std::string BenchReport::to_json() const {
 
   JsonWriter json;
   json.begin_object();
-  // v4: point manifests additionally record the actual parallelism
-  // (worker threads + engine shards) that computed each point.
-  json.key("schema").value("mlid-bench-v4");
+  // v5: point manifests additionally record bytes_per_endport (engine hot
+  // state + compiled routing tables over total fabric ports), the scale
+  // metric CI regresses on.  v4 added the actual parallelism (worker
+  // threads + engine shards) that computed each point.
+  json.key("schema").value("mlid-bench-v5");
   json.key("name").value(name_);
   json.key("manifest").begin_object();
   json.key("git").value(git_describe());

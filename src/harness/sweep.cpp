@@ -88,6 +88,14 @@ std::vector<SweepPoint> run_sweep(const FigureSpec& base_spec,
   if (threads == 0) threads = 1;
   threads = std::min<unsigned>(threads, static_cast<unsigned>(jobs.size()));
 
+  // Denominator of the manifest's bytes_per_endport: every physical port in
+  // the fabric (switch and node side alike).
+  std::size_t fabric_ports = 0;
+  for (DeviceId dev = 0; dev < fabric.fabric().num_devices(); ++dev) {
+    fabric_ports +=
+        static_cast<std::size_t>(fabric.fabric().device(dev).num_ports());
+  }
+
   std::atomic<std::size_t> cursor{0};
   auto worker = [&]() {
     for (;;) {
@@ -105,6 +113,7 @@ std::vector<SweepPoint> run_sweep(const FigureSpec& base_spec,
       traffic.seed = sweep_traffic_seed(spec.traffic.seed, job.point.vls,
                                         job.point.load);
       const auto start = std::chrono::steady_clock::now();
+      std::size_t hot_bytes = 0;
       if (options.shards > 1) {
         // Sharded engine per point.  With several sweep workers already in
         // flight the shards drain inline (1 thread) to avoid oversubscribing
@@ -115,11 +124,13 @@ std::vector<SweepPoint> run_sweep(const FigureSpec& base_spec,
              threads > 1 ? 1u : 0u});
         job.point.result = sim.run();
         job.point.manifest.queue = sim.queue_stats();
+        hot_bytes = sim.memory_footprint();
       } else {
         Simulation sim = Simulation::open_loop(*subnets[job.subnet_index],
                                                cfg, traffic, job.point.load);
         job.point.result = sim.run();
         job.point.manifest.queue = sim.queue_stats();
+        hot_bytes = sim.memory_footprint();
       }
       const double wall =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -136,6 +147,11 @@ std::vector<SweepPoint> run_sweep(const FigureSpec& base_spec,
               : 0.0;
       job.point.manifest.threads = threads;
       job.point.manifest.shards = options.shards;
+      job.point.manifest.bytes_per_endport =
+          static_cast<double>(hot_bytes +
+                              subnets[job.subnet_index]->routes()
+                                  .memory_bytes()) /
+          static_cast<double>(fabric_ports);
     }
   };
   if (threads <= 1) {

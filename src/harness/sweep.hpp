@@ -42,6 +42,11 @@ struct PointManifest {
   /// engine shard count (1 = the sequential engine ran this point).
   std::uint32_t threads = 1;
   std::uint32_t shards = 1;
+  /// Hot memory per physical port at this point: engine state
+  /// (Simulation::memory_footprint, summed across shards) plus the compiled
+  /// routing tables, divided by the fabric's total port count.  This is the
+  /// scale metric docs/simulator.md budgets and CI regresses on.
+  double bytes_per_endport = 0.0;
   EventQueueStats queue;              ///< pending-event structure internals
 };
 

@@ -1,7 +1,19 @@
 // Linear Forwarding Table: the per-switch DLID -> output-port map that
 // makes InfiniBand routing deterministic (IBA spec ch. 14; paper Section 2).
+//
+// Two representations share one lookup contract:
+//   - LinearForwardingTable: the dense DLID-indexed byte vector real
+//     switches hold (64 KiB at the full LID space).
+//   - CompactLft: formula-backed storage for schemes whose tables are a
+//     closed form (paper Section 4.3).  The base mapping is recomputed on
+//     demand through an LftFormula; only entries the live SM has repaired
+//     away from the formula are materialized, as a sorted overlay.  A
+//     FT(16,4) fabric needs ~224 MiB of dense tables but only a few dozen
+//     bytes per switch compactly, which is what makes 65k-port fabrics
+//     simulable at all (ROADMAP item 2).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -31,6 +43,7 @@ class LinearForwardingTable {
     MLID_EXPECT(lid != kInvalidLid, "LID 0 is reserved");
     MLID_EXPECT(lid < entries_.size(), "LID beyond table size");
     MLID_EXPECT(port != kNoEntry, "port value collides with the sentinel");
+    count_ += (entries_[lid] == kNoEntry);
     entries_[lid] = port;
   }
 
@@ -39,12 +52,18 @@ class LinearForwardingTable {
   void clear(Lid lid) {
     MLID_EXPECT(lid != kInvalidLid, "LID 0 is reserved");
     MLID_EXPECT(lid < entries_.size(), "LID beyond table size");
+    count_ -= (entries_[lid] != kNoEntry);
     entries_[lid] = kNoEntry;
   }
 
+  /// Output port for a DLID, or kNoEntry when the switch cannot route it.
+  [[nodiscard]] PortId find(Lid lid) const noexcept {
+    return (lid != kInvalidLid && lid < entries_.size()) ? entries_[lid]
+                                                         : kNoEntry;
+  }
+
   [[nodiscard]] bool has(Lid lid) const noexcept {
-    return lid != kInvalidLid && lid < entries_.size() &&
-           entries_[lid] != kNoEntry;
+    return find(lid) != kNoEntry;
   }
 
   /// Output port for a DLID; contract-checked (simulated switches verify
@@ -54,10 +73,13 @@ class LinearForwardingTable {
     return entries_[lid];
   }
 
-  [[nodiscard]] std::size_t num_entries() const noexcept {
-    std::size_t n = 0;
-    for (auto e : entries_) n += (e != kNoEntry);
-    return n;
+  /// Programmed (non-sentinel) entries; a running count maintained by
+  /// set/clear, O(1) — bring-up accounting calls this once per switch.
+  [[nodiscard]] std::size_t num_entries() const noexcept { return count_; }
+
+  /// Heap bytes owned by the table (excluding sizeof(*this)).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return entries_.capacity() * sizeof(std::uint8_t);
   }
 
   /// Whole-table comparison (the SM tests assert incremental repair and a
@@ -66,8 +88,188 @@ class LinearForwardingTable {
 
  private:
   std::vector<std::uint8_t> entries_;
+  std::size_t count_ = 0;
 };
 
 using Lft = LinearForwardingTable;
+
+/// Closed-form forwarding: a routing scheme whose per-switch tables are a
+/// formula over (switch, DLID) implements this to let CompactLft skip the
+/// dense materialization.  The formula must be total over the scheme's
+/// assigned LID range [1, max_lid] and side-effect free; out-of-range LIDs
+/// are filtered by CompactLft before the call.
+class LftFormula {
+ public:
+  virtual ~LftFormula() = default;
+  /// Base output port at `sw` for `lid`, or Lft::kNoEntry when the formula
+  /// assigns no route.
+  [[nodiscard]] virtual PortId formula_port(SwitchId sw, Lid lid) const = 0;
+};
+
+/// One switch's forwarding state, stored compactly: the base mapping comes
+/// from an LftFormula (not owned; must outlive the table) and only
+/// SM-repaired deviations are materialized as a sorted (lid, port) overlay.
+/// An overlay entry is authoritative, including a kNoEntry tombstone for a
+/// withdrawn route; entries repaired back to the formula's answer are
+/// dropped from the overlay again.  Schemes without a closed form fall
+/// back to owning a dense table (formula_backed() == false) behind the
+/// same interface.
+class CompactLft {
+ public:
+  static constexpr std::uint8_t kNoEntry = LinearForwardingTable::kNoEntry;
+
+  CompactLft() = default;
+
+  /// Formula-backed table for `sw` covering LIDs [1, max_lid].
+  /// `base_entries` is the number of LIDs the formula routes (the paper's
+  /// schemes assign the whole contiguous range, so this is max_lid).
+  CompactLft(const LftFormula* formula, SwitchId sw, Lid max_lid,
+             std::size_t base_entries)
+      : formula_(formula), sw_(sw), max_lid_(max_lid), count_(base_entries) {
+    MLID_EXPECT(formula != nullptr, "formula-backed table needs a formula");
+    MLID_EXPECT(max_lid <= kMaxLidSpace, "LFT larger than the LID space");
+  }
+
+  /// Dense fallback: adopts a materialized table (UPDN, custom schemes).
+  explicit CompactLft(LinearForwardingTable dense)
+      : max_lid_(dense.max_lid()),
+        count_(dense.num_entries()),
+        dense_(std::move(dense)) {}
+
+  [[nodiscard]] Lid max_lid() const noexcept { return max_lid_; }
+
+  /// Output port for a DLID, or kNoEntry when this switch cannot route it.
+  [[nodiscard]] PortId find(Lid lid) const {
+    if (lid == kInvalidLid || lid > max_lid_) return kNoEntry;
+    if (!overlay_.empty()) {
+      const auto it = overlay_find(lid);
+      if (it != overlay_.end() && it->lid == lid) return it->port;
+    }
+    return base_port(lid);
+  }
+
+  [[nodiscard]] bool has(Lid lid) const { return find(lid) != kNoEntry; }
+
+  [[nodiscard]] PortId lookup(Lid lid) const {
+    const PortId port = find(lid);
+    MLID_EXPECT(port != kNoEntry, "no LFT entry for this DLID");
+    return port;
+  }
+
+  void set(Lid lid, PortId port) {
+    MLID_EXPECT(lid != kInvalidLid, "LID 0 is reserved");
+    MLID_EXPECT(lid <= max_lid_, "LID beyond table size");
+    MLID_EXPECT(port != kNoEntry, "port value collides with the sentinel");
+    if (!formula_) {
+      dense_.set(lid, port);
+      count_ = dense_.num_entries();
+      return;
+    }
+    count_ += (find(lid) == kNoEntry);
+    write_overlay(lid, port);
+  }
+
+  void clear(Lid lid) {
+    MLID_EXPECT(lid != kInvalidLid, "LID 0 is reserved");
+    MLID_EXPECT(lid <= max_lid_, "LID beyond table size");
+    if (!formula_) {
+      dense_.clear(lid);
+      count_ = dense_.num_entries();
+      return;
+    }
+    count_ -= (find(lid) != kNoEntry);
+    write_overlay(lid, kNoEntry);
+  }
+
+  /// Programmed entries (base entries plus/minus live overlay edits), O(1).
+  [[nodiscard]] std::size_t num_entries() const noexcept { return count_; }
+
+  /// Materialized deviations from the base mapping (0 on a pristine
+  /// formula-backed table; the dense fallback never uses the overlay).
+  [[nodiscard]] std::size_t overlay_entries() const noexcept {
+    return overlay_.size();
+  }
+
+  [[nodiscard]] bool formula_backed() const noexcept {
+    return formula_ != nullptr;
+  }
+
+  /// Heap bytes owned by the table (excluding sizeof(*this)).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return overlay_.capacity() * sizeof(Overlay) + dense_.memory_bytes();
+  }
+
+  /// Dense copy of the effective mapping (tests, diffs, DOT export).
+  [[nodiscard]] LinearForwardingTable materialize() const {
+    LinearForwardingTable table(max_lid_);
+    for (std::uint32_t lid = 1; lid <= max_lid_; ++lid) {
+      const PortId port = find(static_cast<Lid>(lid));
+      if (port != kNoEntry) table.set(static_cast<Lid>(lid), port);
+    }
+    return table;
+  }
+
+  /// Semantic comparison: same LID range and same effective mapping,
+  /// regardless of representation (formula vs dense vs overlay mix).
+  [[nodiscard]] bool operator==(const CompactLft& other) const {
+    if (max_lid_ != other.max_lid_ || count_ != other.count_) return false;
+    for (std::uint32_t lid = 1; lid <= max_lid_; ++lid) {
+      if (find(static_cast<Lid>(lid)) != other.find(static_cast<Lid>(lid))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool operator==(const LinearForwardingTable& other) const {
+    if (max_lid_ != other.max_lid() || count_ != other.num_entries()) {
+      return false;
+    }
+    for (std::uint32_t lid = 1; lid <= max_lid_; ++lid) {
+      if (find(static_cast<Lid>(lid)) != other.find(static_cast<Lid>(lid))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  struct Overlay {
+    Lid lid;
+    std::uint8_t port;  ///< kNoEntry = withdrawn route (tombstone)
+  };
+
+  [[nodiscard]] PortId base_port(Lid lid) const {
+    return formula_ ? formula_->formula_port(sw_, lid) : dense_.find(lid);
+  }
+
+  [[nodiscard]] std::vector<Overlay>::const_iterator overlay_find(
+      Lid lid) const {
+    return std::lower_bound(
+        overlay_.begin(), overlay_.end(), lid,
+        [](const Overlay& o, Lid l) { return o.lid < l; });
+  }
+
+  void write_overlay(Lid lid, std::uint8_t port) {
+    const auto it = overlay_.begin() + (overlay_find(lid) - overlay_.cbegin());
+    const bool present = it != overlay_.end() && it->lid == lid;
+    if (port == base_port(lid)) {
+      // The edit restores the formula's answer: the overlay entry (if any)
+      // is redundant and the table stays compact.
+      if (present) overlay_.erase(it);
+    } else if (present) {
+      it->port = port;
+    } else {
+      overlay_.insert(it, Overlay{lid, port});
+    }
+  }
+
+  const LftFormula* formula_ = nullptr;
+  SwitchId sw_ = kInvalidSwitch;
+  Lid max_lid_ = 0;
+  std::size_t count_ = 0;
+  LinearForwardingTable dense_;   ///< engaged when formula_ == nullptr
+  std::vector<Overlay> overlay_;  ///< sorted by lid; live-SM repairs only
+};
 
 }  // namespace mlid

@@ -59,9 +59,18 @@ ShardedSimulation ShardedSimulation::open_loop(const Subnet& subnet,
   } else {
     options.faults.validate();
   }
+  // The interval sampler is driver-owned: the shards are built with a
+  // zeroed interval and the driver paces the fleet-wide timeline itself.
+  SimConfig shard_cfg = driver.cfg_;
+  shard_cfg.sample_interval_ns = 0;
+  if (driver.cfg_.sample_interval_ns > 0) {
+    driver.timeline_.configure(driver.cfg_.sample_interval_ns,
+                               driver.cfg_.timeline_max_samples);
+    driver.next_sample_ = driver.timeline_.interval_ns;
+  }
   for (std::uint32_t i = 0; i < driver.plan_.num_shards; ++i) {
     driver.shards_.push_back(Simulation::open_loop_shard(
-        subnet, driver.cfg_, traffic, offered_load, driver.sm_,
+        subnet, shard_cfg, traffic, offered_load, driver.sm_,
         driver.bindings_[i]));
   }
   // The faults seed the driver's control queue with the same encoding
@@ -84,6 +93,11 @@ ShardedSimulation ShardedSimulation::burst(
     const std::vector<MessageSpec>& workload, const ShardOptions& par) {
   ShardedSimulation driver(subnet, config, par);
   driver.burst_ = true;
+  // Mirrors the sequential burst constructor's rejection: the shards are
+  // built with a zeroed interval, so the driver must enforce it here.
+  MLID_EXPECT(config.sample_interval_ns == 0,
+              "the interval sampler is open-loop only (burst runs have no "
+              "fixed end time to pace samples against)");
   for (std::uint32_t i = 0; i < driver.plan_.num_shards; ++i) {
     driver.shards_.push_back(
         Simulation::burst_shard(subnet, driver.cfg_, workload,
@@ -233,11 +247,27 @@ void ShardedSimulation::window_loop(
     SimTime control_time = kSimTimeNever;
     if (const Event* c = control_.peek()) control_time = c->time;
     horizon = std::min(horizon, control_time);
+    if (sampling()) {
+      // Every event strictly before `horizon` has dispatched, so all sample
+      // times up to min(horizon, end) are due now -- before any event at
+      // `horizon` runs, which is exactly the sequential sampler's "sample
+      // at t covers the window ending at t" ordering.  The cadence is
+      // re-read after each append because decimation doubles it.
+      const SimTime sample_limit = std::min(horizon, end);
+      while (next_sample_ <= sample_limit) {
+        take_sample(next_sample_);
+        next_sample_ += timeline_.interval_ns;
+      }
+    }
     if (horizon >= end) return;  // drained, or only post-end events remain
     const SimTime by_lookahead = lookahead >= kSimTimeNever - horizon
                                      ? kSimTimeNever
                                      : horizon + lookahead;
-    const SimTime window_end = std::min({by_lookahead, control_time, end});
+    // A pending sample clips the window like a zero-lookahead control
+    // event: no event at or past next_sample_ may dispatch before it fires.
+    const SimTime sample_time = sampling() ? next_sample_ : kSimTimeNever;
+    const SimTime window_end =
+        std::min({by_lookahead, control_time, end, sample_time});
     if (window_end > horizon) {
       // Every event in [horizon, window_end) is safe to dispatch without
       // cross-shard coordination: anything a shard emits during the window
@@ -328,13 +358,39 @@ void ShardedSimulation::merge_into_root() {
     a.max_source_queue_pkts =
         std::max(a.max_source_queue_pkts, b.max_source_queue_pkts);
     // Devices are dispatched exclusively by their owner, so the owner's
-    // DeviceState (buffer occupancy, link-utilization and telemetry
-    // counters, connectivity after faults) is authoritative -- move it over
-    // wholesale.  The PacketIds inside its queues reference the owner's
-    // pool, which finalization never dereferences.
+    // flat per-port / per-VL state (buffer occupancy, link-utilization and
+    // telemetry counters, connectivity after faults) is authoritative --
+    // copy its slot ranges over.  Every shard shares the same port_base_
+    // layout (it is a pure function of the fabric), so the ranges line up.
+    // PacketQueue heads/tails inside the copied slots reference the owner's
+    // pool; finalization only reads queue *sizes*, never the links.
     const Fabric& g = subnet_->fabric().fabric();
+    const auto copy_range = [](auto& dst, const auto& src, std::size_t lo,
+                               std::size_t hi) {
+      std::copy(src.begin() + static_cast<std::ptrdiff_t>(lo),
+                src.begin() + static_cast<std::ptrdiff_t>(hi),
+                dst.begin() + static_cast<std::ptrdiff_t>(lo));
+    };
     for (DeviceId dev = 0; dev < g.num_devices(); ++dev) {
-      if (plan_.dev_shard[dev] == i) r.devices_[dev] = std::move(s.devices_[dev]);
+      if (plan_.dev_shard[dev] != i) continue;
+      const std::size_t lo = r.port_base_[dev];
+      const std::size_t hi = r.port_base_[dev + 1];
+      copy_range(r.port_busy_until_, s.port_busy_until_, lo, hi);
+      copy_range(r.port_busy_in_window_, s.port_busy_in_window_, lo, hi);
+      copy_range(r.port_packets_tx_, s.port_packets_tx_, lo, hi);
+      copy_range(r.port_wrr_vl_, s.port_wrr_vl_, lo, hi);
+      copy_range(r.port_wrr_budget_, s.port_wrr_budget_, lo, hi);
+      copy_range(r.port_retry_, s.port_retry_, lo, hi);
+      copy_range(r.port_connected_, s.port_connected_, lo, hi);
+      const std::size_t vlo = lo * r.vls_;
+      const std::size_t vhi = hi * r.vls_;
+      copy_range(r.vl_q_, s.vl_q_, vlo, vhi);
+      copy_range(r.vl_wait_, s.vl_wait_, vlo, vhi);
+      copy_range(r.vl_free_slots_, s.vl_free_slots_, vlo, vhi);
+      copy_range(r.vl_credits_, s.vl_credits_, vlo, vhi);
+      copy_range(r.vl_tx_pkt_, s.vl_tx_pkt_, vlo, vhi);
+      copy_range(r.vl_cc_stall_since_, s.vl_cc_stall_since_, vlo, vhi);
+      copy_range(r.vl_cold_, s.vl_cold_, vlo, vhi);
     }
     if (cfg_.cc.enabled) {
       r.cc_fecn_marked_ += s.cc_fecn_marked_;
@@ -383,6 +439,36 @@ void ShardedSimulation::replay_deliveries() {
   }
 }
 
+void ShardedSimulation::take_sample(SimTime t) {
+  TimelineSample s;
+  s.t_ns = t;
+  s.intervals = static_cast<std::uint32_t>(timeline_.interval_ns /
+                                           timeline_.base_interval_ns);
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t becn = 0;
+  for (const Simulation& sh : shards_) {
+    generated += sh.result_.packets_generated;
+    delivered += sh.result_.packets_delivered;
+    dropped += sh.result_.packets_dropped;
+    becn += sh.cc_becn_sent_;
+  }
+  s.generated = generated - sampled_generated_;
+  s.delivered = delivered - sampled_delivered_;
+  s.dropped = dropped - sampled_dropped_;
+  s.becn = becn - sampled_becn_;
+  sampled_generated_ = generated;
+  sampled_delivered_ = delivered;
+  sampled_dropped_ = dropped;
+  sampled_becn_ = becn;
+  s.in_flight = generated - delivered - dropped;
+  // Gauge fields accumulate across shards: sums add up, maxima max-merge
+  // (each shard only scans its owned devices / HCAs).
+  for (const Simulation& sh : shards_) sh.collect_sample_gauges(s);
+  timeline_.append(s);
+}
+
 SimResult ShardedSimulation::run() {
   MLID_EXPECT(!burst_, "burst driver: use run_to_completion()");
   MLID_EXPECT(!ran_, "a sharded simulation runs once");
@@ -391,6 +477,9 @@ SimResult ShardedSimulation::run() {
   drain_mailboxes();
   merge_into_root();
   replay_deliveries();
+  // Hand the driver-paced timeline to the root so finalize_open_loop
+  // exports it in SimResult exactly like the sequential engine does.
+  if (sampling()) root().timeline_ = timeline_;
   std::uint64_t processed = control_.events_processed();
   std::uint64_t scheduled = control_.events_scheduled();
   for (const Simulation& s : shards_) {
@@ -443,6 +532,12 @@ EventQueueStats ShardedSimulation::queue_stats() const {
         std::max(sum.max_bucket_events, q.max_bucket_events);
   }
   return sum;
+}
+
+std::size_t ShardedSimulation::memory_footprint() const noexcept {
+  std::size_t total = 0;
+  for (const Simulation& s : shards_) total += s.memory_footprint();
+  return total;
 }
 
 }  // namespace mlid

@@ -29,6 +29,14 @@
 //     DeliveryRecords and the driver replays the merged log in canonical
 //     order on shard 0 at the end, reproducing the sequential sequence
 //     exactly (including float rounding).
+//
+// Time-resolved telemetry: the interval sampler (SimConfig::sample_interval_ns)
+// is *driver-owned* in sharded runs.  Shards never pace their own timeline;
+// the driver treats each sample time like a zero-lookahead barrier (windows
+// are clipped at the next sample), sums fleet-wide counters for the deltas
+// and merges every shard's gauges into one TimelineSample -- so the sampled
+// timeline is bit-identical to the sequential engine's for any shard or
+// thread count.
 #pragma once
 
 #include <cstdint>
@@ -82,6 +90,11 @@ class ShardedSimulation {
   /// control queue; ladder internals max-merged across shards.
   [[nodiscard]] EventQueueStats queue_stats() const;
 
+  /// Fleet-wide hot-state bytes: Simulation::memory_footprint() summed over
+  /// every shard (each shard only sizes its owned slice, so the sum is the
+  /// fleet's actual allocation, not num_shards copies of the fabric).
+  [[nodiscard]] std::size_t memory_footprint() const noexcept;
+
  private:
   ShardedSimulation(const Subnet& subnet, const SimConfig& config,
                     const ShardOptions& par);
@@ -114,6 +127,10 @@ class ShardedSimulation {
   /// Sorts all shards' DeliveryRecords into canonical order and feeds them
   /// through shard 0's accumulators.
   void replay_deliveries();
+  /// Driver-level TimelineSample at simulated time `t`: fleet-wide counter
+  /// deltas plus every shard's gauges (mirrors Simulation::take_sample).
+  void take_sample(SimTime t);
+  [[nodiscard]] bool sampling() const noexcept { return timeline_.enabled(); }
   [[nodiscard]] Simulation& root() { return shards_.front(); }
 
   const Subnet* subnet_;
@@ -134,6 +151,15 @@ class ShardedSimulation {
   /// Driver-owned control plane (faults + SM pipeline).  Heap: a handful of
   /// events, and the ladder's bucket machinery would be pure overhead.
   EventQueue control_{EventQueueKind::kHeap, EventOrder::kCanonical};
+
+  // Driver-owned interval sampler (open-loop only; the shards' own configs
+  // carry sample_interval_ns == 0).
+  Timeline timeline_;
+  SimTime next_sample_ = 0;              ///< next pending sample time
+  std::uint64_t sampled_generated_ = 0;  ///< fleet counters at the last sample
+  std::uint64_t sampled_delivered_ = 0;
+  std::uint64_t sampled_dropped_ = 0;
+  std::uint64_t sampled_becn_ = 0;
 };
 
 }  // namespace mlid

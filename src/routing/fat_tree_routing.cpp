@@ -10,6 +10,15 @@ FatTreeRouting::FatTreeRouting(const FatTreeParams& params, Lmc lmc)
       static_cast<std::uint64_t>(params.num_nodes()) * (1u << lmc) <
           kMaxLidSpace,
       "LID space exhausted");
+  switch_labels_.reserve(params_.num_switches());
+  for (SwitchId sw = 0; sw < params_.num_switches(); ++sw) {
+    switch_labels_.push_back(switch_from_id(params_, sw));
+  }
+}
+
+PortId FatTreeRouting::formula_port(SwitchId sw, Lid lid) const {
+  MLID_ASSERT(sw < switch_labels_.size(), "switch id out of range");
+  return output_port(switch_labels_[sw], lid);
 }
 
 LidRange FatTreeRouting::lids_of(NodeId node) const {

@@ -14,7 +14,7 @@
 
 namespace mlid {
 
-class FatTreeRouting : public RoutingScheme {
+class FatTreeRouting : public RoutingScheme, public LftFormula {
  public:
   FatTreeRouting(const FatTreeParams& params, Lmc lmc);
 
@@ -24,6 +24,13 @@ class FatTreeRouting : public RoutingScheme {
   [[nodiscard]] NodeId node_of_lid(Lid lid) const final;
   [[nodiscard]] Lft build_lft(SwitchId sw) const final;
   [[nodiscard]] Lid max_lid() const final;
+
+  /// Both closed forms are total over the assigned LID range, so the
+  /// forwarding tables need no dense materialization (CompactLft).
+  [[nodiscard]] const LftFormula* lft_formula() const noexcept final {
+    return this;
+  }
+  [[nodiscard]] PortId formula_port(SwitchId sw, Lid lid) const final;
 
   [[nodiscard]] const FatTreeParams& params() const noexcept {
     return params_;
@@ -36,6 +43,11 @@ class FatTreeRouting : public RoutingScheme {
  protected:
   FatTreeParams params_;
   Lmc lmc_;
+
+ private:
+  /// Per-switch labels, precomputed so formula_port needs no id -> label
+  /// decomposition on the per-lookup path.
+  std::vector<SwitchLabel> switch_labels_;
 };
 
 /// Single-LID baseline: one LID per node (PID + 1); forwarding tables still

@@ -9,8 +9,17 @@ CompiledRoutes::CompiledRoutes(const FatTreeFabric& fabric,
     : max_lid_(scheme.max_lid()) {
   const auto count = fabric.params().num_switches();
   lfts_.reserve(count);
+  const LftFormula* formula = scheme.lft_formula();
   for (SwitchId sw = 0; sw < count; ++sw) {
-    lfts_.push_back(scheme.build_lft(sw));
+    if (formula) {
+      // The closed forms route every LID in the contiguous assigned range
+      // [1, max_lid], so the base entry count is max_lid (verified against
+      // the materialized tables by tests/ib/compact_lft_test.cpp).
+      lfts_.emplace_back(formula, sw, max_lid_,
+                         static_cast<std::size_t>(max_lid_));
+    } else {
+      lfts_.emplace_back(scheme.build_lft(sw));
+    }
   }
 }
 
@@ -31,12 +40,12 @@ PathTrace trace_path(const FatTreeFabric& ft, const CompiledRoutes& routes,
       trace.complete = true;
       return trace;
     }
-    const Lft& lft = routes.lft(device.switch_id);
-    if (!lft.has(dlid)) {
+    const CompactLft& lft = routes.lft(device.switch_id);
+    out = lft.find(dlid);
+    if (out == CompactLft::kNoEntry) {
       trace.terminal = current;
       return trace;  // incomplete: the switch cannot route this DLID
     }
-    out = lft.lookup(dlid);
     if (!device.port_connected(out)) {
       trace.terminal = current;
       return trace;  // incomplete: LFT points into the void

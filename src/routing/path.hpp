@@ -9,12 +9,15 @@
 
 namespace mlid {
 
-/// All forwarding state of a routed subnet: one LFT per switch.
+/// All forwarding state of a routed subnet: one LFT per switch, stored
+/// compactly (formula-backed for schemes with a closed form, dense
+/// otherwise).  When the scheme supplies an LftFormula, the scheme must
+/// outlive the routes — the Subnet owns both in the right order.
 class CompiledRoutes {
  public:
   CompiledRoutes(const FatTreeFabric& fabric, const RoutingScheme& scheme);
 
-  [[nodiscard]] const Lft& lft(SwitchId sw) const {
+  [[nodiscard]] const CompactLft& lft(SwitchId sw) const {
     MLID_EXPECT(sw < lfts_.size(), "switch id out of range");
     return lfts_[sw];
   }
@@ -22,9 +25,18 @@ class CompiledRoutes {
   [[nodiscard]] std::size_t num_switches() const noexcept {
     return lfts_.size();
   }
+  [[nodiscard]] const std::vector<CompactLft>& tables() const noexcept {
+    return lfts_;
+  }
+  /// Heap bytes of all forwarding state (excluding sizeof(*this)).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    std::size_t n = lfts_.capacity() * sizeof(CompactLft);
+    for (const auto& t : lfts_) n += t.memory_bytes();
+    return n;
+  }
 
  private:
-  std::vector<Lft> lfts_;
+  std::vector<CompactLft> lfts_;
   Lid max_lid_;
 };
 

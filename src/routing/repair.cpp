@@ -5,7 +5,7 @@
 namespace mlid {
 
 LftRepairPlan compute_lft_repair(const FatTreeFabric& fabric, Lmc lmc,
-                                 const std::vector<Lft>& live) {
+                                 const std::vector<CompactLft>& live) {
   MLID_EXPECT(live.size() == fabric.params().num_switches(),
               "need one live LFT per switch");
   const UpDownRouting target(fabric, lmc);
@@ -13,15 +13,15 @@ LftRepairPlan compute_lft_repair(const FatTreeFabric& fabric, Lmc lmc,
   plan.fully_connected = target.fully_connected();
   for (SwitchId sw = 0; sw < fabric.params().num_switches(); ++sw) {
     const Lft want = target.build_lft(sw);
-    const Lft& have = live[sw];
+    const CompactLft& have = live[sw];
     MLID_EXPECT(want.max_lid() == have.max_lid(),
                 "live tables use a different LID layout than the repair "
                 "target (LMC mismatch?)");
     SwitchRepair repair;
     repair.sw = sw;
     for (Lid lid = 1; lid <= want.max_lid(); ++lid) {
-      const PortId want_port = want.has(lid) ? want.lookup(lid) : Lft::kNoEntry;
-      const PortId have_port = have.has(lid) ? have.lookup(lid) : Lft::kNoEntry;
+      const PortId want_port = want.find(lid);
+      const PortId have_port = have.find(lid);
       if (want_port != have_port) {
         repair.deltas.push_back(LftDelta{lid, want_port});
       }
@@ -33,7 +33,7 @@ LftRepairPlan compute_lft_repair(const FatTreeFabric& fabric, Lmc lmc,
   return plan;
 }
 
-void apply_repair(const SwitchRepair& repair, Lft& table) {
+void apply_repair(const SwitchRepair& repair, CompactLft& table) {
   for (const LftDelta& delta : repair.deltas) {
     if (delta.port == Lft::kNoEntry) {
       table.clear(delta.lid);

@@ -48,9 +48,11 @@ struct LftRepairPlan {
 /// current link state.  `live` must hold one table per switch, sized for
 /// the same LID layout (any of the repo's schemes at the same LMC).
 LftRepairPlan compute_lft_repair(const FatTreeFabric& fabric, Lmc lmc,
-                                 const std::vector<Lft>& live);
+                                 const std::vector<CompactLft>& live);
 
-/// Apply one switch's deltas in place.
-void apply_repair(const SwitchRepair& repair, Lft& table);
+/// Apply one switch's deltas in place.  On a formula-backed table each
+/// delta becomes an overlay entry (or removes one, when a later repair
+/// restores the formula's answer).
+void apply_repair(const SwitchRepair& repair, CompactLft& table);
 
 }  // namespace mlid

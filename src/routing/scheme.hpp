@@ -36,6 +36,14 @@ class RoutingScheme {
 
   /// Highest LID the scheme assigns (LFT sizing).
   [[nodiscard]] virtual Lid max_lid() const = 0;
+
+  /// Closed-form forwarding hook: schemes whose tables are a formula over
+  /// (switch, DLID) return a formula object (owned by the scheme, valid
+  /// for its lifetime) so CompiledRoutes can store CompactLfts instead of
+  /// dense tables.  nullptr (the default) keeps the dense fallback.
+  [[nodiscard]] virtual const LftFormula* lft_formula() const noexcept {
+    return nullptr;
+  }
 };
 
 /// Factory selector used by examples / benches.

@@ -15,6 +15,9 @@ UpDownRouting::UpDownRouting(const FatTreeFabric& fabric, Lmc lmc)
     : params_(fabric.params()), lmc_(lmc) {
   MLID_EXPECT(lmc <= params_.mlid_lmc(),
               "LMC larger than the tree's path diversity");
+  MLID_EXPECT(static_cast<std::uint64_t>(params_.num_nodes()) * (1u << lmc) <
+                  kMaxLidSpace,
+              "LID space exhausted");
   compute_tables(fabric);
 }
 

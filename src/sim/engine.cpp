@@ -5,6 +5,7 @@
 #include <iostream>
 #include <limits>
 #include <sstream>
+#include <type_traits>
 
 namespace mlid {
 
@@ -90,7 +91,7 @@ Simulation::Simulation(const Subnet& subnet, SimConfig config,
       ++segments;
       if (!owned) continue;
       const PacketId id = alloc_packet();
-      Packet& pkt = pool_[id];
+      Packet& pkt = pool_.get(id);
       pkt.src = spec.src;
       pkt.dst = spec.dst;
       pkt.slid = subnet_->slid_of(spec.src);
@@ -104,7 +105,8 @@ Simulation::Simulation(const Subnet& subnet, SimConfig config,
       ++burst_packets_;
       burst_bytes_ += size;
       NodeState& ns = nodes_[spec.src];
-      ns.source_queue[pkt.vl].push_back(id);
+      pool_.push_back(src_q_[static_cast<std::size_t>(spec.src) * vls_ + pkt.vl],
+                      id);
       ++ns.queued_pkts;
     }
     // Every shard tracks every message (segment counts are shard-independent)
@@ -142,44 +144,70 @@ Simulation::Simulation(const Subnet& subnet, SimConfig config,
                 "incomplete shard binding");
     MLID_EXPECT(cfg_.event_order == EventOrder::kCanonical,
                 "sharded runs require the canonical event order");
-    MLID_EXPECT(cfg_.trace_packets == 0 && cfg_.sample_interval_ns == 0 &&
-                    cfg_.flight_recorder_depth == 0 && !cfg_.trace_control,
-                "per-event observability (packet traces, sampler, flight "
-                "recorder, control trace) is sequential-only; drop --shards "
-                "to use it");
+    // The interval sampler is *driver-level* in sharded runs (the driver
+    // samples at window barriers and reads each shard's gauges); a shard
+    // must never pace its own timeline.
+    MLID_EXPECT(cfg_.sample_interval_ns == 0,
+                "shard configs must not carry a sample interval; the sharded "
+                "driver owns the timeline");
+    MLID_EXPECT(cfg_.trace_packets == 0 && cfg_.flight_recorder_depth == 0 &&
+                    !cfg_.trace_control,
+                "per-event observability (packet traces, flight recorder, "
+                "control trace) is sequential-only; drop --shards to use it");
   }
   MLID_EXPECT(burst || (offered_load > 0.0 && offered_load <= 1.0),
               "offered load must be in (0, 1]");
 
+  // Flat struct-of-arrays port state: one prefix-sum pass sizes every hot
+  // array (see the layout comment in engine.hpp).
   const Fabric& g = subnet.fabric().fabric();
-  devices_.resize(g.num_devices());
+  vls_ = static_cast<std::size_t>(cfg_.num_vls);
+  port_base_.resize(static_cast<std::size_t>(g.num_devices()) + 1);
+  std::size_t next_fp = 0;
+  for (DeviceId dev = 0; dev < g.num_devices(); ++dev) {
+    port_base_[dev] = next_fp;
+    next_fp += static_cast<std::size_t>(g.device(dev).num_ports()) + 1;
+  }
+  port_base_[g.num_devices()] = next_fp;
+  const std::size_t num_fp = next_fp;
+  port_peer_.assign(num_fp, PortRef{});
+  port_busy_until_.assign(num_fp, 0);
+  port_busy_in_window_.assign(num_fp, 0);
+  port_packets_tx_.assign(num_fp, 0);
+  port_wrr_vl_.assign(num_fp, 0);
+  port_wrr_budget_.assign(num_fp, 0);
+  port_retry_.assign(num_fp, 0);
+  port_connected_.assign(num_fp, 0);
+  vl_q_.assign(num_fp * vls_, PacketQueue{});
+  vl_wait_.assign(num_fp * vls_, PacketQueue{});
+  vl_free_slots_.assign(num_fp * vls_, 0);
+  vl_credits_.assign(num_fp * vls_, 0);
+  vl_tx_pkt_.assign(num_fp * vls_, kInvalidPacket);
+  vl_cc_stall_since_.assign(num_fp * vls_, -1);
+  vl_cold_.assign(num_fp * vls_, VlTelemetry{});
   for (DeviceId dev = 0; dev < g.num_devices(); ++dev) {
     const Device& device = g.device(dev);
-    auto& state = devices_[dev];
-    state.out.resize(static_cast<std::size_t>(device.num_ports()) + 1);
-    state.wait.resize((static_cast<std::size_t>(device.num_ports()) + 1) *
-                      static_cast<std::size_t>(cfg_.num_vls));
     for (PortId port = 1; port <= device.num_ports(); ++port) {
-      OutPort& out = state.out[port];
       if (!device.port_connected(port)) continue;
-      out.connected = true;
-      out.peer = device.peer(port);
-      out.vls.resize(static_cast<std::size_t>(cfg_.num_vls));
-      for (auto& vl : out.vls) {
-        vl.free_slots = cfg_.out_buf_pkts;
-        vl.credits = cfg_.in_buf_pkts;  // downstream input buffer depth
+      const std::size_t fp = port_index(dev, port);
+      port_connected_[fp] = 1;
+      port_peer_[fp] = device.peer(port);
+      for (std::size_t vl = 0; vl < vls_; ++vl) {
+        vl_free_slots_[vl_index(fp, vl)] = cfg_.out_buf_pkts;
+        vl_credits_[vl_index(fp, vl)] =
+            cfg_.in_buf_pkts;  // downstream input buffer depth
       }
-      out.wrr_budget =
+      port_wrr_budget_[fp] =
           cfg_.vl_weights.empty() ? 1 : cfg_.vl_weights.front();
     }
   }
 
   const std::uint32_t num_nodes = subnet.fabric().params().num_nodes();
   nodes_.resize(num_nodes);
+  src_q_.assign(static_cast<std::size_t>(num_nodes) * vls_, PacketQueue{});
   SplitMix64 seeder(cfg_.seed ^ 0xC0FFEE0000ULL);
   vl_rng_.reserve(num_nodes);
   for (NodeId node = 0; node < num_nodes; ++node) {
-    nodes_[node].source_queue.resize(static_cast<std::size_t>(cfg_.num_vls));
     vl_rng_.emplace_back(seeder.next());
   }
 
@@ -284,7 +312,7 @@ std::uint64_t Simulation::corder_of(EventKind kind, PacketId pkt) const {
     case EventKind::kRouted:
     case EventKind::kTailOut:
     case EventKind::kDeliver:
-      return pool_[pkt].corder;
+      return pool_.get(pkt).corder;
     case EventKind::kBecnArrive:
       return pkt;  // payload: the congested destination node
     default:
@@ -324,7 +352,7 @@ void Simulation::schedule(SimTime time, EventKind kind, DeviceId dev,
     // Packet handoff: the receiving shard re-homes the copy in its own
     // pool; our entry becomes a stale duplicate that dies at tail-out.
     msg.has_packet = true;
-    msg.packet = pool_[pkt];
+    msg.packet = pool_.get(pkt);
     msg.pkt = kInvalidPacket;
     rt_[pkt].handed_off = true;
   }
@@ -335,7 +363,7 @@ void Simulation::receive(const ShardMessage& msg) {
   PacketId pkt = msg.pkt;
   if (msg.has_packet) {
     pkt = alloc_packet();
-    pool_[pkt] = msg.packet;
+    pool_.get(pkt) = msg.packet;
   }
   events_.push(msg.time, msg.kind, msg.dev, msg.port, msg.vl, pkt, msg.corder);
 }
@@ -343,26 +371,17 @@ void Simulation::receive(const ShardMessage& msg) {
 // --- packet pool ------------------------------------------------------------
 
 PacketId Simulation::alloc_packet() {
-  if (!free_list_.empty()) {
-    const PacketId id = free_list_.back();
-    free_list_.pop_back();
-    MLID_ASSERT(!live_[id], "allocating a live packet");
-    live_[id] = 1;
-    pool_[id] = Packet{};
+  const PacketId id = pool_.alloc();
+  if (id >= rt_.size()) {
+    rt_.emplace_back();
+  } else {
     rt_[id] = PacketRt{};
-    return id;
   }
-  pool_.emplace_back();
-  rt_.emplace_back();
-  live_.push_back(1);
-  return static_cast<PacketId>(pool_.size() - 1);
+  pool_.get(id) = Packet{};
+  return id;
 }
 
-void Simulation::release_packet(PacketId pkt) {
-  MLID_ASSERT(live_[pkt], "releasing a packet twice");
-  live_[pkt] = 0;
-  free_list_.push_back(pkt);
-}
+void Simulation::release_packet(PacketId pkt) { pool_.release(pkt); }
 
 VlId Simulation::assign_vl(NodeId src, NodeId dst) {
   const auto vls = static_cast<std::uint32_t>(cfg_.num_vls);
@@ -384,7 +403,7 @@ VlId Simulation::assign_vl(NodeId src, NodeId dst) {
 void Simulation::on_generate(NodeId node, SimTime now) {
   const NodeId dst = traffic_.pick_destination(node);
   const PacketId id = alloc_packet();
-  Packet& pkt = pool_[id];
+  Packet& pkt = pool_.get(id);
   pkt.src = node;
   pkt.dst = dst;
   pkt.slid = subnet_->slid_of(node);
@@ -404,7 +423,7 @@ void Simulation::on_generate(NodeId node, SimTime now) {
   }
 
   NodeState& ns = nodes_[node];
-  ns.source_queue[pkt.vl].push_back(id);
+  pool_.push_back(src_q_[node * vls_ + pkt.vl], id);
   ++ns.queued_pkts;
   result_.max_source_queue_pkts =
       std::max(result_.max_source_queue_pkts, ns.queued_pkts);
@@ -418,9 +437,10 @@ void Simulation::on_generate(NodeId node, SimTime now) {
 
 void Simulation::try_source_pull(NodeId node, VlId vl, SimTime now) {
   NodeState& ns = nodes_[node];
-  auto& queue = ns.source_queue[vl];
+  PacketQueue& queue = src_q_[node * vls_ + vl];
   if (queue.empty()) return;
-  std::size_t pick = 0;
+  PacketId pick = queue.head;
+  PacketId prev = kInvalidPacket;
   if (cc_on()) {
     // CCT injection gate, per destination (flow): the previous pull toward
     // a destination set an inter-packet delay on that flow.  A gated head
@@ -431,13 +451,14 @@ void Simulation::try_source_pull(NodeId node, VlId vl, SimTime now) {
     // gate opens.
     CcNode& cn = cc_nodes_[node];
     SimTime earliest = std::numeric_limits<SimTime>::max();
-    while (pick < queue.size()) {
-      const SimTime allowed = cn.next_allowed[pool_[queue[pick]].dst];
+    while (pick != kInvalidPacket) {
+      const SimTime allowed = cn.next_allowed[pool_.get(pick).dst];
       if (allowed <= now) break;
       earliest = std::min(earliest, allowed);
-      ++pick;
+      prev = pick;
+      pick = pool_.next_of(pick);
     }
-    if (pick == queue.size()) {
+    if (pick == kInvalidPacket) {
       if (!cn.release_scheduled) {
         cn.release_scheduled = true;
         cn.stats.throttled_ns += static_cast<std::uint64_t>(earliest - now);
@@ -447,21 +468,21 @@ void Simulation::try_source_pull(NodeId node, VlId vl, SimTime now) {
     }
   }
   const DeviceId dev = subnet_->fabric().node_device(node);
-  OutPort& out = devices_[dev].out[1];  // the endnode's single endport
-  VlOut& slot = out.vls[vl];
-  if (slot.free_slots == 0) return;
-  const PacketId pkt = queue[pick];
-  queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick));
+  const std::size_t fp = port_index(dev, 1);  // the endnode's single endport
+  const std::size_t vs = vl_index(fp, vl);
+  if (vl_free_slots_[vs] == 0) return;
+  const PacketId pkt = pick;
+  pool_.erase_after(queue, prev, pkt);
   --ns.queued_pkts;
-  --slot.free_slots;
-  slot.queue.push_back(pkt);
+  --vl_free_slots_[vs];
+  pool_.push_back(vl_q_[vs], pkt);
   if (cc_on()) {
     // The *next* pull toward this destination pays its CCT index as an
     // inter-packet delay (rate throttling, not retroactive blocking).
-    const SimTime delay = cct_[node].delay_ns(pool_[pkt].dst);
+    const SimTime delay = cct_[node].delay_ns(pool_.get(pkt).dst);
     if (delay > 0) {
       CcNode& cn = cc_nodes_[node];
-      cn.next_allowed[pool_[pkt].dst] = now + delay;
+      cn.next_allowed[pool_.get(pkt).dst] = now + delay;
       ++cn.stats.throttled_pkts;
     }
   }
@@ -501,7 +522,7 @@ void Simulation::count_drop(DropReason reason, PacketId pkt, DeviceId dev,
   // the convergence window may still die shortly after the last program
   // lands; those are convergence loss, not a recovery failure.
   if (sm_ != nullptr && result_.first_fault_ns >= 0 && sm_->converged() &&
-      pool_[pkt].injected_at >= sm_->stats().converged_at) {
+      pool_.get(pkt).injected_at >= sm_->stats().converged_at) {
     ++result_.drops_post_convergence;
   }
 }
@@ -517,62 +538,68 @@ void Simulation::drop_in_switch(PacketId pkt, SimTime now) {
     const PortRef up = subnet_->fabric().fabric().peer_of(rt.dev, rt.in_port);
     if (up.valid()) {
       schedule(now + cfg_.flying_time_ns, EventKind::kCreditArrive, up.device,
-               up.port, pool_[pkt].vl);
+               up.port, pool_.get(pkt).vl);
     }
   }
   trace_event(pkt, now, TracePoint::kDropped, rt.dev, rt.out_port,
-              pool_[pkt].vl, DropReason::kDeadLink);
+              pool_.get(pkt).vl, DropReason::kDeadLink);
   count_drop(DropReason::kDeadLink, pkt, rt.dev, now);
   release_packet(pkt);
 }
 
 void Simulation::kill_port(DeviceId dev, PortId port, SimTime now) {
-  OutPort& out = devices_[dev].out[port];
-  MLID_ASSERT(out.connected, "killing a port twice");
-  out.connected = false;
-  DeviceState& state = devices_[dev];
-  for (int vl = 0; vl < cfg_.num_vls; ++vl) {
-    VlOut& slot = out.vls[static_cast<std::size_t>(vl)];
-    if (slot.stall_since >= 0) {  // the stall ends with the link
-      slot.credit_stall_ns += now - slot.stall_since;
-      slot.stall_since = -1;
+  const std::size_t fp = port_index(dev, port);
+  MLID_ASSERT(port_connected_[fp], "killing a port twice");
+  port_connected_[fp] = 0;
+  for (std::size_t vl = 0; vl < vls_; ++vl) {
+    const std::size_t vs = vl_index(fp, vl);
+    VlTelemetry& cold = vl_cold_[vs];
+    if (cold.stall_since >= 0) {  // the stall ends with the link
+      cold.credit_stall_ns += now - cold.stall_since;
+      cold.stall_since = -1;
     }
-    slot.cc_stall_since = -1;  // whatever stalled here is dropped below
-    // A head already on the wire keeps its events: it is judged at head
-    // arrival on the (now dead) far side, and its tail-out still frees this
-    // slot.  Everything queued behind it is lost with the link.
-    const std::size_t keep = slot.head_started ? 1 : 0;
-    while (slot.queue.size() > keep) {
-      const PacketId pkt = slot.queue.back();
-      slot.queue.pop_back();
-      ++slot.free_slots;
-      drop_in_switch(pkt, now);
+    vl_cc_stall_since_[vs] = -1;  // whatever stalled here is dropped below
+    // A head already on the wire (vl_tx_pkt_) keeps its events: it is
+    // judged at head arrival on the (now dead) far side, and its tail-out
+    // still frees this slot.  Everything queued behind it is lost with the
+    // link.
+    PacketQueue& q = vl_q_[vs];
+    if (q.size > 0) {
+      // Snapshot the chain so the drops can run back-to-front (matching
+      // the historical pop_back order bit-for-bit) while the intrusive
+      // queue relinks once.
+      scratch_.clear();
+      for (PacketId p = q.head; p != kInvalidPacket; p = pool_.next_of(p)) {
+        scratch_.push_back(p);
+      }
+      q = PacketQueue{};
+      for (std::size_t i = scratch_.size(); i > 0; --i) {
+        ++vl_free_slots_[vs];
+        drop_in_switch(scratch_[i - 1], now);
+      }
     }
-    auto& waitq = state.wait[static_cast<std::size_t>(port) *
-                                static_cast<std::size_t>(cfg_.num_vls) +
-                            static_cast<std::size_t>(vl)];
+    PacketQueue& waitq = vl_wait_[vs];
     while (!waitq.empty()) {
-      const PacketId pkt = waitq.front();
-      waitq.pop_front();
+      const PacketId pkt = pool_.pop_front(waitq);
       drop_in_switch(pkt, now);
     }
   }
 }
 
 void Simulation::revive_port(DeviceId dev, PortId port) {
-  OutPort& out = devices_[dev].out[port];
-  MLID_EXPECT(!out.connected, "reviving a port that is not down");
-  for (int vl = 0; vl < cfg_.num_vls; ++vl) {
-    VlOut& slot = out.vls[static_cast<std::size_t>(vl)];
-    MLID_EXPECT(slot.queue.empty() && !slot.head_started,
+  const std::size_t fp = port_index(dev, port);
+  MLID_EXPECT(!port_connected_[fp], "reviving a port that is not down");
+  for (std::size_t vl = 0; vl < vls_; ++vl) {
+    const std::size_t vs = vl_index(fp, vl);
+    MLID_EXPECT(vl_q_[vs].empty() && vl_tx_pkt_[vs] == kInvalidPacket,
                 "link recovered while its last transmission is still "
                 "draining; space fail and recover events further apart");
-    slot.free_slots = cfg_.out_buf_pkts;
-    slot.credits = cfg_.in_buf_pkts;  // the reborn link starts empty
+    vl_free_slots_[vs] = cfg_.out_buf_pkts;
+    vl_credits_[vs] = cfg_.in_buf_pkts;  // the reborn link starts empty
   }
-  out.connected = true;
-  out.wrr_vl = 0;
-  out.wrr_budget = cfg_.vl_weights.empty() ? 1 : cfg_.vl_weights.front();
+  port_connected_[fp] = 1;
+  port_wrr_vl_[fp] = 0;
+  port_wrr_budget_[fp] = cfg_.vl_weights.empty() ? 1 : cfg_.vl_weights.front();
 }
 
 void Simulation::on_link_fail(DeviceId dev, PortId port, SimTime now) {
@@ -603,22 +630,22 @@ void Simulation::on_link_recover(DeviceId dev_a, PortId port_a,
 
 // --- link transmission ---------------------------------------------------------
 
-void Simulation::accumulate_utilization(OutPort& port, SimTime start,
+void Simulation::accumulate_utilization(std::size_t fp, SimTime start,
                                         SimTime end) {
   const SimTime lo = std::max(start, cfg_.warmup_ns);
   const SimTime hi = std::min(end, cfg_.end_time());
-  if (hi > lo) port.busy_in_window += hi - lo;
+  if (hi > lo) port_busy_in_window_[fp] += hi - lo;
 }
 
 void Simulation::try_tx(DeviceId dev, PortId port, SimTime now) {
-  OutPort& out = devices_[dev].out[port];
+  const std::size_t fp = port_index(dev, port);
   // A port can go down mid-run with credit returns / retries still queued
   // against it; those late events are simply void.
-  if (!out.connected) return;
-  if (out.busy_until > now) {
-    if (!out.retry_scheduled) {
-      out.retry_scheduled = true;
-      schedule(out.busy_until, EventKind::kTryTx, dev, port);
+  if (!port_connected_[fp]) return;
+  if (port_busy_until_[fp] > now) {
+    if (!port_retry_[fp]) {
+      port_retry_[fp] = 1;
+      schedule(port_busy_until_[fp], EventKind::kTryTx, dev, port);
     }
     return;
   }
@@ -627,27 +654,29 @@ void Simulation::try_tx(DeviceId dev, PortId port, SimTime now) {
   // the next eligible VL; with no weights configured every VL weighs 1,
   // which is plain round-robin.
   const int vls = cfg_.num_vls;
+  const std::size_t vbase = fp * vls_;
   auto weight_of = [&](int vl) {
     return cfg_.vl_weights.empty()
                ? 1
                : cfg_.vl_weights[static_cast<std::size_t>(vl)];
   };
   auto eligible = [&](int vl) {
-    const VlOut& cand = out.vls[static_cast<std::size_t>(vl)];
-    return !cand.queue.empty() && !cand.head_started && cand.credits > 0;
+    const std::size_t vs = vbase + static_cast<std::size_t>(vl);
+    return vl_q_[vs].size != 0 && vl_tx_pkt_[vs] == kInvalidPacket &&
+           vl_credits_[vs] > 0;
   };
   int chosen = -1;
   for (int i = 0; i < vls; ++i) {
-    const int vl = (out.wrr_vl + i) % vls;
+    const int vl = (port_wrr_vl_[fp] + i) % vls;
     if (!eligible(vl)) continue;
-    if (i == 0 && out.wrr_budget <= 0) continue;  // round used up: yield
+    if (i == 0 && port_wrr_budget_[fp] <= 0) continue;  // round used up: yield
     chosen = vl;
     break;
   }
-  if (chosen < 0 && eligible(out.wrr_vl)) {
+  if (chosen < 0 && eligible(port_wrr_vl_[fp])) {
     // Only the exhausted VL has traffic: start a fresh round for it.
-    chosen = out.wrr_vl;
-    out.wrr_budget = weight_of(chosen);
+    chosen = port_wrr_vl_[fp];
+    port_wrr_budget_[fp] = weight_of(chosen);
   }
   if (chosen < 0) {
     // Nothing eligible on an idle link: any VL whose head is blocked purely
@@ -655,10 +684,10 @@ void Simulation::try_tx(DeviceId dev, PortId port, SimTime now) {
     // closed when the credit arrives (kCreditArrive) or the link dies.
     if (cfg_.telemetry) {
       for (int vl = 0; vl < vls; ++vl) {
-        VlOut& cand = out.vls[static_cast<std::size_t>(vl)];
-        if (!cand.queue.empty() && !cand.head_started && cand.credits == 0 &&
-            cand.stall_since < 0) {
-          cand.stall_since = now;
+        const std::size_t vs = vbase + static_cast<std::size_t>(vl);
+        if (vl_q_[vs].size != 0 && vl_tx_pkt_[vs] == kInvalidPacket &&
+            vl_credits_[vs] == 0 && vl_cold_[vs].stall_since < 0) {
+          vl_cold_[vs].stall_since = now;
         }
       }
     }
@@ -666,55 +695,61 @@ void Simulation::try_tx(DeviceId dev, PortId port, SimTime now) {
       // Same clock, kept separate: CC marking must not depend on whether
       // telemetry collection is enabled.
       for (int vl = 0; vl < vls; ++vl) {
-        VlOut& cand = out.vls[static_cast<std::size_t>(vl)];
-        if (!cand.queue.empty() && !cand.head_started && cand.credits == 0 &&
-            cand.cc_stall_since < 0) {
-          cand.cc_stall_since = now;
+        const std::size_t vs = vbase + static_cast<std::size_t>(vl);
+        if (vl_q_[vs].size != 0 && vl_tx_pkt_[vs] == kInvalidPacket &&
+            vl_credits_[vs] == 0 && vl_cc_stall_since_[vs] < 0) {
+          vl_cc_stall_since_[vs] = now;
         }
       }
     }
     return;  // re-armed by credit arrival / new grant
   }
-  if (chosen != out.wrr_vl) {
-    out.wrr_vl = chosen;
-    out.wrr_budget = weight_of(chosen);
+  if (chosen != port_wrr_vl_[fp]) {
+    port_wrr_vl_[fp] = chosen;
+    port_wrr_budget_[fp] = weight_of(chosen);
   }
-  --out.wrr_budget;
-  VlOut& slot = out.vls[static_cast<std::size_t>(chosen)];
-  const PacketId pkt = slot.queue.front();
-  slot.head_started = true;
-  --slot.credits;  // reserve the downstream input slot
+  --port_wrr_budget_[fp];
+  const std::size_t vs = vbase + static_cast<std::size_t>(chosen);
+  // Unlink the head now: its head arrival downstream (and the queue it
+  // joins there) outruns our tail-out, and the pool owns only one
+  // intrusive link per packet.  The output slot stays reserved until
+  // tail-out (vl_free_slots_ is untouched here).
+  const PacketId pkt = pool_.pop_front(vl_q_[vs]);
+  vl_tx_pkt_[vs] = pkt;
+  --vl_credits_[vs];  // reserve the downstream input slot
   const SimTime wire = wire_ns(pkt);  // segments may be shorter than the MTU
-  accumulate_utilization(out, now, now + wire);
-  out.busy_until = now + wire;
-  ++out.packets_tx;
+  accumulate_utilization(fp, now, now + wire);
+  port_busy_until_[fp] = now + wire;
+  ++port_packets_tx_[fp];
   if (cfg_.telemetry) {
-    ++slot.pkts_tx;
-    slot.bytes_tx += pool_[pkt].size_bytes;
+    VlTelemetry& cold = vl_cold_[vs];
+    ++cold.pkts_tx;
+    cold.bytes_tx += pool_.get(pkt).size_bytes;
   }
   const bool from_endnode =
       subnet_->fabric().fabric().device(dev).kind() == DeviceKind::kEndnode;
   if (from_endnode) {
-    pool_[pkt].injected_at = now;  // head enters the first link
+    pool_.get(pkt).injected_at = now;  // head enters the first link
   }
-  if (cc_on() && slot.cc_stall_since >= 0) {
+  if (cc_on() && vl_cc_stall_since_[vs] >= 0) {
     // The head finally transmits after a credit-blocked wait.  A long
     // enough stall on a *switch* output is the congestion-tree signature
     // one-deep buffers hide from depth marking; NIC stalls are the
     // throttle's own doing and never self-mark.
     if (!from_endnode &&
-        now - slot.cc_stall_since >= cfg_.cc.fecn_stall_ns) {
+        now - vl_cc_stall_since_[vs] >= cfg_.cc.fecn_stall_ns) {
       mark_fecn(pkt, /*stall_mark=*/true, dev, port,
                 static_cast<VlId>(chosen));
     }
-    slot.cc_stall_since = -1;
+    vl_cc_stall_since_[vs] = -1;
   }
   trace_event(pkt, now,
               from_endnode ? TracePoint::kInjected : TracePoint::kForwarded,
               dev, port, static_cast<VlId>(chosen));
   const auto vl_id = static_cast<VlId>(chosen);
-  schedule(now + cfg_.flying_time_ns, EventKind::kHeadArrive, out.peer.device,
-           out.peer.port, vl_id, pkt);
+  const PortRef peer = port_peer_[fp];
+  schedule(now + cfg_.flying_time_ns, EventKind::kHeadArrive, peer.device,
+           peer.port, vl_id, pkt);
   schedule(now + wire, EventKind::kTailOut, dev, port, vl_id, pkt);
   // The packet's input-side slot on *this* switch drains as the tail leaves
   // (at now + wire); the credit then flies back upstream.  Scheduled here --
@@ -739,7 +774,7 @@ void Simulation::try_tx(DeviceId dev, PortId port, SimTime now) {
 
 void Simulation::on_head_arrive(DeviceId dev, PortId port, VlId vl,
                                 PacketId pkt, SimTime now) {
-  if (!devices_[dev].out[port].connected) {
+  if (!port_connected_[port_index(dev, port)]) {
     // The link died while the packet was on the wire.  Its tail-out on the
     // transmitting side still cleans up that output slot; here the packet
     // simply never lands.
@@ -763,9 +798,7 @@ void Simulation::on_head_arrive(DeviceId dev, PortId port, VlId vl,
 }
 
 PortId Simulation::pick_output(DeviceId dev, const Device& device, VlId vl,
-                               Lid dlid) const {
-  const Lft& lft = live_lft(device.switch_id);
-  const PortId deterministic = lft.lookup(dlid);
+                               PortId deterministic) const {
   if (cfg_.forwarding == ForwardingMode::kDeterministic ||
       first_up_port_[dev] == 0 || deterministic < first_up_port_[dev]) {
     // Down entries are unique (the destination sits in exactly one
@@ -777,13 +810,12 @@ PortId Simulation::pick_output(DeviceId dev, const Device& device, VlId vl,
   // ties toward the LFT's deterministic choice, then by port number.
   PortId best = deterministic;
   int best_score = -1;
-  const DeviceState& state = devices_[dev];
   for (PortId port = first_up_port_[dev]; port <= device.num_ports();
        ++port) {
-    const OutPort& out = state.out[port];
-    if (!out.connected) continue;
-    const VlOut& slot = out.vls[vl];
-    const int score = slot.free_slots + slot.credits;
+    const std::size_t fp = port_index(dev, port);
+    if (!port_connected_[fp]) continue;
+    const std::size_t vs = vl_index(fp, vl);
+    const int score = vl_free_slots_[vs] + vl_credits_[vs];
     if (score > best_score ||
         (score == best_score && port == deterministic)) {
       best_score = score;
@@ -796,9 +828,10 @@ PortId Simulation::pick_output(DeviceId dev, const Device& device, VlId vl,
 void Simulation::on_routed(DeviceId dev, PortId port, VlId vl, PacketId pkt,
                            SimTime now) {
   const Device& device = subnet_->fabric().fabric().device(dev);
-  const Lft& lft = live_lft(device.switch_id);
-  const Lid dlid = pool_[pkt].dlid;
-  if (!lft.has(dlid)) {
+  const CompactLft& lft = live_lft(device.switch_id);
+  const Lid dlid = pool_.get(pkt).dlid;
+  const PortId fwd = lft.find(dlid);
+  if (fwd == CompactLft::kNoEntry) {
     // No entry at all: a routing hole.  On an intact run the counter
     // doubles as a routing-bug detector; after a partitioning failure it
     // counts destinations the repaired tables legitimately cannot reach.
@@ -809,7 +842,7 @@ void Simulation::on_routed(DeviceId dev, PortId port, VlId vl, PacketId pkt,
     release_packet(pkt);
     return;
   }
-  if (!device.port_connected(lft.lookup(dlid))) {
+  if (!device.port_connected(fwd)) {
     // The entry points at a dead port: the table is stale relative to the
     // physical fabric.  With a live SM this is the convergence window;
     // with offline tables it is the permanent cost of not re-sweeping.
@@ -820,14 +853,10 @@ void Simulation::on_routed(DeviceId dev, PortId port, VlId vl, PacketId pkt,
     release_packet(pkt);
     return;
   }
-  const PortId out = pick_output(dev, device, vl, dlid);
-  ++pool_[pkt].hops;
-  VlOut& slot = devices_[dev].out[out].vls[vl];
-  auto& waitq =
-      devices_[dev].wait[static_cast<std::size_t>(out) *
-                             static_cast<std::size_t>(cfg_.num_vls) +
-                         vl];
-  if (cc_on() && slot.cc_stall_since < 0) {
+  const PortId out = pick_output(dev, device, vl, fwd);
+  ++pool_.get(pkt).hops;
+  const std::size_t vs = vl_index(port_index(dev, out), vl);
+  if (cc_on() && vl_cc_stall_since_[vs] < 0) {
     // FECN depth marking: the backlog this packet joins at its output
     // (granted queue + crossbar waiters), counting the packet itself.
     // Only at the congestion tree's *root*: a backlog that persists while
@@ -836,39 +865,39 @@ void Simulation::on_routed(DeviceId dev, PortId port, VlId vl, PacketId pkt,
     // victims of that root; marking there would throttle innocent flows
     // that merely share a link with the tree (they get the stall-mark
     // path instead, which only fires on the long-blocked head packet).
-    const std::size_t depth = slot.queue.size() + waitq.size() + 1;
+    const std::size_t depth = static_cast<std::size_t>(vl_q_[vs].size) +
+                              (vl_tx_pkt_[vs] != kInvalidPacket ? 1 : 0) +
+                              vl_wait_[vs].size + 1;
     if (depth >= cfg_.cc.fecn_threshold_pkts) {
       mark_fecn(pkt, /*stall_mark=*/false, dev, out, vl);
     }
   }
-  if (slot.free_slots > 0) {
+  if (vl_free_slots_[vs] > 0) {
     grant_output(dev, out, vl, pkt, now);
   } else {
-    waitq.push_back(pkt);
+    pool_.push_back(vl_wait_[vs], pkt);
     if (cfg_.telemetry) note_queue_depth(dev, out, vl);
   }
 }
 
 void Simulation::grant_output(DeviceId dev, PortId out, VlId vl, PacketId pkt,
                               SimTime now) {
-  VlOut& slot = devices_[dev].out[out].vls[vl];
-  MLID_ASSERT(slot.free_slots > 0, "granting without a free output slot");
-  --slot.free_slots;
-  slot.queue.push_back(pkt);
+  const std::size_t vs = vl_index(port_index(dev, out), vl);
+  MLID_ASSERT(vl_free_slots_[vs] > 0, "granting without a free output slot");
+  --vl_free_slots_[vs];
+  pool_.push_back(vl_q_[vs], pkt);
   rt_[pkt].out_port = out;
   if (cfg_.telemetry) note_queue_depth(dev, out, vl);
   try_tx(dev, out, now);
 }
 
 void Simulation::note_queue_depth(DeviceId dev, PortId out, VlId vl) {
-  VlOut& slot = devices_[dev].out[out].vls[vl];
-  const auto& waitq =
-      devices_[dev].wait[static_cast<std::size_t>(out) *
-                             static_cast<std::size_t>(cfg_.num_vls) +
-                         static_cast<std::size_t>(vl)];
-  const auto depth =
-      static_cast<std::uint32_t>(slot.queue.size() + waitq.size());
-  slot.peak_queue_pkts = std::max(slot.peak_queue_pkts, depth);
+  const std::size_t vs = vl_index(port_index(dev, out), vl);
+  const std::uint32_t depth = vl_q_[vs].size +
+                              (vl_tx_pkt_[vs] != kInvalidPacket ? 1u : 0u) +
+                              vl_wait_[vs].size;
+  vl_cold_[vs].peak_queue_pkts =
+      std::max(vl_cold_[vs].peak_queue_pkts, depth);
 }
 
 void Simulation::return_credit_upstream(DeviceId dev, PortId in_port, VlId vl,
@@ -886,21 +915,17 @@ void Simulation::return_credit_upstream(DeviceId dev, PortId in_port, VlId vl,
 
 void Simulation::on_tail_out(DeviceId dev, PortId port, VlId vl, PacketId pkt,
                              SimTime now) {
-  OutPort& out = devices_[dev].out[port];
-  VlOut& slot = out.vls[vl];
-  MLID_ASSERT(!slot.queue.empty() && slot.queue.front() == pkt,
+  const std::size_t fp = port_index(dev, port);
+  const std::size_t vs = vl_index(fp, vl);
+  MLID_ASSERT(vl_tx_pkt_[vs] == pkt,
               "tail-out for a packet that is not the transmitting head");
-  slot.queue.pop_front();
-  slot.head_started = false;
-  ++slot.free_slots;
+  vl_tx_pkt_[vs] = kInvalidPacket;
+  ++vl_free_slots_[vs];
 
   // The output slot freed: admit the longest-waiting routed packet, if any.
-  auto& waitq = devices_[dev].wait[static_cast<std::size_t>(port) *
-                                       static_cast<std::size_t>(cfg_.num_vls) +
-                                   vl];
+  PacketQueue& waitq = vl_wait_[vs];
   if (!waitq.empty()) {
-    const PacketId next = waitq.front();
-    waitq.pop_front();
+    const PacketId next = pool_.pop_front(waitq);
     grant_output(dev, port, vl, next, now);
   }
 
@@ -924,7 +949,7 @@ void Simulation::on_tail_out(DeviceId dev, PortId port, VlId vl, PacketId pkt,
 
 void Simulation::on_deliver(DeviceId dev, PortId port, VlId vl, PacketId pkt,
                             SimTime now) {
-  Packet& p = pool_[pkt];
+  Packet& p = pool_.get(pkt);
   MLID_ASSERT(p.delivered_at < 0, "packet delivered twice");
   MLID_ASSERT(subnet_->fabric().node_device(subnet_->node_of(p.dlid)) == dev,
               "packet delivered to a node that does not own its DLID");
@@ -1003,7 +1028,7 @@ void Simulation::accumulate_delivery(const DeliveryRecord& rec) {
 
 void Simulation::mark_fecn(PacketId pkt, bool stall_mark, DeviceId dev,
                            PortId port, VlId vl) {
-  Packet& p = pool_[pkt];
+  Packet& p = pool_.get(pkt);
   if (p.fecn) return;  // one mark per packet, whichever trigger fires first
   p.fecn = true;
   ++cc_fecn_marked_;
@@ -1012,7 +1037,9 @@ void Simulation::mark_fecn(PacketId pkt, bool stall_mark, DeviceId dev,
   } else {
     ++cc_fecn_depth_marks_;
   }
-  if (cfg_.telemetry) ++devices_[dev].out[port].vls[vl].fecn_marks;
+  if (cfg_.telemetry) {
+    ++vl_cold_[vl_index(port_index(dev, port), vl)].fecn_marks;
+  }
 }
 
 void Simulation::on_becn(NodeId src, NodeId dst, SimTime now) {
@@ -1077,8 +1104,20 @@ void Simulation::trace_event(PacketId pkt, SimTime now, TracePoint point,
                              DropReason drop) {
   const std::int32_t idx = rt_[pkt].trace;
   if (idx < 0) return;
-  traces_[static_cast<std::size_t>(idx)].events.push_back(
-      TraceEvent{now, point, dev, port, vl, drop});
+  // Pooled: one arena append instead of growing a per-record vector on the
+  // hot path.  materialize_traces() distributes at run end.
+  trace_arena_.push_back(
+      PendingTraceEvent{idx, TraceEvent{now, point, dev, port, vl, drop}});
+}
+
+void Simulation::materialize_traces() {
+  if (trace_arena_.empty()) return;
+  for (const PendingTraceEvent& pending : trace_arena_) {
+    traces_[static_cast<std::size_t>(pending.rec)].events.push_back(
+        pending.ev);
+  }
+  trace_arena_.clear();
+  trace_arena_.shrink_to_fit();
 }
 
 // --- time-resolved observability ---------------------------------------------
@@ -1105,39 +1144,42 @@ void Simulation::take_sample(SimTime t) {
   sampled_becn_ = cc_becn_sent_;
   s.in_flight = result_.packets_generated - result_.packets_delivered -
                 result_.packets_dropped;
+  collect_sample_gauges(s);
+  timeline_.append(s);
+}
 
+void Simulation::collect_sample_gauges(TimelineSample& s) const {
   const Fabric& g = subnet_->fabric().fabric();
   for (DeviceId dev = 0; dev < g.num_devices(); ++dev) {
-    const DeviceState& state = devices_[dev];
+    if (sharded() && (*shard_.dev_shard)[dev] != shard_.shard_id) continue;
     for (PortId port = 1; port <= g.device(dev).num_ports(); ++port) {
-      const OutPort& out = state.out[port];
-      if (!out.connected) continue;
-      for (int vl = 0; vl < cfg_.num_vls; ++vl) {
-        const VlOut& slot = out.vls[static_cast<std::size_t>(vl)];
-        const auto& waitq =
-            state.wait[static_cast<std::size_t>(port) *
-                           static_cast<std::size_t>(cfg_.num_vls) +
-                       static_cast<std::size_t>(vl)];
-        const auto depth =
-            static_cast<std::uint32_t>(slot.queue.size() + waitq.size());
+      const std::size_t fp = port_index(dev, port);
+      if (!port_connected_[fp]) continue;
+      for (std::size_t vl = 0; vl < vls_; ++vl) {
+        const std::size_t vs = vl_index(fp, vl);
+        const std::uint32_t depth =
+            vl_q_[vs].size + (vl_tx_pkt_[vs] != kInvalidPacket ? 1u : 0u) +
+            vl_wait_[vs].size;
         s.queued_pkts += depth;
         s.max_queue_depth = std::max(s.max_queue_depth, depth);
         // The same structural condition the credit-stall telemetry clocks,
         // read directly so the sample does not depend on cfg_.telemetry.
-        if (!slot.queue.empty() && !slot.head_started && slot.credits == 0) {
+        if (vl_q_[vs].size != 0 && vl_tx_pkt_[vs] == kInvalidPacket &&
+            vl_credits_[vs] == 0) {
           ++s.stalled_vls;
         }
       }
     }
   }
   if (cc_on()) {
-    for (const CongestionControlTable& cct : cct_) {
+    for (NodeId node = 0; node < cct_.size(); ++node) {
+      if (sharded() && (*shard_.node_shard)[node] != shard_.shard_id) continue;
+      const CongestionControlTable& cct = cct_[node];
       if (!cct.any_active()) continue;
       ++s.cct_active_nodes;
       s.peak_cct_index = std::max(s.peak_cct_index, cct.max_index());
     }
   }
-  timeline_.append(s);
 }
 
 void Simulation::record_flight(const Event& e) {
@@ -1236,15 +1278,46 @@ std::vector<LinkLoad> Simulation::link_loads() const {
   const Fabric& g = subnet_->fabric().fabric();
   for (DeviceId dev = 0; dev < g.num_devices(); ++dev) {
     for (PortId port = 1; port <= g.device(dev).num_ports(); ++port) {
-      const OutPort& out = devices_[dev].out[port];
-      if (!out.connected) continue;
+      const std::size_t fp = port_index(dev, port);
+      if (!port_connected_[fp]) continue;
       loads.push_back(LinkLoad{
-          dev, port, out.packets_tx,
-          static_cast<double>(out.busy_in_window) /
+          dev, port, port_packets_tx_[fp],
+          static_cast<double>(port_busy_in_window_[fp]) /
               static_cast<double>(cfg_.measure_ns)});
     }
   }
   return loads;
+}
+
+// --- memory accounting -------------------------------------------------------
+
+std::size_t Simulation::memory_footprint() const noexcept {
+  const auto vec_bytes = [](const auto& v) noexcept {
+    using T = typename std::remove_reference_t<decltype(v)>::value_type;
+    return v.capacity() * sizeof(T);
+  };
+  std::size_t total = pool_.memory_bytes() + vec_bytes(rt_);
+  total += vec_bytes(port_base_) + vec_bytes(port_peer_) +
+           vec_bytes(port_busy_until_) + vec_bytes(port_busy_in_window_) +
+           vec_bytes(port_packets_tx_) + vec_bytes(port_wrr_vl_) +
+           vec_bytes(port_wrr_budget_) + vec_bytes(port_retry_) +
+           vec_bytes(port_connected_);
+  total += vec_bytes(vl_q_) + vec_bytes(vl_wait_) + vec_bytes(vl_free_slots_) +
+           vec_bytes(vl_credits_) + vec_bytes(vl_tx_pkt_) +
+           vec_bytes(vl_cc_stall_since_) + vec_bytes(vl_cold_);
+  total += vec_bytes(src_q_) + vec_bytes(scratch_) + vec_bytes(nodes_) +
+           vec_bytes(first_up_port_) + vec_bytes(vl_rng_);
+  // CC state (next_allowed is the O(nodes^2) part; CCT internals are
+  // approximated by their object size).
+  total += vec_bytes(cc_nodes_) + vec_bytes(cct_) + vec_bytes(cc_index_hist_);
+  for (const CcNode& cn : cc_nodes_) total += vec_bytes(cn.next_allowed);
+  total += vec_bytes(timeline_.samples) + vec_bytes(flight_ring_) +
+           vec_bytes(flight_pos_) + vec_bytes(flight_len_);
+  total += vec_bytes(deliveries_) + vec_bytes(trace_arena_) +
+           vec_bytes(traces_) + vec_bytes(msgs_);
+  total += vec_bytes(delivered_per_vl_) + vec_bytes(latency_per_vl_) +
+           vec_bytes(bytes_per_node_);
+  return total;
 }
 
 // --- main loop ---------------------------------------------------------------------
@@ -1266,15 +1339,16 @@ void Simulation::dispatch(const Event& e) {
       on_tail_out(e.dev, e.port, e.vl, e.pkt, e.time);
       break;
     case EventKind::kCreditArrive: {
-      OutPort& out = devices_[e.dev].out[e.port];
-      if (!out.connected) break;  // credit for a dead port: void
-      VlOut& slot = out.vls[e.vl];
-      if (slot.stall_since >= 0) {
-        slot.credit_stall_ns += e.time - slot.stall_since;
-        slot.stall_since = -1;
+      const std::size_t fp = port_index(e.dev, e.port);
+      if (!port_connected_[fp]) break;  // credit for a dead port: void
+      const std::size_t vs = vl_index(fp, e.vl);
+      VlTelemetry& cold = vl_cold_[vs];
+      if (cold.stall_since >= 0) {
+        cold.credit_stall_ns += e.time - cold.stall_since;
+        cold.stall_since = -1;
       }
-      if (slot.credits < cfg_.in_buf_pkts) {
-        ++slot.credits;
+      if (vl_credits_[vs] < cfg_.in_buf_pkts) {
+        ++vl_credits_[vs];
       } else {
         // Only possible after a fail/recover cycle: a packet that crossed
         // the link before the failure returns its credit to the revived
@@ -1285,7 +1359,7 @@ void Simulation::dispatch(const Event& e) {
       break;
     }
     case EventKind::kTryTx:
-      devices_[e.dev].out[e.port].retry_scheduled = false;
+      port_retry_[port_index(e.dev, e.port)] = 0;
       try_tx(e.dev, e.port, e.time);
       break;
     case EventKind::kDeliver:
@@ -1338,6 +1412,7 @@ BurstResult Simulation::run_to_completion() {
                   result_.packets_generated,
               "burst did not fully drain");
   check_invariants();
+  materialize_traces();
   return finalize_burst(events_.events_processed(),
                         events_.events_scheduled());
 }
@@ -1373,12 +1448,13 @@ LinkSummary Simulation::finish_link_telemetry(SimTime end, SimTime window_ns) {
   OnlineStats util;
   for (DeviceId dev = 0; dev < g.num_devices(); ++dev) {
     for (PortId port = 1; port <= g.device(dev).num_ports(); ++port) {
-      OutPort& out = devices_[dev].out[port];
-      if (!out.connected) continue;
+      const std::size_t fp = port_index(dev, port);
+      if (!port_connected_[fp]) continue;
       ++summary.links;
-      util.add(static_cast<double>(out.busy_in_window) /
+      util.add(static_cast<double>(port_busy_in_window_[fp]) /
                static_cast<double>(window_ns));
-      for (VlOut& slot : out.vls) {
+      for (std::size_t vl = 0; vl < vls_; ++vl) {
+        VlTelemetry& slot = vl_cold_[vl_index(fp, vl)];
         if (slot.stall_since >= 0) {  // still blocked when the run ended
           slot.credit_stall_ns += end - slot.stall_since;
           slot.stall_since = -1;
@@ -1412,15 +1488,17 @@ std::vector<LinkStats> Simulation::link_stats() const {
   const Fabric& g = subnet_->fabric().fabric();
   for (DeviceId dev = 0; dev < g.num_devices(); ++dev) {
     for (PortId port = 1; port <= g.device(dev).num_ports(); ++port) {
-      const OutPort& out = devices_[dev].out[port];
-      if (!out.connected) continue;
+      const std::size_t fp = port_index(dev, port);
+      if (!port_connected_[fp]) continue;
       LinkStats link;
       link.dev = dev;
       link.port = port;
-      link.busy_ns = out.busy_in_window;
-      link.utilization = static_cast<double>(out.busy_in_window) / window;
-      link.vls.reserve(out.vls.size());
-      for (const VlOut& slot : out.vls) {
+      link.busy_ns = port_busy_in_window_[fp];
+      link.utilization =
+          static_cast<double>(port_busy_in_window_[fp]) / window;
+      link.vls.reserve(vls_);
+      for (std::size_t v = 0; v < vls_; ++v) {
+        const VlTelemetry& slot = vl_cold_[vl_index(fp, v)];
         VlLinkStats vl;
         vl.packets_tx = slot.pkts_tx;
         vl.bytes_tx = slot.bytes_tx;
@@ -1444,21 +1522,25 @@ std::vector<LinkStats> Simulation::link_stats() const {
 void Simulation::check_invariants() const {
   const Fabric& g = subnet_->fabric().fabric();
   for (DeviceId dev = 0; dev < g.num_devices(); ++dev) {
-    const DeviceState& state = devices_[dev];
     for (PortId port = 1; port <= g.device(dev).num_ports(); ++port) {
-      const OutPort& out = state.out[port];
-      if (!out.connected) continue;
-      for (int vl = 0; vl < cfg_.num_vls; ++vl) {
-        const VlOut& slot = out.vls[static_cast<std::size_t>(vl)];
-        MLID_EXPECT(slot.free_slots >= 0 &&
-                        slot.free_slots +
-                                static_cast<int>(slot.queue.size()) ==
-                            cfg_.out_buf_pkts,
+      const std::size_t fp = port_index(dev, port);
+      if (!port_connected_[fp]) continue;
+      for (std::size_t vl = 0; vl < vls_; ++vl) {
+        const std::size_t vs = vl_index(fp, vl);
+        const int occupied =
+            static_cast<int>(vl_q_[vs].size) +
+            (vl_tx_pkt_[vs] != kInvalidPacket ? 1 : 0);
+        MLID_EXPECT(vl_free_slots_[vs] >= 0 &&
+                        vl_free_slots_[vs] + occupied == cfg_.out_buf_pkts,
                     "output slot accounting out of balance");
-        MLID_EXPECT(slot.credits >= 0 && slot.credits <= cfg_.in_buf_pkts,
+        MLID_EXPECT(vl_credits_[vs] >= 0 &&
+                        vl_credits_[vs] <= cfg_.in_buf_pkts,
                     "credit counter out of range");
-        MLID_EXPECT(!slot.head_started || !slot.queue.empty(),
-                    "transmission in progress without a head packet");
+        // Merged shard state carries foreign pool ids (each shard owns its
+        // own PacketPool), so the liveness cross-check is sequential-only.
+        MLID_EXPECT(sharded() || vl_tx_pkt_[vs] == kInvalidPacket ||
+                        pool_.is_live(vl_tx_pkt_[vs]),
+                    "transmission in progress without a live head packet");
       }
     }
   }
@@ -1505,6 +1587,7 @@ SimResult Simulation::run() {
     }
     throw;
   }
+  materialize_traces();
   return finalize_open_loop(events_.events_processed(),
                             events_.events_scheduled());
 }
@@ -1532,12 +1615,10 @@ SimResult Simulation::finalize_open_loop(std::uint64_t events_processed,
   result_.avg_hops = hops_window_.mean();
 
   OnlineStats util;
-  for (const auto& devstate : devices_) {
-    for (const auto& out : devstate.out) {
-      if (!out.connected) continue;
-      util.add(static_cast<double>(out.busy_in_window) /
-               static_cast<double>(cfg_.measure_ns));
-    }
+  for (std::size_t fp = 0; fp < port_connected_.size(); ++fp) {
+    if (!port_connected_[fp]) continue;
+    util.add(static_cast<double>(port_busy_in_window_[fp]) /
+             static_cast<double>(cfg_.measure_ns));
   }
   result_.mean_link_utilization = util.mean();
   result_.max_link_utilization = util.max();
@@ -1592,30 +1673,32 @@ std::string Simulation::stall_report() const {
   std::ostringstream os;
   const Fabric& g = subnet_->fabric().fabric();
   for (DeviceId dev = 0; dev < g.num_devices(); ++dev) {
-    const DeviceState& state = devices_[dev];
     for (PortId port = 1; port <= g.device(dev).num_ports(); ++port) {
-      const OutPort& out = state.out[port];
-      if (!out.connected) continue;
-      for (int vl = 0; vl < cfg_.num_vls; ++vl) {
-        const VlOut& slot = out.vls[static_cast<std::size_t>(vl)];
-        const auto& waitq =
-            state.wait[static_cast<std::size_t>(port) *
-                           static_cast<std::size_t>(cfg_.num_vls) +
-                       static_cast<std::size_t>(vl)];
-        if (slot.queue.empty() && waitq.empty()) continue;
+      const std::size_t fp = port_index(dev, port);
+      if (!port_connected_[fp]) continue;
+      for (std::size_t vl = 0; vl < vls_; ++vl) {
+        const std::size_t vs = vl_index(fp, vl);
+        const PacketQueue& queue = vl_q_[vs];
+        const PacketQueue& waitq = vl_wait_[vs];
+        if (queue.empty() && waitq.empty()) continue;
         os << g.device(dev).name() << " port " << int(port) << " vl " << vl
-           << ": out_q=" << slot.queue.size()
-           << " started=" << slot.head_started << " credits=" << slot.credits
-           << " waitq=" << waitq.size() << " busy_until=" << out.busy_until
-           << " retry=" << out.retry_scheduled << "\n";
-        for (PacketId pkt : slot.queue) {
-          os << "    out pkt " << pkt << " src=" << pool_[pkt].src << " dst="
-             << pool_[pkt].dst << " dlid=" << pool_[pkt].dlid
+           << ": out_q=" << queue.size
+           << " started=" << (vl_tx_pkt_[vs] != kInvalidPacket)
+           << " credits=" << vl_credits_[vs] << " waitq=" << waitq.size
+           << " busy_until=" << port_busy_until_[fp]
+           << " retry=" << bool(port_retry_[fp]) << "\n";
+        for (PacketId pkt = queue.head; pkt != kInvalidPacket;
+             pkt = pool_.next_of(pkt)) {
+          os << "    out pkt " << pkt << " src=" << pool_.get(pkt).src
+             << " dst=" << pool_.get(pkt).dst
+             << " dlid=" << pool_.get(pkt).dlid
              << " in_port=" << int(rt_[pkt].in_port) << "\n";
         }
-        for (PacketId pkt : waitq) {
-          os << "    wait pkt " << pkt << " src=" << pool_[pkt].src << " dst="
-             << pool_[pkt].dst << " dlid=" << pool_[pkt].dlid
+        for (PacketId pkt = waitq.head; pkt != kInvalidPacket;
+             pkt = pool_.next_of(pkt)) {
+          os << "    wait pkt " << pkt << " src=" << pool_.get(pkt).src
+             << " dst=" << pool_.get(pkt).dst
+             << " dlid=" << pool_.get(pkt).dlid
              << " in_port=" << int(rt_[pkt].in_port) << "\n";
         }
       }

@@ -12,7 +12,6 @@
 // Every run is bit-deterministic for a given (config, traffic) seed pair.
 #pragma once
 
-#include <deque>
 #include <vector>
 
 #include "cc/cct.hpp"
@@ -21,6 +20,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/fault_schedule.hpp"
 #include "sim/metrics.hpp"
+#include "sim/packet_pool.hpp"
 #include "sim/timeline.hpp"
 #include "sim/trace.hpp"
 #include "sim/traffic.hpp"
@@ -157,6 +157,15 @@ class Simulation {
   /// valid after run() / run_to_completion().
   [[nodiscard]] std::vector<CcNodeStats> cc_node_stats() const;
 
+  /// Analytic engine-resident heap footprint in bytes: the packet pool,
+  /// the flat per-port / per-VL arrays, source queues, timeline, traces
+  /// and delivery log.  Deliberately *not* an RSS probe, so it is stable
+  /// under sanitizers and across allocators; the scale bench divides it by
+  /// the fabric's port count for the bytes/endport budget.  Excludes the
+  /// pending-event queue (bounded by in-flight events, not fabric size)
+  /// and the routing tables (CompiledRoutes::memory_bytes()).
+  [[nodiscard]] std::size_t memory_footprint() const noexcept;
+
  private:
   /// The conservative-sync parallel driver (parallel/sharded.hpp) drives
   /// shard instances through the private machinery: it pops/dispatches
@@ -164,37 +173,28 @@ class Simulation {
   friend class ShardedSimulation;
 
   // --- engine state types ----------------------------------------------------
-  struct VlOut {
-    std::deque<PacketId> queue;  ///< granted packets, FIFO; head may transmit
-    int free_slots = 0;
-    int credits = 0;             ///< downstream input slots available
-    bool head_started = false;   ///< head packet is on the wire
-    // Telemetry counters (only touched when cfg_.telemetry is on).
+  //
+  // Hot per-port / per-VL state lives in flat struct-of-arrays storage,
+  // indexed through a prefix sum over device port counts:
+  //
+  //   fp = port_base_[dev] + port     physical-port slot (ports are 1-based;
+  //                                   slot 0 of every device is unused)
+  //   vs = fp * vls_ + vl             (port, VL) slot
+  //
+  // Packet FIFOs are intrusive PacketQueues threaded through the pool's
+  // per-slot links (sim/packet_pool.hpp): 16 bytes per queue instead of a
+  // std::deque and its heap blocks, and the arbitration hot loop touches
+  // three small parallel arrays instead of striding over 100+-byte structs.
+
+  /// Cold per-(port, VL) counters: telemetry accumulators (only touched
+  /// when cfg_.telemetry is on) kept out of the hot arrays.
+  struct VlTelemetry {
     std::uint64_t pkts_tx = 0;
     std::uint64_t bytes_tx = 0;
-    SimTime stall_since = -1;       ///< head blocked on credits since (-1 = no)
-    SimTime credit_stall_ns = 0;    ///< accumulated credit-blocked idle time
+    SimTime stall_since = -1;     ///< head blocked on credits since (-1 = no)
+    SimTime credit_stall_ns = 0;  ///< accumulated credit-blocked idle time
     std::uint32_t peak_queue_pkts = 0;
-    // Congestion control (only touched when cfg_.cc.enabled).  A separate
-    // stall clock from the telemetry one above: CC behavior must be
-    // identical whether telemetry is on or off.
-    SimTime cc_stall_since = -1;    ///< head credit-blocked since (-1 = no)
-    std::uint64_t fecn_marks = 0;   ///< marks stamped here (telemetry only)
-  };
-  struct OutPort {
-    std::vector<VlOut> vls;
-    PortRef peer;
-    SimTime busy_until = 0;
-    SimTime busy_in_window = 0;
-    std::uint64_t packets_tx = 0;
-    int wrr_vl = 0;      ///< VL whose arbitration round is in progress
-    int wrr_budget = 0;  ///< packets the current VL may still send
-    bool retry_scheduled = false;
-    bool connected = false;
-  };
-  struct DeviceState {
-    std::vector<OutPort> out;                      ///< index = physical port
-    std::vector<std::deque<PacketId>> wait;        ///< [port * vls + vl]
+    std::uint64_t fecn_marks = 0;  ///< marks stamped here (telemetry only)
   };
   struct PacketRt {
     DeviceId dev = kInvalidDevice;
@@ -206,7 +206,6 @@ class Simulation {
     bool handed_off = false;
   };
   struct NodeState {
-    std::vector<std::deque<PacketId>> source_queue;  ///< per VL
     double next_gen_ns = 0.0;
     std::uint64_t queued_pkts = 0;
     std::uint64_t generated = 0;  ///< per-source Packet::corder counter
@@ -245,6 +244,23 @@ class Simulation {
     CcNodeStats stats;
   };
 
+  /// One pooled trace event: packet traces append here during the run and
+  /// are distributed into traces_[rec].events once at run end, replacing
+  /// per-record vector growth on the hot path.
+  struct PendingTraceEvent {
+    std::int32_t rec = -1;  ///< index into traces_
+    TraceEvent ev;
+  };
+
+  // --- flat-state index helpers ----------------------------------------------
+  [[nodiscard]] std::size_t port_index(DeviceId dev, PortId port) const noexcept {
+    return port_base_[dev] + port;
+  }
+  [[nodiscard]] std::size_t vl_index(std::size_t fp,
+                                     std::size_t vl) const noexcept {
+    return fp * vls_ + vl;
+  }
+
   // --- event handlers ---------------------------------------------------------
   void on_generate(NodeId node, SimTime now);
   void on_head_arrive(DeviceId dev, PortId port, VlId vl, PacketId pkt,
@@ -278,14 +294,17 @@ class Simulation {
   void kill_port(DeviceId dev, PortId port, SimTime now);
   void revive_port(DeviceId dev, PortId port);
   void drop_in_switch(PacketId pkt, SimTime now);
-  [[nodiscard]] const Lft& live_lft(SwitchId sw) const {
+  [[nodiscard]] const CompactLft& live_lft(SwitchId sw) const {
     return sm_ ? sm_->lft(sw) : subnet_->routes().lft(sw);
   }
 
   // --- mechanics ---------------------------------------------------------------
   void try_source_pull(NodeId node, VlId vl, SimTime now);
+  /// `deterministic` is the LFT answer for the packet's DLID (the caller
+  /// already looked it up); adaptive mode may override it with another
+  /// up-port on the same switch.
   [[nodiscard]] PortId pick_output(DeviceId dev, const Device& device,
-                                   VlId vl, Lid dlid) const;
+                                   VlId vl, PortId deterministic) const;
   void try_tx(DeviceId dev, PortId port, SimTime now);
   void grant_output(DeviceId dev, PortId out, VlId vl, PacketId pkt,
                     SimTime now);
@@ -349,15 +368,21 @@ class Simulation {
   PacketId alloc_packet();
   void release_packet(PacketId pkt);
   [[nodiscard]] SimTime wire_ns(PacketId pkt) const {
-    return static_cast<SimTime>(pool_[pkt].size_bytes) * cfg_.byte_time_ns;
+    return static_cast<SimTime>(pool_.get(pkt).size_bytes) * cfg_.byte_time_ns;
   }
   void dispatch(const Event& e);
   void trace_event(PacketId pkt, SimTime now, TracePoint point, DeviceId dev,
                    PortId port, VlId vl,
                    DropReason drop = DropReason::kNone);
+  /// Distributes the pooled trace arena into traces_[i].events (run end).
+  void materialize_traces();
   // --- time-resolved observability (all passive; see sim/timeline.hpp) -------
   /// Snapshots one TimelineSample at simulated time `t` (counters-only).
   void take_sample(SimTime t);
+  /// Fills the gauge fields of `s` by scanning this engine's (owned)
+  /// devices and HCAs.  Shared by the sequential sampler and -- summed
+  /// across shards -- the sharded driver's sampler.
+  void collect_sample_gauges(TimelineSample& s) const;
   void record_flight(const Event& e);
   void record_control(const Event& e);
   /// The device a dispatched event belongs to for the flight recorder
@@ -367,7 +392,7 @@ class Simulation {
   [[nodiscard]] FlightRecorderDump render_flight_ring(DeviceId dev, SimTime at,
                                                       std::string cause) const;
   [[nodiscard]] VlId assign_vl(NodeId src, NodeId dst);
-  void accumulate_utilization(OutPort& port, SimTime start, SimTime end);
+  void accumulate_utilization(std::size_t fp, SimTime start, SimTime end);
   /// Closes open credit-stall intervals at `end` and rolls the per-link /
   /// per-VL counters up into a LinkSummary (utilization is busy time over
   /// `window_ns`).  No-op without cfg_.telemetry.
@@ -385,11 +410,42 @@ class Simulation {
   double gen_interval_ns_;
 
   EventQueue events_;
-  std::vector<Packet> pool_;
-  std::vector<PacketRt> rt_;
-  std::vector<char> live_;  ///< alloc/release pairing guard
-  std::vector<PacketId> free_list_;
-  std::vector<DeviceState> devices_;
+  PacketPool pool_;          ///< generation-checked slots + intrusive links
+  std::vector<PacketRt> rt_; ///< routing scratch, parallel to the pool
+
+  // --- flat per-port / per-VL state (see the layout comment above) -----------
+  std::vector<std::size_t> port_base_;  ///< per device + one end sentinel
+  std::size_t vls_ = 1;                 ///< cfg_.num_vls as an index stride
+  // Indexed by physical-port slot fp:
+  std::vector<PortRef> port_peer_;
+  std::vector<SimTime> port_busy_until_;
+  std::vector<SimTime> port_busy_in_window_;
+  std::vector<std::uint64_t> port_packets_tx_;
+  std::vector<std::int32_t> port_wrr_vl_;      ///< VL whose round is running
+  std::vector<std::int32_t> port_wrr_budget_;  ///< packets it may still send
+  std::vector<std::uint8_t> port_retry_;       ///< a kTryTx is already queued
+  std::vector<std::uint8_t> port_connected_;
+  // Indexed by (port, VL) slot vs:
+  std::vector<PacketQueue> vl_q_;     ///< granted packets awaiting the wire
+  std::vector<PacketQueue> vl_wait_;  ///< crossbar wait queue
+  std::vector<std::int32_t> vl_free_slots_;
+  std::vector<std::int32_t> vl_credits_;  ///< downstream input slots available
+  /// The head packet whose transmission is in progress (kInvalidPacket when
+  /// the wire is idle).  Popped out of vl_q_ at transmit time: the pool owns
+  /// exactly one intrusive link per packet, and the downstream hop queues
+  /// the packet again (head arrival outruns our tail-out), so the
+  /// transmitting head must not stay linked here.  It still occupies its
+  /// output slot until tail-out frees it.
+  std::vector<PacketId> vl_tx_pkt_;
+  /// Congestion control's credit-stall clock (only touched when
+  /// cfg_.cc.enabled).  A separate clock from the telemetry one in
+  /// VlTelemetry: CC behavior must be identical whether telemetry is on
+  /// or off.
+  std::vector<SimTime> vl_cc_stall_since_;
+  std::vector<VlTelemetry> vl_cold_;
+  std::vector<PacketQueue> src_q_;  ///< NIC source queues [node * vls_ + vl]
+  std::vector<PacketId> scratch_;   ///< kill_port queue snapshot
+
   std::vector<NodeState> nodes_;
   std::vector<PortId> first_up_port_;  ///< per device; 0 = no up ports
   std::vector<Xoshiro256> vl_rng_;
@@ -420,6 +476,7 @@ class Simulation {
   // --- metrics accumulation -------------------------------------------------
   SimResult result_;
   std::vector<PacketTraceRecord> traces_;
+  std::vector<PendingTraceEvent> trace_arena_;
   OnlineStats latency_window_;
   OnlineStats net_latency_window_;
   OnlineStats hops_window_;

@@ -79,7 +79,9 @@ class SubnetManager {
                 SmConfig config = {});
 
   /// Live forwarding table of one switch (what the simulator routes with).
-  [[nodiscard]] const Lft& lft(SwitchId sw) const {
+  /// Repairs materialize as overlay entries on the compact tables, so only
+  /// switches the SM actually touched cost memory beyond the formula.
+  [[nodiscard]] const CompactLft& lft(SwitchId sw) const {
     MLID_EXPECT(sw < lfts_.size(), "switch id out of range");
     return lfts_[sw];
   }
@@ -149,7 +151,7 @@ class SubnetManager {
   FatTreeFabric* fabric_;
   const Subnet* subnet_;
   SmConfig cfg_;
-  std::vector<Lft> lfts_;  ///< live tables, mutated by apply_program
+  std::vector<CompactLft> lfts_;  ///< live tables, mutated by apply_program
 
   std::uint64_t fabric_version_ = 0;  ///< bumped per fail / recover
   std::uint64_t routed_version_ = 0;  ///< fabric version the tables reflect

@@ -31,10 +31,12 @@ FatTreeParams::FatTreeParams(TreeFamily family, int m, int n)
   nodes_ = static_cast<std::uint32_t>(nodes);
   switches_ = static_cast<std::uint32_t>(switches);
   lmc_ = static_cast<Lmc>((n - 1) * ilog2_exact(half));
-  // MLID consumes PID * 2^LMC + 2^LMC LIDs starting at 1; enforce the IBA
-  // 16-bit LID space here so every caller can rely on it.
-  MLID_EXPECT(nodes * ipow(2, lmc_) < kMaxLidSpace,
-              "MLID LID space exceeds the 16-bit IBA limit");
+  // mlid_lmc() is the tree's *structural* path diversity; whether the IBA
+  // 16-bit LID space can actually hold nodes * 2^lmc LIDs is a property of
+  // the addressing scheme, enforced by the scheme constructors
+  // (FatTreeRouting / UpDownRouting).  A 16-port 4-tree is perfectly
+  // buildable and simulable under SLID or a reduced-LMC layout even though
+  // full MLID cannot address it.
 }
 
 std::uint32_t FatTreeParams::switches_at_level(int level) const {

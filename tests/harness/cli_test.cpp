@@ -188,6 +188,38 @@ TEST(CliDeathTest, UnknownFlagListsTheKnownOnes) {
   EXPECT_EXIT(parse({"--bogus"}), ::testing::ExitedWithCode(2), "--seed=N");
 }
 
+TEST(CliDeathTest, SequentialOnlyObservabilityRejectsShards) {
+  // Per-event observability has no sharded implementation; combining it
+  // with --shards>1 used to silently produce empty traces.  It must exit 2
+  // with a diagnostic naming the conflicting flag.
+  EXPECT_EXIT(parse({"--shards=2", "--chrome-trace=/tmp/t.json"}),
+              ::testing::ExitedWithCode(2), "--chrome-trace is sequential-only");
+  EXPECT_EXIT(parse({"--shards=2", "--trace-packets=8"}),
+              ::testing::ExitedWithCode(2), "--trace-packets is sequential-only");
+  EXPECT_EXIT(parse({"--shards=2", "--flight-recorder=64"}),
+              ::testing::ExitedWithCode(2),
+              "--flight-recorder is sequential-only");
+  // Flag order must not matter.
+  EXPECT_EXIT(parse({"--trace-packets=8", "--shards", "4"}),
+              ::testing::ExitedWithCode(2), "sequential-only");
+}
+
+TEST(Cli, SequentialOnlyObservabilityAllowedWithOneShard) {
+  const CliOptions opts =
+      parse({"--shards=1", "--trace-packets=8", "--flight-recorder=64",
+             "--chrome-trace=/tmp/t.json", "--sample-interval-ns=500"});
+  EXPECT_EQ(opts.shards(), 1u);
+  EXPECT_EQ(opts.trace_packets(), 8u);
+}
+
+TEST(Cli, IntervalSamplerAllowedWithShards) {
+  // The interval sampler is driver-owned in sharded runs: the combination
+  // is supported and must parse cleanly.
+  const CliOptions opts = parse({"--shards=4", "--sample-interval-ns=500"});
+  EXPECT_EQ(opts.shards(), 4u);
+  EXPECT_EQ(opts.sample_interval_ns(), 500);
+}
+
 TEST(CliDeathTest, HelpPrintsUsageAndExitsZero) {
   EXPECT_EXIT(parse({"--help"}), ::testing::ExitedWithCode(0), "");
 }

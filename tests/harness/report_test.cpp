@@ -192,7 +192,7 @@ TEST(Report, BenchReportEmitsTheSchema) {
   b.events_processed = 50;
   report.add("burst-b", b);
   const std::string json = report.to_json();
-  EXPECT_NE(json.find("\"schema\":\"mlid-bench-v4\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"mlid-bench-v5\""), std::string::npos);
   EXPECT_NE(json.find("\"name\":\"unit_bench\""), std::string::npos);
   EXPECT_NE(json.find("\"git\""), std::string::npos);
   EXPECT_NE(json.find("\"seed\":9"), std::string::npos);
@@ -212,16 +212,19 @@ TEST(Report, BenchReportEmitsTheSchema) {
 TEST(Report, PointManifestEmitsParallelism) {
   // v4: every point manifest records the actual parallelism that computed
   // the point, so a BENCH file read in isolation says how it was made.
+  // v5 adds bytes_per_endport, the scale metric CI regresses on.
   PointManifest m;
   m.sim_seed = 7;
   m.threads = 8;
   m.shards = 4;
+  m.bytes_per_endport = 612.5;
   BenchReport report("manifest_bench", 1, 8, true);
   report.add("pt", SimResult{}, m);
   const std::string json = report.to_json();
   EXPECT_NE(json.find("\"sim_seed\":7"), std::string::npos);
   EXPECT_NE(json.find("\"threads\":8"), std::string::npos);
   EXPECT_NE(json.find("\"shards\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes_per_endport\":612.5"), std::string::npos);
 }
 
 TEST(Report, BenchReportWritesItsFile) {
@@ -235,7 +238,7 @@ TEST(Report, BenchReportWritesItsFile) {
   buf << in.rdbuf();
   // wall_seconds advances between serializations, so compare structure,
   // not the exact bytes.
-  EXPECT_NE(buf.str().find("\"schema\":\"mlid-bench-v4\""), std::string::npos);
+  EXPECT_NE(buf.str().find("\"schema\":\"mlid-bench-v5\""), std::string::npos);
   EXPECT_NE(buf.str().find("\"name\":\"write_test\""), std::string::npos);
   EXPECT_EQ(buf.str().back(), '\n');
   std::remove(path.c_str());

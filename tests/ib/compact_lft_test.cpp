@@ -1,0 +1,164 @@
+// CompactLft correctness: the formula-backed representation must be
+// observably identical to the dense tables the schemes materialize through
+// build_lft() -- across every switch of every paper Table 1 topology the
+// test budget allows, for both LID layouts (SLID and full MLID), and after
+// live-SM repairs have materialized overlay entries on top of the formula.
+#include "ib/lft.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/fat_tree_routing.hpp"
+#include "routing/repair.hpp"
+#include "routing/updown.hpp"
+#include "topology/builder.hpp"
+
+namespace mlid {
+namespace {
+
+// Paper Table 1 grid, minus the two widest entries (16,2)/(32,2) whose
+// dense oracle tables alone would dominate unit-test time.
+const std::pair<int, int> kTable1Grid[] = {
+    {4, 2}, {4, 3}, {4, 4}, {8, 2}, {8, 3}};
+
+TEST(CompactLft, FormulaMatchesDenseTablesOverTable1Topologies) {
+  for (const auto& [m, n] : kTable1Grid) {
+    const FatTreeParams params(m, n);
+    for (const bool mlid : {false, true}) {
+      std::unique_ptr<FatTreeRouting> scheme;
+      if (mlid) {
+        scheme = std::make_unique<MlidRouting>(params);
+      } else {
+        scheme = std::make_unique<SlidRouting>(params);
+      }
+      const Lid max_lid = scheme->max_lid();
+      for (SwitchId sw = 0; sw < params.num_switches(); ++sw) {
+        const CompactLft compact(scheme.get(), sw, max_lid,
+                                 static_cast<std::size_t>(max_lid));
+        const Lft dense = scheme->build_lft(sw);
+        ASSERT_TRUE(compact == dense)
+            << scheme->name() << " (" << m << "," << n << ") switch " << sw;
+        ASSERT_TRUE(compact.materialize() == dense)
+            << scheme->name() << " (" << m << "," << n << ") switch " << sw;
+        EXPECT_EQ(compact.num_entries(), dense.num_entries());
+        EXPECT_EQ(compact.overlay_entries(), 0u);
+        // The point of the representation: per-switch table cost must not
+        // scale with the LID space (the dense oracle holds max_lid bytes).
+        EXPECT_EQ(compact.memory_bytes(), 0u);
+      }
+    }
+  }
+}
+
+TEST(CompactLft, OverlayEditsAreAuthoritative) {
+  const FatTreeParams params(4, 3);
+  const MlidRouting scheme(params);
+  const Lid max_lid = scheme.max_lid();
+  CompactLft table(&scheme, /*sw=*/0, max_lid,
+                   static_cast<std::size_t>(max_lid));
+  const Lid lid = 5;
+  const PortId base = scheme.formula_port(0, lid);
+  const PortId other = (base == 1) ? 2 : 1;
+
+  // Deviation from the formula materializes exactly one overlay entry.
+  table.set(lid, other);
+  EXPECT_EQ(int(table.find(lid)), int(other));
+  EXPECT_EQ(table.overlay_entries(), 1u);
+  EXPECT_EQ(table.num_entries(), static_cast<std::size_t>(max_lid));
+
+  // Restoring the formula's answer drops the overlay entry again.
+  table.set(lid, base);
+  EXPECT_EQ(int(table.find(lid)), int(base));
+  EXPECT_EQ(table.overlay_entries(), 0u);
+
+  // A withdrawn route is a tombstone: find() reports no entry even though
+  // the formula still has an answer, and the count drops.
+  table.clear(lid);
+  EXPECT_FALSE(table.has(lid));
+  EXPECT_EQ(table.overlay_entries(), 1u);
+  EXPECT_EQ(table.num_entries(), static_cast<std::size_t>(max_lid) - 1);
+
+  // Re-programming the base answer erases the tombstone.
+  table.set(lid, base);
+  EXPECT_EQ(table.overlay_entries(), 0u);
+  EXPECT_EQ(table.num_entries(), static_cast<std::size_t>(max_lid));
+}
+
+TEST(CompactLft, DenseFallbackBehavesLikeTheAdoptedTable) {
+  Lft dense(50);
+  dense.set(1, 3);
+  dense.set(7, 4);
+  CompactLft table{Lft(dense)};
+  EXPECT_FALSE(table.formula_backed());
+  EXPECT_TRUE(table == dense);
+  EXPECT_EQ(table.num_entries(), 2u);
+  table.set(9, 2);
+  EXPECT_EQ(table.num_entries(), 3u);
+  table.clear(7);
+  EXPECT_FALSE(table.has(7));
+  EXPECT_EQ(table.num_entries(), 2u);
+  EXPECT_EQ(table.overlay_entries(), 0u);  // dense mode never overlays
+}
+
+// Post-repair equivalence: degrade each Table 1 fabric, diff the live
+// formula-backed tables against a fresh up*/down* computation, apply the
+// deltas as overlays, and demand the result is bit-identical to the same
+// plan applied to materialized dense tables.
+TEST(CompactLft, PostRepairOverlaysMatchRepairedDenseTables) {
+  for (const auto& [m, n] : {std::pair<int, int>{4, 2}, {4, 3}, {8, 2}}) {
+    FatTreeFabric fabric{FatTreeParams(m, n)};
+    const FatTreeParams& params = fabric.params();
+    const MlidRouting scheme(params);
+    const Lid max_lid = scheme.max_lid();
+
+    std::vector<CompactLft> live;
+    std::vector<Lft> dense;
+    live.reserve(params.num_switches());
+    dense.reserve(params.num_switches());
+    for (SwitchId sw = 0; sw < params.num_switches(); ++sw) {
+      live.emplace_back(&scheme, sw, max_lid,
+                        static_cast<std::size_t>(max_lid));
+      dense.push_back(scheme.build_lft(sw));
+    }
+
+    // Kill one leaf uplink: every switch that striped paths through it
+    // needs repairs, exercising multi-switch overlay application.
+    const DeviceId leaf = fabric.switch_device(0);
+    const PortId up = static_cast<PortId>(params.half() + 1);
+    ASSERT_TRUE(fabric.fabric().peer_of(leaf, up).valid());
+    fabric.mutable_fabric().disconnect(leaf, up);
+
+    const LftRepairPlan plan =
+        compute_lft_repair(fabric, scheme.lmc(), live);
+    ASSERT_TRUE(plan.fully_connected) << "(" << m << "," << n << ")";
+    ASSERT_GT(plan.total_entries(), 0u) << "(" << m << "," << n << ")";
+
+    std::size_t overlays = 0;
+    for (const SwitchRepair& repair : plan.switches) {
+      apply_repair(repair, live[repair.sw]);
+      for (const LftDelta& d : repair.deltas) {
+        if (d.port == Lft::kNoEntry) {
+          dense[repair.sw].clear(d.lid);
+        } else {
+          dense[repair.sw].set(d.lid, d.port);
+        }
+      }
+      overlays += live[repair.sw].overlay_entries();
+    }
+    EXPECT_GT(overlays, 0u);  // the repairs actually materialized overlays
+    for (SwitchId sw = 0; sw < params.num_switches(); ++sw) {
+      ASSERT_TRUE(live[sw] == dense[sw])
+          << "(" << m << "," << n << ") switch " << sw << " after repair";
+    }
+
+    // The repaired formula tables must also agree with a from-scratch
+    // up*/down* computation on the degraded fabric (the repair oracle).
+    const UpDownRouting updn(fabric, scheme.lmc());
+    for (SwitchId sw = 0; sw < params.num_switches(); ++sw) {
+      ASSERT_TRUE(live[sw] == updn.build_lft(sw))
+          << "(" << m << "," << n << ") switch " << sw << " vs UPDN";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mlid

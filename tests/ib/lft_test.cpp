@@ -44,6 +44,39 @@ TEST(Lft, NumEntriesCountsProgrammedLids) {
   EXPECT_EQ(lft.num_entries(), 2u);
 }
 
+// num_entries() is a running count maintained by set/clear (it used to
+// rescan the whole LID space, O(48k) per call during bring-up accounting).
+// Pin every transition: fresh set counts, overwrite does not, clear
+// uncounts once, clearing an absent entry is a no-op.
+TEST(Lft, NumEntriesTracksSetClearOverwrite) {
+  Lft lft(100);
+  EXPECT_EQ(lft.num_entries(), 0u);
+
+  lft.set(10, 1);
+  EXPECT_EQ(lft.num_entries(), 1u);
+  lft.set(10, 2);  // overwrite: same LID must not double-count
+  EXPECT_EQ(lft.num_entries(), 1u);
+  EXPECT_EQ(int(lft.lookup(10)), 2);
+
+  lft.set(20, 3);
+  lft.set(30, 4);
+  EXPECT_EQ(lft.num_entries(), 3u);
+
+  lft.clear(20);
+  EXPECT_EQ(lft.num_entries(), 2u);
+  EXPECT_FALSE(lft.has(20));
+  lft.clear(20);  // clearing an already-empty slot must not underflow
+  EXPECT_EQ(lft.num_entries(), 2u);
+
+  lft.set(20, 5);  // re-program after withdrawal counts again
+  EXPECT_EQ(lft.num_entries(), 3u);
+
+  lft.clear(10);
+  lft.clear(20);
+  lft.clear(30);
+  EXPECT_EQ(lft.num_entries(), 0u);
+}
+
 TEST(Lft, EmptyTable) {
   Lft lft;
   EXPECT_EQ(lft.max_lid(), 0u);

@@ -1,0 +1,121 @@
+// FT(16,4)-class scale smoke: 8192 endnodes, 3584 switches, 65536 total
+// ports.  This is the fabric class ROADMAP item 2 targets; it only became
+// simulable after the memory-layout work (formula-backed CompactLft plus
+// the struct-of-arrays engine state), so this test pins three things:
+//   1. bring-up + routing correctness at scale (stride-sampled path
+//      traces under both LID layouts the scale suite uses),
+//   2. an open-loop run actually completes,
+//   3. the per-endport memory budget documented in docs/simulator.md.
+// Full MLID would need LMC 9 (2^9 LIDs per node > the 48k LID space at
+// 8192 nodes), so the multipath layout here is PartialMlidRouting at
+// LMC 2 -- the same configuration bench/ablation_scale.cpp measures.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "routing/fat_tree_routing.hpp"
+#include "routing/path.hpp"
+#include "sim/engine.hpp"
+#include "subnet/subnet.hpp"
+#include "topology/properties.hpp"
+
+namespace mlid {
+namespace {
+
+constexpr std::size_t kTotalPorts = 65'536;
+
+// The documented budget (docs/simulator.md, "Memory layout & scale"): hot
+// engine state plus compiled routing tables, per physical port.  Measured
+// ~198 B/endport after the struct-of-arrays refactor; the assert leaves
+// headroom for run-length-dependent growth (delivery records) but fails
+// well before the formula-backed routing layer could regress to dense
+// tables, which alone would be ~1.8 KiB/endport at this scale.
+constexpr std::size_t kBytesPerEndportBudget = 2'048;
+
+std::size_t total_ports(const FatTreeFabric& fabric) {
+  const Fabric& g = fabric.fabric();
+  std::size_t ports = 0;
+  for (DeviceId dev = 0; dev < g.num_devices(); ++dev) {
+    ports += static_cast<std::size_t>(g.device(dev).num_ports());
+  }
+  return ports;
+}
+
+TEST(BigFabric, Ft16x4BringsUpRoutesAndSimulates) {
+  const FatTreeFabric fabric{FatTreeParams(16, 4)};
+  ASSERT_EQ(fabric.params().num_nodes(), 8192u);
+  ASSERT_EQ(fabric.params().num_switches(), 3584u);
+  ASSERT_EQ(total_ports(fabric), kTotalPorts);
+
+  const Subnet subnet(fabric,
+                      std::make_unique<PartialMlidRouting>(fabric.params(),
+                                                           Lmc{2}));
+  EXPECT_EQ(subnet.init_stats().discovered_endnodes, 8192u);
+  EXPECT_EQ(subnet.init_stats().lids_assigned, 8192u * 4u);
+
+  // Stride-sampled LFT consistency: every sampled (src, dst) pair must
+  // trace to the owning endnode over a minimal path, for every LID of the
+  // reduced block.
+  const FatTreeParams& p = fabric.params();
+  const RoutingScheme& scheme = subnet.scheme();
+  std::uint64_t checked = 0;
+  for (NodeId src = 0; src < p.num_nodes(); src += 509) {
+    for (NodeId dst = 7; dst < p.num_nodes(); dst += 677) {
+      if (src == dst) continue;
+      const int minimal =
+          min_path_links(p, fabric.node_label(src), fabric.node_label(dst));
+      const LidRange lids = scheme.lids_of(dst);
+      for (Lid lid = lids.base(); lid <= lids.last(); ++lid) {
+        const PathTrace trace = trace_path(fabric, subnet.routes(), src, lid);
+        ASSERT_TRUE(trace.complete) << "src " << src << " lid " << lid;
+        ASSERT_EQ(trace.terminal, fabric.node_device(dst));
+        ASSERT_EQ(trace.num_links(), minimal);
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 700u);
+
+  // A short open-loop run at low load must complete and deliver without
+  // drops (the fabric is intact and non-oversubscribed).
+  SimConfig cfg;
+  cfg.warmup_ns = 500;
+  cfg.measure_ns = 2'000;
+  cfg.seed = 11;
+  Simulation sim = Simulation::open_loop(
+      subnet, cfg, {TrafficKind::kUniform, 0.2, 0, 17}, 0.3);
+  const SimResult r = sim.run();
+  EXPECT_GT(r.packets_delivered, 5'000u);
+  EXPECT_EQ(r.packets_dropped, 0u);
+
+  // The documented scale budget: engine hot state + compiled routes, per
+  // physical port.
+  const std::size_t footprint =
+      sim.memory_footprint() + subnet.routes().memory_bytes();
+  EXPECT_LT(footprint / kTotalPorts, kBytesPerEndportBudget)
+      << "footprint " << footprint << " bytes over " << kTotalPorts
+      << " ports";
+}
+
+TEST(BigFabric, Ft16x4SlidLayoutRoutesConsistently) {
+  const FatTreeFabric fabric{FatTreeParams(16, 4)};
+  const Subnet subnet(fabric, SchemeKind::kSlid);
+  const FatTreeParams& p = fabric.params();
+  EXPECT_EQ(subnet.init_stats().lids_assigned, 8192u);
+  std::uint64_t checked = 0;
+  for (NodeId src = 3; src < p.num_nodes(); src += 701) {
+    for (NodeId dst = 0; dst < p.num_nodes(); dst += 523) {
+      if (src == dst) continue;
+      const Lid dlid = subnet.select_dlid(src, dst);
+      EXPECT_EQ(subnet.node_of(dlid), dst);
+      const PathTrace trace = trace_path(fabric, subnet.routes(), src, dlid);
+      ASSERT_TRUE(trace.complete) << "src " << src << " dst " << dst;
+      ASSERT_EQ(trace.terminal, fabric.node_device(dst));
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 150u);
+}
+
+}  // namespace
+}  // namespace mlid

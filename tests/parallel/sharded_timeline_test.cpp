@@ -1,0 +1,105 @@
+// Regression coverage for the sharded interval sampler.  The original
+// sharded driver silently dropped SimConfig::sample_interval_ns: every
+// sharded run came back with an empty timeline while the sequential run
+// produced one, so dashboards fed from sharded sweeps lost their
+// time-resolved series without any error.  The sampler is now driver-owned
+// (windows are clipped at each pending sample time and every shard's gauges
+// merge into one TimelineSample), which makes the sharded timeline
+// bit-identical to the sequential engine's -- asserted here through the
+// JSON export, like the other parity gates.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/expect.hpp"
+#include "harness/report.hpp"
+#include "parallel/sharded.hpp"
+#include "sim/engine.hpp"
+
+namespace mlid {
+namespace {
+
+SimConfig sampled_canonical() {
+  SimConfig cfg;
+  cfg.warmup_ns = 5'000;
+  cfg.measure_ns = 20'000;
+  cfg.seed = 7;
+  cfg.event_order = EventOrder::kCanonical;
+  cfg.sample_interval_ns = 1'000;
+  return cfg;
+}
+
+TEST(ShardedTimeline, SampledRunsAreBitIdentical) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const TrafficConfig traffic{TrafficKind::kUniform, 0.2, 0, 9};
+  const SimResult oracle =
+      Simulation::open_loop(subnet, sampled_canonical(), traffic, 0.6).run();
+  ASSERT_TRUE(oracle.timeline.enabled());
+  ASSERT_FALSE(oracle.timeline.samples.empty());
+  for (const std::uint32_t shards : {1u, 2u, 4u}) {
+    const SimResult sharded =
+        ShardedSimulation::open_loop(subnet, sampled_canonical(), traffic,
+                                     0.6, {shards, 0})
+            .run();
+    // The regression this pins: sharded runs used to come back with
+    // timeline.enabled() == false whenever shards > 1.
+    EXPECT_TRUE(sharded.timeline.enabled()) << "shards " << shards;
+    EXPECT_EQ(sharded.timeline.samples.size(), oracle.timeline.samples.size())
+        << "shards " << shards;
+    EXPECT_EQ(to_json(oracle), to_json(sharded)) << "shards " << shards;
+  }
+}
+
+TEST(ShardedTimeline, ThreadCountDoesNotChangeSamples) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const TrafficConfig traffic{TrafficKind::kUniform, 0.2, 0, 9};
+  const SimResult oracle =
+      Simulation::open_loop(subnet, sampled_canonical(), traffic, 0.6).run();
+  for (const std::uint32_t threads : {1u, 2u, 4u}) {
+    const SimResult sharded =
+        ShardedSimulation::open_loop(subnet, sampled_canonical(), traffic,
+                                     0.6, {4, threads})
+            .run();
+    EXPECT_EQ(to_json(oracle), to_json(sharded)) << "threads " << threads;
+  }
+}
+
+TEST(ShardedTimeline, DecimationMatchesSequential) {
+  // Force the cap low enough that the sampler decimates mid-run; the
+  // driver-owned sampler must reproduce the sequential doubling cadence.
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const TrafficConfig traffic{TrafficKind::kUniform, 0.2, 0, 9};
+  SimConfig cfg = sampled_canonical();
+  cfg.sample_interval_ns = 200;
+  cfg.timeline_max_samples = 16;
+  const SimResult oracle =
+      Simulation::open_loop(subnet, cfg, traffic, 0.6).run();
+  ASSERT_GT(oracle.timeline.interval_ns, 200);  // decimation actually fired
+  for (const std::uint32_t shards : {2u, 4u}) {
+    const SimResult sharded =
+        ShardedSimulation::open_loop(subnet, cfg, traffic, 0.6, {shards, 0})
+            .run();
+    EXPECT_EQ(sharded.timeline.interval_ns, oracle.timeline.interval_ns)
+        << "shards " << shards;
+    EXPECT_EQ(to_json(oracle), to_json(sharded)) << "shards " << shards;
+  }
+}
+
+TEST(ShardedTimeline, BurstSamplingIsRejected) {
+  // Burst mode has no fixed horizon for the driver to pace samples against;
+  // the combination must fail loudly, not silently drop the timeline.
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const auto workload = all_to_all_personalized(4, 256);
+  SimConfig cfg;
+  cfg.event_order = EventOrder::kCanonical;
+  cfg.sample_interval_ns = 1'000;
+  EXPECT_THROW(ShardedSimulation::burst(subnet, cfg, workload, {2, 0}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace mlid

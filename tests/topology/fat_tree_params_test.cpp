@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "routing/fat_tree_routing.hpp"
+
 namespace mlid {
 namespace {
 
@@ -67,13 +69,20 @@ TEST(FatTreeParams, RejectsInvalidShapes) {
   EXPECT_THROW(FatTreeParams(4, 99), ContractViolation);  // above kMaxTreeHeight
 }
 
-TEST(FatTreeParams, RejectsLidSpaceOverflow) {
-  // A 16-port 3-tree needs 2*8^3 = 1024 nodes x 2^6 LIDs = 65536 LIDs,
-  // one more than the 16-bit space allows (LID 0 is reserved); the paper's
-  // scheme cannot address it, so construction is rejected up front.
-  EXPECT_THROW(FatTreeParams(16, 3), ContractViolation);
-  EXPECT_THROW(FatTreeParams(16, 5), ContractViolation);
+TEST(FatTreeParams, LidSpaceIsASchemeConstraintNotAStructuralOne) {
+  // A 16-port 3-tree needs 2*8^3 = 1024 nodes x 2^6 LIDs = 65536 LIDs
+  // under *full MLID*, one more than the 16-bit space allows (LID 0 is
+  // reserved).  The tree itself is perfectly buildable -- scale fabrics
+  // run under SLID or a reduced LMC -- so the params construct fine and
+  // the full-MLID scheme is what gets rejected.
+  EXPECT_NO_THROW(FatTreeParams(16, 3));
+  EXPECT_NO_THROW(FatTreeParams(16, 4));
   EXPECT_NO_THROW(FatTreeParams(16, 2));
+  EXPECT_THROW(MlidRouting{FatTreeParams(16, 3)}, ContractViolation);
+  EXPECT_NO_THROW(SlidRouting{FatTreeParams(16, 3)});
+  EXPECT_NO_THROW(PartialMlidRouting(FatTreeParams(16, 4), Lmc{2}));
+  EXPECT_THROW(PartialMlidRouting(FatTreeParams(16, 4), Lmc{4}),
+               ContractViolation);
 }
 
 /// Property sweep across the whole experiment grid.
