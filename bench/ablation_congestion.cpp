@@ -25,8 +25,8 @@ int main(int argc, char** argv) {
   // spreading -- exactly what CC is supposed to cure.
   const double kLoad = 0.30;
   const FatTreeFabric fabric{FatTreeParams(m, n)};
-  const Subnet slid(fabric, SchemeKind::kSlid);
-  const Subnet mlid(fabric, SchemeKind::kMlid);
+  const Subnet slid(fabric, "SLID");
+  const Subnet mlid(fabric, "MLID");
 
   // The CC operating point: mark early (the paper-model buffers are one
   // packet deep, so depth 3 already means a formed backlog), return BECNs

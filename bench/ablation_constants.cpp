@@ -19,8 +19,8 @@ int main(int argc, char** argv) {
   BenchReport report(bench_name_from_path(argv[0]), opts);
   const int m = 4, n = 3;
   const FatTreeFabric fabric{FatTreeParams(m, n)};
-  const Subnet slid(fabric, SchemeKind::kSlid);
-  const Subnet mlid(fabric, SchemeKind::kMlid);
+  const Subnet slid(fabric, "SLID");
+  const Subnet mlid(fabric, "MLID");
 
   struct Variant {
     const char* label;

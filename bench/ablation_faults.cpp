@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
     const Subnet updn_subnet(fabric, std::move(updn));
     const SimResult r = Simulation::open_loop(updn_subnet, cfg, traffic, 0.6).run();
 
-    const Subnet stale_mlid(fabric, SchemeKind::kMlid);
+    const Subnet stale_mlid(fabric, "MLID");
     const SimResult s = Simulation::open_loop(stale_mlid, cfg, traffic, 0.6).run();
     report.add("UPDN/failures=" + std::to_string(failures), r);
     report.add("MLID-stale/failures=" + std::to_string(failures), s);

@@ -37,20 +37,15 @@ using namespace mlid;
 constexpr double kLoad = 0.6;
 constexpr SimTime kConvergenceSlackNs = 5'000;
 
+// UPDN is a registered scheme like the other two, so all three arms come
+// straight out of the SchemeRegistry by name.
 struct SchemeSpec {
   const char* name;
-  bool updn;         // caller-supplied UpDownRouting instead of a SchemeKind
-  SchemeKind kind;   // used when !updn
 };
 
 std::unique_ptr<Subnet> make_subnet(const FatTreeFabric& fabric,
                                     const SchemeSpec& spec) {
-  if (spec.updn) {
-    return std::make_unique<Subnet>(
-        fabric, std::make_unique<UpDownRouting>(fabric,
-                                                fabric.params().mlid_lmc()));
-  }
-  return std::make_unique<Subnet>(fabric, spec.kind);
+  return std::make_unique<Subnet>(fabric, spec.name);
 }
 
 /// What the interval sampler's timeline must show for one convergence run:
@@ -154,11 +149,7 @@ int main(int argc, char** argv) {
   TextTable table({"k", "scheme", "reconverge ns", "sweep ns", "program ns",
                    "entries", "drops dead/conv/unrt", "post-conv drops",
                    "steady B/ns/node", "offline UPDN", "ratio"});
-  const SchemeSpec schemes[] = {
-      {"SLID", false, SchemeKind::kSlid},
-      {"MLID", false, SchemeKind::kMlid},
-      {"UPDN", true, SchemeKind::kMlid},
-  };
+  const SchemeSpec schemes[] = {{"SLID"}, {"MLID"}, {"UPDN"}};
 
   int violations = 0;
   std::string timeline_notes;

@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
   // One larger simulation, canonical order (what sharding forces), split
   // 1/2/4/8 ways.  Shard 1 *is* the sequential engine modulo the order.
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig cfg;
   cfg.seed = opts.seed();
   cfg.event_order = EventOrder::kCanonical;

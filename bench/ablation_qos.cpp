@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   BenchReport report(bench_name_from_path(argv[0]), opts);
   const int m = 4, n = 3;
   const FatTreeFabric fabric{FatTreeParams(m, n)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
 
   std::printf("Ablation A10: VL-weight QoS, %d-port %d-tree, uniform traffic"
               " at offered load 0.9\n", m, n);

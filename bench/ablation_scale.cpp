@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
                 std::make_unique<Subnet>(
                     fabric, std::make_unique<PartialMlidRouting>(
                                 fabric.params(), Lmc{2}))};
-  layouts[1] = {"slid", std::make_unique<Subnet>(fabric, SchemeKind::kSlid)};
+  layouts[1] = {"slid", std::make_unique<Subnet>(fabric, "SLID")};
 
   TextTable table({"layout", "LIDs", "routes MiB", "engine MiB", "B/endport",
                    "delivered", "dropped"});

@@ -41,8 +41,8 @@ int main(int argc, char** argv) {
     const auto points = run_sweep(spec, sweep);
     spec.title = std::to_string(m) + "-port " + std::to_string(n) + "-tree";
     report.add_figure(spec, points);
-    const double slid = saturation_throughput(points, SchemeKind::kSlid, 1);
-    const double mlid = saturation_throughput(points, SchemeKind::kMlid, 1);
+    const double slid = saturation_throughput(points, "SLID", 1);
+    const double mlid = saturation_throughput(points, "MLID", 1);
     table.add_row({std::to_string(m) + "-port " + std::to_string(n) + "-tree",
                    std::to_string(FatTreeParams(m, n).num_nodes()),
                    TextTable::num(slid, 4), TextTable::num(mlid, 4),

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   };
   std::vector<Entry> entries;
   entries.push_back({"SLID", std::make_unique<Subnet>(fabric,
-                                                      SchemeKind::kSlid)});
+                                                      "SLID")});
   for (Lmc lmc = 1; lmc < full; ++lmc) {
     entries.push_back(
         {"MLID lmc=" + std::to_string(int(lmc)),
@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
              std::make_unique<PartialMlidRouting>(fabric.params(), lmc))});
   }
   entries.push_back({"MLID (full)", std::make_unique<Subnet>(
-                                        fabric, SchemeKind::kMlid)});
+                                        fabric, "MLID")});
   entries.push_back(
       {"UPDN lmc=0", std::make_unique<Subnet>(
                          fabric, std::make_unique<UpDownRouting>(fabric, 0))});

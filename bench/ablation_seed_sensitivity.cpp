@@ -22,8 +22,8 @@ int main(int argc, char** argv) {
                    "MLID mean B/ns/node", "MLID stddev", "mean ratio"});
   for (const auto& [m, n] : {std::pair{4, 3}, std::pair{8, 2}}) {
     const FatTreeFabric fabric{FatTreeParams(m, n)};
-    const Subnet slid(fabric, SchemeKind::kSlid);
-    const Subnet mlid(fabric, SchemeKind::kMlid);
+    const Subnet slid(fabric, "SLID");
+    const Subnet mlid(fabric, "MLID");
     SimConfig cfg;
     cfg.seed = opts.seed();
     if (opts.quick()) {

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
         pattern.kind == TrafficKind::kUniform
             ? TrafficMatrix::uniform(nodes)
             : TrafficMatrix::centric(nodes, 0, pattern.hot);
-    for (const SchemeKind kind : {SchemeKind::kSlid, SchemeKind::kMlid}) {
+    for (const std::string_view kind : {"SLID", "MLID"}) {
       const Subnet subnet(fabric, kind);
       const LoadAnalysis analysis(fabric, subnet.scheme(), subnet.routes());
       LoadSummary summary = analysis.summarize(analysis.predict(matrix));
@@ -66,9 +66,9 @@ int main(int argc, char** argv) {
       const SimResult at_sat =
           Simulation::open_loop(subnet, cfg, traffic, sat > 0.0 ? sat : 0.1).run();
       report.add(std::string(pattern.label) + "/" +
-                     std::string(to_string(kind)) + "/at-saturation",
+                     std::string(kind) + "/at-saturation",
                  at_sat);
-      table.add_row({pattern.label, std::string(to_string(kind)),
+      table.add_row({pattern.label, std::string(kind),
                      TextTable::num(summary.max_load, 3),
                      TextTable::num(summary.saturation_bound, 3),
                      TextTable::num(sat, 3),

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
                    "avg latency ns"});
   for (const Config& config : configs) {
     const FatTreeFabric fabric(config.params);
-    const Subnet subnet(fabric, SchemeKind::kMlid);
+    const Subnet subnet(fabric, "MLID");
     for (const double load : {0.3, 0.9}) {
       SimConfig cfg;
       cfg.seed = opts.seed();

@@ -15,8 +15,8 @@ int main(int argc, char** argv) {
   BenchReport report(bench_name_from_path(argv[0]), opts);
   const int m = 8, n = 2;
   const FatTreeFabric fabric{FatTreeParams(m, n)};
-  const Subnet slid(fabric, SchemeKind::kSlid);
-  const Subnet mlid(fabric, SchemeKind::kMlid);
+  const Subnet slid(fabric, "SLID");
+  const Subnet mlid(fabric, "MLID");
 
   std::printf("Ablation A2: VL scaling, %d-port %d-tree, 20%%-centric, "
               "offered load 0.9\n", m, n);

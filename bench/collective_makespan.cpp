@@ -17,8 +17,8 @@ int main(int argc, char** argv) {
   const int m = 8, n = 2;
   const FatTreeFabric fabric{FatTreeParams(m, n)};
   const std::uint32_t nodes = fabric.params().num_nodes();
-  const Subnet slid(fabric, SchemeKind::kSlid);
-  const Subnet mlid(fabric, SchemeKind::kMlid);
+  const Subnet slid(fabric, "SLID");
+  const Subnet mlid(fabric, "MLID");
   const std::uint32_t bytes = opts.quick() ? 512 : 4096;
 
   struct Workload {

@@ -111,7 +111,7 @@ void BM_SubnetBringUp(benchmark::State& state) {
       FatTreeParams(static_cast<int>(state.range(0)),
                     static_cast<int>(state.range(1)))};
   for (auto _ : state) {
-    const Subnet subnet(fabric, SchemeKind::kMlid);
+    const Subnet subnet(fabric, "MLID");
     benchmark::DoNotOptimize(subnet.init_stats());
   }
 }
@@ -119,7 +119,7 @@ BENCHMARK(BM_SubnetBringUp)->Args({4, 3})->Args({8, 3});
 
 void BM_SimulationEventsPerSecond(benchmark::State& state) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig cfg;
   cfg.warmup_ns = 2'000;
   cfg.measure_ns = 20'000;
@@ -141,7 +141,7 @@ BENCHMARK(BM_SimulationEventsPerSecond);
 
 void BM_BurstAllToAll(benchmark::State& state) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const auto workload = all_to_all_personalized(16, 512);
   std::uint64_t packets = 0;
   for (auto _ : state) {
@@ -179,7 +179,7 @@ mlid::SimResult run_smoke(mlid::BenchReport& report,
                           mlid::EventQueueKind kind) {
   using namespace mlid;
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig cfg;
   cfg.warmup_ns = 2'000;
   cfg.measure_ns = 20'000;

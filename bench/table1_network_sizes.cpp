@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
                    m, n, report.problems.front().c_str());
       return 1;
     }
-    const Subnet subnet(fabric, SchemeKind::kMlid);
+    const Subnet subnet(fabric, "MLID");
     const SubnetInitStats& stats = subnet.init_stats();
     table.add_row({std::to_string(m), std::to_string(n),
                    std::to_string(fabric.params().num_nodes()),
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   // every other.
   {
     const FatTreeFabric fabric{FatTreeParams(4, 2)};
-    const Subnet subnet(fabric, SchemeKind::kMlid);
+    const Subnet subnet(fabric, "MLID");
     SimConfig cfg;
     cfg.seed = opts.seed();
     cfg.warmup_ns = 5'000;

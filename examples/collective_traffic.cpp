@@ -15,8 +15,8 @@ int main(int argc, char** argv) {
   const int n = argc > 2 ? std::atoi(argv[2]) : 3;
   const double load = argc > 3 ? std::atof(argv[3]) : 0.8;
   const FatTreeFabric fabric{FatTreeParams(m, n)};
-  const Subnet slid(fabric, SchemeKind::kSlid);
-  const Subnet mlid(fabric, SchemeKind::kMlid);
+  const Subnet slid(fabric, "SLID");
+  const Subnet mlid(fabric, "MLID");
 
   std::printf("collective-style patterns on a %d-port %d-tree (%u nodes) at"
               " offered load %.2f\n",

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
   // 1. Healthy fabric.
   {
     FatTreeFabric fabric{params};
-    const Subnet subnet(fabric, SchemeKind::kMlid);
+    const Subnet subnet(fabric, "MLID");
     const SimResult r = Simulation::open_loop(subnet, cfg, traffic, 0.5).run();
     std::printf("healthy fabric, MLID tables:  accepted %.4f B/ns/node, "
                 "%llu dropped\n\n",
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
                        dead_port);
     failed = schedule.events().front();
 
-    const Subnet subnet(fabric, SchemeKind::kMlid);
+    const Subnet subnet(fabric, "MLID");
     SubnetManager sm(fabric, subnet);
     const SmConfig& smc = sm.config();
     SimConfig live_cfg = cfg;
@@ -161,7 +161,7 @@ int main(int argc, char** argv) {
     schedule.recover_link(kRecoverAt, failed.dev_a, failed.port_a,
                           failed.dev_b, failed.port_b);
 
-    const Subnet subnet(fabric, SchemeKind::kMlid);
+    const Subnet subnet(fabric, "MLID");
     SubnetManager sm(fabric, subnet);
     Simulation sim =
         Simulation::open_loop(subnet, cfg, traffic, 0.5, {&sm, schedule});
@@ -193,7 +193,7 @@ int main(int argc, char** argv) {
     FatTreeFabric fabric{params};
     FaultSchedule schedule;
     schedule.fail_link(kFailAt, fabric.fabric(), failed.dev_a, failed.port_a);
-    const Subnet subnet(fabric, SchemeKind::kMlid);
+    const Subnet subnet(fabric, "MLID");
     SmConfig dead;
     dead.react = false;
     SubnetManager sm(fabric, subnet, dead);

@@ -21,8 +21,8 @@ int main(int argc, char** argv) {
   const auto hot = argc > 3 ? static_cast<NodeId>(std::atoi(argv[3]))
                             : NodeId{0};
 
-  const Subnet slid(fabric, SchemeKind::kSlid);
-  const Subnet mlid(fabric, SchemeKind::kMlid);
+  const Subnet slid(fabric, "SLID");
+  const Subnet mlid(fabric, "MLID");
 
   // Routing-level view: how many distinct flows cross each root on the way
   // to the hot node?  (The paper's Figure 9a vs 9b, quantified.)

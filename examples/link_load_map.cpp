@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   const double hot = argc > 3 ? std::atof(argv[3]) : 0.5;
 
   const FatTreeFabric fabric{FatTreeParams(m, n)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const std::uint32_t nodes = fabric.params().num_nodes();
 
   // Analytic prediction.

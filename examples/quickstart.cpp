@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
               check.ok() ? "OK" : check.problems.front().c_str());
 
   // 2. Subnet bring-up with the paper's MLID routing scheme.
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const SubnetInitStats& init = subnet.init_stats();
   std::printf("SM bring-up: %llu discovery probes, %u LIDs assigned, "
               "%u LFT entries programmed\n\n",

@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   const FatTreeFabric fabric(params);
   std::printf("replaying %zu messages on a %d-port %d-tree (%u nodes)\n\n",
               workload.size(), params.m(), params.n(), params.num_nodes());
-  for (const SchemeKind kind : {SchemeKind::kSlid, SchemeKind::kMlid}) {
+  for (const std::string_view kind : {"SLID", "MLID"}) {
     const Subnet subnet(fabric, kind);
     SimConfig cfg;
     Simulation sim = Simulation::burst(subnet, cfg, workload);

@@ -6,6 +6,8 @@
 #include <string_view>
 
 #include "harness/sweep.hpp"
+#include "routing/adaptive.hpp"
+#include "routing/registry.hpp"
 
 namespace mlid {
 namespace {
@@ -25,6 +27,12 @@ constexpr std::string_view kUsage =
     "                     sharded conservative-sync engine, which forces the\n"
     "                     canonical event order)\n"
     "  --event-queue=K    pending-event structure: heap | ladder\n"
+    "  --scheme=NAME      routing scheme, by registry name (see the\n"
+    "                     'registered schemes' line below)\n"
+    "  --policy=NAME      up-phase forwarding policy (see the 'forwarding\n"
+    "                     policies' line below)\n"
+    "  --vl-map=NAME      HCA-side dynamic VL assignment (see the 'vl maps'\n"
+    "                     line below)\n"
     "  --no-telemetry     skip the extended per-link/histogram telemetry\n"
     "  --fail-links=N     fail N random inter-switch uplinks mid-run\n"
     "  --fail-at-ns=T     when the failures hit (default 20000)\n"
@@ -41,9 +49,20 @@ constexpr std::string_view kUsage =
     "The fault, CC and tracing value flags also accept the two-token form\n"
     "(`--fail-links 4`, `--cc-threshold 3`).\n";
 
+// Full usage text: the static flag table plus the live registry contents,
+// so --help (and every usage error) enumerates exactly what this build can
+// run -- including schemes/policies test binaries register themselves.
+std::string usage_text() {
+  std::string text(kUsage);
+  text += "registered schemes: " + scheme_listing() + "\n";
+  text += "forwarding policies: " + forwarding_policy_listing() + "\n";
+  text += "vl maps: " + vl_map_listing() + "\n";
+  return text;
+}
+
 [[noreturn]] void usage_error(const std::string& message) {
   std::fprintf(stderr, "error: %s\n%s", message.c_str(),
-               std::string(kUsage).c_str());
+               usage_text().c_str());
   std::exit(2);
 }
 
@@ -90,7 +109,7 @@ CliOptions::CliOptions(int argc, char** argv) {
     const std::string_view arg = argv[i];
     std::string_view value;
     if (arg == "--help") {
-      std::fputs(std::string(kUsage).c_str(), stdout);
+      std::fputs(usage_text().c_str(), stdout);
       std::exit(0);
     } else if (arg == "--quick") {
       quick_ = true;
@@ -115,6 +134,27 @@ CliOptions::CliOptions(int argc, char** argv) {
       if (shards_ == 0) usage_error("--shards must be >= 1");
     } else if (arg == "--no-telemetry") {
       telemetry_ = false;
+    } else if (flag_value(argc, argv, i, "--scheme", value)) {
+      // Validate at parse time so a typo dies here with the registry
+      // listing, not deep inside Subnet construction.
+      if (!SchemeRegistry::instance().contains(value)) {
+        usage_error("unknown routing scheme '" + std::string(value) +
+                    "' for --scheme (registered: " + scheme_listing() + ")");
+      }
+      scheme_ = std::string(value);
+    } else if (flag_value(argc, argv, i, "--policy", value)) {
+      if (!ForwardingPolicyRegistry::instance().contains(value)) {
+        usage_error("unknown forwarding policy '" + std::string(value) +
+                    "' for --policy (registered: " +
+                    forwarding_policy_listing() + ")");
+      }
+      policy_ = std::string(value);
+    } else if (flag_value(argc, argv, i, "--vl-map", value)) {
+      if (!VlMapRegistry::instance().contains(value)) {
+        usage_error("unknown vl map '" + std::string(value) +
+                    "' for --vl-map (registered: " + vl_map_listing() + ")");
+      }
+      vl_map_ = std::string(value);
     } else if (flag_value(argc, argv, i, "--event-queue", value)) {
       const auto kind = event_queue_from_string(value);
       if (!kind) {

@@ -27,6 +27,10 @@ struct SweepOptions;
 ///   --shards=N         engine shards per simulation (N >= 1; >1 runs the
 ///                      sharded conservative-sync engine)
 ///   --event-queue=K    pending-event structure: heap | ladder
+///   --scheme=NAME      routing scheme by SchemeRegistry name (any
+///                      registered scheme; validated at parse time)
+///   --policy=NAME      up-phase forwarding policy by registry name
+///   --vl-map=NAME      HCA-side dynamic VL assignment by registry name
 ///   --no-telemetry     skip the extended per-link/histogram telemetry
 ///   --fail-links=N     fail N random inter-switch uplinks mid-run
 ///   --fail-at-ns=T     when the failures hit (default 20000)
@@ -62,6 +66,19 @@ class CliOptions {
     return event_queue_;
   }
   [[nodiscard]] bool telemetry() const noexcept { return telemetry_; }
+  /// Scheme name from --scheme; nullopt = keep the binary's scheme grid.
+  /// Always a registered name (unknown values exit 2 during parsing).
+  [[nodiscard]] const std::optional<std::string>& scheme() const noexcept {
+    return scheme_;
+  }
+  /// Forwarding-policy name from --policy; nullopt = spec default.
+  [[nodiscard]] const std::optional<std::string>& policy() const noexcept {
+    return policy_;
+  }
+  /// VL-map name from --vl-map; nullopt = spec default.
+  [[nodiscard]] const std::optional<std::string>& vl_map() const noexcept {
+    return vl_map_;
+  }
   /// Congestion-control config from --cc / --cc-threshold / --cc-timer-ns;
   /// nullopt without --cc (the value flags tune the config --cc enables).
   [[nodiscard]] std::optional<CcConfig> cc() const noexcept {
@@ -117,6 +134,11 @@ class CliOptions {
   void apply(FigureSpecT& spec) const {
     spec.sim.seed = seed_;
     spec.traffic.seed = seed_ ^ 0x5EEDu;
+    if constexpr (requires { spec.schemes; }) {
+      if (scheme_) spec.schemes = {*scheme_};
+    }
+    if (policy_) spec.sim.policy.forwarding = *policy_;
+    if (vl_map_) spec.sim.policy.vl_map = *vl_map_;
     if (!telemetry_) spec.sim.telemetry = false;
     if (event_queue_) spec.sim.event_queue = *event_queue_;
     if (const auto cc_cfg = cc()) spec.sim.cc = *cc_cfg;
@@ -143,6 +165,9 @@ class CliOptions {
   unsigned threads_ = 0;
   unsigned shards_ = 1;
   std::optional<EventQueueKind> event_queue_;
+  std::optional<std::string> scheme_;
+  std::optional<std::string> policy_;
+  std::optional<std::string> vl_map_;
   bool telemetry_ = true;
   bool cc_ = false;
   std::optional<std::uint32_t> cc_threshold_;

@@ -320,6 +320,8 @@ void emit_point_manifest(JsonWriter& json, const PointManifest& m) {
   json.key("threads").value(static_cast<std::uint64_t>(m.threads));
   json.key("shards").value(static_cast<std::uint64_t>(m.shards));
   json.key("bytes_per_endport").value(m.bytes_per_endport);
+  json.key("policy").value(m.policy);
+  json.key("vl_map").value(m.vl_map);
   json.key("event_queue");
   emit_queue_stats(json, m.queue);
   json.end_object();
@@ -362,7 +364,7 @@ void emit_figure(JsonWriter& json, const FigureSpec& spec,
   json.key("points").begin_array();
   for (const SweepPoint& point : points) {
     json.begin_object();
-    json.key("scheme").value(to_string(point.scheme));
+    json.key("scheme").value(point.scheme);
     json.key("vls").value(point.vls);
     json.key("load").value(point.load);
     emit_sim_result_fields(json, point.result);
@@ -463,11 +465,13 @@ std::string BenchReport::to_json() const {
 
   JsonWriter json;
   json.begin_object();
-  // v5: point manifests additionally record bytes_per_endport (engine hot
-  // state + compiled routing tables over total fabric ports), the scale
-  // metric CI regresses on.  v4 added the actual parallelism (worker
-  // threads + engine shards) that computed each point.
-  json.key("schema").value("mlid-bench-v5");
+  // v6: point manifests additionally record the forwarding/VL-map policy
+  // pair ("policy", "vl_map") that ran each point, and figure points carry
+  // registry scheme names instead of the retired enum's fixed strings.
+  // v5 added bytes_per_endport (engine hot state + compiled routing tables
+  // over total fabric ports), the scale metric CI regresses on; v4 added
+  // the actual parallelism (worker threads + engine shards) per point.
+  json.key("schema").value("mlid-bench-v6");
   json.key("name").value(name_);
   json.key("manifest").begin_object();
   json.key("git").value(git_describe());

@@ -26,10 +26,13 @@ constexpr std::uint64_t kTrafficSeedDomain = 0x5EEDFACE5EEDFACEull;
 
 }  // namespace
 
-std::uint64_t sweep_point_seed(std::uint64_t base, SchemeKind scheme, int vls,
-                               double load) {
+std::uint64_t sweep_point_seed(std::uint64_t base, std::string_view scheme,
+                               int vls, double load) {
   std::uint64_t h = SplitMix64(base).next();
-  h = mix_word(h, static_cast<std::uint64_t>(scheme));
+  // The registry's stable per-scheme seed key, not a hash of the name:
+  // renaming a scheme must not move its streams, and SLID/MLID keep the
+  // retired enum's 0/1 so pre-registry BENCH numbers reproduce.
+  h = mix_word(h, scheme_seed_key(scheme));
   h = mix_word(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(vls)));
   h = mix_word(h, std::bit_cast<std::uint64_t>(load));
   return h;
@@ -64,9 +67,14 @@ std::vector<SweepPoint> run_sweep(const FigureSpec& base_spec,
 
   // One subnet per scheme; simulations only read them.
   std::vector<std::unique_ptr<Subnet>> subnets;
-  for (const SchemeKind scheme : spec.schemes) {
+  for (const std::string& scheme : spec.schemes) {
     subnets.push_back(std::make_unique<Subnet>(fabric, scheme));
   }
+
+  // Policy arms of the grid (see FigureSpec::policies).
+  const std::vector<PolicyConfig> arms =
+      spec.policies.empty() ? std::vector<PolicyConfig>{spec.sim.policy}
+                            : spec.policies;
 
   // Materialize the grid, then run the independent points on a small
   // worker pool (the points differ wildly in cost, so dynamic work
@@ -79,7 +87,10 @@ std::vector<SweepPoint> run_sweep(const FigureSpec& base_spec,
   for (std::size_t s = 0; s < spec.schemes.size(); ++s) {
     for (const int vls : spec.vl_counts) {
       for (const double load : spec.loads) {
-        jobs.push_back(Job{s, SweepPoint{spec.schemes[s], vls, load, {}, {}}});
+        for (const PolicyConfig& arm : arms) {
+          jobs.push_back(
+              Job{s, SweepPoint{spec.schemes[s], vls, load, arm, {}, {}}});
+        }
       }
     }
   }
@@ -104,6 +115,7 @@ std::vector<SweepPoint> run_sweep(const FigureSpec& base_spec,
       Job& job = jobs[i];
       SimConfig cfg = spec.sim;
       cfg.num_vls = job.point.vls;
+      cfg.policy = job.point.policy;
       // Decorrelate the RNG streams across grid points while keeping each
       // point reproducible in isolation; the hash depends only on the
       // point's own coordinates, never on the grid shape or job index.
@@ -147,6 +159,8 @@ std::vector<SweepPoint> run_sweep(const FigureSpec& base_spec,
               : 0.0;
       job.point.manifest.threads = threads;
       job.point.manifest.shards = options.shards;
+      job.point.manifest.policy = job.point.policy.forwarding;
+      job.point.manifest.vl_map = job.point.policy.vl_map;
       job.point.manifest.bytes_per_endport =
           static_cast<double>(hot_bytes +
                               subnets[job.subnet_index]->routes()
@@ -170,7 +184,7 @@ std::vector<SweepPoint> run_sweep(const FigureSpec& base_spec,
 }
 
 double saturation_throughput(const std::vector<SweepPoint>& points,
-                             SchemeKind scheme, int vls) {
+                             std::string_view scheme, int vls) {
   double best = 0.0;
   for (const auto& p : points) {
     if (p.scheme == scheme && p.vls == vls) {
@@ -229,9 +243,18 @@ Replication replicate(const Subnet& subnet, const SimConfig& cfg,
 
 namespace {
 
-std::string series_name(SchemeKind scheme, int vls) {
+// Series label.  The policy arm joins the label only when it differs from
+// the defaults, so single-arm sweeps render byte-identically to the
+// pre-policy harness.
+std::string series_name(const std::string& scheme, int vls,
+                        const PolicyConfig& policy) {
   std::ostringstream os;
-  os << to_string(scheme) << " " << vls << "VL";
+  os << scheme << " " << vls << "VL";
+  if (policy != PolicyConfig{}) {
+    os << " [" << policy.forwarding;
+    if (policy.vl_map != "none") os << "+" << policy.vl_map;
+    os << "]";
+  }
   return os.str();
 }
 
@@ -249,7 +272,8 @@ std::string render_figure_table(const FigureSpec& spec,
                    "p99 lat ns", "avg hops", "max util", "delivered"});
   for (const auto& p : points) {
     const SimResult& r = p.result;
-    table.add_row({series_name(p.scheme, p.vls), TextTable::num(p.load, 2),
+    table.add_row({series_name(p.scheme, p.vls, p.policy),
+                   TextTable::num(p.load, 2),
                    TextTable::num(r.accepted_bytes_per_ns_per_node, 4),
                    TextTable::num(r.avg_latency_ns, 1),
                    TextTable::num(r.p99_latency_ns, 1),
@@ -270,7 +294,7 @@ std::string render_figure_csv(const FigureSpec& spec,
                    "packets_measured", "packets_dropped"});
   for (const auto& p : points) {
     const SimResult& r = p.result;
-    table.add_row({spec.title, std::string(to_string(p.scheme)),
+    table.add_row({spec.title, p.scheme,
                    std::to_string(p.vls), TextTable::num(p.load, 3),
                    TextTable::num(r.accepted_bytes_per_ns_per_node, 5),
                    TextTable::num(r.avg_latency_ns, 2),
@@ -290,7 +314,7 @@ std::string render_figure_summary(const FigureSpec& spec,
   std::ostringstream os;
   TextTable table({"series", "saturation B/ns/node", "latency@lowest-load ns"});
   std::map<int, std::pair<double, double>> ratio;  // vls -> (slid, mlid) sat
-  for (const SchemeKind scheme : spec.schemes) {
+  for (const std::string& scheme : spec.schemes) {
     for (const int vls : spec.vl_counts) {
       const double sat = saturation_throughput(points, scheme, vls);
       double low_load_latency = 0.0;
@@ -301,10 +325,11 @@ std::string render_figure_summary(const FigureSpec& spec,
           low_load_latency = p.result.avg_latency_ns;
         }
       }
-      table.add_row({series_name(scheme, vls), TextTable::num(sat, 4),
+      table.add_row({series_name(scheme, vls, spec.sim.policy),
+                     TextTable::num(sat, 4),
                      TextTable::num(low_load_latency, 1)});
-      if (scheme == SchemeKind::kSlid) ratio[vls].first = sat;
-      if (scheme == SchemeKind::kMlid) ratio[vls].second = sat;
+      if (scheme == "SLID") ratio[vls].first = sat;
+      if (scheme == "MLID") ratio[vls].second = sat;
     }
   }
   os << table.to_string();

@@ -18,8 +18,15 @@ struct FigureSpec {
   TrafficConfig traffic;
   SimConfig sim;                            ///< VL count is overridden per series
   std::vector<int> vl_counts = {1, 2, 4};   ///< paper: VL 1 / VL 2 / VL 4
-  std::vector<SchemeKind> schemes = {SchemeKind::kSlid, SchemeKind::kMlid};
+  /// SchemeRegistry names (routing/registry.hpp); any registered scheme
+  /// can join the grid.
+  std::vector<std::string> schemes = {"SLID", "MLID"};
   std::vector<double> loads = kDefaultLoads();
+  /// Forwarding/VL-map policy arms.  Empty (the default) runs the single
+  /// arm `sim.policy`; listing arms multiplies the grid, every arm facing
+  /// the identical simulation and traffic streams (point seeds are
+  /// policy-independent), so arms compare policies and nothing else.
+  std::vector<PolicyConfig> policies;
 
   static std::vector<double> kDefaultLoads() {
     return {0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.65, 0.80, 0.95};
@@ -47,14 +54,18 @@ struct PointManifest {
   /// routing tables, divided by the fabric's total port count.  This is the
   /// scale metric docs/simulator.md budgets and CI regresses on.
   double bytes_per_endport = 0.0;
+  /// Forwarding/VL-map policy pair that ran this point (BENCH schema v6).
+  std::string policy = "deterministic";
+  std::string vl_map = "none";
   EventQueueStats queue;              ///< pending-event structure internals
 };
 
 /// One sweep sample: the series key plus the simulation outcome.
 struct SweepPoint {
-  SchemeKind scheme = SchemeKind::kSlid;
+  std::string scheme = "SLID";  ///< SchemeRegistry name
   int vls = 1;
   double load = 0.0;
+  PolicyConfig policy;          ///< the arm this point ran under
   SimResult result;
   PointManifest manifest;
 };
@@ -65,8 +76,11 @@ struct SweepPoint {
 /// shape -- adding a load to the sweep leaves every other point's seed (and
 /// therefore its results) unchanged -- and a base seed of 0 still yields
 /// decorrelated streams instead of collapsing to the bare index.
+/// The scheme's hash word is its stable SchemeRegistry seed key (SLID = 0,
+/// MLID = 1, matching the retired enum), never the policy arm: policy arms
+/// at one grid point deliberately share streams.
 [[nodiscard]] std::uint64_t sweep_point_seed(std::uint64_t base,
-                                             SchemeKind scheme, int vls,
+                                             std::string_view scheme, int vls,
                                              double load);
 
 /// Traffic-stream seed for a grid point.  Deliberately *scheme-independent*
@@ -107,9 +121,10 @@ std::vector<SweepPoint> run_sweep(const FigureSpec& spec,
                                   const SweepOptions& options = {});
 
 /// Saturation throughput of a finished sweep: the highest accepted traffic
-/// any load point of the given series reached.
+/// any load point of the given series reached (across every policy arm, if
+/// the sweep ran several).
 double saturation_throughput(const std::vector<SweepPoint>& points,
-                             SchemeKind scheme, int vls);
+                             std::string_view scheme, int vls);
 
 /// Bisection search for the saturation point: the highest offered load at
 /// which accepted traffic still tracks the offered rate within `slack`

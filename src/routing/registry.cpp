@@ -1,0 +1,140 @@
+#include "routing/registry.hpp"
+
+#include <cctype>
+
+#include "common/expect.hpp"
+#include "routing/fat_tree_routing.hpp"
+#include "routing/updown.hpp"
+
+namespace mlid {
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+SchemeRegistry& SchemeRegistry::instance() {
+  static SchemeRegistry reg = [] {
+    SchemeRegistry r;
+    // Seed keys 0 and 1 reproduce the retired SchemeKind enum values, so
+    // sweep_point_seed -- and therefore every published BENCH number --
+    // survived the enum-to-registry migration unchanged.
+    r.add("SLID", 0, [](const FatTreeFabric& f) {
+      return std::unique_ptr<RoutingScheme>(
+          std::make_unique<SlidRouting>(f.params()));
+    });
+    r.add("MLID", 1, [](const FatTreeFabric& f) {
+      return std::unique_ptr<RoutingScheme>(
+          std::make_unique<MlidRouting>(f.params()));
+    });
+    r.add("UPDN", 2, [](const FatTreeFabric& f) {
+      return std::unique_ptr<RoutingScheme>(std::make_unique<UpDownRouting>(
+          f, f.params().mlid_lmc()));
+    });
+    r.add("PartialMLID-lmc1", 3, [](const FatTreeFabric& f) {
+      return std::unique_ptr<RoutingScheme>(
+          std::make_unique<PartialMlidRouting>(f.params(), Lmc{1}));
+    });
+    r.add("PartialMLID-lmc2", 4, [](const FatTreeFabric& f) {
+      return std::unique_ptr<RoutingScheme>(
+          std::make_unique<PartialMlidRouting>(f.params(), Lmc{2}));
+    });
+    return r;
+  }();
+  return reg;
+}
+
+const SchemeRegistry::Entry* SchemeRegistry::find(
+    std::string_view name) const noexcept {
+  for (const Entry& e : entries_) {
+    if (iequals(e.name, name)) return &e;
+  }
+  return nullptr;
+}
+
+void SchemeRegistry::add(std::string name, std::uint64_t seed_key,
+                         Factory factory) {
+  MLID_EXPECT(!name.empty(), "scheme name must be non-empty");
+  MLID_EXPECT(factory != nullptr, "scheme factory must be callable");
+  if (find(name) != nullptr) {
+    const std::string msg = "scheme '" + name + "' is already registered";
+    MLID_EXPECT(false, msg.c_str());
+  }
+  for (const Entry& e : entries_) {
+    if (e.seed_key == seed_key) {
+      const std::string msg = "seed key " + std::to_string(seed_key) +
+                              " is already taken by scheme '" + e.name +
+                              "' (seed keys pin sweep seeds and must be "
+                              "unique)";
+      MLID_EXPECT(false, msg.c_str());
+    }
+  }
+  entries_.push_back(Entry{std::move(name), seed_key, std::move(factory)});
+}
+
+bool SchemeRegistry::contains(std::string_view name) const noexcept {
+  return find(name) != nullptr;
+}
+
+std::unique_ptr<RoutingScheme> SchemeRegistry::make(
+    std::string_view name, const FatTreeFabric& fabric) const {
+  const Entry* e = find(name);
+  if (e == nullptr) {
+    const std::string msg = "unknown routing scheme '" + std::string(name) +
+                            "' (registered: " + listing() + ")";
+    MLID_EXPECT(false, msg.c_str());
+  }
+  std::unique_ptr<RoutingScheme> scheme = e->factory(fabric);
+  MLID_EXPECT(scheme != nullptr, "scheme factory returned nullptr");
+  return scheme;
+}
+
+std::uint64_t SchemeRegistry::seed_key(std::string_view name) const {
+  const Entry* e = find(name);
+  if (e == nullptr) {
+    const std::string msg = "unknown routing scheme '" + std::string(name) +
+                            "' (registered: " + listing() + ")";
+    MLID_EXPECT(false, msg.c_str());
+  }
+  return e->seed_key;
+}
+
+std::vector<std::string> SchemeRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+std::string SchemeRegistry::listing() const {
+  std::string out;
+  for (const Entry& e : entries_) {
+    if (!out.empty()) out += ", ";
+    out += e.name;
+  }
+  return out;
+}
+
+std::unique_ptr<RoutingScheme> make_scheme(std::string_view name,
+                                           const FatTreeFabric& fabric) {
+  return SchemeRegistry::instance().make(name, fabric);
+}
+
+std::uint64_t scheme_seed_key(std::string_view name) {
+  return SchemeRegistry::instance().seed_key(name);
+}
+
+std::string scheme_listing() {
+  return SchemeRegistry::instance().listing();
+}
+
+}  // namespace mlid

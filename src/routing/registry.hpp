@@ -1,0 +1,68 @@
+// String-keyed routing-scheme registry: the open factory that replaces the
+// closed SchemeKind enum.  Schemes register a name and a constructor; the
+// harness (`--scheme`), Subnet bring-up and the sweep grid resolve names
+// through here, so adding a scheme no longer requires touching subnet /
+// harness / sweep internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "routing/scheme.hpp"
+#include "topology/builder.hpp"
+
+namespace mlid {
+
+class SchemeRegistry {
+ public:
+  /// Builds a scheme for one fabric.  The factory receives the fabric (not
+  /// just its params) because graph-derived schemes like UPDN compute their
+  /// tables from the live link state.
+  using Factory =
+      std::function<std::unique_ptr<RoutingScheme>(const FatTreeFabric&)>;
+
+  /// The process-wide registry.  The built-in schemes (SLID, MLID, UPDN,
+  /// PartialMLID-lmc1/2) are registered on first use; out-of-tree schemes
+  /// add() themselves before constructing subnets.
+  static SchemeRegistry& instance();
+
+  /// Registers a factory under a unique name (lookups are
+  /// case-insensitive).  `seed_key` is the word sweep_point_seed mixes for
+  /// this scheme and must stay stable across releases -- changing it moves
+  /// every published BENCH number for the scheme.  SLID holds 0 and MLID
+  /// holds 1 (the retired enum's values), so the registry migration left
+  /// their sweep seeds byte-identical.
+  void add(std::string name, std::uint64_t seed_key, Factory factory);
+
+  [[nodiscard]] bool contains(std::string_view name) const noexcept;
+  [[nodiscard]] std::unique_ptr<RoutingScheme> make(
+      std::string_view name, const FatTreeFabric& fabric) const;
+  [[nodiscard]] std::uint64_t seed_key(std::string_view name) const;
+  /// Canonical spellings, in registration order (for --help and errors).
+  [[nodiscard]] std::vector<std::string> names() const;
+  /// The names joined with ", " -- the listing CLI diagnostics print.
+  [[nodiscard]] std::string listing() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::uint64_t seed_key = 0;
+    Factory factory;
+  };
+
+  [[nodiscard]] const Entry* find(std::string_view name) const noexcept;
+
+  std::vector<Entry> entries_;
+};
+
+/// Convenience wrappers over SchemeRegistry::instance().
+[[nodiscard]] std::unique_ptr<RoutingScheme> make_scheme(
+    std::string_view name, const FatTreeFabric& fabric);
+[[nodiscard]] std::uint64_t scheme_seed_key(std::string_view name);
+[[nodiscard]] std::string scheme_listing();
+
+}  // namespace mlid

@@ -13,22 +13,10 @@
 #include "cc/config.hpp"
 #include "common/expect.hpp"
 #include "common/types.hpp"
+#include "routing/adaptive.hpp"
 #include "sim/event_queue.hpp"
 
 namespace mlid {
-
-/// How switches pick output ports.
-enum class ForwardingMode : std::uint8_t {
-  /// Pure LFT lookup -- what real InfiniBand switches do (deterministic).
-  kDeterministic,
-  /// What-if extension: when the LFT entry points upward (any parent is a
-  /// valid minimal next hop on a fat tree), pick the up port with the most
-  /// available credit+buffer space instead.  Not IBA-conformant; used to
-  /// quantify how much adaptivity would buy over MLID's static spreading.
-  /// Only meaningful on *pristine* fabrics: on a degraded fabric an
-  /// arbitrary parent may be a dead end for the destination.
-  kAdaptiveUplinks,
-};
 
 /// How endnodes map packets onto virtual lanes.
 enum class VlPolicy : std::uint8_t {
@@ -50,7 +38,14 @@ struct SimConfig {
   int in_buf_pkts = 1;        ///< input buffer depth per (port, VL)
   int out_buf_pkts = 1;       ///< output buffer depth per (port, VL)
   VlPolicy vl_policy = VlPolicy::kRandom;
-  ForwardingMode forwarding = ForwardingMode::kDeterministic;
+
+  /// Forwarding / VL-map policy pair, by registry name (see
+  /// routing/adaptive.hpp).  The defaults ("deterministic", "none") take
+  /// the historical hot path and are byte-identical to the pre-policy
+  /// engine; "adaptive" switches the up-phase to credit/occupancy-keyed
+  /// port selection and the non-identity VL maps remap packets onto
+  /// destination- or flow-keyed lanes at the HCA.
+  PolicyConfig policy;
 
   /// IBA VL-arbitration weights (packets served per round before yielding).
   /// Empty = equal-weight round-robin.  When set, must have one positive
@@ -149,6 +144,7 @@ struct SimConfig {
     }
     MLID_EXPECT(in_buf_pkts >= 1 && out_buf_pkts >= 1,
                 "buffers must hold at least one packet");
+    policy.validate();
     MLID_EXPECT(warmup_ns >= 0 && measure_ns > 0,
                 "measurement window must be non-empty");
     MLID_EXPECT(trace_stride >= 1, "trace stride must be at least 1");

@@ -241,9 +241,9 @@ Simulation::Simulation(const Subnet& subnet, SimConfig config,
                                        Log2Histogram{});
   }
 
-  // Up-port ranges for the adaptive what-if mode: on both tree families the
-  // up ports of a non-root switch are the contiguous physical range
-  // [m/2 + 1, m].
+  // Up-port ranges for the adaptive forwarding policies: on both tree
+  // families the up ports of a non-root switch are the contiguous physical
+  // range [m/2 + 1, m].
   first_up_port_.assign(g.num_devices(), 0);
   const FatTreeParams& params = subnet.fabric().params();
   for (SwitchId sw = 0; sw < params.num_switches(); ++sw) {
@@ -252,6 +252,19 @@ Simulation::Simulation(const Subnet& subnet, SimConfig config,
       first_up_port_[subnet.fabric().switch_device(sw)] =
           static_cast<PortId>(params.half() + 1);
     }
+  }
+
+  // Forwarding / VL-map policies.  Each engine instance (and therefore each
+  // shard of a sharded run) owns its own stateless policy objects; the
+  // adaptive policy reads only this instance's local occupancy arrays.
+  fwd_policy_ = make_forwarding_policy(cfg_.policy.forwarding);
+  vl_map_ = make_vl_map_policy(cfg_.policy.vl_map);
+  adaptive_ = !fwd_policy_->deterministic();
+  remap_vls_ = !vl_map_->identity();
+  if (adaptive_) {
+    uplink_scratch_.reserve(static_cast<std::size_t>(params.m()));
+    // The FECN selection signal only exists where FECN marking happens.
+    if (cfg_.cc.enabled) vl_fecn_signal_.assign(num_fp * vls_, 0);
   }
 
   // Stagger generation starts uniformly across one interval so all nodes do
@@ -385,17 +398,27 @@ void Simulation::release_packet(PacketId pkt) { pool_.release(pkt); }
 
 VlId Simulation::assign_vl(NodeId src, NodeId dst) {
   const auto vls = static_cast<std::uint32_t>(cfg_.num_vls);
+  VlId base = 0;
   switch (cfg_.vl_policy) {
     case VlPolicy::kRandom:
-      return static_cast<VlId>(vl_rng_[src].below(vls));
+      // Drawn before the remap check so the per-source RNG streams stay
+      // aligned whether or not a VL map is layered on top.
+      base = static_cast<VlId>(vl_rng_[src].below(vls));
+      break;
     case VlPolicy::kBySource:
-      return static_cast<VlId>(src % vls);
+      base = static_cast<VlId>(src % vls);
+      break;
     case VlPolicy::kByDestination:
-      return static_cast<VlId>(dst % vls);
+      base = static_cast<VlId>(dst % vls);
+      break;
     case VlPolicy::kFixed0:
-      return 0;
+      base = 0;
+      break;
   }
-  return 0;
+  if (!remap_vls_) return base;
+  const VlId mapped = vl_map_->remap(src, dst, base, cfg_.num_vls);
+  MLID_ASSERT(mapped < vls, "VL map must stay within the configured VL count");
+  return mapped;
 }
 
 // --- generation / injection --------------------------------------------------
@@ -799,30 +822,33 @@ void Simulation::on_head_arrive(DeviceId dev, PortId port, VlId vl,
 
 PortId Simulation::pick_output(DeviceId dev, const Device& device, VlId vl,
                                PortId deterministic) const {
-  if (cfg_.forwarding == ForwardingMode::kDeterministic ||
-      first_up_port_[dev] == 0 || deterministic < first_up_port_[dev]) {
-    // Down entries are unique (the destination sits in exactly one
-    // subtree); only upward forwarding has freedom to exploit.
+  if (!adaptive_ || first_up_port_[dev] == 0 ||
+      deterministic < first_up_port_[dev]) {
+    // Deterministic policy, or a down entry: down entries are unique (the
+    // destination sits in exactly one subtree); only upward forwarding has
+    // freedom a policy may exploit.
     return deterministic;
   }
-  // Any connected up port is a minimal next hop: pick the one whose output
-  // VL has the most headroom (free slots + downstream credits), breaking
-  // ties toward the LFT's deterministic choice, then by port number.
-  PortId best = deterministic;
-  int best_score = -1;
+  // Any connected up port is a minimal next hop: hand the policy every
+  // candidate with its local occupancy signals and let it choose.
+  uplink_scratch_.clear();
   for (PortId port = first_up_port_[dev]; port <= device.num_ports();
        ++port) {
     const std::size_t fp = port_index(dev, port);
     if (!port_connected_[fp]) continue;
     const std::size_t vs = vl_index(fp, vl);
-    const int score = vl_free_slots_[vs] + vl_credits_[vs];
-    if (score > best_score ||
-        (score == best_score && port == deterministic)) {
-      best_score = score;
-      best = port;
-    }
+    uplink_scratch_.push_back(UpPortCandidate{
+        port, vl_free_slots_[vs], vl_credits_[vs],
+        vl_fecn_signal_.empty() ? 0u : vl_fecn_signal_[vs]});
   }
-  return best;
+  const PortId out = fwd_policy_->select_uplink(uplink_scratch_, deterministic);
+  // The eligibility contract: a policy may only redirect onto another
+  // connected up port of the same switch (anything else could loop or
+  // forward into the void).
+  MLID_ASSERT(out >= first_up_port_[dev] && out <= device.num_ports() &&
+                  port_connected_[port_index(dev, out)],
+              "forwarding policy must return a connected up-phase candidate");
+  return out;
 }
 
 void Simulation::on_routed(DeviceId dev, PortId port, VlId vl, PacketId pkt,
@@ -1036,6 +1062,12 @@ void Simulation::mark_fecn(PacketId pkt, bool stall_mark, DeviceId dev,
     ++cc_fecn_stall_marks_;
   } else {
     ++cc_fecn_depth_marks_;
+  }
+  if (!vl_fecn_signal_.empty()) {
+    // The adaptive policy's congestion-root signal (independent of the
+    // telemetry counter below, so policy behaviour does not change with
+    // observability flags).
+    ++vl_fecn_signal_[vl_index(port_index(dev, port), vl)];
   }
   if (cfg_.telemetry) {
     ++vl_cold_[vl_index(port_index(dev, port), vl)].fecn_marks;
@@ -1307,6 +1339,8 @@ std::size_t Simulation::memory_footprint() const noexcept {
            vec_bytes(vl_cc_stall_since_) + vec_bytes(vl_cold_);
   total += vec_bytes(src_q_) + vec_bytes(scratch_) + vec_bytes(nodes_) +
            vec_bytes(first_up_port_) + vec_bytes(vl_rng_);
+  // Policy state (empty under the default deterministic/none pair).
+  total += vec_bytes(uplink_scratch_) + vec_bytes(vl_fecn_signal_);
   // CC state (next_allowed is the O(nodes^2) part; CCT internals are
   // approximated by their object size).
   total += vec_bytes(cc_nodes_) + vec_bytes(cct_) + vec_bytes(cc_index_hist_);

@@ -450,6 +450,21 @@ class Simulation {
   std::vector<PortId> first_up_port_;  ///< per device; 0 = no up ports
   std::vector<Xoshiro256> vl_rng_;
 
+  // --- forwarding / VL-map policies (routing/adaptive.hpp) --------------------
+  std::unique_ptr<ForwardingPolicy> fwd_policy_;
+  std::unique_ptr<VlMapPolicy> vl_map_;
+  bool adaptive_ = false;   ///< cached !fwd_policy_->deterministic()
+  bool remap_vls_ = false;  ///< cached !vl_map_->identity()
+  /// pick_output's candidate scratch (adaptive only; avoids per-hop
+  /// allocation).  Mutable: pick_output is const and the scratch carries no
+  /// state across calls.
+  mutable std::vector<UpPortCandidate> uplink_scratch_;
+  /// FECN marks per (port, VL) slot: the CC-derived selection signal the
+  /// adaptive policy reads.  Sized only when the policy is adaptive *and*
+  /// CC is enabled; kept separate from VlTelemetry::fecn_marks so policy
+  /// behaviour never depends on the observability flags.
+  std::vector<std::uint32_t> vl_fecn_signal_;
+
   // --- congestion control (empty / zero unless cfg_.cc.enabled) ---------------
   std::vector<CcNode> cc_nodes_;                    ///< per HCA
   std::vector<CongestionControlTable> cct_;         ///< per HCA

@@ -3,9 +3,10 @@
 #pragma once
 
 #include <memory>
+#include <string_view>
 
 #include "routing/path.hpp"
-#include "routing/scheme.hpp"
+#include "routing/registry.hpp"
 #include "subnet/discovery.hpp"
 #include "topology/builder.hpp"
 
@@ -27,10 +28,17 @@ struct SubnetInitStats {
 class Subnet {
  public:
   /// Runs the full SM bring-up: discovery sweep from node 0's endport,
-  /// LID assignment, and LFT programming.
+  /// LID assignment, and LFT programming.  `scheme` is any name in the
+  /// SchemeRegistry ("SLID", "MLID", ...; case-insensitive); unknown names
+  /// throw ContractViolation listing the registry.
+  Subnet(const FatTreeFabric& fabric, std::string_view scheme);
+
+  /// DEPRECATED with SchemeKind (see routing/scheme.hpp): enum selector
+  /// shim, kept for one release.
   Subnet(const FatTreeFabric& fabric, SchemeKind kind);
 
-  /// Same bring-up with a caller-supplied scheme (e.g. PartialMlidRouting).
+  /// Same bring-up with a caller-supplied scheme (e.g. a PartialMlidRouting
+  /// at a bespoke LMC, or an unregistered out-of-tree scheme).
   Subnet(const FatTreeFabric& fabric, std::unique_ptr<RoutingScheme> scheme);
 
   [[nodiscard]] const FatTreeFabric& fabric() const noexcept {

@@ -37,7 +37,7 @@ void expect_balanced(const std::string& json) {
 
 struct InstrumentedRun {
   InstrumentedRun() : fabric{FatTreeParams(4, 3)},
-                      subnet(fabric, SchemeKind::kMlid),
+                      subnet(fabric, "MLID"),
                       sm(fabric, subnet) {
     // Long enough for the trap -> sweep -> program pipeline to finish (a
     // (4,3) sweep costs ~12 us of probe SMPs), so the control track holds

@@ -224,5 +224,71 @@ TEST(CliDeathTest, HelpPrintsUsageAndExitsZero) {
   EXPECT_EXIT(parse({"--help"}), ::testing::ExitedWithCode(0), "");
 }
 
+TEST(Cli, SchemeAndPolicyFlagsBothFormsAndDefault) {
+  EXPECT_FALSE(parse({}).scheme().has_value());
+  EXPECT_FALSE(parse({}).policy().has_value());
+  EXPECT_FALSE(parse({}).vl_map().has_value());
+  const CliOptions eq =
+      parse({"--scheme=UPDN", "--policy=adaptive", "--vl-map=dest-mod"});
+  EXPECT_EQ(eq.scheme(), "UPDN");
+  EXPECT_EQ(eq.policy(), "adaptive");
+  EXPECT_EQ(eq.vl_map(), "dest-mod");
+  const CliOptions two = parse({"--scheme", "MLID", "--policy", "adaptive"});
+  EXPECT_EQ(two.scheme(), "MLID");
+  EXPECT_EQ(two.policy(), "adaptive");
+  // Registry lookup is case-insensitive; the flag keeps the user's casing.
+  EXPECT_EQ(parse({"--scheme=mlid"}).scheme(), "mlid");
+}
+
+TEST(Cli, ApplyPropagatesSchemeAndPolicy) {
+  const CliOptions opts =
+      parse({"--scheme=SLID", "--policy=adaptive", "--vl-map=flow-hash"});
+  FigureSpec spec;
+  opts.apply(spec);
+  ASSERT_EQ(spec.schemes.size(), 1u);
+  EXPECT_EQ(spec.schemes[0], "SLID");
+  EXPECT_EQ(spec.sim.policy.forwarding, "adaptive");
+  EXPECT_EQ(spec.sim.policy.vl_map, "flow-hash");
+  // Without the flags the spec keeps its own grid and defaults.
+  FigureSpec untouched;
+  parse({}).apply(untouched);
+  EXPECT_EQ(untouched.schemes.size(), 2u);
+  EXPECT_EQ(untouched.sim.policy, PolicyConfig{});
+}
+
+// Unknown registry names must exit 2 and teach: the diagnostic carries the
+// live registry listing, so the user sees exactly what this build offers.
+TEST(CliDeathTest, UnknownSchemeExitsWithTheRegistryListing) {
+  EXPECT_EXIT(parse({"--scheme=bogus"}), ::testing::ExitedWithCode(2),
+              "unknown routing scheme 'bogus'");
+  EXPECT_EXIT(parse({"--scheme=bogus"}), ::testing::ExitedWithCode(2),
+              "registered: SLID, MLID, UPDN");
+}
+
+TEST(CliDeathTest, UnknownPolicyExitsWithTheRegistryListing) {
+  EXPECT_EXIT(parse({"--policy=bogus"}), ::testing::ExitedWithCode(2),
+              "unknown forwarding policy 'bogus'");
+  EXPECT_EXIT(parse({"--policy=bogus"}), ::testing::ExitedWithCode(2),
+              "registered: deterministic, adaptive");
+}
+
+TEST(CliDeathTest, UnknownVlMapExitsWithTheRegistryListing) {
+  EXPECT_EXIT(parse({"--vl-map=bogus"}), ::testing::ExitedWithCode(2),
+              "unknown vl map 'bogus'");
+  EXPECT_EXIT(parse({"--vl-map=bogus"}), ::testing::ExitedWithCode(2),
+              "registered: none, dest-mod, flow-hash");
+}
+
+TEST(CliDeathTest, UsageTextEnumeratesTheRegistries) {
+  // Every usage error (and --help, which prints the same text to stdout)
+  // ends with the three live registry listings.
+  EXPECT_EXIT(parse({"--bogus"}), ::testing::ExitedWithCode(2),
+              "registered schemes: ");
+  EXPECT_EXIT(parse({"--bogus"}), ::testing::ExitedWithCode(2),
+              "forwarding policies: ");
+  EXPECT_EXIT(parse({"--bogus"}), ::testing::ExitedWithCode(2),
+              "vl maps: ");
+}
+
 }  // namespace
 }  // namespace mlid

@@ -15,7 +15,7 @@ SimConfig quick() {
 
 TEST(Replicate, AccumulatesTheRequestedRuns) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const Replication rep = replicate(
       subnet, quick(), {TrafficKind::kUniform, 0.2, 0, 9}, 0.4, 5);
   EXPECT_EQ(rep.runs, 5);
@@ -28,7 +28,7 @@ TEST(Replicate, AccumulatesTheRequestedRuns) {
 TEST(Replicate, SeedsActuallyVary) {
   // Distinct seeds must produce nonzero spread at moderate load.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const Replication rep = replicate(
       subnet, quick(), {TrafficKind::kUniform, 0.2, 0, 9}, 0.6, 4);
   EXPECT_GT(rep.avg_latency.stddev(), 0.0);
@@ -36,7 +36,7 @@ TEST(Replicate, SeedsActuallyVary) {
 
 TEST(Replicate, SpreadIsSmallRelativeToTheMeanBelowSaturation) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const Replication rep = replicate(
       subnet, quick(), {TrafficKind::kUniform, 0.2, 0, 9}, 0.2, 5);
   EXPECT_LT(rep.accepted.stddev(), 0.1 * rep.accepted.mean());
@@ -44,7 +44,7 @@ TEST(Replicate, SpreadIsSmallRelativeToTheMeanBelowSaturation) {
 
 TEST(Replicate, RejectsZeroRuns) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   EXPECT_THROW(
       replicate(subnet, quick(), {TrafficKind::kUniform, 0.2, 0, 9}, 0.4, 0),
       ContractViolation);

@@ -18,7 +18,7 @@ TEST(Saturation, NeighborTrafficIsBoundedByTheCreditLoop) {
   // single-packet credit loop: the NIC may reinject only after
   // wire + t_fly + t_r + wire + t_fly = 396 ns, i.e. load 256/396 = 0.646.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const double sat = find_saturation_load(
       subnet, quick(), {TrafficKind::kNeighbor, 0, 0, 3});
   EXPECT_GT(sat, 0.55);
@@ -29,7 +29,7 @@ TEST(Saturation, DeepBuffersHideTheCreditLoop) {
   // With 4-packet buffers the 140 ns credit bubble is fully pipelined and
   // contention-free traffic keeps up at the full injection rate.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig cfg = quick();
   cfg.in_buf_pkts = 4;
   cfg.out_buf_pkts = 4;
@@ -43,7 +43,7 @@ TEST(Saturation, PureHotSpotSaturatesNearOneOverN) {
   // (the hot node's own uniform traffic keeps up separately), so the
   // per-node sustainable load is roughly 1 / (N - 1).
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const double sat = find_saturation_load(
       subnet, quick(), {TrafficKind::kCentric, 1.0, 0, 3});
   EXPECT_GT(sat, 0.02);
@@ -52,8 +52,8 @@ TEST(Saturation, PureHotSpotSaturatesNearOneOverN) {
 
 TEST(Saturation, MlidSaturatesNoLowerThanSlid) {
   const FatTreeFabric fabric{FatTreeParams(8, 2)};
-  const Subnet mlid(fabric, SchemeKind::kMlid);
-  const Subnet slid(fabric, SchemeKind::kSlid);
+  const Subnet mlid(fabric, "MLID");
+  const Subnet slid(fabric, "SLID");
   const TrafficConfig traffic{TrafficKind::kCentric, 0.2, 0, 3};
   const double sat_mlid = find_saturation_load(mlid, quick(), traffic);
   const double sat_slid = find_saturation_load(slid, quick(), traffic);
@@ -62,7 +62,7 @@ TEST(Saturation, MlidSaturatesNoLowerThanSlid) {
 
 TEST(Saturation, RejectsBadParameters) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   EXPECT_THROW(find_saturation_load(subnet, quick(),
                                     {TrafficKind::kUniform, 0, 0, 3},
                                     /*slack=*/0.0),

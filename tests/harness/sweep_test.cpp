@@ -28,10 +28,10 @@ TEST(Sweep, ProducesTheFullGridInOrder) {
   const auto points = run_sweep(spec, {.threads = 1});
   ASSERT_EQ(points.size(), 2u * 2u * 2u);  // schemes x vls x loads
   // Grid order: scheme-major, then VLs, then loads.
-  EXPECT_EQ(points[0].scheme, SchemeKind::kSlid);
+  EXPECT_EQ(points[0].scheme, "SLID");
   EXPECT_EQ(points[0].vls, 1);
   EXPECT_DOUBLE_EQ(points[0].load, 0.2);
-  EXPECT_EQ(points.back().scheme, SchemeKind::kMlid);
+  EXPECT_EQ(points.back().scheme, "MLID");
   EXPECT_EQ(points.back().vls, 2);
   EXPECT_DOUBLE_EQ(points.back().load, 0.6);
   for (const auto& p : points) {
@@ -124,7 +124,7 @@ TEST(Sweep, PointSeedsDependOnCoordinatesNotGridShape) {
 TEST(Sweep, PointSeedDerivationSeparatesCoordinates) {
   // Base 0 must not collapse the grid (0 * K + i degenerated to job order).
   std::set<std::uint64_t> seeds;
-  for (const SchemeKind scheme : {SchemeKind::kSlid, SchemeKind::kMlid}) {
+  for (const std::string_view scheme : {"SLID", "MLID"}) {
     for (const int vls : {1, 2, 4}) {
       for (const double load : {0.1, 0.2, 0.9}) {
         seeds.insert(sweep_point_seed(0, scheme, vls, load));
@@ -133,10 +133,10 @@ TEST(Sweep, PointSeedDerivationSeparatesCoordinates) {
   }
   EXPECT_EQ(seeds.size(), 2u * 3u * 3u);
   // Distinct bases decorrelate, and the sim/traffic domains never collide.
-  EXPECT_NE(sweep_point_seed(0, SchemeKind::kSlid, 1, 0.2),
-            sweep_point_seed(1, SchemeKind::kSlid, 1, 0.2));
+  EXPECT_NE(sweep_point_seed(0, "SLID", 1, 0.2),
+            sweep_point_seed(1, "SLID", 1, 0.2));
   EXPECT_NE(sweep_traffic_seed(0, 1, 0.2),
-            sweep_point_seed(0, SchemeKind::kSlid, 1, 0.2));
+            sweep_point_seed(0, "SLID", 1, 0.2));
   EXPECT_NE(sweep_traffic_seed(0, 1, 0.2), sweep_traffic_seed(0, 1, 0.4));
 }
 
@@ -224,15 +224,15 @@ TEST(Sweep, CcOverrideAppliesToEveryPoint) {
 TEST(Sweep, SaturationThroughputPicksTheSeriesMaximum) {
   const FigureSpec spec = tiny_spec();
   const auto points = run_sweep(spec, {.threads = 1});
-  const double sat = saturation_throughput(points, SchemeKind::kMlid, 1);
+  const double sat = saturation_throughput(points, "MLID", 1);
   double expected = 0.0;
   for (const auto& p : points) {
-    if (p.scheme == SchemeKind::kMlid && p.vls == 1) {
+    if (p.scheme == "MLID" && p.vls == 1) {
       expected = std::max(expected, p.result.accepted_bytes_per_ns_per_node);
     }
   }
   EXPECT_DOUBLE_EQ(sat, expected);
-  EXPECT_EQ(saturation_throughput(points, SchemeKind::kMlid, 4), 0.0);
+  EXPECT_EQ(saturation_throughput(points, "MLID", 4), 0.0);
 }
 
 TEST(Sweep, RenderersIncludeEverySample) {

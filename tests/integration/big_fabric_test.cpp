@@ -99,7 +99,7 @@ TEST(BigFabric, Ft16x4BringsUpRoutesAndSimulates) {
 
 TEST(BigFabric, Ft16x4SlidLayoutRoutesConsistently) {
   const FatTreeFabric fabric{FatTreeParams(16, 4)};
-  const Subnet subnet(fabric, SchemeKind::kSlid);
+  const Subnet subnet(fabric, "SLID");
   const FatTreeParams& p = fabric.params();
   EXPECT_EQ(subnet.init_stats().lids_assigned, 8192u);
   std::uint64_t checked = 0;

@@ -23,7 +23,7 @@ TEST_P(EndToEnd, BringUpRouteAndSimulate) {
   // Topology is structurally sound.
   ASSERT_TRUE(validate_fat_tree(fabric).ok());
 
-  for (const SchemeKind kind : {SchemeKind::kSlid, SchemeKind::kMlid}) {
+  for (const std::string_view kind : {"SLID", "MLID"}) {
     const Subnet subnet(fabric, kind);
 
     // The programmed tables route every (src, DLID) pair correctly.
@@ -57,8 +57,8 @@ TEST(EndToEnd, MlidUsesEveryRootUnderUniformLoadWhileSlidConcentratesPerDst) {
   // all sources toward one destination.
   const FatTreeParams p(4, 3);
   const FatTreeFabric fabric(p);
-  const Subnet mlid(fabric, SchemeKind::kMlid);
-  const Subnet slid(fabric, SchemeKind::kSlid);
+  const Subnet mlid(fabric, "MLID");
+  const Subnet slid(fabric, "SLID");
 
   auto roots_used = [&](const Subnet& subnet, NodeId dst) {
     std::set<DeviceId> roots;

@@ -10,7 +10,7 @@ namespace {
 
 TEST(KarySim, OpenLoopUniformRuns) {
   const FatTreeFabric fabric(FatTreeParams::kary(2, 3));  // 8 nodes
-  for (const SchemeKind kind : {SchemeKind::kSlid, SchemeKind::kMlid}) {
+  for (const std::string_view kind : {"SLID", "MLID"}) {
     const Subnet subnet(fabric, kind);
     SimConfig cfg;
     cfg.warmup_ns = 5'000;
@@ -31,7 +31,7 @@ TEST(KarySim, LatencyClosedFormHolds) {
   // 4-ary 2-tree neighbor traffic: one leaf switch between the pair,
   // 1 * 100 + 2 * 20 + 256 = 396 ns.
   const FatTreeFabric fabric(FatTreeParams::kary(4, 2));
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig cfg;
   cfg.warmup_ns = 5'000;
   cfg.measure_ns = 30'000;
@@ -46,8 +46,8 @@ TEST(KarySim, LatencyClosedFormHolds) {
 
 TEST(KarySim, CentricMlidBeatsSlid) {
   const FatTreeFabric fabric(FatTreeParams::kary(4, 2));  // 16 nodes
-  const Subnet mlid(fabric, SchemeKind::kMlid);
-  const Subnet slid(fabric, SchemeKind::kSlid);
+  const Subnet mlid(fabric, "MLID");
+  const Subnet slid(fabric, "SLID");
   SimConfig cfg;
   cfg.warmup_ns = 8'000;
   cfg.measure_ns = 40'000;
@@ -62,7 +62,7 @@ TEST(KarySim, CentricMlidBeatsSlid) {
 
 TEST(KarySim, BurstAllToAllDrains) {
   const FatTreeFabric fabric(FatTreeParams::kary(2, 3));
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig cfg;
   cfg.seed = 14;
   Simulation sim = Simulation::burst(subnet, cfg,

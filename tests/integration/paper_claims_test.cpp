@@ -26,8 +26,8 @@ TEST(PaperClaims, Remark1MlidThroughputAtLeastSlidCentric) {
   for (const auto& [m, n] : {std::pair{4, 3}, std::pair{8, 2}}) {
     const FigureSpec spec = spec_for(m, n, TrafficKind::kCentric);
     const auto points = run_sweep(spec, {.threads = 1});
-    const double mlid = saturation_throughput(points, SchemeKind::kMlid, 1);
-    const double slid = saturation_throughput(points, SchemeKind::kSlid, 1);
+    const double mlid = saturation_throughput(points, "MLID", 1);
+    const double slid = saturation_throughput(points, "SLID", 1);
     EXPECT_GT(mlid, slid) << m << "-port " << n << "-tree";
   }
 }
@@ -35,8 +35,8 @@ TEST(PaperClaims, Remark1MlidThroughputAtLeastSlidCentric) {
 TEST(PaperClaims, Remark1MlidThroughputAtLeastSlidUniform) {
   const FigureSpec spec = spec_for(8, 2, TrafficKind::kUniform);
   const auto points = run_sweep(spec, {.threads = 1});
-  const double mlid = saturation_throughput(points, SchemeKind::kMlid, 1);
-  const double slid = saturation_throughput(points, SchemeKind::kSlid, 1);
+  const double mlid = saturation_throughput(points, "MLID", 1);
+  const double slid = saturation_throughput(points, "SLID", 1);
   EXPECT_GE(mlid, slid * 0.98);  // "a little higher or equal" for small m
 }
 
@@ -48,7 +48,7 @@ TEST(PaperClaims, Remark2LowLoadLatencyComparable) {
   double mlid_low = 0.0, slid_low = 0.0;
   for (const auto& p : points) {
     if (p.load != 0.05) continue;
-    (p.scheme == SchemeKind::kMlid ? mlid_low : slid_low) =
+    (p.scheme == "MLID" ? mlid_low : slid_low) =
         p.result.avg_latency_ns;
   }
   ASSERT_GT(mlid_low, 0.0);
@@ -68,7 +68,7 @@ TEST(PaperClaims, Observation4CentricLowLoadLatencyFavorsMlid) {
   double mlid_low = 0.0, slid_low = 0.0;
   for (const auto& p : points) {
     if (p.load != 0.9) continue;  // deep in the congested regime
-    (p.scheme == SchemeKind::kMlid ? mlid_low : slid_low) =
+    (p.scheme == "MLID" ? mlid_low : slid_low) =
         p.result.avg_latency_ns;
   }
   ASSERT_GT(mlid_low, 0.0);
@@ -84,8 +84,8 @@ TEST(PaperClaims, Remark3AdvantageGrowsWithNetworkSize) {
   auto ratio = [&](int m, int n) {
     const FigureSpec spec = spec_for(m, n, TrafficKind::kCentric);
     const auto points = run_sweep(spec, {.threads = 1});
-    return saturation_throughput(points, SchemeKind::kMlid, 1) /
-           saturation_throughput(points, SchemeKind::kSlid, 1);
+    return saturation_throughput(points, "MLID", 1) /
+           saturation_throughput(points, "SLID", 1);
   };
   const double small = ratio(4, 2);
   const double large = ratio(4, 3);

@@ -59,7 +59,7 @@ TEST(ShardParity, CanonicalOrderIsContentDetermined) {
 
 TEST(ShardParity, OpenLoopRunsAreBitIdentical) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const TrafficConfig traffic{TrafficKind::kUniform, 0.2, 0, 9};
   for (const double load : {0.2, 0.6, 0.9}) {
     const SimResult oracle =
@@ -80,7 +80,7 @@ TEST(ShardParity, ThreadCountDoesNotChangeResults) {
   // Threads only change which worker drains which shard queue; any count
   // must reproduce the oracle bit-for-bit.
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const TrafficConfig traffic{TrafficKind::kUniform, 0.2, 0, 9};
   const SimResult oracle =
       Simulation::open_loop(subnet, quick_canonical(), traffic, 0.6).run();
@@ -96,7 +96,7 @@ TEST(ShardParity, ThreadCountDoesNotChangeResults) {
 
 TEST(ShardParity, BurstRunsAreBitIdentical) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const auto workload = all_to_all_personalized(16, 512);
   const BurstResult oracle =
       Simulation::burst(subnet, quick_canonical(), workload)
@@ -121,7 +121,7 @@ TEST(ShardParity, LiveSmFaultRunsAreBitIdentical) {
   const FatTreeParams params(4, 3);
   auto run = [&](std::uint32_t shards) {
     FatTreeFabric fabric{params};
-    const Subnet subnet(fabric, SchemeKind::kMlid);
+    const Subnet subnet(fabric, "MLID");
     SubnetManager sm(fabric, subnet);
     const FaultSchedule faults = FaultSchedule::random_uplink_failures(
         fabric, /*count=*/2, /*fail_at=*/8'000, /*seed=*/5, /*recover_at=*/
@@ -150,7 +150,7 @@ TEST(ShardParity, CongestionControlRunsAreBitIdentical) {
   // *source* node) and per-node CCT state; the lookahead shrinks to the
   // BECN echo delay and the owner-exclusive CC state merges at the end.
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig cfg = quick_canonical();
   cfg.cc.enabled = true;
   // Hot-spot traffic so FECN marking actually triggers.
@@ -169,7 +169,7 @@ TEST(ShardParity, CongestionControlRunsAreBitIdentical) {
 
 TEST(ShardParity, QueueStatsAccountForEveryEvent) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const TrafficConfig traffic{TrafficKind::kUniform, 0.2, 0, 9};
   ShardedSimulation sim = ShardedSimulation::open_loop(
       subnet, quick_canonical(), traffic, 0.6, {4, 0});

@@ -31,7 +31,7 @@ SimConfig sampled_canonical() {
 
 TEST(ShardedTimeline, SampledRunsAreBitIdentical) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const TrafficConfig traffic{TrafficKind::kUniform, 0.2, 0, 9};
   const SimResult oracle =
       Simulation::open_loop(subnet, sampled_canonical(), traffic, 0.6).run();
@@ -53,7 +53,7 @@ TEST(ShardedTimeline, SampledRunsAreBitIdentical) {
 
 TEST(ShardedTimeline, ThreadCountDoesNotChangeSamples) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const TrafficConfig traffic{TrafficKind::kUniform, 0.2, 0, 9};
   const SimResult oracle =
       Simulation::open_loop(subnet, sampled_canonical(), traffic, 0.6).run();
@@ -70,7 +70,7 @@ TEST(ShardedTimeline, DecimationMatchesSequential) {
   // Force the cap low enough that the sampler decimates mid-run; the
   // driver-owned sampler must reproduce the sequential doubling cadence.
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const TrafficConfig traffic{TrafficKind::kUniform, 0.2, 0, 9};
   SimConfig cfg = sampled_canonical();
   cfg.sample_interval_ns = 200;
@@ -92,7 +92,7 @@ TEST(ShardedTimeline, BurstSamplingIsRejected) {
   // Burst mode has no fixed horizon for the driver to pace samples against;
   // the combination must fail loudly, not silently drop the timeline.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const auto workload = all_to_all_personalized(4, 256);
   SimConfig cfg;
   cfg.event_order = EventOrder::kCanonical;

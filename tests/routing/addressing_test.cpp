@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "routing/fat_tree_routing.hpp"
+#include "routing/registry.hpp"
 
 namespace mlid {
 namespace {
@@ -55,7 +56,7 @@ TEST(Addressing, NodeOfLidRejectsBadLids) {
 struct AddressingCase {
   int m;
   int n;
-  SchemeKind kind;
+  std::string_view kind;
 };
 
 class AddressingSweep : public ::testing::TestWithParam<AddressingCase> {};
@@ -63,7 +64,8 @@ class AddressingSweep : public ::testing::TestWithParam<AddressingCase> {};
 TEST_P(AddressingSweep, LidBlocksAreDisjointAndCoverTheSpace) {
   const auto param = GetParam();
   const FatTreeParams p(param.m, param.n);
-  const auto scheme = make_scheme(param.kind, p);
+  const FatTreeFabric fabric(p);
+  const auto scheme = make_scheme(param.kind, fabric);
   std::vector<NodeId> owner(scheme->max_lid() + 1, kInvalidNode);
   for (NodeId node = 0; node < p.num_nodes(); ++node) {
     const LidRange range = scheme->lids_of(node);
@@ -84,9 +86,10 @@ TEST_P(AddressingSweep, LidBlocksAreDisjointAndCoverTheSpace) {
 TEST_P(AddressingSweep, BlockSizeMatchesLmc) {
   const auto param = GetParam();
   const FatTreeParams p(param.m, param.n);
-  const auto scheme = make_scheme(param.kind, p);
+  const FatTreeFabric fabric(p);
+  const auto scheme = make_scheme(param.kind, fabric);
   const std::uint32_t expected =
-      param.kind == SchemeKind::kMlid ? p.paths_per_pair() : 1u;
+      param.kind == "MLID" ? p.paths_per_pair() : 1u;
   for (NodeId node = 0; node < p.num_nodes(); ++node) {
     EXPECT_EQ(scheme->lids_of(node).count(), expected);
   }
@@ -94,14 +97,14 @@ TEST_P(AddressingSweep, BlockSizeMatchesLmc) {
 
 INSTANTIATE_TEST_SUITE_P(
     Grid, AddressingSweep,
-    ::testing::Values(AddressingCase{4, 2, SchemeKind::kMlid},
-                      AddressingCase{4, 3, SchemeKind::kMlid},
-                      AddressingCase{4, 4, SchemeKind::kMlid},
-                      AddressingCase{8, 2, SchemeKind::kMlid},
-                      AddressingCase{8, 3, SchemeKind::kMlid},
-                      AddressingCase{16, 2, SchemeKind::kMlid},
-                      AddressingCase{4, 3, SchemeKind::kSlid},
-                      AddressingCase{8, 3, SchemeKind::kSlid}));
+    ::testing::Values(AddressingCase{4, 2, "MLID"},
+                      AddressingCase{4, 3, "MLID"},
+                      AddressingCase{4, 4, "MLID"},
+                      AddressingCase{8, 2, "MLID"},
+                      AddressingCase{8, 3, "MLID"},
+                      AddressingCase{16, 2, "MLID"},
+                      AddressingCase{4, 3, "SLID"},
+                      AddressingCase{8, 3, "SLID"}));
 
 }  // namespace
 }  // namespace mlid

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "routing/fat_tree_routing.hpp"
+#include "routing/registry.hpp"
 
 namespace mlid {
 namespace {
@@ -74,14 +75,15 @@ TEST(Forwarding, DescentIgnoresTheOffset) {
 
 TEST(Forwarding, LftCoversEveryAssignedLidOnEverySwitch) {
   const FatTreeParams p(4, 3);
-  for (const SchemeKind kind : {SchemeKind::kSlid, SchemeKind::kMlid}) {
-    const auto scheme = make_scheme(kind, p);
+  const FatTreeFabric fabric(p);
+  for (const std::string_view kind : {"SLID", "MLID"}) {
+    const auto scheme = make_scheme(kind, fabric);
     for (SwitchId sw = 0; sw < p.num_switches(); ++sw) {
       const Lft lft = scheme->build_lft(sw);
       EXPECT_EQ(lft.max_lid(), scheme->max_lid());
       for (Lid lid = 1; lid <= scheme->max_lid(); ++lid) {
         ASSERT_TRUE(lft.has(lid))
-            << to_string(kind) << " switch " << sw << " lid " << lid;
+            << kind << " switch " << sw << " lid " << lid;
       }
     }
   }

@@ -144,7 +144,7 @@ TEST(LoadAnalysis, PredictionMatchesSimulatedUtilizationRanking) {
   // The analytically hottest link must also be (one of) the hottest in a
   // low-load simulation, where queueing effects are negligible.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const LoadAnalysis analysis(fabric, subnet.scheme(), subnet.routes());
   const auto predicted =
       analysis.predict(TrafficMatrix::centric(8, 0, 1.0));

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "routing/fat_tree_routing.hpp"
+#include "routing/registry.hpp"
 #include "routing/validate.hpp"
 
 namespace mlid {
@@ -11,7 +12,7 @@ namespace {
 struct Case {
   int m;
   int n;
-  SchemeKind kind;
+  std::string_view kind;
 };
 
 class AllPaths : public ::testing::TestWithParam<Case> {};
@@ -20,7 +21,7 @@ TEST_P(AllPaths, EveryPathIsMinimalCorrectAndUpDown) {
   const auto param = GetParam();
   const FatTreeParams p(param.m, param.n);
   const FatTreeFabric fabric(p);
-  const auto scheme = make_scheme(param.kind, p);
+  const auto scheme = make_scheme(param.kind, fabric);
   const CompiledRoutes routes(fabric, *scheme);
   const RoutingReport report = verify_all_paths(fabric, *scheme, routes);
   for (const auto& problem : report.problems) ADD_FAILURE() << problem;
@@ -33,18 +34,18 @@ TEST_P(AllPaths, EveryPathIsMinimalCorrectAndUpDown) {
 
 INSTANTIATE_TEST_SUITE_P(
     Grid, AllPaths,
-    ::testing::Values(Case{4, 2, SchemeKind::kMlid},
-                      Case{4, 3, SchemeKind::kMlid},
-                      Case{4, 4, SchemeKind::kMlid},
-                      Case{8, 2, SchemeKind::kMlid},
-                      Case{8, 3, SchemeKind::kMlid},
-                      Case{16, 2, SchemeKind::kMlid},
-                      Case{4, 2, SchemeKind::kSlid},
-                      Case{4, 3, SchemeKind::kSlid},
-                      Case{4, 4, SchemeKind::kSlid},
-                      Case{8, 2, SchemeKind::kSlid},
-                      Case{8, 3, SchemeKind::kSlid},
-                      Case{16, 2, SchemeKind::kSlid}));
+    ::testing::Values(Case{4, 2, "MLID"},
+                      Case{4, 3, "MLID"},
+                      Case{4, 4, "MLID"},
+                      Case{8, 2, "MLID"},
+                      Case{8, 3, "MLID"},
+                      Case{16, 2, "MLID"},
+                      Case{4, 2, "SLID"},
+                      Case{4, 3, "SLID"},
+                      Case{4, 4, "SLID"},
+                      Case{8, 2, "SLID"},
+                      Case{8, 3, "SLID"},
+                      Case{16, 2, "SLID"}));
 
 TEST(PathTrace, RendersReadableDiagnostics) {
   const FatTreeParams p(4, 2);

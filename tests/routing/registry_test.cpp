@@ -1,0 +1,116 @@
+// The string-keyed scheme registry that replaced the closed SchemeKind
+// enum: lookup semantics, seed-key stability (sweep seeds must not move
+// across the migration), open registration, and the deprecated enum shim.
+#include "routing/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "routing/fat_tree_routing.hpp"
+#include "routing/scheme.hpp"
+#include "subnet/subnet.hpp"
+
+namespace mlid {
+namespace {
+
+TEST(SchemeRegistry, SeedSchemesAreRegistered) {
+  auto& reg = SchemeRegistry::instance();
+  for (const char* name :
+       {"SLID", "MLID", "UPDN", "PartialMLID-lmc1", "PartialMLID-lmc2"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+  }
+  EXPECT_FALSE(reg.contains("no-such-scheme"));
+  EXPECT_FALSE(reg.contains(""));
+}
+
+TEST(SchemeRegistry, LookupIsCaseInsensitive) {
+  auto& reg = SchemeRegistry::instance();
+  EXPECT_TRUE(reg.contains("mlid"));
+  EXPECT_TRUE(reg.contains("Slid"));
+  EXPECT_TRUE(reg.contains("updn"));
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const auto scheme = make_scheme("mlid", fabric);
+  EXPECT_EQ(scheme->name(), "MLID");
+}
+
+TEST(SchemeRegistry, SeedKeysPinTheRetiredEnumValues) {
+  // sweep_point_seed mixes these keys into every grid point's RNG stream;
+  // SLID = 0 and MLID = 1 reproduce the retired enum's values so BENCH
+  // numbers from before the registry migration stay byte-identical.
+  EXPECT_EQ(scheme_seed_key("SLID"), 0u);
+  EXPECT_EQ(scheme_seed_key("MLID"), 1u);
+  // The rest are stable too -- reordering registrations must not move them.
+  EXPECT_EQ(scheme_seed_key("UPDN"), 2u);
+  EXPECT_EQ(scheme_seed_key("PartialMLID-lmc1"), 3u);
+  EXPECT_EQ(scheme_seed_key("PartialMLID-lmc2"), 4u);
+}
+
+TEST(SchemeRegistry, UnknownNameThrowsWithTheListing) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  try {
+    (void)make_scheme("bogus", fabric);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown routing scheme 'bogus'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("SLID"), std::string::npos) << what;
+    EXPECT_NE(what.find("MLID"), std::string::npos) << what;
+  }
+  EXPECT_THROW((void)scheme_seed_key("bogus"), ContractViolation);
+}
+
+TEST(SchemeRegistry, ListingJoinsEveryRegisteredName) {
+  const std::string listing = scheme_listing();
+  for (const std::string& name : SchemeRegistry::instance().names()) {
+    EXPECT_NE(listing.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(SchemeRegistry, SubnetBringsUpFromAName) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet mlid(fabric, "MLID");
+  EXPECT_EQ(mlid.scheme().name(), "MLID");
+  const Subnet updn(fabric, "UPDN");
+  EXPECT_EQ(updn.scheme().name(), "UPDN");
+}
+
+TEST(SchemeRegistry, DeprecatedEnumShimStillWorks) {
+  // One-release compatibility: the enum ctor and to_string keep working and
+  // agree with the registry path.
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet via_enum(fabric, SchemeKind::kMlid);
+  const Subnet via_name(fabric, "MLID");
+  EXPECT_EQ(via_enum.scheme().name(), via_name.scheme().name());
+  EXPECT_EQ(to_string(SchemeKind::kSlid), "SLID");
+  EXPECT_EQ(to_string(SchemeKind::kMlid), "MLID");
+}
+
+TEST(SchemeRegistry, AcceptsCustomRegistrations) {
+  auto& reg = SchemeRegistry::instance();
+  if (!reg.contains("test-custom-slid")) {
+    reg.add("test-custom-slid", 0xC05Cu, [](const FatTreeFabric& f) {
+      return std::make_unique<SlidRouting>(f.params());
+    });
+  }
+  EXPECT_TRUE(reg.contains("test-custom-slid"));
+  EXPECT_EQ(scheme_seed_key("test-custom-slid"), 0xC05Cu);
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, "test-custom-slid");
+  EXPECT_EQ(subnet.scheme().name(), "SLID");  // factory decides the scheme
+}
+
+TEST(SchemeRegistry, RejectsDuplicateNamesAndSeedKeys) {
+  auto& reg = SchemeRegistry::instance();
+  const auto factory = [](const FatTreeFabric& f) {
+    return std::make_unique<SlidRouting>(f.params());
+  };
+  // Same name (any case) is a registration bug, as is reusing a seed key --
+  // two schemes sharing a key would share sweep RNG streams.
+  EXPECT_THROW(reg.add("MLID", 999, factory), ContractViolation);
+  EXPECT_THROW(reg.add("mlid", 999, factory), ContractViolation);
+  EXPECT_THROW(reg.add("fresh-name-dup-key", 0, factory), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mlid

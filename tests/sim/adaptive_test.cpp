@@ -9,7 +9,7 @@ namespace {
 
 SimConfig adaptive_cfg() {
   SimConfig cfg;
-  cfg.forwarding = ForwardingMode::kAdaptiveUplinks;
+  cfg.policy.forwarding = "adaptive";
   cfg.warmup_ns = 10'000;
   cfg.measure_ns = 50'000;
   cfg.seed = 61;
@@ -22,7 +22,7 @@ TEST(Adaptive, DeliversEverythingCorrectly) {
   for (const auto params :
        {FatTreeParams(4, 3), FatTreeParams(8, 2), FatTreeParams::kary(2, 3)}) {
     const FatTreeFabric fabric(params);
-    const Subnet subnet(fabric, SchemeKind::kSlid);
+    const Subnet subnet(fabric, "SLID");
     Simulation sim = Simulation::open_loop(subnet, adaptive_cfg(),
                                            {TrafficKind::kUniform, 0.2, 0, 5},
                                            0.6);
@@ -36,7 +36,7 @@ TEST(Adaptive, LatencyModelUnchangedWithoutContention) {
   // With a single flow there is nothing to adapt around: exact closed-form
   // latency still holds.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig cfg = adaptive_cfg();
   Simulation sim = Simulation::open_loop(subnet, cfg,
                                          {TrafficKind::kBitComplement, 0, 0, 5},
@@ -51,10 +51,10 @@ TEST(Adaptive, RescuesSlidFromHotSpotConvergence) {
   // bypass exactly that, so SLID+adaptive must beat plain SLID under a
   // strong hot spot.
   const FatTreeFabric fabric{FatTreeParams(8, 2)};
-  const Subnet subnet(fabric, SchemeKind::kSlid);
+  const Subnet subnet(fabric, "SLID");
   const TrafficConfig traffic{TrafficKind::kCentric, 0.3, 0, 5};
   SimConfig det = adaptive_cfg();
-  det.forwarding = ForwardingMode::kDeterministic;
+  det.policy.forwarding = "deterministic";
   const double d =
       Simulation::open_loop(subnet, det, traffic, 0.9).run()
           .accepted_bytes_per_ns_per_node;
@@ -66,10 +66,10 @@ TEST(Adaptive, RescuesSlidFromHotSpotConvergence) {
 
 TEST(Adaptive, AtLeastMatchesMlidUnderHotSpot) {
   const FatTreeFabric fabric{FatTreeParams(8, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const TrafficConfig traffic{TrafficKind::kCentric, 0.3, 0, 5};
   SimConfig det = adaptive_cfg();
-  det.forwarding = ForwardingMode::kDeterministic;
+  det.policy.forwarding = "deterministic";
   const double d =
       Simulation::open_loop(subnet, det, traffic, 0.9).run()
           .accepted_bytes_per_ns_per_node;
@@ -81,7 +81,7 @@ TEST(Adaptive, AtLeastMatchesMlidUnderHotSpot) {
 
 TEST(Adaptive, StillDeterministicGivenTheSeed) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const TrafficConfig traffic{TrafficKind::kUniform, 0.2, 0, 5};
   const SimResult a = Simulation::open_loop(subnet, adaptive_cfg(), traffic,
                                             0.7).run();

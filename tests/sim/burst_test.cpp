@@ -89,7 +89,7 @@ TEST(Burst, SingleMessageMatchesTheClosedFormLatency) {
   // One 256-byte message across the full 4-port 2-tree: 3 switches,
   // 3*100 + 4*20 + 256 = 636 ns.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation sim = Simulation::burst(subnet, one_lane(), {{0, 7, 256}});
   const BurstResult r = sim.run_to_completion();
   EXPECT_EQ(r.messages, 1u);
@@ -103,7 +103,7 @@ TEST(Burst, SegmentedMessagePipelinesAtTheCreditCadence) {
   // wire + t_fly + t_r + wire + t_fly = 396 ns (single-packet credit loop),
   // so the tail segment leaves at 3*396 and lands 636 ns later: 1824 ns.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation sim = Simulation::burst(subnet, one_lane(), {{0, 7, 1024}});
   const BurstResult r = sim.run_to_completion();
   EXPECT_EQ(r.packets, 4u);
@@ -114,7 +114,7 @@ TEST(Burst, SegmentedMessagePipelinesAtTheCreditCadence) {
 TEST(Burst, OddSizesSegmentExactly) {
   // 300 bytes -> one 256-byte and one 44-byte segment.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation sim = Simulation::burst(subnet, one_lane(), {{0, 1, 300}});
   const BurstResult r = sim.run_to_completion();
   EXPECT_EQ(r.packets, 2u);
@@ -124,7 +124,7 @@ TEST(Burst, OddSizesSegmentExactly) {
 
 TEST(Burst, AllToAllDrainsAndConserves) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig cfg;
   cfg.seed = 41;
   const auto workload = all_to_all_personalized(16, 512);
@@ -143,8 +143,8 @@ TEST(Burst, AllToAllDrainsAndConserves) {
 
 TEST(Burst, MlidAllToAllNoSlowerThanSlid) {
   const FatTreeFabric fabric{FatTreeParams(8, 2)};
-  const Subnet mlid(fabric, SchemeKind::kMlid);
-  const Subnet slid(fabric, SchemeKind::kSlid);
+  const Subnet mlid(fabric, "MLID");
+  const Subnet slid(fabric, "SLID");
   const auto workload = all_to_all_personalized(32, 1024);
   SimConfig cfg;
   cfg.seed = 41;
@@ -159,7 +159,7 @@ TEST(Burst, GatherSerializesOnTheRootLink) {
   // All 7 senders share node 3's terminal link: the makespan is at least
   // the pure serialization of their payloads.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation sim = Simulation::burst(subnet, one_lane(), gather_to(8, 3, 512));
   const BurstResult r = sim.run_to_completion();
   EXPECT_GE(r.makespan_ns, 7 * 512);
@@ -167,7 +167,7 @@ TEST(Burst, GatherSerializesOnTheRootLink) {
 
 TEST(Burst, Deterministic) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const auto workload = all_to_all_personalized(16, 512);
   SimConfig cfg;
   cfg.seed = 41;
@@ -180,7 +180,7 @@ TEST(Burst, Deterministic) {
 
 TEST(Burst, ModeMixupsAreRejected) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation burst = Simulation::burst(subnet, one_lane(), {{0, 1, 256}});
   EXPECT_THROW(burst.run(), ContractViolation);
   Simulation open = Simulation::open_loop(subnet, one_lane(),

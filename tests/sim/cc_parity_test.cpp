@@ -33,7 +33,7 @@ SimConfig inert_cc_window() {
 
 TEST(CcParity, CcOffIsInvariantUnderInertKnobs) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const TrafficConfig traffic{TrafficKind::kCentric, 0.2, 0, 9};
   SimConfig tweaked = quick_window();
   tweaked.cc.fecn_threshold_pkts = 1;
@@ -49,7 +49,7 @@ TEST(CcParity, CcOffIsInvariantUnderInertKnobs) {
 
 TEST(CcParity, ArmedButUnreachableCcMatchesCcOffBitForBit) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kSlid);
+  const Subnet subnet(fabric, "SLID");
   const TrafficConfig traffic{TrafficKind::kCentric, 0.2, 0, 9};
   for (const double load : {0.3, 0.9}) {
     const SimResult off =
@@ -70,7 +70,7 @@ TEST(CcParity, ArmedButUnreachableCcMatchesCcOffBitForBit) {
 
 TEST(CcParity, BurstCcOffMatchesArmedUnreachableCc) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const auto workload = all_to_all_personalized(16, 512);
   const BurstResult off =
       Simulation::burst(subnet, quick_window(), workload).run_to_completion();

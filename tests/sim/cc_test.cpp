@@ -25,7 +25,7 @@ SimConfig cc_window() {
 
 TEST(CongestionControl, HotSpotDrivesTheFullControlLoop) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const SimResult r =
       Simulation::open_loop(subnet, cc_window(), hot_traffic(), 0.6).run();
   EXPECT_TRUE(r.cc.enabled);
@@ -51,7 +51,7 @@ TEST(CongestionControl, HotSpotDrivesTheFullControlLoop) {
 
 TEST(CongestionControl, DisabledRunReportsAnEmptyCcBlock) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig cfg = cc_window();
   cfg.cc.enabled = false;
   const SimResult r =
@@ -64,7 +64,7 @@ TEST(CongestionControl, DisabledRunReportsAnEmptyCcBlock) {
 
 TEST(CongestionControl, DepthThresholdOneMarksAggressively) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   // threshold 1: every packet routed through a non-stalled switch output
   // joins a backlog of at least itself, so marking is near-universal.
   SimConfig eager = cc_window();
@@ -83,7 +83,7 @@ TEST(CongestionControl, DepthThresholdOneMarksAggressively) {
 
 TEST(CongestionControl, StallMarkingFiresWithoutDepthMarking) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   // Depth marking off the table; only the credit-stall path can mark, and
   // a congestion tree at this load stalls heads for far longer than 1 us.
   SimConfig cfg = cc_window();
@@ -97,7 +97,7 @@ TEST(CongestionControl, StallMarkingFiresWithoutDepthMarking) {
 
 TEST(CongestionControl, ThrottlingThrottlesTheHotDestination) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig cfg = cc_window();
   cfg.cc.becn_increase = 4;
   cfg.cc.cct_quantum_ns = 600;
@@ -117,7 +117,7 @@ TEST(CongestionControl, ThrottlingThrottlesTheHotDestination) {
 
 TEST(CongestionControl, VictimHotSplitAccountsEveryMeasuredPacket) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const SimResult r =
       Simulation::open_loop(subnet, cc_window(), hot_traffic(), 0.6).run();
   EXPECT_EQ(r.victim_packets + r.hot_packets, r.packets_measured);
@@ -135,7 +135,7 @@ TEST(CongestionControl, VictimHotSplitAccountsEveryMeasuredPacket) {
 
 TEST(CongestionControl, TelemetryLinkMarksSumToTheGlobalCount) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation sim =
       Simulation::open_loop(subnet, cc_window(), hot_traffic(), 0.6);
   const SimResult r = sim.run();
@@ -153,7 +153,7 @@ TEST(CongestionControl, TelemetryLinkMarksSumToTheGlobalCount) {
 
 TEST(CongestionControl, TelemetryOffLeavesCcBehaviorBitIdentical) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig with = cc_window();
   SimConfig without = cc_window();
   without.telemetry = false;
@@ -171,7 +171,7 @@ TEST(CongestionControl, TelemetryOffLeavesCcBehaviorBitIdentical) {
 
 TEST(CongestionControl, CcRunsAreDeterministic) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kSlid);
+  const Subnet subnet(fabric, "SLID");
   const SimResult a =
       Simulation::open_loop(subnet, cc_window(), hot_traffic(), 0.6).run();
   const SimResult b =
@@ -182,7 +182,7 @@ TEST(CongestionControl, CcRunsAreDeterministic) {
 
 TEST(CongestionControl, PerNodeStatsRollUpToTheSummary) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation sim =
       Simulation::open_loop(subnet, cc_window(), hot_traffic(), 0.6);
   const SimResult r = sim.run();

@@ -9,7 +9,7 @@ namespace {
 struct Case {
   int m;
   int n;
-  SchemeKind kind;
+  std::string_view kind;
   TrafficKind traffic;
   double load;
   int vls;
@@ -70,14 +70,14 @@ TEST_P(Conservation, CountsAndRatesAreConsistent) {
 INSTANTIATE_TEST_SUITE_P(
     Matrix, Conservation,
     ::testing::Values(
-        Case{4, 2, SchemeKind::kMlid, TrafficKind::kUniform, 0.3, 1},
-        Case{4, 2, SchemeKind::kSlid, TrafficKind::kUniform, 0.3, 1},
-        Case{4, 3, SchemeKind::kMlid, TrafficKind::kUniform, 0.7, 2},
-        Case{4, 3, SchemeKind::kSlid, TrafficKind::kCentric, 0.5, 4},
-        Case{8, 2, SchemeKind::kMlid, TrafficKind::kCentric, 0.9, 1},
-        Case{8, 2, SchemeKind::kSlid, TrafficKind::kPermutation, 0.6, 2},
-        Case{4, 4, SchemeKind::kMlid, TrafficKind::kBitComplement, 0.4, 1},
-        Case{8, 3, SchemeKind::kMlid, TrafficKind::kUniform, 0.5, 2}));
+        Case{4, 2, "MLID", TrafficKind::kUniform, 0.3, 1},
+        Case{4, 2, "SLID", TrafficKind::kUniform, 0.3, 1},
+        Case{4, 3, "MLID", TrafficKind::kUniform, 0.7, 2},
+        Case{4, 3, "SLID", TrafficKind::kCentric, 0.5, 4},
+        Case{8, 2, "MLID", TrafficKind::kCentric, 0.9, 1},
+        Case{8, 2, "SLID", TrafficKind::kPermutation, 0.6, 2},
+        Case{4, 4, "MLID", TrafficKind::kBitComplement, 0.4, 1},
+        Case{8, 3, "MLID", TrafficKind::kUniform, 0.5, 2}));
 
 }  // namespace
 }  // namespace mlid

@@ -21,7 +21,7 @@ TEST(Contention, PureHotSpotSaturatesTheDestinationLink) {
   // aggregate accepted traffic is bounded by ~ 256B / 296ns, no matter how
   // much is offered.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation sim = Simulation::open_loop(subnet, window(),
                                          {TrafficKind::kCentric, 1.0, 0, 5},
                                          0.9);
@@ -45,7 +45,7 @@ TEST(Contention, SharedLinkServesCompetitorsFairly) {
   // delivered packet counts per node -- we approximate with total counts
   // across two runs differing only in seed.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation sim = Simulation::open_loop(subnet, window(),
                                          {TrafficKind::kCentric, 1.0, 0, 5},
                                          0.9);
@@ -59,7 +59,7 @@ TEST(Contention, SharedLinkServesCompetitorsFairly) {
 
 TEST(Contention, UniformLoadDegradesGracefully) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   double last_latency = 0.0;
   for (double load : {0.1, 0.5, 0.9}) {
     Simulation sim = Simulation::open_loop(subnet, window(),
@@ -76,8 +76,8 @@ TEST(Contention, MlidBeatsSlidOnCentricTraffic) {
   // The paper's headline claim (Observation 3) at simulation scale: with a
   // 20% hot-spot, MLID accepts more traffic than SLID at high load.
   const FatTreeFabric fabric{FatTreeParams(8, 2)};
-  const Subnet mlid_subnet(fabric, SchemeKind::kMlid);
-  const Subnet slid_subnet(fabric, SchemeKind::kSlid);
+  const Subnet mlid_subnet(fabric, "MLID");
+  const Subnet slid_subnet(fabric, "SLID");
   const TrafficConfig traffic{TrafficKind::kCentric, 0.20, 0, 5};
   Simulation mlid_sim = Simulation::open_loop(mlid_subnet, window(), traffic,
                                               0.8);
@@ -90,7 +90,7 @@ TEST(Contention, MlidBeatsSlidOnCentricTraffic) {
 
 TEST(Contention, LinkUtilizationIsAProperFraction) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation sim = Simulation::open_loop(subnet, window(),
                                          {TrafficKind::kUniform, 0, 0, 5}, 0.7);
   const SimResult r = sim.run();

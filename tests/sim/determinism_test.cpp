@@ -15,7 +15,7 @@ SimConfig window(std::uint64_t seed) {
   return cfg;
 }
 
-SimResult run_once(SchemeKind kind, std::uint64_t seed, double load,
+SimResult run_once(std::string_view kind, std::uint64_t seed, double load,
                    TrafficKind traffic = TrafficKind::kUniform) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
   const Subnet subnet(fabric, kind);
@@ -38,28 +38,28 @@ void expect_identical(const SimResult& a, const SimResult& b) {
 }
 
 TEST(Determinism, SameSeedsSameResultsUniform) {
-  expect_identical(run_once(SchemeKind::kMlid, 5, 0.6),
-                   run_once(SchemeKind::kMlid, 5, 0.6));
+  expect_identical(run_once("MLID", 5, 0.6),
+                   run_once("MLID", 5, 0.6));
 }
 
 TEST(Determinism, SameSeedsSameResultsCentricSlid) {
   expect_identical(
-      run_once(SchemeKind::kSlid, 9, 0.8, TrafficKind::kCentric),
-      run_once(SchemeKind::kSlid, 9, 0.8, TrafficKind::kCentric));
+      run_once("SLID", 9, 0.8, TrafficKind::kCentric),
+      run_once("SLID", 9, 0.8, TrafficKind::kCentric));
 }
 
 TEST(Determinism, DifferentSeedsDiffer) {
-  const SimResult a = run_once(SchemeKind::kMlid, 5, 0.6);
-  const SimResult b = run_once(SchemeKind::kMlid, 6, 0.6);
+  const SimResult a = run_once("MLID", 5, 0.6);
+  const SimResult b = run_once("MLID", 6, 0.6);
   EXPECT_NE(a.avg_latency_ns, b.avg_latency_ns);
 }
 
 TEST(Determinism, FreshSubnetDoesNotPerturbResults) {
   // Rebuilding the fabric/subnet between runs must not change anything:
   // no hidden global state.
-  const SimResult a = run_once(SchemeKind::kMlid, 11, 0.4);
+  const SimResult a = run_once("MLID", 11, 0.4);
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation sim = Simulation::open_loop(subnet, window(11),
                                          {TrafficKind::kUniform, 0.2, 0, 34},
                                          0.4);
@@ -67,8 +67,8 @@ TEST(Determinism, FreshSubnetDoesNotPerturbResults) {
 }
 
 TEST(Determinism, LoadChangesTheOutcome) {
-  const SimResult a = run_once(SchemeKind::kMlid, 5, 0.2);
-  const SimResult b = run_once(SchemeKind::kMlid, 5, 0.8);
+  const SimResult a = run_once("MLID", 5, 0.2);
+  const SimResult b = run_once("MLID", 5, 0.8);
   EXPECT_GT(b.packets_generated, a.packets_generated);
 }
 

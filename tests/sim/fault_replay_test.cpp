@@ -25,7 +25,7 @@ FaultSchedule schedule_for(int failures, SimTime fail_at,
                                                /*seed=*/99, recover_at);
 }
 
-SimResult run_live(SchemeKind kind, std::uint64_t seed,
+SimResult run_live(std::string_view kind, std::uint64_t seed,
                    const FaultSchedule& faults) {
   FatTreeFabric fabric{FatTreeParams(kM, kN)};
   const Subnet subnet(fabric, kind);
@@ -61,14 +61,14 @@ void expect_identical(const SimResult& a, const SimResult& b) {
 
 TEST(FaultReplay, SameSeedAndScheduleBitIdentical) {
   const FaultSchedule faults = schedule_for(2, 20'000);
-  expect_identical(run_live(SchemeKind::kMlid, 5, faults),
-                   run_live(SchemeKind::kMlid, 5, faults));
+  expect_identical(run_live("MLID", 5, faults),
+                   run_live("MLID", 5, faults));
 }
 
 TEST(FaultReplay, RecoveryScheduleBitIdentical) {
   const FaultSchedule faults = schedule_for(1, 20'000, 60'000);
-  expect_identical(run_live(SchemeKind::kSlid, 7, faults),
-                   run_live(SchemeKind::kSlid, 7, faults));
+  expect_identical(run_live("SLID", 7, faults),
+                   run_live("SLID", 7, faults));
 }
 
 TEST(FaultReplay, EmptyScheduleIdenticalToUnattachedRun) {
@@ -76,7 +76,7 @@ TEST(FaultReplay, EmptyScheduleIdenticalToUnattachedRun) {
   // must be bit-identical to one that never heard of the SM, event count
   // included.
   FatTreeFabric fabric{FatTreeParams(kM, kN)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const TrafficConfig traffic{TrafficKind::kUniform, 0.2, 0, 5};
   const SimResult plain = Simulation::open_loop(subnet, window(5), traffic,
                                                 0.6).run();
@@ -94,7 +94,7 @@ TEST(FaultReplay, EmptyScheduleIdenticalToUnattachedRun) {
 
 TEST(FaultReplay, ConvergesAndStopsDropping) {
   const FaultSchedule faults = schedule_for(2, 20'000);
-  const SimResult r = run_live(SchemeKind::kMlid, 11, faults);
+  const SimResult r = run_live("MLID", 11, faults);
   EXPECT_EQ(r.first_fault_ns, 20'000);
   EXPECT_GT(r.sm_converged_ns, r.first_fault_ns);
   EXPECT_EQ(r.reconvergence_ns, r.sm_converged_ns - r.first_fault_ns);

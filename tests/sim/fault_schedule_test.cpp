@@ -103,7 +103,7 @@ TEST(FaultSchedule, RejectsRecoveryAtTheFailureInstant) {
 
 TEST(FaultSchedule, AttachingALiveSmValidatesTheSchedule) {
   FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SubnetManager sm(fabric, subnet);
   SimConfig cfg;
   cfg.warmup_ns = 5'000;

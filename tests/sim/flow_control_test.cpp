@@ -19,7 +19,7 @@ TEST(FlowControl, NoPacketIsEverDropped) {
   // Credits reserve the downstream slot before transmission, so even a
   // saturated hot-spot loses nothing.
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   for (double load : {0.3, 0.9}) {
     for (auto kind : {TrafficKind::kUniform, TrafficKind::kCentric}) {
       Simulation sim = Simulation::open_loop(subnet, window(),
@@ -36,7 +36,7 @@ TEST(FlowControl, DeeperBuffersRaiseHotSpotThroughput) {
   // The 1-packet credit loop leaves a (t_r + 2 t_fly)-sized bubble per
   // packet on a saturated link; deeper input buffers hide it.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig shallow = window();
   SimConfig deep = window();
   deep.in_buf_pkts = 4;
@@ -53,7 +53,7 @@ TEST(FlowControl, DeeperBuffersRaiseHotSpotThroughput) {
 
 TEST(FlowControl, BackpressureKeepsSourceQueuesBoundedAtLowLoad) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation sim = Simulation::open_loop(subnet, window(),
                                          {TrafficKind::kUniform, 0, 0, 9}, 0.1);
   const SimResult r = sim.run();
@@ -64,7 +64,7 @@ TEST(FlowControl, SaturationGrowsSourceQueuesNotTheNetwork) {
   // Past saturation the network holds a bounded number of packets (credits
   // cap per-hop occupancy); the surplus accumulates in source queues.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation sim = Simulation::open_loop(subnet, window(),
                                          {TrafficKind::kCentric, 1.0, 0, 9},
                                          1.0);
@@ -84,7 +84,7 @@ TEST(FlowControl, ZeroFlyingTimeStillConserves) {
   SimConfig cfg = window();
   cfg.flying_time_ns = 0;
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation sim = Simulation::open_loop(subnet, cfg,
                                          {TrafficKind::kUniform, 0, 0, 9}, 0.5);
   const SimResult r = sim.run();

@@ -21,7 +21,7 @@ TEST(LatencyModel, NeighborTrafficMatchesTheClosedForm) {
   // 1 * 100 + 2 * 20 + 256 * 1 = 396 ns, with zero contention because every
   // pair owns its two links exclusively.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation sim = Simulation::open_loop(subnet, quiet_config(),
                                          {TrafficKind::kNeighbor, 0, 0, 3},
                                          /*offered_load=*/0.05);
@@ -38,7 +38,7 @@ TEST(LatencyModel, BitComplementCrossesTheFullTree) {
   // switches, 3 * 100 + 4 * 20 + 256 = 636 ns, and the MLID path selection
   // gives each flow private links, so the latency is exact.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation sim = Simulation::open_loop(subnet, quiet_config(),
                                          {TrafficKind::kBitComplement, 0, 0, 3},
                                          0.05);
@@ -52,7 +52,7 @@ TEST(LatencyModel, BitComplementCrossesTheFullTree) {
 TEST(LatencyModel, TallerTreeAddsTwoHopsPerLevel) {
   // 4-port 3-tree bit-complement: 5 switches -> 5*100 + 6*20 + 256 = 876.
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation sim = Simulation::open_loop(subnet, quiet_config(),
                                          {TrafficKind::kBitComplement, 0, 0, 3},
                                          0.05);
@@ -70,7 +70,7 @@ TEST(LatencyModel, TimingKnobsScaleTheFormula) {
   cfg.packet_bytes = 128;
   // Neighbor in (4,2): 1*50 + 2*10 + 128*2 = 326.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation sim = Simulation::open_loop(subnet, cfg,
                                          {TrafficKind::kNeighbor, 0, 0, 3},
                                          0.05);
@@ -83,7 +83,7 @@ TEST(LatencyModel, NetworkLatencyEqualsTotalAtLowLoad) {
   // With an idle NIC the packet leaves the source queue instantly, so
   // generation->delivery equals injection->delivery.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation sim = Simulation::open_loop(subnet, quiet_config(),
                                          {TrafficKind::kNeighbor, 0, 0, 3},
                                          0.05);
@@ -93,7 +93,7 @@ TEST(LatencyModel, NetworkLatencyEqualsTotalAtLowLoad) {
 
 TEST(LatencyModel, AcceptedTrafficTracksTheOfferedLoadBelowSaturation) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   for (double load : {0.1, 0.2, 0.4}) {
     Simulation sim = Simulation::open_loop(subnet, quiet_config(),
                                            {TrafficKind::kNeighbor, 0, 0, 3},

@@ -1,0 +1,255 @@
+// Forwarding/VL-map policy subsystem: registry semantics, selection-rule
+// unit tests, and the bit-determinism contracts -- the deterministic policy
+// is the engine's historical hot path (parity suites elsewhere pin that),
+// and the adaptive policy must itself be bit-reproducible across queue
+// structures and shard counts.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/expect.hpp"
+#include "harness/report.hpp"
+#include "parallel/sharded.hpp"
+#include "routing/adaptive.hpp"
+#include "sim/engine.hpp"
+
+namespace mlid {
+namespace {
+
+// ---- registries -----------------------------------------------------------
+
+TEST(PolicyRegistry, SeedPoliciesAreRegistered) {
+  EXPECT_TRUE(ForwardingPolicyRegistry::instance().contains("deterministic"));
+  EXPECT_TRUE(ForwardingPolicyRegistry::instance().contains("adaptive"));
+  EXPECT_TRUE(VlMapRegistry::instance().contains("none"));
+  EXPECT_TRUE(VlMapRegistry::instance().contains("dest-mod"));
+  EXPECT_TRUE(VlMapRegistry::instance().contains("flow-hash"));
+  // Case-insensitive like the scheme registry.
+  EXPECT_TRUE(ForwardingPolicyRegistry::instance().contains("Adaptive"));
+  EXPECT_FALSE(ForwardingPolicyRegistry::instance().contains("bogus"));
+}
+
+TEST(PolicyRegistry, UnknownNamesThrowWithTheListing) {
+  try {
+    (void)make_forwarding_policy("bogus");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos);
+    EXPECT_NE(what.find("deterministic"), std::string::npos) << what;
+  }
+  EXPECT_THROW((void)make_vl_map_policy("bogus"), ContractViolation);
+  PolicyConfig bad;
+  bad.forwarding = "bogus";
+  EXPECT_THROW(bad.validate(), ContractViolation);
+  bad = PolicyConfig{};
+  bad.vl_map = "bogus";
+  EXPECT_THROW(bad.validate(), ContractViolation);
+  PolicyConfig good;
+  good.validate();  // defaults must be registered
+}
+
+TEST(PolicyRegistry, SimConfigValidateChecksPolicyNames) {
+  SimConfig cfg;
+  cfg.policy.forwarding = "no-such-policy";
+  EXPECT_THROW(cfg.validate(), ContractViolation);
+}
+
+// ---- forwarding-policy selection rules ------------------------------------
+
+UpPortCandidate cand(PortId port, std::int32_t free_slots, std::int32_t credits,
+                     std::uint32_t fecn = 0) {
+  return UpPortCandidate{port, free_slots, credits, fecn};
+}
+
+TEST(AdaptivePolicy, DeterministicPolicyAlwaysReturnsTheLftAnswer) {
+  const auto det = make_forwarding_policy("deterministic");
+  EXPECT_TRUE(det->deterministic());
+  const std::vector<UpPortCandidate> up = {cand(5, 0, 0), cand(6, 9, 9),
+                                           cand(7, 9, 9)};
+  EXPECT_EQ(det->select_uplink(up, 5), 5);
+  EXPECT_EQ(det->select_uplink(up, 7), 7);
+}
+
+TEST(AdaptivePolicy, PicksTheLargestHeadroom) {
+  // headroom = free output slots + downstream credits.
+  const auto adaptive = make_forwarding_policy("adaptive");
+  EXPECT_FALSE(adaptive->deterministic());
+  const std::vector<UpPortCandidate> up = {cand(5, 1, 0), cand(6, 1, 2),
+                                           cand(7, 0, 1)};
+  EXPECT_EQ(adaptive->select_uplink(up, 5), 6);
+}
+
+TEST(AdaptivePolicy, FecnMarksBreakHeadroomTies) {
+  // Equal headroom: the port that has stamped fewer FECN marks (not a
+  // congestion root) wins.
+  const auto adaptive = make_forwarding_policy("adaptive");
+  const std::vector<UpPortCandidate> up = {cand(5, 1, 1, /*fecn=*/8),
+                                           cand(6, 1, 1, /*fecn=*/2),
+                                           cand(7, 0, 1, /*fecn=*/0)};
+  EXPECT_EQ(adaptive->select_uplink(up, 5), 6);
+}
+
+TEST(AdaptivePolicy, DeterministicPortWinsFullTies) {
+  // All signals equal: the LFT's answer wins, so an uncontended adaptive
+  // run follows the deterministic paths exactly.
+  const auto adaptive = make_forwarding_policy("adaptive");
+  const std::vector<UpPortCandidate> up = {cand(5, 1, 1), cand(6, 1, 1),
+                                           cand(7, 1, 1)};
+  EXPECT_EQ(adaptive->select_uplink(up, 6), 6);
+  EXPECT_EQ(adaptive->select_uplink(up, 7), 7);
+}
+
+TEST(AdaptivePolicy, SelectionIsAlwaysACandidate) {
+  const auto adaptive = make_forwarding_policy("adaptive");
+  const std::vector<UpPortCandidate> up = {cand(5, -3, 0), cand(6, -1, -2)};
+  const PortId pick = adaptive->select_uplink(up, 5);
+  EXPECT_TRUE(pick == 5 || pick == 6);
+}
+
+// ---- VL-map rules ---------------------------------------------------------
+
+TEST(VlMap, IdentityAndKeyedMapsStayInRange) {
+  const auto none = make_vl_map_policy("none");
+  EXPECT_TRUE(none->identity());
+  EXPECT_EQ(none->remap(3, 9, 2, 4), 2);
+
+  const auto dest = make_vl_map_policy("dest-mod");
+  EXPECT_FALSE(dest->identity());
+  for (NodeId dst = 0; dst < 64; ++dst) {
+    EXPECT_EQ(dest->remap(0, dst, 0, 4), static_cast<VlId>(dst % 4));
+  }
+
+  const auto flow = make_vl_map_policy("flow-hash");
+  EXPECT_FALSE(flow->identity());
+  for (NodeId src = 0; src < 8; ++src) {
+    for (NodeId dst = 0; dst < 8; ++dst) {
+      const VlId vl = flow->remap(src, dst, 0, 4);
+      EXPECT_LT(int{vl}, 4);
+      // Flow-keyed: stable per (src, dst) pair.
+      EXPECT_EQ(flow->remap(src, dst, 3, 4), vl);
+    }
+  }
+}
+
+// ---- engine-level determinism and invariants ------------------------------
+
+SimConfig adaptive_canonical() {
+  SimConfig cfg;
+  cfg.warmup_ns = 5'000;
+  cfg.measure_ns = 20'000;
+  cfg.seed = 17;
+  cfg.policy.forwarding = "adaptive";
+  cfg.event_order = EventOrder::kCanonical;
+  return cfg;
+}
+
+TEST(PolicyParity, AdaptiveHeapAndLadderQueuesAgreeByteForByte) {
+  const FatTreeFabric fabric{FatTreeParams(8, 2)};
+  const Subnet subnet(fabric, "SLID");
+  const TrafficConfig traffic{TrafficKind::kCentric, 0.2, 0, 23};
+  SimConfig heap = adaptive_canonical();
+  heap.event_queue = EventQueueKind::kHeap;
+  SimConfig ladder = adaptive_canonical();
+  ladder.event_queue = EventQueueKind::kLadder;
+  const SimResult a = Simulation::open_loop(subnet, heap, traffic, 0.8).run();
+  const SimResult b = Simulation::open_loop(subnet, ladder, traffic, 0.8).run();
+  EXPECT_GT(a.packets_delivered, 0u);
+  EXPECT_EQ(to_json(a), to_json(b));
+}
+
+TEST(PolicyParity, AdaptiveShardedRunsMatchTheSequentialOracle) {
+  // The occupancy/credit signals a policy reads are the owning shard's own
+  // arrays (device state never splits across shards), so the adaptive
+  // policy must hold the same shard-parity contract as the deterministic
+  // engine.
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, "MLID");
+  const TrafficConfig traffic{TrafficKind::kCentric, 0.2, 0, 23};
+  const SimResult oracle =
+      Simulation::open_loop(subnet, adaptive_canonical(), traffic, 0.7).run();
+  EXPECT_GT(oracle.packets_delivered, 0u);
+  for (const std::uint32_t shards : {1u, 2u, 4u}) {
+    ShardedSimulation sim = ShardedSimulation::open_loop(
+        subnet, adaptive_canonical(), traffic, 0.7, {shards, 0});
+    EXPECT_EQ(to_json(oracle), to_json(sim.run())) << "shards " << shards;
+  }
+}
+
+TEST(PolicyParity, VlMapShardedRunsMatchTheSequentialOracle) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const Subnet subnet(fabric, "MLID");
+  const TrafficConfig traffic{TrafficKind::kUniform, 0.0, 0, 29};
+  SimConfig cfg = adaptive_canonical();
+  cfg.num_vls = 4;
+  cfg.policy.vl_map = "flow-hash";
+  const SimResult oracle =
+      Simulation::open_loop(subnet, cfg, traffic, 0.6).run();
+  for (const std::uint32_t shards : {2u, 4u}) {
+    ShardedSimulation sim =
+        ShardedSimulation::open_loop(subnet, cfg, traffic, 0.6, {shards, 0});
+    EXPECT_EQ(to_json(oracle), to_json(sim.run())) << "shards " << shards;
+  }
+}
+
+TEST(PolicyParity, TelemetryDoesNotChangeAdaptiveResults) {
+  // The adaptive FECN-mark signal is its own counter, not the telemetry
+  // one: turning observability off must not move a single packet.
+  const FatTreeFabric fabric{FatTreeParams(8, 2)};
+  const Subnet subnet(fabric, "SLID");
+  const TrafficConfig traffic{TrafficKind::kCentric, 0.2, 0, 31};
+  SimConfig on = adaptive_canonical();
+  on.cc.enabled = true;
+  SimConfig off = on;
+  off.telemetry = false;
+  const SimResult with =
+      Simulation::open_loop(subnet, on, traffic, 0.9).run();
+  const SimResult without =
+      Simulation::open_loop(subnet, off, traffic, 0.9).run();
+  EXPECT_EQ(with.packets_delivered, without.packets_delivered);
+  EXPECT_EQ(with.packets_dropped, without.packets_dropped);
+  EXPECT_DOUBLE_EQ(with.avg_latency_ns, without.avg_latency_ns);
+}
+
+TEST(PolicyInvariants, AdaptivePathsStayMinimal) {
+  // Only up-phase ports are ever overridden, so every packet still crosses
+  // at most 2n hops of wire (up to a root, down to the leaf): no loops, no
+  // detours.  avg_hops counts link traversals including the two endnode
+  // links.
+  for (const auto& [m, n] : {std::pair{4, 3}, std::pair{8, 2}}) {
+    const FatTreeFabric fabric{FatTreeParams(m, n)};
+    const Subnet subnet(fabric, "SLID");
+    SimConfig cfg = adaptive_canonical();
+    const TrafficConfig traffic{TrafficKind::kCentric, 0.2, 0, 37};
+    const SimResult r = Simulation::open_loop(subnet, cfg, traffic, 0.9).run();
+    EXPECT_GT(r.packets_delivered, 0u);
+    EXPECT_EQ(r.packets_dropped, 0u);
+    EXPECT_LE(r.avg_hops, 2.0 * n) << "m=" << m << " n=" << n;
+  }
+}
+
+TEST(PolicyInvariants, VlMapDeliveriesLandOnTheMappedLanes) {
+  // dest-mod at 4 VLs: every delivered packet rides VL (dst % 4), so all
+  // four lanes carry traffic and per-VL delivery is deterministic.
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, "MLID");
+  SimConfig cfg = adaptive_canonical();
+  cfg.policy.forwarding = "deterministic";
+  cfg.num_vls = 4;
+  cfg.policy.vl_map = "dest-mod";
+  const TrafficConfig traffic{TrafficKind::kUniform, 0.0, 0, 41};
+  const SimResult a = Simulation::open_loop(subnet, cfg, traffic, 0.5).run();
+  const SimResult b = Simulation::open_loop(subnet, cfg, traffic, 0.5).run();
+  ASSERT_EQ(a.delivered_per_vl.size(), 4u);
+  std::uint64_t total = 0;
+  for (int vl = 0; vl < 4; ++vl) {
+    EXPECT_GT(a.delivered_per_vl[vl], 0u) << "vl " << vl;
+    EXPECT_EQ(a.delivered_per_vl[vl], b.delivered_per_vl[vl]);
+    total += a.delivered_per_vl[vl];
+  }
+  // delivered_per_vl counts the measurement window only.
+  EXPECT_EQ(total, a.packets_measured);
+}
+
+}  // namespace
+}  // namespace mlid

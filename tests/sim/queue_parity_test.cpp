@@ -24,7 +24,7 @@ SimConfig quick_window(EventQueueKind kind) {
 
 TEST(QueueParity, OpenLoopRunsAreBitIdentical) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const TrafficConfig traffic{TrafficKind::kUniform, 0.2, 0, 9};
   for (const double load : {0.2, 0.6, 0.9}) {
     const SimResult heap =
@@ -69,7 +69,7 @@ TEST(QueueParity, LiveSmFaultRunsAreBitIdentical) {
   const FatTreeParams params(4, 3);
   auto run = [&](EventQueueKind kind) {
     FatTreeFabric fabric{params};
-    const Subnet subnet(fabric, SchemeKind::kMlid);
+    const Subnet subnet(fabric, "MLID");
     SubnetManager sm(fabric, subnet);
     const FaultSchedule faults = FaultSchedule::random_uplink_failures(
         fabric, /*count=*/2, /*fail_at=*/8'000, /*seed=*/5, /*recover_at=*/
@@ -95,7 +95,7 @@ TEST(QueueParity, TelemetryIsBitIdenticalAcrossQueues) {
   const FatTreeParams params(4, 3);
   auto run = [&](EventQueueKind kind) {
     FatTreeFabric fabric{params};
-    const Subnet subnet(fabric, SchemeKind::kMlid);
+    const Subnet subnet(fabric, "MLID");
     SubnetManager sm(fabric, subnet);
     const FaultSchedule faults = FaultSchedule::random_uplink_failures(
         fabric, /*count=*/2, /*fail_at=*/8'000, /*seed=*/5, /*recover_at=*/
@@ -131,7 +131,7 @@ TEST(QueueParity, TelemetryIsBitIdenticalAcrossQueues) {
 
 TEST(QueueParity, BurstRunsAreBitIdentical) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const auto workload = all_to_all_personalized(16, 512);
   const BurstResult heap =
       Simulation::burst(subnet, quick_window(EventQueueKind::kHeap), workload)

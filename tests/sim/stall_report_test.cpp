@@ -8,7 +8,7 @@ namespace {
 
 TEST(StallReport, EmptyAfterADrainedBurst) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig cfg;
   cfg.seed = 51;
   Simulation sim = Simulation::burst(subnet, cfg,
@@ -21,7 +21,7 @@ TEST(StallReport, DescribesInFlightStateAfterACutOffRun) {
   // An open-loop run stops mid-activity at end_time: packets are still
   // sitting in output queues and the report names them.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig cfg;
   cfg.warmup_ns = 5'000;
   cfg.measure_ns = 20'000;
@@ -39,7 +39,7 @@ TEST(StallReport, DescribesInFlightStateAfterACutOffRun) {
 
 TEST(StallReport, LinkLoadsAvailableInBurstMode) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig cfg;
   cfg.seed = 51;
   Simulation sim = Simulation::burst(subnet, cfg, gather_to(8, 0, 1024));

@@ -67,7 +67,7 @@ void expect_identical_core(const SimResult& a, const SimResult& b) {
 
 TEST(Telemetry, EngineResultsBitIdenticalOnAndOff) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const SimResult with_telemetry =
       Simulation::open_loop(subnet, small_config(true), small_traffic(), 0.7).run();
   const SimResult without =
@@ -83,7 +83,7 @@ TEST(Telemetry, EngineResultsBitIdenticalOnAndOff) {
 
 TEST(Telemetry, HistogramsCoverTheMeasuredPackets) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const SimResult r =
       Simulation::open_loop(subnet, small_config(true), small_traffic(), 0.6).run();
   ASSERT_GT(r.packets_measured, 0u);
@@ -99,7 +99,7 @@ TEST(Telemetry, HistogramsCoverTheMeasuredPackets) {
 
 TEST(Telemetry, PerVlHistogramsMergeBackToTheTotal) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig cfg = small_config(true);
   cfg.num_vls = 4;
   const SimResult r = Simulation::open_loop(subnet, cfg, small_traffic(), 0.6).run();
@@ -111,7 +111,7 @@ TEST(Telemetry, PerVlHistogramsMergeBackToTheTotal) {
 
 TEST(Telemetry, LinkStatsAgreeWithAlwaysOnLinkLoads) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation sim = Simulation::open_loop(subnet, small_config(true),
                                          small_traffic(), 0.6);
   const SimResult r = sim.run();
@@ -147,7 +147,7 @@ TEST(Telemetry, LinkStatsAgreeWithAlwaysOnLinkLoads) {
 
 TEST(Telemetry, BurstResultsBitIdenticalOnAndOff) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kSlid);
+  const Subnet subnet(fabric, "SLID");
   const auto workload = all_to_all_personalized(8, 1024);
   SimConfig on = small_config(true);
   SimConfig off = small_config(false);

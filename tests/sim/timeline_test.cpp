@@ -29,7 +29,7 @@ SimConfig all_telemetry_on(SimConfig cfg) {
 
 TEST(Timeline, OffByDefault) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation sim = Simulation::open_loop(subnet, window(),
                                          {TrafficKind::kUniform, 0, 0, 3},
                                          0.3);
@@ -45,7 +45,7 @@ TEST(Timeline, FullTelemetryLeavesTheResultBitIdentical) {
   // the plain run's SimResult field for field.  Comparison goes through
   // the JSON export with the timeline scrubbed back out.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const TrafficConfig traffic{TrafficKind::kUniform, 0, 0, 3};
   const SimResult plain =
       Simulation::open_loop(subnet, window(), traffic, 0.5).run();
@@ -66,7 +66,7 @@ TEST(Timeline, FullTelemetryIsBitIdenticalUnderFaultsToo) {
   const FatTreeParams params(4, 3);
   auto run = [&](bool instrumented) {
     FatTreeFabric fabric{params};
-    const Subnet subnet(fabric, SchemeKind::kMlid);
+    const Subnet subnet(fabric, "MLID");
     SubnetManager sm(fabric, subnet);
     const FaultSchedule faults = FaultSchedule::random_uplink_failures(
         fabric, /*count=*/2, /*fail_at=*/8'000, /*seed=*/5,
@@ -92,7 +92,7 @@ TEST(Timeline, DeltasSumToTheRunTotals) {
   // sample windows tile [0, end] exactly: every generation, delivery and
   // drop lands in exactly one window.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig cfg = window();  // end = 22'000
   cfg.sample_interval_ns = 1'000;
   Simulation sim = Simulation::open_loop(subnet, cfg,
@@ -131,7 +131,7 @@ TEST(Timeline, DecimationKeepsTheCapAndTheAccounting) {
   // still tile the covered prefix of the run with no interval counted
   // twice or lost.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig cfg = window();
   cfg.sample_interval_ns = 250;  // 88 base intervals vs a cap of 8
   cfg.timeline_max_samples = 8;
@@ -205,7 +205,7 @@ TEST(Timeline, BurstModeRejectsTheSampler) {
   // Burst runs have no fixed end time to pace samples against, so the
   // configuration is refused up front instead of silently ignored.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig cfg = window();
   cfg.sample_interval_ns = 1'000;
   EXPECT_THROW(Simulation::burst(subnet, cfg, all_to_all_personalized(4, 64)),
@@ -215,7 +215,7 @@ TEST(Timeline, BurstModeRejectsTheSampler) {
 TEST(FlightRecorder, FreezesOnTheFirstDrop) {
   const FatTreeParams params(4, 2);
   FatTreeFabric fabric{params};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SmConfig dead;
   dead.react = false;
   SubnetManager sm(fabric, subnet, dead);
@@ -245,7 +245,7 @@ TEST(FlightRecorder, FreezesOnTheFirstDrop) {
 
 TEST(FlightRecorder, StaysUnfrozenWithoutDrops) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig cfg = window();
   cfg.flight_recorder_depth = 8;
   Simulation sim = Simulation::open_loop(subnet, cfg,
@@ -260,7 +260,7 @@ TEST(FlightRecorder, StaysUnfrozenWithoutDrops) {
 TEST(ControlTrace, RecordsTheFaultAndSmPipelineInOrder) {
   const FatTreeParams params(4, 3);
   FatTreeFabric fabric{params};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SubnetManager sm(fabric, subnet);
   // The window must outlive TWO full trap -> sweep -> program pipelines: a
   // (4,3) sweep alone costs ~12 us of probe SMPs, and the recovery has to
@@ -301,7 +301,7 @@ TEST(ControlTrace, RecordsTheFaultAndSmPipelineInOrder) {
 
 TEST(ControlTrace, RecordsTheCongestionControlLoop) {
   const FatTreeFabric fabric{FatTreeParams(8, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig cfg = window(5'000, 20'000);
   cfg.trace_control = true;
   cfg.cc.enabled = true;

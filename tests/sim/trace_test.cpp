@@ -17,7 +17,7 @@ SimConfig traced_config(std::uint32_t n) {
 
 TEST(Trace, OffByDefault) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation sim = Simulation::open_loop(subnet, traced_config(0),
                                          {TrafficKind::kNeighbor, 0, 0, 3},
                                          0.1);
@@ -27,7 +27,7 @@ TEST(Trace, OffByDefault) {
 
 TEST(Trace, FirstPacketTimelineMatchesTheTimingModel) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation sim = Simulation::open_loop(subnet, traced_config(4),
                                          {TrafficKind::kNeighbor, 0, 0, 3},
                                          0.05);
@@ -55,7 +55,7 @@ TEST(Trace, FirstPacketTimelineMatchesTheTimingModel) {
 
 TEST(Trace, RecordsExactlyTheRequestedCount) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation sim = Simulation::open_loop(subnet, traced_config(7),
                                          {TrafficKind::kUniform, 0, 0, 3}, 0.4);
   const SimResult r = sim.run();
@@ -65,7 +65,7 @@ TEST(Trace, RecordsExactlyTheRequestedCount) {
 
 TEST(Trace, LinkLoadsConserveForwardedPackets) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation sim = Simulation::open_loop(subnet, traced_config(0),
                                          {TrafficKind::kUniform, 0, 0, 3}, 0.3);
   const SimResult r = sim.run();
@@ -91,7 +91,7 @@ TEST(Trace, LinkLoadsConserveForwardedPackets) {
 
 TEST(Trace, RecordRendering) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   Simulation sim = Simulation::open_loop(subnet, traced_config(1),
                                          {TrafficKind::kNeighbor, 0, 0, 3},
                                          0.05);
@@ -107,7 +107,7 @@ TEST(Trace, RecordRendering) {
 
 TEST(Trace, InvariantCheckPassesAfterEveryRun) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   for (double load : {0.2, 0.9}) {
     Simulation sim = Simulation::open_loop(subnet, traced_config(0),
                                            {TrafficKind::kCentric, 0.3, 0, 3},
@@ -122,7 +122,7 @@ TEST(Trace, StrideSamplesTheWholeRunNotJustWarmup) {
   // during warm-up; a stride records every k-th generated packet, so the
   // same packets appear in both runs at indices 0, k, 2k, ...
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const TrafficConfig traffic{TrafficKind::kUniform, 0, 0, 3};
   SimConfig dense_cfg = traced_config(10);
   Simulation dense = Simulation::open_loop(subnet, dense_cfg, traffic, 0.4);
@@ -147,7 +147,7 @@ TEST(Trace, DroppedPacketsCarryTheReason) {
   // keep walking into the dead link for the rest of the run.
   const FatTreeParams params(4, 2);
   FatTreeFabric fabric{params};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SmConfig dead;
   dead.react = false;
   SubnetManager sm(fabric, subnet, dead);

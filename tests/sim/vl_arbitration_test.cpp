@@ -29,7 +29,7 @@ TEST(VlArbitration, ConfigValidation) {
 
 TEST(VlArbitration, UnitWeightsEqualPlainRoundRobin) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig plain = window();
   plain.num_vls = 2;
   SimConfig weighted = window();
@@ -46,7 +46,7 @@ TEST(VlArbitration, WeightsSkewSaturatedLaneThroughput) {
   // Pure hot spot, sources pinned to VLs by parity: both lanes stay
   // backlogged on the terminal link, so service follows the 3:1 weights.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig cfg = window();
   cfg.num_vls = 2;
   cfg.vl_policy = VlPolicy::kBySource;
@@ -63,7 +63,7 @@ TEST(VlArbitration, WeightsSkewSaturatedLaneThroughput) {
 
 TEST(VlArbitration, PerVlCountsSumToMeasured) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig cfg = window();
   cfg.num_vls = 4;
   const SimResult r =
@@ -79,7 +79,7 @@ TEST(VlArbitration, PerVlCountsSumToMeasured) {
 
 TEST(Fairness, UniformTrafficIsFair) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const SimResult r =
       Simulation::open_loop(subnet, window(),
                             {TrafficKind::kUniform, 0.2, 0, 17}, 0.3)
@@ -92,7 +92,7 @@ TEST(Fairness, UniformTrafficIsFair) {
 
 TEST(Fairness, HotSpotSkewsTheIndex) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const SimResult r =
       Simulation::open_loop(subnet, window(),
                             {TrafficKind::kCentric, 1.0, 0, 17}, 0.9)

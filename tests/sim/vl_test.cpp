@@ -19,7 +19,7 @@ TEST(VirtualLanes, Fixed0WithManyLanesEqualsOneLane) {
   // Pinning everything to VL0 must reproduce the 1-VL run bit-exactly:
   // the VL policy draws from a stream independent of destination draws.
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   SimConfig one = window();
   one.num_vls = 1;
   one.vl_policy = VlPolicy::kFixed0;
@@ -40,7 +40,7 @@ TEST(VirtualLanes, MoreLanesHelpUnderHotSpot) {
   // Observation 3/4 territory: with SLID and a strong hot spot, extra VLs
   // add buffering and reduce head-of-line blocking, raising throughput.
   const FatTreeFabric fabric{FatTreeParams(8, 2)};
-  const Subnet subnet(fabric, SchemeKind::kSlid);
+  const Subnet subnet(fabric, "SLID");
   const TrafficConfig traffic{TrafficKind::kCentric, 0.3, 0, 15};
   SimConfig one = window();
   one.num_vls = 1;
@@ -57,7 +57,7 @@ TEST(VirtualLanes, MoreLanesHelpUnderHotSpot) {
 
 TEST(VirtualLanes, PolicyMappingsAreHonoured) {
   const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   // kBySource / kByDestination only touch vl = id % num_vls; behavioural
   // smoke test: simulations complete and deliver on every policy.
   for (VlPolicy policy : {VlPolicy::kRandom, VlPolicy::kBySource,

@@ -41,7 +41,7 @@ TEST(CustomScheme, BringUpRefusesAPartitionedFabric) {
   // of the expected device count; the SM refuses to initialize.
   FatTreeFabric fabric{FatTreeParams(4, 2)};
   fabric.mutable_fabric().disconnect(fabric.node_device(3), 1);
-  EXPECT_THROW(Subnet(fabric, SchemeKind::kMlid), ContractViolation);
+  EXPECT_THROW(Subnet(fabric, "MLID"), ContractViolation);
 }
 
 TEST(CustomScheme, BringUpToleratesRedundantLinkLoss) {
@@ -51,7 +51,7 @@ TEST(CustomScheme, BringUpToleratesRedundantLinkLoss) {
   const SwitchLabel leaf = SwitchLabel::from_index(fabric.params(), 1, 0);
   fabric.mutable_fabric().disconnect(
       fabric.switch_device(leaf.switch_id(fabric.params())), 3);
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   EXPECT_EQ(subnet.init_stats().discovered_links,
             fabric.fabric().num_links());
 }

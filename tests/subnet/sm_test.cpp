@@ -14,7 +14,7 @@ namespace {
 constexpr int kM = 8, kN = 2;
 
 struct Rig {
-  explicit Rig(SmConfig cfg = {}, SchemeKind kind = SchemeKind::kMlid)
+  explicit Rig(SmConfig cfg = {}, std::string_view kind = "MLID")
       : fabric(FatTreeParams(kM, kN)),
         subnet(fabric, kind),
         sm(fabric, subnet, cfg) {}

@@ -7,7 +7,7 @@ namespace {
 
 TEST(Subnet, InitializationAccountsTheBringUp) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   const SubnetInitStats& stats = subnet.init_stats();
   EXPECT_EQ(stats.discovered_endnodes, 16u);
   EXPECT_EQ(stats.discovered_switches, 20u);
@@ -20,7 +20,7 @@ TEST(Subnet, InitializationAccountsTheBringUp) {
 
 TEST(Subnet, SlidInitialization) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kSlid);
+  const Subnet subnet(fabric, "SLID");
   EXPECT_EQ(subnet.init_stats().lids_assigned, 16u);
   EXPECT_EQ(subnet.init_stats().lft_entries_programmed, 20u * 16u);
   EXPECT_EQ(subnet.scheme().name(), "SLID");
@@ -28,7 +28,7 @@ TEST(Subnet, SlidInitialization) {
 
 TEST(Subnet, PathSelectionAndLidLookupsDelegateToTheScheme) {
   const FatTreeFabric fabric{FatTreeParams(4, 3)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   EXPECT_EQ(subnet.select_dlid(0, 4), 17u);
   EXPECT_EQ(subnet.node_of(17), 4u);
   EXPECT_EQ(subnet.slid_of(2), 9u);
@@ -37,7 +37,7 @@ TEST(Subnet, PathSelectionAndLidLookupsDelegateToTheScheme) {
 
 TEST(Subnet, RoutesCoverEverySwitch) {
   const FatTreeFabric fabric{FatTreeParams(8, 2)};
-  const Subnet subnet(fabric, SchemeKind::kMlid);
+  const Subnet subnet(fabric, "MLID");
   EXPECT_EQ(subnet.routes().num_switches(),
             fabric.params().num_switches());
   for (SwitchId sw = 0; sw < fabric.params().num_switches(); ++sw) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "routing/fat_tree_routing.hpp"
+#include "routing/registry.hpp"
 #include "routing/updown.hpp"
 #include "routing/validate.hpp"
 #include "topology/export.hpp"
@@ -63,8 +64,8 @@ TEST_P(KaryGrid, StructureValidates) {
 TEST_P(KaryGrid, MlidAndSlidRouteCorrectly) {
   const auto [k, n] = GetParam();
   const FatTreeFabric fabric(FatTreeParams::kary(k, n));
-  for (const SchemeKind kind : {SchemeKind::kSlid, SchemeKind::kMlid}) {
-    const auto scheme = make_scheme(kind, fabric.params());
+  for (const std::string_view kind : {"SLID", "MLID"}) {
+    const auto scheme = make_scheme(kind, fabric);
     const CompiledRoutes routes(fabric, *scheme);
     const RoutingReport report = verify_all_paths(fabric, *scheme, routes);
     for (const auto& problem : report.problems) ADD_FAILURE() << problem;
