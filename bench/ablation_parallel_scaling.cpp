@@ -13,6 +13,7 @@
 // (perf-smoke), reporting events/sec honestly either way.
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <thread>
 
 #include "common/text_table.hpp"
@@ -20,6 +21,7 @@
 #include "harness/report.hpp"
 #include "harness/sweep.hpp"
 #include "parallel/sharded.hpp"
+#include "routing/fat_tree_routing.hpp"
 
 int main(int argc, char** argv) {
   using namespace mlid;
@@ -144,6 +146,68 @@ int main(int argc, char** argv) {
     }
   }
   std::fputs(shard_table.to_string().c_str(), stdout);
+
+  // --- Axis 3: shards on a big fabric ---------------------------------------
+  // FT(16,4): 8192 nodes / 3584 switches / 65536 total ports -- the fabric
+  // the struct-of-arrays hot-state layout targets.  Shard speedup on the
+  // small FT(4,3) above is barrier-dominated; this is where sharding has to
+  // earn its keep.  Full MLID cannot address this fabric (LMC 9), so the
+  // big point runs PartialMlid at LMC 2 like the scale suite.
+  std::puts("\nbig fabric: FT(16,4), 8192 nodes / 65536 total ports,"
+            " partial-mlid LMC 2");
+  const FatTreeFabric big_fabric{FatTreeParams(16, 4)};
+  const Subnet big_subnet(
+      big_fabric,
+      std::make_unique<PartialMlidRouting>(big_fabric.params(), Lmc{2}));
+  SimConfig big_cfg;
+  big_cfg.seed = opts.seed();
+  big_cfg.event_order = EventOrder::kCanonical;
+  if (opts.quick()) {
+    big_cfg.warmup_ns = 500;
+    big_cfg.measure_ns = 2'000;
+  } else {
+    big_cfg.warmup_ns = 2'000;
+    big_cfg.measure_ns = 10'000;
+  }
+  const TrafficConfig big_traffic{TrafficKind::kUniform, 0.2, 0,
+                                  opts.seed() ^ 0xB16Fu};
+
+  TextTable big_table({"shards", "threads used", "wall s", "Mevents/s",
+                       "identical to 1-shard"});
+  std::string big_baseline;
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    SimResult result;
+    PointManifest manifest;
+    ShardedSimulation sim = ShardedSimulation::open_loop(
+        big_subnet, big_cfg, big_traffic, /*offered_load=*/0.3,
+        {shards, /*threads=*/0});
+    const double wall = wall_of([&] { result = sim.run(); });
+    manifest.sim_seed = big_cfg.seed;
+    manifest.traffic_seed = big_traffic.seed;
+    manifest.wall_seconds = wall;
+    manifest.events_processed = result.events_processed;
+    manifest.events_scheduled = result.events_scheduled;
+    manifest.events_per_sec =
+        wall > 0.0 ? static_cast<double>(result.events_processed) / wall : 0.0;
+    manifest.threads = sim.threads_used();
+    manifest.shards = shards;
+    manifest.queue = sim.queue_stats();
+    report.add("big-fabric @" + std::to_string(shards), result, manifest);
+    const std::string json = to_json(result);
+    if (shards == 1) big_baseline = json;
+    const bool identical = json == big_baseline;
+    big_table.add_row(
+        {std::to_string(shards), std::to_string(sim.threads_used()),
+         TextTable::num(wall, 3),
+         TextTable::num(manifest.events_per_sec / 1e6, 2),
+         identical ? "yes" : "NO"});
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FATAL: big-fabric result diverged at %u shards\n", shards);
+      return 1;
+    }
+  }
+  std::fputs(big_table.to_string().c_str(), stdout);
 
   std::puts("\nExpected shape: sweep threads scale near-linearly up to the\n"
             "core count (independent points); shards pay a window-barrier\n"

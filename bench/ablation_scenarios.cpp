@@ -1,0 +1,61 @@
+// Production scenario suite: runs registered datacenter scenarios (incast,
+// multi-tenant, mice-elephants, churn -- scenario/scenario.hpp) through the
+// orchestrator and evaluates each scenario's self-check contracts.  Every
+// violated contract prints a FAIL row and the exit code is non-zero, so CI
+// runs this binary as a production-behaviour regression gate.
+//
+//   --scenario=NAME   run one scenario instead of the whole registry
+//   --list-scenarios  print the registry and exit
+//   --shards=N        sharded engine per arm; --threads / --quick as usual
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/cli.hpp"
+#include "harness/report.hpp"
+#include "harness/scenario_sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlid;
+  const CliOptions opts(argc, argv);
+  BenchReport report("scenarios", opts);
+
+  ScenarioSweepOptions options;
+  options.threads = opts.threads();
+  options.shards = opts.shards();
+  options.quick = opts.quick();
+  options.base_seed = opts.seed();
+
+  std::vector<std::string> selected;
+  if (opts.scenario()) selected.push_back(*opts.scenario());
+
+  std::printf("Production scenario suite: %s\n%d-port %d-tree, %s mode\n",
+              opts.scenario() ? opts.scenario()->c_str()
+                              : scenario_listing().c_str(),
+              options.m, options.n, options.quick ? "quick" : "full");
+
+  const std::vector<ScenarioReport> reports =
+      run_scenarios(selected, options);
+
+  int violations = 0;
+  for (const ScenarioReport& r : reports) {
+    std::printf("\n%s", render_scenario_table(r).c_str());
+    std::printf("%s", render_contract_table(r).c_str());
+    violations += r.violations();
+    for (const ScenarioPoint& p : r.points) {
+      const std::string series = r.name + "/" + p.arm;
+      if (p.closed_loop) {
+        report.add(series, p.burst, p.manifest);
+      } else {
+        report.add(series, p.sim, p.manifest);
+      }
+    }
+  }
+
+  std::printf("\n(wrote %s)\n", report.write().c_str());
+  if (violations > 0) {
+    std::fprintf(stderr, "%d scenario contract(s) violated\n", violations);
+    return 1;
+  }
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include "harness/sweep.hpp"
 #include "routing/adaptive.hpp"
 #include "routing/registry.hpp"
+#include "scenario/scenario.hpp"
 
 namespace mlid {
 namespace {
@@ -29,6 +30,9 @@ constexpr std::string_view kUsage =
     "  --event-queue=K    pending-event structure: heap | ladder\n"
     "  --scheme=NAME      routing scheme, by registry name (see the\n"
     "                     'registered schemes' line below)\n"
+    "  --scenario=NAME    production scenario, by registry name (see the\n"
+    "                     'registered scenarios' line below)\n"
+    "  --list-scenarios   print every registered scenario and exit\n"
     "  --policy=NAME      up-phase forwarding policy (see the 'forwarding\n"
     "                     policies' line below)\n"
     "  --vl-map=NAME      HCA-side dynamic VL assignment (see the 'vl maps'\n"
@@ -55,6 +59,7 @@ constexpr std::string_view kUsage =
 std::string usage_text() {
   std::string text(kUsage);
   text += "registered schemes: " + scheme_listing() + "\n";
+  text += "registered scenarios: " + scenario_listing() + "\n";
   text += "forwarding policies: " + forwarding_policy_listing() + "\n";
   text += "vl maps: " + vl_map_listing() + "\n";
   return text;
@@ -142,6 +147,20 @@ CliOptions::CliOptions(int argc, char** argv) {
                     "' for --scheme (registered: " + scheme_listing() + ")");
       }
       scheme_ = std::string(value);
+    } else if (arg == "--list-scenarios") {
+      for (const std::string& name : scenario_names()) {
+        const auto scenario = make_scenario(name);
+        std::printf("%s - %s\n", name.c_str(),
+                    std::string(scenario->description()).c_str());
+      }
+      std::exit(0);
+    } else if (flag_value(argc, argv, i, "--scenario", value)) {
+      if (!ScenarioRegistry::instance().contains(value)) {
+        usage_error("unknown scenario '" + std::string(value) +
+                    "' for --scenario (registered: " + scenario_listing() +
+                    ")");
+      }
+      scenario_ = std::string(value);
     } else if (flag_value(argc, argv, i, "--policy", value)) {
       if (!ForwardingPolicyRegistry::instance().contains(value)) {
         usage_error("unknown forwarding policy '" + std::string(value) +

@@ -29,6 +29,10 @@ struct SweepOptions;
 ///   --event-queue=K    pending-event structure: heap | ladder
 ///   --scheme=NAME      routing scheme by SchemeRegistry name (any
 ///                      registered scheme; validated at parse time)
+///   --scenario=NAME    production scenario by ScenarioRegistry name
+///                      (validated at parse time; unknown names exit 2
+///                      with the registry listing)
+///   --list-scenarios   print every registered scenario and exit 0
 ///   --policy=NAME      up-phase forwarding policy by registry name
 ///   --vl-map=NAME      HCA-side dynamic VL assignment by registry name
 ///   --no-telemetry     skip the extended per-link/histogram telemetry
@@ -70,6 +74,12 @@ class CliOptions {
   /// Always a registered name (unknown values exit 2 during parsing).
   [[nodiscard]] const std::optional<std::string>& scheme() const noexcept {
     return scheme_;
+  }
+  /// Scenario name from --scenario; nullopt = the binary's own default
+  /// (bench/ablation_scenarios runs every registered scenario).  Always a
+  /// registered name (unknown values exit 2 during parsing).
+  [[nodiscard]] const std::optional<std::string>& scenario() const noexcept {
+    return scenario_;
   }
   /// Forwarding-policy name from --policy; nullopt = spec default.
   [[nodiscard]] const std::optional<std::string>& policy() const noexcept {
@@ -166,6 +176,7 @@ class CliOptions {
   unsigned shards_ = 1;
   std::optional<EventQueueKind> event_queue_;
   std::optional<std::string> scheme_;
+  std::optional<std::string> scenario_;
   std::optional<std::string> policy_;
   std::optional<std::string> vl_map_;
   bool telemetry_ = true;

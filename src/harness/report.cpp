@@ -268,6 +268,22 @@ void emit_sim_result_fields(JsonWriter& json, const SimResult& r) {
   json.key("victim_p99_latency_ns").value(r.victim_p99_latency_ns);
   json.key("hot_avg_latency_ns").value(r.hot_avg_latency_ns);
   json.key("hot_p99_latency_ns").value(r.hot_p99_latency_ns);
+  // v7: per-tenant isolation metrics, present only when the multi-tenant
+  // subsystem ran (SimConfig::tenants.count > 0); tenant_count is emitted
+  // unconditionally so consumers can branch without probing.
+  json.key("tenant_count").value(static_cast<std::uint64_t>(r.tenants.size()));
+  if (!r.tenants.empty()) {
+    json.key("tenant_jain_fairness_index").value(r.tenant_jain_fairness_index);
+    json.key("tenants").begin_array();
+    for (const TenantStats& t : r.tenants) {
+      json.begin_object();
+      json.key("delivered_pkts").value(t.delivered_pkts);
+      json.key("accepted_bytes_per_ns").value(t.accepted_bytes_per_ns);
+      json.key("avg_latency_ns").value(t.avg_latency_ns);
+      json.end_object();
+    }
+    json.end_array();
+  }
   json.key("cc_enabled").value(r.cc.enabled);
   if (r.cc.enabled) {
     json.key("cc");
@@ -322,6 +338,7 @@ void emit_point_manifest(JsonWriter& json, const PointManifest& m) {
   json.key("bytes_per_endport").value(m.bytes_per_endport);
   json.key("policy").value(m.policy);
   json.key("vl_map").value(m.vl_map);
+  json.key("scenario").value(m.scenario);
   json.key("event_queue");
   emit_queue_stats(json, m.queue);
   json.end_object();
@@ -439,7 +456,12 @@ void BenchReport::add(std::string_view series, const SimResult& result,
 }
 
 void BenchReport::add(std::string_view series, const BurstResult& result) {
-  bursts_.push_back(BurstEntry{std::string(series), result});
+  bursts_.push_back(BurstEntry{std::string(series), result, std::nullopt});
+}
+
+void BenchReport::add(std::string_view series, const BurstResult& result,
+                      const PointManifest& manifest) {
+  bursts_.push_back(BurstEntry{std::string(series), result, manifest});
 }
 
 void BenchReport::add_figure(const FigureSpec& spec,
@@ -465,13 +487,16 @@ std::string BenchReport::to_json() const {
 
   JsonWriter json;
   json.begin_object();
-  // v6: point manifests additionally record the forwarding/VL-map policy
-  // pair ("policy", "vl_map") that ran each point, and figure points carry
-  // registry scheme names instead of the retired enum's fixed strings.
-  // v5 added bytes_per_endport (engine hot state + compiled routing tables
-  // over total fabric ports), the scale metric CI regresses on; v4 added
-  // the actual parallelism (worker threads + engine shards) per point.
-  json.key("schema").value("mlid-bench-v6");
+  // v7: point manifests name the scenario that produced them ("scenario",
+  // "none" for plain sweeps), sim results carry the per-tenant isolation
+  // block (tenant_count / tenant_jain_fairness_index / tenants[]), and
+  // burst entries may carry manifests.
+  // v6 added the forwarding/VL-map policy pair ("policy", "vl_map") per
+  // point manifest and registry scheme names in figure points; v5 added
+  // bytes_per_endport (engine hot state + compiled routing tables over
+  // total fabric ports), the scale metric CI regresses on; v4 added the
+  // actual parallelism (worker threads + engine shards) per point.
+  json.key("schema").value("mlid-bench-v7");
   json.key("name").value(name_);
   json.key("manifest").begin_object();
   json.key("git").value(git_describe());
@@ -500,6 +525,10 @@ std::string BenchReport::to_json() const {
     json.begin_object();
     json.key("series").value(e.series);
     emit_burst_result_fields(json, e.result);
+    if (e.manifest) {
+      json.key("manifest");
+      emit_point_manifest(json, *e.manifest);
+    }
     json.end_object();
   }
   json.end_array();

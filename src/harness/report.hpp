@@ -68,7 +68,7 @@ std::string to_json(const FigureSpec& spec,
 
 /// Collects everything one bench binary produced -- standalone results,
 /// burst results, whole figure sweeps -- and writes them as a single
-/// `BENCH_<name>.json` (schema "mlid-bench-v5") whose manifest records the
+/// `BENCH_<name>.json` (schema "mlid-bench-v7") whose manifest records the
 /// configuration (seed, threads, quick), the build (git describe) and the
 /// host cost (wall seconds, events processed, events/sec).  Every bench
 /// executable emits one of these so runs are diffable across machines and
@@ -87,6 +87,10 @@ class BenchReport {
   void add(std::string_view series, const SimResult& result,
            const PointManifest& manifest);
   void add(std::string_view series, const BurstResult& result);
+  /// Burst result plus its manifest (scenario arms on the closed-loop path
+  /// carry the same provenance record as open-loop points).
+  void add(std::string_view series, const BurstResult& result,
+           const PointManifest& manifest);
   void add_figure(const FigureSpec& spec,
                   const std::vector<SweepPoint>& points);
 
@@ -105,6 +109,7 @@ class BenchReport {
   struct BurstEntry {
     std::string series;
     BurstResult result;
+    std::optional<PointManifest> manifest;
   };
   struct FigureEntry {
     FigureSpec spec;

@@ -57,6 +57,9 @@ struct PointManifest {
   /// Forwarding/VL-map policy pair that ran this point (BENCH schema v6).
   std::string policy = "deterministic";
   std::string vl_map = "none";
+  /// Scenario this point ran under (BENCH schema v7): a ScenarioRegistry
+  /// name for points produced by run_scenarios, "none" for plain sweeps.
+  std::string scenario = "none";
   EventQueueStats queue;              ///< pending-event structure internals
 };
 

@@ -109,16 +109,4 @@ Lid MlidRouting::select_dlid(NodeId src, NodeId dst) const {
   return lids_of(dst).at(r);
 }
 
-std::string_view to_string(SchemeKind kind) noexcept {
-  return kind == SchemeKind::kSlid ? "SLID" : "MLID";
-}
-
-std::unique_ptr<RoutingScheme> make_scheme(SchemeKind kind,
-                                           const FatTreeParams& params) {
-  if (kind == SchemeKind::kSlid) {
-    return std::make_unique<SlidRouting>(params);
-  }
-  return std::make_unique<MlidRouting>(params);
-}
-
 }  // namespace mlid

@@ -46,20 +46,4 @@ class RoutingScheme {
   }
 };
 
-/// DEPRECATED compatibility shim, kept for one release: the closed enum
-/// selector superseded by the string-keyed SchemeRegistry
-/// (routing/registry.hpp).  New code passes "SLID" / "MLID" (or any other
-/// registered name) to Subnet / make_scheme instead; this shim and its two
-/// helpers below will be removed next release.
-enum class SchemeKind { kSlid, kMlid };
-
-/// DEPRECATED with SchemeKind; the registry's canonical names match these
-/// strings exactly.
-[[nodiscard]] std::string_view to_string(SchemeKind kind) noexcept;
-
-/// DEPRECATED with SchemeKind: create a scheme for the given fat-tree.
-/// Prefer make_scheme(name, fabric) from routing/registry.hpp.
-std::unique_ptr<RoutingScheme> make_scheme(SchemeKind kind,
-                                           const FatTreeParams& params);
-
 }  // namespace mlid

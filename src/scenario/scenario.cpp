@@ -1,0 +1,97 @@
+#include "scenario/scenario.hpp"
+
+#include <cctype>
+
+#include "common/expect.hpp"
+
+namespace mlid {
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+// Defined in scenario/builtin.cpp; called exactly once from instance().
+void register_builtin_scenarios(ScenarioRegistry& registry);
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry reg = [] {
+    ScenarioRegistry r;
+    register_builtin_scenarios(r);
+    return r;
+  }();
+  return reg;
+}
+
+const ScenarioRegistry::Entry* ScenarioRegistry::find(
+    std::string_view name) const noexcept {
+  for (const Entry& e : entries_) {
+    if (iequals(e.name, name)) return &e;
+  }
+  return nullptr;
+}
+
+void ScenarioRegistry::add(std::string name, Factory factory) {
+  MLID_EXPECT(!name.empty(), "scenario name must be non-empty");
+  MLID_EXPECT(factory != nullptr, "scenario factory must be callable");
+  if (find(name) != nullptr) {
+    const std::string msg = "scenario '" + name + "' is already registered";
+    MLID_EXPECT(false, msg.c_str());
+  }
+  entries_.push_back(Entry{std::move(name), std::move(factory)});
+}
+
+bool ScenarioRegistry::contains(std::string_view name) const noexcept {
+  return find(name) != nullptr;
+}
+
+std::unique_ptr<Scenario> ScenarioRegistry::make(std::string_view name) const {
+  const Entry* e = find(name);
+  if (e == nullptr) {
+    const std::string msg = "unknown scenario '" + std::string(name) +
+                            "' (registered: " + listing() + ")";
+    MLID_EXPECT(false, msg.c_str());
+  }
+  std::unique_ptr<Scenario> scenario = e->factory();
+  MLID_EXPECT(scenario != nullptr, "scenario factory returned nullptr");
+  return scenario;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+std::string ScenarioRegistry::listing() const {
+  std::string out;
+  for (const Entry& e : entries_) {
+    if (!out.empty()) out += ", ";
+    out += e.name;
+  }
+  return out;
+}
+
+std::unique_ptr<Scenario> make_scenario(std::string_view name) {
+  return ScenarioRegistry::instance().make(name);
+}
+
+std::string scenario_listing() {
+  return ScenarioRegistry::instance().listing();
+}
+
+std::vector<std::string> scenario_names() {
+  return ScenarioRegistry::instance().names();
+}
+
+}  // namespace mlid

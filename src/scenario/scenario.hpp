@@ -1,0 +1,130 @@
+// Production scenario subsystem: named, self-checking datacenter workload
+// scenarios.  A scenario packages everything one "is the network healthy
+// under this workload?" question needs -- the traffic or message workload,
+// the fault/churn schedule, the per-tenant VL mapping -- plus the contract
+// bounds its outcomes must satisfy (e.g. "victim p99 with CC on <= 0.8x CC
+// off", "per-tenant Jain fairness >= 0.85", "post-heal delivery >= 90%").
+//
+// Scenarios live in a string-keyed open registry, the same pattern as
+// SchemeRegistry / the policy registries: built-ins (incast, multi-tenant,
+// mice-elephants, churn) register on first use, out-of-tree scenarios add()
+// themselves before the harness resolves names.  The orchestrator that
+// actually runs them is harness/scenario_sweep.hpp; bench/ablation_scenarios
+// runs every registered scenario and exits non-zero on a violated contract.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/fault_schedule.hpp"
+#include "sim/metrics.hpp"
+#include "sim/traffic.hpp"
+#include "sim/workload.hpp"
+#include "topology/builder.hpp"
+
+namespace mlid {
+
+/// One simulation arm of a scenario: a complete, runnable configuration.
+/// Open-loop arms use (sim, traffic, offered_load) and may carry a fault
+/// schedule (a non-empty one gets a live SubnetManager attached); closed-
+/// loop arms drain `workload` through the burst engine instead.  Seeds in
+/// `sim` / `traffic` are placeholders -- the orchestrator overwrites them
+/// with scenario-derived streams shared by every arm, so arms compare their
+/// config deltas and nothing else (the policy-arm rule from run_sweep).
+struct ScenarioRun {
+  std::string arm;              ///< label, unique within the scenario
+  std::string scheme = "MLID";  ///< SchemeRegistry name
+  SimConfig sim;
+  TrafficConfig traffic;        ///< open-loop arms
+  double offered_load = 0.5;    ///< open-loop arms
+  FaultSchedule faults;         ///< non-empty = live SM + mid-run faults
+  bool closed_loop = false;
+  std::vector<MessageSpec> workload;  ///< closed-loop arms
+};
+
+/// The finished outcome of one arm, handed to Scenario::evaluate in plan
+/// order.  Exactly one of `sim` / `burst` is meaningful, keyed by
+/// `closed_loop` (mirrors ScenarioRun).
+struct ScenarioOutcome {
+  std::string arm;
+  bool closed_loop = false;
+  SimResult sim;
+  BurstResult burst;
+};
+
+/// One evaluated contract: a named bound and what the run measured.
+/// `passed == false` anywhere fails bench/ablation_scenarios' exit code.
+struct ContractCheck {
+  std::string name;      ///< e.g. "victim-p99-cc-ratio"
+  bool passed = false;
+  double measured = 0.0;
+  double bound = 0.0;
+  std::string detail;    ///< human-readable restatement of the bound
+};
+
+/// A named production scenario: plans its arms for a fabric and judges the
+/// outcomes.  Implementations must be stateless between plan and evaluate
+/// (the orchestrator may construct a fresh instance for each).
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual std::string_view description() const noexcept = 0;
+
+  /// The arms to run against `fabric`.  `quick` shrinks windows and
+  /// workload sizes to CI-smoke scale (the --quick contract every bench
+  /// honours); contracts must hold at both scales.  The fabric reference is
+  /// for planning only (sizes, uplink selection for fault schedules) --
+  /// execution runs each arm against its own identically-parameterized
+  /// fabric instance, so plans must not cache the reference.
+  [[nodiscard]] virtual std::vector<ScenarioRun> plan(
+      const FatTreeFabric& fabric, bool quick) const = 0;
+
+  /// Contracts over the finished arms (same order plan() returned them).
+  [[nodiscard]] virtual std::vector<ContractCheck> evaluate(
+      const std::vector<ScenarioOutcome>& outcomes) const = 0;
+};
+
+/// String-keyed scenario registry (open registration, case-insensitive
+/// lookup -- the SchemeRegistry pattern without seed keys: scenario streams
+/// derive from the scenario *name*, which is stable by construction).
+class ScenarioRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Scenario>()>;
+
+  /// The process-wide registry.  Built-ins (incast, multi-tenant,
+  /// mice-elephants, churn) are registered on first use.
+  static ScenarioRegistry& instance();
+
+  /// Registers a factory under a unique name (lookups case-insensitive).
+  void add(std::string name, Factory factory);
+
+  [[nodiscard]] bool contains(std::string_view name) const noexcept;
+  [[nodiscard]] std::unique_ptr<Scenario> make(std::string_view name) const;
+  /// Canonical spellings, in registration order (for --help and errors).
+  [[nodiscard]] std::vector<std::string> names() const;
+  /// The names joined with ", " -- the listing CLI diagnostics print.
+  [[nodiscard]] std::string listing() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Factory factory;
+  };
+
+  [[nodiscard]] const Entry* find(std::string_view name) const noexcept;
+
+  std::vector<Entry> entries_;
+};
+
+/// Convenience wrappers over ScenarioRegistry::instance().
+[[nodiscard]] std::unique_ptr<Scenario> make_scenario(std::string_view name);
+[[nodiscard]] std::string scenario_listing();
+[[nodiscard]] std::vector<std::string> scenario_names();
+
+}  // namespace mlid

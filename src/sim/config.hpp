@@ -26,6 +26,27 @@ enum class VlPolicy : std::uint8_t {
   kFixed0,        ///< everything on VL0 (degenerates to a single lane)
 };
 
+/// Multi-tenant partitioning: carves the endnode space into `count`
+/// contiguous, equal-sized blocks and (optionally) pins each tenant's
+/// traffic to its own virtual lane.  `count == 0` disables the subsystem
+/// entirely -- no per-tenant accounting, no VL override -- and every run is
+/// byte-identical to the pre-tenant engine (asserted by
+/// sim/scenario_parity_test.cpp).  Tenant of node i is `i * count / N`.
+struct TenantConfig {
+  int count = 0;          ///< number of tenants; 0 = subsystem off
+  /// Pin each tenant's packets to VL = tenant % num_vls (after the normal
+  /// VlPolicy draw, which still happens so the RNG stream stays aligned
+  /// with the unpinned run -- same pattern as VlMapPolicy remaps).
+  bool bind_vls = false;
+
+  void validate(int num_nodes) const {
+    MLID_EXPECT(count >= 0, "tenant count cannot be negative");
+    if (count > 0 && num_nodes > 0) {
+      MLID_EXPECT(count <= num_nodes, "more tenants than endnodes");
+    }
+  }
+};
+
 struct SimConfig {
   // --- timing (nanoseconds) -------------------------------------------------
   SimTime routing_delay_ns = 100;  ///< LFT lookup + arbitration + startup
@@ -119,6 +140,12 @@ struct SimConfig {
   /// pre-CC engine (asserted by sim/cc_parity_test.cpp).
   CcConfig cc;
 
+  /// Multi-tenant partitioning (off by default; see TenantConfig).  The
+  /// scenario subsystem's `multi-tenant` scenario turns this on together
+  /// with TrafficConfig::tenants so traffic, VL isolation and the
+  /// per-tenant SimResult block all agree on the same node blocks.
+  TenantConfig tenants;
+
   [[nodiscard]] SimTime end_time() const noexcept {
     return warmup_ns + measure_ns;
   }
@@ -154,6 +181,7 @@ struct SimConfig {
                   "timeline cap must hold at least two samples");
     }
     cc.validate();
+    tenants.validate(/*num_nodes=*/0);  // count bound re-checked per fabric
   }
 };
 

@@ -235,6 +235,13 @@ Simulation::Simulation(const Subnet& subnet, SimConfig config,
   latency_per_vl_.assign(static_cast<std::size_t>(cfg_.num_vls),
                          OnlineStats{});
   bytes_per_node_.assign(num_nodes, 0);
+  cfg_.tenants.validate(static_cast<int>(num_nodes));
+  if (cfg_.tenants.count > 0) {
+    const auto tenants = static_cast<std::size_t>(cfg_.tenants.count);
+    tenant_delivered_.assign(tenants, 0);
+    tenant_bytes_.assign(tenants, 0);
+    tenant_latency_.assign(tenants, OnlineStats{});
+  }
   result_.telemetry = cfg_.telemetry;
   if (cfg_.telemetry) {
     result_.latency_log2_per_vl.assign(static_cast<std::size_t>(cfg_.num_vls),
@@ -414,6 +421,12 @@ VlId Simulation::assign_vl(NodeId src, NodeId dst) {
     case VlPolicy::kFixed0:
       base = 0;
       break;
+  }
+  if (cfg_.tenants.count > 0 && cfg_.tenants.bind_vls) {
+    // Tenant VL pinning overrides both the policy draw and any VL map: the
+    // draw above still happened, so the per-source RNG streams stay aligned
+    // with the unpinned run.
+    return static_cast<VlId>(static_cast<std::uint32_t>(tenant_of(src)) % vls);
   }
   if (!remap_vls_) return base;
   const VlId mapped = vl_map_->remap(src, dst, base, cfg_.num_vls);
@@ -1029,6 +1042,12 @@ void Simulation::accumulate_delivery(const DeliveryRecord& rec) {
         victim_window_.add(lat);
         victim_hist_.add(lat);
       }
+    }
+    if (!tenant_delivered_.empty()) {
+      const auto t = static_cast<std::size_t>(tenant_of(rec.dst));
+      ++tenant_delivered_[t];
+      tenant_bytes_[t] += rec.size_bytes;
+      tenant_latency_[t].add(lat);
     }
     if (cfg_.telemetry) {
       result_.latency_log2_hist.add(lat);
@@ -1677,6 +1696,23 @@ SimResult Simulation::finalize_open_loop(std::uint64_t events_processed,
       sum_sq > 0.0 ? sum * sum / (n_nodes * sum_sq) : 0.0;
   result_.min_node_accepted_bytes_per_ns = std::max(lo, 0.0);
   result_.max_node_accepted_bytes_per_ns = hi;
+
+  if (!tenant_delivered_.empty()) {
+    result_.tenants.resize(tenant_delivered_.size());
+    double t_sum = 0.0, t_sum_sq = 0.0;
+    for (std::size_t t = 0; t < tenant_delivered_.size(); ++t) {
+      TenantStats& out = result_.tenants[t];
+      out.delivered_pkts = tenant_delivered_[t];
+      out.accepted_bytes_per_ns = static_cast<double>(tenant_bytes_[t]) /
+                                  static_cast<double>(cfg_.measure_ns);
+      out.avg_latency_ns = tenant_latency_[t].mean();
+      t_sum += out.accepted_bytes_per_ns;
+      t_sum_sq += out.accepted_bytes_per_ns * out.accepted_bytes_per_ns;
+    }
+    const auto n_tenants = static_cast<double>(tenant_delivered_.size());
+    result_.tenant_jain_fairness_index =
+        t_sum_sq > 0.0 ? t_sum * t_sum / (n_tenants * t_sum_sq) : 0.0;
+  }
 
   if (traffic_.config().kind == TrafficKind::kCentric) {
     result_.victim_packets = victim_window_.count();

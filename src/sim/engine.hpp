@@ -505,6 +505,16 @@ class Simulation {
   std::vector<std::uint64_t> delivered_per_vl_;
   std::vector<OnlineStats> latency_per_vl_;
   std::vector<std::uint64_t> bytes_per_node_;
+  // Multi-tenant accounting, indexed by tenant id (empty unless
+  // cfg_.tenants.count > 0).  Fed from accumulate_delivery, so sharded runs
+  // pick it up through the canonical delivery-log replay for free.
+  std::vector<std::uint64_t> tenant_delivered_;
+  std::vector<std::uint64_t> tenant_bytes_;
+  std::vector<OnlineStats> tenant_latency_;
+  [[nodiscard]] int tenant_of(NodeId node) const noexcept {
+    return tenant_of_node(node, cfg_.tenants.count,
+                          static_cast<std::uint32_t>(bytes_per_node_.size()));
+  }
 
   // --- burst (closed-loop) mode ----------------------------------------------
   bool burst_ = false;

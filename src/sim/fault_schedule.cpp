@@ -52,6 +52,11 @@ void FaultSchedule::validate() const {
     return std::make_pair(std::min(a, b), std::max(a, b));
   };
   std::map<std::pair<std::uint64_t, std::uint64_t>, SimTime> down_since;
+  // Last recovery instant per link: a re-failure at that exact timestamp
+  // would make the fail/recover windows overlap in whichever tie order the
+  // stable sort happened to keep, so it is rejected outright -- the result
+  // must not depend on insertion order.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, SimTime> up_at;
   for (const FaultEvent& e : events()) {
     const auto key = key_of(e);
     const auto it = down_since.find(key);
@@ -59,6 +64,10 @@ void FaultSchedule::validate() const {
       MLID_EXPECT(it == down_since.end(),
                   "fault schedule fails a link that is already down "
                   "(duplicate failure without an intervening recovery)");
+      const auto up = up_at.find(key);
+      MLID_EXPECT(up == up_at.end() || e.at > up->second,
+                  "fault schedule re-fails a link at the instant of (or "
+                  "before) its recovery; the windows overlap");
       down_since.emplace(key, e.at);
     } else {
       MLID_EXPECT(it != down_since.end(),
@@ -67,20 +76,28 @@ void FaultSchedule::validate() const {
       MLID_EXPECT(e.at > it->second,
                   "fault schedule recovers a link at (or before) the "
                   "instant it fails; recovery must be strictly later");
+      up_at.insert_or_assign(key, e.at);
       down_since.erase(it);
     }
   }
 }
 
-FaultSchedule FaultSchedule::random_uplink_failures(
-    const FatTreeFabric& fabric, int count, SimTime fail_at,
-    std::uint64_t seed, SimTime recover_at) {
-  FaultSchedule schedule;
-  Xoshiro256 rng(seed);
-  std::vector<std::pair<DeviceId, PortId>> chosen;
-  // Clamp to the number of distinct uplinks (each inter-level link has
-  // exactly one lower endpoint with an up port), so an oversized request
-  // fails every uplink instead of rejection-sampling forever.
+namespace {
+
+struct UplinkChoice {
+  DeviceId dev;
+  PortId port;
+  PortRef peer;
+};
+
+// `count` distinct random inter-switch uplinks, clamped to the number of
+// distinct uplinks available (each inter-level link has exactly one lower
+// endpoint with an up port), so an oversized request picks every uplink
+// instead of rejection-sampling forever.  Draw order is the historical
+// random_uplink_failures order, so existing schedules stay byte-identical.
+std::vector<UplinkChoice> pick_distinct_uplinks(const FatTreeFabric& fabric,
+                                                int count, Xoshiro256& rng) {
+  std::vector<UplinkChoice> chosen;
   int available = 0;
   for (std::uint32_t sw = 0; sw < fabric.params().num_switches(); ++sw) {
     if (fabric.switch_label(static_cast<SwitchId>(sw)).level() == 0) continue;
@@ -92,6 +109,7 @@ FaultSchedule FaultSchedule::random_uplink_failures(
     }
   }
   int remaining = std::min(count, available);
+  chosen.reserve(static_cast<std::size_t>(std::max(remaining, 0)));
   while (remaining > 0) {
     const auto sw =
         static_cast<SwitchId>(rng.below(fabric.params().num_switches()));
@@ -103,22 +121,61 @@ FaultSchedule FaultSchedule::random_uplink_failures(
     if (!fabric.fabric().device(dev).port_connected(port)) continue;
     bool duplicate = false;
     const PortRef peer = fabric.fabric().peer_of(dev, port);
-    for (const auto& [cdev, cport] : chosen) {
-      if ((cdev == dev && cport == port) ||
-          (cdev == peer.device && cport == peer.port)) {
+    for (const auto& c : chosen) {
+      if ((c.dev == dev && c.port == port) ||
+          (c.dev == peer.device && c.port == peer.port)) {
         duplicate = true;
         break;
       }
     }
     if (duplicate) continue;
-    chosen.emplace_back(dev, port);
-    schedule.fail_link(fail_at, fabric.fabric(), dev, port);
-    if (recover_at >= 0) {
-      MLID_EXPECT(recover_at > fail_at, "recovery must follow the failure");
-      schedule.recover_link(recover_at, dev, port, peer.device, peer.port);
-    }
+    chosen.push_back(UplinkChoice{dev, port, peer});
     --remaining;
   }
+  return chosen;
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::random_uplink_failures(
+    const FatTreeFabric& fabric, int count, SimTime fail_at,
+    std::uint64_t seed, SimTime recover_at) {
+  FaultSchedule schedule;
+  Xoshiro256 rng(seed);
+  for (const UplinkChoice& c : pick_distinct_uplinks(fabric, count, rng)) {
+    schedule.fail_link(fail_at, fabric.fabric(), c.dev, c.port);
+    if (recover_at >= 0) {
+      MLID_EXPECT(recover_at > fail_at, "recovery must follow the failure");
+      schedule.recover_link(recover_at, c.dev, c.port, c.peer.device,
+                            c.peer.port);
+    }
+  }
+  return schedule;
+}
+
+FaultSchedule FaultSchedule::periodic_uplink_churn(
+    const FatTreeFabric& fabric, int links, SimTime start_at,
+    SimTime period_ns, SimTime downtime_ns, SimTime until,
+    std::uint64_t seed) {
+  MLID_EXPECT(links >= 1, "churn needs at least one link");
+  MLID_EXPECT(start_at >= 0, "churn start must be non-negative");
+  MLID_EXPECT(downtime_ns > 0 && downtime_ns < period_ns,
+              "churn downtime must be positive and shorter than the period");
+  FaultSchedule schedule;
+  Xoshiro256 rng(seed);
+  const auto chosen = pick_distinct_uplinks(fabric, links, rng);
+  const auto n = static_cast<SimTime>(chosen.size());
+  for (SimTime i = 0; i < n; ++i) {
+    const UplinkChoice& c = chosen[static_cast<std::size_t>(i)];
+    // Stagger starts across one period so failures spread over the cycle.
+    for (SimTime t = start_at + i * period_ns / n; t + downtime_ns < until;
+         t += period_ns) {
+      schedule.fail_link(t, fabric.fabric(), c.dev, c.port);
+      schedule.recover_link(t + downtime_ns, c.dev, c.port, c.peer.device,
+                            c.peer.port);
+    }
+  }
+  schedule.validate();
   return schedule;
 }
 

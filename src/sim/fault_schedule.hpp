@@ -43,7 +43,10 @@ class FaultSchedule {
   /// Check per-link event ordering: every recovery must name a link that a
   /// strictly earlier failure tore down, and a link that is already down
   /// may not fail again (including a duplicate fail at the same timestamp)
-  /// until it recovers.  Throws ContractViolation naming the offending
+  /// until it recovers.  A re-failure at the exact instant of the recovery
+  /// is rejected too: same-timestamp fail/recover windows on one link are
+  /// order-ambiguous, and whether they validated used to depend on
+  /// insertion order.  Throws ContractViolation naming the offending
   /// event.  Called by Simulation::attach_live_sm before any event is
   /// scheduled, so a malformed schedule fails fast instead of tripping an
   /// engine assertion mid-run.
@@ -59,6 +62,20 @@ class FaultSchedule {
                                               int count, SimTime fail_at,
                                               std::uint64_t seed,
                                               SimTime recover_at = -1);
+
+  /// Long-running churn process: `links` distinct random inter-switch
+  /// uplinks each flap on a fixed cadence -- fail, stay down for
+  /// `downtime_ns`, recover, repeat every `period_ns` -- from `start_at`
+  /// until no full fail/recover window fits before `until`.  Link starts
+  /// are staggered by period/links so failures spread across the cycle
+  /// instead of arriving as synchronized waves.  Requires
+  /// 0 < downtime_ns < period_ns; the result always validates.
+  static FaultSchedule periodic_uplink_churn(const FatTreeFabric& fabric,
+                                             int links, SimTime start_at,
+                                             SimTime period_ns,
+                                             SimTime downtime_ns,
+                                             SimTime until,
+                                             std::uint64_t seed);
 
  private:
   mutable std::vector<FaultEvent> events_;

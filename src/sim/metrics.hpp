@@ -123,6 +123,17 @@ struct LinkSummary {
   std::uint64_t total_fecn_marks = 0;
 };
 
+/// Per-tenant delivery roll-up for multi-tenant runs (SimConfig::tenants):
+/// accepted packets/bytes and mean latency over the measurement window for
+/// the packets *destined* to the tenant's node block.
+struct TenantStats {
+  std::uint64_t delivered_pkts = 0;    ///< measurement window
+  double accepted_bytes_per_ns = 0.0;  ///< aggregate over the tenant's nodes
+  double avg_latency_ns = 0.0;         ///< generation -> delivery
+
+  friend bool operator==(const TenantStats&, const TenantStats&) = default;
+};
+
 struct SimResult {
   // --- the paper's axes ------------------------------------------------------
   double offered_load = 0.0;  ///< fraction of endnode link bandwidth
@@ -191,6 +202,16 @@ struct SimResult {
   double victim_p99_latency_ns = 0.0;
   double hot_avg_latency_ns = 0.0;
   double hot_p99_latency_ns = 0.0;
+
+  // --- multi-tenant isolation (populated only when SimConfig::tenants on) ----
+  /// One entry per tenant, indexed by tenant id; empty when the tenant
+  /// subsystem is off.  Like the telemetry block, enabling it adds counter
+  /// increments only -- every other field stays bit-identical (asserted by
+  /// sim/scenario_parity_test.cpp).
+  std::vector<TenantStats> tenants;
+  /// Jain fairness index over per-tenant accepted byte rates (1.0 = evenly
+  /// shared; 1/T = one tenant receives everything).  Zero when off.
+  double tenant_jain_fairness_index = 0.0;
 
   // --- congestion control (populated only when SimConfig::cc is enabled) -----
   CcSummary cc;

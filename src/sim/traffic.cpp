@@ -28,6 +28,14 @@ TrafficPattern::TrafficPattern(TrafficConfig config, std::uint32_t num_nodes)
   MLID_EXPECT(config.hot_fraction >= 0.0 && config.hot_fraction <= 1.0,
               "hot fraction must be a probability");
   MLID_EXPECT(config.hot_node < num_nodes, "hot node out of range");
+  MLID_EXPECT(config.tenants >= 0, "tenant count cannot be negative");
+  if (config.tenants > 0) {
+    MLID_EXPECT(config.kind == TrafficKind::kUniform ||
+                    config.kind == TrafficKind::kCentric,
+                "tenant partitioning supports uniform and centric kinds");
+    MLID_EXPECT(config.tenants <= static_cast<int>(num_nodes / 2),
+                "every tenant block needs at least two nodes");
+  }
   SplitMix64 seeder(config.seed);
   per_source_.reserve(num_nodes);
   for (std::uint32_t i = 0; i < num_nodes; ++i) {
@@ -60,6 +68,24 @@ NodeId TrafficPattern::pick_destination(NodeId src) {
     auto d = static_cast<NodeId>(rng.below(num_nodes_ - 1));
     return d >= src ? d + 1 : d;
   };
+  if (config_.tenants > 0) {
+    // Confine the draw to the source's tenant block; the same skip trick
+    // keeps it uniform over the block's other nodes.
+    const int t = tenant_of_node(src, config_.tenants, num_nodes_);
+    const NodeId lo = tenant_block_begin(t, config_.tenants, num_nodes_);
+    const NodeId hi = tenant_block_begin(t + 1, config_.tenants, num_nodes_);
+    const std::uint32_t size = hi - lo;
+    auto uniform_in_block = [&]() {
+      auto d = lo + static_cast<NodeId>(rng.below(size - 1));
+      return d >= src ? d + 1 : d;
+    };
+    if (config_.kind == TrafficKind::kCentric) {
+      // Each tenant hammers its own hot node at the same block offset.
+      const NodeId hot = lo + (config_.hot_node % size);
+      if (src != hot && rng.chance(config_.hot_fraction)) return hot;
+    }
+    return uniform_in_block();
+  }
   switch (config_.kind) {
     case TrafficKind::kUniform:
       return uniform_other();

@@ -30,7 +30,32 @@ struct TrafficConfig {
   double hot_fraction = 0.20;     ///< centric only
   NodeId hot_node = 0;            ///< centric only
   std::uint64_t seed = 42;        ///< pattern-private randomness
+  /// > 0 partitions the node space into that many contiguous blocks and
+  /// confines every destination to the source's own block (uniform and
+  /// centric kinds only; centric picks a per-tenant hot node).  0 keeps the
+  /// historical unpartitioned draw, byte-identical to pre-tenant streams.
+  /// Must match SimConfig::tenants.count when per-tenant accounting is on.
+  int tenants = 0;
 };
+
+/// Tenant of node i under a T-way partition of N nodes: contiguous,
+/// near-equal blocks via i*T/N.  The inverse block bounds come from
+/// tenant_block_begin; every block is non-empty for T <= N.
+[[nodiscard]] constexpr int tenant_of_node(NodeId node, int tenants,
+                                           std::uint32_t num_nodes) noexcept {
+  return static_cast<int>(static_cast<std::uint64_t>(node) *
+                          static_cast<std::uint64_t>(tenants) / num_nodes);
+}
+
+/// First node of tenant t's block (== one past the end of block t-1).
+[[nodiscard]] constexpr NodeId tenant_block_begin(
+    int tenant, int tenants, std::uint32_t num_nodes) noexcept {
+  // ceil(t*N/T): the smallest i with i*T/N == t.
+  return static_cast<NodeId>(
+      (static_cast<std::uint64_t>(tenant) * num_nodes +
+       static_cast<std::uint64_t>(tenants) - 1) /
+      static_cast<std::uint64_t>(tenants));
+}
 
 /// Stateful pattern object; one per simulation.  Destination draws use a
 /// per-source RNG stream so node count changes don't perturb other nodes.

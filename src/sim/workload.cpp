@@ -83,6 +83,38 @@ std::vector<MessageSpec> random_permutation(std::uint32_t num_nodes,
   return messages;
 }
 
+std::vector<MessageSpec> mice_elephants(std::uint32_t num_nodes,
+                                        const MiceElephantsConfig& config,
+                                        std::uint64_t seed) {
+  MLID_EXPECT(num_nodes >= 2, "collective needs at least two nodes");
+  MLID_EXPECT(config.flows_per_node >= 1, "each node must originate a flow");
+  MLID_EXPECT(config.elephant_fraction >= 0.0 &&
+                  config.elephant_fraction <= 1.0,
+              "elephant fraction must be a probability");
+  MLID_EXPECT(config.mouse_bytes >= 1 && config.elephant_bytes >= 1,
+              "empty messages are not modelled");
+  MLID_EXPECT(config.mouse_bytes <= config.elephant_bytes,
+              "mice must not outweigh elephants");
+  // Per-source streams, same structure as TrafficPattern: inserting or
+  // removing one source never perturbs another source's flows.
+  SplitMix64 seeder(seed);
+  std::vector<MessageSpec> messages;
+  messages.reserve(static_cast<std::size_t>(num_nodes) *
+                   config.flows_per_node);
+  for (NodeId src = 0; src < num_nodes; ++src) {
+    Xoshiro256 rng(seeder.next());
+    for (std::uint32_t f = 0; f < config.flows_per_node; ++f) {
+      auto dst = static_cast<NodeId>(rng.below(num_nodes - 1));
+      if (dst >= src) ++dst;  // uniform over the others
+      const bool elephant = rng.chance(config.elephant_fraction);
+      messages.push_back(MessageSpec{
+          src, dst,
+          elephant ? config.elephant_bytes : config.mouse_bytes});
+    }
+  }
+  return messages;
+}
+
 std::vector<MessageSpec> parse_message_csv(std::istream& in) {
   std::vector<MessageSpec> messages;
   std::string line;

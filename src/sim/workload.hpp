@@ -83,6 +83,26 @@ std::vector<MessageSpec> random_permutation(std::uint32_t num_nodes,
                                             std::uint32_t bytes,
                                             std::uint64_t seed);
 
+/// Parameters for the datacenter-style skewed flow-size mix: most flows are
+/// short ("mice"), a small fraction are long ("elephants") that carry most
+/// of the bytes.  Defaults give a 10:1 count skew and ~100:1 size skew.
+struct MiceElephantsConfig {
+  std::uint32_t flows_per_node = 8;     ///< messages each node originates
+  double elephant_fraction = 0.10;      ///< probability a flow is an elephant
+  std::uint32_t mouse_bytes = 512;      ///< short-flow payload
+  std::uint32_t elephant_bytes = 65536; ///< long-flow payload
+};
+
+/// Skewed flow-size mix on the closed-loop path: every node originates
+/// `flows_per_node` messages to uniformly drawn other nodes; each flow is
+/// independently an elephant with `elephant_fraction` probability.  Flow
+/// sizes and destinations come from per-source SplitMix64-derived streams,
+/// so the workload is deterministic under a fixed seed and independent of
+/// node-count-preserving config changes (same contract as TrafficPattern).
+std::vector<MessageSpec> mice_elephants(std::uint32_t num_nodes,
+                                        const MiceElephantsConfig& config,
+                                        std::uint64_t seed);
+
 /// Parse a message trace: one "src,dst,bytes" triple per line; blank lines
 /// and lines starting with '#' are ignored.  Throws ContractViolation on
 /// malformed input (with the offending line number).

@@ -5,9 +5,6 @@ namespace mlid {
 Subnet::Subnet(const FatTreeFabric& fabric, std::string_view scheme)
     : Subnet(fabric, make_scheme(scheme, fabric)) {}
 
-Subnet::Subnet(const FatTreeFabric& fabric, SchemeKind kind)
-    : Subnet(fabric, make_scheme(kind, fabric.params())) {}
-
 Subnet::Subnet(const FatTreeFabric& fabric,
                std::unique_ptr<RoutingScheme> scheme)
     : fabric_(&fabric) {

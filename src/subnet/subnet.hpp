@@ -33,10 +33,6 @@ class Subnet {
   /// throw ContractViolation listing the registry.
   Subnet(const FatTreeFabric& fabric, std::string_view scheme);
 
-  /// DEPRECATED with SchemeKind (see routing/scheme.hpp): enum selector
-  /// shim, kept for one release.
-  Subnet(const FatTreeFabric& fabric, SchemeKind kind);
-
   /// Same bring-up with a caller-supplied scheme (e.g. a PartialMlidRouting
   /// at a bespoke LMC, or an unregistered out-of-tree scheme).
   Subnet(const FatTreeFabric& fabric, std::unique_ptr<RoutingScheme> scheme);

@@ -192,7 +192,7 @@ TEST(Report, BenchReportEmitsTheSchema) {
   b.events_processed = 50;
   report.add("burst-b", b);
   const std::string json = report.to_json();
-  EXPECT_NE(json.find("\"schema\":\"mlid-bench-v6\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"mlid-bench-v7\""), std::string::npos);
   EXPECT_NE(json.find("\"name\":\"unit_bench\""), std::string::npos);
   EXPECT_NE(json.find("\"git\""), std::string::npos);
   EXPECT_NE(json.find("\"seed\":9"), std::string::npos);
@@ -227,6 +227,38 @@ TEST(Report, PointManifestEmitsParallelism) {
   EXPECT_NE(json.find("\"bytes_per_endport\":612.5"), std::string::npos);
 }
 
+TEST(Report, V7ScenarioProvenanceAndTenantBlock) {
+  // v7: every manifest names its scenario ("none" for plain sweeps), burst
+  // entries may carry manifests too, and per-tenant metrics serialize when
+  // the tenant subsystem is on.
+  PointManifest m;
+  m.scenario = "incast";
+  SimResult r;
+  r.tenants.resize(2);
+  r.tenants[0].delivered_pkts = 3;
+  r.tenants[1].delivered_pkts = 4;
+  r.tenant_jain_fairness_index = 0.75;
+  BenchReport report("v7_bench", 1, 1, true);
+  report.add("pt", r, m);
+  BurstResult b;
+  b.messages = 2;
+  report.add("bt", b, m);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"scenario\":\"incast\""), std::string::npos);
+  EXPECT_NE(json.find("\"tenant_count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"tenant_jain_fairness_index\":0.75"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tenants\":[{\"delivered_pkts\":3"),
+            std::string::npos);
+  // Both entries carry the manifest; a manifest-free point says "none".
+  EXPECT_EQ(json.find("\"scenario\":\"incast\"") !=
+                json.rfind("\"scenario\":\"incast\""),
+            true);
+  BenchReport plain("plain_bench", 1, 1, true);
+  plain.add("p", SimResult{}, PointManifest{});
+  EXPECT_NE(plain.to_json().find("\"scenario\":\"none\""), std::string::npos);
+}
+
 TEST(Report, BenchReportWritesItsFile) {
   BenchReport report("write_test", 1, 1, false);
   report.add("s", SimResult{});
@@ -238,7 +270,7 @@ TEST(Report, BenchReportWritesItsFile) {
   buf << in.rdbuf();
   // wall_seconds advances between serializations, so compare structure,
   // not the exact bytes.
-  EXPECT_NE(buf.str().find("\"schema\":\"mlid-bench-v6\""), std::string::npos);
+  EXPECT_NE(buf.str().find("\"schema\":\"mlid-bench-v7\""), std::string::npos);
   EXPECT_NE(buf.str().find("\"name\":\"write_test\""), std::string::npos);
   EXPECT_EQ(buf.str().back(), '\n');
   std::remove(path.c_str());

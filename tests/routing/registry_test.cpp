@@ -1,6 +1,7 @@
 // The string-keyed scheme registry that replaced the closed SchemeKind
-// enum: lookup semantics, seed-key stability (sweep seeds must not move
-// across the migration), open registration, and the deprecated enum shim.
+// enum (shim removed after its one-release grace period): lookup semantics,
+// seed-key stability (sweep seeds must not move across the migration), and
+// open registration.
 #include "routing/registry.hpp"
 
 #include <gtest/gtest.h>
@@ -73,17 +74,6 @@ TEST(SchemeRegistry, SubnetBringsUpFromAName) {
   EXPECT_EQ(mlid.scheme().name(), "MLID");
   const Subnet updn(fabric, "UPDN");
   EXPECT_EQ(updn.scheme().name(), "UPDN");
-}
-
-TEST(SchemeRegistry, DeprecatedEnumShimStillWorks) {
-  // One-release compatibility: the enum ctor and to_string keep working and
-  // agree with the registry path.
-  const FatTreeFabric fabric{FatTreeParams(4, 2)};
-  const Subnet via_enum(fabric, SchemeKind::kMlid);
-  const Subnet via_name(fabric, "MLID");
-  EXPECT_EQ(via_enum.scheme().name(), via_name.scheme().name());
-  EXPECT_EQ(to_string(SchemeKind::kSlid), "SLID");
-  EXPECT_EQ(to_string(SchemeKind::kMlid), "MLID");
 }
 
 TEST(SchemeRegistry, AcceptsCustomRegistrations) {

@@ -1,0 +1,199 @@
+// Scenario subsystem: registry semantics (the SchemeRegistry contract --
+// case-insensitive lookup, duplicate rejection, listing in registration
+// order), the built-in scenarios' plan() invariants, the arm-independent
+// seed derivation, and an orchestrator round-trip including shard parity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "harness/report.hpp"
+#include "harness/scenario_sweep.hpp"
+#include "routing/registry.hpp"
+#include "scenario/scenario.hpp"
+
+namespace mlid {
+namespace {
+
+TEST(ScenarioRegistry, BuiltinsRegisterInOrder) {
+  const std::vector<std::string> names = scenario_names();
+  ASSERT_GE(names.size(), 4u);
+  EXPECT_EQ(names[0], "incast");
+  EXPECT_EQ(names[1], "multi-tenant");
+  EXPECT_EQ(names[2], "mice-elephants");
+  EXPECT_EQ(names[3], "churn");
+  for (const std::string& name : names) {
+    const auto scenario = make_scenario(name);
+    EXPECT_EQ(scenario->name(), name);
+    EXPECT_FALSE(scenario->description().empty());
+  }
+}
+
+TEST(ScenarioRegistry, LookupIsCaseInsensitive) {
+  const ScenarioRegistry& reg = ScenarioRegistry::instance();
+  EXPECT_TRUE(reg.contains("incast"));
+  EXPECT_TRUE(reg.contains("INCAST"));
+  EXPECT_TRUE(reg.contains("Multi-Tenant"));
+  EXPECT_FALSE(reg.contains("no-such-scenario"));
+  // make() resolves the alternate spelling to the canonical scenario.
+  EXPECT_EQ(make_scenario("CHURN")->name(), "churn");
+}
+
+TEST(ScenarioRegistry, UnknownNameThrowsWithListing) {
+  try {
+    (void)make_scenario("bogus");
+    FAIL() << "make_scenario must reject unknown names";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos);
+    EXPECT_NE(what.find("incast"), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioRegistry, ListingJoinsNames) {
+  const std::string listing = scenario_listing();
+  EXPECT_NE(listing.find("incast, multi-tenant"), std::string::npos);
+}
+
+class TrivialScenario final : public Scenario {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "trivial-test-scenario";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "registry extension fixture";
+  }
+  [[nodiscard]] std::vector<ScenarioRun> plan(const FatTreeFabric&,
+                                              bool) const override {
+    ScenarioRun run;
+    run.arm = "only";
+    run.sim.warmup_ns = 1'000;
+    run.sim.measure_ns = 4'000;
+    run.offered_load = 0.2;
+    return {run};
+  }
+  [[nodiscard]] std::vector<ContractCheck> evaluate(
+      const std::vector<ScenarioOutcome>& outcomes) const override {
+    ContractCheck pass;
+    pass.name = "ran";
+    pass.measured = static_cast<double>(outcomes.size());
+    pass.bound = 1.0;
+    pass.passed = outcomes.size() == 1;
+    ContractCheck fail;
+    fail.name = "always-fails";
+    fail.bound = 1.0;
+    fail.passed = false;
+    return {pass, fail};
+  }
+};
+
+TEST(ScenarioRegistry, OpenRegistrationAndDuplicateRejection) {
+  ScenarioRegistry& reg = ScenarioRegistry::instance();
+  if (!reg.contains("trivial-test-scenario")) {
+    reg.add("trivial-test-scenario",
+            [] { return std::unique_ptr<Scenario>(new TrivialScenario); });
+  }
+  EXPECT_TRUE(reg.contains("trivial-test-scenario"));
+  // Duplicate registration is a contract violation, case-insensitively.
+  EXPECT_THROW(
+      reg.add("Trivial-Test-Scenario",
+              [] { return std::unique_ptr<Scenario>(new TrivialScenario); }),
+      ContractViolation);
+  // The orchestrator runs extensions like built-ins, and a failing
+  // contract is counted, not dropped.
+  ScenarioSweepOptions options;
+  options.quick = true;
+  options.threads = 1;
+  const ScenarioReport report =
+      run_scenarios({"trivial-test-scenario"}, options).front();
+  ASSERT_EQ(report.points.size(), 1u);
+  EXPECT_EQ(report.points[0].manifest.scenario, "trivial-test-scenario");
+  EXPECT_EQ(report.violations(), 1);
+}
+
+TEST(ScenarioSeeds, StableArmIndependentAndNameKeyed) {
+  const std::uint64_t a = scenario_seed(1, "incast");
+  EXPECT_EQ(a, scenario_seed(1, "incast"));  // pure function of (base, name)
+  EXPECT_NE(a, scenario_seed(1, "churn"));   // decorrelated across scenarios
+  EXPECT_NE(a, scenario_seed(2, "incast"));  // and across base seeds
+  // Case-insensitive like the registry: the stream follows the scenario,
+  // not the spelling the user typed.
+  EXPECT_EQ(a, scenario_seed(1, "INCAST"));
+  // Traffic streams are domain-separated from simulation streams.
+  EXPECT_NE(scenario_traffic_seed(1, "incast"), a);
+}
+
+TEST(BuiltinScenarios, PlansAreWellFormed) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  for (const std::string& name :
+       {std::string("incast"), std::string("multi-tenant"),
+        std::string("mice-elephants"), std::string("churn")}) {
+    const auto scenario = make_scenario(name);
+    for (const bool quick : {true, false}) {
+      const std::vector<ScenarioRun> runs = scenario->plan(fabric, quick);
+      ASSERT_FALSE(runs.empty()) << name;
+      std::set<std::string> arms;
+      for (const ScenarioRun& run : runs) {
+        EXPECT_TRUE(arms.insert(run.arm).second)
+            << name << ": duplicate arm " << run.arm;
+        EXPECT_TRUE(SchemeRegistry::instance().contains(run.scheme)) << name;
+        EXPECT_NO_THROW(run.sim.validate()) << name << "/" << run.arm;
+        if (run.closed_loop) {
+          EXPECT_FALSE(run.workload.empty()) << name << "/" << run.arm;
+        } else {
+          EXPECT_NO_THROW(run.faults.validate()) << name << "/" << run.arm;
+        }
+      }
+    }
+  }
+  // The specific shapes the suite depends on.
+  const auto mice = make_scenario("mice-elephants")->plan(fabric, true);
+  EXPECT_TRUE(std::all_of(mice.begin(), mice.end(),
+                          [](const ScenarioRun& r) { return r.closed_loop; }));
+  const auto churn = make_scenario("churn")->plan(fabric, true);
+  ASSERT_EQ(churn.size(), 1u);
+  EXPECT_FALSE(churn[0].faults.empty());
+}
+
+TEST(ScenarioSweep, MultiTenantRoundTripPassesItsContracts) {
+  ScenarioSweepOptions options;
+  options.quick = true;
+  options.threads = 1;
+  const ScenarioReport report =
+      run_scenarios({"multi-tenant"}, options).front();
+  EXPECT_EQ(report.name, "multi-tenant");
+  ASSERT_EQ(report.points.size(), 2u);
+  // Arm-independent streams: both arms carry identical seeds in their
+  // manifests, so they compare configuration deltas only.
+  EXPECT_EQ(report.points[0].manifest.sim_seed,
+            report.points[1].manifest.sim_seed);
+  EXPECT_EQ(report.points[0].manifest.traffic_seed,
+            report.points[1].manifest.traffic_seed);
+  for (const ScenarioPoint& p : report.points) {
+    EXPECT_EQ(p.manifest.scenario, "multi-tenant");
+    EXPECT_EQ(p.sim.tenants.size(), 4u);
+  }
+  ASSERT_FALSE(report.checks.empty());
+  EXPECT_EQ(report.violations(), 0) << render_contract_table(report);
+}
+
+TEST(ScenarioSweep, ShardedArmsAreByteIdenticalToSequential) {
+  ScenarioSweepOptions seq;
+  seq.quick = true;
+  seq.threads = 1;
+  ScenarioSweepOptions sharded = seq;
+  sharded.shards = 2;
+  const ScenarioReport a = run_scenarios({"multi-tenant"}, seq).front();
+  const ScenarioReport b = run_scenarios({"multi-tenant"}, sharded).front();
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(to_json(a.points[i].sim), to_json(b.points[i].sim))
+        << a.points[i].arm;
+  }
+}
+
+}  // namespace
+}  // namespace mlid

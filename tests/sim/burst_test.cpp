@@ -85,6 +85,69 @@ TEST(Workload, CsvTraceRejectsGarbage) {
   }
 }
 
+TEST(Workload, MiceElephantsShapeAndSkew) {
+  MiceElephantsConfig mix;  // defaults: 8 flows/node, 10% elephants
+  const auto flows = mice_elephants(64, mix, 7);
+  EXPECT_EQ(flows.size(), 64u * 8u);
+  std::uint64_t elephants = 0, mouse_bytes = 0, elephant_bytes = 0;
+  for (const auto& m : flows) {
+    EXPECT_LT(m.src, 64u);
+    EXPECT_LT(m.dst, 64u);
+    EXPECT_NE(m.src, m.dst);
+    ASSERT_TRUE(m.bytes == mix.mouse_bytes || m.bytes == mix.elephant_bytes)
+        << m.bytes;
+    if (m.bytes == mix.elephant_bytes) {
+      ++elephants;
+      elephant_bytes += m.bytes;
+    } else {
+      mouse_bytes += m.bytes;
+    }
+  }
+  // ~10% of the flows, but the clear majority of the bytes: the skew the
+  // mice-elephants scenario is named for.
+  EXPECT_NEAR(static_cast<double>(elephants) / static_cast<double>(flows.size()),
+              mix.elephant_fraction, 0.05);
+  EXPECT_GT(elephant_bytes, 4 * mouse_bytes);
+}
+
+TEST(Workload, MiceElephantsIsDeterministicAndSeedKeyed) {
+  const MiceElephantsConfig mix;
+  const auto a = mice_elephants(32, mix, 123);
+  const auto b = mice_elephants(32, mix, 123);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+    EXPECT_EQ(a[i].bytes, b[i].bytes);
+  }
+  const auto c = mice_elephants(32, mix, 124);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    differs |= a[i].dst != c[i].dst || a[i].bytes != c[i].bytes;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Burst, MiceElephantsDrainsAndConserves) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Subnet subnet(fabric, "MLID");
+  MiceElephantsConfig mix;
+  mix.flows_per_node = 2;
+  mix.mouse_bytes = 256;
+  mix.elephant_bytes = 4'096;
+  const auto workload = mice_elephants(8, mix, 9);
+  std::uint64_t expected_bytes = 0;
+  for (const auto& m : workload) expected_bytes += m.bytes;
+  SimConfig cfg;
+  cfg.seed = 41;
+  const BurstResult r =
+      Simulation::burst(subnet, cfg, workload).run_to_completion();
+  EXPECT_EQ(r.messages, workload.size());
+  EXPECT_EQ(r.total_bytes, expected_bytes);
+  EXPECT_GT(r.makespan_ns, 0);
+  EXPECT_EQ(r.events_processed, r.events_scheduled);
+}
+
 TEST(Burst, SingleMessageMatchesTheClosedFormLatency) {
   // One 256-byte message across the full 4-port 2-tree: 3 switches,
   // 3*100 + 4*20 + 256 = 636 ns.

@@ -4,6 +4,11 @@
 // trip an engine assertion halfway through a run.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <map>
+#include <utility>
+#include <vector>
+
 #include "common/expect.hpp"
 #include "sim/engine.hpp"
 
@@ -99,6 +104,90 @@ TEST(FaultSchedule, RejectsRecoveryAtTheFailureInstant) {
   s.fail_link(1'000, fabric.fabric(), l.dev_a, l.port_a);
   s.recover_link(1'000, l.dev_a, l.port_a, l.dev_b, l.port_b);
   EXPECT_THROW(s.validate(), ContractViolation);
+}
+
+TEST(FaultSchedule, RejectsRefailureAtTheRecoveryInstant) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  const Link l = first_uplink(fabric);
+  // Regression: validate() used to accept or reject this depending on
+  // which same-timestamp event was inserted first (sort ties keep
+  // insertion order).  Both orders must reject now.
+  {
+    FaultSchedule s;  // recover inserted first
+    s.fail_link(1'000, fabric.fabric(), l.dev_a, l.port_a);
+    s.recover_link(2'000, l.dev_a, l.port_a, l.dev_b, l.port_b);
+    s.fail_link(2'000, fabric.fabric(), l.dev_a, l.port_a);
+    EXPECT_THROW(s.validate(), ContractViolation);
+  }
+  {
+    FaultSchedule s;  // re-fail inserted first
+    s.fail_link(1'000, fabric.fabric(), l.dev_a, l.port_a);
+    s.fail_link(2'000, fabric.fabric(), l.dev_a, l.port_a);
+    s.recover_link(2'000, l.dev_a, l.port_a, l.dev_b, l.port_b);
+    EXPECT_THROW(s.validate(), ContractViolation);
+  }
+  {
+    FaultSchedule s;  // strictly later re-fail stays legal
+    s.fail_link(1'000, fabric.fabric(), l.dev_a, l.port_a);
+    s.recover_link(2'000, l.dev_a, l.port_a, l.dev_b, l.port_b);
+    s.fail_link(2'001, fabric.fabric(), l.dev_a, l.port_a);
+    EXPECT_NO_THROW(s.validate());
+  }
+}
+
+TEST(FaultSchedule, PeriodicUplinkChurnValidatesAndRespectsBounds) {
+  const FatTreeFabric fabric{FatTreeParams(4, 3)};
+  const SimTime start = 10'000, period = 20'000, downtime = 6'000;
+  const SimTime until = 100'000;
+  const FaultSchedule s = FaultSchedule::periodic_uplink_churn(
+      fabric, /*links=*/2, start, period, downtime, until, /*seed=*/0xC0FFEE);
+  EXPECT_NO_THROW(s.validate());
+  ASSERT_FALSE(s.empty());
+
+  std::size_t fails = 0, recovers = 0;
+  for (const FaultEvent& e : s.events()) {
+    EXPECT_GE(e.at, start);
+    EXPECT_LT(e.at, until);
+    e.fail ? ++fails : ++recovers;
+  }
+  // Every window that starts also closes: no link is left dangling down.
+  EXPECT_EQ(fails, recovers);
+
+  // Per link the cadence is exact: recover = fail + downtime, next fail =
+  // previous fail + period.  Events are time-sorted, so walk per endpoint.
+  std::map<std::pair<DeviceId, PortId>, SimTime> last_fail;
+  for (const FaultEvent& e : s.events()) {
+    const auto key = std::make_pair(e.dev_a, e.port_a);
+    if (e.fail) {
+      const auto it = last_fail.find(key);
+      if (it != last_fail.end()) {
+        EXPECT_EQ(e.at, it->second + period);
+      }
+      last_fail[key] = e.at;
+    } else {
+      ASSERT_TRUE(last_fail.count(key));
+      EXPECT_EQ(e.at, last_fail[key] + downtime);
+    }
+  }
+  // Two distinct links flap, staggered by period / links.
+  EXPECT_EQ(last_fail.size(), 2u);
+  std::vector<SimTime> firsts;
+  for (const FaultEvent& e : s.events()) {
+    if (e.fail && e.at < start + period) firsts.push_back(e.at);
+  }
+  ASSERT_EQ(firsts.size(), 2u);
+  EXPECT_EQ(std::abs(firsts[1] - firsts[0]), period / 2);
+}
+
+TEST(FaultSchedule, PeriodicUplinkChurnRejectsBadCadence) {
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  // downtime must be positive and strictly shorter than the period.
+  EXPECT_THROW(FaultSchedule::periodic_uplink_churn(fabric, 1, 1'000, 5'000,
+                                                    5'000, 50'000, 1),
+               ContractViolation);
+  EXPECT_THROW(FaultSchedule::periodic_uplink_churn(fabric, 1, 1'000, 5'000,
+                                                    0, 50'000, 1),
+               ContractViolation);
 }
 
 TEST(FaultSchedule, AttachingALiveSmValidatesTheSchedule) {

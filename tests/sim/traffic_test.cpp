@@ -101,6 +101,81 @@ TEST(Traffic, RejectsBadConfigs) {
                ContractViolation);
 }
 
+TEST(Traffic, TenantHelpersPartitionEveryNodeExactlyOnce) {
+  // 4-way partition of 10 nodes: contiguous near-equal blocks, block
+  // bounds from tenant_block_begin invert tenant_of_node.
+  constexpr int kTenants = 4;
+  constexpr std::uint32_t kNodes = 10;
+  for (NodeId i = 0; i < kNodes; ++i) {
+    const int t = tenant_of_node(i, kTenants, kNodes);
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, kTenants);
+    EXPECT_GE(i, tenant_block_begin(t, kTenants, kNodes));
+    EXPECT_LT(i, tenant_block_begin(t + 1, kTenants, kNodes));
+  }
+  EXPECT_EQ(tenant_block_begin(0, kTenants, kNodes), 0u);
+  EXPECT_EQ(tenant_block_begin(kTenants, kTenants, kNodes), kNodes);
+}
+
+TEST(Traffic, TenantDrawsStayInsideTheSourceBlock) {
+  TrafficConfig cfg{TrafficKind::kUniform, 0.2, 0, 17};
+  cfg.tenants = 4;
+  TrafficPattern pattern(cfg, 16);
+  for (NodeId src = 0; src < 16; ++src) {
+    const int t = tenant_of_node(src, 4, 16);
+    std::set<NodeId> seen;
+    for (int i = 0; i < 400; ++i) {
+      const NodeId dst = pattern.pick_destination(src);
+      EXPECT_NE(dst, src);
+      EXPECT_EQ(tenant_of_node(dst, 4, 16), t) << "src " << src;
+      seen.insert(dst);
+    }
+    // The block's three other nodes are all reachable.
+    EXPECT_EQ(seen.size(), 3u) << "src " << src;
+  }
+}
+
+TEST(Traffic, TenantCentricHammersPerTenantHotNodes) {
+  TrafficConfig cfg{TrafficKind::kCentric, 0.50, 1, 19};
+  cfg.tenants = 2;
+  TrafficPattern pattern(cfg, 8);
+  // Tenant 0 = nodes [0,4), hot = 0 + (1 % 4) = 1; tenant 1 = [4,8),
+  // hot = 4 + 1 = 5.  Hot hits dominate; cross-tenant hits never happen.
+  int hot_hits = 0;
+  constexpr int kDraws = 4000;
+  for (int i = 0; i < kDraws; ++i) {
+    const NodeId dst = pattern.pick_destination(6);
+    EXPECT_GE(dst, 4u);
+    hot_hits += dst == 5;
+  }
+  const double expected = 0.50 + 0.50 / 3.0;
+  EXPECT_NEAR(static_cast<double>(hot_hits) / kDraws, expected, 0.05);
+}
+
+TEST(Traffic, TenantZeroStreamsAreByteIdenticalToPreTenantStreams) {
+  // tenants = 0 must keep the historical draw sequence exactly: the
+  // scenario=none parity guarantee at the pattern level.
+  TrafficConfig legacy{TrafficKind::kUniform, 0.2, 0, 77};
+  TrafficConfig modern = legacy;
+  modern.tenants = 0;
+  TrafficPattern a(legacy, 16), b(modern, 16);
+  for (int i = 0; i < 500; ++i) {
+    const NodeId src = static_cast<NodeId>(i % 16);
+    EXPECT_EQ(a.pick_destination(src), b.pick_destination(src));
+  }
+}
+
+TEST(Traffic, RejectsBadTenantConfigs) {
+  TrafficConfig cfg{TrafficKind::kUniform, 0.2, 0, 1};
+  cfg.tenants = -1;
+  EXPECT_THROW(TrafficPattern(cfg, 8), ContractViolation);
+  cfg.tenants = 5;  // 8 nodes / 5 tenants < 2 nodes per block
+  EXPECT_THROW(TrafficPattern(cfg, 8), ContractViolation);
+  cfg.tenants = 2;  // permutation has no tenant semantics
+  cfg.kind = TrafficKind::kPermutation;
+  EXPECT_THROW(TrafficPattern(cfg, 8), ContractViolation);
+}
+
 TEST(Traffic, ToStringNames) {
   EXPECT_EQ(to_string(TrafficKind::kUniform), "uniform");
   EXPECT_EQ(to_string(TrafficKind::kCentric), "centric");
