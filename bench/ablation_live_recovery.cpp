@@ -178,6 +178,7 @@ int main(int argc, char** argv) {
         cfg1.trace_stride = opts.trace_stride().value_or(64);
         cfg1.trace_control = true;
         cfg1.flight_recorder_depth = opts.flight_recorder().value_or(32);
+        cfg1.profile = true;  // profiler track rides along (pid 5)
       }
       FatTreeFabric fabric{params};
       const auto subnet = make_subnet(fabric, spec);
@@ -191,6 +192,7 @@ int main(int argc, char** argv) {
         data.control = &sim.control_trace();
         data.timeline = &sim.timeline();
         data.flight = &sim.flight_dump();
+        data.profile = &r.profile;
         write_chrome_trace(opts.chrome_trace(), fabric.fabric(), data);
         std::printf("(wrote chrome trace %s: k=%d %s)\n\n",
                     opts.chrome_trace().c_str(), k, spec.name);

@@ -71,8 +71,14 @@ int main(int argc, char** argv) {
     const double wall = wall_of([&] { points = run_sweep(spec, sweep); });
     std::uint64_t events = 0;
     for (const auto& p : points) events += p.result.events_processed;
+    // Profile-scrubbed identity, so the check survives a --profile run
+    // (host wall times in the profile block are not deterministic).
     std::string json;
-    for (const auto& p : points) json += to_json(p.result);
+    for (const auto& p : points) {
+      SimResult scrubbed = p.result;
+      scrubbed.profile = ProfileSummary{};
+      json += to_json(scrubbed);
+    }
     if (threads == 1) {
       baseline = json;
       FigureSpec titled = spec;
@@ -101,6 +107,11 @@ int main(int argc, char** argv) {
   SimConfig cfg;
   cfg.seed = opts.seed();
   cfg.event_order = EventOrder::kCanonical;
+  // Self-profiling on: the shard tables below decompose the wall time into
+  // processing vs barrier wait.  The profiler is passive, so the identity
+  // checks still hold -- they compare profile-scrubbed JSON (the profile
+  // block holds host wall times, nondeterministic by nature).
+  cfg.profile = true;
   if (opts.quick()) {
     cfg.warmup_ns = 5'000;
     cfg.measure_ns = 20'000;
@@ -112,7 +123,7 @@ int main(int argc, char** argv) {
                               opts.seed() ^ 0x5EEDu};
 
   TextTable shard_table({"shards", "threads used", "wall s", "Mevents/s",
-                         "identical to 1-shard"});
+                         "barrier frac", "imbalance", "identical to 1-shard"});
   std::string shard_baseline;
   for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
     SimResult result;
@@ -130,14 +141,21 @@ int main(int argc, char** argv) {
     manifest.threads = sim.threads_used();
     manifest.shards = shards;
     manifest.queue = sim.queue_stats();
+    manifest.profile = result.profile;
     report.add("sharded @" + std::to_string(shards), result, manifest);
-    const std::string json = to_json(result);
+    // Identity compares profile-scrubbed JSON: host wall times differ
+    // run-to-run, everything the simulation computed must not.
+    SimResult scrubbed = result;
+    scrubbed.profile = ProfileSummary{};
+    const std::string json = to_json(scrubbed);
     if (shards == 1) shard_baseline = json;
     const bool identical = json == shard_baseline;
     shard_table.add_row(
         {std::to_string(shards), std::to_string(sim.threads_used()),
          TextTable::num(wall, 3),
          TextTable::num(manifest.events_per_sec / 1e6, 2),
+         TextTable::num(result.profile.barrier_wait_fraction(), 3),
+         TextTable::num(result.profile.mean_imbalance, 2),
          identical ? "yes" : "NO"});
     if (!identical) {
       std::fprintf(stderr, "FATAL: sharded result diverged at %u shards\n",
@@ -162,6 +180,7 @@ int main(int argc, char** argv) {
   SimConfig big_cfg;
   big_cfg.seed = opts.seed();
   big_cfg.event_order = EventOrder::kCanonical;
+  big_cfg.profile = true;
   if (opts.quick()) {
     big_cfg.warmup_ns = 500;
     big_cfg.measure_ns = 2'000;
@@ -173,7 +192,7 @@ int main(int argc, char** argv) {
                                   opts.seed() ^ 0xB16Fu};
 
   TextTable big_table({"shards", "threads used", "wall s", "Mevents/s",
-                       "identical to 1-shard"});
+                       "barrier frac", "imbalance", "identical to 1-shard"});
   std::string big_baseline;
   for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
     SimResult result;
@@ -192,14 +211,19 @@ int main(int argc, char** argv) {
     manifest.threads = sim.threads_used();
     manifest.shards = shards;
     manifest.queue = sim.queue_stats();
+    manifest.profile = result.profile;
     report.add("big-fabric @" + std::to_string(shards), result, manifest);
-    const std::string json = to_json(result);
+    SimResult scrubbed = result;
+    scrubbed.profile = ProfileSummary{};
+    const std::string json = to_json(scrubbed);
     if (shards == 1) big_baseline = json;
     const bool identical = json == big_baseline;
     big_table.add_row(
         {std::to_string(shards), std::to_string(sim.threads_used()),
          TextTable::num(wall, 3),
          TextTable::num(manifest.events_per_sec / 1e6, 2),
+         TextTable::num(result.profile.barrier_wait_fraction(), 3),
+         TextTable::num(result.profile.mean_imbalance, 2),
          identical ? "yes" : "NO"});
     if (!identical) {
       std::fprintf(stderr,

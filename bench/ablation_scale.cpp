@@ -17,6 +17,7 @@
 #include "harness/cli.hpp"
 #include "harness/report.hpp"
 #include "harness/sweep.hpp"
+#include "obs/stream.hpp"
 #include "routing/fat_tree_routing.hpp"
 #include "sim/engine.hpp"
 #include "subnet/subnet.hpp"
@@ -47,6 +48,9 @@ int main(int argc, char** argv) {
 
   SimConfig cfg;
   cfg.seed = opts.seed();
+  // Always profile: the scale manifests carry the phase breakdown (and CI's
+  // profile-smoke step reads it).  Passive -- results are unchanged.
+  cfg.profile = true;
   if (opts.quick()) {
     cfg.warmup_ns = 500;
     cfg.measure_ns = 2'000;
@@ -54,6 +58,10 @@ int main(int argc, char** argv) {
     cfg.warmup_ns = 2'000;
     cfg.measure_ns = 10'000;
   }
+
+  // Optional live metrics stream (--metrics-out): window lines from each
+  // layout's run plus its run summary, in run order.
+  const std::unique_ptr<MetricsStreamer> metrics = opts.make_metrics_streamer();
 
   struct Layout {
     const char* series;
@@ -71,9 +79,11 @@ int main(int argc, char** argv) {
   for (Layout& layout : layouts) {
     const Subnet& subnet = *layout.subnet;
     const auto start = std::chrono::steady_clock::now();
+    OpenLoopOptions run_options;
+    run_options.metrics = metrics.get();
     Simulation sim = Simulation::open_loop(
         subnet, cfg, {TrafficKind::kUniform, 0.2, 0, opts.seed() ^ 0x5CA1Eu},
-        0.3);
+        0.3, run_options);
     const SimResult r = sim.run();
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -95,6 +105,7 @@ int main(int argc, char** argv) {
         wall > 0.0 ? static_cast<double>(r.events_processed) / wall : 0.0;
     manifest.bytes_per_endport = per_port;
     manifest.queue = sim.queue_stats();
+    manifest.profile = r.profile;
     report.add(layout.series, r, manifest);
 
     constexpr double kMiB = 1024.0 * 1024.0;

@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
   options.shards = opts.shards();
   options.quick = opts.quick();
   options.base_seed = opts.seed();
+  options.profile = opts.profile();
+  options.progress = opts.progress();
 
   std::vector<std::string> selected;
   if (opts.scenario()) selected.push_back(*opts.scenario());

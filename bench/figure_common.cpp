@@ -3,9 +3,11 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 
 #include "harness/cli.hpp"
 #include "harness/report.hpp"
+#include "obs/stream.hpp"
 
 namespace mlid::bench {
 
@@ -24,8 +26,12 @@ int run_figure_main(int argc, char** argv, FigureSpec spec) {
   const CliOptions opts(argc, argv);
   opts.apply(spec);
   BenchReport report(bench_name_from_path(argv[0]), opts);
+  // --metrics-out: one JSONL "point" line per completed grid point, live.
+  const std::unique_ptr<MetricsStreamer> metrics = opts.make_metrics_streamer();
+  SweepOptions sweep = opts.sweep_options();
+  sweep.metrics = metrics.get();
   const auto start = std::chrono::steady_clock::now();
-  const auto points = run_sweep(spec, opts.sweep_options());
+  const auto points = run_sweep(spec, sweep);
   const auto elapsed = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - start)
                            .count();

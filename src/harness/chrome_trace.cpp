@@ -13,6 +13,7 @@ constexpr std::uint64_t kPidDevices = 1;
 constexpr std::uint64_t kPidControl = 2;
 constexpr std::uint64_t kPidCounters = 3;
 constexpr std::uint64_t kPidFlight = 4;
+constexpr std::uint64_t kPidProfiler = 5;
 
 // The trace-event format's ts unit is microseconds; simulation time is
 // nanoseconds.  Fractional microseconds keep the sub-microsecond spacing.
@@ -185,6 +186,52 @@ void emit_flight_track(JsonWriter& json, const FlightRecorderDump& flight) {
   }
 }
 
+// The profiler has no per-window record (that would be a per-event cost the
+// passive contract forbids), so each shard's track shows its two aggregate
+// phases as spans laid end-to-end: [0, processing) then [processing,
+// processing + barrier_wait).  The relative widths are the point of the
+// visualization -- a shard whose barrier span dominates is the one waiting
+// on its neighbours.  Host nanoseconds, t = 0 at run start.
+void emit_profiler_track(JsonWriter& json, const ProfileSummary& p) {
+  metadata(json, "process_name", kPidProfiler, 0, "engine profiler (host)");
+  for (std::size_t i = 0; i < p.shard_phases.size(); ++i) {
+    const std::uint64_t tid = static_cast<std::uint64_t>(i);
+    metadata(json, "thread_name", kPidProfiler, tid,
+             "shard " + std::to_string(i));
+    const ShardPhaseProfile& s = p.shard_phases[i];
+    event_header(json, "processing", "X", kPidProfiler, tid, 0.0);
+    json.key("dur").value(us(static_cast<SimTime>(s.processing_ns)));
+    json.key("args").begin_object();
+    json.key("events_processed").value(s.events_processed);
+    json.key("handoffs_out").value(s.handoffs_out);
+    json.end_object();
+    json.end_object();
+    if (s.barrier_wait_ns > 0) {
+      event_header(json, "barrier-wait", "X", kPidProfiler, tid,
+                   us(static_cast<SimTime>(s.processing_ns)));
+      json.key("dur").value(us(static_cast<SimTime>(s.barrier_wait_ns)));
+      json.end_object();
+    }
+  }
+  const std::uint64_t driver_tid =
+      static_cast<std::uint64_t>(p.shard_phases.size());
+  metadata(json, "thread_name", kPidProfiler, driver_tid, "driver");
+  event_header(json, "mailbox-drain", "X", kPidProfiler, driver_tid, 0.0);
+  json.key("dur").value(us(static_cast<SimTime>(p.mailbox_ns)));
+  json.key("args").begin_object();
+  json.key("windows").value(p.windows);
+  json.key("handoff_messages").value(p.handoff_messages);
+  json.end_object();
+  json.end_object();
+  event_header(json, "control-steps", "X", kPidProfiler, driver_tid,
+               us(static_cast<SimTime>(p.mailbox_ns)));
+  json.key("dur").value(us(static_cast<SimTime>(p.control_ns)));
+  json.key("args").begin_object();
+  json.key("control_steps").value(p.control_steps);
+  json.end_object();
+  json.end_object();
+}
+
 }  // namespace
 
 std::string chrome_trace_json(const Fabric& fabric,
@@ -204,6 +251,9 @@ std::string chrome_trace_json(const Fabric& fabric,
   }
   if (data.flight != nullptr && data.flight->valid()) {
     emit_flight_track(json, *data.flight);
+  }
+  if (data.profile != nullptr && data.profile->enabled) {
+    emit_profiler_track(json, *data.profile);
   }
   json.end_array();
   json.end_object();

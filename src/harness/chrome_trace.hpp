@@ -10,12 +10,20 @@
 //                           control; one instant per ControlTraceRecord
 //   pid 3  counters         "C" events fed from the Timeline samples
 //   pid 4  flight recorder  the frozen ring as instants, when one froze
+//   pid 5  engine profiler  one thread per shard: aggregate processing /
+//                           barrier-wait spans laid end-to-end (host
+//                           nanoseconds, not simulation time), plus a
+//                           driver thread with the mailbox/control totals
 // Timestamps are the simulation's nanoseconds divided by 1000 (the format's
 // ts unit is microseconds), so sub-microsecond spacing survives as decimals.
+// The profiler track is the exception: its spans are host wall time, with
+// t = 0 at run start, so it shows where the host spent the run rather than
+// where the simulation did.
 #pragma once
 
 #include <string>
 
+#include "obs/profile.hpp"
 #include "sim/timeline.hpp"
 #include "sim/trace.hpp"
 #include "topology/fabric.hpp"
@@ -30,6 +38,8 @@ struct ChromeTraceData {
   const std::vector<ControlTraceRecord>* control = nullptr;
   const Timeline* timeline = nullptr;
   const FlightRecorderDump* flight = nullptr;
+  /// Engine self-profile (skipped unless profile->enabled).
+  const ProfileSummary* profile = nullptr;
 };
 
 /// The complete trace file content ({"displayTimeUnit": ..., "traceEvents":

@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "harness/sweep.hpp"
+#include "obs/stream.hpp"
 #include "routing/adaptive.hpp"
 #include "routing/registry.hpp"
 #include "scenario/scenario.hpp"
@@ -50,6 +51,14 @@ constexpr std::string_view kUsage =
     "  --trace-packets=N  record up to N per-packet event timelines\n"
     "  --trace-stride=K   trace every K-th generated packet\n"
     "  --flight-recorder=K     keep the last K engine events per device\n"
+    "                     (works under --shards: per-shard rings, dump\n"
+    "                     tagged with the owning shard)\n"
+    "  --profile          engine self-profiling (phase breakdown in results\n"
+    "                     and manifests; passive, results unchanged)\n"
+    "  --progress         stderr heartbeat per completed sweep point\n"
+    "  --metrics-out=FILE stream run metrics as JSONL to FILE\n"
+    "  --metrics-interval-ns=T  metrics window cadence (default 10000,\n"
+    "                     must be >= 1)\n"
     "The fault, CC and tracing value flags also accept the two-token form\n"
     "(`--fail-links 4`, `--cc-threshold 3`).\n";
 
@@ -199,6 +208,19 @@ CliOptions::CliOptions(int argc, char** argv) {
       trace_stride_ = parse_int<std::uint32_t>("--trace-stride", value);
     } else if (flag_value(argc, argv, i, "--flight-recorder", value)) {
       flight_recorder_ = parse_int<std::uint32_t>("--flight-recorder", value);
+    } else if (arg == "--profile") {
+      profile_ = true;
+    } else if (arg == "--progress") {
+      progress_ = true;
+    } else if (flag_value(argc, argv, i, "--metrics-out", value)) {
+      if (value.empty()) usage_error("--metrics-out needs a file path");
+      metrics_out_ = std::string(value);
+    } else if (flag_value(argc, argv, i, "--metrics-interval-ns", value)) {
+      metrics_interval_ns_ =
+          parse_int<std::int64_t>("--metrics-interval-ns", value);
+      if (metrics_interval_ns_ < 1) {
+        usage_error("--metrics-interval-ns must be >= 1");
+      }
     } else if (flag_value(argc, argv, i, "--fail-links", value)) {
       fail_links_ = parse_int<int>("--fail-links", value);
     } else if (flag_value(argc, argv, i, "--fail-at-ns", value)) {
@@ -213,11 +235,14 @@ CliOptions::CliOptions(int argc, char** argv) {
     }
   }
   if (shards_ > 1) {
-    // Per-event observability is sequential-only: the sharded engine keeps
-    // no per-event trace (events dispatch concurrently across shard queues),
-    // so these flags would silently produce empty output.  Fail loudly
-    // instead.  The interval sampler (--sample-interval-ns) is fine: the
-    // sharded driver owns the timeline and reproduces the sequential one.
+    // Per-event observability that needs a single global event order stays
+    // sequential-only: the sharded engine dispatches events concurrently
+    // across shard queues, so these flags would silently produce empty or
+    // interleaved output.  Fail loudly instead.  The interval sampler
+    // (--sample-interval-ns) is fine: the sharded driver owns the timeline
+    // and reproduces the sequential one.  --flight-recorder is fine too:
+    // every device is owned by exactly one shard, so the per-device rings
+    // record the same events; the dump is tagged with the owning shard.
     if (!chrome_trace_.empty()) {
       usage_error(
           "--chrome-trace is sequential-only; drop --shards (or set "
@@ -227,11 +252,6 @@ CliOptions::CliOptions(int argc, char** argv) {
       usage_error(
           "--trace-packets is sequential-only; drop --shards (or set "
           "--shards=1) to record packet timelines");
-    }
-    if (flight_recorder_ > 0) {
-      usage_error(
-          "--flight-recorder is sequential-only; drop --shards (or set "
-          "--shards=1) to keep per-device event rings");
     }
   }
 }
@@ -245,7 +265,19 @@ SweepOptions CliOptions::sweep_options() const {
   options.event_queue = event_queue_;
   options.cc = cc();
   options.sample_interval_ns = sample_interval_ns_;
+  options.profile = profile_;
+  options.progress = progress_;
   return options;
+}
+
+std::unique_ptr<MetricsStreamer> CliOptions::make_metrics_streamer() const {
+  if (metrics_out_.empty()) return nullptr;
+  try {
+    return std::make_unique<MetricsStreamer>(metrics_out_,
+                                             metrics_interval_ns_);
+  } catch (const std::exception& e) {
+    usage_error(std::string("--metrics-out: ") + e.what());
+  }
 }
 
 FaultSchedule CliOptions::fault_schedule(const FatTreeFabric& fabric) const {

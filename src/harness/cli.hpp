@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -13,6 +14,7 @@
 namespace mlid {
 
 struct SweepOptions;
+class MetricsStreamer;
 
 /// Parses the tiny flag language the harness binaries accept:
 ///   --help             print usage and exit 0
@@ -47,6 +49,15 @@ struct SweepOptions;
 ///   --trace-packets=N  record up to N per-packet event timelines
 ///   --trace-stride=K   trace every K-th generated packet
 ///   --flight-recorder=K     keep the last K engine events per device
+///                      (works under --shards too: per-shard rings, dump
+///                      tagged with the owning shard)
+///   --profile          engine self-profiling (ProfileSummary in results /
+///                      manifests; passive -- results are byte-identical)
+///   --progress         stderr heartbeat: one line per completed sweep
+///                      point (done/total, elapsed, ETA); never on stdout
+///   --metrics-out=FILE stream run metrics as JSONL to FILE (obs/stream.hpp)
+///   --metrics-interval-ns=T  metrics window cadence (default 10000; must
+///                      be >= 1 -- 0 or negative exits 2)
 /// The fault, CC and tracing value flags also accept the two-token form
 /// (`--fail-links 4`, `--cc-threshold 3`).
 ///
@@ -118,6 +129,22 @@ class CliOptions {
   [[nodiscard]] std::optional<std::uint32_t> flight_recorder() const noexcept {
     return flight_recorder_;
   }
+  [[nodiscard]] bool profile() const noexcept { return profile_; }
+  [[nodiscard]] bool progress() const noexcept { return progress_; }
+  /// Output path from --metrics-out (empty = no metrics stream).
+  [[nodiscard]] const std::string& metrics_out() const noexcept {
+    return metrics_out_;
+  }
+  [[nodiscard]] std::int64_t metrics_interval_ns() const noexcept {
+    return metrics_interval_ns_;
+  }
+  /// The JSONL metrics streamer --metrics-out / --metrics-interval-ns
+  /// describe, or nullptr without --metrics-out.  Wire the returned object
+  /// into SweepOptions::metrics (sweeps) or OpenLoopOptions::metrics
+  /// (single runs); it flushes per line, so it is live from the first
+  /// window.  An unwritable path is a usage error (exit 2), matching the
+  /// parse-time strictness of the other file flags.
+  [[nodiscard]] std::unique_ptr<MetricsStreamer> make_metrics_streamer() const;
   [[nodiscard]] int fail_links() const noexcept { return fail_links_; }
   [[nodiscard]] std::int64_t fail_at_ns() const noexcept { return fail_at_ns_; }
   [[nodiscard]] std::int64_t recover_at_ns() const noexcept {
@@ -156,6 +183,7 @@ class CliOptions {
     if (trace_packets_) spec.sim.trace_packets = *trace_packets_;
     if (trace_stride_) spec.sim.trace_stride = *trace_stride_;
     if (flight_recorder_) spec.sim.flight_recorder_depth = *flight_recorder_;
+    if (profile_) spec.sim.profile = true;
     // The chrome-trace exporter needs the control-plane record to draw its
     // fault / SM / CC tracks; asking for the file turns the recording on.
     if (!chrome_trace_.empty()) spec.sim.trace_control = true;
@@ -188,6 +216,10 @@ class CliOptions {
   std::optional<std::uint32_t> trace_packets_;
   std::optional<std::uint32_t> trace_stride_;
   std::optional<std::uint32_t> flight_recorder_;
+  bool profile_ = false;
+  bool progress_ = false;
+  std::string metrics_out_;
+  std::int64_t metrics_interval_ns_ = 10'000;
   int fail_links_ = 0;
   std::int64_t fail_at_ns_ = 20'000;
   std::int64_t recover_at_ns_ = -1;

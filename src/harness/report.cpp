@@ -239,6 +239,8 @@ void emit_timeline(JsonWriter& json, const Timeline& t) {
   json.end_object();
 }
 
+void emit_profile_summary(JsonWriter& json, const ProfileSummary& p);
+
 void emit_sim_result_fields(JsonWriter& json, const SimResult& r) {
   json.key("offered_load").value(r.offered_load);
   json.key("accepted_bytes_per_ns_per_node")
@@ -310,6 +312,54 @@ void emit_sim_result_fields(JsonWriter& json, const SimResult& r) {
     json.key("timeline");
     emit_timeline(json, r.timeline);
   }
+  // v8: engine self-profile, presence-flagged like the other optional
+  // blocks.  Wall times are host measurements, so byte-comparisons of this
+  // JSON must scrub the block first (see sim/metrics.hpp).
+  json.key("profile_enabled").value(r.profile.enabled);
+  if (r.profile.enabled) {
+    json.key("profile");
+    emit_profile_summary(json, r.profile);
+  }
+}
+
+// v8: engine self-profile block (obs/profile.hpp).  Emitted with a
+// presence flag in sim results and unconditionally in point manifests, so
+// BENCH consumers can rely on every manifest having the same shape; an
+// unprofiled run carries enabled == false and all-zero phase totals.
+void emit_profile_summary(JsonWriter& json, const ProfileSummary& p) {
+  json.begin_object();
+  json.key("enabled").value(p.enabled);
+  json.key("shards").value(static_cast<std::uint64_t>(p.shards));
+  json.key("threads").value(static_cast<std::uint64_t>(p.threads));
+  json.key("windows").value(p.windows);
+  json.key("control_steps").value(p.control_steps);
+  json.key("handoff_messages").value(p.handoff_messages);
+  json.key("window_ns_min").value(static_cast<std::int64_t>(p.window_ns_min));
+  json.key("window_ns_max").value(static_cast<std::int64_t>(p.window_ns_max));
+  json.key("window_ns_mean").value(p.window_ns_mean);
+  json.key("total_wall_ns").value(p.total_wall_ns);
+  json.key("processing_ns").value(p.processing_ns);
+  json.key("barrier_wait_ns").value(p.barrier_wait_ns);
+  json.key("mailbox_ns").value(p.mailbox_ns);
+  json.key("control_ns").value(p.control_ns);
+  json.key("barrier_wait_fraction").value(p.barrier_wait_fraction());
+  json.key("max_imbalance").value(p.max_imbalance);
+  json.key("mean_imbalance").value(p.mean_imbalance);
+  json.key("queue_pushes").value(p.queue_pushes);
+  json.key("queue_pops").value(p.queue_pops);
+  json.key("queue_overflow_pushes").value(p.queue_overflow_pushes);
+  json.key("queue_resizes").value(p.queue_resizes);
+  json.key("shard_phases").begin_array();
+  for (const ShardPhaseProfile& s : p.shard_phases) {
+    json.begin_object();
+    json.key("processing_ns").value(s.processing_ns);
+    json.key("barrier_wait_ns").value(s.barrier_wait_ns);
+    json.key("events_processed").value(s.events_processed);
+    json.key("handoffs_out").value(s.handoffs_out);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
 }
 
 void emit_queue_stats(JsonWriter& json, const EventQueueStats& q) {
@@ -341,6 +391,10 @@ void emit_point_manifest(JsonWriter& json, const PointManifest& m) {
   json.key("scenario").value(m.scenario);
   json.key("event_queue");
   emit_queue_stats(json, m.queue);
+  // v8: every manifest carries the profile block (enabled == false when the
+  // point ran without SimConfig::profile), so consumers need no probing.
+  json.key("profile");
+  emit_profile_summary(json, m.profile);
   json.end_object();
 }
 
@@ -487,16 +541,17 @@ std::string BenchReport::to_json() const {
 
   JsonWriter json;
   json.begin_object();
-  // v7: point manifests name the scenario that produced them ("scenario",
-  // "none" for plain sweeps), sim results carry the per-tenant isolation
-  // block (tenant_count / tenant_jain_fairness_index / tenants[]), and
-  // burst entries may carry manifests.
-  // v6 added the forwarding/VL-map policy pair ("policy", "vl_map") per
-  // point manifest and registry scheme names in figure points; v5 added
+  // v8: engine self-profile -- every point manifest carries a "profile"
+  // block (phase breakdown, barrier-wait fraction, imbalance; enabled ==
+  // false with zero totals when the point ran unprofiled) and sim results
+  // gain "profile_enabled" plus a conditional "profile" object.
+  // v7 added scenario provenance per manifest and the per-tenant isolation
+  // block; v6 added the forwarding/VL-map policy pair ("policy", "vl_map")
+  // per point manifest and registry scheme names in figure points; v5 added
   // bytes_per_endport (engine hot state + compiled routing tables over
   // total fabric ports), the scale metric CI regresses on; v4 added the
   // actual parallelism (worker threads + engine shards) per point.
-  json.key("schema").value("mlid-bench-v7");
+  json.key("schema").value("mlid-bench-v8");
   json.key("name").value(name_);
   json.key("manifest").begin_object();
   json.key("git").value(git_describe());

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <cstdio>
 #include <optional>
 #include <thread>
 
@@ -98,6 +99,8 @@ ScenarioReport run_scenario(const Scenario& scenario,
   threads = std::min<unsigned>(threads, static_cast<unsigned>(jobs.size()));
 
   std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> completed{0};
+  const auto sweep_start = std::chrono::steady_clock::now();
   auto worker = [&]() {
     for (;;) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
@@ -105,6 +108,7 @@ ScenarioReport run_scenario(const Scenario& scenario,
       Job& job = jobs[i];
       SimConfig cfg = job.run.sim;
       cfg.seed = sim_seed;
+      if (options.profile) cfg.profile = true;
       // Canonical event order for every arm, sharded or not: the sharded
       // engine forces it anyway, so pinning it here makes scenario results
       // (and therefore contract verdicts) invariant under --shards.
@@ -180,6 +184,20 @@ ScenarioReport run_scenario(const Scenario& scenario,
       job.point.manifest.bytes_per_endport =
           static_cast<double>(hot_bytes + subnet.routes().memory_bytes()) /
           static_cast<double>(fabric_ports);
+      job.point.manifest.profile = job.point.sim.profile;
+      if (options.progress) {
+        const std::size_t done = completed.fetch_add(1) + 1;
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          sweep_start)
+                .count();
+        const double eta = elapsed / static_cast<double>(done) *
+                           static_cast<double>(jobs.size() - done);
+        std::fprintf(
+            stderr,
+            "progress: %s %zu/%zu arms, %.1fs elapsed, eta %.1fs\n",
+            report.name.c_str(), done, jobs.size(), elapsed, eta);
+      }
     }
   };
   if (threads <= 1) {

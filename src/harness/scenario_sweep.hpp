@@ -51,6 +51,12 @@ struct ScenarioSweepOptions {
   int m = 4;
   int n = 3;
   std::uint64_t base_seed = 1;
+  /// Force SimConfig::profile for every arm (ProfileSummary in each arm's
+  /// manifest; passive, results unchanged).
+  bool profile = false;
+  /// Stderr heartbeat: one "progress:" line per completed arm (arms done /
+  /// total, elapsed, ETA).  Never on stdout.
+  bool progress = false;
 };
 
 /// Per-scenario stream derivation, the scenario-space analogue of

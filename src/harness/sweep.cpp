@@ -3,12 +3,14 @@
 #include <atomic>
 #include <bit>
 #include <chrono>
+#include <cstdio>
 #include <map>
 #include <sstream>
 #include <thread>
 
 #include "common/rng.hpp"
 #include "common/text_table.hpp"
+#include "obs/stream.hpp"
 #include "parallel/sharded.hpp"
 
 namespace mlid {
@@ -59,6 +61,7 @@ std::vector<SweepPoint> run_sweep(const FigureSpec& base_spec,
   if (options.sample_interval_ns) {
     spec.sim.sample_interval_ns = *options.sample_interval_ns;
   }
+  if (options.profile) spec.sim.profile = true;
   MLID_EXPECT(options.shards >= 1, "SweepOptions::shards must be >= 1");
   unsigned threads = options.threads;
 
@@ -108,6 +111,39 @@ std::vector<SweepPoint> run_sweep(const FigureSpec& base_spec,
   }
 
   std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> completed{0};
+  const auto sweep_start = std::chrono::steady_clock::now();
+  // Stderr heartbeat + per-point metrics line, shared by every worker.
+  auto note_completed = [&](const SweepPoint& point) {
+    const std::size_t done = completed.fetch_add(1) + 1;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sweep_start)
+            .count();
+    if (options.metrics != nullptr) {
+      MetricsPoint mp;
+      const std::string series =
+          point.scheme + " " + std::to_string(point.vls) + "VL";
+      mp.series = series;
+      mp.load = point.load;
+      mp.wall_seconds = point.manifest.wall_seconds;
+      mp.events_processed = point.manifest.events_processed;
+      mp.events_per_sec = point.manifest.events_per_sec;
+      mp.completed = done;
+      mp.total = jobs.size();
+      options.metrics->point(mp);
+    }
+    if (options.progress) {
+      const double eta =
+          elapsed / static_cast<double>(done) *
+          static_cast<double>(jobs.size() - done);
+      // One fprintf call per line keeps concurrent workers from
+      // interleaving mid-line; stdout stays clean for BENCH/json output.
+      std::fprintf(stderr,
+                   "progress: %zu/%zu points, %.1fs elapsed, eta %.1fs\n",
+                   done, jobs.size(), elapsed, eta);
+    }
+  };
   auto worker = [&]() {
     for (;;) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
@@ -166,6 +202,8 @@ std::vector<SweepPoint> run_sweep(const FigureSpec& base_spec,
                               subnets[job.subnet_index]->routes()
                                   .memory_bytes()) /
           static_cast<double>(fabric_ports);
+      job.point.manifest.profile = job.point.result.profile;
+      note_completed(job.point);
     }
   };
   if (threads <= 1) {

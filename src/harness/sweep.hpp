@@ -41,6 +41,12 @@ struct PointManifest {
   double wall_seconds = 0.0;          ///< host time for this one simulation
   /// Events the engine actually dispatched; scheduled additionally counts
   /// work still queued at cutoff.  events_per_sec = processed / wall.
+  /// Under sharding (`shards > 1`) `processed` is the FLEET total -- every
+  /// shard queue plus the driver's control queue -- and `wall_seconds` is
+  /// the driver's wall time for the whole run, so events_per_sec keeps the
+  /// sequential definition (fleet-processed events over driver wall time)
+  /// and is directly comparable across shard counts (pinned by
+  /// tests/harness/sweep_test.cpp).
   std::uint64_t events_processed = 0;
   std::uint64_t events_scheduled = 0;
   double events_per_sec = 0.0;
@@ -61,6 +67,10 @@ struct PointManifest {
   /// name for points produced by run_scenarios, "none" for plain sweeps.
   std::string scenario = "none";
   EventQueueStats queue;              ///< pending-event structure internals
+  /// Engine self-profile for this point (BENCH schema v8; enabled == false
+  /// with all-zero fields unless SimConfig::profile ran the point).  Every
+  /// manifest carries the block so BENCH consumers can rely on its shape.
+  ProfileSummary profile;
 };
 
 /// One sweep sample: the series key plus the simulation outcome.
@@ -115,6 +125,20 @@ struct SweepOptions {
   /// Override SimConfig::sample_interval_ns: every point of the sweep then
   /// carries an interval-sampler timeline in its result.
   std::optional<SimTime> sample_interval_ns;
+  /// Force SimConfig::profile on for every point: each manifest then
+  /// carries a live ProfileSummary (results stay byte-identical -- the
+  /// profiler is passive).
+  bool profile = false;
+  /// Stderr heartbeat: one "progress:" line per completed point (points
+  /// done / total, elapsed, ETA).  Never written to stdout, so BENCH/json
+  /// pipelines stay clean.
+  bool progress = false;
+  /// JSONL metrics stream (non-owning; may be null).  The pool emits one
+  /// "point" line per completed point (the live series for long sweeps);
+  /// the streamer serializes concurrent writers.  Window/summary lines are
+  /// a single-run concern -- pass the streamer to OpenLoopOptions::metrics
+  /// for those.
+  MetricsStreamer* metrics = nullptr;
 };
 
 /// Run the whole grid.  Independent simulations are distributed over

@@ -1,0 +1,140 @@
+#include "obs/stream.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace mlid {
+namespace {
+
+// The stream is line-oriented and flat, so a few append helpers beat pulling
+// a JSON writer dependency into obs/ (harness/report.hpp sits above sim,
+// which sits above this library).
+
+void append_key(std::string& s, std::string_view key) {
+  s += ",\"";
+  s += key;
+  s += "\":";
+}
+
+void append_u64(std::string& s, std::string_view key, std::uint64_t v) {
+  append_key(s, key);
+  s += std::to_string(v);
+}
+
+void append_i64(std::string& s, std::string_view key, std::int64_t v) {
+  append_key(s, key);
+  s += std::to_string(v);
+}
+
+void append_double(std::string& s, std::string_view key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  append_key(s, key);
+  s += buf;
+}
+
+void append_bool(std::string& s, std::string_view key, bool v) {
+  append_key(s, key);
+  s += v ? "true" : "false";
+}
+
+void append_string(std::string& s, std::string_view key, std::string_view v) {
+  append_key(s, key);
+  s += '"';
+  for (const char c : v) {
+    switch (c) {
+      case '"': s += "\\\""; break;
+      case '\\': s += "\\\\"; break;
+      case '\n': s += "\\n"; break;
+      default: s += c; break;
+    }
+  }
+  s += '"';
+}
+
+void append_profile(std::string& s, const ProfileSummary& p) {
+  append_key(s, "profile");
+  s += "{\"shards\":" + std::to_string(p.shards);
+  append_u64(s, "threads", p.threads);
+  append_u64(s, "windows", p.windows);
+  append_u64(s, "control_steps", p.control_steps);
+  append_u64(s, "handoff_messages", p.handoff_messages);
+  append_u64(s, "total_wall_ns", p.total_wall_ns);
+  append_u64(s, "processing_ns", p.processing_ns);
+  append_u64(s, "barrier_wait_ns", p.barrier_wait_ns);
+  append_u64(s, "mailbox_ns", p.mailbox_ns);
+  append_u64(s, "control_ns", p.control_ns);
+  append_double(s, "barrier_wait_fraction", p.barrier_wait_fraction());
+  append_double(s, "max_imbalance", p.max_imbalance);
+  append_double(s, "mean_imbalance", p.mean_imbalance);
+  s += '}';
+}
+
+}  // namespace
+
+MetricsStreamer::MetricsStreamer(const std::string& path, SimTime interval_ns)
+    : out_(path, std::ios::out | std::ios::trunc),
+      interval_ns_(interval_ns),
+      start_(std::chrono::steady_clock::now()) {
+  if (!out_) {
+    throw std::runtime_error("cannot open metrics stream file: " + path);
+  }
+  if (interval_ns_ <= 0) {
+    throw std::runtime_error("metrics stream interval must be positive");
+  }
+}
+
+void MetricsStreamer::finish_line(std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+  append_i64(line, "wall_ns", wall);
+  line += "}\n";
+  out_ << line;
+  out_.flush();
+}
+
+void MetricsStreamer::window(const MetricsWindow& w) {
+  std::string line = "{\"kind\":\"window\"";
+  append_i64(line, "t_ns", w.t_ns);
+  append_i64(line, "window_ns", w.window_ns);
+  append_bool(line, "partial", w.partial);
+  append_u64(line, "shards", w.shards);
+  append_u64(line, "generated", w.generated);
+  append_u64(line, "delivered", w.delivered);
+  append_u64(line, "dropped", w.dropped);
+  append_u64(line, "becn", w.becn);
+  append_u64(line, "in_flight", w.in_flight);
+  append_u64(line, "events_processed", w.events_processed);
+  finish_line(line);
+}
+
+void MetricsStreamer::run_summary(const MetricsRunSummary& s) {
+  std::string line = "{\"kind\":\"summary\"";
+  append_i64(line, "end_ns", s.end_ns);
+  append_u64(line, "shards", s.shards);
+  append_u64(line, "threads", s.threads);
+  append_u64(line, "generated", s.generated);
+  append_u64(line, "delivered", s.delivered);
+  append_u64(line, "dropped", s.dropped);
+  append_u64(line, "events_processed", s.events_processed);
+  if (s.profile != nullptr && s.profile->enabled) {
+    append_profile(line, *s.profile);
+  }
+  finish_line(line);
+}
+
+void MetricsStreamer::point(const MetricsPoint& p) {
+  std::string line = "{\"kind\":\"point\"";
+  append_string(line, "series", p.series);
+  append_double(line, "load", p.load);
+  append_double(line, "wall_seconds", p.wall_seconds);
+  append_u64(line, "events_processed", p.events_processed);
+  append_double(line, "events_per_sec", p.events_per_sec);
+  append_u64(line, "completed", p.completed);
+  append_u64(line, "total", p.total);
+  finish_line(line);
+}
+
+}  // namespace mlid

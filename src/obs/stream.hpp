@@ -1,0 +1,102 @@
+// Streaming run metrics: a periodic JSONL export so multi-minute sweeps
+// emit a live series instead of a single end-of-run BENCH blob.
+//
+// One MetricsStreamer owns one output file (--metrics-out=FILE) and writes
+// one self-contained JSON object per line, flushed per line so `tail -f`
+// and dashboards see data while the run is still going.  Three line kinds:
+//
+//   {"kind":"window", ...}   fixed simulated-time cadence (the flush
+//                            cadence flag, --metrics-interval-ns) with
+//                            counter deltas + gauges for that window; the
+//                            final short window is flagged "partial":true.
+//   {"kind":"summary", ...}  once per engine run: totals plus the phase
+//                            profile when profiling was on.
+//   {"kind":"point", ...}    once per completed sweep/scenario point from
+//                            the harness worker pool (thread-safe).
+//
+// Every line carries "wall_ns": host nanoseconds since the streamer was
+// created, stamped by the streamer itself so engines never touch clocks on
+// its behalf.  Like all observability here the stream is passive: pacing a
+// window line never schedules events or perturbs conservative-sync results
+// (a stream boundary only *splits* a parallel window, and any window
+// partition is a valid schedule -- see parallel/sharded.hpp).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "obs/profile.hpp"
+
+namespace mlid {
+
+/// Counter deltas + gauges for one metrics window [t_ns - window_ns, t_ns).
+struct MetricsWindow {
+  SimTime t_ns = 0;        ///< window end (simulated ns)
+  SimTime window_ns = 0;   ///< window width (short for the final partial one)
+  bool partial = false;    ///< true for the final sub-interval window
+  std::uint32_t shards = 1;
+  std::uint64_t generated = 0;  ///< packets injected this window
+  std::uint64_t delivered = 0;  ///< packets delivered this window
+  std::uint64_t dropped = 0;    ///< packets dropped this window
+  std::uint64_t becn = 0;       ///< BECN notifications this window
+  std::uint64_t in_flight = 0;  ///< gauge at the window boundary
+  std::uint64_t events_processed = 0;  ///< cumulative fleet dispatches
+};
+
+/// End-of-run totals for the "summary" line.
+struct MetricsRunSummary {
+  SimTime end_ns = 0;
+  std::uint32_t shards = 1;
+  std::uint32_t threads = 1;
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t events_processed = 0;
+  /// Phase profile to inline into the summary line; skipped when null or
+  /// not enabled.
+  const ProfileSummary* profile = nullptr;
+};
+
+/// One completed harness point for the "point" line.
+struct MetricsPoint {
+  std::string_view series;  ///< sweep series / scenario arm label
+  double load = 0.0;
+  double wall_seconds = 0.0;
+  std::uint64_t events_processed = 0;
+  double events_per_sec = 0.0;
+  std::uint64_t completed = 0;  ///< points finished so far (this sweep)
+  std::uint64_t total = 0;      ///< points in the sweep
+};
+
+/// Thread-safe JSONL writer for the above records.  Opening the file eagerly
+/// in the constructor surfaces bad paths before any simulation work; the
+/// constructor throws std::runtime_error on failure (the CLI maps that to a
+/// usage error, exit 2).
+class MetricsStreamer {
+ public:
+  MetricsStreamer(const std::string& path, SimTime interval_ns);
+
+  /// Simulated-time flush cadence the engines pace window lines at.
+  [[nodiscard]] SimTime interval_ns() const noexcept { return interval_ns_; }
+
+  void window(const MetricsWindow& w);
+  void run_summary(const MetricsRunSummary& s);
+  void point(const MetricsPoint& p);
+
+ private:
+  /// Appends the shared tail ("wall_ns" stamp + closing brace), writes and
+  /// flushes the line under the lock.
+  void finish_line(std::string& line);
+
+  std::ofstream out_;
+  SimTime interval_ns_;
+  std::chrono::steady_clock::time_point start_;
+  std::mutex mu_;
+};
+
+}  // namespace mlid

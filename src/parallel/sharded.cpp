@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <barrier>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <tuple>
+
+#include "obs/stream.hpp"
 
 namespace mlid {
 
@@ -15,6 +18,15 @@ namespace {
 [[nodiscard]] std::uint32_t hardware_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
+}
+
+/// Host nanoseconds since `t0` (profiler clock; never simulation time).
+[[nodiscard]] std::uint64_t ns_since(
+    std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
 }
 }  // namespace
 
@@ -43,6 +55,11 @@ ShardedSimulation::ShardedSimulation(const Subnet& subnet,
                      &control_staged_[i]};
   }
   shards_.reserve(plan_.num_shards);
+  if (cfg_.profile) {
+    profile_.shard_phases.assign(plan_.num_shards, ShardPhaseProfile{});
+    win_shard_ns_.assign(plan_.num_shards, 0);
+    win_shard_events_.assign(plan_.num_shards, 0);
+  }
 }
 
 ShardedSimulation ShardedSimulation::open_loop(const Subnet& subnet,
@@ -61,8 +78,11 @@ ShardedSimulation ShardedSimulation::open_loop(const Subnet& subnet,
   }
   // The interval sampler is driver-owned: the shards are built with a
   // zeroed interval and the driver paces the fleet-wide timeline itself.
+  // Self-profiling and the metrics stream are driver-owned the same way.
   SimConfig shard_cfg = driver.cfg_;
   shard_cfg.sample_interval_ns = 0;
+  shard_cfg.profile = false;
+  driver.stream_ = options.metrics;
   if (driver.cfg_.sample_interval_ns > 0) {
     driver.timeline_.configure(driver.cfg_.sample_interval_ns,
                                driver.cfg_.timeline_max_samples);
@@ -124,6 +144,10 @@ std::uint32_t ShardedSimulation::target_of(const ShardMessage& msg) const {
 
 void ShardedSimulation::drain_mailboxes() {
   for (std::uint32_t i = 0; i < plan_.num_shards; ++i) {
+    if (profiling()) {
+      profile_.shard_phases[i].handoffs_out += outboxes_[i].size();
+      profile_.handoff_messages += outboxes_[i].size();
+    }
     for (const ShardMessage& msg : outboxes_[i]) {
       shards_[target_of(msg)].receive(msg);
     }
@@ -229,8 +253,21 @@ void ShardedSimulation::drain_shards(std::uint32_t first, std::uint32_t stride,
                                      SimTime window_end) {
   for (std::uint32_t i = first; i < shards_.size(); i += stride) {
     Simulation& s = shards_[i];
-    s.events_.drain_until(window_end,
-                          [&s](const Event& e) { s.dispatch(e); });
+    if (profiling()) {
+      // Per-shard drain wall time: this shard is drained by exactly one
+      // worker per window, and the done barrier publishes the write before
+      // the parent reads it -- no synchronization beyond the window
+      // protocol is needed.
+      const auto t0 = std::chrono::steady_clock::now();
+      s.events_.drain_until(window_end,
+                            [&s](const Event& e) { s.dispatch(e); });
+      const std::uint64_t dt = ns_since(t0);
+      profile_.shard_phases[i].processing_ns += dt;
+      win_shard_ns_[i] = dt;
+    } else {
+      s.events_.drain_until(window_end,
+                            [&s](const Event& e) { s.dispatch(e); });
+    }
   }
 }
 
@@ -259,26 +296,81 @@ void ShardedSimulation::window_loop(
         next_sample_ += timeline_.interval_ns;
       }
     }
+    if (stream_ != nullptr) {
+      // The metrics stream paces on the same terms as the sampler: every
+      // boundary up to min(horizon, end) is due before any event at
+      // `horizon` dispatches.
+      const SimTime stream_limit = std::min(horizon, end);
+      while (next_stream_ <= stream_limit) {
+        emit_stream_window(next_stream_, /*partial=*/false);
+        next_stream_ += stream_->interval_ns();
+      }
+    }
     if (horizon >= end) return;  // drained, or only post-end events remain
     const SimTime by_lookahead = lookahead >= kSimTimeNever - horizon
                                      ? kSimTimeNever
                                      : horizon + lookahead;
     // A pending sample clips the window like a zero-lookahead control
     // event: no event at or past next_sample_ may dispatch before it fires.
+    // A pending stream boundary clips identically; splitting a window is
+    // always a valid conservative-sync schedule, so the clip is
+    // result-neutral.
     const SimTime sample_time = sampling() ? next_sample_ : kSimTimeNever;
+    const SimTime stream_time = stream_ != nullptr ? next_stream_ : kSimTimeNever;
     const SimTime window_end =
-        std::min({by_lookahead, control_time, end, sample_time});
+        std::min({by_lookahead, control_time, end, sample_time, stream_time});
     if (window_end > horizon) {
       // Every event in [horizon, window_end) is safe to dispatch without
       // cross-shard coordination: anything a shard emits during the window
       // lands at >= horizon + lookahead >= window_end.
+      if (!profiling()) {
+        drain_all(window_end);
+        drain_mailboxes();
+        continue;
+      }
+      for (std::uint32_t i = 0; i < plan_.num_shards; ++i) {
+        win_shard_ns_[i] = 0;
+        win_shard_events_[i] = shards_[i].events_.events_processed();
+      }
+      const auto t0 = std::chrono::steady_clock::now();
       drain_all(window_end);
+      const std::uint64_t window_wall = ns_since(t0);
+      const auto t1 = std::chrono::steady_clock::now();
       drain_mailboxes();
+      profile_.mailbox_ns += ns_since(t1);
+      ++profile_.windows;
+      window_width_.add(static_cast<double>(window_end - horizon));
+      // Barrier wait: the window's wall time minus the shard's own drain
+      // time.  Under one worker thread this degrades to "time spent while
+      // the other shards drained" -- the serialization cost -- which keeps
+      // the fraction comparable across thread counts.
+      std::uint64_t max_ev = 0;
+      std::uint64_t total_ev = 0;
+      for (std::uint32_t i = 0; i < plan_.num_shards; ++i) {
+        const std::uint64_t own = std::min(window_wall, win_shard_ns_[i]);
+        profile_.shard_phases[i].barrier_wait_ns += window_wall - own;
+        const std::uint64_t ev =
+            shards_[i].events_.events_processed() - win_shard_events_[i];
+        max_ev = std::max(max_ev, ev);
+        total_ev += ev;
+      }
+      if (total_ev > 0) {
+        const double mean_ev = static_cast<double>(total_ev) /
+                               static_cast<double>(plan_.num_shards);
+        imbalance_.add(static_cast<double>(max_ev) / mean_ev);
+      }
     } else {
       // A control event sits exactly at the horizon: no parallel progress
       // is possible (control has zero lookahead), so run the timestep
       // sequentially and re-open the next window after it.
+      if (!profiling()) {
+        step_at(horizon);
+        continue;
+      }
+      const auto t0 = std::chrono::steady_clock::now();
       step_at(horizon);
+      profile_.control_ns += ns_since(t0);
+      ++profile_.control_steps;
     }
   }
 }
@@ -469,12 +561,56 @@ void ShardedSimulation::take_sample(SimTime t) {
   timeline_.append(s);
 }
 
+void ShardedSimulation::emit_stream_window(SimTime t, bool partial) {
+  MetricsWindow w;
+  w.t_ns = t;
+  w.window_ns = t - last_stream_;
+  w.partial = partial;
+  w.shards = plan_.num_shards;
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t becn = 0;
+  std::uint64_t processed = control_.events_processed();
+  for (const Simulation& sh : shards_) {
+    generated += sh.result_.packets_generated;
+    delivered += sh.result_.packets_delivered;
+    dropped += sh.result_.packets_dropped;
+    becn += sh.cc_becn_sent_;
+    processed += sh.events_.events_processed();
+  }
+  w.generated = generated - streamed_generated_;
+  w.delivered = delivered - streamed_delivered_;
+  w.dropped = dropped - streamed_dropped_;
+  w.becn = becn - streamed_becn_;
+  streamed_generated_ = generated;
+  streamed_delivered_ = delivered;
+  streamed_dropped_ = dropped;
+  streamed_becn_ = becn;
+  w.in_flight = generated - delivered - dropped;
+  w.events_processed = processed;
+  last_stream_ = t;
+  stream_->window(w);
+}
+
 SimResult ShardedSimulation::run() {
   MLID_EXPECT(!burst_, "burst driver: use run_to_completion()");
   MLID_EXPECT(!ran_, "a sharded simulation runs once");
   ran_ = true;
-  drive(cfg_.end_time());
+  const SimTime end = cfg_.end_time();
+  const auto run_start = std::chrono::steady_clock::now();
+  if (stream_ != nullptr) {
+    next_stream_ = stream_->interval_ns();
+    last_stream_ = 0;
+  }
+  drive(end);
   drain_mailboxes();
+  // The final sub-interval window must go out before merge_into_root sums
+  // the non-root shards' counters into the root (the fleet loop in
+  // emit_stream_window would double-count them afterwards).
+  if (stream_ != nullptr && last_stream_ < end) {
+    emit_stream_window(end, /*partial=*/true);
+  }
   merge_into_root();
   replay_deliveries();
   // Hand the driver-paced timeline to the root so finalize_open_loop
@@ -486,8 +622,48 @@ SimResult ShardedSimulation::run() {
     processed += s.events_.events_processed();
     scheduled += s.events_.events_scheduled();
   }
+  if (profiling()) {
+    // Assemble the fleet profile and hand it to the root the same way the
+    // timeline travels; finalize_open_loop copies it into SimResult.
+    profile_.enabled = true;
+    profile_.shards = plan_.num_shards;
+    profile_.threads = threads_used_;
+    profile_.total_wall_ns = ns_since(run_start);
+    profile_.window_ns_min = static_cast<SimTime>(window_width_.min());
+    profile_.window_ns_max = static_cast<SimTime>(window_width_.max());
+    profile_.window_ns_mean = window_width_.mean();
+    profile_.max_imbalance = imbalance_.max();
+    profile_.mean_imbalance = imbalance_.mean();
+    profile_.processing_ns = 0;
+    profile_.barrier_wait_ns = 0;
+    for (std::uint32_t i = 0; i < plan_.num_shards; ++i) {
+      profile_.shard_phases[i].events_processed =
+          shards_[i].events_.events_processed();
+      profile_.processing_ns += profile_.shard_phases[i].processing_ns;
+      profile_.barrier_wait_ns += profile_.shard_phases[i].barrier_wait_ns;
+    }
+    const EventQueueStats qs = queue_stats();
+    profile_.queue_pushes = qs.events_scheduled;
+    profile_.queue_pops = qs.events_processed;
+    profile_.queue_overflow_pushes = qs.overflow_pushes;
+    profile_.queue_resizes = qs.resizes;
+    root().profile_ = profile_;
+  }
   root().check_invariants();
-  return root().finalize_open_loop(processed, scheduled);
+  const SimResult result = root().finalize_open_loop(processed, scheduled);
+  if (stream_ != nullptr) {
+    MetricsRunSummary summary;
+    summary.end_ns = end;
+    summary.shards = plan_.num_shards;
+    summary.threads = threads_used_;
+    summary.generated = result.packets_generated;
+    summary.delivered = result.packets_delivered;
+    summary.dropped = result.packets_dropped;
+    summary.events_processed = result.events_processed;
+    summary.profile = &result.profile;
+    stream_->run_summary(summary);
+  }
+  return result;
 }
 
 BurstResult ShardedSimulation::run_to_completion() {
@@ -538,6 +714,13 @@ std::size_t ShardedSimulation::memory_footprint() const noexcept {
   std::size_t total = 0;
   for (const Simulation& s : shards_) total += s.memory_footprint();
   return total;
+}
+
+const FlightRecorderDump& ShardedSimulation::flight_dump() const noexcept {
+  for (const Simulation& s : shards_) {
+    if (s.flight_dump().valid()) return s.flight_dump();
+  }
+  return shards_.front().flight_dump();
 }
 
 }  // namespace mlid

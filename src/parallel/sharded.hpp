@@ -37,12 +37,20 @@
 // and merges every shard's gauges into one TimelineSample -- so the sampled
 // timeline is bit-identical to the sequential engine's for any shard or
 // thread count.
+//
+// Engine self-profiling (SimConfig::profile) and the JSONL metrics stream
+// (OpenLoopOptions::metrics) are driver-owned on the same terms: a stream
+// boundary clips windows exactly like a sample time (any window partition
+// is a valid conservative-sync schedule), and the profiler reads host
+// clocks and existing counters only -- both are result-neutral for any
+// shard/thread count (tests/obs/profile_parity_test.cpp).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "parallel/partition.hpp"
 #include "sim/engine.hpp"
 
@@ -95,6 +103,12 @@ class ShardedSimulation {
   /// fleet's actual allocation, not num_shards copies of the fabric).
   [[nodiscard]] std::size_t memory_footprint() const noexcept;
 
+  /// First frozen per-shard flight dump (SimConfig::flight_recorder_depth).
+  /// Devices are owner-exclusive, so every shard keeps its own host-side
+  /// rings and tags its dump cause with "[shard N]"; this returns the
+  /// lowest-numbered shard's dump, invalid when no shard froze one.
+  [[nodiscard]] const FlightRecorderDump& flight_dump() const noexcept;
+
  private:
   ShardedSimulation(const Subnet& subnet, const SimConfig& config,
                     const ShardOptions& par);
@@ -131,6 +145,11 @@ class ShardedSimulation {
   /// deltas plus every shard's gauges (mirrors Simulation::take_sample).
   void take_sample(SimTime t);
   [[nodiscard]] bool sampling() const noexcept { return timeline_.enabled(); }
+  [[nodiscard]] bool profiling() const noexcept { return cfg_.profile; }
+  /// Driver-level JSONL "window" line at simulated time `t`: fleet-wide
+  /// counter deltas (mirrors take_sample; emitted before merge_into_root so
+  /// per-shard counters are not double-counted).
+  void emit_stream_window(SimTime t, bool partial);
   [[nodiscard]] Simulation& root() { return shards_.front(); }
 
   const Subnet* subnet_;
@@ -160,6 +179,28 @@ class ShardedSimulation {
   std::uint64_t sampled_delivered_ = 0;
   std::uint64_t sampled_dropped_ = 0;
   std::uint64_t sampled_becn_ = 0;
+
+  // --- engine self-profiler (inert unless cfg_.profile; obs/profile.hpp).
+  // Per-shard wall time accumulates inside drain_shards (each shard is
+  // drained by exactly one worker per window and the done barrier publishes
+  // the writes, so the parent reads race-free between windows); barrier
+  // wait is window wall minus a shard's own drain time.  All host-clock
+  // reads are keyed off cfg_.profile and never touch window boundaries, so
+  // results are byte-identical with profiling on or off.
+  ProfileSummary profile_;
+  std::vector<std::uint64_t> win_shard_ns_;      ///< per-shard drain wall, this window
+  std::vector<std::uint64_t> win_shard_events_;  ///< per-shard processed, window start
+  OnlineStats window_width_;  ///< simulated-ns window widths
+  OnlineStats imbalance_;     ///< per-window max/mean events-per-shard factor
+
+  // --- metrics stream (driver-paced like the sampler; open-loop only) --------
+  MetricsStreamer* stream_ = nullptr;  ///< non-owning, from OpenLoopOptions
+  SimTime next_stream_ = 0;
+  SimTime last_stream_ = 0;
+  std::uint64_t streamed_generated_ = 0;  ///< fleet counters at the last line
+  std::uint64_t streamed_delivered_ = 0;
+  std::uint64_t streamed_dropped_ = 0;
+  std::uint64_t streamed_becn_ = 0;
 };
 
 }  // namespace mlid

@@ -119,6 +119,15 @@ struct SimConfig {
   /// exporter.  Passive like the sampler.
   bool trace_control = false;
 
+  /// Engine self-profiling (obs/profile.hpp): wall-time phase breakdown of
+  /// the *simulator* -- event processing vs barrier wait vs mailbox drain
+  /// vs control steps, window/imbalance/queue-op statistics -- into
+  /// SimResult::profile.  Reads host clocks and existing counters only;
+  /// never schedules events or draws random numbers, so results stay
+  /// byte-identical with profiling on or off for any shard/thread count
+  /// (tests/obs/profile_parity_test.cpp).
+  bool profile = false;
+
   /// Pending-event structure the engine runs on.  The ladder queue is the
   /// default hot path; the heap is the O(log n) reference kept one flag away
   /// for bit-identity checks (asserted by sim/queue_parity_test.cpp) and

@@ -1,11 +1,14 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <iostream>
 #include <limits>
 #include <sstream>
 #include <type_traits>
+
+#include "obs/stream.hpp"
 
 namespace mlid {
 
@@ -55,6 +58,7 @@ Simulation::Simulation(const Subnet& subnet, SimConfig config,
     MLID_EXPECT(options.faults.empty(),
                 "a fault schedule needs a live SM to react to it");
   }
+  stream_ = options.metrics;
 }
 
 Simulation::Simulation(const Subnet& subnet, SimConfig config,
@@ -150,10 +154,12 @@ Simulation::Simulation(const Subnet& subnet, SimConfig config,
     MLID_EXPECT(cfg_.sample_interval_ns == 0,
                 "shard configs must not carry a sample interval; the sharded "
                 "driver owns the timeline");
-    MLID_EXPECT(cfg_.trace_packets == 0 && cfg_.flight_recorder_depth == 0 &&
-                    !cfg_.trace_control,
-                "per-event observability (packet traces, flight recorder, "
-                "control trace) is sequential-only; drop --shards to use it");
+    // The flight recorder is allowed: devices are owner-exclusive, so each
+    // shard keeps host-side rings for its own devices and freezes a dump
+    // tagged with its shard id (count_drop / check_invariants).
+    MLID_EXPECT(cfg_.trace_packets == 0 && !cfg_.trace_control,
+                "per-event observability (packet traces, control trace) is "
+                "sequential-only; drop --shards to use it");
   }
   MLID_EXPECT(burst || (offered_load > 0.0 && offered_load <= 1.0),
               "offered load must be in (0, 1]");
@@ -534,9 +540,12 @@ void Simulation::count_drop(DropReason reason, PacketId pkt, DeviceId dev,
                             SimTime now) {
   ++result_.packets_dropped;
   if (!flight_ring_.empty() && !flight_dump_.valid()) {
-    freeze_flight_dump(dev, now,
-                       std::string("first drop: ") +
-                           std::string(to_string(reason)));
+    std::string cause = std::string("first drop: ") +
+                        std::string(to_string(reason));
+    if (sharded()) {
+      cause += " [shard " + std::to_string(shard_.shard_id) + "]";
+    }
+    freeze_flight_dump(dev, now, std::move(cause));
   }
   switch (reason) {
     case DropReason::kNone:
@@ -1199,6 +1208,27 @@ void Simulation::take_sample(SimTime t) {
   timeline_.append(s);
 }
 
+void Simulation::emit_stream_window(SimTime t, bool partial) {
+  MetricsWindow w;
+  w.t_ns = t;
+  w.window_ns = t - last_stream_;
+  w.partial = partial;
+  w.shards = 1;
+  w.generated = result_.packets_generated - streamed_generated_;
+  w.delivered = result_.packets_delivered - streamed_delivered_;
+  w.dropped = result_.packets_dropped - streamed_dropped_;
+  w.becn = cc_becn_sent_ - streamed_becn_;
+  streamed_generated_ = result_.packets_generated;
+  streamed_delivered_ = result_.packets_delivered;
+  streamed_dropped_ = result_.packets_dropped;
+  streamed_becn_ = cc_becn_sent_;
+  w.in_flight = result_.packets_generated - result_.packets_delivered -
+                result_.packets_dropped;
+  w.events_processed = events_.events_processed();
+  last_stream_ = t;
+  stream_->window(w);
+}
+
 void Simulation::collect_sample_gauges(TimelineSample& s) const {
   const Fabric& g = subnet_->fabric().fabric();
   for (DeviceId dev = 0; dev < g.num_devices(); ++dev) {
@@ -1603,8 +1633,11 @@ SimResult Simulation::run() {
   MLID_EXPECT(!burst_, "burst simulation: use run_to_completion()");
   MLID_EXPECT(!sharded(), "sharded runs go through ShardedSimulation");
   const SimTime end = cfg_.end_time();
+  const auto run_start = std::chrono::steady_clock::now();
+  next_stream_ = stream_ != nullptr ? stream_->interval_ns() : kSimTimeNever;
+  last_stream_ = 0;
   try {
-    if (!timeline_.enabled()) {
+    if (!timeline_.enabled() && stream_ == nullptr) {
       events_.drain_until(end, [this](const Event& e) { dispatch(e); });
     } else {
       // Sampler-interposed drain: a sample at time t is taken before any
@@ -1612,17 +1645,34 @@ SimResult Simulation::run() {
       // cadence is re-read after every sample because append() doubles it
       // when decimation triggers.  This is an observation loop wrapped
       // around the identical pop order -- no event is ever scheduled for
-      // sampling, which is what keeps results bit-identical.
-      SimTime next = timeline_.interval_ns;
+      // sampling, which is what keeps results bit-identical.  The metrics
+      // stream pacer interleaves on the same terms (its boundaries are
+      // host-side writes, never events).
+      SimTime next = timeline_.enabled()
+                         ? static_cast<SimTime>(timeline_.interval_ns)
+                         : kSimTimeNever;
       while (const Event* e = events_.peek()) {
         if (e->time >= end) break;
-        while (next <= e->time) {
-          take_sample(next);
-          next += timeline_.interval_ns;
+        while (next <= e->time || next_stream_ <= e->time) {
+          if (next <= next_stream_) {
+            take_sample(next);
+            next += timeline_.interval_ns;
+          } else {
+            emit_stream_window(next_stream_, /*partial=*/false);
+            next_stream_ += stream_->interval_ns();
+          }
         }
         dispatch(events_.pop());
       }
-      for (; next <= end; next += timeline_.interval_ns) take_sample(next);
+      while (next <= end || next_stream_ <= end) {
+        if (next <= next_stream_) {
+          take_sample(next);
+          next += timeline_.interval_ns;
+        } else {
+          emit_stream_window(next_stream_, /*partial=*/false);
+          next_stream_ += stream_->interval_ns();
+        }
+      }
     }
     check_invariants();
   } catch (const ContractViolation&) {
@@ -1641,14 +1691,52 @@ SimResult Simulation::run() {
     throw;
   }
   materialize_traces();
-  return finalize_open_loop(events_.events_processed(),
-                            events_.events_scheduled());
+  if (cfg_.profile) {
+    // Sequential runs carry the sharded phase taxonomy with degenerate
+    // barrier / mailbox / control terms: the whole drain loop is one
+    // shard's "processing" phase.
+    const auto wall = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - run_start)
+            .count());
+    profile_.enabled = true;
+    profile_.shards = 1;
+    profile_.threads = 1;
+    profile_.total_wall_ns = wall;
+    profile_.processing_ns = wall;
+    const EventQueueStats qs = events_.stats();
+    profile_.queue_pushes = qs.events_scheduled;
+    profile_.queue_pops = qs.events_processed;
+    profile_.queue_overflow_pushes = qs.overflow_pushes;
+    profile_.queue_resizes = qs.resizes;
+    profile_.shard_phases.assign(
+        1, ShardPhaseProfile{wall, 0, qs.events_processed, 0});
+  }
+  const SimResult result = finalize_open_loop(events_.events_processed(),
+                                              events_.events_scheduled());
+  if (stream_ != nullptr) {
+    // The final sub-interval window (if the run end is not on a stream
+    // boundary), then the run summary.
+    if (last_stream_ < end) emit_stream_window(end, /*partial=*/true);
+    MetricsRunSummary summary;
+    summary.end_ns = end;
+    summary.shards = 1;
+    summary.threads = 1;
+    summary.generated = result.packets_generated;
+    summary.delivered = result.packets_delivered;
+    summary.dropped = result.packets_dropped;
+    summary.events_processed = result.events_processed;
+    summary.profile = &result.profile;
+    stream_->run_summary(summary);
+  }
+  return result;
 }
 
 SimResult Simulation::finalize_open_loop(std::uint64_t events_processed,
                                          std::uint64_t events_scheduled) {
   const SimTime end = cfg_.end_time();
   result_.timeline = timeline_;
+  result_.profile = profile_;
 
   result_.offered_load = offered_load_;
   result_.sim_end_ns = end;

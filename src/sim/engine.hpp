@@ -30,6 +30,8 @@
 
 namespace mlid {
 
+class MetricsStreamer;
+
 /// Optional extras for Simulation::open_loop.  Attaching a live Subnet
 /// Manager here -- rather than through a post-construction setter -- makes
 /// the old "attach after run()" misuse unrepresentable by construction.
@@ -42,6 +44,12 @@ struct OpenLoopOptions {
   /// is bit-identical to an unattached one.
   SubnetManager* live_sm = nullptr;
   FaultSchedule faults;
+  /// JSONL metrics stream (non-owning; must outlive the run).  The engine
+  /// emits a "window" line every MetricsStreamer::interval_ns() of
+  /// simulated time plus one "summary" line at run end.  Passive like the
+  /// interval sampler: results are byte-identical with streaming on/off
+  /// (tests/obs/metrics_stream_test.cpp).
+  MetricsStreamer* metrics = nullptr;
 };
 
 /// One event crossing a shard boundary in a sharded run (see
@@ -383,6 +391,9 @@ class Simulation {
   /// devices and HCAs.  Shared by the sequential sampler and -- summed
   /// across shards -- the sharded driver's sampler.
   void collect_sample_gauges(TimelineSample& s) const;
+  /// Emits one JSONL "window" line at simulated time `t` (counters-only;
+  /// sequential engine; the sharded driver paces its own fleet lines).
+  void emit_stream_window(SimTime t, bool partial);
   void record_flight(const Event& e);
   void record_control(const Event& e);
   /// The device a dispatched event belongs to for the flight recorder
@@ -487,6 +498,19 @@ class Simulation {
   DeviceId last_flight_dev_ = kInvalidDevice;
   FlightRecorderDump flight_dump_;
   std::vector<ControlTraceRecord> control_trace_;
+
+  // --- engine self-profile + metrics stream (inert unless configured) --------
+  /// Filled by run() when cfg_.profile (sequential taxonomy), or installed
+  /// by the sharded driver before finalize_open_loop; copied into
+  /// SimResult::profile.
+  ProfileSummary profile_;
+  MetricsStreamer* stream_ = nullptr;  ///< non-owning, from OpenLoopOptions
+  SimTime next_stream_ = 0;            ///< next window-line boundary
+  SimTime last_stream_ = 0;            ///< previous emitted boundary
+  std::uint64_t streamed_generated_ = 0;  ///< counters at the last line
+  std::uint64_t streamed_delivered_ = 0;
+  std::uint64_t streamed_dropped_ = 0;
+  std::uint64_t streamed_becn_ = 0;
 
   // --- metrics accumulation -------------------------------------------------
   SimResult result_;

@@ -15,6 +15,7 @@
 #include "common/expect.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "obs/profile.hpp"
 #include "sim/timeline.hpp"
 
 namespace mlid {
@@ -234,6 +235,13 @@ struct SimResult {
   /// and gauges on a fixed cadence, pair-merged under the cap.  Like the
   /// telemetry block, leaving it off changes nothing else.
   Timeline timeline;
+
+  // --- engine self-profile (populated only when SimConfig::profile is on) ----
+  /// Wall-time phase breakdown of the simulator itself (obs/profile.hpp).
+  /// Host-clock readings only: the engine asserts byte-identity of every
+  /// *other* field with profiling on/off, and byte-comparisons across runs
+  /// must scrub this block first (assign ProfileSummary{}).
+  ProfileSummary profile;
 
   // --- live SM timeline (populated only when a SubnetManager is attached) ----
   SimTime first_fault_ns = -1;    ///< first link failure event (-1 = none)

@@ -111,6 +111,46 @@ TEST(ChromeTrace, InstrumentedFaultRunProducesAllFourTracks) {
   EXPECT_NE(json.find("first drop"), std::string::npos);
 }
 
+TEST(ChromeTrace, ProfilerTrackRendersShardPhasesAndDriver) {
+  // Track 5 (pid 5): host-time phase spans, one thread per shard plus the
+  // driver.  Deterministic synthetic input -- the track layout is data
+  // driven, no simulation needed.
+  const FatTreeFabric fabric{FatTreeParams(4, 2)};
+  ProfileSummary profile;
+  profile.enabled = true;
+  profile.shards = 2;
+  profile.windows = 7;
+  profile.mailbox_ns = 500;
+  profile.control_ns = 250;
+  profile.shard_phases.resize(2);
+  profile.shard_phases[0] = {4'000, 1'000, 123, 9};
+  profile.shard_phases[1] = {3'000, 2'000, 77, 4};
+  ChromeTraceData data;
+  data.profile = &profile;
+  const std::string json = chrome_trace_json(fabric.fabric(), data);
+  expect_balanced(json);
+  EXPECT_NE(json.find(R"x("name":"engine profiler (host)")x"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"("name":"shard 0")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"shard 1")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"driver")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"processing","ph":"X")"), std::string::npos);
+  // Barrier span starts where shard 0's processing span ends (4000 ns = 4 us).
+  EXPECT_NE(json.find(R"("name":"barrier-wait","ph":"X","pid":5,"tid":0,"ts":4)"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"("name":"mailbox-drain","ph":"X")"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"("name":"control-steps","ph":"X")"),
+            std::string::npos);
+  // A disabled profile adds no track.
+  ProfileSummary off;
+  ChromeTraceData none;
+  none.profile = &off;
+  EXPECT_EQ(chrome_trace_json(fabric.fabric(), none)
+                .find(R"x("name":"engine profiler (host)")x"),
+            std::string::npos);
+}
+
 TEST(ChromeTrace, DroppedPacketsShowUpAsInstants) {
   // Deterministic single-record input: a packet that dies on a dead link
   // renders as an instant named after the reason, not as a span.

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "harness/sweep.hpp"
+#include "obs/stream.hpp"
 
 namespace mlid {
 namespace {
@@ -196,12 +197,55 @@ TEST(CliDeathTest, SequentialOnlyObservabilityRejectsShards) {
               ::testing::ExitedWithCode(2), "--chrome-trace is sequential-only");
   EXPECT_EXIT(parse({"--shards=2", "--trace-packets=8"}),
               ::testing::ExitedWithCode(2), "--trace-packets is sequential-only");
-  EXPECT_EXIT(parse({"--shards=2", "--flight-recorder=64"}),
-              ::testing::ExitedWithCode(2),
-              "--flight-recorder is sequential-only");
   // Flag order must not matter.
   EXPECT_EXIT(parse({"--trace-packets=8", "--shards", "4"}),
               ::testing::ExitedWithCode(2), "sequential-only");
+}
+
+TEST(Cli, FlightRecorderAllowedWithShards) {
+  // The flight recorder is per-device and every device is owned by exactly
+  // one shard, so sharded runs keep valid rings (dump tagged with the
+  // owning shard).  The flag must parse cleanly under --shards > 1.
+  const CliOptions opts = parse({"--shards=4", "--flight-recorder=64"});
+  EXPECT_EQ(opts.shards(), 4u);
+  EXPECT_EQ(opts.flight_recorder(), 64u);
+}
+
+TEST(Cli, ProfileAndMetricsFlags) {
+  EXPECT_FALSE(parse({}).profile());
+  EXPECT_FALSE(parse({}).progress());
+  EXPECT_TRUE(parse({}).metrics_out().empty());
+  EXPECT_EQ(parse({}).metrics_interval_ns(), 10'000);
+  const CliOptions opts =
+      parse({"--profile", "--progress", "--metrics-out=/tmp/m.jsonl",
+             "--metrics-interval-ns=2500"});
+  EXPECT_TRUE(opts.profile());
+  EXPECT_TRUE(opts.progress());
+  EXPECT_EQ(opts.metrics_out(), "/tmp/m.jsonl");
+  EXPECT_EQ(opts.metrics_interval_ns(), 2500);
+  // Profiling and streaming are shard-safe by design: the combination
+  // parses (the sharded driver owns both).
+  const CliOptions sharded = parse({"--shards=4", "--profile",
+                                    "--metrics-out=/tmp/m.jsonl"});
+  EXPECT_EQ(sharded.shards(), 4u);
+  EXPECT_TRUE(sharded.profile());
+}
+
+TEST(CliDeathTest, MetricsFlagValidation) {
+  EXPECT_EXIT(parse({"--metrics-out="}), ::testing::ExitedWithCode(2),
+              "--metrics-out needs a file path");
+  EXPECT_EXIT(parse({"--metrics-interval-ns=0"}), ::testing::ExitedWithCode(2),
+              "--metrics-interval-ns must be >= 1");
+  EXPECT_EXIT(parse({"--metrics-interval-ns=-5"}),
+              ::testing::ExitedWithCode(2),
+              "--metrics-interval-ns must be >= 1");
+  EXPECT_EXIT(parse({"--metrics-interval-ns=abc"}),
+              ::testing::ExitedWithCode(2), "base-10 integer");
+  // An unopenable metrics path is a usage error too, surfaced when the
+  // streamer is built rather than silently dropping the stream.
+  EXPECT_EXIT(
+      parse({"--metrics-out=/nonexistent-dir/m.jsonl"}).make_metrics_streamer(),
+      ::testing::ExitedWithCode(2), "--metrics-out");
 }
 
 TEST(Cli, SequentialOnlyObservabilityAllowedWithOneShard) {

@@ -192,7 +192,7 @@ TEST(Report, BenchReportEmitsTheSchema) {
   b.events_processed = 50;
   report.add("burst-b", b);
   const std::string json = report.to_json();
-  EXPECT_NE(json.find("\"schema\":\"mlid-bench-v7\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"mlid-bench-v8\""), std::string::npos);
   EXPECT_NE(json.find("\"name\":\"unit_bench\""), std::string::npos);
   EXPECT_NE(json.find("\"git\""), std::string::npos);
   EXPECT_NE(json.find("\"seed\":9"), std::string::npos);
@@ -259,6 +259,38 @@ TEST(Report, V7ScenarioProvenanceAndTenantBlock) {
   EXPECT_NE(plain.to_json().find("\"scenario\":\"none\""), std::string::npos);
 }
 
+TEST(Report, V8ProfileBlockInResultsAndManifests) {
+  // v8: sim results carry a presence-flagged profile block; every point
+  // manifest carries one unconditionally (enabled == false, all zeros for
+  // unprofiled points), so BENCH consumers never probe for its shape.
+  PointManifest m;
+  m.profile.enabled = true;
+  m.profile.shards = 4;
+  m.profile.processing_ns = 3'000;
+  m.profile.barrier_wait_ns = 1'000;
+  m.profile.shard_phases.resize(4);
+  m.profile.shard_phases[0].events_processed = 42;
+  SimResult r;
+  r.profile = m.profile;
+  BenchReport report("v8_bench", 1, 1, true);
+  report.add("pt", r, m);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"profile_enabled\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"barrier_wait_fraction\":0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"shard_phases\":[{\"processing_ns\":0,"
+                      "\"barrier_wait_ns\":0,\"events_processed\":42,"
+                      "\"handoffs_out\":0}"),
+            std::string::npos);
+  // Unprofiled: the result skips the block (flag false), the manifest
+  // still carries a disabled one.
+  BenchReport plain("v8_plain", 1, 1, true);
+  plain.add("p", SimResult{}, PointManifest{});
+  const std::string plain_json = plain.to_json();
+  EXPECT_NE(plain_json.find("\"profile_enabled\":false"), std::string::npos);
+  EXPECT_NE(plain_json.find("\"profile\":{\"enabled\":false"),
+            std::string::npos);
+}
+
 TEST(Report, BenchReportWritesItsFile) {
   BenchReport report("write_test", 1, 1, false);
   report.add("s", SimResult{});
@@ -270,7 +302,7 @@ TEST(Report, BenchReportWritesItsFile) {
   buf << in.rdbuf();
   // wall_seconds advances between serializations, so compare structure,
   // not the exact bytes.
-  EXPECT_NE(buf.str().find("\"schema\":\"mlid-bench-v7\""), std::string::npos);
+  EXPECT_NE(buf.str().find("\"schema\":\"mlid-bench-v8\""), std::string::npos);
   EXPECT_NE(buf.str().find("\"name\":\"write_test\""), std::string::npos);
   EXPECT_EQ(buf.str().back(), '\n');
   std::remove(path.c_str());

@@ -181,6 +181,60 @@ TEST(Sweep, ManifestRecordsTheRun) {
   }
 }
 
+TEST(Sweep, ShardedEventsPerSecKeepsTheSequentialDefinition) {
+  // events_per_sec = fleet-processed events / driver wall time, the same
+  // definition sequential points use -- NOT per-shard rates summed or the
+  // busiest shard's rate.  Under the canonical order a sharded point
+  // processes exactly the events the sequential point does, so the
+  // numerator must be identical and the rate must divide it by the
+  // manifest's own wall_seconds.
+  FigureSpec spec = tiny_spec();
+  spec.sim.event_order = EventOrder::kCanonical;
+  spec.loads = {0.6};
+  const auto seq = run_sweep(spec, {.threads = 1});
+  const auto sharded = run_sweep(spec, {.threads = 1, .shards = 2});
+  ASSERT_EQ(seq.size(), sharded.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    // Same fleet total as the sequential engine dispatched.
+    EXPECT_EQ(sharded[i].manifest.events_processed,
+              seq[i].manifest.events_processed);
+    for (const auto& p : {seq[i], sharded[i]}) {
+      if (p.manifest.wall_seconds > 0.0) {
+        EXPECT_DOUBLE_EQ(
+            p.manifest.events_per_sec,
+            static_cast<double>(p.manifest.events_processed) /
+                p.manifest.wall_seconds);
+      }
+    }
+  }
+}
+
+TEST(Sweep, ProfileOptionFillsEveryManifest) {
+  FigureSpec spec = tiny_spec();
+  spec.loads = {0.6};
+  const auto plain = run_sweep(spec, {.threads = 1});
+  SweepOptions options;
+  options.threads = 1;
+  options.profile = true;
+  const auto profiled = run_sweep(spec, options);
+  ASSERT_EQ(plain.size(), profiled.size());
+  for (std::size_t i = 0; i < profiled.size(); ++i) {
+    // Passive: the profiled sweep's results match the plain sweep's.
+    EXPECT_EQ(to_json(plain[i].result), [&] {
+      SimResult scrubbed = profiled[i].result;
+      scrubbed.profile = ProfileSummary{};
+      return to_json(scrubbed);
+    }());
+    const ProfileSummary& p = profiled[i].manifest.profile;
+    EXPECT_TRUE(p.enabled);
+    EXPECT_EQ(p.shards, 1u);
+    EXPECT_EQ(p.queue_pops, profiled[i].manifest.events_processed);
+    // Unprofiled sweeps carry the disabled all-zero block.
+    EXPECT_FALSE(plain[i].manifest.profile.enabled);
+    EXPECT_EQ(plain[i].manifest.profile, ProfileSummary{});
+  }
+}
+
 TEST(Sweep, OptionsOverrideQueueKindAndTelemetry) {
   const FigureSpec spec = tiny_spec();
   SweepOptions options;
